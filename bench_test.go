@@ -1,0 +1,420 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per experiment, as indexed in DESIGN.md),
+// plus the ablation benches for the design choices DESIGN.md calls
+// out and microbenchmarks of the hot codec paths.
+//
+// Trace synthesis and analysis are cached per benchmark binary run;
+// each experiment benchmark then measures regenerating its report from
+// the shared analysis, and reports the headline measured quantity as a
+// custom metric so `go test -bench .` doubles as a results table.
+package uncharted_test
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"uncharted/internal/cluster"
+	"uncharted/internal/core"
+	"uncharted/internal/experiments"
+	"uncharted/internal/ids"
+	"uncharted/internal/iec104"
+	"uncharted/internal/markov"
+	"uncharted/internal/scadasim"
+	"uncharted/internal/topology"
+)
+
+// benchScale keeps the full `-bench .` sweep in tens of seconds. Raise
+// it (or use cmd/benchtables -scale 1) for full-scale runs.
+const benchScale = 0.15
+
+var (
+	runnerOnce sync.Once
+	runner     *experiments.Runner
+)
+
+func sharedRunner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	runnerOnce.Do(func() {
+		runner = experiments.NewRunner(benchScale, 77)
+		// Pre-build both analyses outside the timed sections.
+		if _, err := runner.Analyzer(topology.Y1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := runner.Analyzer(topology.Y2); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return runner
+}
+
+func benchExperiment(b *testing.B, id string) experiments.Result {
+	r := sharedRunner(b)
+	var res experiments.Result
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = r.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+func BenchmarkTable1Scale(b *testing.B)         { benchExperiment(b, "table1") }
+func BenchmarkTable4Tokens(b *testing.B)        { benchExperiment(b, "table4") }
+func BenchmarkTable5TypeIDs(b *testing.B)       { benchExperiment(b, "table5") }
+func BenchmarkFig6TopologyDiff(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkTable2ChangeReasons(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig7Compliance(b *testing.B)      { benchExperiment(b, "fig7") }
+
+func BenchmarkTable3FlowAnalysis(b *testing.B) {
+	r := sharedRunner(b)
+	a, err := r.Analyzer(topology.Y1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := a.FlowAnalysis()
+		sum = rep.Summary.ShortProportion()
+	}
+	b.ReportMetric(100*sum, "short-lived_%")
+}
+
+func BenchmarkFig8FlowDurations(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig9RejectSequence(b *testing.B) { benchExperiment(b, "fig9") }
+
+func BenchmarkFig10Clustering(b *testing.B) {
+	r := sharedRunner(b)
+	a, err := r.Analyzer(topology.Y1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sil float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := a.ClusterSessions(5, 1202)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sil = rep.Sil
+	}
+	b.ReportMetric(sil, "silhouette")
+}
+
+func BenchmarkFig11ClusterProfiles(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12MarkovChains(b *testing.B)    { benchExperiment(b, "fig12") }
+
+func BenchmarkFig13ChainSizes(b *testing.B) {
+	r := sharedRunner(b)
+	a, err := r.Analyzer(topology.Y1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var point11 int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := a.MarkovChains()
+		point11 = len(rep.Point11)
+	}
+	b.ReportMetric(float64(point11), "reset-backups")
+}
+
+func BenchmarkFig14AbnormalChain(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkFig15InterrogationChain(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16SwitchoverChain(b *testing.B)    { benchExperiment(b, "fig16") }
+
+func BenchmarkTable6Classification(b *testing.B) {
+	res := benchExperiment(b, "table6")
+	if len(res.Text) == 0 {
+		b.Fatal("empty result")
+	}
+}
+
+func BenchmarkFig17TypeDistribution(b *testing.B) { benchExperiment(b, "fig17") }
+
+func BenchmarkTable7TypeIDs(b *testing.B) {
+	r := sharedRunner(b)
+	a, err := r.Analyzer(topology.Y1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var top float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shares := a.TypeDistribution()
+		top = shares[0].Percent
+	}
+	b.ReportMetric(top, "top-type_%")
+}
+
+func BenchmarkTable8Semantics(b *testing.B)    { benchExperiment(b, "table8") }
+func BenchmarkFig18UnmetLoad(b *testing.B)     { benchExperiment(b, "fig18") }
+func BenchmarkFig19AGCResponse(b *testing.B)   { benchExperiment(b, "fig19") }
+func BenchmarkFig20GeneratorSync(b *testing.B) { benchExperiment(b, "fig20") }
+func BenchmarkFig21Signature(b *testing.B)     { benchExperiment(b, "fig21") }
+
+// --- Ablations (DESIGN.md "design choices") ---
+
+// BenchmarkAblationDetectVsPinnedProfile quantifies the cost of
+// tolerant auto-detection against parsing with a known dialect.
+func BenchmarkAblationDetectVsPinnedProfile(b *testing.B) {
+	asdu := iec104.NewMeasurement(iec104.MMeTf, 5, 1201, iec104.Value{
+		Kind: iec104.KindFloat, Float: 60.0, HasTime: true,
+		Time: iec104.CP56Time2a{Time: time.Unix(1700000000, 0).UTC()},
+	}, iec104.CauseSpontaneous)
+	frame, err := iec104.NewI(1, 1, asdu).Marshal(iec104.LegacyCOT)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("detect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := iec104.DetectProfile(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pinned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := iec104.ParseAPDU(frame, iec104.LegacyCOT); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRetransmissionDedup compares chain sizes with and
+// without TCP-retransmission dedup (§6.3.1: repeated tokens were
+// retransmissions, not endpoint behaviour).
+func BenchmarkAblationRetransmissionDedup(b *testing.B) {
+	cfg := scadasim.DefaultConfig(topology.Y1, 5)
+	cfg.Duration = 3 * time.Minute
+	cfg.RetransmitProb = 0.05 // exaggerate to make the effect visible
+	sim, err := scadasim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pcapBuf bytes.Buffer
+	if err := tr.WritePCAP(&pcapBuf); err != nil {
+		b.Fatal(err)
+	}
+	raw := pcapBuf.Bytes()
+	names := core.NamesFromTopology(sim.Network())
+	run := func(b *testing.B, dedup bool) {
+		var edges int
+		for i := 0; i < b.N; i++ {
+			a := core.NewAnalyzer(names)
+			a.DedupRetransmissions = dedup
+			if err := a.ReadPCAP(bytes.NewReader(raw)); err != nil {
+				b.Fatal(err)
+			}
+			edges = 0
+			for _, cc := range a.MarkovChains().Chains {
+				edges += cc.Chain.Edges()
+			}
+		}
+		b.ReportMetric(float64(edges), "total-edges")
+	}
+	b.Run("dedup", func(b *testing.B) { run(b, true) })
+	b.Run("keep-retransmissions", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkAblationKMeansSeeding compares K-means++ against naive
+// first-K seeding on the real session features.
+func BenchmarkAblationKMeansSeeding(b *testing.B) {
+	r := sharedRunner(b)
+	a, err := r.Analyzer(topology.Y1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	feats := a.SessionFeatures()
+	pts := make([][]float64, len(feats))
+	for i, f := range feats {
+		pts[i] = f.Vector()
+	}
+	b.Run("plusplus", func(b *testing.B) {
+		var sse float64
+		for i := 0; i < b.N; i++ {
+			res, err := cluster.KMeans(pts, 5, rand.New(rand.NewSource(1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sse = res.SSE
+		}
+		b.ReportMetric(sse, "SSE")
+	})
+	b.Run("naive", func(b *testing.B) {
+		var sse float64
+		for i := 0; i < b.N; i++ {
+			res, err := cluster.KMeansWithSeeds(pts, cluster.SeedNaive(pts, 5))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sse = res.SSE
+		}
+		b.ReportMetric(sse, "SSE")
+	})
+}
+
+// BenchmarkIDSWhitelist measures training the §7 whitelist and
+// scanning an attacked capture against it, reporting how many critical
+// alerts the Industroyer-style recon raises.
+func BenchmarkIDSWhitelist(b *testing.B) {
+	build := func(seed int64, attack *scadasim.AttackConfig) *core.Analyzer {
+		cfg := scadasim.DefaultConfig(topology.Y1, seed)
+		cfg.Duration = 3 * time.Minute
+		cfg.CyclePeriod = 100 * time.Minute
+		sim, err := scadasim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if attack != nil {
+			attack.At = cfg.Start.Add(90 * time.Second)
+			if _, err := sim.InjectAttack(tr, *attack); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := tr.WritePCAP(&buf); err != nil {
+			b.Fatal(err)
+		}
+		a := core.NewAnalyzer(core.NamesFromTopology(sim.Network()))
+		if err := a.ReadPCAP(&buf); err != nil {
+			b.Fatal(err)
+		}
+		return a
+	}
+	clean := build(21, nil)
+	attacked := build(21, &scadasim.AttackConfig{Kind: scadasim.AttackRecon})
+	b.Run("train", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ids.Train(clean); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		base, err := ids.Train(clean)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var crit int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			alerts := base.Scan(attacked)
+			crit = ids.CountBySeverity(alerts)[3]
+		}
+		b.ReportMetric(float64(crit), "critical-alerts")
+	})
+}
+
+// --- Microbenchmarks of the hot paths ---
+
+func BenchmarkParseAPDUStandard(b *testing.B) {
+	asdu := iec104.NewMeasurement(iec104.MMeTf, 5, 1201, iec104.Value{
+		Kind: iec104.KindFloat, Float: 60.0, HasTime: true,
+		Time: iec104.CP56Time2a{Time: time.Unix(1700000000, 0).UTC()},
+	}, iec104.CauseSpontaneous)
+	frame, err := iec104.NewI(1, 1, asdu).Marshal(iec104.Standard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := iec104.ParseAPDU(frame, iec104.Standard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalAPDU(b *testing.B) {
+	asdu := iec104.NewMeasurement(iec104.MMeNc, 5, 1201, iec104.Value{
+		Kind: iec104.KindFloat, Float: 60.0,
+	}, iec104.CausePeriodic)
+	apdu := iec104.NewI(1, 1, asdu)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := apdu.Marshal(iec104.Standard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	cfg := scadasim.DefaultConfig(topology.Y1, 3)
+	cfg.Duration = 2 * time.Minute
+	var packets int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := scadasim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		packets = len(tr.Records)
+	}
+	b.ReportMetric(float64(packets), "packets")
+}
+
+func BenchmarkFullPipeline(b *testing.B) {
+	cfg := scadasim.DefaultConfig(topology.Y1, 3)
+	cfg.Duration = 2 * time.Minute
+	sim, err := scadasim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pcapBuf bytes.Buffer
+	if err := tr.WritePCAP(&pcapBuf); err != nil {
+		b.Fatal(err)
+	}
+	raw := pcapBuf.Bytes()
+	names := core.NamesFromTopology(sim.Network())
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := core.NewAnalyzer(names)
+		if err := a.ReadPCAP(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarkovChainBuild(b *testing.B) {
+	// A realistic primary-connection token stream.
+	var seq []iec104.Token
+	for i := 0; i < 3000; i++ {
+		seq = append(seq, iec104.Token{Kind: iec104.FormatI, Type: iec104.MMeTf})
+		if i%8 == 7 {
+			seq = append(seq, iec104.TokenS)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch := markov.NewChain()
+		ch.Add(seq)
+		if ch.Nodes() != 2 {
+			b.Fatal("unexpected chain")
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Command profiler runs the paper's full measurement pipeline over a
+// capture and prints every §6 report: flow taxonomy, compliance and
+// dialect detection, session clusters, Markov chains with the
+// outstation classification, the ASDU type distribution, and the
+// physical-measurement ranking.
+//
+// Usage:
+//
+//	profiler capture.pcap
+//	profiler -report flows,markov capture.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"uncharted/internal/core"
+	"uncharted/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("profiler: ")
+
+	reports := flag.String("report", "flows,compliance,clusters,markov,types,physical,timing",
+		"comma-separated reports to print")
+	names := flag.Bool("names", true, "label addresses with the simulated topology's names (C1, O30, ...)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: profiler [-report list] capture.pcap")
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	var analyzer *core.Analyzer
+	if *names {
+		analyzer = core.NewAnalyzer(core.NamesFromTopology(topology.Build()))
+	} else {
+		analyzer = core.NewAnalyzer(nil)
+	}
+	if err := analyzer.ReadPCAP(f); err != nil {
+		log.Fatal(err)
+	}
+
+	first, last := analyzer.CaptureWindow()
+	fmt.Printf("Capture: %d packets (%d IEC 104), window %s .. %s, parse errors %d\n\n",
+		analyzer.Packets, analyzer.IECPackets,
+		first.Format("2006-01-02 15:04:05"), last.Format("15:04:05"), analyzer.ParseErrors)
+	if analyzer.SeqAnomalies > 0 {
+		fmt.Printf("IEC 104 sequence anomalies: %d\n\n", analyzer.SeqAnomalies)
+	}
+
+	want := map[string]bool{}
+	for _, r := range strings.Split(*reports, ",") {
+		want[strings.TrimSpace(r)] = true
+	}
+
+	if want["flows"] {
+		printFlows(analyzer)
+	}
+	if want["compliance"] {
+		printCompliance(analyzer)
+	}
+	if want["clusters"] {
+		printClusters(analyzer)
+	}
+	if want["markov"] {
+		printMarkov(analyzer)
+	}
+	if want["types"] {
+		fmt.Println("== ASDU type distribution (Table 7) ==")
+		fmt.Println(core.FormatTypeTable(analyzer.TypeDistribution()))
+	}
+	if want["physical"] {
+		printPhysical(analyzer)
+	}
+	if want["timing"] {
+		printTiming(analyzer)
+	}
+}
+
+func printTiming(a *core.Analyzer) {
+	fmt.Println("== recovered reporting periods (timing characteristics) ==")
+	for _, st := range a.StationTimings(20) {
+		periods := "spontaneous-only"
+		if len(st.Periods) > 0 {
+			parts := make([]string, len(st.Periods))
+			for i, p := range st.Periods {
+				parts[i] = fmt.Sprintf("%.1fs", p)
+			}
+			periods = strings.Join(parts, ", ")
+		}
+		fmt.Printf("%-6s cycles=[%s] periodic=%d spontaneous=%d\n",
+			st.Station, periods, st.PeriodicPoints, st.SpontaneousPoints)
+	}
+}
+
+func printFlows(a *core.Analyzer) {
+	rep := a.FlowAnalysis()
+	s := rep.Summary
+	fmt.Println("== TCP flow analysis (Table 3) ==")
+	fmt.Printf("short-lived: %d (%.1f%%), of which <1s: %d (%.1f%%)\n",
+		s.ShortLived, 100*s.ShortProportion(), s.ShortLivedSubSec, 100*s.SubSecProportion())
+	fmt.Printf("long-lived:  %d (%.1f%%)\n\n", s.LongLived, 100*s.LongProportion())
+}
+
+func printCompliance(a *core.Analyzer) {
+	rep := a.Compliance()
+	fmt.Println("== IEC 104 compliance (§6.1) ==")
+	if len(rep.NonCompliant) == 0 {
+		fmt.Println("all endpoints standard-compliant")
+	}
+	for _, sc := range rep.Stations {
+		if !sc.NonCompliant() {
+			continue
+		}
+		fmt.Printf("%-16s dialect=%-13s frames=%d strict-invalid=%d\n",
+			sc.Name, sc.Profile, sc.Frames, sc.StrictInvalid)
+	}
+	fmt.Println()
+}
+
+func printClusters(a *core.Analyzer) {
+	fmt.Println("== Session clustering (Fig. 10/11) ==")
+	rep, err := a.ClusterSessions(5, 1202)
+	if err != nil {
+		fmt.Printf("(skipped: %v)\n\n", err)
+		return
+	}
+	fmt.Printf("sessions=%d K=%d SSE=%.1f silhouette=%.3f sizes=%v\n",
+		len(rep.Features), rep.K, rep.SSE, rep.Sil, rep.Sizes)
+	fmt.Printf("outlier cluster: %s\n\n", strings.Join(rep.Outliers, ", "))
+}
+
+func printMarkov(a *core.Analyzer) {
+	rep := a.MarkovChains()
+	fmt.Println("== Markov chains (Fig. 13) ==")
+	fmt.Printf("connections=%d point(1,1)=%d square=%d ellipse=%d\n",
+		len(rep.Chains), len(rep.Point11), len(rep.Square), len(rep.Ellipse))
+	if len(rep.Point11) > 0 {
+		fmt.Printf("reset backups: %s\n", strings.Join(rep.Point11, ", "))
+	}
+	if len(rep.Ellipse) > 0 {
+		fmt.Printf("interrogating: %s\n", strings.Join(rep.Ellipse, ", "))
+	}
+	fmt.Println("\n== Outstation classification (Table 6 / Fig. 17) ==")
+	for _, c := range rep.Classes {
+		fmt.Printf("%-16s Type%d\n", c.Outstation, c.Type)
+	}
+	fmt.Printf("distribution (types 1-8): %v\n\n", rep.Distribution[1:])
+}
+
+func printPhysical(a *core.Analyzer) {
+	fmt.Println("== Physical measurements (§6.4) ==")
+	st := a.Physical()
+	fmt.Printf("series extracted: %d\n", len(st.All()))
+	fmt.Println("top normalized-variance series:")
+	for i, s := range st.Ranked(10) {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %-14s %-10s nvar=%.4g samples=%d\n",
+			s.Key, s.Type.Acronym(), s.NormalizedVariance(), len(s.Samples))
+	}
+}

@@ -1,0 +1,3 @@
+module uncharted
+
+go 1.22

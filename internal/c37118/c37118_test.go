@@ -1,0 +1,207 @@
+package c37118
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testConfig() *Config {
+	return &Config{
+		IDCode: 7,
+		Time:   time.Date(2026, 7, 5, 10, 0, 0, 250e6, time.UTC),
+		PMUs: []PMUConfig{
+			{
+				StationName:      "PMU-NORTH",
+				IDCode:           71,
+				PhasorNames:      []string{"VA", "VB", "IA"},
+				NominalFreq:      60,
+				ConversionFactor: 0.01,
+			},
+			{
+				StationName:      "PMU-SOUTH",
+				IDCode:           72,
+				PhasorNames:      []string{"VA"},
+				NominalFreq:      60,
+				ConversionFactor: 0.01,
+			},
+		},
+		DataRate: 30,
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	raw, err := cfg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseConfig(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IDCode != 7 || len(got.PMUs) != 2 || got.DataRate != 30 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.PMUs[0].StationName != "PMU-NORTH" || got.PMUs[0].IDCode != 71 {
+		t.Fatalf("PMU 0: %+v", got.PMUs[0])
+	}
+	if len(got.PMUs[0].PhasorNames) != 3 || got.PMUs[0].PhasorNames[2] != "IA" {
+		t.Fatalf("phasor names %v", got.PMUs[0].PhasorNames)
+	}
+	if got.PMUs[0].NominalFreq != 60 {
+		t.Fatalf("fnom %d", got.PMUs[0].NominalFreq)
+	}
+	if math.Abs(got.PMUs[0].ConversionFactor-0.01) > 1e-9 {
+		t.Fatalf("factor %v", got.PMUs[0].ConversionFactor)
+	}
+	if !got.Time.Equal(cfg.Time.Truncate(time.Microsecond)) {
+		t.Fatalf("time %v", got.Time)
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	d := &Data{
+		IDCode: 7,
+		Time:   time.Date(2026, 7, 5, 10, 0, 1, 0, time.UTC),
+		PMUs: []PMUData{
+			{
+				Stat: 0,
+				Phasors: []Phasor{
+					{Name: "VA", Magnitude: 132.8, AngleRad: 0.1},
+					{Name: "VB", Magnitude: 132.1, AngleRad: -2.0},
+					{Name: "IA", Magnitude: 45.0, AngleRad: 0.4},
+				},
+				Freq:  60.012,
+				ROCOF: -0.02,
+			},
+			{
+				Stat:    0,
+				Phasors: []Phasor{{Name: "VA", Magnitude: 131.0, AngleRad: 1.2}},
+				Freq:    59.995,
+				ROCOF:   0.01,
+			},
+		},
+	}
+	raw, err := d.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseData(raw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PMUs) != 2 {
+		t.Fatalf("%d PMUs", len(got.PMUs))
+	}
+	p0 := got.PMUs[0]
+	if math.Abs(p0.Phasors[0].Magnitude-132.8) > 0.2 {
+		t.Fatalf("magnitude %v", p0.Phasors[0].Magnitude)
+	}
+	if math.Abs(p0.Phasors[1].AngleRad+2.0) > 0.01 {
+		t.Fatalf("angle %v", p0.Phasors[1].AngleRad)
+	}
+	if math.Abs(p0.Freq-60.012) > 0.0005 {
+		t.Fatalf("freq %v", p0.Freq)
+	}
+	if math.Abs(p0.ROCOF+0.02) > 0.005 {
+		t.Fatalf("rocof %v", p0.ROCOF)
+	}
+}
+
+func TestCRCDetection(t *testing.T) {
+	cfg := testConfig()
+	raw, err := cfg.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[20] ^= 0xFF
+	if _, err := ParseConfig(raw); err == nil {
+		t.Fatal("corrupted frame accepted")
+	}
+}
+
+func TestPeekFrame(t *testing.T) {
+	cfg := testConfig()
+	raw, _ := cfg.Marshal()
+	info, err := PeekFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Type != FrameConfig2 || info.FrameSize != len(raw) || info.IDCode != 7 {
+		t.Fatalf("info %+v (len %d)", info, len(raw))
+	}
+	if _, err := PeekFrame(raw[:5]); err == nil {
+		t.Fatal("short peek accepted")
+	}
+	bad := append([]byte{}, raw...)
+	bad[0] = 0x68
+	if _, err := PeekFrame(bad); err == nil {
+		t.Fatal("bad sync accepted")
+	}
+}
+
+func TestMismatchedShapesRejected(t *testing.T) {
+	cfg := testConfig()
+	d := &Data{IDCode: 7, Time: time.Now(), PMUs: []PMUData{{}}}
+	if _, err := d.Marshal(cfg); err == nil {
+		t.Fatal("PMU count mismatch accepted")
+	}
+	d = &Data{IDCode: 7, Time: time.Now(), PMUs: []PMUData{
+		{Phasors: []Phasor{{}}}, {Phasors: []Phasor{{}}},
+	}}
+	if _, err := d.Marshal(cfg); err == nil {
+		t.Fatal("phasor count mismatch accepted")
+	}
+	if _, err := (&Config{IDCode: 1}).Marshal(); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestDataQuick(t *testing.T) {
+	cfg := &Config{
+		IDCode: 1, Time: time.Unix(1700000000, 0).UTC(),
+		PMUs: []PMUConfig{{
+			StationName: "P", IDCode: 2, PhasorNames: []string{"VA"},
+			NominalFreq: 60, ConversionFactor: 0.01,
+		}},
+		DataRate: 30,
+	}
+	check := func(magRaw uint16, angleRaw uint8, freqDev int16) bool {
+		mag := float64(magRaw%30000) * 0.01
+		angle := (float64(angleRaw)/255 - 0.5) * math.Pi
+		freq := 60 + float64(freqDev%500)/1000
+		d := &Data{IDCode: 1, Time: time.Unix(1700000001, 0).UTC(), PMUs: []PMUData{{
+			Phasors: []Phasor{{Name: "VA", Magnitude: mag, AngleRad: angle}},
+			Freq:    freq,
+		}}}
+		raw, err := d.Marshal(cfg)
+		if err != nil {
+			return false
+		}
+		got, err := ParseData(raw, cfg)
+		if err != nil {
+			return false
+		}
+		ph := got.PMUs[0].Phasors[0]
+		if math.Abs(ph.Magnitude-mag) > 0.02+mag*0.001 {
+			return false
+		}
+		if mag > 1 && math.Abs(ph.AngleRad-angle) > 0.01 {
+			return false
+		}
+		return math.Abs(got.PMUs[0].Freq-freq) < 0.0015
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRCCCITTKnownValue(t *testing.T) {
+	// Standard CRC-CCITT (FFFF) test vector: "123456789" -> 0x29B1.
+	if got := crcCCITT([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("crc = %#04x, want 0x29B1", got)
+	}
+}

@@ -1,0 +1,31 @@
+package c37118
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseNeverPanicsOnRandomBytes: synchrophasor frames come off the
+// same tap; garbage must fail cleanly.
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := &Config{
+		IDCode: 1,
+		PMUs: []PMUConfig{{StationName: "P", IDCode: 2,
+			PhasorNames: []string{"VA"}, NominalFreq: 60, ConversionFactor: 0.01}},
+		DataRate: 30,
+	}
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(96)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = byte(rng.Intn(256))
+		}
+		if n > 0 && rng.Intn(2) == 0 {
+			buf[0] = SyncByte
+		}
+		_, _ = PeekFrame(buf)
+		_, _ = ParseConfig(buf)
+		_, _ = ParseData(buf, cfg)
+	}
+}

@@ -1,0 +1,274 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// threeBlobs builds well-separated clusters for deterministic tests.
+func threeBlobs(rng *rand.Rand, per int) ([][]float64, []int) {
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	var pts [][]float64
+	var labels []int
+	for ci, c := range centers {
+		for i := 0; i < per; i++ {
+			pts = append(pts, []float64{
+				c[0] + rng.NormFloat64()*0.5,
+				c[1] + rng.NormFloat64()*0.5,
+			})
+			labels = append(labels, ci)
+		}
+	}
+	return pts, labels
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts, labels := threeBlobs(rng, 30)
+	res, err := KMeans(pts, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the label → cluster mapping from the first point of each
+	// blob, then verify consistency.
+	mapping := map[int]int{}
+	for i, l := range labels {
+		if _, ok := mapping[l]; !ok {
+			mapping[l] = res.Assign[i]
+		}
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("mapping %v", mapping)
+	}
+	for i, l := range labels {
+		if res.Assign[i] != mapping[l] {
+			t.Fatalf("point %d assigned %d, want %d", i, res.Assign[i], mapping[l])
+		}
+	}
+	sizes := res.Sizes()
+	for c, n := range sizes {
+		if n != 30 {
+			t.Fatalf("cluster %d size %d", c, n)
+		}
+	}
+	if res.SSE <= 0 || res.SSE > 200 {
+		t.Fatalf("SSE %v", res.SSE)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := KMeans(nil, 2, rng); err == nil {
+		t.Error("empty points accepted")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeans(pts, 0, rng); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(pts, 3, rng); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {2, 3}}, 1, rng); err == nil {
+		t.Error("ragged points accepted")
+	}
+}
+
+func TestKMeansK1(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := [][]float64{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
+	res, err := KMeans(pts, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Centroids[0][0]-1) > 1e-9 || math.Abs(res.Centroids[0][1]-1) > 1e-9 {
+		t.Fatalf("centroid %v", res.Centroids[0])
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	pts, _ := threeBlobs(rand.New(rand.NewSource(3)), 20)
+	a, err := KMeans(pts, 3, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pts, 3, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SSE != b.SSE {
+		t.Fatalf("SSE differs: %v vs %v", a.SSE, b.SSE)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("assignments differ")
+		}
+	}
+}
+
+func TestSilhouetteSeparatedVsMerged(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts, labels := threeBlobs(rng, 20)
+	good, err := Silhouette(pts, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good < 0.8 {
+		t.Fatalf("well-separated blobs scored %v", good)
+	}
+	// A deliberately wrong 2-cluster split scores worse.
+	bad := make([]int, len(pts))
+	for i := range bad {
+		bad[i] = i % 2
+	}
+	worse, err := Silhouette(pts, bad, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse >= good {
+		t.Fatalf("random split %v >= true split %v", worse, good)
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	if _, err := Silhouette(nil, nil, 2); err == nil {
+		t.Error("empty accepted")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := Silhouette(pts, []int{0}, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Silhouette(pts, []int{0, 1}, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Silhouette(pts, []int{0, 5}, 2); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+}
+
+func TestExplainedVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts, _ := threeBlobs(rng, 20)
+	res, err := KMeans(pts, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := ExplainedVariance(pts, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev < 0.95 {
+		t.Fatalf("explained variance %v for perfect blobs", ev)
+	}
+}
+
+func TestSweepFindsK3(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts, _ := threeBlobs(rng, 25)
+	elbow, bestK, err := Sweep(pts, 6, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestK != 3 {
+		t.Fatalf("bestK = %d, want 3 (%+v)", bestK, elbow)
+	}
+	// SSE must be non-increasing in k (allowing tiny numerical slack).
+	for i := 1; i < len(elbow); i++ {
+		if elbow[i].SSE > elbow[i-1].SSE*1.05 {
+			t.Fatalf("SSE not shrinking: %+v", elbow)
+		}
+	}
+}
+
+func TestKMeansPlusPlusBeatsNaiveSeeding(t *testing.T) {
+	// Adversarial data: naive first-k seeding starts all centroids in
+	// the same blob; K-means++ spreads them out. Compare average SSE.
+	rng := rand.New(rand.NewSource(8))
+	pts, _ := threeBlobs(rng, 30)
+	naive, err := KMeansWithSeeds(pts, SeedNaive(pts, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := KMeans(pts, 3, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.SSE > naive.SSE {
+		t.Fatalf("k-means++ SSE %v worse than naive %v", pp.SSE, naive.SSE)
+	}
+}
+
+func TestPCAAxisAligned(t *testing.T) {
+	// Data varying mostly along x: first component ≈ (±1, 0).
+	rng := rand.New(rand.NewSource(10))
+	var pts [][]float64
+	for i := 0; i < 300; i++ {
+		pts = append(pts, []float64{rng.NormFloat64() * 5, rng.NormFloat64() * 0.3})
+	}
+	res, err := PCA(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Components[0][0]) < 0.99 {
+		t.Fatalf("first component %v not x-aligned", res.Components[0])
+	}
+	if res.Eigenvalues[0] < res.Eigenvalues[1] {
+		t.Fatal("eigenvalues not sorted")
+	}
+	if ve := res.VarianceExplained(1); ve < 0.95 {
+		t.Fatalf("first component explains %v", ve)
+	}
+}
+
+func TestPCAProjectionPreservesSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts, labels := threeBlobs(rng, 20)
+	// Embed in 5-D with noise dims (like the paper's 5 features).
+	var hi [][]float64
+	for _, p := range pts {
+		hi = append(hi, []float64{p[0], p[1], rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1, 0})
+	}
+	res, err := PCA(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj := res.Project(hi, 2)
+	if len(proj) != len(hi) || len(proj[0]) != 2 {
+		t.Fatalf("projection shape %dx%d", len(proj), len(proj[0]))
+	}
+	// Blob structure must survive: the 2-D silhouette stays high.
+	sil, err := Silhouette(proj, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sil < 0.8 {
+		t.Fatalf("projected silhouette %v", sil)
+	}
+}
+
+func TestPCAOrthonormalComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var pts [][]float64
+	for i := 0; i < 100; i++ {
+		pts = append(pts, []float64{rng.Float64(), rng.Float64() * 3, rng.Float64() * 0.5})
+	}
+	res, err := PCA(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Components {
+		for j := range res.Components {
+			var dot float64
+			for k := range res.Components[i] {
+				dot += res.Components[i][k] * res.Components[j][k]
+			}
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(dot-want) > 1e-6 {
+				t.Fatalf("components %d·%d = %v", i, j, dot)
+			}
+		}
+	}
+}

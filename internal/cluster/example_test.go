@@ -1,0 +1,42 @@
+package cluster_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"uncharted/internal/cluster"
+)
+
+// Cluster session feature vectors with K-means++ and check the model
+// with the silhouette score, as the paper does for Fig. 10.
+func ExampleKMeans() {
+	// Two obvious behaviours: chatty I-reporters and slow keep-alives.
+	points := [][]float64{
+		{0.5, 2000, 0.99}, {0.6, 1800, 0.98}, {0.4, 2100, 0.99},
+		{30, 50, 0.01}, {29, 48, 0.02}, {31, 52, 0.01},
+	}
+	res, err := cluster.KMeans(points, 2, rand.New(rand.NewSource(1)))
+	if err != nil {
+		panic(err)
+	}
+	sil, err := cluster.Silhouette(points, res.Assign, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sizes=%v silhouette>0.9: %t\n", res.Sizes(), sil > 0.9)
+	// Output: sizes=[3 3] silhouette>0.9: true
+}
+
+// Project high-dimensional features to 2-D for plotting, as the
+// paper's PCA visualisation does.
+func ExamplePCA() {
+	points := [][]float64{
+		{1, 10, 0}, {2, 20, 0}, {3, 30, 0}, {4, 40, 0}, {5, 50, 0},
+	}
+	res, err := cluster.PCA(points)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("first component explains %.0f%% of variance\n", 100*res.VarianceExplained(1))
+	// Output: first component explains 100% of variance
+}

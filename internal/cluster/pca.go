@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+)
+
+// PCAResult holds the principal components of a data matrix.
+type PCAResult struct {
+	// Components is the orthonormal basis, one row per component,
+	// ordered by decreasing eigenvalue.
+	Components [][]float64
+	// Eigenvalues of the covariance matrix, same order.
+	Eigenvalues []float64
+	// Mean of the input columns (subtracted before projection).
+	Mean []float64
+}
+
+// VarianceExplained returns the fraction of variance captured by the
+// first n components.
+func (p *PCAResult) VarianceExplained(n int) float64 {
+	var total, head float64
+	for i, v := range p.Eigenvalues {
+		total += v
+		if i < n {
+			head += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return head / total
+}
+
+// Project maps points onto the first n principal components.
+func (p *PCAResult) Project(points [][]float64, n int) [][]float64 {
+	if n > len(p.Components) {
+		n = len(p.Components)
+	}
+	out := make([][]float64, len(points))
+	for i, pt := range points {
+		row := make([]float64, n)
+		for c := 0; c < n; c++ {
+			var dot float64
+			for j := range pt {
+				dot += (pt[j] - p.Mean[j]) * p.Components[c][j]
+			}
+			row[c] = dot
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// PCA computes principal components via Jacobi eigendecomposition of
+// the covariance matrix — dimension counts here are tiny (the paper
+// uses five session features), so the classic O(d³) sweep is plenty.
+func PCA(points [][]float64) (*PCAResult, error) {
+	dim, err := checkPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(len(points))
+	mean := make([]float64, dim)
+	for _, p := range points {
+		for j, v := range p {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= n
+	}
+	// Covariance matrix.
+	cov := make([][]float64, dim)
+	for i := range cov {
+		cov[i] = make([]float64, dim)
+	}
+	for _, p := range points {
+		for i := 0; i < dim; i++ {
+			di := p[i] - mean[i]
+			for j := i; j < dim; j++ {
+				cov[i][j] += di * (p[j] - mean[j])
+			}
+		}
+	}
+	for i := 0; i < dim; i++ {
+		for j := i; j < dim; j++ {
+			cov[i][j] /= n
+			cov[j][i] = cov[i][j]
+		}
+	}
+	vals, vecs, err := jacobiEigen(cov)
+	if err != nil {
+		return nil, err
+	}
+	// Sort by decreasing eigenvalue.
+	order := make([]int, dim)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < dim; i++ {
+		for j := i + 1; j < dim; j++ {
+			if vals[order[j]] > vals[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	res := &PCAResult{Mean: mean}
+	for _, idx := range order {
+		comp := make([]float64, dim)
+		for r := 0; r < dim; r++ {
+			comp[r] = vecs[r][idx] // eigenvectors are columns
+		}
+		res.Components = append(res.Components, comp)
+		v := vals[idx]
+		if v < 0 && v > -1e-12 {
+			v = 0 // numerical noise
+		}
+		res.Eigenvalues = append(res.Eigenvalues, v)
+	}
+	return res, nil
+}
+
+// jacobiEigen diagonalises a symmetric matrix with cyclic Jacobi
+// rotations, returning eigenvalues and the accumulated rotation matrix
+// (eigenvectors as columns).
+func jacobiEigen(a [][]float64) ([]float64, [][]float64, error) {
+	n := len(a)
+	// Work on a copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+		if len(a[i]) != n {
+			return nil, nil, errors.New("cluster: jacobi needs a square matrix")
+		}
+	}
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-30 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply the rotation to m.
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m[i][i]
+	}
+	return vals, v, nil
+}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"uncharted/internal/iec104"
+	"uncharted/internal/scadasim"
+	"uncharted/internal/topology"
+)
+
+// analyzeYear generates a small capture and runs the full pipeline.
+// The result is cached per year because the simulation dominates test
+// time.
+var cache = map[topology.Year]*Analyzer{}
+
+func analyzeYear(t testing.TB, year topology.Year) *Analyzer {
+	if a, ok := cache[year]; ok {
+		return a
+	}
+	cfg := scadasim.DefaultConfig(year, 11)
+	cfg.Duration = 6 * time.Minute
+	cfg.CyclePeriod = 2 * time.Minute
+	sim, err := scadasim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(NamesFromTopology(sim.Network()))
+	if err := a.ReadPCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cache[year] = a
+	return a
+}
+
+func TestPipelineIngestsEverything(t *testing.T) {
+	a := analyzeYear(t, topology.Y1)
+	if a.Packets == 0 || a.IECPackets == 0 {
+		t.Fatalf("packets=%d iec=%d", a.Packets, a.IECPackets)
+	}
+	if a.ParseErrors > a.IECPackets/100 {
+		t.Fatalf("%d parse errors out of %d IEC packets", a.ParseErrors, a.IECPackets)
+	}
+	if a.totalASDUs == 0 {
+		t.Fatal("no ASDUs decoded")
+	}
+}
+
+func TestFlowShapesMatchPaper(t *testing.T) {
+	// Table 3, Y1: short-lived flows dominate (74.4%) and nearly all
+	// of them are sub-second (99.8%). We assert the shape, not the
+	// absolute counts.
+	rep := analyzeYear(t, topology.Y1).FlowAnalysis()
+	s := rep.Summary
+	if s.Total() == 0 {
+		t.Fatal("no flows")
+	}
+	if p := s.ShortProportion(); p < 0.55 || p > 0.9 {
+		t.Errorf("Y1 short-lived proportion %.3f, want ~0.74", p)
+	}
+	if p := s.SubSecProportion(); p < 0.95 {
+		t.Errorf("Y1 sub-second proportion %.3f, want ~0.998", p)
+	}
+	if p := s.LongProportion(); p < 0.1 || p > 0.45 {
+		t.Errorf("Y1 long-lived proportion %.3f, want ~0.256", p)
+	}
+	if len(rep.DurationHistogram) == 0 {
+		t.Error("no duration histogram")
+	}
+}
+
+func TestFlowShapesY2(t *testing.T) {
+	// Table 3, Y2: short-lived share rises to ~93.8%, long-lived drops
+	// to ~6.2%, and the over-one-second share of short flows grows to
+	// ~6.5%.
+	s := analyzeYear(t, topology.Y2).FlowAnalysis().Summary
+	if p := s.ShortProportion(); p < 0.85 {
+		t.Errorf("Y2 short-lived proportion %.3f, want ~0.938", p)
+	}
+	if p := s.SubSecProportion(); p < 0.8 || p > 0.99 {
+		t.Errorf("Y2 sub-second proportion %.3f, want ~0.935", p)
+	}
+	y1 := analyzeYear(t, topology.Y1).FlowAnalysis().Summary
+	if s.LongProportion() >= y1.LongProportion() {
+		t.Errorf("Y2 long-lived proportion %.3f not below Y1's %.3f",
+			s.LongProportion(), y1.LongProportion())
+	}
+}
+
+func TestComplianceFindsLegacyStations(t *testing.T) {
+	rep := analyzeYear(t, topology.Y1).Compliance()
+	nc := strings.Join(rep.NonCompliant, ",")
+	// Y1 legacy stations: O37 (IOA16) and O28 (COT8).
+	for _, want := range []string{"O37", "O28"} {
+		if !strings.Contains(nc, want) {
+			t.Errorf("non-compliant list %q missing %s", nc, want)
+		}
+	}
+	for _, sc := range rep.Stations {
+		switch sc.Name {
+		case "O37":
+			if sc.Profile != iec104.LegacyIOA {
+				t.Errorf("O37 profile %v", sc.Profile)
+			}
+			if sc.StrictInvalid == 0 {
+				t.Error("O37 strict-invalid count is zero")
+			}
+		case "O28":
+			if sc.Profile != iec104.LegacyCOT {
+				t.Errorf("O28 profile %v", sc.Profile)
+			}
+		case "O1":
+			if sc.NonCompliant() {
+				t.Error("O1 flagged non-compliant")
+			}
+		}
+	}
+}
+
+func TestComplianceY2LegacyStations(t *testing.T) {
+	rep := analyzeYear(t, topology.Y2).Compliance()
+	nc := strings.Join(rep.NonCompliant, ",")
+	for _, want := range []string{"O37", "O53", "O58"} {
+		if !strings.Contains(nc, want) {
+			t.Errorf("Y2 non-compliant list %q missing %s", nc, want)
+		}
+	}
+	if strings.Contains(nc, "O28") {
+		t.Error("O28 present in Y2 but was removed")
+	}
+}
+
+func TestMarkovReportShapes(t *testing.T) {
+	rep := analyzeYear(t, topology.Y1).MarkovChains()
+	if len(rep.Chains) == 0 {
+		t.Fatal("no chains")
+	}
+	// Point (1,1): the reset backups. C2-O30 must be there; C1-O5..O9
+	// too.
+	p11 := strings.Join(rep.Point11, ",")
+	for _, want := range []string{"C2-O30", "C1-O5", "C1-O7", "C2-O28"} {
+		if !strings.Contains(p11, want) {
+			t.Errorf("point(1,1) %q missing %s", p11, want)
+		}
+	}
+	// The ellipse must contain the switchover stations.
+	el := strings.Join(rep.Ellipse, ",")
+	for _, want := range []string{"O20", "O29"} {
+		if !strings.Contains(el, want) {
+			t.Errorf("ellipse %q missing %s", el, want)
+		}
+	}
+	if len(rep.Square) == 0 {
+		t.Error("square cluster empty")
+	}
+}
+
+func TestOutstationClassification(t *testing.T) {
+	rep := analyzeYear(t, topology.Y1).MarkovChains()
+	byName := map[string]int{}
+	for _, c := range rep.Classes {
+		byName[c.Outstation] = c.Type
+	}
+	cases := map[string]int{
+		"O1":  1, // primary only
+		"O4":  2, // ideal
+		"O11": 3, // backup RTU
+		"O40": 5, // stale spontaneous
+		"O5":  6, // refused secondary
+		"O7":  7, // reset backup
+		"O29": 8, // switchover
+	}
+	for name, want := range cases {
+		if got := byName[name]; got != want {
+			t.Errorf("%s classified Type%d, want Type%d", name, got, want)
+		}
+	}
+	// Fig. 17: Type 3 is the most common class.
+	dist := rep.Distribution
+	maxType, maxN := 0, -1
+	for ty := 1; ty <= 8; ty++ {
+		if dist[ty] > maxN {
+			maxType, maxN = ty, dist[ty]
+		}
+	}
+	if maxType != 3 {
+		t.Errorf("most common class Type%d (dist %v), want Type3", maxType, dist)
+	}
+}
+
+func TestTypeDistributionShape(t *testing.T) {
+	a := analyzeYear(t, topology.Y1)
+	shares := a.TypeDistribution()
+	if len(shares) < 6 {
+		t.Fatalf("only %d type IDs observed", len(shares))
+	}
+	// Table 7: I36 and I13 dominate (together ~97%).
+	top2 := map[iec104.TypeID]bool{shares[0].Type: true, shares[1].Type: true}
+	if !top2[iec104.MMeTf] || !top2[iec104.MMeNc] {
+		t.Errorf("top types %v and %v, want I36 and I13", shares[0].Type, shares[1].Type)
+	}
+	if sum := shares[0].Percent + shares[1].Percent; sum < 80 {
+		t.Errorf("top-2 share %.1f%%, want dominant (~97%%)", sum)
+	}
+	// I100 must be present but rare.
+	for _, s := range shares {
+		if s.Type == iec104.CIcNa && s.Percent > 2 {
+			t.Errorf("I100 share %.3f%%, want rare", s.Percent)
+		}
+	}
+	if txt := FormatTypeTable(shares); !strings.Contains(txt, "M_ME_TF_1") {
+		t.Error("formatted table missing I36 acronym")
+	}
+}
+
+func TestClusterSessions(t *testing.T) {
+	a := analyzeYear(t, topology.Y1)
+	rep, err := a.ClusterSessions(5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.K != 5 || len(rep.Assign) != len(rep.Features) {
+		t.Fatalf("report shape: %d assigns, %d features", len(rep.Assign), len(rep.Features))
+	}
+	if len(rep.Projected) != len(rep.Features) || len(rep.Projected[0]) != 2 {
+		t.Fatal("PCA projection shape wrong")
+	}
+	nonEmpty := 0
+	for _, n := range rep.Sizes {
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 4 {
+		t.Fatalf("only %d non-empty clusters", nonEmpty)
+	}
+	// The outlier cluster should contain the C2→O30 or C4↔O22
+	// sessions (the paper's cluster 0).
+	outliers := strings.Join(rep.Outliers, ",")
+	if !strings.Contains(outliers, "O30") && !strings.Contains(outliers, "O22") {
+		t.Errorf("outlier cluster %q does not contain O30 or O22", outliers)
+	}
+	if len(rep.Elbow) == 0 {
+		t.Error("no elbow sweep")
+	}
+}
+
+func TestPhysicalExtraction(t *testing.T) {
+	a := analyzeYear(t, topology.Y1)
+	st := a.Physical()
+	if len(st.All()) == 0 {
+		t.Fatal("no physical series extracted")
+	}
+	// The AGC stations must show command-direction setpoint series.
+	var sawSetpoint bool
+	for _, s := range st.All() {
+		if s.Command && s.Type == iec104.CSeNc {
+			sawSetpoint = true
+			break
+		}
+	}
+	if !sawSetpoint {
+		t.Error("no AGC setpoint series extracted")
+	}
+	// Table 8: station counts per type. I36 and I13 must come from
+	// many stations.
+	counts := st.TypeStations()
+	if counts[iec104.MMeTf] < 5 {
+		t.Errorf("I36 stations = %d", counts[iec104.MMeTf])
+	}
+	if counts[iec104.MMeNc] < 5 {
+		t.Errorf("I13 stations = %d", counts[iec104.MMeNc])
+	}
+}
+
+func TestObservedTypeSubset(t *testing.T) {
+	// The paper observed 13 of 54 type IDs; our traces should observe
+	// a similar small subset (10-16).
+	a := analyzeYear(t, topology.Y1)
+	n := a.ObservedTypeCount()
+	if n < 8 || n > 20 {
+		t.Errorf("observed %d type IDs, want a paper-like subset", n)
+	}
+}
+
+func TestCaptureWindow(t *testing.T) {
+	a := analyzeYear(t, topology.Y1)
+	first, last := a.CaptureWindow()
+	if !first.Before(last) {
+		t.Fatalf("window %v..%v", first, last)
+	}
+	if d := last.Sub(first); d < 4*time.Minute || d > 8*time.Minute {
+		t.Fatalf("window %v, want ~6 minutes", d)
+	}
+}
+
+func TestExtendedFeaturesAndSelection(t *testing.T) {
+	a := analyzeYear(t, topology.Y1)
+	feats := a.ExtendedSessionFeatures()
+	if len(feats) == 0 {
+		t.Fatal("no extended features")
+	}
+	for _, f := range feats[:3] {
+		if len(f.Values) != len(AllFeatureNames) {
+			t.Fatalf("feature row has %d values", len(f.Values))
+		}
+		if f.Values[FeatPctI]+f.Values[FeatPctS]+f.Values[FeatPctU] > 1.0001 {
+			t.Fatalf("format percentages exceed 1: %+v", f.Values)
+		}
+	}
+	// Sessions from servers carry direction 1; ones from outstations 0.
+	var sawDir0, sawDir1 bool
+	for _, f := range feats {
+		switch f.Values[FeatDirection] {
+		case 0:
+			sawDir0 = true
+		case 1:
+			sawDir1 = true
+		}
+	}
+	if !sawDir0 || !sawDir1 {
+		t.Error("direction feature not populated for both directions")
+	}
+
+	scores, err := a.SelectFeatures(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(AllFeatureNames) {
+		t.Fatalf("%d scores", len(scores))
+	}
+	selected := map[FeatureName]bool{}
+	n := 0
+	for _, s := range scores {
+		if s.Selected {
+			selected[s.Name] = true
+			n++
+		}
+		if s.Silhouette < 0 || s.Silhouette > 1 {
+			t.Errorf("%s silhouette %v out of range", s.Name, s.Silhouette)
+		}
+	}
+	if n != 5 {
+		t.Fatalf("selected %d features, want 5", n)
+	}
+	// The paper's winners included the format percentages; at least
+	// two of them must survive selection here too.
+	kept := 0
+	for _, f := range []FeatureName{FeatPctI, FeatPctS, FeatPctU, FeatMeanInterArr, FeatTotalPackets} {
+		if selected[f] {
+			kept++
+		}
+	}
+	if kept < 3 {
+		t.Errorf("only %d of the paper's five features selected: %v", kept, selected)
+	}
+}
+
+func TestPointTimingsRecoverConfiguredPeriods(t *testing.T) {
+	a := analyzeYear(t, topology.Y1)
+	stations := a.StationTimings(20)
+	if len(stations) == 0 {
+		t.Fatal("no station timings")
+	}
+	byName := map[string]StationTiming{}
+	for _, st := range stations {
+		byName[st.Station] = st
+	}
+	// O29 (a "modern" generator RTU) reports every point at 2s; the
+	// capture alone must recover that cycle.
+	o29, ok := byName["O29"]
+	if !ok {
+		t.Fatal("O29 missing from timings")
+	}
+	found := false
+	for _, p := range o29.Periods {
+		if p > 1.7 && p < 2.4 {
+			found = true
+		}
+	}
+	if !found || o29.PeriodicPoints == 0 {
+		t.Fatalf("O29 2s cycle not recovered: %+v", o29)
+	}
+	// The Type 5 stale-data outstation (O40) is spontaneous-only:
+	// no point may look periodic.
+	if o40, ok := byName["O40"]; ok {
+		if o40.PeriodicPoints > 0 {
+			t.Fatalf("O40 reported periodic points: %+v", o40)
+		}
+	}
+}
+
+func TestSequenceContinuity(t *testing.T) {
+	// Synthesized traffic carries continuous N(S) per connection;
+	// the analyzer must not invent anomalies.
+	a := analyzeYear(t, topology.Y1)
+	if a.SeqAnomalies > a.IECPackets/200 {
+		t.Fatalf("%d sequence anomalies on clean traffic (%d IEC packets)",
+			a.SeqAnomalies, a.IECPackets)
+	}
+}

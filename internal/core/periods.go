@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sort"
+
+	"uncharted/internal/physical"
+	"uncharted/internal/stats"
+)
+
+// PointTiming is the recovered reporting behaviour of one monitored
+// point: cyclic points expose their configured period through the
+// capture's timestamps alone; spontaneous points do not.
+type PointTiming struct {
+	Key physical.SeriesKey
+	// Periodic is true when a dominant reporting period was found.
+	Periodic bool
+	// PeriodSeconds is the recovered cycle (0 when not periodic).
+	PeriodSeconds float64
+	// Strength is the fraction of gaps at the dominant period.
+	Strength float64
+	// CV is the coefficient of variation of the gaps: near 0 for
+	// clean cycles, large for event-driven reporting.
+	CV      float64
+	Samples int
+}
+
+// PointTimings recovers the reporting behaviour of every monitor-
+// direction point with at least minSamples reports. This is the
+// "timing characteristics" analysis of §6: without reading a single
+// configuration file, the tap reveals each RTU's scan rates — and the
+// Type 5 outstation stands out because nothing about it is periodic.
+func (a *Analyzer) PointTimings(minSamples int) []PointTiming {
+	var out []PointTiming
+	for _, s := range a.store.All() {
+		if s.Command || len(s.Samples) < minSamples {
+			continue
+		}
+		gaps := make([]float64, 0, len(s.Samples)-1)
+		for i := 1; i < len(s.Samples); i++ {
+			gaps = append(gaps, s.Samples[i].T.Sub(s.Samples[i-1].T).Seconds())
+		}
+		pt := PointTiming{
+			Key:     s.Key,
+			CV:      stats.CoefficientOfVariation(gaps),
+			Samples: len(s.Samples),
+		}
+		if est, ok := stats.DetectPeriod(gaps, 0.2, 0.6); ok {
+			pt.Periodic = true
+			pt.PeriodSeconds = est.Period
+			pt.Strength = est.Strength
+		}
+		out = append(out, pt)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Station != out[j].Key.Station {
+			return out[i].Key.Station < out[j].Key.Station
+		}
+		return out[i].Key.IOA < out[j].Key.IOA
+	})
+	return out
+}
+
+// StationTiming aggregates point timings per station.
+type StationTiming struct {
+	Station string
+	// Periods are the distinct recovered cycles, ascending.
+	Periods []float64
+	// PeriodicPoints / SpontaneousPoints count the point mix.
+	PeriodicPoints    int
+	SpontaneousPoints int
+}
+
+// StationTimings groups PointTimings by station and collapses the
+// recovered periods (within 20%) into a small set per station.
+func (a *Analyzer) StationTimings(minSamples int) []StationTiming {
+	byStation := map[string]*StationTiming{}
+	var order []string
+	for _, pt := range a.PointTimings(minSamples) {
+		st, ok := byStation[pt.Key.Station]
+		if !ok {
+			st = &StationTiming{Station: pt.Key.Station}
+			byStation[pt.Key.Station] = st
+			order = append(order, pt.Key.Station)
+		}
+		if !pt.Periodic {
+			st.SpontaneousPoints++
+			continue
+		}
+		st.PeriodicPoints++
+		merged := false
+		for i, p := range st.Periods {
+			if pt.PeriodSeconds > p*0.8 && pt.PeriodSeconds < p*1.2 {
+				st.Periods[i] = (p + pt.PeriodSeconds) / 2
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			st.Periods = append(st.Periods, pt.PeriodSeconds)
+		}
+	}
+	var out []StationTiming
+	sort.Strings(order)
+	for _, name := range order {
+		st := byStation[name]
+		sort.Float64s(st.Periods)
+		out = append(out, *st)
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"uncharted/internal/cluster"
+	"uncharted/internal/iec104"
+	"uncharted/internal/markov"
+	"uncharted/internal/stats"
+	"uncharted/internal/tcpflow"
+)
+
+// FlowReport is Table 3 plus the Fig. 8 histogram.
+type FlowReport struct {
+	Summary tcpflow.Summary
+	// DurationHistogram bins short-lived flow durations in log space.
+	DurationHistogram []stats.Bucket
+}
+
+// FlowAnalysis computes the §6.2 report.
+func (a *Analyzer) FlowAnalysis() FlowReport {
+	sum := a.tracker.Summarize()
+	var secs []float64
+	for _, d := range sum.ShortLivedDuration {
+		secs = append(secs, d.Seconds())
+	}
+	var hist []stats.Bucket
+	if len(secs) > 0 {
+		hist, _ = stats.LogHistogram(secs, 12)
+	}
+	return FlowReport{Summary: sum, DurationHistogram: hist}
+}
+
+// ComplianceReport is the §6.1 / Fig. 7 analysis.
+type ComplianceReport struct {
+	Stations []StationCompliance
+	// NonCompliant lists the stations needing a legacy dialect.
+	NonCompliant []string
+}
+
+// Compliance summarises dialect detection across all endpoints.
+func (a *Analyzer) Compliance() ComplianceReport {
+	var rep ComplianceReport
+	for _, sc := range a.compliance {
+		rep.Stations = append(rep.Stations, *sc)
+	}
+	sort.Slice(rep.Stations, func(i, j int) bool { return rep.Stations[i].Name < rep.Stations[j].Name })
+	for _, sc := range rep.Stations {
+		if sc.NonCompliant() {
+			rep.NonCompliant = append(rep.NonCompliant, sc.Name)
+		}
+	}
+	return rep
+}
+
+// SessionFeature is one clustering input row (§6.3): the five features
+// the paper kept after silhouette-based selection.
+type SessionFeature struct {
+	Src, Dst string
+	// DeltaT is the mean inter-arrival time in seconds.
+	DeltaT float64
+	// Num is the packet count of the session.
+	Num float64
+	// PctI, PctS, PctU are the APDU format fractions.
+	PctI, PctS, PctU float64
+}
+
+// Vector renders the standardizable feature vector.
+func (f SessionFeature) Vector() []float64 {
+	return []float64{f.DeltaT, f.Num, f.PctI, f.PctS, f.PctU}
+}
+
+// SessionFeatures extracts one row per directional session that
+// carried at least one APDU.
+func (a *Analyzer) SessionFeatures() []SessionFeature {
+	var out []SessionFeature
+	for _, s := range a.sessions.Sorted() {
+		key := tcpflow.SessionKey{Src: s.Key.Src, Dst: s.Key.Dst}
+		dc, ok := a.sessionAPDUs[key]
+		if !ok || dc.Total() == 0 {
+			continue
+		}
+		total := float64(dc.Total())
+		out = append(out, SessionFeature{
+			Src:    a.Name(s.Key.Src),
+			Dst:    a.Name(s.Key.Dst),
+			DeltaT: s.MeanInterArrival(),
+			Num:    float64(s.Packets),
+			PctI:   float64(dc.I) / total,
+			PctS:   float64(dc.S) / total,
+			PctU:   float64(dc.U) / total,
+		})
+	}
+	return out
+}
+
+// ClusterReport is Fig. 10/11: the fitted clusters, their PCA
+// projection and per-cluster interpretation.
+type ClusterReport struct {
+	Features  []SessionFeature
+	K         int
+	Assign    []int
+	Sizes     []int
+	SSE       float64
+	Sil       float64
+	Projected [][]float64 // 2-D PCA coordinates per feature row
+	// Elbow is the K-sweep used for model selection.
+	Elbow []cluster.ElbowPoint
+	// Outliers lists the members of the smallest cluster (cluster 0 in
+	// the paper was two sessions: C2→O30 and C4↔O22).
+	Outliers []string
+}
+
+// ClusterSessions runs the paper's K=5 K-means++ clustering over
+// standardized session features, with model selection diagnostics.
+func (a *Analyzer) ClusterSessions(k int, seed int64) (*ClusterReport, error) {
+	feats := a.SessionFeatures()
+	if len(feats) < k {
+		return nil, fmt.Errorf("core: %d sessions with APDUs, need at least %d", len(feats), k)
+	}
+	raw := make([][]float64, len(feats))
+	for i, f := range feats {
+		raw[i] = f.Vector()
+	}
+	std := standardizeColumns(raw)
+
+	rng := rand.New(rand.NewSource(seed))
+	elbow, _, err := cluster.Sweep(std, min(8, len(std)), rng)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cluster.KMeans(std, k, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		return nil, err
+	}
+	sil, err := cluster.Silhouette(std, res.Assign, k)
+	if err != nil {
+		return nil, err
+	}
+	pca, err := cluster.PCA(std)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ClusterReport{
+		Features:  feats,
+		K:         k,
+		Assign:    res.Assign,
+		Sizes:     res.Sizes(),
+		SSE:       res.SSE,
+		Sil:       sil,
+		Projected: pca.Project(std, 2),
+		Elbow:     elbow,
+	}
+	// Outliers: members of the smallest non-empty cluster.
+	smallest, smallestSize := -1, 1<<31
+	for c, n := range rep.Sizes {
+		if n > 0 && n < smallestSize {
+			smallest, smallestSize = c, n
+		}
+	}
+	for i, asg := range res.Assign {
+		if asg == smallest {
+			rep.Outliers = append(rep.Outliers, feats[i].Src+">"+feats[i].Dst)
+		}
+	}
+	return rep, nil
+}
+
+func standardizeColumns(rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	dim := len(rows[0])
+	out := make([][]float64, len(rows))
+	for i := range out {
+		out[i] = make([]float64, dim)
+	}
+	col := make([]float64, len(rows))
+	for j := 0; j < dim; j++ {
+		for i := range rows {
+			col[i] = rows[i][j]
+		}
+		std := stats.Standardize(col)
+		for i := range rows {
+			out[i][j] = std[i]
+		}
+	}
+	return out
+}
+
+// ConnChain couples a logical connection with its Markov chain.
+type ConnChain struct {
+	Key        ConnKey
+	Server     string
+	Outstation string
+	Chain      *markov.Chain
+	Cluster    markov.SizeCluster
+}
+
+// MarkovReport is Figs. 12-17 and Table 6.
+type MarkovReport struct {
+	Chains []ConnChain
+	// Point11 / Square / Ellipse membership (Fig. 13).
+	Point11, Square, Ellipse []string
+	// Classes per outstation and the Fig. 17 distribution.
+	Classes      []markov.OutstationClass
+	Distribution [9]int
+}
+
+// MarkovChains builds per-connection chains and classifies every
+// outstation.
+func (a *Analyzer) MarkovChains() MarkovReport {
+	var rep MarkovReport
+	var summaries []markov.ConnSummary
+	for _, key := range a.ConnKeys() {
+		ch := markov.NewChain()
+		ch.Add(a.tokens[key])
+		cc := ConnChain{
+			Key:        key,
+			Server:     a.Name(key.Server),
+			Outstation: a.Name(key.Outstation),
+			Chain:      ch,
+			Cluster:    markov.Classify11SquareEllipse(ch),
+		}
+		rep.Chains = append(rep.Chains, cc)
+		label := cc.Server + "-" + cc.Outstation
+		switch cc.Cluster {
+		case markov.ClusterPoint11:
+			rep.Point11 = append(rep.Point11, label)
+		case markov.ClusterEllipse:
+			rep.Ellipse = append(rep.Ellipse, label)
+		default:
+			rep.Square = append(rep.Square, label)
+		}
+		summaries = append(summaries, markov.ConnSummary{
+			Server: cc.Server, Outstation: cc.Outstation, Chain: ch,
+		})
+	}
+	rep.Classes = markov.ClassifyAll(summaries)
+	rep.Distribution = markov.TypeDistribution(rep.Classes)
+	return rep
+}
+
+// TypeIDShare is one Table 7 row.
+type TypeIDShare struct {
+	Type    iec104.TypeID
+	Count   int
+	Percent float64
+}
+
+// TypeDistribution returns the observed ASDU type shares, descending.
+func (a *Analyzer) TypeDistribution() []TypeIDShare {
+	var out []TypeIDShare
+	for t, c := range a.typeCounts {
+		out = append(out, TypeIDShare{
+			Type: t, Count: c, Percent: 100 * float64(c) / float64(a.totalASDUs),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// ObservedTypeCount returns how many distinct type IDs appeared (the
+// paper observed 13 of the 54).
+func (a *Analyzer) ObservedTypeCount() int { return len(a.typeCounts) }
+
+// FormatTypeTable renders Table 7 as text.
+func FormatTypeTable(shares []TypeIDShare) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-10s %10s %10s\n", "Token", "Acronym", "Count", "Percent")
+	for _, s := range shares {
+		fmt.Fprintf(&b, "I%-5d %-10s %10d %9.4f%%\n", uint8(s.Type), s.Type.Acronym(), s.Count, s.Percent)
+	}
+	return b.String()
+}

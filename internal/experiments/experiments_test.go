@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// sharedRunner keeps one small-scale runner for the whole test binary;
+// the simulations dominate test time.
+var sharedRunner = NewRunner(0.15, 5)
+
+func TestRunAllProducesEveryExperiment(t *testing.T) {
+	results, err := sharedRunner.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sharedRunner.IDs()
+	if len(results) != len(want) {
+		t.Fatalf("%d results, want %d", len(results), len(want))
+	}
+	for i, res := range results {
+		if res.ID != want[i] {
+			t.Errorf("result %d id %q, want %q", i, res.ID, want[i])
+		}
+		if res.Title == "" || len(res.Text) < 40 {
+			t.Errorf("%s: empty or trivial output (%d bytes)", res.ID, len(res.Text))
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := sharedRunner.Run("fig99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTable3ContainsPaperBaselines(t *testing.T) {
+	res, err := sharedRunner.Run("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"31677 (74.4%)", "8486 (93.8%)", "short-lived", "long-lived"} {
+		if !strings.Contains(res.Text, needle) {
+			t.Errorf("table3 output missing %q", needle)
+		}
+	}
+}
+
+func TestFig13NamesTheResetConnections(t *testing.T) {
+	res, err := sharedRunner.Run("fig13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"C2-O30", "C1-O5", "point(1,1)", "ellipse"} {
+		if !strings.Contains(res.Text, needle) {
+			t.Errorf("fig13 output missing %q", needle)
+		}
+	}
+}
+
+func TestTable7ComparesAgainstPaper(t *testing.T) {
+	res, err := sharedRunner.Run("table7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"I36", "I13", "65.1322%", "31.6959%"} {
+		if !strings.Contains(res.Text, needle) {
+			t.Errorf("table7 output missing %q", needle)
+		}
+	}
+}
+
+func TestFig21DetectsCompliantActivation(t *testing.T) {
+	res, err := sharedRunner.Run("fig21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "compliant=true") {
+		t.Errorf("fig21 found no compliant activation:\n%s", res.Text)
+	}
+}
+
+func TestFig18FindsExcursion(t *testing.T) {
+	res, err := sharedRunner.Run("fig18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(res.Text, "Detected 0 frequency excursion") {
+		t.Errorf("fig18 found no excursion:\n%s", res.Text)
+	}
+}
+
+func TestScaleClamping(t *testing.T) {
+	r := NewRunner(0, 1)
+	if r.Scale != 1 {
+		t.Fatalf("scale %v", r.Scale)
+	}
+	cfg := r.config(1)
+	if cfg.Duration <= 0 {
+		t.Fatal("bad duration")
+	}
+}

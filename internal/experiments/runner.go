@@ -1,0 +1,206 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§6) from synthesized captures: it runs the
+// scadasim simulator for both capture years, feeds the traces through
+// the core analysis pipeline, and renders paper-vs-measured reports.
+// cmd/benchtables and the repository-level benchmarks both drive this
+// package, and EXPERIMENTS.md is generated from its output.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/scadasim"
+	"uncharted/internal/topology"
+)
+
+// Result is one regenerated experiment.
+type Result struct {
+	ID    string // "table3", "fig13", ...
+	Title string
+	Text  string // rendered report, paper-vs-measured
+}
+
+// Runner lazily generates the two yearly captures and their analyses.
+type Runner struct {
+	// Scale shrinks the default capture durations (1 = the default
+	// laptop scale: 40 min Y1 / 15 min Y2, the paper's 8:3 ratio).
+	Scale float64
+	Seed  int64
+
+	y1, y2       *core.Analyzer
+	trY1, trY2   *scadasim.Trace
+	netY1, netY2 *topology.Network
+}
+
+// NewRunner returns a Runner at the given scale (values in (0,1]
+// shrink the capture; 0 means 1.0).
+func NewRunner(scale float64, seed int64) *Runner {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Runner{Scale: scale, Seed: seed}
+}
+
+func (r *Runner) config(year topology.Year) scadasim.Config {
+	cfg := scadasim.DefaultConfig(year, r.Seed+int64(year))
+	cfg.Duration = time.Duration(float64(cfg.Duration) * r.Scale)
+	if cfg.Duration < 2*time.Minute {
+		cfg.Duration = 2 * time.Minute
+	}
+	if cfg.CyclePeriod > cfg.Duration/3 {
+		cfg.CyclePeriod = cfg.Duration / 3
+	}
+	return cfg
+}
+
+// Trace returns (generating on first use) the year's synthetic trace.
+func (r *Runner) Trace(year topology.Year) (*scadasim.Trace, error) {
+	if year == topology.Y1 && r.trY1 != nil {
+		return r.trY1, nil
+	}
+	if year == topology.Y2 && r.trY2 != nil {
+		return r.trY2, nil
+	}
+	sim, err := scadasim.New(r.config(year))
+	if err != nil {
+		return nil, err
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	if year == topology.Y1 {
+		r.trY1, r.netY1 = tr, sim.Network()
+	} else {
+		r.trY2, r.netY2 = tr, sim.Network()
+	}
+	return tr, nil
+}
+
+// Analyzer returns (building on first use) the year's full analysis.
+func (r *Runner) Analyzer(year topology.Year) (*core.Analyzer, error) {
+	if year == topology.Y1 && r.y1 != nil {
+		return r.y1, nil
+	}
+	if year == topology.Y2 && r.y2 != nil {
+		return r.y2, nil
+	}
+	tr, err := r.Trace(year)
+	if err != nil {
+		return nil, err
+	}
+	var net *topology.Network
+	if year == topology.Y1 {
+		net = r.netY1
+	} else {
+		net = r.netY2
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePCAP(&buf); err != nil {
+		return nil, err
+	}
+	a := core.NewAnalyzer(core.NamesFromTopology(net))
+	if err := a.ReadPCAP(&buf); err != nil {
+		return nil, err
+	}
+	if year == topology.Y1 {
+		r.y1 = a
+	} else {
+		r.y2 = a
+	}
+	return a, nil
+}
+
+// experimentFns enumerates every regenerable experiment in paper
+// order.
+func (r *Runner) experimentFns() []struct {
+	id string
+	fn func() (Result, error)
+} {
+	return []struct {
+		id string
+		fn func() (Result, error)
+	}{
+		{"table1", r.Table1Scale},
+		{"fig6", r.Fig6Topology},
+		{"table2", r.Table2Changes},
+		{"fig7", r.Fig7Compliance},
+		{"table3", r.Table3Flows},
+		{"fig8", r.Fig8FlowDurations},
+		{"fig9", r.Fig9RejectSequence},
+		{"fig10", r.Fig10Clusters},
+		{"fig11", r.Fig11ClusterProfiles},
+		{"table4", r.Table4Tokens},
+		{"table5", r.Table5TypeIDs},
+		{"fig12", r.Fig12ExpectedChains},
+		{"fig13", r.Fig13ChainSizes},
+		{"fig14", r.Fig14AbnormalChain},
+		{"fig15", r.Fig15InterrogationChain},
+		{"fig16", r.Fig16SwitchoverChain},
+		{"table6", r.Table6Classification},
+		{"fig17", r.Fig17TypeDistribution},
+		{"table7", r.Table7TypeIDs},
+		{"table8", r.Table8Semantics},
+		{"fig18", r.Fig18UnmetLoad},
+		{"fig19", r.Fig19AGCResponse},
+		{"fig20", r.Fig20GeneratorSync},
+		{"fig21", r.Fig21Signature},
+	}
+}
+
+// IDs lists the available experiment identifiers.
+func (r *Runner) IDs() []string {
+	var out []string
+	for _, e := range r.experimentFns() {
+		out = append(out, e.id)
+	}
+	return out
+}
+
+// Run regenerates one experiment by id.
+func (r *Runner) Run(id string) (Result, error) {
+	for _, e := range r.experimentFns() {
+		if e.id == id {
+			return e.fn()
+		}
+	}
+	return Result{}, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+		id, strings.Join(r.IDs(), ", "))
+}
+
+// RunAll regenerates every experiment in paper order.
+func (r *Runner) RunAll() ([]Result, error) {
+	var out []Result
+	for _, e := range r.experimentFns() {
+		res, err := e.fn()
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", e.id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// --- small rendering helpers shared by the experiment files ---
+
+type table struct {
+	b bytes.Buffer
+}
+
+func (t *table) row(cols ...string) {
+	for i, c := range cols {
+		if i > 0 {
+			t.b.WriteString("  ")
+		}
+		fmt.Fprintf(&t.b, "%-16s", c)
+	}
+	t.b.WriteByte('\n')
+}
+
+func (t *table) String() string { return t.b.String() }
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

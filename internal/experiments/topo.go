@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"uncharted/internal/topology"
+)
+
+// Fig6Topology renders the two-year network map: servers, substations,
+// outstations with per-year IOA counts and up/down arrows.
+func (r *Runner) Fig6Topology() (Result, error) {
+	net := topology.Build()
+	diff := topology.ComputeDiff(net)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Control servers: ")
+	for i, s := range net.Servers {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s (%s)", s.ID, s.Addr)
+	}
+	b.WriteString("\n\n")
+	for _, sub := range net.Substations {
+		gen := "transmission-only"
+		if sub.HasGenerator {
+			gen = "generator"
+		}
+		fmt.Fprintf(&b, "%-4s [%s]\n", sub.ID, gen)
+		for _, id := range sub.Outstations {
+			o, _ := net.Outstation(id)
+			status := ""
+			switch {
+			case o.PresentY1 && !o.PresentY2:
+				status = " (removed in Y2)"
+			case !o.PresentY1 && o.PresentY2:
+				status = " (added in Y2)"
+			}
+			arrow := "="
+			if o.PresentY1 && o.PresentY2 {
+				switch {
+				case o.IOACountY2 > o.IOACountY1:
+					arrow = "up"
+				case o.IOACountY2 < o.IOACountY1:
+					arrow = "down"
+				}
+			}
+			fmt.Fprintf(&b, "  %-4s servers=%s/%s IOAs Y1=%d Y2=%d [%s] %v%s\n",
+				o.ID, o.Servers[0], o.Servers[1], o.IOACountY1, o.IOACountY2,
+				arrow, o.ConnType, status)
+		}
+	}
+	fmt.Fprintf(&b, "\nPaper:    27 substations, 58 outstations, 4 control servers\n")
+	fmt.Fprintf(&b, "Measured: %d substations, %d outstations, %d control servers\n",
+		len(net.Substations), len(net.Outstations()), len(net.Servers))
+	fmt.Fprintf(&b, "Stability: outstations %d/%d (%s; paper 14/58 = 25%%), substations %d/%d (%s; paper 7/27 = 26%%)\n",
+		len(diff.StableOutstations), diff.TotalOutstations, pct(diff.OutstationStability()),
+		len(diff.StableSubstations), diff.TotalSubstations, pct(diff.SubstationStability()))
+	return Result{ID: "fig6", Title: "IEC 104 network topology, Y1 vs Y2", Text: b.String()}, nil
+}
+
+// Table2Changes renders the added/removed outstation table with the
+// operator's explanations.
+func (r *Runner) Table2Changes() (Result, error) {
+	diff := topology.ComputeDiff(topology.Build())
+	var t table
+	t.row("Outstation", "Added/Removed", "Description")
+	for _, c := range diff.Added {
+		t.row(string(c.Outstation), "Added", string(c.Reason))
+	}
+	for _, c := range diff.Removed {
+		t.row(string(c.Outstation), "Removed", string(c.Reason))
+	}
+	txt := t.String() + fmt.Sprintf("\nPaper: 9 added (O50-O58), 7 removed (O2, O15, O20, O22, O28, O33, O38)\nMeasured: %d added, %d removed\n",
+		len(diff.Added), len(diff.Removed))
+	return Result{ID: "table2", Title: "Outstations added/removed between the years", Text: txt}, nil
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uncharted/internal/iec104"
+	"uncharted/internal/topology"
+)
+
+// paperTable7 holds the paper's reported ASDU type shares.
+var paperTable7 = map[iec104.TypeID]float64{
+	36: 65.1322, 13: 31.6959, 9: 2.6960, 50: 0.2330, 3: 0.1427,
+	5: 0.0893, 100: 0.0080, 103: 0.0011, 30: 0.0005, 70: 0.0005,
+	31: 0.0005, 1: 0.0004, 7: 0.00004,
+}
+
+// Table7TypeIDs regenerates the ASDU type distribution over both
+// years' traffic.
+func (r *Runner) Table7TypeIDs() (Result, error) {
+	counts := map[iec104.TypeID]int{}
+	total := 0
+	for _, year := range []topology.Year{topology.Y1, topology.Y2} {
+		a, err := r.Analyzer(year)
+		if err != nil {
+			return Result{}, err
+		}
+		for _, s := range a.TypeDistribution() {
+			counts[s.Type] += s.Count
+			total += s.Count
+		}
+	}
+	type row struct {
+		t   iec104.TypeID
+		n   int
+		pct float64
+	}
+	var rows []row
+	for t, n := range counts {
+		rows = append(rows, row{t, n, 100 * float64(n) / float64(total)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+
+	var t table
+	t.row("TypeID", "Acronym", "Measured", "Paper")
+	for _, rw := range rows {
+		paper := "-"
+		if p, ok := paperTable7[rw.t]; ok {
+			paper = fmt.Sprintf("%.4f%%", p)
+		}
+		t.row(fmt.Sprintf("I%d", uint8(rw.t)), rw.t.Acronym(),
+			fmt.Sprintf("%.4f%%", rw.pct), paper)
+	}
+	var top2 float64
+	for _, rw := range rows {
+		if rw.t == iec104.MMeTf || rw.t == iec104.MMeNc {
+			top2 += rw.pct
+		}
+	}
+	txt := t.String() + fmt.Sprintf("\nObserved %d of the 54 supported type IDs (paper: 13). "+
+		"I36+I13 measured %.1f%% (paper 96.8%%).\n", len(rows), top2)
+	return Result{ID: "table7", Title: "Observed ASDU typeID distribution", Text: txt}, nil
+}
+
+// paperTable8 maps type IDs to the paper's transmitting-station counts
+// and physical symbols.
+var paperTable8 = []struct {
+	t        iec104.TypeID
+	stations int
+	symbols  string
+}{
+	{13, 20, "I,P,Q,U,Freq"}, {36, 13, "I,P,Q,U,Freq"}, {100, 9, "Inter(global)"},
+	{3, 6, "P,Q,U,Status(0,1,2)"}, {31, 4, "Status(0,2)"}, {50, 4, "AGC-SP"},
+	{1, 3, "Status(0)"}, {103, 3, "-"}, {70, 2, "-"}, {5, 1, "-"},
+	{9, 1, "-"}, {7, 1, "-"}, {30, 1, "-"},
+}
+
+// Table8Semantics joins the measured per-type station counts with the
+// physical symbols recovered from the topology's point semantics.
+func (r *Runner) Table8Semantics() (Result, error) {
+	// Station counts measured from traffic (both years merged).
+	measured := map[iec104.TypeID]map[string]bool{}
+	for _, year := range []topology.Year{topology.Y1, topology.Y2} {
+		a, err := r.Analyzer(year)
+		if err != nil {
+			return Result{}, err
+		}
+		for t, stations := range a.TypeStations() {
+			m, ok := measured[t]
+			if !ok {
+				m = map[string]bool{}
+				measured[t] = m
+			}
+			for _, s := range stations {
+				m[s] = true
+			}
+		}
+	}
+	// Symbols recovered by joining IOAs with the topology's semantics.
+	net := topology.Build()
+	symbols := map[iec104.TypeID]map[topology.PointKind]bool{}
+	for _, o := range net.Outstations() {
+		for _, year := range []topology.Year{topology.Y1, topology.Y2} {
+			for _, p := range net.Points(o.ID, year) {
+				m, ok := symbols[p.Type]
+				if !ok {
+					m = map[topology.PointKind]bool{}
+					symbols[p.Type] = m
+				}
+				m[p.Kind] = true
+			}
+		}
+	}
+
+	var t table
+	t.row("TypeID", "Stations(meas)", "Stations(paper)", "Symbols(meas)", "Symbols(paper)")
+	for _, row := range paperTable8 {
+		var syms []string
+		for k := range symbols[row.t] {
+			syms = append(syms, string(k))
+		}
+		sort.Strings(syms)
+		symTxt := strings.Join(syms, ",")
+		if symTxt == "" {
+			symTxt = "-"
+		}
+		t.row(fmt.Sprintf("I%d", uint8(row.t)),
+			fmt.Sprintf("%d", len(measured[row.t])),
+			fmt.Sprintf("%d", row.stations),
+			symTxt, row.symbols)
+	}
+	txt := t.String() + "\nI=current, P=active power, Q=reactive power, U=voltage, Freq=frequency,\n" +
+		"Inter=interrogation, AGC-SP=AGC setpoint, Status=breaker state.\n"
+	return Result{ID: "table8", Title: "ASDU typeID and physical measurement semantics", Text: txt}, nil
+}

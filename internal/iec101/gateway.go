@@ -1,0 +1,104 @@
+package iec101
+
+import (
+	"fmt"
+
+	"uncharted/internal/iec104"
+)
+
+// NativeProfile is IEC 101's classic unbalanced field sizing: 1-octet
+// cause of transmission, 1-octet common address, 2-octet information
+// object address. (Standards allow configuring each; this is the
+// minimal legacy layout.)
+var NativeProfile = iec104.Profile{COTSize: 1, CommonAddrSize: 1, IOASize: 2}
+
+// Gateway models a serial-to-TCP converter: the box a utility installs
+// when "upgrading" a substation from IEC 101 to IEC 104. It strips the
+// FT1.2 link layer from serial frames and re-encapsulates the ASDUs in
+// IEC 104 APCI framing.
+//
+// The crucial knob is Reencode: a correctly commissioned gateway
+// re-encodes the ASDU into the standard IEC 104 field sizes; a lazy
+// configuration copies the ASDU bytes verbatim, producing exactly the
+// §6.1 malformed packets (legacy COT / IOA sizes inside IEC 104
+// frames) that broke Wireshark's parser in the paper.
+type Gateway struct {
+	// SerialProfile is the field sizing used on the serial side.
+	SerialProfile iec104.Profile
+	// Reencode converts ASDUs to the standard IEC 104 layout; when
+	// false the ASDU bytes pass through untouched (the field
+	// misconfiguration).
+	Reencode bool
+
+	sendSeq, recvSeq uint16
+}
+
+// NewGateway returns a pass-through (misconfigured) gateway for the
+// given serial dialect.
+func NewGateway(serial iec104.Profile, reencode bool) *Gateway {
+	return &Gateway{SerialProfile: serial, Reencode: reencode}
+}
+
+// FromSerial converts one FT1.2 frame into an IEC 104 APDU byte
+// stream. Link-layer-only frames (acks, tests) map to nothing: IEC 104
+// handles liveness with its own U frames.
+func (g *Gateway) FromSerial(frame []byte) ([]byte, error) {
+	f, _, err := Parse(frame)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.ASDU) == 0 {
+		return nil, nil
+	}
+	asduBytes := f.ASDU
+	if g.Reencode {
+		asdu, err := iec104.ParseASDU(f.ASDU, g.SerialProfile)
+		if err != nil {
+			return nil, fmt.Errorf("iec101: gateway re-encode: %w", err)
+		}
+		asduBytes, err = asdu.Marshal(iec104.Standard)
+		if err != nil {
+			return nil, fmt.Errorf("iec101: gateway re-encode: %w", err)
+		}
+	}
+	apdu := make([]byte, 6+len(asduBytes))
+	hdr := &iec104.APDU{Format: iec104.FormatI, SendSeq: g.sendSeq, RecvSeq: g.recvSeq}
+	if _, err := hdr.EncodeAPCI(apdu, len(asduBytes)); err != nil {
+		return nil, err
+	}
+	copy(apdu[6:], asduBytes)
+	g.sendSeq = (g.sendSeq + 1) & 0x7FFF
+	return apdu, nil
+}
+
+// ToSerial converts an IEC 104 I-frame back into an FT1.2 user-data
+// frame for the serial side (commands heading to the legacy RTU). The
+// frame's dialect follows the same Reencode setting.
+func (g *Gateway) ToSerial(apduBytes []byte, linkAddr uint8, fcb bool) ([]byte, error) {
+	wireProfile := g.wireProfile()
+	apdu, _, err := iec104.ParseAPDU(apduBytes, wireProfile)
+	if err != nil {
+		return nil, err
+	}
+	if apdu.Format != iec104.FormatI {
+		return nil, nil // U/S frames stay on the TCP side
+	}
+	g.recvSeq = (g.recvSeq + 1) & 0x7FFF
+	asduBytes, err := apdu.ASDU.Marshal(g.SerialProfile)
+	if err != nil {
+		return nil, fmt.Errorf("iec101: gateway to-serial: %w", err)
+	}
+	return NewUserData(linkAddr, fcb, asduBytes).Marshal()
+}
+
+// wireProfile is the dialect visible on the TCP side.
+func (g *Gateway) wireProfile() iec104.Profile {
+	if g.Reencode {
+		return iec104.Standard
+	}
+	// Pass-through keeps the serial field sizes, but IEC 104 framing
+	// is unchanged; common addresses in the field were already 2
+	// octets in the paper's captures, so model the common case where
+	// only COT or IOA kept the legacy width.
+	return g.SerialProfile
+}

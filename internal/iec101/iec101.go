@@ -1,0 +1,182 @@
+// Package iec101 implements the serial-link ancestor of IEC 104:
+// IEC 60870-5-101 with its FT1.2 link-layer framing. The paper's
+// network still contained substations on serial links (§5), and the
+// §6.1 malformed packets are exactly what happens when a substation is
+// "upgraded" to IEC 104 by tunnelling its existing IEC 101 application
+// data over TCP without reconfiguring the field sizes: IEC 101 allows
+// a 1-octet cause of transmission and a 2-octet information object
+// address, both of which this package models.
+//
+// Implemented: FT1.2 fixed-length and variable-length frames with the
+// checksum and control field, the link-layer function codes needed for
+// a polled balanced link, and ASDU payload transport. The ASDU itself
+// is shared with package iec104 through a Profile (IEC 101's native
+// field sizes are a Profile too), which is what makes the gateway in
+// gateway.go a five-line re-encapsulation — faithfully reproducing the
+// misconfiguration the paper found in the field.
+package iec101
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FT1.2 start characters.
+const (
+	StartVariable = 0x68 // variable-length frame
+	StartFixed    = 0x10 // fixed-length frame
+	EndChar       = 0x16
+)
+
+// FuncCode is the link-layer function code (primary→secondary,
+// PRM = 1).
+type FuncCode uint8
+
+// Link function codes used on a balanced link.
+const (
+	FuncResetLink  FuncCode = 0 // reset of remote link
+	FuncTestLink   FuncCode = 2 // test function for link
+	FuncUserData   FuncCode = 3 // user data, confirm expected
+	FuncUserDataNC FuncCode = 4 // user data, no confirm
+	FuncReqStatus  FuncCode = 9 // request status of link
+	// Secondary→primary (PRM = 0) codes.
+	FuncAckConfirm FuncCode = 0  // positive acknowledgement
+	FuncNack       FuncCode = 1  // message not accepted
+	FuncStatus     FuncCode = 11 // status of link
+)
+
+// Frame is one FT1.2 link-layer frame.
+type Frame struct {
+	// Primary is the PRM bit: true when sent by the initiating
+	// station.
+	Primary bool
+	// FCB and FCV are the frame-count bit and its validity, used to
+	// deduplicate on noisy serial links.
+	FCB, FCV bool
+	Func     FuncCode
+	// Addr is the link address (1 octet in this profile).
+	Addr uint8
+	// ASDU is the application payload (nil for fixed-length frames).
+	ASDU []byte
+}
+
+// Errors.
+var (
+	ErrShort    = errors.New("iec101: truncated frame")
+	ErrBadStart = errors.New("iec101: bad start character")
+	ErrBadEnd   = errors.New("iec101: bad end character")
+	ErrChecksum = errors.New("iec101: checksum mismatch")
+	ErrLength   = errors.New("iec101: length fields disagree")
+)
+
+func (f *Frame) control() byte {
+	c := byte(f.Func) & 0x0F
+	if f.Primary {
+		c |= 0x40
+	}
+	if f.FCB {
+		c |= 0x20
+	}
+	if f.FCV {
+		c |= 0x10
+	}
+	return c
+}
+
+func parseControl(c byte, f *Frame) {
+	f.Primary = c&0x40 != 0
+	f.FCB = c&0x20 != 0
+	f.FCV = c&0x10 != 0
+	f.Func = FuncCode(c & 0x0F)
+}
+
+// checksum is the FT1.2 arithmetic checksum (mod 256 sum).
+func checksum(data []byte) byte {
+	var s byte
+	for _, b := range data {
+		s += b
+	}
+	return s
+}
+
+// Marshal renders the frame: fixed-length when it carries no ASDU,
+// variable-length otherwise.
+func (f *Frame) Marshal() ([]byte, error) {
+	if len(f.ASDU) == 0 {
+		// Fixed: 10 C A CS 16
+		out := []byte{StartFixed, f.control(), f.Addr, 0, EndChar}
+		out[3] = checksum(out[1:3])
+		return out, nil
+	}
+	// Variable: 68 L L 68 C A ASDU... CS 16
+	l := 2 + len(f.ASDU)
+	if l > 255 {
+		return nil, fmt.Errorf("iec101: ASDU of %d bytes overflows the length octet", len(f.ASDU))
+	}
+	out := make([]byte, 0, 6+l)
+	out = append(out, StartVariable, byte(l), byte(l), StartVariable, f.control(), f.Addr)
+	out = append(out, f.ASDU...)
+	out = append(out, checksum(out[4:]), EndChar)
+	return out, nil
+}
+
+// Parse decodes one frame from the front of data, returning the frame
+// and bytes consumed.
+func Parse(data []byte) (*Frame, int, error) {
+	if len(data) == 0 {
+		return nil, 0, ErrShort
+	}
+	var f Frame
+	switch data[0] {
+	case StartFixed:
+		if len(data) < 5 {
+			return nil, 0, ErrShort
+		}
+		if data[4] != EndChar {
+			return nil, 0, ErrBadEnd
+		}
+		if checksum(data[1:3]) != data[3] {
+			return nil, 0, ErrChecksum
+		}
+		parseControl(data[1], &f)
+		f.Addr = data[2]
+		return &f, 5, nil
+	case StartVariable:
+		if len(data) < 6 {
+			return nil, 0, ErrShort
+		}
+		if data[1] != data[2] || data[3] != StartVariable {
+			return nil, 0, ErrLength
+		}
+		l := int(data[1])
+		total := 4 + l + 2
+		if l < 2 {
+			return nil, 0, ErrLength
+		}
+		if len(data) < total {
+			return nil, 0, ErrShort
+		}
+		if data[total-1] != EndChar {
+			return nil, 0, ErrBadEnd
+		}
+		if checksum(data[4:4+l]) != data[total-2] {
+			return nil, 0, ErrChecksum
+		}
+		parseControl(data[4], &f)
+		f.Addr = data[5]
+		f.ASDU = append([]byte(nil), data[6:4+l]...)
+		return &f, total, nil
+	default:
+		return nil, 0, fmt.Errorf("%w: %#02x", ErrBadStart, data[0])
+	}
+}
+
+// NewUserData wraps an ASDU in a primary user-data frame.
+func NewUserData(addr uint8, fcb bool, asdu []byte) *Frame {
+	return &Frame{Primary: true, FCB: fcb, FCV: true, Func: FuncUserData, Addr: addr, ASDU: asdu}
+}
+
+// NewAck builds the secondary station's positive confirm.
+func NewAck(addr uint8) *Frame {
+	return &Frame{Func: FuncAckConfirm, Addr: addr}
+}

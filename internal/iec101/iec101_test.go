@@ -1,0 +1,252 @@
+package iec101
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"uncharted/internal/iec104"
+)
+
+func TestFixedFrameRoundTrip(t *testing.T) {
+	f := NewAck(13)
+	raw, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 5 || raw[0] != StartFixed || raw[4] != EndChar {
+		t.Fatalf("frame % x", raw)
+	}
+	got, n, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 || got.Addr != 13 || got.Func != FuncAckConfirm || got.Primary {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestVariableFrameRoundTrip(t *testing.T) {
+	asdu := []byte{13, 1, 3, 9, 100, 0, 0x12, 0x34, 0x56, 0x78, 0x00}
+	f := NewUserData(7, true, asdu)
+	raw, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(raw) {
+		t.Fatalf("consumed %d of %d", n, len(raw))
+	}
+	if !got.Primary || !got.FCB || !got.FCV || got.Func != FuncUserData || got.Addr != 7 {
+		t.Fatalf("control decoded %+v", got)
+	}
+	if !bytes.Equal(got.ASDU, asdu) {
+		t.Fatalf("ASDU % x", got.ASDU)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	good, _ := NewUserData(1, false, []byte{1, 2, 3}).Marshal()
+	cases := map[string][]byte{
+		"empty":         nil,
+		"bad start":     {0x99, 0, 0, 0, 0},
+		"short fixed":   {StartFixed, 0, 0},
+		"bad end fixed": {StartFixed, 0x40, 1, 0x41, 0x17},
+		"bad cs fixed":  {StartFixed, 0x40, 1, 0x99, EndChar},
+		"length mismatch": func() []byte {
+			b := append([]byte{}, good...)
+			b[1]++
+			return b
+		}(),
+		"bad cs variable": func() []byte {
+			b := append([]byte{}, good...)
+			b[6] ^= 0xFF
+			return b
+		}(),
+		"bad end variable": func() []byte {
+			b := append([]byte{}, good...)
+			b[len(b)-1] = 0x17
+			return b
+		}(),
+		"truncated variable": good[:len(good)-3],
+	}
+	for name, data := range cases {
+		if _, _, err := Parse(data); err == nil {
+			t.Errorf("%s: accepted % x", name, data)
+		}
+	}
+}
+
+func TestFrameQuick(t *testing.T) {
+	check := func(addr uint8, fcb bool, payload []byte) bool {
+		if len(payload) == 0 || len(payload) > 200 {
+			return true
+		}
+		f := NewUserData(addr, fcb, payload)
+		raw, err := f.Marshal()
+		if err != nil {
+			return false
+		}
+		got, n, err := Parse(raw)
+		if err != nil || n != len(raw) {
+			return false
+		}
+		return got.Addr == addr && got.FCB == fcb && bytes.Equal(got.ASDU, payload)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOversizeASDURejected(t *testing.T) {
+	f := NewUserData(1, false, make([]byte, 300))
+	if _, err := f.Marshal(); err == nil {
+		t.Fatal("oversize ASDU accepted")
+	}
+}
+
+// serialASDU builds an IEC 101-native measurement ASDU.
+func serialASDU(t *testing.T) []byte {
+	t.Helper()
+	a := iec104.NewMeasurement(iec104.MMeNc, 9, 1201,
+		iec104.Value{Kind: iec104.KindFloat, Float: 117.75}, iec104.CauseSpontaneous)
+	b, err := a.Marshal(NativeProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestGatewayReencodeProducesStandard104(t *testing.T) {
+	gw := NewGateway(NativeProfile, true)
+	serial, err := NewUserData(9, false, serialASDU(t)).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	apdu, err := gw.FromSerial(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := iec104.ParseAPDU(apdu, iec104.Standard)
+	if err != nil {
+		t.Fatalf("re-encoded frame not standard: %v", err)
+	}
+	if got.ASDU.Objects[0].IOA != 1201 || got.ASDU.CommonAddr != 9 {
+		t.Fatalf("decoded %+v", got.ASDU)
+	}
+	if got.ASDU.COT.Cause != iec104.CauseSpontaneous {
+		t.Fatalf("cause %v", got.ASDU.COT.Cause)
+	}
+}
+
+func TestGatewayPassThroughProducesLegacyDialect(t *testing.T) {
+	// The §6.1 misconfiguration: the gateway copies IEC 101 ASDU bytes
+	// into IEC 104 frames. A strict parser must reject or misread
+	// them; the tolerant detector must identify the legacy layout.
+	gw := NewGateway(NativeProfile, false)
+	serial, err := NewUserData(9, false, serialASDU(t)).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	apdu, err := gw.FromSerial(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := iec104.ParseAPDU(apdu, NativeProfile); err != nil {
+		t.Fatalf("legacy parse failed: %v", err)
+	}
+	detected, _, err := iec104.DetectProfile(apdu)
+	if err != nil {
+		t.Fatalf("detector gave up: %v", err)
+	}
+	if detected.IsStandard() {
+		t.Fatal("pass-through frame detected as standard")
+	}
+}
+
+func TestGatewayDropsLinkOnlyFrames(t *testing.T) {
+	gw := NewGateway(NativeProfile, true)
+	ack, _ := NewAck(9).Marshal()
+	apdu, err := gw.FromSerial(ack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apdu != nil {
+		t.Fatalf("link ack produced APDU % x", apdu)
+	}
+}
+
+func TestGatewaySequenceNumbersAdvance(t *testing.T) {
+	gw := NewGateway(NativeProfile, true)
+	serial, _ := NewUserData(9, false, serialASDU(t)).Marshal()
+	var last uint16
+	for i := 0; i < 3; i++ {
+		apdu, err := gw.FromSerial(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := iec104.ParseAPDU(apdu, iec104.Standard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && got.SendSeq != last+1 {
+			t.Fatalf("send seq %d after %d", got.SendSeq, last)
+		}
+		last = got.SendSeq
+	}
+}
+
+func TestGatewayToSerial(t *testing.T) {
+	gw := NewGateway(NativeProfile, true)
+	// A setpoint command arriving over TCP heads down the serial link.
+	sp := iec104.NewSetpointFloat(9, 7001, 55.5, iec104.CauseActivation)
+	apdu, err := iec104.NewI(0, 0, sp).Marshal(iec104.Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := gw.ToSerial(apdu, 9, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := Parse(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asdu, err := iec104.ParseASDU(f.ASDU, NativeProfile)
+	if err != nil {
+		t.Fatalf("serial-side ASDU not native: %v", err)
+	}
+	if asdu.Objects[0].IOA != 7001 || asdu.Objects[0].Value.Float != 55.5 {
+		t.Fatalf("decoded %+v", asdu.Objects[0])
+	}
+	// U frames do not cross the gateway.
+	u, _ := iec104.NewU(iec104.UTestFRAct).Marshal(iec104.Standard)
+	out, err := gw.ToSerial(u, 9, false)
+	if err != nil || out != nil {
+		t.Fatalf("U frame crossed: % x err=%v", out, err)
+	}
+}
+
+func TestGatewayRoundTripThroughBothDirections(t *testing.T) {
+	gw := NewGateway(NativeProfile, true)
+	serial, _ := NewUserData(9, false, serialASDU(t)).Marshal()
+	apdu, err := gw.FromSerial(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := gw.ToSerial(apdu, 9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := Parse(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _, _ := Parse(serial)
+	if !bytes.Equal(f.ASDU, orig.ASDU) {
+		t.Fatalf("ASDU changed across the gateway:\n% x\n% x", orig.ASDU, f.ASDU)
+	}
+}

@@ -1,0 +1,27 @@
+package iec101
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseNeverPanicsOnRandomBytes: FT1.2 came from noisy serial
+// links; the parser must survive anything.
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = byte(rng.Intn(256))
+		}
+		if n > 0 && rng.Intn(2) == 0 {
+			if rng.Intn(2) == 0 {
+				buf[0] = StartVariable
+			} else {
+				buf[0] = StartFixed
+			}
+		}
+		_, _, _ = Parse(buf)
+	}
+}

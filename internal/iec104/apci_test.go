@@ -1,0 +1,226 @@
+package iec104
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestUFrameRoundTrip(t *testing.T) {
+	fns := []UFunc{UStartDTAct, UStartDTCon, UStopDTAct, UStopDTCon, UTestFRAct, UTestFRCon}
+	for _, fn := range fns {
+		t.Run(fn.String(), func(t *testing.T) {
+			b, err := NewU(fn).Marshal(Standard)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			if len(b) != 6 {
+				t.Fatalf("U frame length = %d, want 6", len(b))
+			}
+			if b[0] != StartByte || b[1] != 4 {
+				t.Fatalf("bad APCI header % x", b[:2])
+			}
+			got, n, err := ParseAPDU(b, Standard)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if n != 6 || got.Format != FormatU || got.U != fn {
+				t.Fatalf("got %+v (n=%d), want U %v", got, n, fn)
+			}
+		})
+	}
+}
+
+func TestUFrameControlOctets(t *testing.T) {
+	// The standard fixes the control octets; check a known encoding:
+	// TESTFR act = 0x43, TESTFR con = 0x83, STARTDT act = 0x07.
+	cases := []struct {
+		fn  UFunc
+		cf1 byte
+	}{
+		{UStartDTAct, 0x07},
+		{UStartDTCon, 0x0B},
+		{UStopDTAct, 0x13},
+		{UStopDTCon, 0x23},
+		{UTestFRAct, 0x43},
+		{UTestFRCon, 0x83},
+	}
+	for _, c := range cases {
+		b, err := NewU(c.fn).Marshal(Standard)
+		if err != nil {
+			t.Fatalf("%v: %v", c.fn, err)
+		}
+		if b[2] != c.cf1 {
+			t.Errorf("%v: control octet = %#02x, want %#02x", c.fn, b[2], c.cf1)
+		}
+	}
+}
+
+func TestSFrameRoundTrip(t *testing.T) {
+	for _, seq := range []uint16{0, 1, 127, 128, 32767} {
+		b, err := NewS(seq).Marshal(Standard)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		got, _, err := ParseAPDU(b, Standard)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if got.Format != FormatS || got.RecvSeq != seq {
+			t.Fatalf("seq %d: got %+v", seq, got)
+		}
+	}
+}
+
+func TestIFrameSequenceNumbers(t *testing.T) {
+	check := func(ns, nr uint16) bool {
+		ns &= 0x7FFF
+		nr &= 0x7FFF
+		asdu := NewMeasurement(MMeNc, 1, 100, Value{Kind: KindFloat, Float: 60.0}, CauseSpontaneous)
+		b, err := NewI(ns, nr, asdu).Marshal(Standard)
+		if err != nil {
+			return false
+		}
+		got, _, err := ParseAPDU(b, Standard)
+		if err != nil {
+			return false
+		}
+		return got.SendSeq == ns && got.RecvSeq == nr
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseAPDUErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short", []byte{0x68, 0x04, 0x01}},
+		{"bad start", []byte{0x69, 0x04, 0x01, 0x00, 0x00, 0x00}},
+		{"length too small", []byte{0x68, 0x02, 0x01, 0x00, 0x00, 0x00}},
+		{"length beyond buffer", []byte{0x68, 0x20, 0x01, 0x00, 0x00, 0x00}},
+		{"S with payload", []byte{0x68, 0x05, 0x01, 0x00, 0x00, 0x00, 0xAA}},
+		{"bad U function", []byte{0x68, 0x04, 0xFF, 0x00, 0x00, 0x00}},
+		{"nonzero U padding", []byte{0x68, 0x04, 0x43, 0x01, 0x00, 0x00}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := ParseAPDU(c.data, Standard); err == nil {
+				t.Fatalf("ParseAPDU(% x) succeeded, want error", c.data)
+			}
+		})
+	}
+}
+
+func TestParseAPDUsMultiple(t *testing.T) {
+	var payload []byte
+	want := 5
+	for i := 0; i < want; i++ {
+		asdu := NewMeasurement(MMeTf, 1, uint32(100+i), Value{
+			Kind: KindFloat, Float: float64(i) * 1.5, HasTime: true,
+		}, CausePeriodic)
+		b, err := NewI(uint16(i), 0, asdu).Marshal(Standard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload = append(payload, b...)
+	}
+	got, n, err := ParseAPDUs(payload, Standard)
+	if err != nil {
+		t.Fatalf("ParseAPDUs: %v (at offset %d)", err, n)
+	}
+	if len(got) != want {
+		t.Fatalf("decoded %d APDUs, want %d", len(got), want)
+	}
+	for i, a := range got {
+		if a.SendSeq != uint16(i) {
+			t.Errorf("APDU %d: SendSeq = %d", i, a.SendSeq)
+		}
+		if a.ASDU.Objects[0].IOA != uint32(100+i) {
+			t.Errorf("APDU %d: IOA = %d", i, a.ASDU.Objects[0].IOA)
+		}
+	}
+}
+
+func TestParseAPDUsPartialError(t *testing.T) {
+	good, err := NewU(UTestFRAct).Marshal(Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := append(append([]byte{}, good...), 0x69, 0x00)
+	got, off, err := ParseAPDUs(payload, Standard)
+	if err == nil {
+		t.Fatal("want error for trailing garbage")
+	}
+	if len(got) != 1 || off != len(good) {
+		t.Fatalf("got %d APDUs at offset %d, want 1 at %d", len(got), off, len(good))
+	}
+}
+
+func TestTokens(t *testing.T) {
+	cases := []struct {
+		apdu *APDU
+		want string
+	}{
+		{NewS(5), "S"},
+		{NewU(UTestFRAct), "U16"},
+		{NewU(UTestFRCon), "U32"},
+		{NewU(UStartDTAct), "U1"},
+		{NewU(UStartDTCon), "U2"},
+		{NewU(UStopDTAct), "U4"},
+		{NewU(UStopDTCon), "U8"},
+		{NewI(0, 0, NewMeasurement(MMeTf, 1, 1, Value{Kind: KindFloat}, CausePeriodic)), "I36"},
+		{NewI(0, 0, NewInterrogation(1, CauseActivation)), "I100"},
+	}
+	for _, c := range cases {
+		if got := c.apdu.Token().String(); got != c.want {
+			t.Errorf("Token() = %q, want %q", got, c.want)
+		}
+		back, err := ParseToken(c.want)
+		if err != nil {
+			t.Errorf("ParseToken(%q): %v", c.want, err)
+		} else if back != c.apdu.Token() {
+			t.Errorf("ParseToken(%q) = %+v, want %+v", c.want, back, c.apdu.Token())
+		}
+	}
+}
+
+func TestParseTokenErrors(t *testing.T) {
+	for _, s := range []string{"", "X", "U", "U3", "U99", "I", "I0", "I200", "Ix"} {
+		if _, err := ParseToken(s); err == nil {
+			t.Errorf("ParseToken(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestMarshalRejectsBadShapes(t *testing.T) {
+	if _, err := (&APDU{Format: FormatI}).Marshal(Standard); err == nil {
+		t.Error("I-format without ASDU must fail")
+	}
+	if _, err := (&APDU{Format: FormatS, ASDU: &ASDU{}}).Marshal(Standard); err == nil {
+		t.Error("S-format with ASDU must fail")
+	}
+	if _, err := (&APDU{Format: FormatU, U: 3}).Marshal(Standard); err == nil {
+		t.Error("invalid U function must fail")
+	}
+}
+
+func TestAPDUBytesStable(t *testing.T) {
+	// Marshalling the same APDU twice must give identical bytes.
+	asdu := NewSetpointFloat(7, 4001, 123.25, CauseActivation)
+	a := NewI(10, 20, asdu)
+	b1, err := a.Marshal(Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a.Marshal(Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("marshal not deterministic")
+	}
+}

@@ -1,0 +1,247 @@
+package iec104
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ASDU parse errors.
+var (
+	ErrShortASDU       = errors.New("iec104: truncated ASDU")
+	ErrUnsupportedType = errors.New("iec104: unsupported type identification")
+	ErrObjectCount     = errors.New("iec104: object count does not match ASDU length")
+	ErrNoObjects       = errors.New("iec104: ASDU carries zero information objects")
+)
+
+// ASDU is an Application Service Data Unit: the data unit identifier
+// (type, variable structure qualifier, cause of transmission, common
+// address) followed by one or more information objects.
+type ASDU struct {
+	Type TypeID
+	// Sequence is the SQ bit of the variable structure qualifier.
+	// When set, a single IOA is followed by a run of elements at
+	// consecutive addresses.
+	Sequence   bool
+	COT        COT
+	CommonAddr uint16
+	Objects    []InfoObject
+}
+
+// Marshal serializes the ASDU using profile p. The number of objects
+// must fit the 7-bit count of the variable structure qualifier.
+func (a *ASDU) Marshal(p Profile) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(a.Objects) == 0 {
+		return nil, ErrNoObjects
+	}
+	if len(a.Objects) > 127 {
+		return nil, fmt.Errorf("iec104: %d objects exceed the 7-bit VSQ count", len(a.Objects))
+	}
+	if !Supported(a.Type) {
+		return nil, fmt.Errorf("%w: %d", ErrUnsupportedType, uint8(a.Type))
+	}
+	buf := make([]byte, 0, 64)
+	buf = append(buf, byte(a.Type))
+	vsq := byte(len(a.Objects))
+	if a.Sequence {
+		vsq |= 0x80
+	}
+	buf = append(buf, vsq)
+	var cot [2]byte
+	n := a.COT.encode(cot[:], p.COTSize)
+	buf = append(buf, cot[:n]...)
+	if p.CommonAddrSize == 2 {
+		buf = append(buf, byte(a.CommonAddr), byte(a.CommonAddr>>8))
+	} else {
+		if a.CommonAddr > 0xFF {
+			return nil, fmt.Errorf("iec104: common address %d overflows 1 octet", a.CommonAddr)
+		}
+		buf = append(buf, byte(a.CommonAddr))
+	}
+	appendIOA := func(ioa uint32) error {
+		if ioa > p.maxIOA() {
+			return fmt.Errorf("iec104: IOA %d overflows %d octets", ioa, p.IOASize)
+		}
+		buf = append(buf, byte(ioa), byte(ioa>>8))
+		if p.IOASize == 3 {
+			buf = append(buf, byte(ioa>>16))
+		}
+		return nil
+	}
+	if a.Sequence {
+		if err := appendIOA(a.Objects[0].IOA); err != nil {
+			return nil, err
+		}
+		for i, obj := range a.Objects {
+			if obj.IOA != a.Objects[0].IOA+uint32(i) {
+				return nil, fmt.Errorf("iec104: sequence object %d has non-consecutive IOA %d", i, obj.IOA)
+			}
+			el, err := encodeElement(a.Type, obj.Value, obj.Raw)
+			if err != nil {
+				return nil, err
+			}
+			buf = append(buf, el...)
+		}
+	} else {
+		for _, obj := range a.Objects {
+			if err := appendIOA(obj.IOA); err != nil {
+				return nil, err
+			}
+			el, err := encodeElement(a.Type, obj.Value, obj.Raw)
+			if err != nil {
+				return nil, err
+			}
+			buf = append(buf, el...)
+		}
+	}
+	return buf, nil
+}
+
+// ParseASDU decodes an ASDU from data using profile p. The whole buffer
+// must be consumed exactly; trailing or missing bytes are errors, which
+// is what lets DetectProfile discriminate dialects.
+func ParseASDU(data []byte, p Profile) (*ASDU, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	duiLen := 2 + p.COTSize + p.CommonAddrSize
+	if len(data) < duiLen {
+		return nil, ErrShortASDU
+	}
+	a := &ASDU{Type: TypeID(data[0])}
+	if !Supported(a.Type) {
+		return nil, fmt.Errorf("%w: %d", ErrUnsupportedType, data[0])
+	}
+	count := int(data[1] & 0x7F)
+	a.Sequence = data[1]&0x80 != 0
+	if count == 0 {
+		return nil, ErrNoObjects
+	}
+	var err error
+	a.COT, err = decodeCOT(data[2:], p.COTSize)
+	if err != nil {
+		return nil, err
+	}
+	if !a.COT.Cause.Valid() {
+		return nil, fmt.Errorf("iec104: invalid cause of transmission %d", uint8(a.COT.Cause))
+	}
+	off := 2 + p.COTSize
+	if p.CommonAddrSize == 2 {
+		a.CommonAddr = binary.LittleEndian.Uint16(data[off:])
+	} else {
+		a.CommonAddr = uint16(data[off])
+	}
+	off += p.CommonAddrSize
+	body := data[off:]
+
+	elemSize, fixed := a.Type.ElementSize()
+	if !fixed {
+		// Variable-size types (file segments): retain raw bytes as a
+		// single object. The length octet inside the element governs
+		// its size; we keep the whole remainder.
+		if a.Sequence || count != 1 {
+			return nil, fmt.Errorf("iec104: variable-size type %v must carry one object", a.Type)
+		}
+		if len(body) < p.IOASize {
+			return nil, ErrShortASDU
+		}
+		a.Objects = []InfoObject{{
+			IOA:   decodeIOA(body, p.IOASize),
+			Value: Value{Kind: KindRaw},
+			Raw:   append([]byte(nil), body[p.IOASize:]...),
+		}}
+		return a, nil
+	}
+
+	var need int
+	if a.Sequence {
+		need = p.IOASize + count*elemSize
+	} else {
+		need = count * (p.IOASize + elemSize)
+	}
+	if len(body) != need {
+		return nil, fmt.Errorf("%w: %v x%d (SQ=%t) needs %d body bytes, have %d",
+			ErrObjectCount, a.Type, count, a.Sequence, need, len(body))
+	}
+
+	a.Objects = make([]InfoObject, 0, count)
+	if a.Sequence {
+		base := decodeIOA(body, p.IOASize)
+		pos := p.IOASize
+		for i := 0; i < count; i++ {
+			el := body[pos : pos+elemSize]
+			v, err := decodeElement(a.Type, el)
+			if err != nil {
+				return nil, err
+			}
+			a.Objects = append(a.Objects, InfoObject{
+				IOA:   base + uint32(i),
+				Value: v,
+				Raw:   append([]byte(nil), el...),
+			})
+			pos += elemSize
+		}
+	} else {
+		pos := 0
+		for i := 0; i < count; i++ {
+			ioa := decodeIOA(body[pos:], p.IOASize)
+			pos += p.IOASize
+			el := body[pos : pos+elemSize]
+			v, err := decodeElement(a.Type, el)
+			if err != nil {
+				return nil, err
+			}
+			a.Objects = append(a.Objects, InfoObject{
+				IOA:   ioa,
+				Value: v,
+				Raw:   append([]byte(nil), el...),
+			})
+			pos += elemSize
+		}
+	}
+	return a, nil
+}
+
+func decodeIOA(b []byte, size int) uint32 {
+	ioa := uint32(b[0]) | uint32(b[1])<<8
+	if size == 3 {
+		ioa |= uint32(b[2]) << 16
+	}
+	return ioa
+}
+
+// NewMeasurement builds a single-object measurement ASDU of type t
+// carrying value v at address ioa with the given cause.
+func NewMeasurement(t TypeID, commonAddr uint16, ioa uint32, v Value, cause Cause) *ASDU {
+	return &ASDU{
+		Type:       t,
+		COT:        COT{Cause: cause},
+		CommonAddr: commonAddr,
+		Objects:    []InfoObject{{IOA: ioa, Value: v}},
+	}
+}
+
+// NewInterrogation builds a general interrogation command (C_IC_NA_1,
+// the I100 token of the paper) for the given station.
+func NewInterrogation(commonAddr uint16, cause Cause) *ASDU {
+	return &ASDU{
+		Type:       CIcNa,
+		COT:        COT{Cause: cause},
+		CommonAddr: commonAddr,
+		Objects:    []InfoObject{{IOA: 0, Value: Value{Kind: KindQualifier, Bits: QOIStation}}},
+	}
+}
+
+// NewSetpointFloat builds a short-float set point command (C_SE_NC_1,
+// the I50 token: AGC setpoints in the paper's network).
+func NewSetpointFloat(commonAddr uint16, ioa uint32, setpoint float64, cause Cause) *ASDU {
+	return &ASDU{
+		Type:       CSeNc,
+		COT:        COT{Cause: cause},
+		CommonAddr: commonAddr,
+		Objects:    []InfoObject{{IOA: ioa, Value: Value{Kind: KindCommand, Float: setpoint}}},
+	}
+}

@@ -1,0 +1,308 @@
+package iec104
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func roundTrip(t *testing.T, a *ASDU, p Profile) *ASDU {
+	t.Helper()
+	b, err := a.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal %v: %v", a.Type, err)
+	}
+	got, err := ParseASDU(b, p)
+	if err != nil {
+		t.Fatalf("parse %v: %v", a.Type, err)
+	}
+	return got
+}
+
+func TestASDURoundTripFloat(t *testing.T) {
+	for _, p := range CandidateProfiles {
+		a := NewMeasurement(MMeNc, 3, 700, Value{Kind: KindFloat, Float: 59.98, Quality: Quality{}}, CauseSpontaneous)
+		got := roundTrip(t, a, p)
+		if got.Type != MMeNc || got.CommonAddr != 3 {
+			t.Fatalf("%v: DUI mismatch: %+v", p, got)
+		}
+		if got.Objects[0].IOA != 700 {
+			t.Fatalf("%v: IOA = %d", p, got.Objects[0].IOA)
+		}
+		if math.Abs(got.Objects[0].Value.Float-59.98) > 1e-4 {
+			t.Fatalf("%v: value = %v", p, got.Objects[0].Value.Float)
+		}
+	}
+}
+
+func TestASDURoundTripTimeTagged(t *testing.T) {
+	ts := time.Date(2026, 7, 5, 13, 37, 42, 250e6, time.UTC)
+	a := NewMeasurement(MMeTf, 1, 2001, Value{
+		Kind: KindFloat, Float: -12.5, HasTime: true,
+		Time: CP56Time2a{Time: ts},
+	}, CausePeriodic)
+	got := roundTrip(t, a, Standard)
+	v := got.Objects[0].Value
+	if !v.HasTime {
+		t.Fatal("time tag lost")
+	}
+	if !v.Time.Time.Equal(ts) {
+		t.Fatalf("time = %v, want %v", v.Time.Time, ts)
+	}
+	if v.Float != -12.5 {
+		t.Fatalf("value = %v", v.Float)
+	}
+}
+
+func TestASDUSequenceEncoding(t *testing.T) {
+	objs := make([]InfoObject, 10)
+	for i := range objs {
+		objs[i] = InfoObject{IOA: uint32(500 + i), Value: Value{Kind: KindScaled, Float: float64(i * 11)}}
+	}
+	a := &ASDU{Type: MMeNb, Sequence: true, COT: COT{Cause: CauseInrogen}, CommonAddr: 2, Objects: objs}
+	b, err := a.Marshal(Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SQ encoding stores the IOA once: 6 bytes DUI + 3 IOA + 10*3 elements.
+	if want := 6 + 3 + 10*3; len(b) != want {
+		t.Fatalf("sequence ASDU length = %d, want %d", len(b), want)
+	}
+	got, err := ParseASDU(b, Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Sequence || len(got.Objects) != 10 {
+		t.Fatalf("got SQ=%v n=%d", got.Sequence, len(got.Objects))
+	}
+	for i, o := range got.Objects {
+		if o.IOA != uint32(500+i) || o.Value.Float != float64(i*11) {
+			t.Fatalf("object %d = %+v", i, o)
+		}
+	}
+}
+
+func TestASDUSequenceNonConsecutiveRejected(t *testing.T) {
+	a := &ASDU{Type: MMeNb, Sequence: true, COT: COT{Cause: CauseInrogen}, CommonAddr: 2,
+		Objects: []InfoObject{{IOA: 5}, {IOA: 9}}}
+	if _, err := a.Marshal(Standard); err == nil {
+		t.Fatal("non-consecutive sequence IOAs must fail")
+	}
+}
+
+func TestASDUAllFixedTypesRoundTrip(t *testing.T) {
+	// Every fixed-size type must round-trip its raw element bytes
+	// under every profile.
+	rng := rand.New(rand.NewSource(42))
+	for _, typ := range SupportedTypeIDs() {
+		size, fixed := typ.ElementSize()
+		if !fixed {
+			continue
+		}
+		for _, p := range CandidateProfiles {
+			raw := make([]byte, size)
+			for i := range raw {
+				raw[i] = byte(rng.Intn(256))
+			}
+			// Keep any embedded CP56Time2a decodable. C_CS_NA_1's
+			// entire element is the time tag.
+			if typ.HasTimeTag() || typ == CCsNa {
+				EncodeCP56Time2a(raw[size-7:], CP56Time2a{Time: time.Date(2025, 3, 9, 8, 7, 6, 0, time.UTC)})
+			}
+			ioa := uint32(1000)
+			if typ == CIcNa || typ == CCsNa || typ == CRpNa || typ == CCiNa || typ == CRdNa || typ == MEiNa {
+				ioa = 0
+			}
+			a := &ASDU{Type: typ, COT: COT{Cause: CauseActivation}, CommonAddr: 9,
+				Objects: []InfoObject{{IOA: ioa, Value: Value{Kind: KindRaw}, Raw: raw}}}
+			b, err := a.Marshal(p)
+			if err != nil {
+				t.Fatalf("%v/%v marshal: %v", typ, p, err)
+			}
+			got, err := ParseASDU(b, p)
+			if err != nil {
+				t.Fatalf("%v/%v parse: %v", typ, p, err)
+			}
+			if got.Type != typ || got.Objects[0].IOA != ioa {
+				t.Fatalf("%v/%v: got %+v", typ, p, got)
+			}
+			if len(got.Objects[0].Raw) != size {
+				t.Fatalf("%v/%v: raw size %d, want %d", typ, p, len(got.Objects[0].Raw), size)
+			}
+			for i := range raw {
+				if got.Objects[0].Raw[i] != raw[i] {
+					t.Fatalf("%v/%v: raw byte %d = %#x, want %#x", typ, p, i, got.Objects[0].Raw[i], raw[i])
+				}
+			}
+		}
+	}
+}
+
+func TestASDULengthMismatchRejected(t *testing.T) {
+	a := NewMeasurement(MMeNc, 1, 44, Value{Kind: KindFloat, Float: 1}, CauseSpontaneous)
+	b, err := a.Marshal(Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate and extend: both must fail the exact-consumption check.
+	if _, err := ParseASDU(b[:len(b)-1], Standard); err == nil {
+		t.Error("truncated ASDU accepted")
+	}
+	if _, err := ParseASDU(append(append([]byte{}, b...), 0x00), Standard); err == nil {
+		t.Error("over-long ASDU accepted")
+	}
+}
+
+func TestASDUUnsupportedType(t *testing.T) {
+	b := []byte{2 /* M_SP_TA_1: IEC 101 only */, 1, byte(CauseSpontaneous), 0, 1, 0, 1, 0, 0, 0}
+	if _, err := ParseASDU(b, Standard); err == nil {
+		t.Fatal("IEC 101-only type accepted")
+	}
+}
+
+func TestASDUZeroObjects(t *testing.T) {
+	b := []byte{byte(MMeNc), 0, byte(CauseSpontaneous), 0, 1, 0}
+	if _, err := ParseASDU(b, Standard); err == nil {
+		t.Fatal("zero-object ASDU accepted")
+	}
+	a := &ASDU{Type: MMeNc, COT: COT{Cause: CauseSpontaneous}, CommonAddr: 1}
+	if _, err := a.Marshal(Standard); err == nil {
+		t.Fatal("marshal of zero-object ASDU accepted")
+	}
+}
+
+func TestIOAOverflowPerProfile(t *testing.T) {
+	a := NewMeasurement(MMeNc, 1, 1<<17, Value{Kind: KindFloat}, CauseSpontaneous)
+	if _, err := a.Marshal(LegacyIOA); err == nil {
+		t.Error("IOA > 16 bits must not marshal with 2-octet IOA profile")
+	}
+	if _, err := a.Marshal(Standard); err != nil {
+		t.Errorf("IOA within 24 bits must marshal: %v", err)
+	}
+}
+
+func TestNormalizedValueQuantisation(t *testing.T) {
+	check := func(raw int16) bool {
+		want := float64(raw) / 32768
+		a := NewMeasurement(MMeNa, 1, 9, Value{Kind: KindNormalized, Float: want}, CausePeriodic)
+		b, err := a.Marshal(Standard)
+		if err != nil {
+			return false
+		}
+		got, err := ParseASDU(b, Standard)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.Objects[0].Value.Float-want) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaledValueRoundTrip(t *testing.T) {
+	check := func(raw int16) bool {
+		a := NewMeasurement(MMeNb, 1, 9, Value{Kind: KindScaled, Float: float64(raw)}, CausePeriodic)
+		b, err := a.Marshal(Standard)
+		if err != nil {
+			return false
+		}
+		got, err := ParseASDU(b, Standard)
+		if err != nil {
+			return false
+		}
+		return got.Objects[0].Value.Float == float64(raw)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShortFloatRoundTrip(t *testing.T) {
+	check := func(f float32) bool {
+		if math.IsNaN(float64(f)) {
+			return true
+		}
+		a := NewSetpointFloat(1, 77, float64(f), CauseActivation)
+		b, err := a.Marshal(Standard)
+		if err != nil {
+			return false
+		}
+		got, err := ParseASDU(b, Standard)
+		if err != nil {
+			return false
+		}
+		return float32(got.Objects[0].Value.Float) == f
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQualityBits(t *testing.T) {
+	q := Quality{Overflow: true, Blocked: true, Substituted: true, NotTopical: true, Invalid: true}
+	a := NewMeasurement(MMeNc, 1, 5, Value{Kind: KindFloat, Float: 2.5, Quality: q}, CauseSpontaneous)
+	got := roundTrip(t, a, Standard)
+	if got.Objects[0].Value.Quality != q {
+		t.Fatalf("quality = %+v, want %+v", got.Objects[0].Value.Quality, q)
+	}
+	if q.Good() {
+		t.Error("all-bits quality reported Good")
+	}
+	if !(Quality{}).Good() {
+		t.Error("zero quality not Good")
+	}
+}
+
+func TestDoublePointBreakerStatus(t *testing.T) {
+	for _, st := range []uint32{DoubleIntermediate, DoubleOff, DoubleOn, DoubleBad} {
+		a := NewMeasurement(MDpNa, 1, 301, Value{Kind: KindDouble, Bits: st}, CauseSpontaneous)
+		got := roundTrip(t, a, Standard)
+		if got.Objects[0].Value.Bits != st {
+			t.Errorf("status %d round-tripped as %d", st, got.Objects[0].Value.Bits)
+		}
+	}
+}
+
+func TestCOTFlagsRoundTrip(t *testing.T) {
+	a := NewMeasurement(MMeNc, 1, 5, Value{Kind: KindFloat, Float: 1}, CauseActConfirm)
+	a.COT.Negative = true
+	a.COT.Test = true
+	a.COT.Orig = 42
+	got := roundTrip(t, a, Standard)
+	if !got.COT.Negative || !got.COT.Test || got.COT.Orig != 42 {
+		t.Fatalf("COT = %+v", got.COT)
+	}
+	// Legacy 1-octet COT drops the originator.
+	got = roundTrip(t, a, LegacyCOT)
+	if got.COT.Orig != 0 {
+		t.Fatalf("legacy COT carried originator %d", got.COT.Orig)
+	}
+	if !got.COT.Negative || !got.COT.Test || got.COT.Cause != CauseActConfirm {
+		t.Fatalf("legacy COT = %+v", got.COT)
+	}
+}
+
+func TestSupportedTypeIDCount(t *testing.T) {
+	// IEC 101 defines 127 type IDs from which IEC 104 supports 54.
+	if got := len(SupportedTypeIDs()); got != 54 {
+		t.Fatalf("supported type IDs = %d, want 54", got)
+	}
+	for _, bad := range []TypeID{0, 2, 41, 57, 65, 99, 104, 106, 108, 114, 119, 128} {
+		if Supported(bad) {
+			t.Errorf("type %d reported supported", bad)
+		}
+	}
+}
+
+func TestVariableSizeTypeRoundTrip(t *testing.T) {
+	seg := []byte{0x01, 0x00, 0x01, 0x05, 0xDE, 0xAD, 0xBE, 0xEF, 0x99}
+	a := &ASDU{Type: FSgNa, COT: COT{Cause: CauseFile}, CommonAddr: 1,
+		Objects: []InfoObject{{IOA: 12, Value: Value{Kind: KindRaw}, Raw: seg}}}
+	got := roundTrip(t, a, Standard)
+	if got.Objects[0].IOA != 12 || len(got.Objects[0].Raw) != len(seg) {
+		t.Fatalf("segment round-trip: %+v", got.Objects[0])
+	}
+}

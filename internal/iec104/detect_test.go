@@ -1,0 +1,178 @@
+package iec104
+
+import (
+	"testing"
+	"time"
+)
+
+// buildFrame marshals one I-format measurement APDU under profile p.
+func buildFrame(t *testing.T, p Profile, asdu *ASDU) []byte {
+	t.Helper()
+	b, err := NewI(1, 1, asdu).Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal under %v: %v", p, err)
+	}
+	return b
+}
+
+func typicalMeasurement() *ASDU {
+	return NewMeasurement(MMeTf, 5, 1201, Value{
+		Kind: KindFloat, Float: 60.01, HasTime: true,
+		Time: CP56Time2a{Time: time.Date(2026, 7, 5, 10, 0, 0, 0, time.UTC)},
+	}, CauseSpontaneous)
+}
+
+func TestDetectProfileStandard(t *testing.T) {
+	frame := buildFrame(t, Standard, typicalMeasurement())
+	got, results, err := DetectProfile(frame)
+	if err != nil {
+		t.Fatalf("detect: %v (results %+v)", err, results)
+	}
+	if got != Standard {
+		t.Fatalf("detected %v, want standard", got)
+	}
+}
+
+func TestDetectProfileLegacyCOT(t *testing.T) {
+	// This is the O28/O53/O58 pathology: a 1-octet cause of
+	// transmission. Wireshark's strict parse reads the common address
+	// low byte as the originator and shifts everything after.
+	frame := buildFrame(t, LegacyCOT, typicalMeasurement())
+	got, _, err := DetectProfile(frame)
+	if err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+	if got != LegacyCOT {
+		t.Fatalf("detected %v, want legacy-cot8", got)
+	}
+}
+
+func TestDetectProfileLegacyIOA(t *testing.T) {
+	// O37's pathology: 2-octet information object addresses. Strict
+	// parses swallow a value byte into the IOA, making measurements
+	// look random.
+	asdu := &ASDU{Type: MMeTf, COT: COT{Cause: CauseSpontaneous}, CommonAddr: 5,
+		Objects: []InfoObject{
+			{IOA: 101, Value: Value{Kind: KindFloat, Float: 117.8, HasTime: true,
+				Time: CP56Time2a{Time: time.Date(2026, 7, 5, 10, 0, 0, 0, time.UTC)}}},
+			{IOA: 102, Value: Value{Kind: KindFloat, Float: 117.9, HasTime: true,
+				Time: CP56Time2a{Time: time.Date(2026, 7, 5, 10, 0, 1, 0, time.UTC)}}},
+			{IOA: 103, Value: Value{Kind: KindFloat, Float: 118.0, HasTime: true,
+				Time: CP56Time2a{Time: time.Date(2026, 7, 5, 10, 0, 2, 0, time.UTC)}}},
+		}}
+	frame := buildFrame(t, LegacyIOA, asdu)
+	got, results, err := DetectProfile(frame)
+	if err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+	if got != LegacyIOA {
+		t.Fatalf("detected %v, want legacy-ioa16; scores: %+v", got, results)
+	}
+}
+
+func TestDetectProfileControlFramesAreStandard(t *testing.T) {
+	frame, err := NewU(UTestFRAct).Marshal(Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DetectProfile(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != Standard {
+		t.Fatalf("U frame detected as %v", got)
+	}
+}
+
+func TestDetectProfileGarbage(t *testing.T) {
+	if _, _, err := DetectProfile([]byte{0x68, 0x08, 0x00, 0x00, 0x00, 0x00, 0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+		t.Fatal("garbage frame detected a profile")
+	}
+}
+
+func TestTolerantParserLearnsPerEndpoint(t *testing.T) {
+	tp := NewTolerantParser()
+
+	legacy := buildFrame(t, LegacyCOT, typicalMeasurement())
+	std := buildFrame(t, Standard, typicalMeasurement())
+
+	// First frame from each endpoint triggers detection.
+	if _, err := tp.Parse("10.0.0.28:2404", legacy); err != nil {
+		t.Fatalf("legacy endpoint: %v", err)
+	}
+	if _, err := tp.Parse("10.0.0.1:2404", std); err != nil {
+		t.Fatalf("standard endpoint: %v", err)
+	}
+	if p, ok := tp.ProfileFor("10.0.0.28:2404"); !ok || p != LegacyCOT {
+		t.Fatalf("legacy endpoint profile = %v (%t)", p, ok)
+	}
+	if p, ok := tp.ProfileFor("10.0.0.1:2404"); !ok || p != Standard {
+		t.Fatalf("standard endpoint profile = %v (%t)", p, ok)
+	}
+
+	detections := tp.Detections
+	// Further frames from a known endpoint must use the cache.
+	if _, err := tp.Parse("10.0.0.28:2404", legacy); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Detections != detections {
+		t.Fatalf("cache miss: detections %d -> %d", detections, tp.Detections)
+	}
+}
+
+func TestTolerantParserMultipleAPDUsPerSegment(t *testing.T) {
+	tp := NewTolerantParser()
+	var payload []byte
+	payload = append(payload, buildFrame(t, LegacyCOT, typicalMeasurement())...)
+	u, _ := NewU(UTestFRAct).Marshal(Standard)
+	payload = append(payload, u...)
+	payload = append(payload, buildFrame(t, LegacyCOT, typicalMeasurement())...)
+	got, err := tp.Parse("o53", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d APDUs, want 3", len(got))
+	}
+	if got[1].Format != FormatU {
+		t.Fatalf("middle APDU format = %v", got[1].Format)
+	}
+}
+
+func TestStrictParserRejectsWhatTolerantAccepts(t *testing.T) {
+	// The headline §6.1 result: 100% of frames from legacy outstations
+	// are invalid for a strict parser but decodable by ours.
+	frames := [][]byte{
+		buildFrame(t, LegacyCOT, typicalMeasurement()),
+		buildFrame(t, LegacyIOA, typicalMeasurement()),
+	}
+	for i, f := range frames {
+		strictOK := false
+		if a, _, err := ParseAPDU(f, Standard); err == nil {
+			// A strict decode may accidentally "succeed"; it must then
+			// look implausible (this mirrors the random-measurement
+			// symptom the paper describes).
+			if plausibility(a.ASDU, Standard) > 0 {
+				strictOK = true
+			}
+		}
+		if strictOK {
+			t.Errorf("frame %d: strict parse produced a plausible result", i)
+		}
+		if _, _, err := DetectProfile(f); err != nil {
+			t.Errorf("frame %d: tolerant detection failed: %v", i, err)
+		}
+	}
+}
+
+func TestSetProfilePinsDialects(t *testing.T) {
+	tp := NewTolerantParser()
+	tp.SetProfile("pinned", LegacyIOA)
+	frame := buildFrame(t, LegacyIOA, typicalMeasurement())
+	if _, err := tp.Parse("pinned", frame); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Detections != 0 {
+		t.Fatalf("pinned endpoint triggered %d detections", tp.Detections)
+	}
+}

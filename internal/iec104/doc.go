@@ -1,0 +1,21 @@
+// Package iec104 implements the IEC 60870-5-104 telecontrol protocol:
+// APCI framing, the three APDU formats (I, S, U), ASDU encoding and
+// decoding for all 54 type identifications the standard supports over
+// TCP/IP, and the CP56Time2a / CP24Time2a time tags.
+//
+// Beyond the standard, the package implements the paper's primary
+// protocol contribution (Uncharted Networks, IMC '20 §6.1): a tolerant
+// parser that decodes packets carrying legacy IEC 60870-5-101 field
+// sizes inside IEC 104 frames. Two non-compliant dialects were observed
+// in the bulk power system the paper measured:
+//
+//   - a 2-octet Information Object Address (IOA) instead of the
+//     standard 3 octets (outstation O37), and
+//   - a 1-octet Cause Of Transmission (COT) instead of the standard
+//     2 octets (outstations O28, O53, O58).
+//
+// Both are expressed as a Profile. DetectProfile scores candidate
+// profiles against raw ASDU bytes exactly the way the authors debugged
+// the malformed captures: a compliant decode must consume the frame
+// precisely and produce plausible addresses and quality bits.
+package iec104

@@ -1,0 +1,73 @@
+package iec104_test
+
+import (
+	"fmt"
+
+	"uncharted/internal/iec104"
+)
+
+// Marshal a measurement the way an outstation reports it, then decode
+// it back.
+func Example() {
+	asdu := iec104.NewMeasurement(
+		iec104.MMeNc, // M_ME_NC_1: measured value, short float (I13)
+		29,           // common (station) address
+		1001,         // information object address
+		iec104.Value{Kind: iec104.KindFloat, Float: 117.5},
+		iec104.CauseSpontaneous,
+	)
+	frame, err := iec104.NewI(0, 0, asdu).Marshal(iec104.Standard)
+	if err != nil {
+		panic(err)
+	}
+	apdu, _, err := iec104.ParseAPDU(frame, iec104.Standard)
+	if err != nil {
+		panic(err)
+	}
+	obj := apdu.ASDU.Objects[0]
+	fmt.Printf("%s %s ioa=%d value=%.1f token=%s\n",
+		apdu.ASDU.Type, apdu.ASDU.COT.Cause, obj.IOA, obj.Value.Float, apdu.Token())
+	// Output: M_ME_NC_1 spont ioa=1001 value=117.5 token=I13
+}
+
+// Decode a frame whose dialect is unknown: the tolerant parser detects
+// the legacy IEC 101 field sizes that broke strict parsers in the
+// paper's captures.
+func ExampleDetectProfile() {
+	asdu := iec104.NewMeasurement(iec104.MMeNc, 9, 2001,
+		iec104.Value{Kind: iec104.KindFloat, Float: 60.01}, iec104.CausePeriodic)
+	// The misconfigured outstation emits a 1-octet cause of
+	// transmission (IEC 101 style).
+	frame, err := iec104.NewI(0, 0, asdu).Marshal(iec104.LegacyCOT)
+	if err != nil {
+		panic(err)
+	}
+
+	if _, _, err := iec104.ParseAPDU(frame, iec104.Standard); err != nil {
+		fmt.Println("strict parser: rejected")
+	}
+	profile, _, err := iec104.DetectProfile(frame)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tolerant parser: %s\n", profile)
+	// Output:
+	// strict parser: rejected
+	// tolerant parser: legacy-cot8
+}
+
+// A TolerantParser learns each endpoint's dialect once and reuses it.
+func ExampleTolerantParser() {
+	tp := iec104.NewTolerantParser()
+	asdu := iec104.NewMeasurement(iec104.MMeTf, 37, 900,
+		iec104.Value{Kind: iec104.KindFloat, Float: 132.4, HasTime: true},
+		iec104.CauseSpontaneous)
+	frame, _ := iec104.NewI(0, 0, asdu).Marshal(iec104.LegacyIOA)
+
+	if _, err := tp.Parse("10.0.1.47:2404", frame); err != nil {
+		panic(err)
+	}
+	p, _ := tp.ProfileFor("10.0.1.47:2404")
+	fmt.Println(p)
+	// Output: legacy-ioa16
+}

@@ -1,0 +1,78 @@
+package iec104
+
+import "fmt"
+
+// Profile fixes the sizes of the variable-width ASDU fields. IEC 104
+// mandates a 2-octet cause of transmission, a 2-octet common address
+// and a 3-octet information object address. The federated network the
+// paper measured contained outstations that kept their legacy IEC 101
+// field sizes after the serial-to-TCP/IP upgrade, so a parser must be
+// able to decode those dialects too.
+type Profile struct {
+	COTSize        int // 1 (legacy IEC 101) or 2 (IEC 104)
+	CommonAddrSize int // 1 (legacy IEC 101) or 2 (IEC 104)
+	IOASize        int // 2 (legacy IEC 101) or 3 (IEC 104)
+}
+
+// The profiles observed in the paper's captures.
+var (
+	// Standard is the IEC 104 compliant layout.
+	Standard = Profile{COTSize: 2, CommonAddrSize: 2, IOASize: 3}
+	// LegacyCOT keeps the 1-octet IEC 101 cause of transmission
+	// (outstations O28, O53, O58 in the paper).
+	LegacyCOT = Profile{COTSize: 1, CommonAddrSize: 2, IOASize: 3}
+	// LegacyIOA keeps the 2-octet IEC 101 information object address
+	// (outstation O37 in the paper).
+	LegacyIOA = Profile{COTSize: 2, CommonAddrSize: 2, IOASize: 2}
+	// LegacyCOTIOA combines both deviations.
+	LegacyCOTIOA = Profile{COTSize: 1, CommonAddrSize: 2, IOASize: 2}
+	// LegacyFull is IEC 101's classic minimal sizing, including a
+	// 1-octet common address — what a pass-through serial gateway
+	// emits when nothing was reconfigured.
+	LegacyFull = Profile{COTSize: 1, CommonAddrSize: 1, IOASize: 2}
+)
+
+// CandidateProfiles lists the dialects DetectProfile scores, most
+// compliant first.
+var CandidateProfiles = []Profile{Standard, LegacyCOT, LegacyIOA, LegacyCOTIOA, LegacyFull}
+
+// Validate checks that the field sizes are ones either standard allows.
+func (p Profile) Validate() error {
+	if p.COTSize != 1 && p.COTSize != 2 {
+		return fmt.Errorf("iec104: COT size %d not in {1,2}", p.COTSize)
+	}
+	if p.CommonAddrSize != 1 && p.CommonAddrSize != 2 {
+		return fmt.Errorf("iec104: common address size %d not in {1,2}", p.CommonAddrSize)
+	}
+	if p.IOASize != 2 && p.IOASize != 3 {
+		return fmt.Errorf("iec104: IOA size %d not in {2,3}", p.IOASize)
+	}
+	return nil
+}
+
+// IsStandard reports whether p is the fully compliant IEC 104 layout.
+func (p Profile) IsStandard() bool { return p == Standard }
+
+func (p Profile) String() string {
+	switch p {
+	case Standard:
+		return "standard"
+	case LegacyCOT:
+		return "legacy-cot8"
+	case LegacyIOA:
+		return "legacy-ioa16"
+	case LegacyCOTIOA:
+		return "legacy-cot8-ioa16"
+	case LegacyFull:
+		return "legacy-full"
+	}
+	return fmt.Sprintf("profile(cot=%d,ca=%d,ioa=%d)", p.COTSize, p.CommonAddrSize, p.IOASize)
+}
+
+// maxIOA returns the largest representable information object address.
+func (p Profile) maxIOA() uint32 {
+	if p.IOASize == 2 {
+		return 1<<16 - 1
+	}
+	return 1<<24 - 1
+}

@@ -1,0 +1,85 @@
+package iec104
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseNeverPanicsOnRandomBytes hammers the parser with random
+// buffers under every candidate profile: a network-facing parser must
+// fail loudly, never crash. (The paper's whole §6.1 is about frames a
+// parser author never anticipated.)
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = byte(rng.Intn(256))
+		}
+		for _, p := range CandidateProfiles {
+			_, _, _ = ParseAPDU(buf, p)
+			_, _, _ = ParseAPDUs(buf, p)
+		}
+		_, _, _ = DetectProfile(buf)
+	}
+}
+
+// TestParseNeverPanicsOnMutatedFrames flips bytes of valid frames —
+// the classic way to shake out slice-bounds bugs in length-prefixed
+// codecs.
+func TestParseNeverPanicsOnMutatedFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	asdu := NewMeasurement(MMeTf, 5, 1201, Value{Kind: KindFloat, Float: 60, HasTime: true}, CauseSpontaneous)
+	for _, p := range CandidateProfiles {
+		frame, err := NewI(3, 4, asdu).Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5000; i++ {
+			mut := append([]byte(nil), frame...)
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+			}
+			// Also truncate sometimes.
+			if rng.Intn(4) == 0 {
+				mut = mut[:rng.Intn(len(mut)+1)]
+			}
+			for _, pp := range CandidateProfiles {
+				_, _, _ = ParseAPDU(mut, pp)
+			}
+			_, _, _ = DetectProfile(mut)
+		}
+	}
+}
+
+// TestTolerantParserNeverPanics runs the endpoint-learning parser over
+// random garbage streams.
+func TestTolerantParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	tp := NewTolerantParser()
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(128)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = byte(rng.Intn(256))
+		}
+		// Half the buffers start like frames.
+		if n > 2 && rng.Intn(2) == 0 {
+			buf[0] = StartByte
+		}
+		_, _ = tp.Parse("ep", buf)
+	}
+}
+
+// TestCP56NeverPanics decodes random time tags.
+func TestCP56NeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	var b [7]byte
+	for i := 0; i < 20000; i++ {
+		for j := range b {
+			b[j] = byte(rng.Intn(256))
+		}
+		_, _ = DecodeCP56Time2a(b[:])
+	}
+}

@@ -1,0 +1,107 @@
+package iec104
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCP56Time2aRoundTrip(t *testing.T) {
+	cases := []time.Time{
+		time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC),
+		time.Date(2026, 7, 5, 23, 59, 59, 999e6, time.UTC),
+		time.Date(1999, 12, 31, 12, 30, 15, 500e6, time.UTC),
+		time.Date(2069, 6, 15, 6, 6, 6, 0, time.UTC),
+	}
+	for _, want := range cases {
+		var b [7]byte
+		EncodeCP56Time2a(b[:], CP56Time2a{Time: want})
+		got, err := DecodeCP56Time2a(b[:])
+		if err != nil {
+			t.Fatalf("%v: %v", want, err)
+		}
+		if !got.Time.Equal(want) {
+			t.Errorf("round-trip %v -> %v", want, got.Time)
+		}
+	}
+}
+
+func TestCP56Time2aQuick(t *testing.T) {
+	check := func(sec uint32, ms uint16) bool {
+		// Any instant between 2000 and 2069 must round-trip to the
+		// millisecond.
+		base := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+		want := base.Add(time.Duration(sec%(69*365*24*3600)) * time.Second).
+			Add(time.Duration(ms%1000) * time.Millisecond)
+		var b [7]byte
+		EncodeCP56Time2a(b[:], CP56Time2a{Time: want})
+		got, err := DecodeCP56Time2a(b[:])
+		return err == nil && got.Time.Equal(want)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCP56Time2aFlags(t *testing.T) {
+	var b [7]byte
+	EncodeCP56Time2a(b[:], CP56Time2a{
+		Time:    time.Date(2024, 5, 1, 10, 20, 30, 0, time.UTC),
+		Invalid: true,
+		Summer:  true,
+	})
+	got, err := DecodeCP56Time2a(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Invalid || !got.Summer {
+		t.Fatalf("flags = %+v", got)
+	}
+}
+
+func TestCP56Time2aRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		{0xFF, 0xFF, 0, 0, 1, 1, 20}, // ms > 59999
+		{0, 0, 60, 0, 1, 1, 20},      // minute 60
+		{0, 0, 0, 24, 1, 1, 20},      // hour 24
+		{0, 0, 0, 0, 0, 1, 20},       // day 0
+		{0, 0, 0, 0, 1, 13, 20},      // month 13
+		{0, 0, 0, 0, 1, 0, 20},       // month 0
+	}
+	for i, b := range cases {
+		if _, err := DecodeCP56Time2a(b); err == nil {
+			t.Errorf("case %d: garbage decoded", i)
+		}
+	}
+}
+
+func TestCP24Time2aRoundTrip(t *testing.T) {
+	want := CP24Time2a{Millis: 45999, Minute: 12, Invalid: true}
+	var b [3]byte
+	EncodeCP24Time2a(b[:], want)
+	got, err := DecodeCP24Time2a(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if _, err := DecodeCP24Time2a(b[:2]); err == nil {
+		t.Error("short CP24 decoded")
+	}
+}
+
+func TestCP56YearWindow(t *testing.T) {
+	// Years 70-99 map to the 1900s, 00-69 to the 2000s.
+	var b [7]byte
+	EncodeCP56Time2a(b[:], CP56Time2a{Time: time.Date(1975, 2, 3, 4, 5, 6, 0, time.UTC)})
+	got, err := DecodeCP56Time2a(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Time.Year() != 1975 {
+		t.Fatalf("year = %d, want 1975", got.Time.Year())
+	}
+}

@@ -1,0 +1,73 @@
+package markov_test
+
+import (
+	"fmt"
+
+	"uncharted/internal/iec104"
+	"uncharted/internal/markov"
+)
+
+func toks(names ...string) []iec104.Token {
+	out := make([]iec104.Token, len(names))
+	for i, n := range names {
+		t, err := iec104.ParseToken(n)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// Build the Markov chain of a healthy secondary connection: the
+// U16/U32 keep-alive ping-pong of the paper's Fig. 12.
+func ExampleChain() {
+	ch := markov.NewChain()
+	ch.Add(toks("U16", "U32", "U16", "U32", "U16", "U32"))
+	fmt.Printf("nodes=%d edges=%d P(U32|U16)=%.2f region=%s\n",
+		ch.Nodes(), ch.Edges(),
+		ch.Prob(toks("U16")[0], toks("U32")[0]),
+		markov.Classify11SquareEllipse(ch))
+	// Output: nodes=2 edges=2 P(U32|U16)=1.00 region=square
+}
+
+// The reset-backup pathology: only unanswered TESTFR keep-alives — the
+// point (1,1) of the paper's Fig. 13.
+func ExampleChain_IsPoint11() {
+	ch := markov.NewChain()
+	ch.Add(toks("U16", "U16", "U16"))
+	fmt.Println(ch.IsPoint11())
+	// Output: true
+}
+
+// Classify an outstation from its per-server connection chains: a
+// primary data link plus a healthy keep-alive secondary is the
+// standard's ideal Type 2.
+func ExampleClassifyOutstation() {
+	primary := markov.NewChain()
+	primary.Add(toks("I36", "I36", "S", "I36"))
+	secondary := markov.NewChain()
+	secondary.Add(toks("U16", "U32", "U16", "U32"))
+
+	class := markov.ClassifyOutstation([]markov.ConnSummary{
+		{Server: "C1", Outstation: "O4", Chain: primary},
+		{Server: "C2", Outstation: "O4", Chain: secondary},
+	})
+	fmt.Printf("%s is Type%d\n", class.Outstation, class.Type)
+	// Output: O4 is Type2
+}
+
+// Score traffic against a bigram language model: an interrogation
+// burst looks nothing like steady reporting.
+func ExampleNGram_Perplexity() {
+	m, _ := markov.NewNGram(2)
+	var stream []string
+	for i := 0; i < 20; i++ {
+		stream = append(stream, "I36", "I36", "S")
+	}
+	m.Train(toks(stream...))
+	normal, _ := m.Perplexity(toks("I36", "I36", "S", "I36"))
+	weird, _ := m.Perplexity(toks("I100", "I45", "I100", "I45"))
+	fmt.Println(normal < weird)
+	// Output: true
+}

@@ -1,0 +1,173 @@
+// Package markov models APDU token sequences the way the paper does in
+// §6.3.1: N-gram language models with maximum-likelihood transition
+// probabilities, per-connection Markov chains whose node/edge counts
+// reproduce the Fig. 13 scatter, and the eight-way connection-type
+// classifier of Table 6 / Fig. 17.
+package markov
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uncharted/internal/iec104"
+)
+
+// Edge is one observed transition with its MLE probability.
+type Edge struct {
+	From, To iec104.Token
+	Count    int
+	Prob     float64
+}
+
+// Chain is a first-order Markov chain over APDU tokens.
+type Chain struct {
+	counts map[iec104.Token]map[iec104.Token]int
+	outs   map[iec104.Token]int
+	nodes  map[iec104.Token]int
+	total  int
+}
+
+// NewChain returns an empty chain.
+func NewChain() *Chain {
+	return &Chain{
+		counts: make(map[iec104.Token]map[iec104.Token]int),
+		outs:   make(map[iec104.Token]int),
+		nodes:  make(map[iec104.Token]int),
+	}
+}
+
+// Add extends the chain with a token sequence. Sequences added
+// separately are not stitched together (no cross-sequence bigram).
+func (c *Chain) Add(seq []iec104.Token) {
+	for i, tok := range seq {
+		c.nodes[tok]++
+		c.total++
+		if i == 0 {
+			continue
+		}
+		prev := seq[i-1]
+		m, ok := c.counts[prev]
+		if !ok {
+			m = make(map[iec104.Token]int)
+			c.counts[prev] = m
+		}
+		m[tok]++
+		c.outs[prev]++
+	}
+}
+
+// Nodes returns the number of distinct tokens observed.
+func (c *Chain) Nodes() int { return len(c.nodes) }
+
+// Edges returns the number of distinct transitions observed.
+func (c *Chain) Edges() int {
+	n := 0
+	for _, m := range c.counts {
+		n += len(m)
+	}
+	return n
+}
+
+// Tokens returns the distinct tokens in canonical order.
+func (c *Chain) Tokens() []iec104.Token {
+	out := make([]iec104.Token, 0, len(c.nodes))
+	for t := range c.nodes {
+		out = append(out, t)
+	}
+	iec104.SortTokens(out)
+	return out
+}
+
+// TotalTokens returns the number of token observations.
+func (c *Chain) TotalTokens() int { return c.total }
+
+// Count returns how often token t was observed.
+func (c *Chain) Count(t iec104.Token) int { return c.nodes[t] }
+
+// Prob returns the MLE transition probability P(to | from), equation
+// (2) of the paper: C(from,to) / C(from,·).
+func (c *Chain) Prob(from, to iec104.Token) float64 {
+	if c.outs[from] == 0 {
+		return 0
+	}
+	return float64(c.counts[from][to]) / float64(c.outs[from])
+}
+
+// EdgeList returns every transition sorted by (from, to).
+func (c *Chain) EdgeList() []Edge {
+	var out []Edge
+	for from, m := range c.counts {
+		for to, cnt := range m {
+			out = append(out, Edge{From: from, To: to, Count: cnt, Prob: c.Prob(from, to)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From.String() != out[j].From.String() {
+			return out[i].From.String() < out[j].From.String()
+		}
+		return out[i].To.String() < out[j].To.String()
+	})
+	return out
+}
+
+// Has reports whether the token appears in the chain.
+func (c *Chain) Has(t iec104.Token) bool { return c.nodes[t] > 0 }
+
+// HasInterrogation reports whether the chain contains I100 — the
+// discriminator of the Fig. 13 ellipse.
+func (c *Chain) HasInterrogation() bool { return c.Has(iec104.TokenInterro) }
+
+// IsPoint11 reports whether the chain sits at Fig. 13's point (1,1):
+// a single node with a self-edge — the repeated unanswered U16 of the
+// reset backup connections (Fig. 14). A capture so short it caught
+// only one unanswered U16 (one node, zero edges) counts too: the
+// defining symptom is "nothing but TESTFR act".
+func (c *Chain) IsPoint11() bool {
+	if c.Nodes() != 1 || c.Edges() > 1 {
+		return false
+	}
+	return c.nodes[iec104.TokenTestFRAct] > 0
+}
+
+// String renders a compact dot-like description for reports.
+func (c *Chain) String() string {
+	var b strings.Builder
+	for _, e := range c.EdgeList() {
+		fmt.Fprintf(&b, "%s->%s(%.2f) ", e.From, e.To, e.Prob)
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// SizeCluster buckets a connection for the Fig. 13 scatter.
+type SizeCluster int
+
+// Fig. 13 regions.
+const (
+	ClusterPoint11 SizeCluster = iota // abnormal reset backups
+	ClusterSquare                     // regular chains without interrogation
+	ClusterEllipse                    // chains containing I100
+)
+
+func (s SizeCluster) String() string {
+	switch s {
+	case ClusterPoint11:
+		return "point(1,1)"
+	case ClusterSquare:
+		return "square"
+	default:
+		return "ellipse"
+	}
+}
+
+// Classify11SquareEllipse places a chain in its Fig. 13 region.
+func Classify11SquareEllipse(c *Chain) SizeCluster {
+	switch {
+	case c.IsPoint11():
+		return ClusterPoint11
+	case c.HasInterrogation():
+		return ClusterEllipse
+	default:
+		return ClusterSquare
+	}
+}

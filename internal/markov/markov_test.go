@@ -1,0 +1,260 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"uncharted/internal/iec104"
+)
+
+func toks(names ...string) []iec104.Token {
+	out := make([]iec104.Token, len(names))
+	for i, n := range names {
+		t, err := iec104.ParseToken(n)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = t
+	}
+	return out
+}
+
+func TestChainPrimaryPattern(t *testing.T) {
+	// Fig. 12 left: I36 reports acknowledged by S.
+	c := NewChain()
+	c.Add(toks("I36", "I36", "S", "I36", "I36", "S", "I36"))
+	if c.Nodes() != 2 {
+		t.Fatalf("nodes %d", c.Nodes())
+	}
+	// Edges: I36->I36, I36->S, S->I36.
+	if c.Edges() != 3 {
+		t.Fatalf("edges %d", c.Edges())
+	}
+	pII := c.Prob(toks("I36")[0], toks("I36")[0])
+	pIS := c.Prob(toks("I36")[0], toks("S")[0])
+	if math.Abs(pII+pIS-1) > 1e-9 {
+		t.Fatalf("outgoing probabilities %v + %v != 1", pII, pIS)
+	}
+	if pSI := c.Prob(toks("S")[0], toks("I36")[0]); pSI != 1 {
+		t.Fatalf("S->I36 = %v", pSI)
+	}
+}
+
+func TestChainSecondaryPattern(t *testing.T) {
+	// Fig. 12 right: U16/U32 keep-alive ping-pong.
+	c := NewChain()
+	c.Add(toks("U16", "U32", "U16", "U32", "U16", "U32"))
+	if c.Nodes() != 2 || c.Edges() != 2 {
+		t.Fatalf("nodes %d edges %d", c.Nodes(), c.Edges())
+	}
+	if Classify11SquareEllipse(c) != ClusterSquare {
+		t.Fatalf("healthy secondary classified %v", Classify11SquareEllipse(c))
+	}
+}
+
+func TestChainPoint11(t *testing.T) {
+	// Fig. 14: repeated U16 without acknowledgement.
+	c := NewChain()
+	c.Add(toks("U16", "U16", "U16", "U16"))
+	if !c.IsPoint11() {
+		t.Fatalf("nodes %d edges %d", c.Nodes(), c.Edges())
+	}
+	if Classify11SquareEllipse(c) != ClusterPoint11 {
+		t.Fatal("not classified as point (1,1)")
+	}
+}
+
+func TestChainEllipse(t *testing.T) {
+	// Fig. 15: activation, interrogation, then data.
+	c := NewChain()
+	c.Add(toks("U1", "U2", "I100", "I13", "I36", "I13", "S", "I13"))
+	if !c.HasInterrogation() {
+		t.Fatal("I100 not detected")
+	}
+	if Classify11SquareEllipse(c) != ClusterEllipse {
+		t.Fatal("not classified as ellipse")
+	}
+	if c.Nodes() < 5 {
+		t.Fatalf("nodes %d", c.Nodes())
+	}
+}
+
+func TestChainSeparateSequencesNotStitched(t *testing.T) {
+	c := NewChain()
+	c.Add(toks("I13"))
+	c.Add(toks("S"))
+	if c.Edges() != 0 {
+		t.Fatalf("cross-sequence edge created: %d", c.Edges())
+	}
+	if c.Nodes() != 2 || c.TotalTokens() != 2 {
+		t.Fatalf("nodes %d total %d", c.Nodes(), c.TotalTokens())
+	}
+}
+
+func TestChainEdgeListDeterministic(t *testing.T) {
+	c := NewChain()
+	c.Add(toks("U16", "U32", "U16", "U32", "I13", "S"))
+	e1 := c.EdgeList()
+	e2 := c.EdgeList()
+	if len(e1) != len(e2) {
+		t.Fatal("edge list unstable")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("edge list order unstable")
+		}
+	}
+	for _, e := range e1 {
+		if e.Prob <= 0 || e.Prob > 1 {
+			t.Fatalf("edge %v prob %v", e, e.Prob)
+		}
+	}
+}
+
+func TestNGramMLE(t *testing.T) {
+	m, err := NewNGram(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (S, I36) and (I13, I13) examples straight from §6.3.1.
+	m.Train(toks("S", "I36", "S", "I36", "S", "I13", "I13"))
+	p, err := m.Prob(toks("S", "I36"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-2.0/3.0) > 1e-9 {
+		t.Fatalf("P(I36|S) = %v, want 2/3", p)
+	}
+	p, _ = m.Prob(toks("I13", "I13"))
+	if p != 1 {
+		t.Fatalf("P(I13|I13) = %v", p)
+	}
+	p, _ = m.Prob(toks("I36", "U16"))
+	if p != 0 {
+		t.Fatalf("unseen gram probability %v", p)
+	}
+}
+
+func TestNGramErrors(t *testing.T) {
+	if _, err := NewNGram(0); err == nil {
+		t.Error("order 0 accepted")
+	}
+	m, _ := NewNGram(3)
+	if _, err := m.Prob(toks("S", "I36")); err == nil {
+		t.Error("wrong gram length accepted")
+	}
+	if _, err := m.SequenceLogProb(toks("S")); err == nil {
+		t.Error("too-short sequence accepted")
+	}
+}
+
+func TestNGramPerplexityDiscriminates(t *testing.T) {
+	m, _ := NewNGram(2)
+	// Train on healthy primary traffic.
+	var healthy []iec104.Token
+	for i := 0; i < 50; i++ {
+		healthy = append(healthy, toks("I36", "I36", "S")...)
+	}
+	m.Train(healthy)
+	inDist, err := m.Perplexity(toks("I36", "I36", "S", "I36", "I36", "S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack, err := m.Perplexity(toks("I100", "I45", "I46", "I100", "I45"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attack <= inDist {
+		t.Fatalf("attack perplexity %v <= in-distribution %v", attack, inDist)
+	}
+}
+
+func TestNGramTrigram(t *testing.T) {
+	m, _ := NewNGram(3)
+	m.Train(toks("U16", "U32", "U16", "U32", "U16", "U32"))
+	p, err := m.Prob(toks("U16", "U32", "U16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("P(U16|U16 U32) = %v", p)
+	}
+}
+
+func chainOf(names ...string) *Chain {
+	c := NewChain()
+	c.Add(toks(names...))
+	return c
+}
+
+func TestClassifyTypes(t *testing.T) {
+	cases := []struct {
+		name  string
+		conns []ConnSummary
+		want  int
+	}{
+		{"type1 primary only", []ConnSummary{
+			{Server: "C1", Outstation: "O1", Chain: chainOf("I36", "I36", "S")},
+		}, 1},
+		{"type2 ideal", []ConnSummary{
+			{Server: "C1", Outstation: "O4", Chain: chainOf("I36", "S", "I36")},
+			{Server: "C2", Outstation: "O4", Chain: chainOf("U16", "U32", "U16", "U32")},
+		}, 2},
+		{"type3 backup RTU", []ConnSummary{
+			{Server: "C1", Outstation: "O11", Chain: chainOf("U16", "U32")},
+			{Server: "C2", Outstation: "O11", Chain: chainOf("U16", "U32")},
+		}, 3},
+		{"type4 both servers", []ConnSummary{
+			{Server: "C1", Outstation: "O12", Chain: chainOf("I13", "S", "I13")},
+			{Server: "C2", Outstation: "O12", Chain: chainOf("I13", "I13")},
+		}, 4},
+		{"type5 single with I and U", []ConnSummary{
+			{Server: "C1", Outstation: "O40", Chain: chainOf("I13", "U16", "U32", "I13", "S")},
+		}, 5},
+		{"type6 refused secondary", []ConnSummary{
+			{Server: "C2", Outstation: "O5", Chain: chainOf("I36", "S")},
+			{Server: "C1", Outstation: "O5", Chain: chainOf("U16", "U16", "U16")},
+		}, 6},
+		{"type7 reset backup", []ConnSummary{
+			{Server: "C2", Outstation: "O7", Chain: chainOf("U16", "U32")},
+			{Server: "C1", Outstation: "O7", Chain: chainOf("U16", "U16")},
+		}, 7},
+		{"type8 switchover", []ConnSummary{
+			{Server: "C1", Outstation: "O29", Chain: chainOf("I36", "S", "I36")},
+			{Server: "C2", Outstation: "O29", Chain: chainOf("U16", "U32", "U16", "U32", "U1", "U2", "I100", "I13", "I36", "S")},
+		}, 8},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := ClassifyOutstation(c.conns)
+			if got.Type != c.want {
+				t.Fatalf("classified type %d, want %d", got.Type, c.want)
+			}
+		})
+	}
+}
+
+func TestClassifyAllAndDistribution(t *testing.T) {
+	conns := []ConnSummary{
+		{Server: "C1", Outstation: "O1", Chain: chainOf("I36", "S")},
+		{Server: "C1", Outstation: "O11", Chain: chainOf("U16", "U32")},
+		{Server: "C2", Outstation: "O11", Chain: chainOf("U16", "U32")},
+	}
+	classes := ClassifyAll(conns)
+	if len(classes) != 2 {
+		t.Fatalf("%d classes", len(classes))
+	}
+	if classes[0].Outstation != "O1" || classes[1].Outstation != "O11" {
+		t.Fatalf("order %v", classes)
+	}
+	dist := TypeDistribution(classes)
+	if dist[1] != 1 || dist[3] != 1 {
+		t.Fatalf("distribution %v", dist)
+	}
+}
+
+func TestClassifyEmpty(t *testing.T) {
+	if got := ClassifyOutstation(nil); got.Type != 0 {
+		t.Fatalf("empty classified %d", got.Type)
+	}
+}

@@ -1,0 +1,122 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"uncharted/internal/iec104"
+)
+
+// NGram is an order-n language model over APDU tokens with maximum
+// likelihood estimation (the paper's equations (1) and (2)) and
+// optional add-one smoothing for scoring unseen sequences.
+type NGram struct {
+	n      int
+	counts map[string]int // n-gram joint counts
+	ctx    map[string]int // (n-1)-gram context counts
+	vocab  map[string]bool
+}
+
+// NewNGram builds an empty model of order n (n >= 1).
+func NewNGram(n int) (*NGram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("markov: n-gram order %d < 1", n)
+	}
+	return &NGram{
+		n:      n,
+		counts: make(map[string]int),
+		ctx:    make(map[string]int),
+		vocab:  make(map[string]bool),
+	}, nil
+}
+
+// Order returns n.
+func (m *NGram) Order() int { return m.n }
+
+func key(toks []iec104.Token) string {
+	parts := make([]string, len(toks))
+	for i, t := range toks {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Train adds one token sequence to the model.
+func (m *NGram) Train(seq []iec104.Token) {
+	for _, t := range seq {
+		m.vocab[t.String()] = true
+	}
+	if len(seq) < m.n {
+		return
+	}
+	for i := 0; i+m.n <= len(seq); i++ {
+		gram := seq[i : i+m.n]
+		m.counts[key(gram)]++
+		m.ctx[key(gram[:m.n-1])]++
+	}
+}
+
+// VocabSize returns the number of distinct tokens seen.
+func (m *NGram) VocabSize() int { return len(m.vocab) }
+
+// Prob returns the MLE conditional probability of the last token of
+// gram given its n-1 predecessors. gram must have length n.
+func (m *NGram) Prob(gram []iec104.Token) (float64, error) {
+	if len(gram) != m.n {
+		return 0, fmt.Errorf("markov: gram length %d, model order %d", len(gram), m.n)
+	}
+	c := m.ctx[key(gram[:m.n-1])]
+	if c == 0 {
+		return 0, nil
+	}
+	return float64(m.counts[key(gram)]) / float64(c), nil
+}
+
+// SmoothedProb is Prob with add-one (Laplace) smoothing, usable for
+// scoring sequences containing unseen transitions.
+func (m *NGram) SmoothedProb(gram []iec104.Token) (float64, error) {
+	if len(gram) != m.n {
+		return 0, fmt.Errorf("markov: gram length %d, model order %d", len(gram), m.n)
+	}
+	v := len(m.vocab)
+	if v == 0 {
+		return 0, fmt.Errorf("markov: empty model")
+	}
+	c := m.ctx[key(gram[:m.n-1])]
+	return (float64(m.counts[key(gram)]) + 1) / (float64(c) + float64(v)), nil
+}
+
+// SequenceLogProb scores a whole sequence via the chain rule (the
+// paper's equation (1)) using smoothed probabilities, returning the
+// natural-log probability.
+func (m *NGram) SequenceLogProb(seq []iec104.Token) (float64, error) {
+	if len(seq) < m.n {
+		return 0, fmt.Errorf("markov: sequence shorter than model order")
+	}
+	var lp float64
+	for i := 0; i+m.n <= len(seq); i++ {
+		p, err := m.SmoothedProb(seq[i : i+m.n])
+		if err != nil {
+			return 0, err
+		}
+		if p == 0 {
+			return math.Inf(-1), nil
+		}
+		lp += math.Log(p)
+	}
+	return lp, nil
+}
+
+// Perplexity returns exp(-logprob / #grams) for a sequence: lower
+// means the sequence looks more like the training traffic. This is the
+// anomaly score a whitelisting IDS would use (the paper's future-work
+// direction).
+func (m *NGram) Perplexity(seq []iec104.Token) (float64, error) {
+	lp, err := m.SequenceLogProb(seq)
+	if err != nil {
+		return 0, err
+	}
+	grams := len(seq) - m.n + 1
+	return math.Exp(-lp / float64(grams)), nil
+}

@@ -1,0 +1,252 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeEthernet)
+	base := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	payloads := [][]byte{
+		{0x01},
+		{0x02, 0x03},
+		bytes.Repeat([]byte{0xAA}, 1500),
+	}
+	for i, p := range payloads {
+		ci := CaptureInfo{Timestamp: base.Add(time.Duration(i) * time.Millisecond * 1500)}
+		if err := w.WritePacket(ci, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Fatalf("link type = %v", r.LinkType())
+	}
+	for i, want := range payloads {
+		data, ci, err := r.ReadPacket()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !bytes.Equal(data, want) {
+			t.Fatalf("packet %d data mismatch", i)
+		}
+		wantTS := base.Add(time.Duration(i) * time.Millisecond * 1500)
+		if !ci.Timestamp.Equal(wantTS) {
+			t.Fatalf("packet %d timestamp %v, want %v", i, ci.Timestamp, wantTS)
+		}
+		if ci.CaptureLength != len(want) || ci.Length != len(want) {
+			t.Fatalf("packet %d lengths %d/%d", i, ci.CaptureLength, ci.Length)
+		}
+	}
+	if _, _, err := r.ReadPacket(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderBigEndianAndNanos(t *testing.T) {
+	// Hand-build a big-endian nanosecond capture with one record.
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magicNanosSwapped) // stored LE, read as swapped → big-endian file
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 65535)
+	binary.BigEndian.PutUint32(hdr[20:24], uint32(LinkTypeRaw))
+	buf.Write(hdr[:])
+	var rec [16]byte
+	binary.BigEndian.PutUint32(rec[0:4], 1700000000)
+	binary.BigEndian.PutUint32(rec[4:8], 123456789)
+	binary.BigEndian.PutUint32(rec[8:12], 3)
+	binary.BigEndian.PutUint32(rec[12:16], 3)
+	buf.Write(rec[:])
+	buf.Write([]byte{9, 8, 7})
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ci, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte{9, 8, 7}) {
+		t.Fatalf("data = % x", data)
+	}
+	want := time.Unix(1700000000, 123456789).UTC()
+	if !ci.Timestamp.Equal(want) {
+		t.Fatalf("timestamp %v, want %v", ci.Timestamp, want)
+	}
+	if r.LinkType() != LinkTypeRaw {
+		t.Fatalf("link type %v", r.LinkType())
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err == nil {
+		t.Fatal("zero magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestWriterRejectsLengthMismatch(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{}, LinkTypeEthernet)
+	err := w.WritePacket(CaptureInfo{Timestamp: time.Now(), CaptureLength: 5}, []byte{1, 2})
+	if err == nil {
+		t.Fatal("mismatched capture length accepted")
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	// RFC 1071 example.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %#04x", got)
+	}
+	// Odd-length input must not panic and must include the final byte.
+	if Checksum([]byte{0xFF}) == Checksum([]byte{0x00}) {
+		t.Fatal("odd trailing byte ignored")
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	src := netip.MustParseAddr("10.1.2.3")
+	dst := netip.MustParseAddr("10.4.5.6")
+	p := IPv4{
+		TOS: 0x10, ID: 0x1234, Flags: 2, TTL: 61,
+		Protocol: IPProtoTCP, Src: src, Dst: dst,
+		Payload: []byte{1, 2, 3, 4, 5},
+	}
+	raw, err := p.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeIPv4(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != src || got.Dst != dst || got.Protocol != IPProtoTCP ||
+		got.ID != 0x1234 || got.TTL != 61 || got.Flags != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestIPv4ChecksumValidation(t *testing.T) {
+	p := IPv4{Protocol: IPProtoTCP,
+		Src: netip.MustParseAddr("1.1.1.1"), Dst: netip.MustParseAddr("2.2.2.2")}
+	raw, err := p.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[8] ^= 0xFF // corrupt TTL
+	if _, err := DecodeIPv4(raw); err == nil {
+		t.Fatal("corrupted header accepted")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	src := netip.MustParseAddr("10.0.0.1")
+	dst := netip.MustParseAddr("10.0.0.2")
+	tc := TCP{
+		SrcPort: 49152, DstPort: 2404,
+		Seq: 0xDEADBEEF, Ack: 0xCAFEBABE,
+		Flags: FlagPSH | FlagACK, Window: 8192,
+		Payload: []byte{0x68, 0x04, 0x43, 0x00, 0x00, 0x00},
+	}
+	raw, err := tc.Serialize(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTCPChecksum(raw, src, dst); err != nil {
+		t.Fatalf("checksum: %v", err)
+	}
+	got, err := DecodeTCP(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != tc.SrcPort || got.DstPort != tc.DstPort ||
+		got.Seq != tc.Seq || got.Ack != tc.Ack || got.Flags != tc.Flags {
+		t.Fatalf("decoded %+v", got)
+	}
+	if !bytes.Equal(got.Payload, tc.Payload) {
+		t.Fatal("payload mismatch")
+	}
+	if got.FlagString() != "PSH,ACK" {
+		t.Fatalf("flag string %q", got.FlagString())
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := VerifyTCPChecksum(raw, src, dst); err == nil {
+		t.Fatal("corrupted payload passed checksum")
+	}
+}
+
+func TestBuildAndDecodePacket(t *testing.T) {
+	src := netip.MustParseAddrPort("192.168.10.5:40001")
+	dst := netip.MustParseAddrPort("192.168.10.1:2404")
+	frame, err := BuildTCPPacket(src, dst, TCP{
+		Seq: 100, Ack: 200, Flags: FlagSYN,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := DecodePacket(LinkTypeEthernet, CaptureInfo{}, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.IP.Src != src.Addr() || pkt.IP.Dst != dst.Addr() {
+		t.Fatalf("addresses %v -> %v", pkt.IP.Src, pkt.IP.Dst)
+	}
+	if pkt.TCP.SrcPort != src.Port() || pkt.TCP.DstPort != dst.Port() {
+		t.Fatalf("ports %d -> %d", pkt.TCP.SrcPort, pkt.TCP.DstPort)
+	}
+	if !pkt.TCP.SYN() || pkt.TCP.ACK() {
+		t.Fatalf("flags %s", pkt.TCP.FlagString())
+	}
+	if err := VerifyTCPChecksum(pkt.IP.Payload, pkt.IP.Src, pkt.IP.Dst); err != nil {
+		t.Fatalf("built packet checksum: %v", err)
+	}
+}
+
+func TestDecodePacketSkipsNonTCP(t *testing.T) {
+	// An ARP-ish frame (wrong ethertype) must be rejected, not panic.
+	frame := make([]byte, 60)
+	frame[12], frame[13] = 0x08, 0x06
+	if _, err := DecodePacket(LinkTypeEthernet, CaptureInfo{}, frame); err == nil {
+		t.Fatal("ARP frame decoded as TCP")
+	}
+}
+
+func TestTCPPayloadQuick(t *testing.T) {
+	src := netip.MustParseAddr("10.0.0.1")
+	dst := netip.MustParseAddr("10.0.0.2")
+	check := func(payload []byte, seq, ack uint32) bool {
+		tc := TCP{SrcPort: 1, DstPort: 2, Seq: seq, Ack: ack, Flags: FlagACK, Payload: payload}
+		raw, err := tc.Serialize(src, dst)
+		if err != nil {
+			return false
+		}
+		if err := VerifyTCPChecksum(raw, src, dst); err != nil {
+			return false
+		}
+		got, err := DecodeTCP(raw)
+		return err == nil && bytes.Equal(got.Payload, payload) && got.Seq == seq && got.Ack == ack
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

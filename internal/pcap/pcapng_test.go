@@ -1,0 +1,224 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"time"
+)
+
+// ngWriter builds pcapng streams for tests (the library itself only
+// reads the format).
+type ngWriter struct {
+	buf   bytes.Buffer
+	order binary.ByteOrder
+}
+
+func newNgWriter(order binary.ByteOrder) *ngWriter { return &ngWriter{order: order} }
+
+func (w *ngWriter) block(typ uint32, body []byte) {
+	pad := (4 - len(body)%4) % 4
+	total := uint32(12 + len(body) + pad)
+	var u32 [4]byte
+	w.order.PutUint32(u32[:], typ)
+	w.buf.Write(u32[:])
+	w.order.PutUint32(u32[:], total)
+	w.buf.Write(u32[:])
+	w.buf.Write(body)
+	w.buf.Write(make([]byte, pad))
+	w.order.PutUint32(u32[:], total)
+	w.buf.Write(u32[:])
+}
+
+func (w *ngWriter) shb() {
+	body := make([]byte, 16)
+	w.order.PutUint32(body[0:4], byteOrderMagic)
+	w.order.PutUint16(body[4:6], 1) // major
+	w.order.PutUint16(body[6:8], 0) // minor
+	// section length: -1 (unknown)
+	w.order.PutUint32(body[8:12], 0xFFFFFFFF)
+	w.order.PutUint32(body[12:16], 0xFFFFFFFF)
+	w.block(blockSHB, body)
+}
+
+func (w *ngWriter) idb(link LinkType, tsresol byte) {
+	body := make([]byte, 8)
+	w.order.PutUint16(body[0:2], uint16(link))
+	w.order.PutUint32(body[4:8], 262144)
+	if tsresol != 0 {
+		opt := make([]byte, 8)
+		w.order.PutUint16(opt[0:2], 9) // if_tsresol
+		w.order.PutUint16(opt[2:4], 1)
+		opt[4] = tsresol
+		// opt_endofopt implied by running out of options.
+		body = append(body, opt...)
+	}
+	w.block(blockIDB, body)
+}
+
+func (w *ngWriter) epb(iface uint32, ts time.Time, divisor uint64, data []byte) {
+	raw := uint64(ts.Unix())*divisor + uint64(ts.Nanosecond())*divisor/1_000_000_000
+	body := make([]byte, 20+len(data))
+	w.order.PutUint32(body[0:4], iface)
+	w.order.PutUint32(body[4:8], uint32(raw>>32))
+	w.order.PutUint32(body[8:12], uint32(raw))
+	w.order.PutUint32(body[12:16], uint32(len(data)))
+	w.order.PutUint32(body[16:20], uint32(len(data)))
+	copy(body[20:], data)
+	w.block(blockEPB, body)
+}
+
+func TestNgReaderRoundTrip(t *testing.T) {
+	for _, order := range []binary.ByteOrder{binary.LittleEndian, binary.BigEndian} {
+		w := newNgWriter(order)
+		w.shb()
+		w.idb(LinkTypeEthernet, 0) // default µs resolution
+		ts := time.Date(2026, 7, 5, 12, 0, 0, 250000000, time.UTC)
+		w.epb(0, ts, 1_000_000, []byte{1, 2, 3, 4})
+		w.epb(0, ts.Add(time.Second), 1_000_000, []byte{5, 6})
+
+		r, err := NewNgReader(bytes.NewReader(w.buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		data, ci, err := r.ReadPacket()
+		if err != nil {
+			t.Fatalf("%v: %v", order, err)
+		}
+		if !bytes.Equal(data, []byte{1, 2, 3, 4}) {
+			t.Fatalf("%v: data % x", order, data)
+		}
+		if !ci.Timestamp.Equal(ts) {
+			t.Fatalf("%v: ts %v, want %v", order, ci.Timestamp, ts)
+		}
+		if r.LinkType() != LinkTypeEthernet {
+			t.Fatalf("%v: link %v", order, r.LinkType())
+		}
+		if _, _, err := r.ReadPacket(); err != nil {
+			t.Fatalf("%v: second packet: %v", order, err)
+		}
+		if _, _, err := r.ReadPacket(); err != io.EOF {
+			t.Fatalf("%v: want EOF, got %v", order, err)
+		}
+	}
+}
+
+func TestNgReaderNanosecondResolution(t *testing.T) {
+	w := newNgWriter(binary.LittleEndian)
+	w.shb()
+	w.idb(LinkTypeEthernet, 9) // 10^-9
+	ts := time.Date(2026, 7, 5, 12, 0, 0, 123456789, time.UTC)
+	w.epb(0, ts, 1_000_000_000, []byte{0xAA})
+	r, err := NewNgReader(bytes.NewReader(w.buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ci, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Timestamp.Equal(ts) {
+		t.Fatalf("ts %v, want %v", ci.Timestamp, ts)
+	}
+}
+
+func TestNgReaderSkipsUnknownBlocks(t *testing.T) {
+	w := newNgWriter(binary.LittleEndian)
+	w.shb()
+	w.idb(LinkTypeEthernet, 0)
+	w.block(0x00000004, make([]byte, 8)) // name resolution block: skipped
+	w.epb(0, time.Unix(1700000000, 0), 1_000_000, []byte{7})
+	r, err := NewNgReader(bytes.NewReader(w.buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := r.ReadPacket()
+	if err != nil || len(data) != 1 || data[0] != 7 {
+		t.Fatalf("data % x err %v", data, err)
+	}
+}
+
+func TestNgReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewNgReader(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A classic pcap file is not pcapng.
+	var classic bytes.Buffer
+	cw := NewWriter(&classic, LinkTypeEthernet)
+	if err := cw.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNgReader(bytes.NewReader(classic.Bytes())); err == nil {
+		t.Fatal("classic pcap accepted as pcapng")
+	}
+}
+
+func TestNgReaderPacketBeforeInterface(t *testing.T) {
+	w := newNgWriter(binary.LittleEndian)
+	w.shb()
+	w.epb(0, time.Unix(1700000000, 0), 1_000_000, []byte{1})
+	r, err := NewNgReader(bytes.NewReader(w.buf.Bytes()))
+	if err != nil {
+		return // rejected at open time: fine
+	}
+	if _, _, err := r.ReadPacket(); err == nil {
+		t.Fatal("packet without interface accepted")
+	}
+}
+
+func TestNewAutoReader(t *testing.T) {
+	// Classic pcap.
+	var classic bytes.Buffer
+	cw := NewWriter(&classic, LinkTypeEthernet)
+	if err := cw.WritePacket(CaptureInfo{Timestamp: time.Unix(1700000000, 0)}, []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewAutoReader(bytes.NewReader(classic.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, _, err := r.ReadPacket(); err != nil || len(data) != 2 {
+		t.Fatalf("classic via auto: % x %v", data, err)
+	}
+
+	// pcapng.
+	w := newNgWriter(binary.LittleEndian)
+	w.shb()
+	w.idb(LinkTypeRaw, 0)
+	w.epb(0, time.Unix(1700000000, 0), 1_000_000, []byte{1, 2, 3})
+	r, err = NewAutoReader(bytes.NewReader(w.buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeRaw {
+		t.Fatalf("link %v", r.LinkType())
+	}
+	if data, _, err := r.ReadPacket(); err != nil || len(data) != 3 {
+		t.Fatalf("ng via auto: % x %v", data, err)
+	}
+
+	// Garbage.
+	if _, err := NewAutoReader(bytes.NewReader([]byte{0xde, 0xad, 0xbe, 0xef, 0, 0})); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestNgReaderNeverPanicsOnTruncation(t *testing.T) {
+	w := newNgWriter(binary.LittleEndian)
+	w.shb()
+	w.idb(LinkTypeEthernet, 0)
+	w.epb(0, time.Unix(1700000000, 0), 1_000_000, bytes.Repeat([]byte{1}, 30))
+	raw := w.buf.Bytes()
+	for cut := 0; cut <= len(raw); cut++ {
+		r, err := NewNgReader(bytes.NewReader(raw[:cut]))
+		if err != nil {
+			continue
+		}
+		for {
+			if _, _, err := r.ReadPacket(); err != nil {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package pcap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanicsOnRandomBytes: layer decoders are fed raw tap
+// bytes; they must reject garbage without crashing.
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(120)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = byte(rng.Intn(256))
+		}
+		_, _ = DecodeEthernet(buf)
+		_, _ = DecodeIPv4(buf)
+		_, _ = DecodeTCP(buf)
+		_, _ = DecodePacket(LinkTypeEthernet, CaptureInfo{}, buf)
+		_, _ = DecodePacket(LinkTypeRaw, CaptureInfo{}, buf)
+	}
+}
+
+// TestReaderNeverPanicsOnTruncatedFiles reads random prefixes of a
+// valid capture.
+func TestReaderNeverPanicsOnTruncatedFiles(t *testing.T) {
+	var full bytes.Buffer
+	w := NewWriter(&full, LinkTypeEthernet)
+	for i := 0; i < 10; i++ {
+		if err := w.WritePacket(CaptureInfo{}, bytes.Repeat([]byte{byte(i)}, 40+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := full.Bytes()
+	for cut := 0; cut <= len(raw); cut += 3 {
+		r, err := NewReader(bytes.NewReader(raw[:cut]))
+		if err != nil {
+			continue
+		}
+		for {
+			if _, _, err := r.ReadPacket(); err != nil {
+				break
+			}
+		}
+	}
+}

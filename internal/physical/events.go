@@ -1,0 +1,133 @@
+package physical
+
+import (
+	"time"
+
+	"uncharted/internal/stats"
+)
+
+// UnmetLoadEvent is the Figs. 18/19 incident: lost electric load causes
+// surplus generation and a frequency rise; AGC commands generation
+// down, then back up when the load reconnects.
+type UnmetLoadEvent struct {
+	Start, End time.Time
+	// PeakFrequency is the largest excursion above nominal observed.
+	PeakFrequency float64
+	// AGCReduced / AGCRestored report whether setpoint commands moved
+	// down during the excursion and up afterwards.
+	AGCReduced  bool
+	AGCRestored bool
+}
+
+// DetectUnmetLoad scans a frequency series for sustained excursions
+// above nominal+threshold and checks the AGC setpoint series for the
+// down-then-up response. setpoints may be nil (the event is still
+// reported, with the AGC flags false).
+func DetectUnmetLoad(freq *Series, setpoints []*Series, nominal, threshold float64) []UnmetLoadEvent {
+	if freq == nil || len(freq.Samples) == 0 {
+		return nil
+	}
+	var events []UnmetLoadEvent
+	var cur *UnmetLoadEvent
+	for _, s := range freq.Samples {
+		dev := s.V - nominal
+		switch {
+		case cur == nil && dev > threshold:
+			cur = &UnmetLoadEvent{Start: s.T, PeakFrequency: s.V}
+		case cur != nil && dev > threshold/2:
+			if s.V > cur.PeakFrequency {
+				cur.PeakFrequency = s.V
+			}
+		case cur != nil:
+			cur.End = s.T
+			annotateAGC(cur, setpoints)
+			events = append(events, *cur)
+			cur = nil
+		}
+	}
+	if cur != nil {
+		cur.End = freq.Samples[len(freq.Samples)-1].T
+		annotateAGC(cur, setpoints)
+		events = append(events, *cur)
+	}
+	return events
+}
+
+// annotateAGC checks whether setpoints moved down inside the window
+// and up within a window after it.
+func annotateAGC(ev *UnmetLoadEvent, setpoints []*Series) {
+	for _, sp := range setpoints {
+		var before, minDuring, after float64
+		var haveBefore, haveDuring, haveAfter bool
+		for _, s := range sp.Samples {
+			switch {
+			case s.T.Before(ev.Start):
+				before = s.V
+				haveBefore = true
+			case !s.T.After(ev.End):
+				if !haveDuring || s.V < minDuring {
+					minDuring = s.V
+				}
+				haveDuring = true
+			default:
+				after = s.V
+				haveAfter = true
+			}
+		}
+		if haveBefore && haveDuring && minDuring < before-0.5 {
+			ev.AGCReduced = true
+		}
+		if haveDuring && haveAfter && after > minDuring+0.5 {
+			ev.AGCRestored = true
+		}
+	}
+}
+
+// AGCResponse quantifies how generator output tracks setpoint commands
+// (Fig. 19): the peak cross-correlation between the setpoint staircase
+// and the measured output, searched over non-negative lags.
+type AGCResponse struct {
+	Station     string
+	BestLag     int
+	Correlation float64
+}
+
+// CorrelateAGC resamples both series onto a common 1-sample grid (the
+// shorter length wins) and finds the lag 0..maxLag with the highest
+// correlation.
+func CorrelateAGC(station string, setpoint, output *Series, maxLag int) (AGCResponse, error) {
+	resp := AGCResponse{Station: station}
+	a := resampleOnto(setpoint, output)
+	b := output.Values()
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	a, b = a[:n], b[:n]
+	best := -2.0
+	for lag := 0; lag <= maxLag && lag < n; lag++ {
+		r, err := stats.CrossCorrelation(a, b, lag)
+		if err != nil {
+			return resp, err
+		}
+		if r > best {
+			best = r
+			resp.BestLag = lag
+		}
+	}
+	resp.Correlation = best
+	return resp, nil
+}
+
+// resampleOnto samples the step function of s at the timestamps of ref.
+func resampleOnto(s, ref *Series) []float64 {
+	out := make([]float64, 0, len(ref.Samples))
+	for _, r := range ref.Samples {
+		v, ok := s.At(r.T)
+		if !ok && len(s.Samples) > 0 {
+			v = s.Samples[0].V
+		}
+		out = append(out, v)
+	}
+	return out
+}

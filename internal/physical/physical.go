@@ -1,0 +1,175 @@
+// Package physical implements §6.4 of the paper: extracting physical
+// time series (power, voltage, frequency, breaker status, AGC
+// setpoints) from I-format APDUs seen at a network tap, scoring them by
+// normalized variance to find "interesting" events, and matching the
+// event signatures the paper builds — the generator-synchronisation
+// state machine of Fig. 21 and the unmet-load incident of Figs. 18/19.
+package physical
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"uncharted/internal/iec104"
+	"uncharted/internal/stats"
+)
+
+// SeriesKey identifies one monitored point.
+type SeriesKey struct {
+	Station string // outstation ID or address
+	IOA     uint32
+}
+
+func (k SeriesKey) String() string { return fmt.Sprintf("%s/%d", k.Station, k.IOA) }
+
+// Sample is one extracted value.
+type Sample struct {
+	T time.Time
+	V float64
+}
+
+// Series is the extracted history of one point.
+type Series struct {
+	Key  SeriesKey
+	Type iec104.TypeID
+	// Direction is true for control-direction objects (commands).
+	Command bool
+	Samples []Sample
+}
+
+// Values returns the raw values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, smp := range s.Samples {
+		out[i] = smp.V
+	}
+	return out
+}
+
+// NormalizedVariance scores the series the way §6.4 ranks candidates.
+func (s *Series) NormalizedVariance() float64 {
+	return stats.NormalizedVariance(s.Values())
+}
+
+// At returns the value in force at t (last sample not after t).
+func (s *Series) At(t time.Time) (float64, bool) {
+	if len(s.Samples) == 0 || t.Before(s.Samples[0].T) {
+		return 0, false
+	}
+	idx := sort.Search(len(s.Samples), func(i int) bool { return s.Samples[i].T.After(t) })
+	return s.Samples[idx-1].V, true
+}
+
+// Store accumulates series from parsed traffic.
+type Store struct {
+	m     map[SeriesKey]*Series
+	order []SeriesKey
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{m: make(map[SeriesKey]*Series)} }
+
+// Feed extracts every value-bearing information object of an ASDU.
+// station names the outstation (or its IP); at is the capture
+// timestamp, used when the object carries no time tag. command flags
+// control-direction frames (setpoints), which are stored as separate
+// series so AGC commands and telemetry never mix.
+func (st *Store) Feed(station string, a *iec104.ASDU, at time.Time, command bool) {
+	for _, obj := range a.Objects {
+		var v float64
+		switch obj.Value.Kind {
+		case iec104.KindFloat, iec104.KindNormalized, iec104.KindScaled,
+			iec104.KindSingle, iec104.KindDouble, iec104.KindStep, iec104.KindCounter:
+			v = obj.Value.Float
+		case iec104.KindCommand:
+			v = obj.Value.Float
+		default:
+			continue
+		}
+		ts := at
+		if obj.Value.HasTime && !obj.Value.Time.Invalid {
+			ts = obj.Value.Time.Time
+		}
+		key := SeriesKey{Station: station, IOA: obj.IOA}
+		s, ok := st.m[key]
+		if !ok {
+			s = &Series{Key: key, Type: a.Type, Command: command}
+			st.m[key] = s
+			st.order = append(st.order, key)
+		}
+		// Series.At binary-searches by time, so keep Samples sorted:
+		// time-tagged retransmissions (ablation mode) or reordered
+		// captures may deliver an older timestamp late.
+		if n := len(s.Samples); n > 0 && ts.Before(s.Samples[n-1].T) {
+			idx := sort.Search(n, func(i int) bool { return s.Samples[i].T.After(ts) })
+			s.Samples = append(s.Samples, Sample{})
+			copy(s.Samples[idx+1:], s.Samples[idx:])
+			s.Samples[idx] = Sample{T: ts, V: v}
+			continue
+		}
+		s.Samples = append(s.Samples, Sample{T: ts, V: v})
+	}
+}
+
+// Get returns one series.
+func (st *Store) Get(key SeriesKey) (*Series, bool) {
+	s, ok := st.m[key]
+	return s, ok
+}
+
+// All returns every series in first-seen order.
+func (st *Store) All() []*Series {
+	out := make([]*Series, 0, len(st.order))
+	for _, k := range st.order {
+		out = append(out, st.m[k])
+	}
+	return out
+}
+
+// ByStation returns the series of one station.
+func (st *Store) ByStation(station string) []*Series {
+	var out []*Series
+	for _, k := range st.order {
+		if k.Station == station {
+			out = append(out, st.m[k])
+		}
+	}
+	return out
+}
+
+// Ranked returns all series with at least minSamples, ordered by
+// decreasing normalized variance — the paper's shortlist of
+// "interesting" physical behaviour.
+func (st *Store) Ranked(minSamples int) []*Series {
+	var out []*Series
+	for _, k := range st.order {
+		if s := st.m[k]; len(s.Samples) >= minSamples {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].NormalizedVariance() > out[j].NormalizedVariance()
+	})
+	return out
+}
+
+// TypeStations returns, per ASDU type, the number of distinct stations
+// transmitting it (Table 8's "Transmitting Station Count").
+func (st *Store) TypeStations() map[iec104.TypeID]int {
+	byType := map[iec104.TypeID]map[string]bool{}
+	for _, k := range st.order {
+		s := st.m[k]
+		m, ok := byType[s.Type]
+		if !ok {
+			m = map[string]bool{}
+			byType[s.Type] = m
+		}
+		m[k.Station] = true
+	}
+	out := make(map[iec104.TypeID]int, len(byType))
+	for t, m := range byType {
+		out[t] = len(m)
+	}
+	return out
+}

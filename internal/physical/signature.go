@@ -1,0 +1,173 @@
+package physical
+
+import (
+	"time"
+)
+
+// SyncState is one state of the Fig. 21 generator-activation signature
+// machine.
+type SyncState int
+
+// Signature machine states.
+const (
+	SyncIdle SyncState = iota
+	// SyncVoltageRamp: the measured voltage leaves zero and climbs
+	// toward its nominal value while no power flows.
+	SyncVoltageRamp
+	// SyncBreakerClosed: the breaker status point changed to 2
+	// (closed) after the voltage reached nominal.
+	SyncBreakerClosed
+	// SyncPowerFlow: active power started deviating from zero — the
+	// generator is delivering; the activation followed the expected
+	// pattern.
+	SyncPowerFlow
+)
+
+func (s SyncState) String() string {
+	switch s {
+	case SyncIdle:
+		return "idle"
+	case SyncVoltageRamp:
+		return "voltage-ramp"
+	case SyncBreakerClosed:
+		return "breaker-closed"
+	case SyncPowerFlow:
+		return "power-flow"
+	}
+	return "?"
+}
+
+// SyncEvent is one detected generator activation.
+type SyncEvent struct {
+	Station      string
+	RampStart    time.Time
+	BreakerClose time.Time
+	PowerStart   time.Time
+	// NominalVoltage is the plateau the ramp reached.
+	NominalVoltage float64
+	// Compliant is true when the three phases occurred in the Fig. 21
+	// order; the machine rejects power flowing before breaker close.
+	Compliant bool
+}
+
+// SyncDetectorConfig tunes the signature machine.
+type SyncDetectorConfig struct {
+	// VoltageZero is the "dead" level below which a bus is considered
+	// de-energised.
+	VoltageZero float64
+	// VoltageNominalFrac: the ramp completes when voltage exceeds
+	// this fraction of the eventual plateau.
+	VoltageNominalFrac float64
+	// PowerThreshold: active power beyond this means the unit is
+	// delivering.
+	PowerThreshold float64
+	// BreakerClosedValue is the double-point value meaning closed.
+	BreakerClosedValue float64
+}
+
+// DefaultSyncConfig matches the traces in the paper: 0 → ~120-130 kV
+// ramps and tens of MW of post-sync output.
+func DefaultSyncConfig() SyncDetectorConfig {
+	return SyncDetectorConfig{
+		VoltageZero:        5,
+		VoltageNominalFrac: 0.9,
+		PowerThreshold:     2,
+		BreakerClosedValue: 2,
+	}
+}
+
+// DetectSync runs the Fig. 21 machine over aligned voltage, breaker
+// and power series of one station. It returns every completed
+// activation. Non-compliant activations (power before breaker close)
+// are returned with Compliant=false — exactly the anomaly a SOC would
+// alert on.
+func DetectSync(station string, voltage, breaker, power *Series, cfg SyncDetectorConfig) []SyncEvent {
+	if voltage == nil || breaker == nil || power == nil || len(voltage.Samples) == 0 {
+		return nil
+	}
+	// The plateau estimate: the maximum voltage seen.
+	var vmax float64
+	for _, s := range voltage.Samples {
+		if s.V > vmax {
+			vmax = s.V
+		}
+	}
+	if vmax <= cfg.VoltageZero {
+		return nil
+	}
+
+	var events []SyncEvent
+	state := SyncIdle
+	var cur SyncEvent
+	// The machine arms only after observing the bus de-energised: a
+	// capture that starts with the unit already at nominal voltage is
+	// not an activation.
+	dead := false
+
+	for _, s := range voltage.Samples {
+		switch state {
+		case SyncIdle:
+			if s.V <= cfg.VoltageZero {
+				dead = true
+				continue
+			}
+			if dead && s.V > cfg.VoltageZero {
+				// Leaving zero: the ramp begins.
+				cur = SyncEvent{Station: station, RampStart: s.T}
+				state = SyncVoltageRamp
+			}
+		case SyncVoltageRamp:
+			if s.V <= cfg.VoltageZero {
+				// Ramp aborted.
+				state = SyncIdle
+				dead = true
+				continue
+			}
+			if s.V >= cfg.VoltageNominalFrac*vmax {
+				cur.NominalVoltage = vmax
+				// Voltage nominal: wait for the breaker.
+				if ct, ok := firstCrossing(breaker, cur.RampStart, func(v float64) bool {
+					return v == cfg.BreakerClosedValue
+				}); ok {
+					cur.BreakerClose = ct
+					state = SyncBreakerClosed
+				} else {
+					// No breaker close observed; stay and re-check on
+					// later samples (the breaker report may be late).
+					continue
+				}
+			}
+		case SyncBreakerClosed:
+			if pt, ok := firstCrossing(power, cur.BreakerClose, func(v float64) bool {
+				return v > cfg.PowerThreshold
+			}); ok {
+				cur.PowerStart = pt
+				cur.Compliant = !pt.Before(cur.BreakerClose)
+				// Guard: power must not have been flowing before the
+				// breaker closed.
+				if et, flowing := firstCrossing(power, cur.RampStart, func(v float64) bool {
+					return v > cfg.PowerThreshold
+				}); flowing && et.Before(cur.BreakerClose) {
+					cur.Compliant = false
+				}
+				events = append(events, cur)
+				state = SyncIdle
+				dead = false
+			}
+		}
+	}
+	return events
+}
+
+// firstCrossing returns the first sample at or after t satisfying pred.
+func firstCrossing(s *Series, t time.Time, pred func(float64) bool) (time.Time, bool) {
+	for _, smp := range s.Samples {
+		if smp.T.Before(t) {
+			continue
+		}
+		if pred(smp.V) {
+			return smp.T, true
+		}
+	}
+	return time.Time{}, false
+}

@@ -1,0 +1,128 @@
+package powersim
+
+import (
+	"time"
+)
+
+// SetpointCommand is one AGC dispatch decision: the control server
+// sends it to a generator outstation as a C_SE_NC_1 (I50) set point.
+type SetpointCommand struct {
+	Time      time.Time
+	Generator string
+	MW        float64
+}
+
+// AGC implements the balancing authority's Automatic Generation
+// Control loop: it watches the system frequency and redispatches the
+// participating generators to restore the set point, the paper's §2
+// "ask different electric generation companies to ramp up or slow
+// down".
+type AGC struct {
+	grid *Grid
+	// Interval is the control period (typical AGC runs every 2-4 s).
+	Interval time.Duration
+	// Kp and Ki are the proportional and integral gains on the
+	// frequency error in MW/Hz and MW/(Hz·s).
+	Kp, Ki float64
+	// Deadband suppresses dispatch for tiny frequency errors so the
+	// command stream is quiet in steady state.
+	Deadband float64
+
+	integral float64
+	lastRun  time.Time
+	// lastSent caches the last setpoint per generator so commands are
+	// only emitted when the target actually moves.
+	lastSent map[string]float64
+}
+
+// NewAGC wires a controller to the grid.
+func NewAGC(g *Grid) *AGC {
+	return &AGC{
+		grid:     g,
+		Interval: 4 * time.Second,
+		Kp:       600,
+		Ki:       20,
+		Deadband: 0.004,
+		lastSent: make(map[string]float64),
+	}
+}
+
+// Run advances the controller to now and returns any setpoint commands
+// issued. Call it after Grid.AdvanceTo.
+func (a *AGC) Run(now time.Time) []SetpointCommand {
+	var cmds []SetpointCommand
+	if a.lastRun.IsZero() {
+		a.lastRun = now
+		return nil
+	}
+	for !a.lastRun.Add(a.Interval).After(now) {
+		a.lastRun = a.lastRun.Add(a.Interval)
+		cmds = append(cmds, a.dispatch(a.lastRun)...)
+	}
+	return cmds
+}
+
+func (a *AGC) dispatch(at time.Time) []SetpointCommand {
+	g := a.grid
+	err := g.Frequency - g.NominalFrequency
+	if absf(err) < a.Deadband {
+		// Inside the deadband: bleed the integral term slowly so the
+		// system does not wind up.
+		a.integral *= 0.98
+		return nil
+	}
+	a.integral += err * a.Interval.Seconds()
+	// Clamp the integral so ramp-rate-limited units do not wind it up.
+	if a.integral > 1 {
+		a.integral = 1
+	}
+	if a.integral < -1 {
+		a.integral = -1
+	}
+	// Positive frequency error means surplus generation: reduce.
+	adjust := -(a.Kp*err + a.Ki*a.integral)
+
+	var totalPart float64
+	for _, gen := range g.Generators {
+		if gen.Participating() {
+			totalPart += gen.participation
+		}
+	}
+	if totalPart == 0 {
+		return nil
+	}
+	var cmds []SetpointCommand
+	for _, gen := range g.Generators {
+		if !gen.Participating() {
+			continue
+		}
+		// Dispatch relative to the unit's *actual* output rather than
+		// its previous setpoint: while a ramp-limited unit chases a
+		// target, setpoint-relative dispatch would keep stacking the
+		// same correction every cycle.
+		target := gen.Output + adjust*gen.participation/totalPart
+		if target < 0 {
+			target = 0
+		}
+		if target > gen.Capacity {
+			target = gen.Capacity
+		}
+		// Quantise to 0.1 MW so chattering micro-adjustments do not
+		// flood the network.
+		target = float64(int(target*10+0.5)) / 10
+		if prev, ok := a.lastSent[gen.Name]; ok && absf(prev-target) < 0.05 {
+			continue
+		}
+		gen.Setpoint = target
+		a.lastSent[gen.Name] = target
+		cmds = append(cmds, SetpointCommand{Time: at, Generator: gen.Name, MW: target})
+	}
+	return cmds
+}
+
+func absf(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

@@ -1,0 +1,173 @@
+package powersim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+var start = time.Date(2026, 7, 5, 0, 0, 0, 0, time.UTC)
+
+func newTestGrid() *Grid {
+	g := NewGrid(start, 1)
+	g.AddGenerator("G1", 500, 300, true)
+	g.AddGenerator("G2", 400, 200, true)
+	g.AddGenerator("G3", 300, 0, false)
+	return g
+}
+
+func TestSteadyStateHoldsFrequency(t *testing.T) {
+	g := newTestGrid()
+	g.AdvanceTo(start.Add(5 * time.Minute))
+	if d := math.Abs(g.Frequency - g.NominalFrequency); d > 0.05 {
+		t.Fatalf("steady-state frequency drifted %.4f Hz", d)
+	}
+	if got := g.TotalGeneration(); math.Abs(got-500) > 5 {
+		t.Fatalf("total generation %.1f, want ~500", got)
+	}
+}
+
+func TestLoadLossRaisesFrequency(t *testing.T) {
+	// The paper's unmet-load event: lost load → surplus generation →
+	// frequency rises.
+	g := newTestGrid()
+	g.AdvanceTo(start.Add(30 * time.Second))
+	before := g.Frequency
+	g.ScheduleLoadStep(start.Add(31*time.Second), -80)
+	g.AdvanceTo(start.Add(60 * time.Second))
+	if g.Frequency <= before+0.01 {
+		t.Fatalf("frequency %.4f did not rise after load loss (was %.4f)", g.Frequency, before)
+	}
+}
+
+func TestLoadGainLowersFrequency(t *testing.T) {
+	g := newTestGrid()
+	g.AdvanceTo(start.Add(30 * time.Second))
+	g.ScheduleLoadStep(start.Add(31*time.Second), 80)
+	g.AdvanceTo(start.Add(60 * time.Second))
+	if g.Frequency >= g.NominalFrequency-0.01 {
+		t.Fatalf("frequency %.4f did not fall after load gain", g.Frequency)
+	}
+}
+
+func TestAGCRestoresFrequencyAfterLoadLoss(t *testing.T) {
+	g := newTestGrid()
+	agc := NewAGC(g)
+	g.ScheduleLoadStep(start.Add(60*time.Second), -80)
+
+	var commands []SetpointCommand
+	for ts := start; ts.Before(start.Add(10 * time.Minute)); ts = ts.Add(2 * time.Second) {
+		g.AdvanceTo(ts)
+		commands = append(commands, agc.Run(ts)...)
+	}
+	if len(commands) == 0 {
+		t.Fatal("AGC issued no commands after a load loss")
+	}
+	// AGC must have ramped generation down toward the new load.
+	if gen := g.TotalGeneration(); math.Abs(gen-420) > 25 {
+		t.Fatalf("post-AGC generation %.1f, want ~420", gen)
+	}
+	if d := math.Abs(g.Frequency - g.NominalFrequency); d > 0.05 {
+		t.Fatalf("post-AGC frequency error %.4f Hz", d)
+	}
+	// The first commands must reduce setpoints (surplus generation).
+	first := commands[0]
+	if first.MW >= 300 && first.Generator == "G1" {
+		t.Fatalf("first AGC command raised G1 to %.1f MW", first.MW)
+	}
+}
+
+func TestAGCQuietInSteadyState(t *testing.T) {
+	g := newTestGrid()
+	agc := NewAGC(g)
+	var commands []SetpointCommand
+	for ts := start; ts.Before(start.Add(3 * time.Minute)); ts = ts.Add(2 * time.Second) {
+		g.AdvanceTo(ts)
+		commands = append(commands, agc.Run(ts)...)
+	}
+	if len(commands) > 12 {
+		t.Fatalf("AGC chattered %d commands in steady state", len(commands))
+	}
+}
+
+func TestGeneratorSyncSequence(t *testing.T) {
+	g := newTestGrid()
+	gen, _ := g.Generator("G3")
+	if gen.Online || gen.TerminalVoltage != 0 {
+		t.Fatalf("G3 should start offline: %+v", gen)
+	}
+	if err := g.ScheduleGeneratorSync(start.Add(10*time.Second), "G3", time.Minute, 150); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-ramp: voltage rising, breaker open, no power.
+	g.AdvanceTo(start.Add(40 * time.Second))
+	if gen.Breaker != BreakerIntermediate {
+		t.Fatalf("mid-ramp breaker %v", gen.Breaker)
+	}
+	if gen.TerminalVoltage <= 0 || gen.TerminalVoltage >= gen.NominalVoltage {
+		t.Fatalf("mid-ramp terminal voltage %.1f", gen.TerminalVoltage)
+	}
+	if gen.Output != 0 {
+		t.Fatalf("power flowing before sync: %.1f", gen.Output)
+	}
+
+	// After the ramp: breaker closed, power ramping toward 150 MW.
+	g.AdvanceTo(start.Add(4 * time.Minute))
+	if gen.Breaker != BreakerClosed || !gen.Online {
+		t.Fatalf("post-sync breaker %v online %v", gen.Breaker, gen.Online)
+	}
+	if gen.Output < 50 {
+		t.Fatalf("post-sync output %.1f, want ramping toward 150", gen.Output)
+	}
+	if math.Abs(gen.GridVoltage-gen.NominalVoltage) > 2 {
+		t.Fatalf("post-sync grid voltage %.1f", gen.GridVoltage)
+	}
+}
+
+func TestScheduleSyncUnknownGenerator(t *testing.T) {
+	g := newTestGrid()
+	if err := g.ScheduleGeneratorSync(start, "nope", time.Minute, 10); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+}
+
+func TestRampRateLimitsOutput(t *testing.T) {
+	g := NewGrid(start, 2)
+	gen := g.AddGenerator("G", 600, 100, true)
+	gen.RampRate = 1 // MW/s
+	gen.Setpoint = 200
+	g.AdvanceTo(start.Add(10 * time.Second))
+	if gen.Output > 115 {
+		t.Fatalf("output %.1f outran the 1 MW/s ramp", gen.Output)
+	}
+	if gen.Output < 105 {
+		t.Fatalf("output %.1f did not ramp", gen.Output)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		g := NewGrid(start, 7)
+		g.AddGenerator("G1", 500, 300, true)
+		agc := NewAGC(g)
+		g.ScheduleLoadStep(start.Add(20*time.Second), -30)
+		for ts := start; ts.Before(start.Add(2 * time.Minute)); ts = ts.Add(time.Second) {
+			g.AdvanceTo(ts)
+			agc.Run(ts)
+		}
+		return g.Frequency
+	}
+	if run() != run() {
+		t.Fatal("simulation not deterministic for a fixed seed")
+	}
+}
+
+func TestOfflineGeneratorProducesNothing(t *testing.T) {
+	g := newTestGrid()
+	g.AdvanceTo(start.Add(time.Minute))
+	gen, _ := g.Generator("G3")
+	if gen.Output != 0 || gen.GridVoltage != 0 || gen.Current != 0 {
+		t.Fatalf("offline unit has live measurements: %+v", gen)
+	}
+}

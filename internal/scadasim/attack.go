@@ -1,0 +1,164 @@
+package scadasim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"uncharted/internal/iec104"
+	"uncharted/internal/topology"
+)
+
+// AttackKind selects an injected attack scenario, modelled after the
+// Industroyer malware the paper discusses: once a TCP connection to an
+// outstation is up, the malware runs an ICS reconnaissance phase
+// (discovering ASDU addresses and IOAs) and then issues control
+// commands.
+type AttackKind int
+
+// Attack scenarios.
+const (
+	// AttackRecon performs reconnaissance: STARTDT, a general
+	// interrogation, then iterative read commands sweeping an IOA
+	// range (Industroyer's discovery loop).
+	AttackRecon AttackKind = iota
+	// AttackBreakerTrip sends single/double commands flipping
+	// breakers — the Ukraine blackout pattern.
+	AttackBreakerTrip
+	// AttackSetpointTamper sends AGC setpoints far outside the
+	// physical envelope.
+	AttackSetpointTamper
+)
+
+func (k AttackKind) String() string {
+	switch k {
+	case AttackRecon:
+		return "recon"
+	case AttackBreakerTrip:
+		return "breaker-trip"
+	case AttackSetpointTamper:
+		return "setpoint-tamper"
+	}
+	return fmt.Sprintf("attack(%d)", int(k))
+}
+
+// AttackConfig parameterises InjectAttack.
+type AttackConfig struct {
+	Kind AttackKind
+	// At is when the attack starts (must fall inside the trace).
+	At time.Time
+	// Attacker is the source address; the zero value uses a rogue
+	// host inside the control-centre subnet (a compromised
+	// workstation). Set it to a control server's address to model an
+	// insider/compromised-server scenario.
+	Attacker netip.Addr
+	// Targets lists outstation IDs; empty picks the first three
+	// I-transmitting stations.
+	Targets []topology.OutstationID
+	// ReconIOAs is the sweep width for AttackRecon (default 24).
+	ReconIOAs int
+}
+
+// DefaultAttacker is the rogue workstation address used when
+// AttackConfig.Attacker is unset.
+var DefaultAttacker = netip.AddrFrom4([4]byte{10, 0, 0, 66})
+
+// InjectAttack synthesizes the attack packets against the simulator's
+// topology and appends them to the trace (re-sorting by time). It
+// returns the number of packets injected. The trace's ground truth is
+// annotated so benchmarks can verify detection.
+func (s *Simulator) InjectAttack(tr *Trace, cfg AttackConfig) (int, error) {
+	if cfg.At.Before(s.cfg.Start) || !cfg.At.Before(s.end()) {
+		return 0, fmt.Errorf("scadasim: attack time %v outside capture window", cfg.At)
+	}
+	attacker := cfg.Attacker
+	if !attacker.IsValid() {
+		attacker = DefaultAttacker
+	}
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		for _, o := range s.net.OutstationsIn(s.cfg.Year) {
+			if o.SendsIFormat() {
+				targets = append(targets, o.ID)
+				if len(targets) == 3 {
+					break
+				}
+			}
+		}
+	}
+	reconIOAs := cfg.ReconIOAs
+	if reconIOAs <= 0 {
+		reconIOAs = 24
+	}
+
+	before := len(tr.Records)
+	t := cfg.At
+	for _, id := range targets {
+		o, ok := s.net.Outstation(id)
+		if !ok || !o.PresentIn(s.cfg.Year) {
+			return 0, fmt.Errorf("scadasim: attack target %s not in the %v network", id, s.cfg.Year)
+		}
+		c := newConn(s, attacker, s.port(), o)
+		at := c.handshake(t)
+		at = c.startDT(at.Add(30 * time.Millisecond))
+		switch cfg.Kind {
+		case AttackRecon:
+			at = c.interrogate(at, o, s.net.Points(id, s.cfg.Year))
+			// Iterative read sweep: the discovery loop Industroyer
+			// ran because it did not bother with I100 semantics.
+			for ioa := uint32(1001); ioa < uint32(1001+reconIOAs); ioa++ {
+				rd := &iec104.ASDU{
+					Type:       iec104.CRdNa,
+					COT:        iec104.COT{Cause: iec104.CauseRequest},
+					CommonAddr: o.CommonAddr,
+					Objects:    []iec104.InfoObject{{IOA: ioa, Value: iec104.Value{Kind: iec104.KindNone}}},
+				}
+				at = c.sendCommand(at.Add(40*time.Millisecond), rd, iec104.CauseRequest)
+			}
+		case AttackBreakerTrip:
+			for i := 0; i < 6; i++ {
+				sc := &iec104.ASDU{
+					Type:       iec104.CDcNa,
+					COT:        iec104.COT{Cause: iec104.CauseActivation},
+					CommonAddr: o.CommonAddr,
+					Objects: []iec104.InfoObject{{
+						IOA: uint32(3001 + i),
+						// DCO: double command "off" with execute.
+						Value: iec104.Value{Kind: iec104.KindCommand, Bits: uint32(iec104.DoubleOff)},
+					}},
+				}
+				at = c.sendCommand(at.Add(60*time.Millisecond), sc, iec104.CauseActConfirm)
+			}
+		case AttackSetpointTamper:
+			for _, mw := range []float64{5000, -900, 12000} {
+				sp := iec104.NewSetpointFloat(o.CommonAddr, 7001, mw, iec104.CauseActivation)
+				at = c.sendCommand(at.Add(80*time.Millisecond), sp, iec104.CauseActConfirm)
+			}
+		}
+		c.finClose(at.Add(50 * time.Millisecond))
+		tr.Records = append(tr.Records, c.recs...)
+		tr.Truth.Connections = append(tr.Truth.Connections, ConnTruth{
+			Server: attacker.String(), Outstation: string(id), Role: RolePrimary,
+			Interro: cfg.Kind == AttackRecon,
+		})
+		t = t.Add(2 * time.Second)
+	}
+	sortRecords(tr.Records)
+	tr.Truth.Attack = &AttackTruth{
+		Kind:     cfg.Kind,
+		At:       cfg.At,
+		Attacker: attacker,
+		Targets:  targets,
+		Packets:  len(tr.Records) - before,
+	}
+	return len(tr.Records) - before, nil
+}
+
+// AttackTruth records an injected attack for evaluation.
+type AttackTruth struct {
+	Kind     AttackKind
+	At       time.Time
+	Attacker netip.Addr
+	Targets  []topology.OutstationID
+	Packets  int
+}

@@ -1,0 +1,134 @@
+package scadasim
+
+import (
+	"math"
+	"net/netip"
+	"time"
+
+	"uncharted/internal/c37118"
+	"uncharted/internal/pcap"
+)
+
+// Well-known ports of the other industrial protocols in the tap.
+const (
+	// PortC37118 is the IEEE C37.118 synchrophasor TCP port.
+	PortC37118 = 4712
+	// PortICCP is ISO transport (TPKT) — ICCP/TASE.2 runs over it.
+	PortICCP = 102
+)
+
+// generateBackground emits the non-IEC-104 industrial traffic the
+// paper's tap also carried (§5): phasor measurement units streaming
+// C37.118 to the control centre and an ICCP association between the
+// system operator and a neighbouring control centre. The measurement
+// pipeline must skip all of it.
+func (s *Simulator) generateBackground() {
+	s.generatePMUs()
+	s.generateICCP()
+}
+
+// generatePMUs streams synchrophasor data from two PMU gateways to
+// server C3.
+func (s *Simulator) generatePMUs() {
+	cfg := &c37118.Config{
+		IDCode: 900,
+		Time:   s.cfg.Start,
+		PMUs: []c37118.PMUConfig{
+			{StationName: "PMU-NORTH", IDCode: 901, PhasorNames: []string{"VA", "VB", "IA"},
+				NominalFreq: 60, ConversionFactor: 0.01},
+			{StationName: "PMU-SOUTH", IDCode: 902, PhasorNames: []string{"VA", "IA"},
+				NominalFreq: 60, ConversionFactor: 0.01},
+		},
+		DataRate: 30,
+	}
+	pmuAddr := netip.AddrFrom4([4]byte{10, 0, 5, 1})
+	server := netip.AddrPortFrom(s.net.ServerAddr("C3"), PortC37118)
+	c := &conn{
+		sim:       s,
+		rng:       newBackgroundRand(s.cfg.Seed, 900),
+		client:    netip.AddrPortFrom(pmuAddr, s.port()),
+		server:    server,
+		clientSeq: 1000,
+		serverSeq: 2000,
+		open:      true,
+	}
+	// Configuration frame first (as after a CFG-2 request), then a
+	// steady data stream. Full 30 fps would swamp the trace; the tap
+	// model samples it at 1 frame/s which preserves the protocol mix
+	// without drowning the IEC 104 signal.
+	cfgFrame, err := cfg.Marshal()
+	if err != nil {
+		panic("scadasim: " + err.Error())
+	}
+	c.emit(s.cfg.Start.Add(200*time.Millisecond), true, pcap.FlagPSH|pcap.FlagACK, cfgFrame)
+
+	interval := time.Second
+	i := 0
+	for t := s.cfg.Start.Add(time.Second); t.Before(s.end()); t = t.Add(interval) {
+		phase := float64(i) / 40
+		d := &c37118.Data{
+			IDCode: 900,
+			Time:   t,
+			PMUs: []c37118.PMUData{
+				{
+					Phasors: []c37118.Phasor{
+						{Name: "VA", Magnitude: 132.5 + 0.3*math.Sin(phase), AngleRad: 0.1},
+						{Name: "VB", Magnitude: 132.2 + 0.3*math.Sin(phase+2), AngleRad: -2.0},
+						{Name: "IA", Magnitude: 42 + 2*math.Sin(phase/3), AngleRad: 0.3},
+					},
+					Freq: 60 + 0.01*math.Sin(phase/5),
+				},
+				{
+					Phasors: []c37118.Phasor{
+						{Name: "VA", Magnitude: 131.8 + 0.25*math.Sin(phase+1), AngleRad: 1.1},
+						{Name: "IA", Magnitude: 39 + 2*math.Sin(phase/4), AngleRad: -0.2},
+					},
+					Freq: 60 + 0.01*math.Sin(phase/5+0.2),
+				},
+			},
+		}
+		frame, err := d.Marshal(cfg)
+		if err != nil {
+			panic("scadasim: " + err.Error())
+		}
+		c.emit(t, true, pcap.FlagPSH|pcap.FlagACK, frame)
+		i++
+	}
+	s.records = append(s.records, c.recs...)
+}
+
+// generateICCP emits an opaque TASE.2/ICCP association (TPKT framing
+// over port 102) between server C1 and a neighbouring control centre —
+// present in the tap, out of scope for the analysis.
+func (s *Simulator) generateICCP() {
+	peer := netip.AddrFrom4([4]byte{10, 0, 6, 2})
+	c := &conn{
+		sim:       s,
+		rng:       newBackgroundRand(s.cfg.Seed, 102),
+		client:    netip.AddrPortFrom(s.net.ServerAddr("C1"), s.port()),
+		server:    netip.AddrPortFrom(peer, PortICCP),
+		clientSeq: 5000,
+		serverSeq: 6000,
+		open:      true,
+	}
+	for t := s.cfg.Start.Add(3 * time.Second); t.Before(s.end()); t = t.Add(8 * time.Second) {
+		payload := tpkt(c, 40+c.rng.Intn(80))
+		c.emit(t, true, pcap.FlagPSH|pcap.FlagACK, payload)
+		reply := tpkt(c, 30+c.rng.Intn(60))
+		c.emit(t.Add(60*time.Millisecond), false, pcap.FlagPSH|pcap.FlagACK, reply)
+	}
+	s.records = append(s.records, c.recs...)
+}
+
+// tpkt wraps random bytes in an RFC 1006 TPKT header (version 3).
+func tpkt(c *conn, bodyLen int) []byte {
+	out := make([]byte, 4+bodyLen)
+	out[0] = 0x03
+	out[1] = 0x00
+	out[2] = byte((4 + bodyLen) >> 8)
+	out[3] = byte(4 + bodyLen)
+	for i := 4; i < len(out); i++ {
+		out[i] = byte(c.rng.Intn(256))
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package scadasim
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"uncharted/internal/iec104"
+	"uncharted/internal/pcap"
+	"uncharted/internal/topology"
+)
+
+// conn emits the packet stream of one TCP connection between a control
+// server (the TCP client: controlling stations dial outstation port
+// 2404) and an outstation.
+type conn struct {
+	sim     *Simulator
+	rng     *rand.Rand
+	client  netip.AddrPort // control server side
+	server  netip.AddrPort // outstation side (port 2404)
+	profile iec104.Profile
+
+	clientSeq, serverSeq uint32 // TCP sequence state
+	sendNS, recvNS       uint16 // IEC 104 N(S) per direction (client send / server send)
+	unacked              int    // I-frames from outstation since last S ack
+
+	open bool
+	recs []Record
+}
+
+func newConn(sim *Simulator, serverAddr netip.Addr, clientPort uint16, o *topology.Outstation) *conn {
+	seed := sim.cfg.Seed ^ int64(clientPort)<<16 ^ int64(topology.Num(o.ID))
+	return &conn{
+		sim:     sim,
+		rng:     rand.New(rand.NewSource(seed)),
+		client:  netip.AddrPortFrom(serverAddr, clientPort),
+		server:  netip.AddrPortFrom(o.Addr, 2404),
+		profile: o.Profile,
+		// Persistent connections pre-date the capture: seed nonzero
+		// sequence numbers.
+		clientSeq: uint32(seed)*2654435761 + 17,
+		serverSeq: uint32(seed)*40503 + 4099,
+		open:      true,
+	}
+}
+
+// jitter returns a small positive duration to de-synchronise streams.
+func (c *conn) jitter(max time.Duration) time.Duration {
+	return time.Duration(c.rng.Int63n(int64(max)))
+}
+
+func (c *conn) emit(t time.Time, fromClient bool, flags uint8, payload []byte) {
+	r := Record{Time: t, Flags: flags, Payload: payload}
+	if fromClient {
+		r.Src, r.Dst = c.client, c.server
+		r.Seq, r.Ack = c.clientSeq, c.serverSeq
+		c.clientSeq += uint32(len(payload))
+		if flags&(pcap.FlagSYN|pcap.FlagFIN) != 0 {
+			c.clientSeq++
+		}
+	} else {
+		r.Src, r.Dst = c.server, c.client
+		r.Seq, r.Ack = c.serverSeq, c.clientSeq
+		c.serverSeq += uint32(len(payload))
+		if flags&(pcap.FlagSYN|pcap.FlagFIN) != 0 {
+			c.serverSeq++
+		}
+	}
+	c.recs = append(c.recs, r)
+	// TCP-level retransmission: duplicate the segment a beat later.
+	// This is what §6.3.1 found behind "repeated U16/U32" tokens.
+	if len(payload) > 0 && c.rng.Float64() < c.sim.cfg.RetransmitProb {
+		dup := r
+		dup.Time = t.Add(150*time.Millisecond + c.jitter(100*time.Millisecond))
+		c.recs = append(c.recs, dup)
+	}
+}
+
+// handshake emits SYN / SYN-ACK / ACK.
+func (c *conn) handshake(t time.Time) time.Time {
+	c.emit(t, true, pcap.FlagSYN, nil)
+	c.emit(t.Add(2*time.Millisecond), false, pcap.FlagSYN|pcap.FlagACK, nil)
+	c.emit(t.Add(4*time.Millisecond), true, pcap.FlagACK, nil)
+	return t.Add(5 * time.Millisecond)
+}
+
+// finClose emits an orderly FIN exchange initiated by the client.
+func (c *conn) finClose(t time.Time) {
+	c.emit(t, true, pcap.FlagFIN|pcap.FlagACK, nil)
+	c.emit(t.Add(2*time.Millisecond), false, pcap.FlagFIN|pcap.FlagACK, nil)
+	c.emit(t.Add(4*time.Millisecond), true, pcap.FlagACK, nil)
+	c.open = false
+}
+
+// apdu marshals one APDU in this connection's dialect, panicking on
+// programming errors (the simulator constructs only valid frames).
+func (c *conn) apdu(a *iec104.APDU) []byte {
+	b, err := a.Marshal(c.profile)
+	if err != nil {
+		panic("scadasim: " + err.Error())
+	}
+	return b
+}
+
+// sendI emits I-format APDUs (one TCP segment, possibly several APDUs)
+// from the outstation and books the ack window.
+func (c *conn) sendI(t time.Time, asdus []*iec104.ASDU) {
+	if len(asdus) == 0 {
+		return
+	}
+	var payload []byte
+	for _, a := range asdus {
+		payload = append(payload, c.apdu(iec104.NewI(c.recvNS, c.sendNS, a))...)
+		c.recvNS++
+		c.unacked++
+	}
+	c.emit(t, false, pcap.FlagPSH|pcap.FlagACK, payload)
+	if c.unacked >= c.sim.cfg.AckWindow {
+		c.emit(t.Add(8*time.Millisecond+c.jitter(10*time.Millisecond)), true,
+			pcap.FlagPSH|pcap.FlagACK, c.apdu(iec104.NewS(c.recvNS)))
+		c.unacked = 0
+	}
+}
+
+// sendCommand emits a control-direction I frame (from the server) and
+// the outstation's confirmation.
+func (c *conn) sendCommand(t time.Time, act *iec104.ASDU, conCause iec104.Cause) time.Time {
+	c.emit(t, true, pcap.FlagPSH|pcap.FlagACK, c.apdu(iec104.NewI(c.sendNS, c.recvNS, act)))
+	c.sendNS++
+	con := *act
+	con.COT.Cause = conCause
+	c.emit(t.Add(30*time.Millisecond+c.jitter(40*time.Millisecond)), false,
+		pcap.FlagPSH|pcap.FlagACK, c.apdu(iec104.NewI(c.recvNS, c.sendNS, &con)))
+	c.recvNS++
+	return t.Add(80 * time.Millisecond)
+}
+
+// keepAlive emits one TESTFR act/con pair.
+func (c *conn) keepAlive(t time.Time) {
+	c.emit(t, true, pcap.FlagPSH|pcap.FlagACK, c.apdu(iec104.NewU(iec104.UTestFRAct)))
+	c.emit(t.Add(15*time.Millisecond+c.jitter(20*time.Millisecond)), false,
+		pcap.FlagPSH|pcap.FlagACK, c.apdu(iec104.NewU(iec104.UTestFRCon)))
+}
+
+// startDT emits STARTDT act/con.
+func (c *conn) startDT(t time.Time) time.Time {
+	c.emit(t, true, pcap.FlagPSH|pcap.FlagACK, c.apdu(iec104.NewU(iec104.UStartDTAct)))
+	c.emit(t.Add(10*time.Millisecond), false, pcap.FlagPSH|pcap.FlagACK, c.apdu(iec104.NewU(iec104.UStartDTCon)))
+	return t.Add(20 * time.Millisecond)
+}
+
+// interrogate emits the I100 exchange: act, actcon, the full point
+// image grouped by type with COT=inrogen, then actterm.
+func (c *conn) interrogate(t time.Time, o *topology.Outstation, pts []topology.Point) time.Time {
+	gi := iec104.NewInterrogation(o.CommonAddr, iec104.CauseActivation)
+	t = c.sendCommand(t, gi, iec104.CauseActConfirm)
+
+	// Group points by type, chunked; non-sequence encoding keeps the
+	// original scattered IOAs.
+	byType := map[iec104.TypeID][]topology.Point{}
+	var order []iec104.TypeID
+	for _, p := range pts {
+		if p.Type.IsCommand() {
+			continue
+		}
+		if _, ok := byType[p.Type]; !ok {
+			order = append(order, p.Type)
+		}
+		byType[p.Type] = append(byType[p.Type], p)
+	}
+	for _, typ := range order {
+		group := byType[typ]
+		for i := 0; i < len(group); i += 8 {
+			end := i + 8
+			if end > len(group) {
+				end = len(group)
+			}
+			a := &iec104.ASDU{
+				Type:       typ,
+				COT:        iec104.COT{Cause: iec104.CauseInrogen},
+				CommonAddr: o.CommonAddr,
+			}
+			for _, p := range group[i:end] {
+				a.Objects = append(a.Objects, iec104.InfoObject{
+					IOA:   p.IOA,
+					Value: c.sim.valueFor(o, p, t),
+				})
+			}
+			t = t.Add(20*time.Millisecond + c.jitter(15*time.Millisecond))
+			c.sendI(t, []*iec104.ASDU{a})
+		}
+	}
+	term := iec104.NewInterrogation(o.CommonAddr, iec104.CauseActTerm)
+	t = t.Add(25 * time.Millisecond)
+	c.emit(t, false, pcap.FlagPSH|pcap.FlagACK, c.apdu(iec104.NewI(c.recvNS, c.sendNS, term)))
+	c.recvNS++
+	return t.Add(25 * time.Millisecond)
+}
+
+// rejectCycle emits one rejected-backup attempt (Fig. 9): handshake,
+// a server TESTFR act, and an outstation RST.
+func (c *conn) rejectCycle(t time.Time) {
+	t = c.handshake(t)
+	t = t.Add(20*time.Millisecond + c.jitter(30*time.Millisecond))
+	c.emit(t, true, pcap.FlagPSH|pcap.FlagACK, c.apdu(iec104.NewU(iec104.UTestFRAct)))
+	c.emit(t.Add(10*time.Millisecond+c.jitter(15*time.Millisecond)), false, pcap.FlagRST, nil)
+}
+
+// hangCycle emits a completed handshake and a server TESTFR act that
+// is never answered and never reset: the flow stays open (long-lived)
+// but the U16 token reaches the Markov analysis.
+func (c *conn) hangCycle(t time.Time) {
+	t = c.handshake(t)
+	t = t.Add(20*time.Millisecond + c.jitter(30*time.Millisecond))
+	c.emit(t, true, pcap.FlagPSH|pcap.FlagACK, c.apdu(iec104.NewU(iec104.UTestFRAct)))
+}
+
+// silentCycle emits SYN retries that are never answered (the flows the
+// capture can only classify as long-lived).
+func (c *conn) silentCycle(t time.Time) {
+	c.emit(t, true, pcap.FlagSYN, nil)
+	c.emit(t.Add(time.Second), true, pcap.FlagSYN, nil)
+	c.emit(t.Add(3*time.Second), true, pcap.FlagSYN, nil)
+}
+
+// mathSin is a tiny indirection so value synthesis stays testable.
+func mathSin(x float64) float64 { return math.Sin(x) }
+
+// newBackgroundRand derives a deterministic source for background
+// traffic generators.
+func newBackgroundRand(seed int64, salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*8191 + salt))
+}

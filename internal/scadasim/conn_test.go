@@ -1,0 +1,201 @@
+package scadasim
+
+import (
+	"testing"
+	"time"
+
+	"uncharted/internal/iec104"
+	"uncharted/internal/pcap"
+	"uncharted/internal/topology"
+)
+
+func testConn(t *testing.T) (*Simulator, *conn, *topology.Outstation) {
+	t.Helper()
+	cfg := DefaultConfig(topology.Y1, 3)
+	cfg.Duration = time.Minute
+	cfg.RetransmitProb = 0 // deterministic packet counts
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.world = buildPhysWorld(sim.cfg, sim.net, &sim.truth)
+	o, _ := sim.net.Outstation("O1")
+	c := newConn(sim, sim.net.ServerAddr("C1"), sim.port(), o)
+	return sim, c, o
+}
+
+func TestConnHandshakeShape(t *testing.T) {
+	_, c, _ := testConn(t)
+	start := time.Date(2019, 3, 11, 9, 0, 0, 0, time.UTC)
+	c.handshake(start)
+	if len(c.recs) != 3 {
+		t.Fatalf("%d packets", len(c.recs))
+	}
+	if !c.recs[0].Src.Addr().Is4() || c.recs[0].Flags != pcap.FlagSYN {
+		t.Fatalf("first packet %+v", c.recs[0])
+	}
+	if c.recs[1].Flags != pcap.FlagSYN|pcap.FlagACK {
+		t.Fatalf("second packet flags %v", c.recs[1].Flags)
+	}
+	if c.recs[2].Flags != pcap.FlagACK {
+		t.Fatalf("third packet flags %v", c.recs[2].Flags)
+	}
+	// SYN consumes a sequence number.
+	if c.recs[2].Seq != c.recs[0].Seq+1 {
+		t.Fatalf("client seq %d after SYN at %d", c.recs[2].Seq, c.recs[0].Seq)
+	}
+}
+
+func TestConnSendIAcksEveryWindow(t *testing.T) {
+	sim, c, o := testConn(t)
+	start := time.Date(2019, 3, 11, 9, 0, 0, 0, time.UTC)
+	asdu := iec104.NewMeasurement(iec104.MMeNc, o.CommonAddr, 1001,
+		iec104.Value{Kind: iec104.KindFloat, Float: 1}, iec104.CausePeriodic)
+	for i := 0; i < sim.cfg.AckWindow; i++ {
+		c.sendI(start.Add(time.Duration(i)*time.Second), []*iec104.ASDU{asdu})
+	}
+	// AckWindow I-packets plus exactly one S ack.
+	var iPkts, sPkts int
+	for _, r := range c.recs {
+		apdus, _, err := iec104.ParseAPDUs(r.Payload, o.Profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range apdus {
+			switch a.Format {
+			case iec104.FormatI:
+				iPkts++
+			case iec104.FormatS:
+				sPkts++
+			}
+		}
+	}
+	if iPkts != sim.cfg.AckWindow || sPkts != 1 {
+		t.Fatalf("I=%d S=%d, want %d/1", iPkts, sPkts, sim.cfg.AckWindow)
+	}
+}
+
+func TestConnSequenceNumbersAdvancePerAPDU(t *testing.T) {
+	_, c, o := testConn(t)
+	start := time.Date(2019, 3, 11, 9, 0, 0, 0, time.UTC)
+	asdu := iec104.NewMeasurement(iec104.MMeNc, o.CommonAddr, 1001,
+		iec104.Value{Kind: iec104.KindFloat, Float: 1}, iec104.CausePeriodic)
+	c.sendI(start, []*iec104.ASDU{asdu, asdu, asdu})
+	apdus, _, err := iec104.ParseAPDUs(c.recs[0].Payload, o.Profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apdus) != 3 {
+		t.Fatalf("%d APDUs in one segment", len(apdus))
+	}
+	for i, a := range apdus {
+		if a.SendSeq != uint16(i) {
+			t.Fatalf("APDU %d has N(S)=%d", i, a.SendSeq)
+		}
+	}
+}
+
+func TestConnInterrogateEmitsFullImage(t *testing.T) {
+	sim, c, o := testConn(t)
+	start := time.Date(2019, 3, 11, 9, 0, 0, 0, time.UTC)
+	pts := sim.net.Points(o.ID, topology.Y1)
+	c.interrogate(start, o, pts)
+
+	var actcon, actterm bool
+	reported := map[uint32]bool{}
+	for _, r := range c.recs {
+		apdus, _, err := iec104.ParseAPDUs(r.Payload, o.Profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range apdus {
+			if a.Format != iec104.FormatI {
+				continue
+			}
+			switch {
+			case a.ASDU.Type == iec104.CIcNa && a.ASDU.COT.Cause == iec104.CauseActConfirm:
+				actcon = true
+			case a.ASDU.Type == iec104.CIcNa && a.ASDU.COT.Cause == iec104.CauseActTerm:
+				actterm = true
+			case a.ASDU.COT.Cause == iec104.CauseInrogen:
+				for _, obj := range a.ASDU.Objects {
+					reported[obj.IOA] = true
+				}
+			}
+		}
+	}
+	if !actcon || !actterm {
+		t.Fatalf("actcon=%t actterm=%t", actcon, actterm)
+	}
+	want := 0
+	for _, p := range pts {
+		if !p.Type.IsCommand() {
+			want++
+		}
+	}
+	if len(reported) != want {
+		t.Fatalf("interrogation reported %d IOAs, want %d", len(reported), want)
+	}
+}
+
+func TestRejectCycleEndsInRST(t *testing.T) {
+	_, c, _ := testConn(t)
+	c.rejectCycle(time.Date(2019, 3, 11, 9, 0, 0, 0, time.UTC))
+	last := c.recs[len(c.recs)-1]
+	if last.Flags&pcap.FlagRST == 0 {
+		t.Fatalf("last flags %v", last.Flags)
+	}
+	// Exactly one U frame (the TESTFR act) before the reset.
+	u := 0
+	for _, r := range c.recs {
+		if len(r.Payload) > 0 && r.Payload[0] == 0x68 {
+			u++
+		}
+	}
+	if u != 1 {
+		t.Fatalf("%d APDUs in a reject cycle, want 1", u)
+	}
+}
+
+func TestRetransmissionDuplicatesSegment(t *testing.T) {
+	cfg := DefaultConfig(topology.Y1, 3)
+	cfg.Duration = time.Minute
+	cfg.RetransmitProb = 1 // always retransmit
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.world = buildPhysWorld(sim.cfg, sim.net, &sim.truth)
+	o, _ := sim.net.Outstation("O1")
+	c := newConn(sim, sim.net.ServerAddr("C1"), sim.port(), o)
+	c.keepAlive(time.Date(2019, 3, 11, 9, 0, 0, 0, time.UTC))
+	// Each of the two APDUs is followed by its duplicate with the
+	// same sequence number.
+	if len(c.recs) != 4 {
+		t.Fatalf("%d records", len(c.recs))
+	}
+	if c.recs[0].Seq != c.recs[1].Seq || string(c.recs[0].Payload) != string(c.recs[1].Payload) {
+		t.Fatal("duplicate does not match original")
+	}
+	if !c.recs[1].Time.After(c.recs[0].Time) {
+		t.Fatal("duplicate not delayed")
+	}
+}
+
+func TestPhysSeriesAt(t *testing.T) {
+	base := time.Date(2019, 3, 11, 9, 0, 0, 0, time.UTC)
+	ps := &PhysSeries{Samples: []PhysSample{
+		{T: base, P: 1},
+		{T: base.Add(time.Second), P: 2},
+		{T: base.Add(2 * time.Second), P: 3},
+	}}
+	if _, ok := ps.At(base.Add(-time.Second)); ok {
+		t.Fatal("sample before history")
+	}
+	if s, ok := ps.At(base.Add(1500 * time.Millisecond)); !ok || s.P != 2 {
+		t.Fatalf("At(1.5s) = %+v %t", s, ok)
+	}
+	if s, _ := ps.At(base.Add(time.Hour)); s.P != 3 {
+		t.Fatalf("At(future) = %+v", s)
+	}
+}

@@ -1,0 +1,148 @@
+package scadasim
+
+import (
+	"time"
+
+	"uncharted/internal/powersim"
+	"uncharted/internal/topology"
+)
+
+// PhysSample is one sampled operating point of a generator.
+type PhysSample struct {
+	T       time.Time
+	P       float64 // active power, MW
+	Q       float64 // reactive power, MVAr
+	UGrid   float64 // transformer output voltage, kV
+	UTerm   float64 // generator terminal voltage, kV
+	Current float64 // kA
+	Freq    float64 // system frequency, Hz
+	Breaker powersim.BreakerStatus
+}
+
+// PhysSeries is the sampled history of one generator.
+type PhysSeries struct {
+	Generator string
+	Samples   []PhysSample
+}
+
+// At returns the sample in force at time t (the latest sample not
+// after t). ok is false before the first sample.
+func (ps *PhysSeries) At(t time.Time) (PhysSample, bool) {
+	if len(ps.Samples) == 0 || t.Before(ps.Samples[0].T) {
+		return PhysSample{}, false
+	}
+	lo, hi := 0, len(ps.Samples)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if ps.Samples[mid].T.After(t) {
+			hi = mid - 1
+		} else {
+			lo = mid
+		}
+	}
+	return ps.Samples[lo], true
+}
+
+// physWorld is the precomputed physical history the packet generators
+// read from: per-generator series plus the AGC command log.
+type physWorld struct {
+	series   map[string]*PhysSeries // generator name -> series
+	commands []powersim.SetpointCommand
+	genOf    map[topology.OutstationID]string
+}
+
+// buildPhysWorld runs the grid for the whole capture window, sampling
+// every sample interval, with the year's scripted events.
+func buildPhysWorld(cfg Config, net *topology.Network, truth *GroundTruth) *physWorld {
+	grid := powersim.NewGrid(cfg.Start, cfg.Seed)
+	agc := powersim.NewAGC(grid)
+
+	w := &physWorld{
+		series: make(map[string]*PhysSeries),
+		genOf:  make(map[topology.OutstationID]string),
+	}
+	truth.Generators = make(map[string]string)
+
+	// One generator per generator-bearing, I-transmitting outstation.
+	var syncCandidate string
+	for _, o := range net.OutstationsIn(cfg.Year) {
+		if !o.HasGenerator || !o.SendsIFormat() {
+			continue
+		}
+		name := "gen-" + string(o.ID)
+		capacity := 80 + float64(topology.Num(o.ID)%7)*40
+		initial := capacity * 0.55
+		online := true
+		if o.ID == cfg.genSyncOutstation() {
+			online = false
+			initial = 0
+			syncCandidate = name
+		}
+		gen := grid.AddGenerator(name, capacity, initial, online)
+		if !o.ReceivesAGC {
+			// Non-AGC units hold their own dispatch; exclude them
+			// from the control loop by zeroing participation.
+			gen.Setpoint = initial
+			excludeFromAGC(gen)
+		}
+		w.genOf[o.ID] = name
+		truth.Generators[string(o.ID)] = name
+		w.series[name] = &PhysSeries{Generator: name}
+	}
+
+	// Scripted events: the unmet-load incident (Figs. 18/19) and a
+	// generator synchronisation (Figs. 20/21).
+	unmetAt := cfg.Start.Add(cfg.Duration * 2 / 5)
+	grid.ScheduleLoadStep(unmetAt, -0.12*grid.BaseLoad)
+	grid.ScheduleLoadStep(unmetAt.Add(cfg.Duration/6), 0.12*grid.BaseLoad)
+	truth.UnmetLoadAt = unmetAt
+
+	if syncCandidate != "" {
+		syncAt := cfg.Start.Add(cfg.Duration / 5)
+		target := 60.0
+		_ = grid.ScheduleGeneratorSync(syncAt, syncCandidate, 2*time.Minute, target)
+		truth.GenSyncAt = syncAt
+		truth.GenSyncName = syncCandidate
+	}
+
+	for t := cfg.Start; !t.After(cfg.Start.Add(cfg.Duration)); t = t.Add(cfg.SampleInterval) {
+		grid.AdvanceTo(t)
+		w.commands = append(w.commands, agc.Run(t)...)
+		for _, gen := range grid.Generators {
+			s := w.series[gen.Name]
+			s.Samples = append(s.Samples, PhysSample{
+				T:       t,
+				P:       gen.Output,
+				Q:       gen.ReactivePower,
+				UGrid:   gen.GridVoltage,
+				UTerm:   gen.TerminalVoltage,
+				Current: gen.Current,
+				Freq:    grid.Frequency,
+				Breaker: gen.Breaker,
+			})
+		}
+	}
+	truth.AGCCommandCount = len(w.commands)
+	return w
+}
+
+// excludeFromAGC zeroes a unit's participation via the exported
+// surface: powersim keys participation off AddGenerator, so emulate
+// exclusion by marking it non-participating.
+func excludeFromAGC(g *powersim.Generator) {
+	// participation is unexported; Participating() requires Online and
+	// participation > 0. Setting capacity-scaled dispatch off is done
+	// by the dedicated helper in powersim.
+	g.SetParticipation(0)
+}
+
+// commandsFor returns the AGC commands addressed to one generator.
+func (w *physWorld) commandsFor(gen string) []powersim.SetpointCommand {
+	var out []powersim.SetpointCommand
+	for _, c := range w.commands {
+		if c.Generator == gen {
+			out = append(out, c)
+		}
+	}
+	return out
+}

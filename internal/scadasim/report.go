@@ -1,0 +1,296 @@
+package scadasim
+
+import (
+	"time"
+
+	"uncharted/internal/iec104"
+	"uncharted/internal/powersim"
+	"uncharted/internal/topology"
+)
+
+// spontaneous thresholds per physical kind: a value must move this far
+// from the last transmitted one to trigger a COT=spont report.
+var spontThreshold = map[topology.PointKind]float64{
+	topology.KindActivePower:   1.2,
+	topology.KindReactivePower: 0.8,
+	topology.KindVoltage:       0.45,
+	topology.KindCurrent:       0.06,
+	topology.KindFrequency:     0.008,
+	topology.KindStatus:        0.5,
+	topology.KindOther:         1.0,
+}
+
+// pointState tracks per-point reporting state inside one reportLoop.
+type pointState struct {
+	nextDue  time.Time
+	lastSent float64
+	sentOnce bool
+}
+
+// reportLoop walks the window [from, to) and emits the outstation's
+// I-format traffic on connection c: periodic reports, spontaneous
+// threshold crossings, AGC setpoint exchanges, clock synchronisation
+// and idle keep-alives (T3).
+func (s *Simulator) reportLoop(c *conn, o *topology.Outstation, pts []topology.Point, from, to time.Time) {
+	if !from.Before(to) {
+		return
+	}
+	states := make([]pointState, len(pts))
+	for i, p := range pts {
+		if p.Period > 0 {
+			states[i].nextDue = from.Add(c.jitter(p.Period))
+		}
+	}
+
+	// Pre-slice this window's AGC commands for the station's generator.
+	var agc []powersim.SetpointCommand
+	if o.ReceivesAGC {
+		if gen, ok := s.world.genOf[o.ID]; ok {
+			for _, cmd := range s.world.commandsFor(gen) {
+				if !cmd.Time.Before(from) && cmd.Time.Before(to) {
+					agc = append(agc, cmd)
+				}
+			}
+		}
+	}
+	agcIdx := 0
+
+	var clockNext time.Time
+	if clockSyncStations[o.ID] {
+		clockNext = from.Add(2*time.Minute + c.jitter(time.Minute))
+	}
+
+	t3 := s.cfg.KeepAlive
+	lastActivity := from
+
+	thresholdScale := 1.0
+	if o.Behavior.SpontaneousOnly {
+		// The Type 5 misconfiguration: thresholds so wide the control
+		// room sees stale data, and T3 keep-alives fire between the
+		// sparse spontaneous reports.
+		thresholdScale = 40
+	}
+
+	step := s.cfg.SampleInterval
+	for t := from; t.Before(to); t = t.Add(step) {
+		var due []*iec104.ASDU
+
+		for i := range pts {
+			p := pts[i]
+			if p.Type.IsCommand() {
+				continue
+			}
+			st := &states[i]
+			v := s.valueFor(o, p, t)
+			switch {
+			case p.Period > 0 && !st.nextDue.After(t):
+				due = append(due, s.measurementASDU(o, p, v, iec104.CausePeriodic, t))
+				st.nextDue = st.nextDue.Add(p.Period)
+				st.lastSent = v.Float
+				st.sentOnce = true
+			case p.Period > 0 && p.Kind == topology.KindStatus &&
+				st.sentOnce && v.Float != st.lastSent:
+				// Status points refresh cyclically but a breaker state
+				// change goes out immediately as a spontaneous report
+				// — otherwise the Fig. 21 signature would see power
+				// flow before the (stale) breaker-close report.
+				due = append(due, s.measurementASDU(o, p, v, iec104.CauseSpontaneous, t))
+				st.lastSent = v.Float
+			case p.Period == 0:
+				thr := spontThreshold[p.Kind] * thresholdScale
+				if p.Kind == topology.KindStatus {
+					thr = 0.5 // any state change
+				}
+				if !st.sentOnce || absFloat(v.Float-st.lastSent) >= thr {
+					due = append(due, s.measurementASDU(o, p, v, iec104.CauseSpontaneous, t))
+					st.lastSent = v.Float
+					st.sentOnce = true
+				}
+			}
+		}
+
+		if len(due) > 0 {
+			// Pack up to three ASDUs per TCP segment, like real RTUs
+			// flushing their transmit queue.
+			at := t.Add(c.jitter(200 * time.Millisecond))
+			for i := 0; i < len(due); i += 3 {
+				end := i + 3
+				if end > len(due) {
+					end = len(due)
+				}
+				c.sendI(at, due[i:end])
+				at = at.Add(5 * time.Millisecond)
+			}
+			lastActivity = t
+		}
+
+		for agcIdx < len(agc) && !agc[agcIdx].Time.After(t) {
+			cmd := agc[agcIdx]
+			agcIdx++
+			sp := iec104.NewSetpointFloat(o.CommonAddr, setpointIOA(pts), cmd.MW, iec104.CauseActivation)
+			c.sendCommand(t.Add(250*time.Millisecond), sp, iec104.CauseActConfirm)
+			lastActivity = t
+		}
+
+		if !clockNext.IsZero() && !clockNext.After(t) {
+			cs := &iec104.ASDU{
+				Type:       iec104.CCsNa,
+				COT:        iec104.COT{Cause: iec104.CauseActivation},
+				CommonAddr: o.CommonAddr,
+				Objects: []iec104.InfoObject{{IOA: 0, Value: iec104.Value{
+					Kind: iec104.KindNone, HasTime: true,
+					Time: iec104.CP56Time2a{Time: t},
+				}}},
+			}
+			c.sendCommand(t.Add(400*time.Millisecond), cs, iec104.CauseActConfirm)
+			clockNext = clockNext.Add(10 * time.Minute)
+			lastActivity = t
+		}
+
+		if t.Sub(lastActivity) >= t3 {
+			c.keepAlive(t.Add(c.jitter(300 * time.Millisecond)))
+			lastActivity = t
+		}
+	}
+}
+
+// setpointIOA finds the AGC setpoint object address (7001 by
+// convention, but read it from the point list).
+func setpointIOA(pts []topology.Point) uint32 {
+	for _, p := range pts {
+		if p.Kind == topology.KindSetpoint {
+			return p.IOA
+		}
+	}
+	return 7001
+}
+
+// measurementASDU renders one point sample as an ASDU in the station's
+// native type.
+func (s *Simulator) measurementASDU(o *topology.Outstation, p topology.Point, v iec104.Value, cause iec104.Cause, t time.Time) *iec104.ASDU {
+	if p.Type.HasTimeTag() {
+		v.HasTime = true
+		v.Time = iec104.CP56Time2a{Time: t}
+	}
+	return iec104.NewMeasurement(p.Type, o.CommonAddr, p.IOA, v, cause)
+}
+
+// valueFor samples the physical world (or the synthetic fallback) for
+// one point at time t and wraps it in the point's element kind.
+func (s *Simulator) valueFor(o *topology.Outstation, p topology.Point, t time.Time) iec104.Value {
+	var raw float64
+	genName, isGen := s.world.genOf[o.ID]
+	var sample PhysSample
+	var haveSample bool
+	if isGen {
+		if series, ok := s.world.series[genName]; ok {
+			sample, haveSample = series.At(t)
+		}
+	}
+	if haveSample {
+		switch p.Kind {
+		case topology.KindActivePower:
+			raw = sample.P
+		case topology.KindReactivePower:
+			raw = sample.Q
+		case topology.KindVoltage:
+			// Generator substations meter both sides of the step-up
+			// transformer (Fig. 20 plots both); alternate the sides
+			// across the station's voltage points.
+			if p.IOA%4 == 3 {
+				raw = sample.UTerm // transformer input (generator) side
+			} else {
+				raw = sample.UGrid // output side
+			}
+		case topology.KindCurrent:
+			raw = sample.Current
+		case topology.KindFrequency:
+			raw = sample.Freq
+		case topology.KindStatus:
+			raw = float64(sample.Breaker)
+		default:
+			raw = s.syntheticValue(o, p, t)
+		}
+	} else {
+		raw = s.syntheticValue(o, p, t)
+	}
+	return wrapValue(p.Type, raw)
+}
+
+// syntheticValue produces a smooth, deterministic signal for points not
+// backed by a generator: a base level derived from the IOA with slow
+// sinusoidal drift, so spontaneous thresholds trip occasionally.
+func (s *Simulator) syntheticValue(o *topology.Outstation, p topology.Point, t time.Time) float64 {
+	base := 40 + float64((uint32(o.CommonAddr)*31+p.IOA)%180)
+	switch p.Kind {
+	case topology.KindVoltage:
+		base = 110 + float64(p.IOA%40)
+	case topology.KindFrequency:
+		base = 60
+	case topology.KindStatus:
+		return 1 // static status for non-generator points
+	case topology.KindCurrent:
+		base = 0.4 + float64(p.IOA%10)/10
+	}
+	phase := float64(p.IOA%17) * 0.37
+	sec := t.Sub(s.cfg.Start).Seconds()
+	wobble := 0.004*base*mathSin(sec/47+phase) + 0.02*mathSin(sec/7+phase*2)
+	if p.Kind == topology.KindFrequency {
+		wobble = 0.01 * mathSin(sec/31+phase)
+	}
+	return base + wobble
+}
+
+// wrapValue fits a raw float into the element kind of a type ID.
+func wrapValue(t iec104.TypeID, raw float64) iec104.Value {
+	switch t {
+	case iec104.MMeNa, iec104.MMeTd, iec104.MMeNd:
+		// Normalized values: scale into [-1, 1) against a 400-unit
+		// full range (the per-point engineering scaling real systems
+		// configure out of band).
+		return iec104.Value{Kind: iec104.KindNormalized, Float: clamp(raw/400, -1, 0.99997)}
+	case iec104.MMeNb, iec104.MMeTe:
+		return iec104.Value{Kind: iec104.KindScaled, Float: float64(int16(clamp(raw*10, -32768, 32767)))}
+	case iec104.MSpNa, iec104.MSpTb:
+		bit := uint32(0)
+		if raw >= 1 {
+			bit = 1
+		}
+		return iec104.Value{Kind: iec104.KindSingle, Bits: bit, Float: float64(bit)}
+	case iec104.MDpNa, iec104.MDpTb:
+		st := uint32(raw)
+		if st > 3 {
+			st = 3
+		}
+		return iec104.Value{Kind: iec104.KindDouble, Bits: st, Float: float64(st)}
+	case iec104.MStNa, iec104.MStTb:
+		return iec104.Value{Kind: iec104.KindStep, Float: clamp(raw/10, -64, 63)}
+	case iec104.MBoNa, iec104.MBoTb:
+		return iec104.Value{Kind: iec104.KindBitstring, Bits: uint32(int64(raw)) & 0xFFFF, Float: raw}
+	default:
+		return iec104.Value{Kind: iec104.KindFloat, Float: raw}
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absFloat(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// flush appends a connection's records and truth entry to the trace.
+func (s *Simulator) flush(c *conn, truth ConnTruth) {
+	s.records = append(s.records, c.recs...)
+	s.truth.Connections = append(s.truth.Connections, truth)
+}

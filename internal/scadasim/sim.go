@@ -1,0 +1,406 @@
+package scadasim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"uncharted/internal/iec104"
+	"uncharted/internal/topology"
+)
+
+// Config parameterises one synthesized capture.
+type Config struct {
+	Year     topology.Year
+	Start    time.Time
+	Duration time.Duration
+	Seed     int64
+
+	// SampleInterval is the physical-world sampling period.
+	SampleInterval time.Duration
+	// KeepAlive is the secondary-connection TESTFR cadence (the
+	// network the paper measured averaged ~30 s).
+	KeepAlive time.Duration
+	// RejectRetry is how often a control server re-dials a backup
+	// connection that keeps getting reset (T0-driven reconnects).
+	RejectRetry time.Duration
+	// SilentRetry is the re-dial cadence toward outstations that drop
+	// backup SYNs without answering.
+	SilentRetry time.Duration
+	// CyclePeriod is the graceful reconnect period of "cycling"
+	// stations (closing with FIN and re-opening with STARTDT + GI);
+	// zero disables cycling.
+	CyclePeriod time.Duration
+	// CycleStations caps how many stations cycle.
+	CycleStations int
+	// AckWindow is the IEC 104 w parameter: S-format every w I-frames.
+	AckWindow int
+	// RetransmitProb duplicates data segments at the TCP layer.
+	RetransmitProb float64
+	// DisableBackground suppresses the non-IEC-104 industrial traffic
+	// (C37.118 synchrophasors, ICCP) the paper's tap also carried.
+	DisableBackground bool
+}
+
+// DefaultConfig returns the calibrated settings for a capture year.
+// Y1 captures totalled ~8 h and Y2 ~3 h; the default durations keep
+// that 8:3 ratio at laptop scale (divide-by-12). Y1 contains the
+// silently-dropped backups that dominate its long-lived flow count;
+// by Y2 those RTUs answered with RSTs and a batch of stations cycled
+// their connections gracefully, matching Table 3's proportions.
+func DefaultConfig(year topology.Year, seed int64) Config {
+	cfg := Config{
+		Year:           year,
+		Start:          time.Date(2019, 3, 11, 9, 0, 0, 0, time.UTC),
+		Duration:       40 * time.Minute,
+		Seed:           seed,
+		SampleInterval: time.Second,
+		KeepAlive:      30 * time.Second,
+		RejectRetry:    5 * time.Second,
+		SilentRetry:    4 * time.Second,
+		AckWindow:      8,
+		RetransmitProb: 0.004,
+		CyclePeriod:    12 * time.Minute,
+		CycleStations:  6,
+	}
+	if year == topology.Y2 {
+		cfg.Start = time.Date(2020, 3, 9, 9, 0, 0, 0, time.UTC)
+		cfg.Duration = 15 * time.Minute
+		cfg.CyclePeriod = 5 * time.Minute
+		cfg.CycleStations = 17
+		// By Y2 the operator's servers re-dialed refused backups much
+		// more aggressively (T0 tightened), which is what pushes the
+		// short-lived share from 74% to 94% in Table 3.
+		cfg.RejectRetry = 2 * time.Second
+	}
+	return cfg
+}
+
+// genSyncOutstation names the outstation whose generator performs the
+// Fig. 20 synchronisation during the capture.
+func (c Config) genSyncOutstation() topology.OutstationID { return "O29" }
+
+// clockSyncStations receive C_CS_NA_1 (I103) clock synchronisation
+// commands — 3 stations per Table 8.
+var clockSyncStations = map[topology.OutstationID]bool{"O3": true, "O39": true, "O47": true}
+
+// endOfInitStations emit M_EI_NA_1 (I70) when (re)activated — 2
+// stations per Table 8.
+var endOfInitStations = map[topology.OutstationID]bool{"O12": true, "O34": true}
+
+// Simulator generates one capture.
+type Simulator struct {
+	cfg   Config
+	net   *topology.Network
+	world *physWorld
+	truth GroundTruth
+	rng   *rand.Rand
+
+	nextPort uint16
+	records  []Record
+}
+
+// New builds a simulator over the paper's topology.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("scadasim: non-positive duration %v", cfg.Duration)
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = time.Second
+	}
+	if cfg.AckWindow <= 0 {
+		cfg.AckWindow = 8
+	}
+	if cfg.KeepAlive <= 0 {
+		cfg.KeepAlive = 30 * time.Second
+	}
+	s := &Simulator{
+		cfg:      cfg,
+		net:      topology.Build(),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		nextPort: 30000,
+	}
+	s.truth.Year = int(cfg.Year)
+	return s, nil
+}
+
+// Network exposes the topology driving the simulation.
+func (s *Simulator) Network() *topology.Network { return s.net }
+
+func (s *Simulator) port() uint16 {
+	s.nextPort++
+	return s.nextPort
+}
+
+func (s *Simulator) end() time.Time { return s.cfg.Start.Add(s.cfg.Duration) }
+
+// Run produces the trace.
+func (s *Simulator) Run() (*Trace, error) {
+	s.world = buildPhysWorld(s.cfg, s.net, &s.truth)
+
+	cycling := s.pickCyclingStations()
+	for _, o := range s.net.OutstationsIn(s.cfg.Year) {
+		s.generateOutstation(o, cycling[o.ID])
+	}
+	if !s.cfg.DisableBackground {
+		s.generateBackground()
+	}
+	sortRecords(s.records)
+	return &Trace{Records: s.records, Truth: s.truth}, nil
+}
+
+// pickCyclingStations selects which I-transmitting stations close and
+// re-open their primary connection during the capture.
+func (s *Simulator) pickCyclingStations() map[topology.OutstationID]bool {
+	out := map[topology.OutstationID]bool{}
+	if s.cfg.CyclePeriod <= 0 || s.cfg.CycleStations <= 0 {
+		return out
+	}
+	n := 0
+	// Type 4 stations cycle first: their reconnects alternate between
+	// the two servers, which is what makes them "I-format to both
+	// servers" in the merged classification.
+	for _, wantType4 := range []bool{true, false} {
+		for _, o := range s.net.OutstationsIn(s.cfg.Year) {
+			if n >= s.cfg.CycleStations {
+				return out
+			}
+			if !o.SendsIFormat() || o.ConnType == topology.Type8 || out[o.ID] {
+				continue
+			}
+			if (o.ConnType == topology.Type4) != wantType4 {
+				continue
+			}
+			out[o.ID] = true
+			n++
+		}
+	}
+	return out
+}
+
+// generateOutstation emits every connection of one RTU.
+func (s *Simulator) generateOutstation(o *topology.Outstation, cycles bool) {
+	activeIdx := 0
+	// Type 4 stations switched primaries between the capture years.
+	if o.ConnType == topology.Type4 && s.cfg.Year == topology.Y2 {
+		activeIdx = 1
+	}
+	active := o.Servers[activeIdx]
+	backup := o.Servers[1-activeIdx]
+
+	if o.Behavior.TestingOnly {
+		s.generateTesting(o)
+		return
+	}
+
+	switch o.ConnType {
+	case topology.Type1, topology.Type4:
+		s.generatePrimary(o, active, cycles, time.Time{})
+	case topology.Type2:
+		s.generatePrimary(o, active, cycles, time.Time{})
+		s.generateKeepAliveConn(o, backup)
+	case topology.Type5:
+		s.generatePrimary(o, active, false, time.Time{})
+	case topology.Type3:
+		// Redundant backup RTU: keep-alives to both servers.
+		s.generateKeepAliveConn(o, o.Servers[0])
+		s.generateKeepAliveConn(o, o.Servers[1])
+	case topology.Type6:
+		s.generatePrimary(o, otherServer(o, o.Behavior.RejectBackupFrom), cycles, time.Time{})
+		s.generateRejected(o, o.Behavior.RejectBackupFrom)
+	case topology.Type7:
+		s.generateKeepAliveConn(o, otherServer(o, o.Behavior.RejectBackupFrom))
+		s.generateRejected(o, o.Behavior.RejectBackupFrom)
+	case topology.Type8:
+		// Switchover mid-capture: primary on `active` closes, the
+		// backup is promoted with STARTDT + interrogation. The stagger
+		// keeps every switchover strictly inside the capture window.
+		stagger := s.cfg.Duration / 64 * time.Duration(topology.Num(o.ID)%12)
+		switchAt := s.cfg.Start.Add(s.cfg.Duration/2 + stagger)
+		s.generatePrimary(o, active, false, switchAt)
+		s.generatePromoted(o, backup, switchAt)
+	}
+}
+
+func otherServer(o *topology.Outstation, sid topology.ServerID) topology.ServerID {
+	if o.Servers[0] == sid {
+		return o.Servers[1]
+	}
+	return o.Servers[0]
+}
+
+// generateTesting emits the C4-O22 commissioning exchange: four widely
+// spaced packets (two TESTFR pairs) on a pre-existing connection.
+func (s *Simulator) generateTesting(o *topology.Outstation) {
+	c := newConn(s, s.net.ServerAddr(o.Servers[1]), s.port(), o)
+	gap := s.cfg.Duration / 3
+	c.keepAlive(s.cfg.Start.Add(gap / 2))
+	c.keepAlive(s.cfg.Start.Add(gap/2 + 2*gap))
+	s.flush(c, ConnTruth{
+		Server: string(o.Servers[1]), Outstation: string(o.ID),
+		Role: RoleSecondary, Testing: true,
+	})
+}
+
+// generateKeepAliveConn emits a persistent secondary connection:
+// TESTFR act/con at the keep-alive cadence. No SYN or FIN appears in
+// the capture window, so the flow is long-lived.
+func (s *Simulator) generateKeepAliveConn(o *topology.Outstation, sid topology.ServerID) {
+	c := newConn(s, s.net.ServerAddr(sid), s.port(), o)
+	// The KeepAliveInterval override is the C2-O30 misconfiguration:
+	// the paper observed it only on the *rejected* channel (handled by
+	// generateRejected); this RTU's healthy connection keep-alives at
+	// the network-wide cadence.
+	interval := s.cfg.KeepAlive
+	for t := s.cfg.Start.Add(c.jitter(interval)); t.Before(s.end()); t = t.Add(interval) {
+		c.keepAlive(t)
+	}
+	s.flush(c, ConnTruth{
+		Server: string(sid), Outstation: string(o.ID), Role: RoleSecondary,
+	})
+}
+
+// generateRejected emits the reset-backup pathology: the server
+// re-dials forever; each attempt is a fresh 4-tuple ending in an RST
+// (or, for silent stations in Y1, unanswered SYNs).
+func (s *Simulator) generateRejected(o *topology.Outstation, sid topology.ServerID) {
+	serverAddr := s.net.ServerAddr(sid)
+	silent := o.Behavior.SilentDropBackup && s.cfg.Year == topology.Y1
+	interval := s.cfg.RejectRetry
+	if silent {
+		interval = s.cfg.SilentRetry
+	}
+	if o.Behavior.KeepAliveInterval > 0 {
+		// The misconfigured timer (C2-O30): attempts every 430 s.
+		interval = o.Behavior.KeepAliveInterval
+	}
+	first := s.cfg.Start.Add(time.Duration(topology.Num(o.ID)%10) * interval / 10)
+	attempt := 0
+	for t := first; t.Before(s.end()); t = t.Add(interval) {
+		c := newConn(s, serverAddr, s.port(), o)
+		hung := false
+		switch {
+		case silent && attempt%8 == 7:
+			// Even the silent stations intermittently complete a
+			// handshake, swallow the server's TESTFR and hang — that
+			// is why the paper still sees them at the Markov point
+			// (1,1) while most of their attempts leave only
+			// unanswered SYNs (long-lived flows).
+			c.hangCycle(t)
+			hung = true
+		case silent:
+			c.silentCycle(t)
+		default:
+			c.rejectCycle(t)
+		}
+		attempt++
+		s.flush(c, ConnTruth{
+			Server: string(sid), Outstation: string(o.ID), Role: RoleSecondary,
+			Rejected: !silent || hung, Silent: silent && !hung,
+		})
+	}
+}
+
+// generatePromoted emits a Type 8 backup connection: keep-alives until
+// the switchover, then STARTDT, interrogation and regular reporting.
+func (s *Simulator) generatePromoted(o *topology.Outstation, sid topology.ServerID, switchAt time.Time) {
+	c := newConn(s, s.net.ServerAddr(sid), s.port(), o)
+	for t := s.cfg.Start.Add(c.jitter(s.cfg.KeepAlive)); t.Before(switchAt); t = t.Add(s.cfg.KeepAlive) {
+		c.keepAlive(t)
+	}
+	pts := s.net.Points(o.ID, s.cfg.Year)
+	t := c.startDT(switchAt.Add(300 * time.Millisecond))
+	t = s.maybeEndOfInit(c, o, t)
+	t = c.interrogate(t, o, pts)
+	s.reportLoop(c, o, pts, t, s.end())
+	s.flush(c, ConnTruth{
+		Server: string(sid), Outstation: string(o.ID), Role: RoleSecondary,
+		Switchover: true, Interro: true,
+	})
+}
+
+// generatePrimary emits the main data connection. If closeAt is
+// non-zero the connection ends there with a FIN (switchover). When
+// cycles is true the connection periodically closes and re-opens with
+// a fresh handshake, STARTDT and interrogation.
+func (s *Simulator) generatePrimary(o *topology.Outstation, sid topology.ServerID, cycles bool, closeAt time.Time) {
+	pts := s.net.Points(o.ID, s.cfg.Year)
+	serverAddr := s.net.ServerAddr(sid)
+	endAll := s.end()
+	if !closeAt.IsZero() && closeAt.Before(endAll) {
+		endAll = closeAt
+	}
+
+	if !cycles {
+		c := newConn(s, serverAddr, s.port(), o)
+		s.reportLoop(c, o, pts, s.cfg.Start, endAll)
+		if !closeAt.IsZero() {
+			c.finClose(endAll)
+		}
+		s.flush(c, ConnTruth{
+			Server: string(sid), Outstation: string(o.ID), Role: RolePrimary,
+			Switchover: !closeAt.IsZero(),
+		})
+		return
+	}
+
+	// Cycling: the first segment pre-dates the capture (long-lived),
+	// subsequent segments are complete SYN..FIN lifecycles. Type 4
+	// stations alternate servers between segments — over a capture
+	// they send I-format data to both control servers.
+	segStart := s.cfg.Start
+	firstSegment := true
+	segIdx := 0
+	period := s.cfg.CyclePeriod
+	for segStart.Before(endAll) {
+		// Stagger segment lengths per station by up to half a period
+		// so reconnects don't synchronise; the offset scales with the
+		// period so short captures keep strictly positive segments.
+		stagger := period / 32 * time.Duration(topology.Num(o.ID)%16)
+		segEnd := segStart.Add(period - stagger)
+		if segEnd.After(endAll) {
+			segEnd = endAll
+		}
+		segServer := serverAddr
+		if o.ConnType == topology.Type4 && segIdx%2 == 1 {
+			segServer = s.net.ServerAddr(otherServer(o, sid))
+		}
+		segIdx++
+		c := newConn(s, segServer, s.port(), o)
+		t := segStart
+		interro := false
+		if !firstSegment {
+			t = c.handshake(t)
+			t = c.startDT(t.Add(50 * time.Millisecond))
+			t = s.maybeEndOfInit(c, o, t)
+			t = c.interrogate(t, o, pts)
+			interro = true
+		}
+		s.reportLoop(c, o, pts, t, segEnd)
+		if segEnd.Before(endAll) {
+			c.finClose(segEnd)
+		}
+		s.flush(c, ConnTruth{
+			Server: string(sid), Outstation: string(o.ID), Role: RolePrimary,
+			Interro: interro,
+		})
+		segStart = segEnd.Add(2*time.Second + c.jitter(3*time.Second))
+		firstSegment = false
+	}
+}
+
+// maybeEndOfInit emits M_EI_NA_1 for the Table 8 stations that report
+// end-of-initialization on activation.
+func (s *Simulator) maybeEndOfInit(c *conn, o *topology.Outstation, t time.Time) time.Time {
+	if !endOfInitStations[o.ID] {
+		return t
+	}
+	a := &iec104.ASDU{
+		Type:       iec104.MEiNa,
+		COT:        iec104.COT{Cause: iec104.CauseInitialized},
+		CommonAddr: o.CommonAddr,
+		Objects:    []iec104.InfoObject{{IOA: 0, Value: iec104.Value{Kind: iec104.KindQualifier}}},
+	}
+	c.sendI(t, []*iec104.ASDU{a})
+	return t.Add(30 * time.Millisecond)
+}

@@ -1,0 +1,285 @@
+package station
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"uncharted/internal/iec104"
+)
+
+// Measurement is one value received by a control station.
+type Measurement struct {
+	CommonAddr uint16
+	IOA        uint32
+	Type       iec104.TypeID
+	Value      float64
+	Cause      iec104.Cause
+	At         time.Time
+}
+
+// ControlStation is a controlling station: it dials an outstation,
+// activates transfer, interrogates, sends setpoints and surfaces every
+// monitor-direction value through OnMeasurement.
+type ControlStation struct {
+	// Profile must match the outstation's dialect (use the tolerant
+	// parser from internal/core when it is unknown).
+	Profile iec104.Profile
+	// W is the acknowledge window.
+	W int
+	// OnMeasurement observes every received value (called from the
+	// read loop; keep it fast).
+	OnMeasurement func(Measurement)
+
+	link   *link
+	conn   net.Conn
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	// waiters for activation-termination of pending commands.
+	termCh chan iec104.TypeID
+	conCh  chan confirmation
+	errCh  chan error
+}
+
+type confirmation struct {
+	Type     iec104.TypeID
+	Negative bool
+}
+
+// dial opens the TCP connection and starts the read loop without
+// activating transfer (the STOPDT state every fresh IEC 104 connection
+// begins in).
+func dial(ctx context.Context, addr string, profile iec104.Profile) (*ControlStation, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cs := &ControlStation{
+		Profile: profile,
+		conn:    conn,
+		termCh:  make(chan iec104.TypeID, 16),
+		conCh:   make(chan confirmation, 16),
+		errCh:   make(chan error, 1),
+	}
+	cs.link = newLink(conn, profile, cs.W)
+	cs.wg.Add(1)
+	go cs.readLoop()
+	return cs, nil
+}
+
+// Dial connects and performs STARTDT activation.
+func Dial(ctx context.Context, addr string, profile iec104.Profile) (*ControlStation, error) {
+	cs, err := dial(ctx, addr, profile)
+	if err != nil {
+		return nil, err
+	}
+	if err := cs.link.send(iec104.NewU(iec104.UStartDTAct)); err != nil {
+		cs.Close()
+		return nil, err
+	}
+	// The STARTDT con arrives on the read loop; give it a moment via
+	// a keep-alive round trip.
+	if err := cs.TestLink(ctx); err != nil {
+		cs.Close()
+		return nil, fmt.Errorf("station: activation: %w", err)
+	}
+	return cs, nil
+}
+
+// Close tears the connection down.
+func (cs *ControlStation) Close() error {
+	cs.mu.Lock()
+	if cs.closed {
+		cs.mu.Unlock()
+		return nil
+	}
+	cs.closed = true
+	cs.mu.Unlock()
+	err := cs.conn.Close()
+	cs.wg.Wait()
+	return err
+}
+
+func (cs *ControlStation) readLoop() {
+	defer cs.wg.Done()
+	for {
+		if err := cs.conn.SetReadDeadline(time.Now().Add(DefaultT3 + DefaultT1)); err != nil {
+			cs.fail(err)
+			return
+		}
+		frame, err := readFrame(cs.conn)
+		if err != nil {
+			cs.fail(err)
+			return
+		}
+		apdu, _, err := iec104.ParseAPDU(frame, cs.Profile)
+		if err != nil {
+			cs.fail(err)
+			return
+		}
+		switch apdu.Format {
+		case iec104.FormatU:
+			switch apdu.U {
+			case iec104.UTestFRAct:
+				if err := cs.link.send(iec104.NewU(iec104.UTestFRCon)); err != nil {
+					cs.fail(err)
+					return
+				}
+			case iec104.UTestFRCon:
+				select {
+				case cs.termCh <- 0: // keep-alive round trip marker
+				default:
+				}
+			}
+		case iec104.FormatS:
+			// peer acknowledged our I-frames; nothing to track here.
+		case iec104.FormatI:
+			if err := cs.link.noteIReceived(); err != nil {
+				cs.fail(err)
+				return
+			}
+			cs.dispatch(apdu.ASDU)
+		}
+	}
+}
+
+func (cs *ControlStation) fail(err error) {
+	select {
+	case cs.errCh <- err:
+	default:
+	}
+}
+
+func (cs *ControlStation) dispatch(asdu *iec104.ASDU) {
+	switch asdu.COT.Cause {
+	case iec104.CauseActConfirm, iec104.CauseUnknownType, iec104.CauseUnknownIOA,
+		iec104.CauseUnknownCA, iec104.CauseUnknownCause:
+		select {
+		case cs.conCh <- confirmation{Type: asdu.Type, Negative: asdu.COT.Negative}:
+		default:
+		}
+		return
+	case iec104.CauseActTerm:
+		select {
+		case cs.termCh <- asdu.Type:
+		default:
+		}
+		return
+	}
+	if cs.OnMeasurement == nil {
+		return
+	}
+	now := time.Now()
+	for _, obj := range asdu.Objects {
+		m := Measurement{
+			CommonAddr: asdu.CommonAddr,
+			IOA:        obj.IOA,
+			Type:       asdu.Type,
+			Value:      obj.Value.Float,
+			Cause:      asdu.COT.Cause,
+			At:         now,
+		}
+		if obj.Value.HasTime && !obj.Value.Time.Invalid {
+			m.At = obj.Value.Time.Time
+		}
+		cs.OnMeasurement(m)
+	}
+}
+
+// TestLink performs one TESTFR round trip.
+func (cs *ControlStation) TestLink(ctx context.Context) error {
+	if err := cs.link.send(iec104.NewU(iec104.UTestFRAct)); err != nil {
+		return err
+	}
+	select {
+	case <-cs.termCh:
+		return nil
+	case err := <-cs.errCh:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Interrogate sends a general interrogation and waits for the
+// activation termination. Values arrive via OnMeasurement with cause
+// inrogen.
+func (cs *ControlStation) Interrogate(ctx context.Context, commonAddr uint16) error {
+	gi := iec104.NewInterrogation(commonAddr, iec104.CauseActivation)
+	if err := cs.link.sendI(gi); err != nil {
+		return err
+	}
+	for {
+		select {
+		case typ := <-cs.termCh:
+			if typ == iec104.CIcNa {
+				// Flush the final S ack so the peer's window clears.
+				return cs.link.ackNow()
+			}
+		case err := <-cs.errCh:
+			return err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// StopDT deactivates transfer (STOPDT act): the outstation confirms
+// and stops sending I-frames; the connection stays up for keep-alives,
+// like the paper's secondary connections.
+func (cs *ControlStation) StopDT(ctx context.Context) error {
+	if err := cs.link.send(iec104.NewU(iec104.UStopDTAct)); err != nil {
+		return err
+	}
+	// Confirm liveness (the STOPDT con arrives on the read loop).
+	return cs.TestLink(ctx)
+}
+
+// SendRaw issues an arbitrary command ASDU and waits for the
+// activation confirmation, turning a negative confirmation into an
+// error. Use the typed helpers (SendSetpoint, Interrogate) where one
+// exists.
+func (cs *ControlStation) SendRaw(ctx context.Context, asdu *iec104.ASDU) error {
+	if err := cs.link.sendI(asdu); err != nil {
+		return err
+	}
+	for {
+		select {
+		case con := <-cs.conCh:
+			if con.Negative {
+				return fmt.Errorf("station: command rejected (%v)", con.Type)
+			}
+			return nil
+		case err := <-cs.errCh:
+			return err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// SendSetpoint issues a C_SE_NC_1 command and waits for the
+// confirmation. A negative confirmation becomes an error.
+func (cs *ControlStation) SendSetpoint(ctx context.Context, commonAddr uint16, ioa uint32, value float64) error {
+	sp := iec104.NewSetpointFloat(commonAddr, ioa, value, iec104.CauseActivation)
+	if err := cs.link.sendI(sp); err != nil {
+		return err
+	}
+	for {
+		select {
+		case con := <-cs.conCh:
+			if con.Negative {
+				return fmt.Errorf("station: setpoint rejected (%v)", con.Type)
+			}
+			return nil
+		case err := <-cs.errCh:
+			return err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

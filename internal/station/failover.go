@@ -1,0 +1,298 @@
+package station
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"uncharted/internal/iec104"
+)
+
+// DialStandby connects to an outstation without activating transfer:
+// the connection idles in the STOPDT state exchanging TESTFR
+// keep-alives — the paper's secondary (redundant) connection.
+func DialStandby(ctx context.Context, addr string, profile iec104.Profile) (*ControlStation, error) {
+	cs, err := dial(ctx, addr, profile)
+	if err != nil {
+		return nil, err
+	}
+	// Verify liveness with one keep-alive round trip.
+	if err := cs.TestLink(ctx); err != nil {
+		cs.Close()
+		return nil, err
+	}
+	return cs, nil
+}
+
+// Activate promotes a standby connection: STARTDT act (acknowledged by
+// the outstation) followed by a general interrogation — the switchover
+// sequence of the paper's Fig. 16.
+func (cs *ControlStation) Activate(ctx context.Context, commonAddr uint16) error {
+	if err := cs.link.send(iec104.NewU(iec104.UStartDTAct)); err != nil {
+		return err
+	}
+	if err := cs.TestLink(ctx); err != nil {
+		return fmt.Errorf("station: activation: %w", err)
+	}
+	return cs.Interrogate(ctx, commonAddr)
+}
+
+// Err returns the first fatal connection error, if any (non-blocking).
+func (cs *ControlStation) Err() error {
+	select {
+	case err := <-cs.errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// FailoverConfig wires a redundancy group.
+type FailoverConfig struct {
+	// Addr is the outstation's address.
+	Addr string
+	// CommonAddr is its ASDU address.
+	CommonAddr uint16
+	Profile    iec104.Profile
+	// KeepAlive is the standby TESTFR cadence (default 30s as in the
+	// paper's network; the standard default T3 is 20s).
+	KeepAlive time.Duration
+	// CheckInterval is how often the group health-checks the active
+	// connection (default 1s).
+	CheckInterval time.Duration
+	// OnMeasurement receives values from whichever connection is
+	// active.
+	OnMeasurement func(Measurement)
+	// OnSwitchover is notified when the standby gets promoted.
+	OnSwitchover func(reason error)
+}
+
+// Failover maintains a primary and a standby connection to one
+// outstation, reproducing the redundant-connection behaviour of the
+// paper's Fig. 4: the active link carries I traffic; the standby only
+// keep-alives; when the active link dies the standby is promoted with
+// STARTDT + interrogation and a fresh standby is dialled.
+type Failover struct {
+	cfg FailoverConfig
+
+	mu       sync.Mutex
+	active   *ControlStation
+	standby  *ControlStation
+	closed   bool
+	switches int
+
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+}
+
+// NewFailover dials both connections and starts supervision.
+func NewFailover(ctx context.Context, cfg FailoverConfig) (*Failover, error) {
+	if cfg.KeepAlive <= 0 {
+		cfg.KeepAlive = 30 * time.Second
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = time.Second
+	}
+	f := &Failover{cfg: cfg}
+
+	active, err := Dial(ctx, cfg.Addr, cfg.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("station: failover primary: %w", err)
+	}
+	active.OnMeasurement = cfg.OnMeasurement
+	if err := active.Interrogate(ctx, cfg.CommonAddr); err != nil {
+		active.Close()
+		return nil, fmt.Errorf("station: failover interrogation: %w", err)
+	}
+	standby, err := DialStandby(ctx, cfg.Addr, cfg.Profile)
+	if err != nil {
+		active.Close()
+		return nil, fmt.Errorf("station: failover standby: %w", err)
+	}
+	f.active, f.standby = active, standby
+
+	runCtx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	f.wg.Add(1)
+	go f.supervise(runCtx)
+	return f, nil
+}
+
+// Switches reports how many promotions have happened.
+func (f *Failover) Switches() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.switches
+}
+
+// Active returns the currently active connection (may change across
+// calls).
+func (f *Failover) Active() *ControlStation {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.active
+}
+
+// Close tears both connections down.
+func (f *Failover) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	active, standby := f.active, f.standby
+	f.mu.Unlock()
+	f.cancel()
+	if active != nil {
+		active.Close()
+	}
+	if standby != nil {
+		standby.Close()
+	}
+	f.wg.Wait()
+	return nil
+}
+
+// supervise keep-alives the standby and health-checks the active link.
+func (f *Failover) supervise(ctx context.Context) {
+	defer f.wg.Done()
+	checkTick := time.NewTicker(f.cfg.CheckInterval)
+	defer checkTick.Stop()
+	kaTick := time.NewTicker(f.cfg.KeepAlive)
+	defer kaTick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-kaTick.C:
+			f.mu.Lock()
+			standby := f.standby
+			f.mu.Unlock()
+			if standby == nil {
+				continue
+			}
+			kctx, cancel := context.WithTimeout(ctx, f.cfg.CheckInterval*3)
+			err := standby.TestLink(kctx)
+			cancel()
+			if err != nil {
+				// The standby died; replace it quietly.
+				standby.Close()
+				f.redial(ctx, false)
+			}
+		case <-checkTick.C:
+			f.mu.Lock()
+			active := f.active
+			f.mu.Unlock()
+			if active == nil {
+				continue
+			}
+			if err := active.Err(); err != nil {
+				f.promote(ctx, err)
+			}
+		}
+	}
+}
+
+// promote makes the standby active and dials a replacement standby.
+func (f *Failover) promote(ctx context.Context, reason error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	old := f.active
+	next := f.standby
+	f.standby = nil
+	f.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	if next == nil {
+		f.redialActive(ctx, reason)
+		return
+	}
+	next.OnMeasurement = f.cfg.OnMeasurement
+	actCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	err := next.Activate(actCtx, f.cfg.CommonAddr)
+	cancel()
+	if err != nil {
+		// The standby died with the active link (shared outage);
+		// fall back to a fresh connection.
+		next.Close()
+		f.redialActive(ctx, reason)
+		return
+	}
+	f.mu.Lock()
+	f.active = next
+	f.switches++
+	cb := f.cfg.OnSwitchover
+	f.mu.Unlock()
+	if cb != nil {
+		cb(reason)
+	}
+	f.redial(ctx, false)
+}
+
+// redialActive establishes a fresh active connection after both links
+// of the group failed, retrying until the context expires.
+func (f *Failover) redialActive(ctx context.Context, reason error) {
+	for ctx.Err() == nil {
+		dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		cs, err := Dial(dctx, f.cfg.Addr, f.cfg.Profile)
+		cancel()
+		if err == nil {
+			cs.OnMeasurement = f.cfg.OnMeasurement
+			ictx, icancel := context.WithTimeout(ctx, 10*time.Second)
+			err = cs.Interrogate(ictx, f.cfg.CommonAddr)
+			icancel()
+			if err == nil {
+				f.mu.Lock()
+				if f.closed {
+					f.mu.Unlock()
+					cs.Close()
+					return
+				}
+				f.active = cs
+				f.switches++
+				cb := f.cfg.OnSwitchover
+				f.mu.Unlock()
+				if cb != nil {
+					cb(reason)
+				}
+				f.redial(ctx, false)
+				return
+			}
+			cs.Close()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(f.cfg.CheckInterval):
+		}
+	}
+}
+
+// redial replaces the standby connection.
+func (f *Failover) redial(ctx context.Context, activeSlot bool) {
+	if activeSlot {
+		f.redialActive(ctx, errors.New("station: redial requested"))
+		return
+	}
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	cs, err := DialStandby(dctx, f.cfg.Addr, f.cfg.Profile)
+	if err != nil {
+		return
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		cs.Close()
+		return
+	}
+	f.standby = cs
+	f.mu.Unlock()
+}

@@ -1,0 +1,127 @@
+package station
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"uncharted/internal/iec104"
+)
+
+func TestStandbyStaysQuiet(t *testing.T) {
+	o, addr := startOutstation(t, iec104.Standard)
+	col := &collector{}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cs, err := DialStandby(ctx, addr, iec104.Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	cs.OnMeasurement = col.add
+	// A spontaneous update must NOT reach a standby (STOPDT)
+	// connection.
+	if err := o.SetValue(1001, 200); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if n := len(col.byIOA(1001)); n != 0 {
+		t.Fatalf("standby received %d spontaneous reports", n)
+	}
+	// After activation it does.
+	if err := cs.Activate(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetValue(1001, 201); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, m := range col.byIOA(1001) {
+			if m.Cause == iec104.CauseSpontaneous {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("activated standby received nothing")
+}
+
+func TestFailoverPromotesOnConnectionLoss(t *testing.T) {
+	o, addr := startOutstation(t, iec104.Standard)
+	var measurements atomic.Int64
+	switched := make(chan struct{}, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	f, err := NewFailover(ctx, FailoverConfig{
+		Addr:          addr,
+		CommonAddr:    7,
+		Profile:       iec104.Standard,
+		KeepAlive:     500 * time.Millisecond,
+		CheckInterval: 50 * time.Millisecond,
+		OnMeasurement: func(Measurement) { measurements.Add(1) },
+		OnSwitchover: func(error) {
+			select {
+			case switched <- struct{}{}:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if measurements.Load() == 0 {
+		t.Fatal("initial interrogation yielded nothing")
+	}
+	before := measurements.Load()
+
+	// Kill both live connections: the supervisor must promote the
+	// standby (or redial) and interrogate again.
+	o.DropConnections()
+	select {
+	case <-switched:
+	case <-time.After(10 * time.Second):
+		if f.Switches() == 0 {
+			t.Fatal("no switchover after connection loss")
+		}
+	}
+	// The new active connection interrogates, so measurements grow.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if measurements.Load() > before {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("no data after switchover (have %d, had %d)", measurements.Load(), before)
+}
+
+func TestFailoverCloseIdempotent(t *testing.T) {
+	_, addr := startOutstation(t, iec104.Standard)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	f, err := NewFailover(ctx, FailoverConfig{Addr: addr, CommonAddr: 7, Profile: iec104.Standard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailoverRequiresReachableOutstation(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := NewFailover(ctx, FailoverConfig{
+		Addr: "127.0.0.1:1", CommonAddr: 7, Profile: iec104.Standard,
+	}); err == nil {
+		t.Fatal("unreachable outstation accepted")
+	}
+}

@@ -1,0 +1,348 @@
+package station
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"uncharted/internal/iec104"
+)
+
+// Outstation is a controlled station: it listens for control-station
+// connections, answers interrogations from its point table, confirms
+// setpoint commands, and pushes spontaneous updates on active links.
+type Outstation struct {
+	CommonAddr uint16
+	// Profile lets the outstation speak a legacy dialect, reproducing
+	// the non-compliant RTUs of §6.1.
+	Profile iec104.Profile
+	// W is the acknowledge window (default 8).
+	W int
+	// OnCommand, when set, observes accepted setpoint commands.
+	OnCommand func(ioa uint32, value float64)
+	// RejectConnections makes the outstation accept TCP and then
+	// reset as soon as a U frame arrives — the Fig. 9 pathology.
+	RejectConnections bool
+	// Logf, when set, receives debug lines.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	points map[uint32]PointDef
+	order  []uint32
+	links  map[*link]bool
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewOutstation builds an outstation with the standard profile.
+func NewOutstation(commonAddr uint16) *Outstation {
+	return &Outstation{
+		CommonAddr: commonAddr,
+		Profile:    iec104.Standard,
+		points:     make(map[uint32]PointDef),
+		links:      make(map[*link]bool),
+		closed:     make(chan struct{}),
+	}
+}
+
+// AddPoint registers an information object.
+func (o *Outstation) AddPoint(p PointDef) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, exists := o.points[p.IOA]; !exists {
+		o.order = append(o.order, p.IOA)
+	}
+	o.points[p.IOA] = p
+}
+
+// SetValue updates a point and pushes a spontaneous report on every
+// active (STARTDT) link.
+func (o *Outstation) SetValue(ioa uint32, v float64) error {
+	o.mu.Lock()
+	p, ok := o.points[ioa]
+	if !ok {
+		o.mu.Unlock()
+		return fmt.Errorf("station: unknown IOA %d", ioa)
+	}
+	p.Value = v
+	o.points[ioa] = p
+	var targets []*link
+	for l := range o.links {
+		if l.isStarted() {
+			targets = append(targets, l)
+		}
+	}
+	o.mu.Unlock()
+
+	asdu := iec104.NewMeasurement(p.Type, o.CommonAddr, p.IOA, p.value(time.Now()), iec104.CauseSpontaneous)
+	for _, l := range targets {
+		if err := l.sendI(asdu); err != nil {
+			o.logf("spontaneous push: %v", err)
+		}
+	}
+	return nil
+}
+
+// Listen starts serving on addr ("127.0.0.1:0" picks a free port) and
+// returns the bound address.
+func (o *Outstation) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	o.ln = ln
+	o.wg.Add(1)
+	go o.acceptLoop()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and all connections.
+func (o *Outstation) Close() error {
+	select {
+	case <-o.closed:
+	default:
+		close(o.closed)
+	}
+	var err error
+	if o.ln != nil {
+		err = o.ln.Close()
+	}
+	o.mu.Lock()
+	for l := range o.links {
+		l.conn.Close()
+	}
+	o.mu.Unlock()
+	o.wg.Wait()
+	return err
+}
+
+// ServeConn serves a single pre-accepted connection synchronously,
+// returning when the peer disconnects. It lets callers embed the
+// outstation behind their own listener (e.g. the replay tool).
+func (o *Outstation) ServeConn(conn net.Conn) {
+	o.wg.Add(1)
+	o.serve(conn)
+}
+
+// HasActiveLink reports whether at least one connection has completed
+// STARTDT activation.
+func (o *Outstation) HasActiveLink() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for l := range o.links {
+		if l.isStarted() {
+			return true
+		}
+	}
+	return false
+}
+
+// Broadcast pushes an arbitrary monitor-direction ASDU to every
+// active (STARTDT) link, preserving its cause of transmission. It
+// returns an error when no active link accepted the frame.
+func (o *Outstation) Broadcast(asdu *iec104.ASDU) error {
+	o.mu.Lock()
+	var targets []*link
+	for l := range o.links {
+		if l.isStarted() {
+			targets = append(targets, l)
+		}
+	}
+	o.mu.Unlock()
+	if len(targets) == 0 {
+		return fmt.Errorf("station: no active connection to broadcast to")
+	}
+	var lastErr error
+	sent := 0
+	for _, l := range targets {
+		if err := l.sendI(asdu); err != nil {
+			lastErr = err
+			continue
+		}
+		sent++
+	}
+	if sent == 0 {
+		return lastErr
+	}
+	return nil
+}
+
+// DropConnections closes every live connection without stopping the
+// listener — simulating the active-link failure that triggers the
+// redundant-connection switchover of the paper's Fig. 4.
+func (o *Outstation) DropConnections() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for l := range o.links {
+		l.conn.Close()
+	}
+}
+
+func (o *Outstation) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+func (o *Outstation) acceptLoop() {
+	defer o.wg.Done()
+	for {
+		conn, err := o.ln.Accept()
+		if err != nil {
+			select {
+			case <-o.closed:
+				return
+			default:
+				log.Printf("station: accept: %v", err)
+				return
+			}
+		}
+		o.wg.Add(1)
+		go o.serve(conn)
+	}
+}
+
+func (o *Outstation) serve(conn net.Conn) {
+	defer o.wg.Done()
+	defer conn.Close()
+	l := newLink(conn, o.Profile, o.W)
+	o.mu.Lock()
+	o.links[l] = true
+	o.mu.Unlock()
+	defer func() {
+		o.mu.Lock()
+		delete(o.links, l)
+		o.mu.Unlock()
+	}()
+
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(DefaultT3 + DefaultT1)); err != nil {
+			return
+		}
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		apdu, _, err := iec104.ParseAPDU(frame, o.Profile)
+		if err != nil {
+			o.logf("parse: %v", err)
+			return
+		}
+		if o.RejectConnections {
+			// The misbehaving RTUs: accept TCP, then reset at the
+			// first application frame.
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+			return
+		}
+		if err := o.handle(l, apdu); err != nil {
+			o.logf("handle: %v", err)
+			return
+		}
+	}
+}
+
+func (o *Outstation) handle(l *link, apdu *iec104.APDU) error {
+	switch apdu.Format {
+	case iec104.FormatU:
+		switch apdu.U {
+		case iec104.UStartDTAct:
+			l.mu.Lock()
+			l.started = true
+			l.mu.Unlock()
+			return l.send(iec104.NewU(iec104.UStartDTCon))
+		case iec104.UStopDTAct:
+			l.mu.Lock()
+			l.started = false
+			l.mu.Unlock()
+			return l.send(iec104.NewU(iec104.UStopDTCon))
+		case iec104.UTestFRAct:
+			return l.send(iec104.NewU(iec104.UTestFRCon))
+		}
+		return nil
+	case iec104.FormatS:
+		return nil
+	}
+	// I-format: commands from the controlling station.
+	if err := l.noteIReceived(); err != nil {
+		return err
+	}
+	asdu := apdu.ASDU
+	switch asdu.Type {
+	case iec104.CIcNa:
+		return o.serveInterrogation(l, asdu)
+	case iec104.CSeNc, iec104.CSeNa, iec104.CSeNb:
+		return o.serveSetpoint(l, asdu)
+	case iec104.CCsNa:
+		con := *asdu
+		con.COT.Cause = iec104.CauseActConfirm
+		return l.sendI(&con)
+	default:
+		neg := *asdu
+		neg.COT.Cause = iec104.CauseUnknownType
+		neg.COT.Negative = true
+		return l.sendI(&neg)
+	}
+}
+
+func (o *Outstation) serveInterrogation(l *link, act *iec104.ASDU) error {
+	con := *act
+	con.COT.Cause = iec104.CauseActConfirm
+	if err := l.sendI(&con); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	pts := make([]PointDef, 0, len(o.order))
+	for _, ioa := range o.order {
+		p := o.points[ioa]
+		// A general interrogation returns the monitor-direction image;
+		// control-direction objects (setpoint targets) are excluded,
+		// as on real RTUs.
+		if p.Type.IsCommand() {
+			continue
+		}
+		pts = append(pts, p)
+	}
+	o.mu.Unlock()
+	now := time.Now()
+	for _, p := range pts {
+		asdu := iec104.NewMeasurement(p.Type, o.CommonAddr, p.IOA, p.value(now), iec104.CauseInrogen)
+		if err := l.sendI(asdu); err != nil {
+			return err
+		}
+	}
+	term := *act
+	term.COT.Cause = iec104.CauseActTerm
+	return l.sendI(&term)
+}
+
+func (o *Outstation) serveSetpoint(l *link, act *iec104.ASDU) error {
+	obj := act.Objects[0]
+	o.mu.Lock()
+	p, known := o.points[obj.IOA]
+	if known {
+		p.Value = obj.Value.Float
+		o.points[obj.IOA] = p
+	}
+	cb := o.OnCommand
+	o.mu.Unlock()
+
+	con := *act
+	con.COT.Cause = iec104.CauseActConfirm
+	if !known {
+		con.COT.Cause = iec104.CauseUnknownIOA
+		con.COT.Negative = true
+	}
+	if err := l.sendI(&con); err != nil {
+		return err
+	}
+	if known && cb != nil {
+		cb(obj.IOA, obj.Value.Float)
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+// Package station implements live IEC 60870-5-104 endpoints over real
+// TCP connections: an Outstation (controlled station listening on port
+// 2404) and a ControlStation (controlling station that dials it). They
+// speak the same codec the analysis pipeline parses, including the
+// legacy dialects, so a loopback session is an end-to-end validation
+// of the protocol stack — and a convenient traffic source for demos.
+//
+// The state machine follows the standard: connections start in the
+// STOPDT state; the controlling station activates transfer with
+// STARTDT act; TESTFR keep-alives flow when a link is idle for T3; the
+// receiver acknowledges I-frames with an S-frame after w frames.
+package station
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"uncharted/internal/iec104"
+)
+
+// Timer defaults from the standard (§4 of the paper).
+const (
+	DefaultT1 = 15 * time.Second // send/test APDU timeout
+	DefaultT2 = 10 * time.Second // acknowledge timeout
+	DefaultT3 = 20 * time.Second // idle keep-alive
+	DefaultW  = 8                // ack window
+)
+
+// readFrame reads one APDU frame (start byte + length + body).
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != iec104.StartByte {
+		return nil, fmt.Errorf("station: bad start byte %#02x", hdr[0])
+	}
+	if hdr[1] < 4 {
+		return nil, fmt.Errorf("station: APCI length %d too small", hdr[1])
+	}
+	frame := make([]byte, 2+int(hdr[1]))
+	frame[0], frame[1] = hdr[0], hdr[1]
+	if _, err := io.ReadFull(r, frame[2:]); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// link wraps one TCP connection with sequence bookkeeping and a write
+// lock. Both endpoint types embed it.
+type link struct {
+	conn net.Conn
+	mu   sync.Mutex
+
+	profile iec104.Profile
+
+	sendSeq uint16 // our N(S)
+	recvSeq uint16 // next expected peer N(S); our N(R)
+	unacked int    // received I-frames not yet S-acked
+	w       int
+
+	started bool // STARTDT active
+	lastRx  time.Time
+	lastTx  time.Time
+}
+
+func newLink(conn net.Conn, profile iec104.Profile, w int) *link {
+	if w <= 0 {
+		w = DefaultW
+	}
+	now := time.Now()
+	return &link{conn: conn, profile: profile, w: w, lastRx: now, lastTx: now}
+}
+
+// send marshals and writes one APDU.
+func (l *link) send(a *iec104.APDU) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sendLocked(a)
+}
+
+func (l *link) sendLocked(a *iec104.APDU) error {
+	if a.Format == iec104.FormatI {
+		a.SendSeq = l.sendSeq
+		a.RecvSeq = l.recvSeq
+		l.sendSeq = (l.sendSeq + 1) & 0x7FFF
+	}
+	b, err := a.Marshal(l.profile)
+	if err != nil {
+		return err
+	}
+	if err := l.conn.SetWriteDeadline(time.Now().Add(DefaultT1)); err != nil {
+		return err
+	}
+	if _, err := l.conn.Write(b); err != nil {
+		return err
+	}
+	l.lastTx = time.Now()
+	return nil
+}
+
+// sendI sends an I-frame with the current sequence numbers.
+func (l *link) sendI(asdu *iec104.ASDU) error {
+	return l.send(&iec104.APDU{Format: iec104.FormatI, ASDU: asdu})
+}
+
+// noteIReceived advances the receive sequence and acks when the window
+// fills.
+func (l *link) noteIReceived() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recvSeq = (l.recvSeq + 1) & 0x7FFF
+	l.unacked++
+	if l.unacked >= l.w {
+		l.unacked = 0
+		return l.sendLocked(iec104.NewS(l.recvSeq))
+	}
+	return nil
+}
+
+// isStarted reports the STARTDT state under the link lock.
+func (l *link) isStarted() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.started
+}
+
+// ackNow flushes a pending S acknowledgement (T2 behaviour).
+func (l *link) ackNow() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.unacked == 0 {
+		return nil
+	}
+	l.unacked = 0
+	return l.sendLocked(iec104.NewS(l.recvSeq))
+}
+
+var errClosed = errors.New("station: connection closed")
+
+// PointDef defines one information object an outstation serves.
+type PointDef struct {
+	IOA   uint32
+	Type  iec104.TypeID
+	Value float64
+}
+
+func (p PointDef) value(t time.Time) iec104.Value {
+	v := iec104.Value{Kind: iec104.KindFloat, Float: p.Value}
+	switch p.Type {
+	case iec104.MSpNa, iec104.MSpTb:
+		v = iec104.Value{Kind: iec104.KindSingle, Bits: uint32(p.Value) & 1, Float: p.Value}
+	case iec104.MDpNa, iec104.MDpTb:
+		v = iec104.Value{Kind: iec104.KindDouble, Bits: uint32(p.Value) & 3, Float: p.Value}
+	case iec104.MMeNa, iec104.MMeTd:
+		v = iec104.Value{Kind: iec104.KindNormalized, Float: p.Value}
+	case iec104.MMeNb, iec104.MMeTe:
+		v = iec104.Value{Kind: iec104.KindScaled, Float: p.Value}
+	}
+	if p.Type.HasTimeTag() {
+		v.HasTime = true
+		v.Time = iec104.CP56Time2a{Time: t}
+	}
+	return v
+}
+
+var _ = binary.LittleEndian // reserved for future options parsing

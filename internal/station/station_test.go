@@ -1,0 +1,390 @@
+package station
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"uncharted/internal/iec104"
+)
+
+func startOutstation(t *testing.T, profile iec104.Profile) (*Outstation, string) {
+	t.Helper()
+	o := NewOutstation(7)
+	o.Profile = profile
+	o.AddPoint(PointDef{IOA: 1001, Type: iec104.MMeNc, Value: 117.5})
+	o.AddPoint(PointDef{IOA: 1002, Type: iec104.MMeTf, Value: 60.01})
+	o.AddPoint(PointDef{IOA: 3001, Type: iec104.MDpNa, Value: 2})
+	o.AddPoint(PointDef{IOA: 7001, Type: iec104.CSeNc, Value: 100})
+	addr, err := o.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { o.Close() })
+	return o, addr.String()
+}
+
+type collector struct {
+	mu sync.Mutex
+	ms []Measurement
+}
+
+func (c *collector) add(m Measurement) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ms = append(c.ms, m)
+}
+
+func (c *collector) byIOA(ioa uint32) []Measurement {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Measurement
+	for _, m := range c.ms {
+		if m.IOA == ioa {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func dialT(t *testing.T, addr string, profile iec104.Profile, col *collector) *ControlStation {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cs, err := Dial(ctx, addr, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col != nil {
+		cs.OnMeasurement = col.add
+	}
+	t.Cleanup(func() { cs.Close() })
+	return cs
+}
+
+func TestInterrogationOverLoopback(t *testing.T) {
+	_, addr := startOutstation(t, iec104.Standard)
+	col := &collector{}
+	cs := dialT(t, addr, iec104.Standard, col)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cs.Interrogate(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.byIOA(1001); len(got) != 1 || got[0].Value != 117.5 {
+		t.Fatalf("IOA 1001: %+v", got)
+	}
+	if got := col.byIOA(3001); len(got) != 1 || got[0].Value != 2 {
+		t.Fatalf("breaker point: %+v", got)
+	}
+	for _, m := range col.byIOA(1002) {
+		if m.Cause != iec104.CauseInrogen {
+			t.Fatalf("interrogated cause %v", m.Cause)
+		}
+	}
+	// Command-direction objects (the setpoint target) are not part of
+	// the monitor image a general interrogation returns.
+	if got := col.byIOA(7001); len(got) != 0 {
+		t.Fatalf("setpoint object leaked into GI image: %+v", got)
+	}
+}
+
+func TestSetpointCommand(t *testing.T) {
+	o, addr := startOutstation(t, iec104.Standard)
+	var gotIOA uint32
+	var gotVal float64
+	done := make(chan struct{})
+	o.OnCommand = func(ioa uint32, v float64) {
+		gotIOA, gotVal = ioa, v
+		close(done)
+	}
+	cs := dialT(t, addr, iec104.Standard, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cs.SendSetpoint(ctx, 7, 7001, 84.5); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("command callback never fired")
+	}
+	if gotIOA != 7001 || gotVal != 84.5 {
+		t.Fatalf("command %d=%v", gotIOA, gotVal)
+	}
+}
+
+func TestSetpointUnknownIOARejected(t *testing.T) {
+	_, addr := startOutstation(t, iec104.Standard)
+	cs := dialT(t, addr, iec104.Standard, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cs.SendSetpoint(ctx, 7, 9999, 1); err == nil {
+		t.Fatal("unknown IOA accepted")
+	}
+}
+
+func TestSpontaneousPush(t *testing.T) {
+	o, addr := startOutstation(t, iec104.Standard)
+	col := &collector{}
+	cs := dialT(t, addr, iec104.Standard, col)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// Activation is implicit in Dial; ensure the link round-trips.
+	if err := cs.TestLink(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetValue(1001, 250.25); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		ms := col.byIOA(1001)
+		if len(ms) > 0 {
+			if ms[0].Cause != iec104.CauseSpontaneous || ms[0].Value != 250.25 {
+				t.Fatalf("spontaneous %+v", ms[0])
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("no spontaneous report arrived")
+}
+
+func TestSetValueUnknownIOA(t *testing.T) {
+	o, _ := startOutstation(t, iec104.Standard)
+	if err := o.SetValue(4242, 1); err == nil {
+		t.Fatal("unknown IOA accepted")
+	}
+}
+
+func TestLegacyDialectLoopback(t *testing.T) {
+	// A legacy-COT outstation and a matching control station must
+	// interoperate — the §6.1 SCADA-vendor workaround in miniature.
+	_, addr := startOutstation(t, iec104.LegacyCOT)
+	col := &collector{}
+	cs := dialT(t, addr, iec104.LegacyCOT, col)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cs.Interrogate(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.byIOA(1001)) == 0 {
+		t.Fatal("legacy interrogation returned nothing")
+	}
+}
+
+func TestDialWrongProfileFails(t *testing.T) {
+	// A standard-profile control station talking to a legacy
+	// outstation must not silently succeed in interrogating it.
+	_, addr := startOutstation(t, iec104.LegacyCOT)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	cs, err := Dial(ctx, addr, iec104.Standard)
+	if err != nil {
+		return // dial-time failure is acceptable
+	}
+	defer cs.Close()
+	ictx, icancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer icancel()
+	if err := cs.Interrogate(ictx, 7); err == nil {
+		t.Fatal("interrogation with mismatched dialect succeeded")
+	}
+}
+
+func TestRejectingOutstation(t *testing.T) {
+	o := NewOutstation(7)
+	o.RejectConnections = true
+	addr, err := o.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if _, err := Dial(ctx, addr.String(), iec104.Standard); err == nil {
+		t.Fatal("rejecting outstation accepted activation")
+	}
+}
+
+func TestConcurrentControlStations(t *testing.T) {
+	// Primary/secondary style: two control stations against one RTU.
+	o, addr := startOutstation(t, iec104.Standard)
+	col1, col2 := &collector{}, &collector{}
+	cs1 := dialT(t, addr, iec104.Standard, col1)
+	cs2 := dialT(t, addr, iec104.Standard, col2)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cs1.Interrogate(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs2.Interrogate(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	// A spontaneous update reaches both.
+	if err := o.SetValue(1002, 59.9); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(col1.byIOA(1002)) > 1 && len(col2.byIOA(1002)) > 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("spontaneous update did not reach both stations")
+}
+
+func TestOutstationCloseIdempotent(t *testing.T) {
+	o, _ := startOutstation(t, iec104.Standard)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err == nil {
+		// Second close may error (listener already closed) or not;
+		// either way it must not panic or hang.
+		return
+	}
+}
+
+func TestStopDTAndUnknownCommand(t *testing.T) {
+	o, addr := startOutstation(t, iec104.Standard)
+	col := &collector{}
+	cs := dialT(t, addr, iec104.Standard, col)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// STOPDT: the outstation confirms and stops pushing spontaneous
+	// updates.
+	if err := cs.StopDT(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.SetValue(1001, 999); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	for _, m := range col.byIOA(1001) {
+		if m.Cause == iec104.CauseSpontaneous {
+			t.Fatal("spontaneous report after STOPDT")
+		}
+	}
+}
+
+func TestUnknownCommandTypeRejected(t *testing.T) {
+	_, addr := startOutstation(t, iec104.Standard)
+	cs := dialT(t, addr, iec104.Standard, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// A reset-process command is not implemented by the demo RTU: the
+	// negative confirmation must surface as an error.
+	if err := cs.SendRaw(ctx, &iec104.ASDU{
+		Type:       iec104.CRpNa,
+		COT:        iec104.COT{Cause: iec104.CauseActivation},
+		CommonAddr: 7,
+		Objects:    []iec104.InfoObject{{IOA: 0, Value: iec104.Value{Kind: iec104.KindQualifier, Bits: 1}}},
+	}); err == nil {
+		t.Fatal("unknown command type accepted")
+	}
+}
+
+func TestClockSyncAccepted(t *testing.T) {
+	_, addr := startOutstation(t, iec104.Standard)
+	cs := dialT(t, addr, iec104.Standard, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cs.SendRaw(ctx, &iec104.ASDU{
+		Type:       iec104.CCsNa,
+		COT:        iec104.COT{Cause: iec104.CauseActivation},
+		CommonAddr: 7,
+		Objects: []iec104.InfoObject{{IOA: 0, Value: iec104.Value{
+			Kind: iec104.KindNone, HasTime: true,
+			Time: iec104.CP56Time2a{Time: time.Now()},
+		}}},
+	}); err != nil {
+		t.Fatalf("clock sync rejected: %v", err)
+	}
+}
+
+func TestFailoverAccessors(t *testing.T) {
+	_, addr := startOutstation(t, iec104.Standard)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	f, err := NewFailover(ctx, FailoverConfig{Addr: addr, CommonAddr: 7, Profile: iec104.Standard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Active() == nil {
+		t.Fatal("no active connection")
+	}
+	if f.Switches() != 0 {
+		t.Fatalf("switches %d before any failure", f.Switches())
+	}
+}
+
+func TestServeConnBroadcastAndActiveLink(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	rtu := NewOutstation(7)
+	rtu.AddPoint(PointDef{IOA: 1, Type: iec104.MMeNc, Value: 10})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		rtu.ServeConn(conn)
+	}()
+
+	// Broadcasting with no active link fails cleanly.
+	asdu := iec104.NewMeasurement(iec104.MMeNc, 7, 1,
+		iec104.Value{Kind: iec104.KindFloat, Float: 42}, iec104.CausePeriodic)
+	if err := rtu.Broadcast(asdu); err == nil {
+		t.Fatal("broadcast without active link succeeded")
+	}
+	if rtu.HasActiveLink() {
+		t.Fatal("active link before any connection")
+	}
+
+	col := &collector{}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cs, err := Dial(ctx, ln.Addr().String(), iec104.Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	cs.OnMeasurement = col.add
+
+	deadline := time.Now().Add(2 * time.Second)
+	for !rtu.HasActiveLink() {
+		if time.Now().After(deadline) {
+			t.Fatal("link never activated")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := rtu.Broadcast(asdu); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		ms := col.byIOA(1)
+		if len(ms) > 0 {
+			if ms[0].Value != 42 || ms[0].Cause != iec104.CausePeriodic {
+				t.Fatalf("broadcast arrived mangled: %+v", ms[0])
+			}
+			cs.Close()
+			<-done // ServeConn returns when the peer hangs up
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("broadcast never arrived")
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// PeriodEstimate is the result of DetectPeriod.
+type PeriodEstimate struct {
+	// Period is the dominant spacing, in the same unit as the input.
+	Period float64
+	// Strength is the fraction of gaps within Tolerance of the
+	// detected period (1 = perfectly periodic).
+	Strength float64
+	// Samples is the number of gaps considered.
+	Samples int
+}
+
+// DetectPeriod finds the dominant reporting period of an event series
+// from its inter-arrival gaps. SCADA telemetry is machine-generated:
+// cyclic points produce tight clusters of identical gaps, so a robust
+// mode estimate beats spectral methods at these sample sizes. Gaps are
+// clustered within tolerance (a fraction of the candidate period,
+// e.g. 0.2); the cluster with the most mass wins.
+//
+// Returns ok=false when fewer than 4 gaps exist or no cluster holds at
+// least minStrength of the gaps.
+func DetectPeriod(gaps []float64, tolerance, minStrength float64) (PeriodEstimate, bool) {
+	var positive []float64
+	for _, g := range gaps {
+		if g > 0 {
+			positive = append(positive, g)
+		}
+	}
+	if len(positive) < 4 {
+		return PeriodEstimate{}, false
+	}
+	if tolerance <= 0 {
+		tolerance = 0.2
+	}
+	sorted := append([]float64(nil), positive...)
+	sort.Float64s(sorted)
+
+	// Sweep clusters over the sorted gaps: a window [g, g*(1+tol)]
+	// anchored at each distinct gap; the densest window's mean is the
+	// period.
+	bestCount := 0
+	bestMean := 0.0
+	i := 0
+	for i < len(sorted) {
+		lo := sorted[i]
+		hi := lo * (1 + tolerance)
+		j := i
+		var sum float64
+		for j < len(sorted) && sorted[j] <= hi {
+			sum += sorted[j]
+			j++
+		}
+		if n := j - i; n > bestCount {
+			bestCount = n
+			bestMean = sum / float64(n)
+		}
+		i++
+	}
+	est := PeriodEstimate{
+		Period:   bestMean,
+		Strength: float64(bestCount) / float64(len(positive)),
+		Samples:  len(positive),
+	}
+	if est.Strength < minStrength {
+		return est, false
+	}
+	return est, true
+}
+
+// CoefficientOfVariation returns stddev/mean, the dimensionless jitter
+// measure used to separate periodic from spontaneous traffic (0 for a
+// constant series, undefined mean → +Inf).
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return StdDev(xs) / math.Abs(m)
+}

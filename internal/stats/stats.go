@@ -1,0 +1,258 @@
+// Package stats provides the small statistical toolkit shared by the
+// measurement pipeline: moments, percentiles, histograms (linear and
+// logarithmic), and normalized-variance scoring used by the physical
+// deep-packet-inspection analysis.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when fewer than
+// two samples are present.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// NormalizedVariance returns the variance of xs scaled by the squared
+// mean (the squared coefficient of variation). It is the score the paper
+// uses (§6.4) to find "interesting" physical time series: quantities that
+// fluctuate more than usual relative to their operating point. Series
+// with a mean of ~0 are scored by raw variance instead, so a flat-at-zero
+// series does not produce an infinite score.
+func NormalizedVariance(xs []float64) float64 {
+	m := Mean(xs)
+	v := Variance(xs)
+	if math.Abs(m) < 1e-9 {
+		return v
+	}
+	return v / (m * m)
+}
+
+// MinMax returns the smallest and largest values in xs.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of range [0,100]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Bucket is one bin of a histogram: [Lo, Hi) with Count samples.
+type Bucket struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram bins xs into n equal-width buckets between the sample min
+// and max. The final bucket is closed on both ends so the maximum value
+// is counted.
+func Histogram(xs []float64, n int) ([]Bucket, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs n > 0, got %d", n)
+	}
+	min, max, _ := MinMax(xs)
+	if min == max {
+		return []Bucket{{Lo: min, Hi: max, Count: len(xs)}}, nil
+	}
+	width := (max - min) / float64(n)
+	if math.IsInf(width, 0) || width == 0 {
+		// The sample range overflows float64 (or underflows to zero
+		// width); fall back to a single bucket rather than indexing
+		// with a non-finite ratio.
+		return []Bucket{{Lo: min, Hi: max, Count: len(xs)}}, nil
+	}
+	bs := make([]Bucket, n)
+	for i := range bs {
+		bs[i].Lo = min + float64(i)*width
+		bs[i].Hi = min + float64(i+1)*width
+	}
+	bs[n-1].Hi = max
+	for _, x := range xs {
+		i := int((x - min) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		bs[i].Count++
+	}
+	return bs, nil
+}
+
+// LogHistogram bins strictly positive xs into n buckets equally spaced
+// in log10, the layout used by the paper's flow-duration plot (Fig. 8).
+// Non-positive samples are counted into the first bucket.
+func LogHistogram(xs []float64, n int) ([]Bucket, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: log histogram needs n > 0, got %d", n)
+	}
+	minPos := math.Inf(1)
+	maxPos := math.Inf(-1)
+	for _, x := range xs {
+		if x > 0 {
+			if x < minPos {
+				minPos = x
+			}
+			if x > maxPos {
+				maxPos = x
+			}
+		}
+	}
+	if math.IsInf(minPos, 1) {
+		// All samples non-positive: single bucket.
+		return []Bucket{{Lo: 0, Hi: 0, Count: len(xs)}}, nil
+	}
+	loExp := math.Floor(math.Log10(minPos))
+	hiExp := math.Ceil(math.Log10(maxPos))
+	if hiExp <= loExp {
+		hiExp = loExp + 1
+	}
+	width := (hiExp - loExp) / float64(n)
+	bs := make([]Bucket, n)
+	for i := range bs {
+		bs[i].Lo = math.Pow(10, loExp+float64(i)*width)
+		bs[i].Hi = math.Pow(10, loExp+float64(i+1)*width)
+	}
+	for _, x := range xs {
+		if x <= 0 {
+			bs[0].Count++
+			continue
+		}
+		i := int((math.Log10(x) - loExp) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		bs[i].Count++
+	}
+	return bs, nil
+}
+
+// CrossCorrelation returns the Pearson correlation between xs and ys
+// with ys shifted by lag samples (positive lag means ys is delayed
+// relative to xs). Series must have equal length.
+func CrossCorrelation(xs, ys []float64, lag int) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: series length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if lag < 0 {
+		return CrossCorrelation(ys, xs, -lag)
+	}
+	if lag >= len(xs) {
+		return 0, fmt.Errorf("stats: lag %d exceeds series length %d", lag, len(xs))
+	}
+	a := xs[:len(xs)-lag]
+	b := ys[lag:]
+	return Pearson(a, b)
+}
+
+// Pearson returns the Pearson correlation coefficient of two
+// equal-length series. Constant series correlate as 0.
+func Pearson(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: series length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, ErrEmpty
+	}
+	ma, mb := Mean(a), Mean(b)
+	var num, da, db float64
+	for i := range a {
+		x := a[i] - ma
+		y := b[i] - mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0, nil
+	}
+	return num / math.Sqrt(da*db), nil
+}
+
+// Standardize returns (x - mean) / stddev for every sample, leaving a
+// constant series as all zeros. Used to scale clustering features.
+func Standardize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	m := Mean(xs)
+	sd := StdDev(xs)
+	if sd == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - m) / sd
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEqual(m, 5) {
+		t.Errorf("mean = %v", m)
+	}
+	if v := Variance(xs); !almostEqual(v, 4) {
+		t.Errorf("variance = %v", v)
+	}
+	if sd := StdDev(xs); !almostEqual(sd, 2) {
+		t.Errorf("stddev = %v", sd)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty/singleton moments not zero")
+	}
+}
+
+func TestNormalizedVariance(t *testing.T) {
+	// Same relative fluctuation at different operating points scores
+	// the same.
+	a := []float64{100, 110, 90, 100}
+	b := []float64{1000, 1100, 900, 1000}
+	if !almostEqual(NormalizedVariance(a), NormalizedVariance(b)) {
+		t.Errorf("scale dependence: %v vs %v", NormalizedVariance(a), NormalizedVariance(b))
+	}
+	// Zero-mean series falls back to raw variance, not +Inf.
+	z := []float64{-1, 1, -1, 1}
+	if math.IsInf(NormalizedVariance(z), 0) {
+		t.Error("zero-mean series scored infinite")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("empty percentile succeeded")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("out-of-range percentile succeeded")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	bs, err := Histogram(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range bs {
+		total += b.Count
+	}
+	if total != len(xs) {
+		t.Errorf("histogram total %d, want %d", total, len(xs))
+	}
+	// Constant series collapses to one bucket.
+	bs, err = Histogram([]float64{5, 5, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 1 || bs[0].Count != 3 {
+		t.Errorf("constant histogram = %+v", bs)
+	}
+	if _, err := Histogram(nil, 3); err == nil {
+		t.Error("empty histogram succeeded")
+	}
+	if _, err := Histogram(xs, 0); err == nil {
+		t.Error("zero-bucket histogram succeeded")
+	}
+}
+
+func TestHistogramCountsAll(t *testing.T) {
+	check := func(raw []float64, n uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		buckets := int(n%20) + 1
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				raw[i] = 0
+			}
+		}
+		bs, err := Histogram(raw, buckets)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, b := range bs {
+			total += b.Count
+		}
+		return total == len(raw)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	// Durations spanning 1ms..1000s (the Fig. 8 spread).
+	xs := []float64{0.001, 0.01, 0.1, 1, 10, 100, 1000}
+	bs, err := LogHistogram(xs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range bs {
+		total += b.Count
+	}
+	if total != len(xs) {
+		t.Errorf("log histogram total %d, want %d", total, len(xs))
+	}
+	if bs[0].Lo <= 0 {
+		t.Errorf("first bucket lower bound %v not positive", bs[0].Lo)
+	}
+	// Zero durations fall into the first bucket instead of vanishing.
+	bs, err = LogHistogram([]float64{0, 0.5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = 0
+	for _, b := range bs {
+		total += b.Count
+	}
+	if total != 2 {
+		t.Errorf("zero-duration sample lost: total %d", total)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 1) {
+		t.Errorf("perfect correlation = %v", r)
+	}
+	inv := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(a, inv)
+	if !almostEqual(r, -1) {
+		t.Errorf("perfect anticorrelation = %v", r)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	r, _ = Pearson(a, flat)
+	if r != 0 {
+		t.Errorf("constant series correlation = %v", r)
+	}
+	if _, err := Pearson(a, a[:3]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCrossCorrelation(t *testing.T) {
+	// ys is xs delayed by 2 samples; correlation peaks at lag 2.
+	xs := []float64{0, 1, 0, -1, 0, 1, 0, -1, 0, 1, 0, -1}
+	ys := make([]float64, len(xs))
+	copy(ys[2:], xs[:len(xs)-2])
+	at0, _ := CrossCorrelation(xs, ys, 0)
+	at2, _ := CrossCorrelation(xs, ys, 2)
+	if at2 <= at0 {
+		t.Errorf("lag-2 correlation %v not above lag-0 %v", at2, at0)
+	}
+	if _, err := CrossCorrelation(xs, ys, len(xs)); err == nil {
+		t.Error("excessive lag accepted")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	z := Standardize(xs)
+	if !almostEqual(Mean(z), 0) {
+		t.Errorf("standardized mean = %v", Mean(z))
+	}
+	if !almostEqual(StdDev(z), 1) {
+		t.Errorf("standardized stddev = %v", StdDev(z))
+	}
+	for _, v := range Standardize([]float64{7, 7, 7}) {
+		if v != 0 {
+			t.Error("constant series must standardize to zeros")
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 4, 1, 5})
+	if err != nil || min != -1 || max != 5 {
+		t.Fatalf("MinMax = %v,%v,%v", min, max, err)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Error("empty MinMax succeeded")
+	}
+}
+
+func TestDetectPeriodCleanCycle(t *testing.T) {
+	gaps := make([]float64, 50)
+	for i := range gaps {
+		gaps[i] = 2.0 + 0.02*float64(i%3) // 2s reporting with jitter
+	}
+	est, ok := DetectPeriod(gaps, 0.2, 0.8)
+	if !ok {
+		t.Fatalf("period not detected: %+v", est)
+	}
+	if est.Period < 1.9 || est.Period > 2.1 {
+		t.Fatalf("period %v, want ~2", est.Period)
+	}
+	if est.Strength < 0.99 {
+		t.Fatalf("strength %v", est.Strength)
+	}
+}
+
+func TestDetectPeriodMixedTraffic(t *testing.T) {
+	// Mostly 6s cycle with occasional spontaneous bursts.
+	var gaps []float64
+	for i := 0; i < 40; i++ {
+		gaps = append(gaps, 6.0+0.05*float64(i%2))
+	}
+	gaps = append(gaps, 0.3, 0.1, 0.2, 17, 0.4)
+	est, ok := DetectPeriod(gaps, 0.2, 0.5)
+	if !ok {
+		t.Fatalf("period not detected: %+v", est)
+	}
+	if est.Period < 5.5 || est.Period > 6.5 {
+		t.Fatalf("period %v, want ~6", est.Period)
+	}
+}
+
+func TestDetectPeriodAperiodic(t *testing.T) {
+	// Geometric spread: no dominant cluster.
+	gaps := []float64{0.1, 0.5, 2.5, 12, 60, 300, 0.02, 7, 33}
+	if est, ok := DetectPeriod(gaps, 0.2, 0.6); ok {
+		t.Fatalf("aperiodic series detected as periodic: %+v", est)
+	}
+}
+
+func TestDetectPeriodTooFewSamples(t *testing.T) {
+	if _, ok := DetectPeriod([]float64{1, 1, 1}, 0.2, 0.5); ok {
+		t.Fatal("three gaps accepted")
+	}
+	if _, ok := DetectPeriod([]float64{-1, 0, -2, 0}, 0.2, 0.5); ok {
+		t.Fatal("non-positive gaps accepted")
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if cv := CoefficientOfVariation([]float64{5, 5, 5, 5}); cv != 0 {
+		t.Fatalf("constant series cv %v", cv)
+	}
+	if cv := CoefficientOfVariation([]float64{-1, 1}); !math.IsInf(cv, 1) {
+		t.Fatalf("zero-mean cv %v", cv)
+	}
+	periodic := CoefficientOfVariation([]float64{2, 2.1, 1.9, 2, 2.05})
+	bursty := CoefficientOfVariation([]float64{0.1, 9, 0.2, 30, 0.5})
+	if periodic >= bursty {
+		t.Fatalf("cv ordering broken: %v vs %v", periodic, bursty)
+	}
+}

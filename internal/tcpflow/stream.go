@@ -1,0 +1,95 @@
+package tcpflow
+
+import "sort"
+
+// stream reassembles one direction of a TCP byte stream. It tolerates
+// out-of-order arrival and detects retransmissions by sequence-range
+// overlap. Sequence numbers use uint32 arithmetic so wraparound works.
+type stream struct {
+	started bool
+	next    uint32 // next expected sequence number
+	// pending holds out-of-order segments keyed by sequence number.
+	pending map[uint32][]byte
+}
+
+func newStream() *stream {
+	return &stream{pending: make(map[uint32][]byte)}
+}
+
+// seqLess reports whether a precedes b in sequence space (RFC 1982
+// style serial comparison).
+func seqLess(a, b uint32) bool {
+	return int32(a-b) < 0
+}
+
+// insert adds a segment and returns the new in-order data it unlocked
+// plus whether the segment was entirely a retransmission.
+func (s *stream) insert(seq uint32, payload []byte) (newData []byte, retransmit bool) {
+	if len(payload) == 0 {
+		return nil, false
+	}
+	if !s.started {
+		s.started = true
+		s.next = seq
+	}
+	end := seq + uint32(len(payload))
+	if !seqLess(s.next, end) {
+		// Entire segment is before the reassembly point: retransmit.
+		return nil, true
+	}
+	if seqLess(seq, s.next) {
+		// Partial overlap: trim the already-delivered prefix. Count it
+		// as a retransmission only if most of it was old data.
+		trimmed := s.next - seq
+		payload = payload[trimmed:]
+		seq = s.next
+	}
+	if seq == s.next {
+		newData = append(newData, payload...)
+		s.next = seq + uint32(len(payload))
+		// Drain any pending segments that are now contiguous.
+		for {
+			p, ok := s.takePendingAt(s.next)
+			if !ok {
+				break
+			}
+			newData = append(newData, p...)
+			s.next += uint32(len(p))
+		}
+		return newData, false
+	}
+	// Out of order: buffer unless we already hold this exact range.
+	if old, ok := s.pending[seq]; ok && len(old) >= len(payload) {
+		return nil, true
+	}
+	s.pending[seq] = append([]byte(nil), payload...)
+	return nil, false
+}
+
+// takePendingAt pops a pending segment whose usable data starts at (or
+// before) seq. Overlapping prefixes are trimmed.
+func (s *stream) takePendingAt(seq uint32) ([]byte, bool) {
+	if p, ok := s.pending[seq]; ok {
+		delete(s.pending, seq)
+		return p, true
+	}
+	// Look for a segment starting earlier but extending past seq.
+	keys := make([]uint32, 0, len(s.pending))
+	for k := range s.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return seqLess(keys[i], keys[j]) })
+	for _, k := range keys {
+		p := s.pending[k]
+		end := k + uint32(len(p))
+		if seqLess(k, seq) && seqLess(seq, end) {
+			delete(s.pending, k)
+			return p[seq-k:], true
+		}
+		if seqLess(k, seq) && !seqLess(seq, end) {
+			// Entirely stale.
+			delete(s.pending, k)
+		}
+	}
+	return nil, false
+}

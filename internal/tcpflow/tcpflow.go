@@ -1,0 +1,326 @@
+// Package tcpflow tracks TCP flows in a capture: lifecycle flags,
+// durations, the short-/long-lived classification of the paper (§6.2),
+// per-direction byte and packet accounting, retransmission detection
+// and in-order stream reassembly that feeds reassembled payload to an
+// application-layer consumer.
+package tcpflow
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"uncharted/internal/pcap"
+)
+
+// Key is the 4-tuple identifying one flow direction-insensitively: the
+// lexicographically smaller endpoint is stored first so both directions
+// map to the same flow.
+type Key struct {
+	A, B netip.AddrPort
+}
+
+// MakeKey canonicalises the endpoint pair.
+func MakeKey(src, dst netip.AddrPort) Key {
+	if addrPortLess(src, dst) {
+		return Key{A: src, B: dst}
+	}
+	return Key{A: dst, B: src}
+}
+
+func addrPortLess(x, y netip.AddrPort) bool {
+	if c := x.Addr().Compare(y.Addr()); c != 0 {
+		return c < 0
+	}
+	return x.Port() < y.Port()
+}
+
+// Class is the paper's flow taxonomy.
+type Class int
+
+// Flow classes. A flow is short-lived when the capture contains its
+// complete lifecycle: a SYN and a matching FIN or RST. Flows that
+// started before the capture or were still open when it ended are
+// long-lived.
+const (
+	ShortLived Class = iota
+	LongLived
+)
+
+func (c Class) String() string {
+	if c == ShortLived {
+		return "short-lived"
+	}
+	return "long-lived"
+}
+
+// DirStats accounts one direction of a flow.
+type DirStats struct {
+	Packets      int
+	Bytes        int // IP payload bytes (TCP header + payload)
+	PayloadBytes int // application payload bytes
+	Retransmits  int
+}
+
+// Flow is the accumulated state of one 4-tuple.
+type Flow struct {
+	Key        Key
+	First      time.Time
+	Last       time.Time
+	SawSYN     bool
+	SawFIN     bool
+	SawRST     bool
+	Initiator  netip.AddrPort // sender of the first SYN, if seen
+	AtoB, BtoA DirStats
+
+	streams [2]*stream
+}
+
+// Duration is the observed flow lifetime within the capture.
+func (f *Flow) Duration() time.Duration { return f.Last.Sub(f.First) }
+
+// Class applies the paper's definition.
+func (f *Flow) Class() Class {
+	if f.SawSYN && (f.SawFIN || f.SawRST) {
+		return ShortLived
+	}
+	return LongLived
+}
+
+// Packets returns the total packet count over both directions.
+func (f *Flow) Packets() int { return f.AtoB.Packets + f.BtoA.Packets }
+
+// Retransmits returns the total retransmitted segment count.
+func (f *Flow) Retransmits() int { return f.AtoB.Retransmits + f.BtoA.Retransmits }
+
+// StreamPayload is a chunk of reassembled in-order payload delivered to
+// a consumer.
+type StreamPayload struct {
+	Flow     *Flow
+	Src, Dst netip.AddrPort
+	Time     time.Time // capture time of the segment completing this chunk
+	Data     []byte
+	// Raw is the segment's payload as captured, regardless of how
+	// much of it was new: consumers that want to see retransmitted
+	// bytes (the §6.3.1 ablation) read Raw instead of Data.
+	Raw        []byte
+	Retransmit bool // true when the segment was entirely already-seen data
+}
+
+// Consumer receives reassembled stream data and raw packet events.
+type Consumer interface {
+	// OnPayload is called for every segment that carries payload,
+	// with the in-order new data it contributed (possibly empty for
+	// pure retransmissions, which are flagged).
+	OnPayload(StreamPayload)
+}
+
+// Tracker ingests decoded packets and maintains flow state.
+type Tracker struct {
+	flows    map[Key]*Flow
+	order    []*Flow // insertion order for deterministic output
+	consumer Consumer
+}
+
+// NewTracker returns an empty tracker. consumer may be nil.
+func NewTracker(consumer Consumer) *Tracker {
+	return &Tracker{flows: make(map[Key]*Flow), consumer: consumer}
+}
+
+// Feed ingests one decoded TCP packet.
+func (t *Tracker) Feed(pkt pcap.Packet) {
+	src := netip.AddrPortFrom(pkt.IP.Src, pkt.TCP.SrcPort)
+	dst := netip.AddrPortFrom(pkt.IP.Dst, pkt.TCP.DstPort)
+	key := MakeKey(src, dst)
+	f, ok := t.flows[key]
+	if !ok {
+		f = &Flow{Key: key, First: pkt.Info.Timestamp, Last: pkt.Info.Timestamp}
+		f.streams[0] = newStream()
+		f.streams[1] = newStream()
+		t.flows[key] = f
+		t.order = append(t.order, f)
+	}
+	if pkt.Info.Timestamp.Before(f.First) {
+		f.First = pkt.Info.Timestamp
+	}
+	if pkt.Info.Timestamp.After(f.Last) {
+		f.Last = pkt.Info.Timestamp
+	}
+	if pkt.TCP.SYN() {
+		f.SawSYN = true
+		if !pkt.TCP.ACK() && !f.Initiator.IsValid() {
+			f.Initiator = src
+		}
+	}
+	if pkt.TCP.FIN() {
+		f.SawFIN = true
+	}
+	if pkt.TCP.RST() {
+		f.SawRST = true
+	}
+
+	dirIdx := 0
+	ds := &f.AtoB
+	if src != f.Key.A {
+		dirIdx = 1
+		ds = &f.BtoA
+	}
+	ds.Packets++
+	ds.Bytes += len(pkt.IP.Payload)
+	ds.PayloadBytes += len(pkt.TCP.Payload)
+
+	if len(pkt.TCP.Payload) == 0 {
+		return
+	}
+	newData, retrans := f.streams[dirIdx].insert(pkt.TCP.Seq, pkt.TCP.Payload)
+	if retrans {
+		ds.Retransmits++
+	}
+	if t.consumer != nil {
+		t.consumer.OnPayload(StreamPayload{
+			Flow: f, Src: src, Dst: dst,
+			Time:       pkt.Info.Timestamp,
+			Data:       newData,
+			Raw:        pkt.TCP.Payload,
+			Retransmit: retrans,
+		})
+	}
+}
+
+// Flows returns every tracked flow in first-seen order.
+func (t *Tracker) Flows() []*Flow { return t.order }
+
+// Summary aggregates the Table 3 numbers for one capture.
+type Summary struct {
+	ShortLived         int
+	ShortLivedSubSec   int // short-lived flows lasting under one second
+	ShortLivedOverSec  int
+	LongLived          int
+	ShortLivedDuration []time.Duration // durations for the Fig. 8 histogram
+}
+
+// Total returns the overall flow count.
+func (s Summary) Total() int { return s.ShortLived + s.LongLived }
+
+// Proportion helpers for report rendering (0 when the denominator is 0).
+func ratio(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// ShortProportion is short-lived / total.
+func (s Summary) ShortProportion() float64 { return ratio(s.ShortLived, s.Total()) }
+
+// LongProportion is long-lived / total.
+func (s Summary) LongProportion() float64 { return ratio(s.LongLived, s.Total()) }
+
+// SubSecProportion is the fraction of short-lived flows lasting under a
+// second — the paper's headline 99.8% (Y1) / 93.5% (Y2).
+func (s Summary) SubSecProportion() float64 {
+	return ratio(s.ShortLivedSubSec, s.ShortLived)
+}
+
+// Summarize classifies every flow.
+func (t *Tracker) Summarize() Summary {
+	var s Summary
+	for _, f := range t.order {
+		if f.Class() == LongLived {
+			s.LongLived++
+			continue
+		}
+		s.ShortLived++
+		d := f.Duration()
+		s.ShortLivedDuration = append(s.ShortLivedDuration, d)
+		if d < time.Second {
+			s.ShortLivedSubSec++
+		} else {
+			s.ShortLivedOverSec++
+		}
+	}
+	return s
+}
+
+// SessionKey identifies a session per the paper's definition: all
+// packets sent in one direction between the same pair of endpoints
+// (IP-level, so reconnections with fresh ports belong to one session).
+type SessionKey struct {
+	Src, Dst netip.Addr
+}
+
+// Session accumulates one direction of communication between two hosts.
+type Session struct {
+	Key          SessionKey
+	Packets      int
+	Bytes        int
+	First, Last  time.Time
+	interArrival []float64 // seconds between consecutive packets
+	lastSeen     time.Time
+}
+
+// InterArrivals returns a copy of the gaps (in seconds) between
+// consecutive packets of the session.
+func (s *Session) InterArrivals() []float64 {
+	return append([]float64(nil), s.interArrival...)
+}
+
+// MeanInterArrival returns the average spacing between consecutive
+// packets in seconds (the Δt clustering feature).
+func (s *Session) MeanInterArrival() float64 {
+	if len(s.interArrival) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.interArrival {
+		sum += v
+	}
+	return sum / float64(len(s.interArrival))
+}
+
+// Sessions groups packets into directional host-pair sessions.
+type Sessions struct {
+	m     map[SessionKey]*Session
+	order []*Session
+}
+
+// NewSessions returns an empty session table.
+func NewSessions() *Sessions {
+	return &Sessions{m: make(map[SessionKey]*Session)}
+}
+
+// Feed ingests one decoded packet.
+func (ss *Sessions) Feed(pkt pcap.Packet) *Session {
+	key := SessionKey{Src: pkt.IP.Src, Dst: pkt.IP.Dst}
+	s, ok := ss.m[key]
+	if !ok {
+		s = &Session{Key: key, First: pkt.Info.Timestamp}
+		ss.m[key] = s
+		ss.order = append(ss.order, s)
+	}
+	if s.Packets > 0 {
+		s.interArrival = append(s.interArrival, pkt.Info.Timestamp.Sub(s.lastSeen).Seconds())
+	}
+	s.Packets++
+	s.Bytes += len(pkt.IP.Payload)
+	s.Last = pkt.Info.Timestamp
+	s.lastSeen = pkt.Info.Timestamp
+	return s
+}
+
+// All returns the sessions in first-seen order.
+func (ss *Sessions) All() []*Session { return ss.order }
+
+// Sorted returns the sessions ordered by (src, dst) for deterministic
+// reports.
+func (ss *Sessions) Sorted() []*Session {
+	out := append([]*Session(nil), ss.order...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if c := a.Src.Compare(b.Src); c != 0 {
+			return c < 0
+		}
+		return a.Dst.Compare(b.Dst) < 0
+	})
+	return out
+}

@@ -1,0 +1,254 @@
+package tcpflow
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"uncharted/internal/pcap"
+)
+
+var (
+	hostA = netip.MustParseAddrPort("10.0.0.1:40000")
+	hostB = netip.MustParseAddrPort("10.0.0.2:2404")
+	t0    = time.Date(2026, 7, 5, 9, 0, 0, 0, time.UTC)
+)
+
+// mkPacket builds a decoded packet without going through serialization.
+func mkPacket(src, dst netip.AddrPort, at time.Time, flags uint8, seq, ack uint32, payload []byte) pcap.Packet {
+	return pcap.Packet{
+		Info: pcap.CaptureInfo{Timestamp: at},
+		IP: pcap.IPv4{
+			Src: src.Addr(), Dst: dst.Addr(), Protocol: pcap.IPProtoTCP,
+			Payload: make([]byte, 20+len(payload)),
+		},
+		TCP: pcap.TCP{
+			SrcPort: src.Port(), DstPort: dst.Port(),
+			Seq: seq, Ack: ack, Flags: flags, Payload: payload,
+		},
+	}
+}
+
+func TestMakeKeySymmetric(t *testing.T) {
+	if MakeKey(hostA, hostB) != MakeKey(hostB, hostA) {
+		t.Fatal("key not direction-insensitive")
+	}
+}
+
+func TestShortLivedFlow(t *testing.T) {
+	tr := NewTracker(nil)
+	tr.Feed(mkPacket(hostA, hostB, t0, pcap.FlagSYN, 100, 0, nil))
+	tr.Feed(mkPacket(hostB, hostA, t0.Add(10*time.Millisecond), pcap.FlagSYN|pcap.FlagACK, 500, 101, nil))
+	tr.Feed(mkPacket(hostA, hostB, t0.Add(20*time.Millisecond), pcap.FlagACK, 101, 501, nil))
+	tr.Feed(mkPacket(hostB, hostA, t0.Add(300*time.Millisecond), pcap.FlagRST, 501, 0, nil))
+
+	flows := tr.Flows()
+	if len(flows) != 1 {
+		t.Fatalf("%d flows", len(flows))
+	}
+	f := flows[0]
+	if f.Class() != ShortLived {
+		t.Fatalf("class %v", f.Class())
+	}
+	if f.Duration() != 300*time.Millisecond {
+		t.Fatalf("duration %v", f.Duration())
+	}
+	if f.Initiator != hostA {
+		t.Fatalf("initiator %v", f.Initiator)
+	}
+	s := tr.Summarize()
+	if s.ShortLived != 1 || s.LongLived != 0 || s.ShortLivedSubSec != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+}
+
+func TestLongLivedFlowNoSYN(t *testing.T) {
+	// Flow already established before the capture: data only.
+	tr := NewTracker(nil)
+	tr.Feed(mkPacket(hostA, hostB, t0, pcap.FlagACK|pcap.FlagPSH, 100, 1, []byte{1}))
+	tr.Feed(mkPacket(hostB, hostA, t0.Add(time.Second), pcap.FlagACK, 1, 101, nil))
+	if got := tr.Flows()[0].Class(); got != LongLived {
+		t.Fatalf("class %v", got)
+	}
+}
+
+func TestLongLivedFlowNoClose(t *testing.T) {
+	// SYN seen but the flow outlives the capture.
+	tr := NewTracker(nil)
+	tr.Feed(mkPacket(hostA, hostB, t0, pcap.FlagSYN, 100, 0, nil))
+	tr.Feed(mkPacket(hostB, hostA, t0.Add(time.Millisecond), pcap.FlagSYN|pcap.FlagACK, 1, 101, nil))
+	if got := tr.Flows()[0].Class(); got != LongLived {
+		t.Fatalf("class %v", got)
+	}
+}
+
+func TestSummaryOverOneSecond(t *testing.T) {
+	tr := NewTracker(nil)
+	tr.Feed(mkPacket(hostA, hostB, t0, pcap.FlagSYN, 1, 0, nil))
+	tr.Feed(mkPacket(hostB, hostA, t0.Add(3*time.Second), pcap.FlagFIN|pcap.FlagACK, 2, 2, nil))
+	s := tr.Summarize()
+	if s.ShortLived != 1 || s.ShortLivedOverSec != 1 || s.ShortLivedSubSec != 0 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.SubSecProportion() != 0 {
+		t.Fatalf("subsec proportion %v", s.SubSecProportion())
+	}
+}
+
+func TestDirectionStats(t *testing.T) {
+	tr := NewTracker(nil)
+	tr.Feed(mkPacket(hostA, hostB, t0, pcap.FlagACK|pcap.FlagPSH, 10, 1, []byte{1, 2, 3}))
+	tr.Feed(mkPacket(hostB, hostA, t0.Add(time.Millisecond), pcap.FlagACK|pcap.FlagPSH, 1, 13, []byte{9}))
+	f := tr.Flows()[0]
+	var fromA, fromB DirStats
+	if f.Key.A == hostA {
+		fromA, fromB = f.AtoB, f.BtoA
+	} else {
+		fromA, fromB = f.BtoA, f.AtoB
+	}
+	if fromA.PayloadBytes != 3 || fromB.PayloadBytes != 1 {
+		t.Fatalf("payload accounting %+v %+v", fromA, fromB)
+	}
+	if f.Packets() != 2 {
+		t.Fatalf("packets %d", f.Packets())
+	}
+}
+
+type collectConsumer struct {
+	chunks []StreamPayload
+}
+
+func (c *collectConsumer) OnPayload(p StreamPayload) { c.chunks = append(c.chunks, p) }
+
+func TestReassemblyInOrder(t *testing.T) {
+	cc := &collectConsumer{}
+	tr := NewTracker(cc)
+	tr.Feed(mkPacket(hostA, hostB, t0, pcap.FlagACK, 100, 1, []byte("hello ")))
+	tr.Feed(mkPacket(hostA, hostB, t0.Add(time.Millisecond), pcap.FlagACK, 106, 1, []byte("world")))
+	var got []byte
+	for _, ch := range cc.chunks {
+		got = append(got, ch.Data...)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("reassembled %q", got)
+	}
+}
+
+func TestReassemblyOutOfOrder(t *testing.T) {
+	cc := &collectConsumer{}
+	tr := NewTracker(cc)
+	tr.Feed(mkPacket(hostA, hostB, t0, pcap.FlagACK, 100, 1, []byte("abc")))
+	// Segment 3 arrives before segment 2.
+	tr.Feed(mkPacket(hostA, hostB, t0.Add(time.Millisecond), pcap.FlagACK, 106, 1, []byte("ghi")))
+	tr.Feed(mkPacket(hostA, hostB, t0.Add(2*time.Millisecond), pcap.FlagACK, 103, 1, []byte("def")))
+	var got []byte
+	for _, ch := range cc.chunks {
+		got = append(got, ch.Data...)
+	}
+	if string(got) != "abcdefghi" {
+		t.Fatalf("reassembled %q", got)
+	}
+}
+
+func TestRetransmissionDetected(t *testing.T) {
+	cc := &collectConsumer{}
+	tr := NewTracker(cc)
+	tr.Feed(mkPacket(hostA, hostB, t0, pcap.FlagACK, 100, 1, []byte("abc")))
+	tr.Feed(mkPacket(hostA, hostB, t0.Add(time.Millisecond), pcap.FlagACK, 100, 1, []byte("abc")))
+	f := tr.Flows()[0]
+	if f.Retransmits() != 1 {
+		t.Fatalf("retransmits %d", f.Retransmits())
+	}
+	// The duplicate chunk must be flagged and carry no new data.
+	last := cc.chunks[len(cc.chunks)-1]
+	if !last.Retransmit || len(last.Data) != 0 {
+		t.Fatalf("retransmit chunk %+v", last)
+	}
+}
+
+func TestPartialOverlapTrimmed(t *testing.T) {
+	cc := &collectConsumer{}
+	tr := NewTracker(cc)
+	tr.Feed(mkPacket(hostA, hostB, t0, pcap.FlagACK, 100, 1, []byte("abcdef")))
+	// Overlaps the tail and adds two bytes.
+	tr.Feed(mkPacket(hostA, hostB, t0.Add(time.Millisecond), pcap.FlagACK, 103, 1, []byte("defGH")))
+	var got []byte
+	for _, ch := range cc.chunks {
+		got = append(got, ch.Data...)
+	}
+	if string(got) != "abcdefGH" {
+		t.Fatalf("reassembled %q", got)
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	cc := &collectConsumer{}
+	tr := NewTracker(cc)
+	seq := uint32(0xFFFFFFFE)
+	tr.Feed(mkPacket(hostA, hostB, t0, pcap.FlagACK, seq, 1, []byte("ab")))
+	tr.Feed(mkPacket(hostA, hostB, t0.Add(time.Millisecond), pcap.FlagACK, 0, 1, []byte("cd")))
+	var got []byte
+	for _, ch := range cc.chunks {
+		got = append(got, ch.Data...)
+	}
+	if string(got) != "abcd" {
+		t.Fatalf("reassembled %q across wrap", got)
+	}
+}
+
+func TestSeparatePortsSeparateFlows(t *testing.T) {
+	tr := NewTracker(nil)
+	a2 := netip.MustParseAddrPort("10.0.0.1:40001")
+	tr.Feed(mkPacket(hostA, hostB, t0, pcap.FlagSYN, 1, 0, nil))
+	tr.Feed(mkPacket(a2, hostB, t0, pcap.FlagSYN, 1, 0, nil))
+	if len(tr.Flows()) != 2 {
+		t.Fatalf("%d flows, want 2", len(tr.Flows()))
+	}
+}
+
+func TestSessions(t *testing.T) {
+	ss := NewSessions()
+	// Two flows, same host pair and direction → one session.
+	a2 := netip.MustParseAddrPort("10.0.0.1:40001")
+	ss.Feed(mkPacket(hostA, hostB, t0, pcap.FlagACK, 1, 1, []byte{1}))
+	ss.Feed(mkPacket(a2, hostB, t0.Add(2*time.Second), pcap.FlagACK, 1, 1, []byte{2}))
+	// Reverse direction → second session.
+	ss.Feed(mkPacket(hostB, hostA, t0.Add(3*time.Second), pcap.FlagACK, 1, 1, []byte{3}))
+
+	all := ss.All()
+	if len(all) != 2 {
+		t.Fatalf("%d sessions, want 2", len(all))
+	}
+	fwd := all[0]
+	if fwd.Packets != 2 {
+		t.Fatalf("forward packets %d", fwd.Packets)
+	}
+	if got := fwd.MeanInterArrival(); got != 2.0 {
+		t.Fatalf("mean inter-arrival %v", got)
+	}
+	if all[1].MeanInterArrival() != 0 {
+		t.Fatal("single-packet session must have zero inter-arrival")
+	}
+	sorted := ss.Sorted()
+	if len(sorted) != 2 || sorted[0].Key.Src.Compare(sorted[1].Key.Src) > 0 {
+		t.Fatal("sorted order broken")
+	}
+}
+
+func TestReassemblyFeedsIEC104Frames(t *testing.T) {
+	// An APDU split across two TCP segments must come out contiguous.
+	apdu := []byte{0x68, 0x0E, 0x02, 0x00, 0x02, 0x00,
+		13, 1, 3, 0, 1, 0, 100, 0, 0, 0x00, 0x00, 0x80, 0x3F, 0x00}
+	cc := &collectConsumer{}
+	tr := NewTracker(cc)
+	tr.Feed(mkPacket(hostA, hostB, t0, pcap.FlagACK, 500, 1, apdu[:7]))
+	tr.Feed(mkPacket(hostA, hostB, t0.Add(time.Millisecond), pcap.FlagACK, 507, 1, apdu[7:]))
+	var got []byte
+	for _, ch := range cc.chunks {
+		got = append(got, ch.Data...)
+	}
+	if !bytes.Equal(got, apdu) {
+		t.Fatalf("reassembled % x", got)
+	}
+}

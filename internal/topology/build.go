@@ -1,0 +1,344 @@
+package topology
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"uncharted/internal/iec104"
+)
+
+// substationPlan pins every outstation to a substation. S10 is the
+// "newer substation with 14 RTUs" of the paper (redundant RTU pairs per
+// generator); Y2 additions O51, O56-O58 are backup RTUs placed next to
+// the stations they back up.
+var substationPlan = map[SubstationID][]int{
+	"S1":  {1},
+	"S2":  {2},
+	"S3":  {3, 4},
+	"S4":  {5},
+	"S5":  {6, 7},
+	"S6":  {8, 9, 15},
+	"S7":  {24, 25},
+	"S8":  {26, 27},
+	"S9":  {28, 29, 51},
+	"S10": {10, 11, 12, 13, 14, 16, 17, 18, 19, 20, 21, 22, 23, 33, 56, 57},
+	"S11": {30},
+	"S12": {31, 32},
+	"S13": {34, 35},
+	"S14": {36, 37},
+	"S15": {38, 39},
+	"S16": {40},
+	"S17": {41, 42},
+	"S18": {43},
+	"S19": {44, 45},
+	"S20": {46, 47},
+	"S21": {48, 58},
+	"S22": {49},
+	"S23": {52},
+	"S24": {50},
+	"S25": {54},
+	"S26": {55},
+	"S27": {53},
+}
+
+// Substations served by the C3/C4 server pair; all others use C1/C2.
+// The assignment honours every connection the paper names: the reset
+// backups C1-O5..C2-O30 live on C1/C2, the under-test C4-O22 and the
+// switchover pair O20-C3/C4 live on C3/C4.
+var pair34 = map[SubstationID]bool{
+	"S3": true, "S10": true, "S12": true, "S14": true, "S15": true,
+	"S17": true, "S18": true, "S19": true, "S20": true, "S21": true,
+	"S22": true, "S24": true, "S25": true, "S27": true,
+}
+
+// connTypePlan assigns the Table 6 / Fig. 17 interaction type to every
+// outstation. Memberships named by the paper: Type 5 is the single
+// stale-data outstation; Type 6 contains O5 and O8 (plus O28, which the
+// paper separately reports sending legacy-COT I-frames while its C2
+// backup connection sits at the Markov point (1,1)); Type 7 holds the
+// remaining reset-backup RTUs; Type 8 holds the observed switchovers
+// (O20, O29 among them). Type 3 is the most common (~34%).
+var connTypePlan = map[ConnType][]int{
+	Type1: {1, 2, 32, 42, 45},
+	Type2: {4, 10, 14, 18, 25, 27},
+	Type3: {11, 13, 17, 19, 21, 22, 23, 26, 31, 33, 36, 38, 41, 44, 46, 48, 49, 51, 56, 57},
+	Type4: {3, 12, 16, 34, 37, 39, 50, 52, 53, 54, 55, 58},
+	Type5: {40},
+	Type6: {5, 8, 28},
+	Type7: {6, 7, 9, 15, 24, 30, 35},
+	Type8: {20, 29, 43, 47},
+}
+
+// Table 2 membership.
+var (
+	removedY2 = map[int]ChangeReason{
+		15: ReasonRedundantRTU, 20: ReasonRedundantRTU, 22: ReasonRedundantRTU,
+		28: ReasonRedundantRTU, 33: ReasonRedundantRTU, 38: ReasonRedundantRTU,
+		2: ReasonNoSupervision,
+	}
+	addedY2 = map[int]ChangeReason{
+		50: ReasonNewSubstation, 53: ReasonNewSubstation,
+		52: ReasonUpgraded101, 55: ReasonUpgraded101,
+		51: ReasonBackupRTU, 56: ReasonBackupRTU, 57: ReasonBackupRTU, 58: ReasonBackupRTU,
+		54: ReasonMaintenance,
+	}
+)
+
+// stableOutstations are the 14 RTUs (25% of 58) that stayed connected
+// and reported the same number of IOAs across both years; they are
+// chosen so exactly 7 substations (26% of 27) are fully stable:
+// S1, S3, S4, S8, S13, S18, S22.
+var stableOutstations = map[int]bool{
+	1: true, 3: true, 4: true, 5: true, 8: true, 10: true, 11: true,
+	13: true, 26: true, 27: true, 34: true, 35: true, 43: true, 49: true,
+}
+
+// legacyProfiles pins the non-compliant dialects of §6.1.
+var legacyProfiles = map[int]iec104.Profile{
+	37: iec104.LegacyIOA, // 2-octet information object addresses
+	28: iec104.LegacyCOT, // 1-octet cause of transmission
+	53: iec104.LegacyCOT,
+	58: iec104.LegacyCOT,
+}
+
+// transmissionOnly marks substations without a generator (auxiliary
+// network measurements only). The paper: most substations sit next to a
+// generator; a few report transmission equipment only, among them S2
+// (whose loss was tolerable because AGC does not control it).
+var transmissionOnly = map[SubstationID]bool{
+	"S2": true, "S11": true, "S16": true, "S22": true,
+}
+
+// modernStations report time-tagged short floats (I36); the rest use
+// plain short floats (I13). 13 stations transmit I36 per Table 8.
+var modernStations = map[int]bool{
+	3: true, 4: true, 10: true, 12: true, 16: true, 29: true, 34: true,
+	39: true, 43: true, 47: true, 50: true, 53: true, 55: true,
+}
+
+// Build constructs the full two-year network.
+func Build() *Network {
+	n := &Network{outstations: make(map[OutstationID]*Outstation)}
+	for i := 1; i <= 4; i++ {
+		n.Servers = append(n.Servers, Server{
+			ID:   serverID(i),
+			Addr: netip.AddrFrom4([4]byte{10, 0, 0, byte(i)}),
+		})
+	}
+
+	typeOf := make(map[int]ConnType)
+	for ct, ids := range connTypePlan {
+		for _, id := range ids {
+			typeOf[id] = ct
+		}
+	}
+
+	for si := 1; si <= 27; si++ {
+		sid := substationID(si)
+		nums := substationPlan[sid]
+		sub := Substation{ID: sid, HasGenerator: !transmissionOnly[sid]}
+		for _, num := range nums {
+			oid := outstationID(num)
+			sub.Outstations = append(sub.Outstations, oid)
+			o := buildOutstation(num, sid, sub.HasGenerator, typeOf[num])
+			n.outstations[oid] = o
+			n.order = append(n.order, oid)
+		}
+		n.Substations = append(n.Substations, sub)
+	}
+	SortOutstationIDs(n.order)
+	return n
+}
+
+func buildOutstation(num int, sid SubstationID, hasGen bool, ct ConnType) *Outstation {
+	o := &Outstation{
+		ID:         outstationID(num),
+		Substation: sid,
+		Profile:    iec104.Standard,
+		CommonAddr: uint16(num),
+		Addr:       netip.AddrFrom4([4]byte{10, 0, byte(1 + num/200), byte(10 + num%200)}),
+		ConnType:   ct,
+	}
+	if p, ok := legacyProfiles[num]; ok {
+		o.Profile = p
+	}
+	if pair34[sid] {
+		o.Servers = [2]ServerID{"C3", "C4"}
+	} else {
+		o.Servers = [2]ServerID{"C1", "C2"}
+	}
+	o.HasGenerator = hasGen
+	// AGC setpoint receivers: 4 generator stations (Table 8).
+	switch num {
+	case 4, 10, 29, 39:
+		o.ReceivesAGC = true
+	}
+
+	// Presence per year.
+	o.PresentY1 = num <= 49
+	o.PresentY2 = true
+	if r, ok := removedY2[num]; ok {
+		o.PresentY2 = false
+		o.RemoveReason = r
+	}
+	if r, ok := addedY2[num]; ok {
+		o.AddReason = r
+	}
+
+	// IOA counts: a deterministic base, equal across years for the 14
+	// stable RTUs, otherwise drifting up or down (Fig. 6 arrows).
+	base := 6 + (num*7)%22
+	if hasGen {
+		base += 6
+	}
+	// Backup RTUs transmit only keep-alives; their observed IOA count
+	// is the small set they would expose when interrogated.
+	if ct == Type3 || ct == Type7 {
+		base = 3 + num%6
+	}
+	o.IOACountY1 = base
+	o.IOACountY2 = base
+	if !stableOutstations[num] {
+		delta := 1 + num%4
+		if num%2 == 0 || base-delta < 3 {
+			o.IOACountY2 = base + delta
+		} else {
+			o.IOACountY2 = base - delta
+		}
+	}
+	if !o.PresentY1 {
+		o.IOACountY1 = 0
+	}
+	if !o.PresentY2 {
+		o.IOACountY2 = 0
+	}
+
+	// Pathologies named by the paper.
+	switch ct {
+	case Type6, Type7:
+		// The reset-backup connections of Fig. 9 / point (1,1). The
+		// named list (C1-O5..C2-O30) alternates between the two
+		// servers of the pair.
+		reject := o.Servers[1]
+		switch num {
+		case 24, 28, 30:
+			reject = o.Servers[1] // C2 side
+		case 5, 6, 7, 8, 9, 15, 35:
+			reject = o.Servers[0] // C1 side
+		}
+		o.Behavior.RejectBackupFrom = reject
+	}
+	if num == 30 {
+		// The misconfigured T3 timer: 430s between keep-alives where
+		// the rest of the network averages ~30s.
+		o.Behavior.KeepAliveInterval = 430 * time.Second
+	}
+	if num == 22 {
+		o.Behavior.TestingOnly = true
+	}
+	if ct == Type5 {
+		o.Behavior.SpontaneousOnly = true
+	}
+	// A couple of RTUs drop backup SYNs without answering, which the
+	// flow analysis sees as long-lived flows (no lifecycle pair).
+	if num == 24 || num == 35 {
+		o.Behavior.SilentDropBackup = true
+	}
+	return o
+}
+
+// buildPoints derives the measurement point list. Point IOAs start at
+// 1001 for analog telemetry, 3001 for status points, and 7001 for the
+// AGC setpoint objects.
+func buildPoints(o *Outstation, y Year) []Point {
+	count := o.IOACount(y)
+	if count == 0 {
+		return nil
+	}
+	var pts []Point
+	add := func(t iec104.TypeID, k PointKind, period time.Duration) {
+		ioa := uint32(1001 + len(pts))
+		if k == KindStatus {
+			ioa = uint32(3001 + len(pts))
+		}
+		if k == KindSetpoint {
+			ioa = uint32(7001)
+		}
+		pts = append(pts, Point{IOA: ioa, Type: t, Kind: k, Period: period})
+	}
+
+	num := Num(o.ID)
+	// The Table 8 long tail: specific stations carry the rare types.
+	// I36 (float + time tag) is reported by the 13 "modern" stations,
+	// which also produce most of the traffic volume (Table 7's 65%).
+	modern := modernStations[num]
+
+	fast := 2 * time.Second
+	slow := 6 * time.Second
+	if o.Behavior.SpontaneousOnly {
+		fast, slow = 0, 0
+	}
+
+	analogType := iec104.MMeNc // I13
+	if modern {
+		analogType = iec104.MMeTf // I36
+		slow = fast
+	}
+	if num == 45 {
+		// The single station reporting normalized values (I9, Table 8)
+		// — a legacy RTU whose share of traffic the paper puts near 3%.
+		analogType = iec104.MMeNa
+		slow = fast
+	}
+	if o.HasGenerator {
+		add(analogType, KindActivePower, fast)
+		add(analogType, KindReactivePower, fast)
+		add(analogType, KindVoltage, slow)
+		add(analogType, KindCurrent, slow)
+		add(analogType, KindFrequency, slow)
+		// Breaker status: double point, time-tagged on a few stations.
+		// Plain double points refresh cyclically every 45s (the I3
+		// share of Table 7); time-tagged variants are event-driven.
+		switch num % 13 {
+		case 0, 1, 3:
+			add(iec104.MDpNa, KindStatus, 45*time.Second) // I3 stations
+		case 4, 5:
+			add(iec104.MDpTb, KindStatus, 0) // I31 stations
+		case 6:
+			add(iec104.MSpNa, KindStatus, 0) // I1 stations
+		}
+		if o.ReceivesAGC {
+			add(iec104.CSeNc, KindSetpoint, 0) // I50 target object
+		}
+	} else {
+		add(analogType, KindVoltage, slow)
+		add(analogType, KindFrequency, slow)
+		add(analogType, KindActivePower, fast)
+	}
+	// One station apiece for the rare monitor types.
+	switch num {
+	case 45:
+		add(iec104.MMeNa, KindOther, slow) // I9: normalized values
+	case 42:
+		add(iec104.MStNa, KindOther, slow+4*time.Second) // I5: tap changer position
+	case 32:
+		add(iec104.MBoNa, KindOther, 0) // I7: bitstring
+	case 16:
+		add(iec104.MSpTb, KindStatus, 0) // I30: time-tagged single point
+	}
+	// Pad with generic analog telemetry up to the observed IOA count.
+	for len(pts) < count {
+		k := KindCurrent
+		if len(pts)%2 == 0 {
+			k = KindVoltage
+		}
+		add(analogType, k, slow)
+	}
+	if len(pts) > count {
+		pts = pts[:count]
+	}
+	return pts
+}
+
+var _ = fmt.Sprintf // keep fmt imported for debug helpers

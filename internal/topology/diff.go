@@ -1,0 +1,95 @@
+package topology
+
+// Change is one Table 2 row: an outstation added to or removed from the
+// network between the capture years, with the operator's explanation.
+type Change struct {
+	Outstation OutstationID
+	Added      bool
+	Reason     ChangeReason
+}
+
+// IOADelta describes a Fig. 6 arrow: the change in observed IOAs for an
+// outstation present in both years.
+type IOADelta struct {
+	Outstation OutstationID
+	Y1, Y2     int
+}
+
+// Direction renders the Fig. 6 arrow.
+func (d IOADelta) Direction() string {
+	switch {
+	case d.Y2 > d.Y1:
+		return "up"
+	case d.Y2 < d.Y1:
+		return "down"
+	}
+	return "same"
+}
+
+// Diff is the full Y1→Y2 comparison (§6's Hypothesis 1 analysis).
+type Diff struct {
+	Added   []Change
+	Removed []Change
+	// Deltas lists every outstation present in both years.
+	Deltas []IOADelta
+	// StableOutstations are those reporting the same IOA count in both
+	// years; StableSubstations had every RTU stable and unchanged.
+	StableOutstations []OutstationID
+	StableSubstations []SubstationID
+	// Totals for the stability ratios the paper quotes (25% of
+	// outstations, 26% of substations).
+	TotalOutstations int
+	TotalSubstations int
+}
+
+// OutstationStability returns the fraction of all observed outstations
+// that remained connected with an identical IOA count.
+func (d Diff) OutstationStability() float64 {
+	if d.TotalOutstations == 0 {
+		return 0
+	}
+	return float64(len(d.StableOutstations)) / float64(d.TotalOutstations)
+}
+
+// SubstationStability returns the fraction of substations that were
+// fully stable.
+func (d Diff) SubstationStability() float64 {
+	if d.TotalSubstations == 0 {
+		return 0
+	}
+	return float64(len(d.StableSubstations)) / float64(d.TotalSubstations)
+}
+
+// ComputeDiff compares the two capture years of the network.
+func ComputeDiff(n *Network) Diff {
+	var d Diff
+	d.TotalOutstations = len(n.order)
+	d.TotalSubstations = len(n.Substations)
+	for _, o := range n.Outstations() {
+		switch {
+		case o.PresentY1 && !o.PresentY2:
+			d.Removed = append(d.Removed, Change{Outstation: o.ID, Reason: o.RemoveReason})
+		case !o.PresentY1 && o.PresentY2:
+			d.Added = append(d.Added, Change{Outstation: o.ID, Added: true, Reason: o.AddReason})
+		case o.PresentY1 && o.PresentY2:
+			d.Deltas = append(d.Deltas, IOADelta{Outstation: o.ID, Y1: o.IOACountY1, Y2: o.IOACountY2})
+			if o.IOACountY1 == o.IOACountY2 {
+				d.StableOutstations = append(d.StableOutstations, o.ID)
+			}
+		}
+	}
+	for _, s := range n.Substations {
+		stable := len(s.Outstations) > 0
+		for _, id := range s.Outstations {
+			o := n.outstations[id]
+			if !o.PresentY1 || !o.PresentY2 || o.IOACountY1 != o.IOACountY2 {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			d.StableSubstations = append(d.StableSubstations, s.ID)
+		}
+	}
+	return d
+}

@@ -1,0 +1,286 @@
+// Package topology models the federated SCADA network of the paper's
+// bulk power system (Fig. 6): four control servers (C1-C4) in the
+// system operator's control room, 27 substations (S1-S27) and 58
+// outstations / RTUs (O1-O58) observed across two capture years, plus
+// the Y1→Y2 diff of Table 2.
+//
+// The paper names the special cases (which outstations were added or
+// removed and why, which speak legacy dialects, which reset backup
+// connections, which had a misconfigured keep-alive timer); everything
+// the paper leaves unnamed is filled deterministically so the whole
+// network is reproducible from code.
+package topology
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"uncharted/internal/iec104"
+)
+
+// Year selects one of the two capture campaigns.
+type Year int
+
+// Capture years.
+const (
+	Y1 Year = 1
+	Y2 Year = 2
+)
+
+func (y Year) String() string { return fmt.Sprintf("Y%d", int(y)) }
+
+// ServerID names a control server, "C1".."C4".
+type ServerID string
+
+// OutstationID names an outstation / RTU, "O1".."O58".
+type OutstationID string
+
+// SubstationID names a substation, "S1".."S27".
+type SubstationID string
+
+// ConnType is the paper's eight-way outstation interaction taxonomy
+// (Table 6 plus the two extra types of Fig. 17).
+type ConnType int
+
+// Outstation interaction types.
+const (
+	TypeUnknown ConnType = iota
+	Type1                // no secondary connection, I-format only
+	Type2                // ideal: primary I + secondary U16/U32 keep-alives
+	Type3                // U-format only (redundant backup RTU)
+	Type4                // I-format only, to both servers across captures
+	Type5                // single server, both I and U (T3 fires between sparse spontaneous I)
+	Type6                // primary I + refused secondary (U16 without U32)
+	Type7                // backup that resets every connection attempt: the (1,1) Markov point
+	Type8                // switchover observed: secondary becomes primary, I100 interrogation
+)
+
+func (t ConnType) String() string {
+	if t >= Type1 && t <= Type8 {
+		return fmt.Sprintf("Type%d", int(t))
+	}
+	return "TypeUnknown"
+}
+
+// PointKind is the physical quantity a measurement point reports
+// (Table 8's "physical symbols").
+type PointKind string
+
+// Physical symbols.
+const (
+	KindActivePower   PointKind = "P"
+	KindReactivePower PointKind = "Q"
+	KindVoltage       PointKind = "U"
+	KindCurrent       PointKind = "I"
+	KindFrequency     PointKind = "Freq"
+	KindStatus        PointKind = "Status"
+	KindSetpoint      PointKind = "AGC-SP"
+	KindOther         PointKind = "-"
+)
+
+// Point is one information object a station reports or accepts.
+type Point struct {
+	IOA  uint32
+	Type iec104.TypeID
+	Kind PointKind
+	// Period is the cyclic reporting interval; zero means the point is
+	// reported spontaneously (threshold crossings) only.
+	Period time.Duration
+}
+
+// Behavior collects the pathologies the paper observed in the field.
+type Behavior struct {
+	// RejectBackupFrom names the server whose backup connection this
+	// outstation resets (Fig. 9 / the Markov point (1,1)).
+	RejectBackupFrom ServerID
+	// SilentDropBackup makes rejected backup SYNs disappear without
+	// an RST (contributes long-lived flows without lifecycle pairs).
+	SilentDropBackup bool
+	// KeepAliveInterval overrides the secondary-connection keep-alive
+	// cadence (the C2-O30 misconfiguration: 430s instead of ~30s).
+	KeepAliveInterval time.Duration
+	// TestingOnly marks an RTU that was merely being commissioned
+	// (C4-O22 exchanged four packets in Y1).
+	TestingOnly bool
+	// SpontaneousOnly marks the Type 5 outstation configured with
+	// large reporting thresholds (stale data in the control room).
+	SpontaneousOnly bool
+}
+
+// ChangeReason explains a Table 2 row.
+type ChangeReason string
+
+// Table 2 reasons.
+const (
+	ReasonNewSubstation ChangeReason = "New substation"
+	ReasonUpgraded101   ChangeReason = "Updated from 101 to 104"
+	ReasonBackupRTU     ChangeReason = "Backup RTU"
+	ReasonMaintenance   ChangeReason = "Under maintenance in year 1"
+	ReasonRedundantRTU  ChangeReason = "Redundant RTU in operation"
+	ReasonNoSupervision ChangeReason = "Substation without supervision"
+	ReasonNone          ChangeReason = ""
+)
+
+// Outstation is one RTU with everything the simulator and the analysis
+// ground truth need.
+type Outstation struct {
+	ID         OutstationID
+	Substation SubstationID
+	// Servers is the primary/secondary control server pair (C1/C2 or
+	// C3/C4); Servers[0] is the initially-primary one.
+	Servers [2]ServerID
+	// Profile is the wire dialect the RTU speaks (legacy encodings for
+	// O37, O28, O53, O58).
+	Profile    iec104.Profile
+	CommonAddr uint16
+	Addr       netip.Addr
+
+	PresentY1, PresentY2 bool
+	// IOACountY1/Y2 are the observed distinct information object
+	// addresses per year (the "cloud" numbers of Fig. 6).
+	IOACountY1, IOACountY2 int
+
+	HasGenerator bool
+	// ReceivesAGC marks generator outstations the operator steers with
+	// C_SE_NC_1 setpoints (the I50 stations of Table 8).
+	ReceivesAGC bool
+
+	ConnType ConnType
+	Behavior Behavior
+	// AddReason / RemoveReason explain Table 2 membership.
+	AddReason    ChangeReason
+	RemoveReason ChangeReason
+}
+
+// PresentIn reports presence in the given capture year.
+func (o *Outstation) PresentIn(y Year) bool {
+	if y == Y1 {
+		return o.PresentY1
+	}
+	return o.PresentY2
+}
+
+// IOACount returns the per-year IOA count.
+func (o *Outstation) IOACount(y Year) int {
+	if y == Y1 {
+		return o.IOACountY1
+	}
+	return o.IOACountY2
+}
+
+// SendsIFormat reports whether the outstation transmits I-format data
+// (as opposed to being a keep-alive-only backup).
+func (o *Outstation) SendsIFormat() bool {
+	switch o.ConnType {
+	case Type3, Type7:
+		return false
+	}
+	return !o.Behavior.TestingOnly
+}
+
+// Server is one control server of the system operator.
+type Server struct {
+	ID   ServerID
+	Addr netip.Addr
+}
+
+// Substation groups outstations.
+type Substation struct {
+	ID           SubstationID
+	HasGenerator bool
+	Outstations  []OutstationID
+}
+
+// Network is the full two-year topology.
+type Network struct {
+	Servers     []Server
+	Substations []Substation
+	outstations map[OutstationID]*Outstation
+	order       []OutstationID
+}
+
+// Outstation looks up one RTU.
+func (n *Network) Outstation(id OutstationID) (*Outstation, bool) {
+	o, ok := n.outstations[id]
+	return o, ok
+}
+
+// Outstations returns every RTU in ID order.
+func (n *Network) Outstations() []*Outstation {
+	out := make([]*Outstation, 0, len(n.order))
+	for _, id := range n.order {
+		out = append(out, n.outstations[id])
+	}
+	return out
+}
+
+// OutstationsIn returns the RTUs present in year y, in ID order.
+func (n *Network) OutstationsIn(y Year) []*Outstation {
+	var out []*Outstation
+	for _, id := range n.order {
+		if o := n.outstations[id]; o.PresentIn(y) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// SubstationsIn returns the substations with at least one RTU in year y.
+func (n *Network) SubstationsIn(y Year) []Substation {
+	var out []Substation
+	for _, s := range n.Substations {
+		present := Substation{ID: s.ID, HasGenerator: s.HasGenerator}
+		for _, id := range s.Outstations {
+			if n.outstations[id].PresentIn(y) {
+				present.Outstations = append(present.Outstations, id)
+			}
+		}
+		if len(present.Outstations) > 0 {
+			out = append(out, present)
+		}
+	}
+	return out
+}
+
+// ServerAddr returns a server's IP address.
+func (n *Network) ServerAddr(id ServerID) netip.Addr {
+	for _, s := range n.Servers {
+		if s.ID == id {
+			return s.Addr
+		}
+	}
+	return netip.Addr{}
+}
+
+// Points returns the deterministic measurement point list for an
+// outstation in a given year. The point mix is what calibrates the
+// paper's Table 7 type distribution: short-float-with-time-tag (I36)
+// and short-float (I13) measurements dominate; normalized values (I9),
+// step positions (I5), double points (I3/I31), single points (I1/I30),
+// bitstrings (I7) and clock syncs appear in the long tail.
+func (n *Network) Points(id OutstationID, y Year) []Point {
+	o, ok := n.outstations[id]
+	if !ok || !o.PresentIn(y) {
+		return nil
+	}
+	return buildPoints(o, y)
+}
+
+// String renders "C1", "O12" style IDs from indices.
+func serverID(i int) ServerID         { return ServerID(fmt.Sprintf("C%d", i)) }
+func outstationID(i int) OutstationID { return OutstationID(fmt.Sprintf("O%d", i)) }
+func substationID(i int) SubstationID { return SubstationID(fmt.Sprintf("S%d", i)) }
+
+// Num extracts the numeric suffix of an outstation ID.
+func Num(id OutstationID) int {
+	var n int
+	fmt.Sscanf(string(id), "O%d", &n)
+	return n
+}
+
+// SortOutstationIDs orders IDs numerically (O2 before O10).
+func SortOutstationIDs(ids []OutstationID) {
+	sort.Slice(ids, func(i, j int) bool { return Num(ids[i]) < Num(ids[j]) })
+}

@@ -1,0 +1,264 @@
+package topology
+
+import (
+	"testing"
+	"time"
+
+	"uncharted/internal/iec104"
+)
+
+func TestBuildShape(t *testing.T) {
+	n := Build()
+	if got := len(n.Servers); got != 4 {
+		t.Fatalf("servers = %d, want 4", got)
+	}
+	if got := len(n.Substations); got != 27 {
+		t.Fatalf("substations = %d, want 27", got)
+	}
+	if got := len(n.Outstations()); got != 58 {
+		t.Fatalf("outstations = %d, want 58", got)
+	}
+	if got := len(n.OutstationsIn(Y1)); got != 49 {
+		t.Fatalf("Y1 outstations = %d, want 49", got)
+	}
+	if got := len(n.OutstationsIn(Y2)); got != 51 {
+		t.Fatalf("Y2 outstations = %d, want 51", got)
+	}
+}
+
+func TestS10Has14RTUsInY1(t *testing.T) {
+	n := Build()
+	for _, s := range n.SubstationsIn(Y1) {
+		if s.ID == "S10" {
+			if len(s.Outstations) != 14 {
+				t.Fatalf("S10 Y1 RTUs = %d, want 14", len(s.Outstations))
+			}
+			return
+		}
+	}
+	t.Fatal("S10 missing in Y1")
+}
+
+func TestTable2Memberships(t *testing.T) {
+	n := Build()
+	d := ComputeDiff(n)
+
+	wantRemoved := map[OutstationID]ChangeReason{
+		"O15": ReasonRedundantRTU, "O20": ReasonRedundantRTU, "O22": ReasonRedundantRTU,
+		"O28": ReasonRedundantRTU, "O33": ReasonRedundantRTU, "O38": ReasonRedundantRTU,
+		"O2": ReasonNoSupervision,
+	}
+	if len(d.Removed) != len(wantRemoved) {
+		t.Fatalf("removed = %d, want %d", len(d.Removed), len(wantRemoved))
+	}
+	for _, c := range d.Removed {
+		if wantRemoved[c.Outstation] != c.Reason {
+			t.Errorf("removed %s reason %q", c.Outstation, c.Reason)
+		}
+	}
+
+	wantAdded := map[OutstationID]ChangeReason{
+		"O50": ReasonNewSubstation, "O53": ReasonNewSubstation,
+		"O52": ReasonUpgraded101, "O55": ReasonUpgraded101,
+		"O51": ReasonBackupRTU, "O56": ReasonBackupRTU, "O57": ReasonBackupRTU, "O58": ReasonBackupRTU,
+		"O54": ReasonMaintenance,
+	}
+	if len(d.Added) != len(wantAdded) {
+		t.Fatalf("added = %d, want %d", len(d.Added), len(wantAdded))
+	}
+	for _, c := range d.Added {
+		if wantAdded[c.Outstation] != c.Reason {
+			t.Errorf("added %s reason %q", c.Outstation, c.Reason)
+		}
+	}
+}
+
+func TestStabilityRatios(t *testing.T) {
+	n := Build()
+	d := ComputeDiff(n)
+	// The paper: 14 of 58 outstations (25%) and 7 of 27 substations
+	// (26%) remained stable.
+	if got := len(d.StableOutstations); got != 14 {
+		t.Fatalf("stable outstations = %d, want 14", got)
+	}
+	if got := len(d.StableSubstations); got != 7 {
+		t.Fatalf("stable substations = %d, want 7: %v", got, d.StableSubstations)
+	}
+	if r := d.OutstationStability(); r < 0.24 || r > 0.26 {
+		t.Errorf("outstation stability = %v", r)
+	}
+	if r := d.SubstationStability(); r < 0.25 || r > 0.27 {
+		t.Errorf("substation stability = %v", r)
+	}
+}
+
+func TestLegacyProfiles(t *testing.T) {
+	n := Build()
+	cases := map[OutstationID]iec104.Profile{
+		"O37": iec104.LegacyIOA,
+		"O28": iec104.LegacyCOT,
+		"O53": iec104.LegacyCOT,
+		"O58": iec104.LegacyCOT,
+		"O1":  iec104.Standard,
+	}
+	for id, want := range cases {
+		o, ok := n.Outstation(id)
+		if !ok {
+			t.Fatalf("%s missing", id)
+		}
+		if o.Profile != want {
+			t.Errorf("%s profile = %v, want %v", id, o.Profile, want)
+		}
+	}
+}
+
+func TestNamedPathologies(t *testing.T) {
+	n := Build()
+	o30, _ := n.Outstation("O30")
+	if o30.Behavior.KeepAliveInterval != 430*time.Second {
+		t.Errorf("O30 keep-alive = %v", o30.Behavior.KeepAliveInterval)
+	}
+	if o30.Behavior.RejectBackupFrom != "C2" {
+		t.Errorf("O30 rejects %q, want C2", o30.Behavior.RejectBackupFrom)
+	}
+	o22, _ := n.Outstation("O22")
+	if !o22.Behavior.TestingOnly {
+		t.Error("O22 not marked testing-only")
+	}
+	if o22.Servers != [2]ServerID{"C3", "C4"} {
+		t.Errorf("O22 servers = %v", o22.Servers)
+	}
+	o40, _ := n.Outstation("O40")
+	if !o40.Behavior.SpontaneousOnly || o40.ConnType != Type5 {
+		t.Errorf("O40 = %+v", o40)
+	}
+	for _, id := range []OutstationID{"O5", "O6", "O7", "O8", "O9", "O15", "O35"} {
+		o, _ := n.Outstation(id)
+		if o.Behavior.RejectBackupFrom != "C1" {
+			t.Errorf("%s rejects %q, want C1", id, o.Behavior.RejectBackupFrom)
+		}
+	}
+	for _, id := range []OutstationID{"O24", "O28"} {
+		o, _ := n.Outstation(id)
+		if o.Behavior.RejectBackupFrom != "C2" {
+			t.Errorf("%s rejects %q, want C2", id, o.Behavior.RejectBackupFrom)
+		}
+	}
+}
+
+func TestConnTypeDistribution(t *testing.T) {
+	n := Build()
+	counts := map[ConnType]int{}
+	for _, o := range n.Outstations() {
+		counts[o.ConnType]++
+	}
+	if counts[TypeUnknown] != 0 {
+		t.Fatalf("%d outstations without a type", counts[TypeUnknown])
+	}
+	// Type 3 is the most common (~34% per Fig. 17).
+	if counts[Type3] != 20 {
+		t.Errorf("Type3 = %d, want 20", counts[Type3])
+	}
+	for ct, want := range map[ConnType]int{Type1: 5, Type2: 6, Type4: 12, Type5: 1, Type6: 3, Type7: 7, Type8: 4} {
+		if counts[ct] != want {
+			t.Errorf("%v = %d, want %d", ct, counts[ct], want)
+		}
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 58 {
+		t.Fatalf("total typed = %d", total)
+	}
+}
+
+func TestServerPairsHonourNamedConnections(t *testing.T) {
+	n := Build()
+	// O20 switches between C3 and C4; O29 between C1 and C2.
+	o20, _ := n.Outstation("O20")
+	if o20.Servers != [2]ServerID{"C3", "C4"} {
+		t.Errorf("O20 servers %v", o20.Servers)
+	}
+	o29, _ := n.Outstation("O29")
+	if o29.Servers != [2]ServerID{"C1", "C2"} {
+		t.Errorf("O29 servers %v", o29.Servers)
+	}
+}
+
+func TestPointsRespectIOACounts(t *testing.T) {
+	n := Build()
+	for _, y := range []Year{Y1, Y2} {
+		for _, o := range n.OutstationsIn(y) {
+			pts := n.Points(o.ID, y)
+			if len(pts) != o.IOACount(y) {
+				t.Errorf("%s %v: %d points, want %d", o.ID, y, len(pts), o.IOACount(y))
+			}
+			seen := map[uint32]bool{}
+			for _, p := range pts {
+				if seen[p.IOA] {
+					t.Errorf("%s %v: duplicate IOA %d", o.ID, y, p.IOA)
+				}
+				seen[p.IOA] = true
+			}
+		}
+	}
+	// Absent outstations expose no points.
+	if pts := n.Points("O2", Y2); pts != nil {
+		t.Errorf("O2 Y2 points = %d", len(pts))
+	}
+	if pts := n.Points("O99", Y1); pts != nil {
+		t.Error("unknown outstation returned points")
+	}
+}
+
+func TestAGCStationCount(t *testing.T) {
+	n := Build()
+	cnt := 0
+	for _, o := range n.Outstations() {
+		if o.ReceivesAGC {
+			cnt++
+			if !o.HasGenerator {
+				t.Errorf("%s receives AGC without a generator", o.ID)
+			}
+		}
+	}
+	if cnt != 4 {
+		t.Fatalf("AGC stations = %d, want 4 (Table 8)", cnt)
+	}
+}
+
+func TestIOADeltaDirections(t *testing.T) {
+	d := ComputeDiff(Build())
+	ups, downs, sames := 0, 0, 0
+	for _, dl := range d.Deltas {
+		switch dl.Direction() {
+		case "up":
+			ups++
+		case "down":
+			downs++
+		default:
+			sames++
+		}
+	}
+	if sames != 14 {
+		t.Fatalf("same = %d, want 14", sames)
+	}
+	if ups == 0 || downs == 0 {
+		t.Fatalf("expected both up (%d) and down (%d) arrows", ups, downs)
+	}
+	if ups+downs+sames != 42 {
+		t.Fatalf("deltas = %d, want 42", ups+downs+sames)
+	}
+}
+
+func TestNumAndSort(t *testing.T) {
+	ids := []OutstationID{"O10", "O2", "O1"}
+	SortOutstationIDs(ids)
+	if ids[0] != "O1" || ids[1] != "O2" || ids[2] != "O10" {
+		t.Fatalf("sorted %v", ids)
+	}
+	if Num("O58") != 58 {
+		t.Fatal("Num broken")
+	}
+}

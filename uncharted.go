@@ -1,0 +1,86 @@
+// Package uncharted reproduces "Uncharted Networks: A First
+// Measurement Study of the Bulk Power System" (IMC 2020) as a Go
+// library: an IEC 60870-5-104 codec with tolerant legacy-dialect
+// parsing, a synthesized bulk-power SCADA network (the paper's 27
+// substations, 58 outstations and 4 control servers over a simulated
+// power grid with AGC), and the full measurement pipeline — TCP flow
+// taxonomy, compliance analysis, session clustering, Markov-chain
+// profiling and physical deep packet inspection.
+//
+// This top-level package is a thin facade over the internal packages;
+// it exposes the workflows a downstream user starts with: synthesize a
+// capture, analyze a capture, regenerate the paper's tables and
+// figures. The full APIs live in internal/iec104, internal/core,
+// internal/scadasim, internal/experiments and friends, and the
+// examples/ directory shows each of them in use.
+package uncharted
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/experiments"
+	"uncharted/internal/scadasim"
+	"uncharted/internal/topology"
+)
+
+// Year selects a capture campaign: 1 or 2.
+type Year = topology.Year
+
+// Capture years.
+const (
+	Y1 = topology.Y1
+	Y2 = topology.Y2
+)
+
+// Generate synthesizes one capture year at the given duration scale
+// (1.0 = 40 min for Y1, 15 min for Y2 — the paper's 8:3 ratio) and
+// writes it as a libpcap stream to w.
+func Generate(w io.Writer, year Year, scale float64, seed int64) error {
+	cfg := scadasim.DefaultConfig(year, seed)
+	if scale > 0 {
+		cfg.Duration = time.Duration(float64(cfg.Duration) * scale)
+	}
+	if cfg.CyclePeriod > cfg.Duration/3 {
+		cfg.CyclePeriod = cfg.Duration / 3
+	}
+	sim, err := scadasim.New(cfg)
+	if err != nil {
+		return err
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		return err
+	}
+	return tr.WritePCAP(w)
+}
+
+// Analyze runs the paper's measurement pipeline over a libpcap stream.
+// Addresses belonging to the simulated topology are labelled with
+// their paper names (C1, O30, ...).
+func Analyze(r io.Reader) (*core.Analyzer, error) {
+	a := core.NewAnalyzer(core.NamesFromTopology(topology.Build()))
+	if err := a.ReadPCAP(r); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// AnalyzeFile is Analyze over a capture file on disk.
+func AnalyzeFile(path string) (*core.Analyzer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("uncharted: %w", err)
+	}
+	defer f.Close()
+	return Analyze(f)
+}
+
+// Experiments returns a runner that regenerates every table and figure
+// of the paper's evaluation at the given scale.
+func Experiments(scale float64, seed int64) *experiments.Runner {
+	return experiments.NewRunner(scale, seed)
+}

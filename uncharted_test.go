@@ -1,0 +1,78 @@
+package uncharted_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uncharted"
+	"uncharted/internal/topology"
+)
+
+func TestFacadeGenerateAndAnalyze(t *testing.T) {
+	var buf bytes.Buffer
+	if err := uncharted.Generate(&buf, uncharted.Y1, 0.05, 5); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty capture")
+	}
+	a, err := uncharted.Analyze(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IECPackets == 0 {
+		t.Fatal("no IEC packets analyzed")
+	}
+	sum := a.FlowAnalysis().Summary
+	if sum.Total() == 0 {
+		t.Fatal("no flows")
+	}
+	if len(a.Compliance().NonCompliant) == 0 {
+		t.Fatal("legacy stations not detected through the facade")
+	}
+}
+
+func TestFacadeAnalyzeFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "y2.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := uncharted.Generate(f, uncharted.Y2, 0.05, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := uncharted.AnalyzeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Packets == 0 {
+		t.Fatal("no packets")
+	}
+	if _, err := uncharted.AnalyzeFile(filepath.Join(dir, "missing.pcap")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	r := uncharted.Experiments(0.05, 5)
+	ids := r.IDs()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	res, err := r.Run("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "table2" || res.Text == "" {
+		t.Fatalf("bad result %+v", res)
+	}
+	if _, err := r.Trace(topology.Y1); err != nil {
+		t.Fatal(err)
+	}
+}
