@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"uncharted/internal/obs"
 	"uncharted/internal/powersim"
 )
 
@@ -30,7 +31,32 @@ func main() {
 	unmetLoad := flag.Duration("unmet-load", 4*time.Minute, "when to drop 12% of load (0 = never)")
 	reconnect := flag.Duration("reconnect", 6*time.Minute, "when the lost load returns (0 = never)")
 	syncAt := flag.Duration("sync", 2*time.Minute, "when the last generator synchronises (0 = never)")
+	metrics := flag.String("metrics", "", "serve Prometheus /metrics and /debug/vars on this address")
+	pace := flag.Duration("pace", 0, "wall-clock delay per sample (use with -metrics to watch the run live)")
 	flag.Parse()
+
+	reg := obs.Default
+	reg.SetHelp("uncharted_agcsim_frequency_hz", "Current simulated system frequency.")
+	reg.SetHelp("uncharted_agcsim_load_mw", "Current simulated system load.")
+	reg.SetHelp("uncharted_agcsim_generation_mw", "Current total generation output.")
+	reg.SetHelp("uncharted_agcsim_agc_commands_total", "Setpoint commands issued by the AGC loop.")
+	reg.SetHelp("uncharted_agcsim_frequency_deviation_hz", "Absolute frequency deviation from nominal, per sample.")
+	var (
+		freqGauge = reg.Gauge("uncharted_agcsim_frequency_hz")
+		loadGauge = reg.Gauge("uncharted_agcsim_load_mw")
+		genGauge  = reg.Gauge("uncharted_agcsim_generation_mw")
+		cmdTotal  = reg.Counter("uncharted_agcsim_agc_commands_total")
+		freqDev   = reg.Histogram("uncharted_agcsim_frequency_deviation_hz",
+			[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1})
+	)
+	if *metrics != "" {
+		bound, stop, err := obs.Serve(*metrics, reg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		log.Printf("metrics on http://%s/metrics", bound)
+	}
 
 	start := time.Date(2026, 7, 5, 9, 0, 0, 0, time.UTC)
 	grid := powersim.NewGrid(start, *seed)
@@ -71,7 +97,16 @@ func main() {
 	commands := 0
 	for ts := start; !ts.After(start.Add(*duration)); ts = ts.Add(*step) {
 		grid.AdvanceTo(ts)
-		commands += len(agc.Run(ts))
+		issued := len(agc.Run(ts))
+		commands += issued
+		cmdTotal.Add(int64(issued))
+		freqGauge.Set(grid.Frequency)
+		loadGauge.Set(grid.Load())
+		genGauge.Set(grid.TotalGeneration())
+		freqDev.Observe(absFloat(grid.Frequency - 60))
+		if *pace > 0 {
+			time.Sleep(*pace)
+		}
 		fmt.Fprintf(w, "%.0f,%.5f,%.2f,%.2f",
 			ts.Sub(start).Seconds(), grid.Frequency, grid.Load(), grid.TotalGeneration())
 		for _, g := range grid.Generators {
@@ -81,4 +116,11 @@ func main() {
 		fmt.Fprintf(w, ",%d\n", commands)
 	}
 	log.Printf("simulated %v, %d AGC commands", *duration, commands)
+}
+
+func absFloat(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"uncharted/internal/obs"
 	"uncharted/internal/scadasim"
 	"uncharted/internal/topology"
 )
@@ -28,6 +29,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	scale := flag.Float64("scale", 1, "duration scale relative to the default (Y1 40min, Y2 15min)")
 	duration := flag.Duration("duration", 0, "explicit capture duration (overrides -scale)")
+	journalPath := flag.String("journal", "", "append structured generator events to this JSONL file")
+	stats := flag.Bool("stats", false, "print generator metrics to stderr after the run")
 	flag.Parse()
 
 	if *year != 1 && *year != 2 {
@@ -53,6 +56,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	reg := obs.NewRegistry()
+	var journal *obs.Journal
+	if *journalPath != "" {
+		jf, err := os.Create(*journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer jf.Close()
+		journal = obs.NewJournal(jf)
+	}
+	if *stats || journal != nil {
+		sim.Instrument(reg, journal)
+	}
 	start := time.Now()
 	tr, err := sim.Run()
 	if err != nil {
@@ -68,4 +84,16 @@ func main() {
 	}
 	log.Printf("wrote %s: %d packets, %d connections, %v simulated in %v",
 		path, len(tr.Records), len(tr.Truth.Connections), cfg.Duration, time.Since(start).Round(time.Millisecond))
+	if *stats {
+		for _, c := range reg.Snapshot().Counters {
+			suffix := ""
+			for i := 0; i+1 < len(c.Labels); i += 2 {
+				suffix += " " + c.Labels[i] + "=" + c.Labels[i+1]
+			}
+			log.Printf("stat %s%s %d", c.Name, suffix, c.Value)
+		}
+	}
+	if err := journal.Err(); err != nil {
+		log.Fatalf("journal write failed: %v", err)
+	}
 }

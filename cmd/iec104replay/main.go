@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"uncharted/internal/iec104"
+	"uncharted/internal/obs"
 	"uncharted/internal/pcap"
 	"uncharted/internal/station"
 )
@@ -43,6 +44,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:2404", "listen address")
 	speed := flag.Float64("speed", 1, "time compression factor (10 = 10x faster than recorded)")
 	once := flag.Bool("once", false, "exit after serving one connection to completion")
+	metrics := flag.String("metrics", "", "serve Prometheus /metrics and /debug/vars on this address")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: iec104replay [-station ip] [-listen addr] [-speed n] capture.pcap")
@@ -61,6 +63,17 @@ func main() {
 	log.Printf("replaying %d APDUs from %s (dialect %s) over %v of capture time at %gx",
 		len(events), src, dialect, events[len(events)-1].offset.Round(time.Second), *speed)
 
+	instrument := false
+	if *metrics != "" {
+		bound, stop, err := obs.Serve(*metrics, obs.Default, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		log.Printf("metrics on http://%s/metrics", bound)
+		instrument = true
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
@@ -72,7 +85,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		serve(conn, events, dialect, *speed)
+		serve(conn, events, dialect, *speed, instrument)
 		if *once {
 			return
 		}
@@ -165,13 +178,18 @@ func loadEvents(path, want string) ([]event, iec104.Profile, netip.Addr, error) 
 
 // serve replays the stream to one connection using the live-station
 // point table for interrogations (latest value per IOA).
-func serve(conn net.Conn, events []event, dialect iec104.Profile, speed float64) {
+func serve(conn net.Conn, events []event, dialect iec104.Profile, speed float64, instrument bool) {
 	defer conn.Close()
 	log.Printf("connection from %s", conn.RemoteAddr())
 
 	// Build the replay outstation: latest value per IOA answers GIs.
 	rtu := station.NewOutstation(events[0].asdu.CommonAddr)
 	rtu.Profile = dialect
+	if instrument {
+		// Per-connection outstations share the process registry, so
+		// counters accumulate across replayed connections.
+		rtu.Instrument(obs.Default, nil)
+	}
 	seen := map[uint32]bool{}
 	for _, ev := range events {
 		for _, obj := range ev.asdu.Objects {

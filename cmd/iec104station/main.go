@@ -23,8 +23,23 @@ import (
 	"time"
 
 	"uncharted/internal/iec104"
+	"uncharted/internal/obs"
 	"uncharted/internal/station"
 )
+
+// serveMetrics starts the observability endpoint when addr is set and
+// returns its shutdown function (a no-op for an empty addr).
+func serveMetrics(addr string) func() error {
+	if addr == "" {
+		return func() error { return nil }
+	}
+	bound, stop, err := obs.Serve(addr, obs.Default, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("metrics on http://%s/metrics", bound)
+	return stop
+}
 
 func main() {
 	log.SetFlags(0)
@@ -62,6 +77,7 @@ func serve(args []string) {
 	dialect := fs.String("dialect", "standard", "wire dialect")
 	reject := fs.Bool("reject", false, "reset connections after the first APDU (the Fig. 9 pathology)")
 	wander := fs.Duration("wander", 2*time.Second, "interval between spontaneous value updates (0 = static)")
+	metrics := fs.String("metrics", "", "serve Prometheus /metrics and /debug/vars on this address")
 	fs.Parse(args)
 
 	rtu := station.NewOutstation(uint16(*ca))
@@ -78,6 +94,10 @@ func serve(args []string) {
 	rtu.AddPoint(station.PointDef{IOA: 3001, Type: iec104.MDpNa, Value: 2})
 	rtu.AddPoint(station.PointDef{IOA: 7001, Type: iec104.CSeNc, Value: 62})
 
+	if *metrics != "" {
+		rtu.Instrument(obs.Default, nil)
+		defer serveMetrics(*metrics)()
+	}
 	addr, err := rtu.Listen(*listen)
 	if err != nil {
 		log.Fatal(err)
@@ -115,6 +135,7 @@ func poll(args []string) {
 	dialect := fs.String("dialect", "standard", "wire dialect")
 	setpoint := fs.String("setpoint", "", "send one setpoint as ioa=value and exit")
 	tail := fs.Duration("tail", 10*time.Second, "how long to tail spontaneous reports")
+	metrics := fs.String("metrics", "", "serve Prometheus /metrics and /debug/vars on this address")
 	fs.Parse(args)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -126,6 +147,10 @@ func poll(args []string) {
 		log.Fatal(err)
 	}
 	defer cs.Close()
+	if *metrics != "" {
+		cs.Instrument(obs.Default, nil)
+		defer serveMetrics(*metrics)()
+	}
 	cs.OnMeasurement = func(m station.Measurement) {
 		fmt.Printf("%s ioa=%-6d %-10s v=%-10.3f cause=%s\n",
 			m.At.Format("15:04:05.000"), m.IOA, m.Type.Acronym(), m.Value, m.Cause)

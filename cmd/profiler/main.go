@@ -1,13 +1,15 @@
 // Command profiler runs the paper's full measurement pipeline over a
 // capture and prints every §6 report: flow taxonomy, compliance and
 // dialect detection, session clusters, Markov chains with the
-// outstation classification, the ASDU type distribution, and the
-// physical-measurement ranking.
+// outstation classification, the ASDU type distribution, the
+// physical-measurement ranking, and the pipeline's own observability
+// stats (per-stage wall time and metric counters).
 //
 // Usage:
 //
 //	profiler capture.pcap
 //	profiler -report flows,markov capture.pcap
+//	profiler -report stats -journal events.jsonl capture.pcap
 package main
 
 import (
@@ -15,29 +17,50 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"uncharted/internal/core"
+	"uncharted/internal/obs"
 	"uncharted/internal/topology"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("profiler: ")
 
-	reports := flag.String("report", "flows,compliance,clusters,markov,types,physical,timing",
+	reports := flag.String("report", "flows,compliance,clusters,markov,types,physical,timing,stats",
 		"comma-separated reports to print")
 	names := flag.Bool("names", true, "label addresses with the simulated topology's names (C1, O30, ...)")
+	journalPath := flag.String("journal", "", "append structured pipeline events to this JSONL file")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: profiler [-report list] capture.pcap")
+		log.Print("usage: profiler [-report list] [-journal events.jsonl] capture.pcap")
+		return 2
 	}
 
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	defer f.Close()
+
+	var journal *obs.Journal
+	if *journalPath != "" {
+		jf, err := os.Create(*journalPath)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer jf.Close()
+		journal = obs.NewJournal(jf)
+	}
 
 	var analyzer *core.Analyzer
 	if *names {
@@ -45,8 +68,15 @@ func main() {
 	} else {
 		analyzer = core.NewAnalyzer(nil)
 	}
+	reg := obs.NewRegistry()
+	analyzer.Instrument(reg, journal)
+
+	exit := 0
 	if err := analyzer.ReadPCAP(f); err != nil {
-		log.Fatal(err)
+		// A truncated or partially corrupt capture still carries data:
+		// report what parsed, but exit non-zero so scripts notice.
+		fmt.Fprintf(os.Stderr, "profiler: warning: capture read stopped early: %v (reporting partial results)\n", err)
+		exit = 1
 	}
 
 	first, last := analyzer.CaptureWindow()
@@ -84,6 +114,104 @@ func main() {
 	if want["timing"] {
 		printTiming(analyzer)
 	}
+	if want["stats"] {
+		printStats(reg, journal)
+	}
+	if err := journal.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "profiler: warning: journal write failed: %v\n", err)
+		if exit == 0 {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// printStats renders the observability registry: per-stage wall-time
+// breakdown, then every counter (the malformed-frame causes and
+// strict-invalid dialects appear here as labeled series), then
+// histogram summaries.
+func printStats(reg *obs.Registry, journal *obs.Journal) {
+	snap := reg.Snapshot()
+	fmt.Println("== Pipeline stats (observability registry) ==")
+
+	if len(snap.Stages) > 0 {
+		fmt.Println("stage timings:")
+		fmt.Printf("  %-16s %10s %12s %12s %12s %12s\n", "stage", "calls", "total", "mean", "min", "max")
+		for _, st := range snap.Stages {
+			fmt.Printf("  %-16s %10d %12s %12s %12s %12s\n",
+				st.Name, st.Count, roundDur(st.Total), roundDur(st.Mean), roundDur(st.Min), roundDur(st.Max))
+		}
+	}
+
+	fmt.Println("counters:")
+	for _, c := range snap.Counters {
+		fmt.Printf("  %-46s %10d\n", c.Name+labelSuffix(c.Labels), c.Value)
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Println("gauges:")
+		for _, g := range snap.Gauges {
+			fmt.Printf("  %-46s %10g\n", g.Name+labelSuffix(g.Labels), g.Value)
+		}
+	}
+	var histograms []obs.HistogramSnapshot
+	for _, h := range snap.Histograms {
+		if h.Name != obs.StageDurationMetric { // stages are summarised above
+			histograms = append(histograms, h)
+		}
+	}
+	if len(histograms) > 0 {
+		fmt.Println("histograms:")
+		for _, h := range histograms {
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Printf("  %-46s n=%-8d sum=%-12.4g mean=%.4g\n",
+				h.Name+labelSuffix(h.Labels), h.Count, h.Sum, mean)
+		}
+	}
+	if counts := journal.Counts(); len(counts) > 0 {
+		types := make([]string, 0, len(counts))
+		for t := range counts {
+			types = append(types, string(t))
+		}
+		sort.Strings(types)
+		fmt.Println("journal events:")
+		for _, t := range types {
+			fmt.Printf("  %-46s %10d\n", t, counts[obs.EventType(t)])
+		}
+	}
+	fmt.Println()
+}
+
+// labelSuffix renders metric labels as {k=v,...} for the stats report.
+func labelSuffix(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteByte('=')
+		b.WriteString(labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// roundDur trims a duration to a readable precision.
+func roundDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	}
+	return d.String()
 }
 
 func printTiming(a *core.Analyzer) {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"uncharted/internal/iec104"
+	"uncharted/internal/obs"
 	"uncharted/internal/pcap"
 	"uncharted/internal/physical"
 	"uncharted/internal/tcpflow"
@@ -96,6 +97,12 @@ type Analyzer struct {
 	// paper found repeated U16/U32 tokens were TCP retransmissions,
 	// not endpoint behaviour). The ablation bench flips this off.
 	DedupRetransmissions bool
+
+	// metrics and journal are nil until Instrument attaches them; every
+	// note* helper and Journal.Log is nil-safe, so the uninstrumented
+	// hot path pays only a pointer test.
+	metrics *analyzerMetrics
+	journal *obs.Journal
 }
 
 // StationCompliance is the §6.1 verdict for one endpoint.
@@ -140,6 +147,18 @@ func NewAnalyzer(names map[netip.Addr]string) *Analyzer {
 	return a
 }
 
+// Instrument books the analyzer's counters into reg, instruments the
+// flow tracker, and attaches an optional event journal. Either argument
+// may be nil; ReadPCAP additionally instruments the capture reader and
+// books per-stage wall time once a registry is attached.
+func (a *Analyzer) Instrument(reg *obs.Registry, j *obs.Journal) {
+	if reg != nil {
+		a.metrics = newAnalyzerMetrics(reg)
+		a.tracker.Instrument(reg)
+	}
+	a.journal = j
+}
+
 // NamesFromTopology builds the address book of the simulated network.
 func NamesFromTopology(net *topology.Network) map[netip.Addr]string {
 	m := make(map[netip.Addr]string)
@@ -163,9 +182,11 @@ func (a *Analyzer) Name(addr netip.Addr) string {
 // FeedPacket ingests one decoded TCP packet.
 func (a *Analyzer) FeedPacket(pkt pcap.Packet) {
 	a.Packets++
-	if pkt.TCP.SrcPort == IEC104Port || pkt.TCP.DstPort == IEC104Port {
+	iec := pkt.TCP.SrcPort == IEC104Port || pkt.TCP.DstPort == IEC104Port
+	if iec {
 		a.IECPackets++
 	}
+	a.metrics.notePacket(iec)
 	a.tracker.Feed(pkt)
 	a.sessions.Feed(pkt)
 }
@@ -191,7 +212,9 @@ func (a *Analyzer) OnPayload(sp tcpflow.StreamPayload) {
 		// endpoint behaviour (§6.3.1). The bytes bypass the framing
 		// buffer so they cannot desynchronise the live stream.
 		for buf := sp.Raw; len(buf) > 0; {
-			frame, rest, ok := nextFrame(buf)
+			// Resyncs inside a replay re-skip bytes the live stream
+			// already counted, so they stay out of the metrics.
+			frame, rest, _, ok := nextFrame(buf)
 			if !ok {
 				break
 			}
@@ -213,7 +236,13 @@ func (a *Analyzer) OnPayload(sp tcpflow.StreamPayload) {
 	}
 	st.buf = append(st.buf, sp.Data...)
 	for {
-		frame, rest, ok := nextFrame(st.buf)
+		frame, rest, skipped, ok := nextFrame(st.buf)
+		if skipped > 0 {
+			a.metrics.noteResync(skipped)
+			a.journalEvent(sp.Time, obs.EventResync, key, map[string]any{
+				"skipped_bytes": skipped,
+			})
+		}
 		if !ok {
 			st.buf = rest
 			return
@@ -224,8 +253,10 @@ func (a *Analyzer) OnPayload(sp tcpflow.StreamPayload) {
 }
 
 // nextFrame extracts one APDU from the front of buf. It resynchronises
-// on 0x68 if leading garbage is present.
-func nextFrame(buf []byte) (frame, rest []byte, ok bool) {
+// on 0x68 if leading garbage is present; skipped reports how many bytes
+// were discarded doing so (including a false start byte on a corrupt
+// length octet).
+func nextFrame(buf []byte) (frame, rest []byte, skipped int, ok bool) {
 	// Drop bytes until a start byte.
 	i := 0
 	for i < len(buf) && buf[i] != iec104.StartByte {
@@ -233,17 +264,17 @@ func nextFrame(buf []byte) (frame, rest []byte, ok bool) {
 	}
 	buf = buf[i:]
 	if len(buf) < 2 {
-		return nil, buf, false
+		return nil, buf, i, false
 	}
 	total := 2 + int(buf[1])
 	if int(buf[1]) < 4 {
 		// Corrupt length; skip the false start byte.
-		return nil, buf[1:], false
+		return nil, buf[1:], i + 1, false
 	}
 	if len(buf) < total {
-		return nil, buf, false
+		return nil, buf, i, false
 	}
-	return buf[:total], buf[total:], true
+	return buf[:total], buf[total:], i, true
 }
 
 // consumeFrame parses one APDU and updates every accumulator. st
@@ -260,9 +291,18 @@ func (a *Analyzer) consumeFrame(sp tcpflow.StreamPayload, frame []byte, st *endp
 	apdus, err := a.parser.Parse(srcAddr.String(), frame)
 	if err != nil || len(apdus) == 0 {
 		a.ParseErrors++
+		if a.metrics != nil || a.journal != nil {
+			cause := parseErrorCause(err)
+			a.metrics.noteParseError(cause)
+			a.journalEvent(sp.Time, obs.EventParseError, connLabel(sp), map[string]any{
+				"cause":     cause,
+				"frame_len": len(frame),
+			})
+		}
 		return
 	}
 	apdu := apdus[0]
+	a.metrics.noteFrame(apdu.Format)
 
 	if apdu.Format == iec104.FormatI {
 		// Record the strict-parser verdict for the compliance report.
@@ -270,21 +310,54 @@ func (a *Analyzer) consumeFrame(sp tcpflow.StreamPayload, frame []byte, st *endp
 		// the verdict is a constant of the dialect — running the full
 		// 5-profile detection per frame would dominate large-capture
 		// analysis time for no information.
+		strictInvalid := false
 		if sc.Detected {
 			if !sc.Profile.IsStandard() {
 				sc.StrictInvalid++
+				strictInvalid = true
 			}
 		} else if !strictPlausible(frame) {
 			sc.StrictInvalid++
+			strictInvalid = true
 		}
 		if p, ok := a.parser.ProfileFor(srcAddr.String()); ok {
+			newlyDetected := !sc.Detected
+			// A flip is the station settling on a legacy dialect, or a
+			// pinned dialect changing; first detection of the standard
+			// profile is the expected case, not a flip.
+			flipped := (newlyDetected && !p.IsStandard()) ||
+				(!newlyDetected && sc.Profile != p)
 			sc.Profile = p
 			sc.Detected = true
+			if newlyDetected || flipped {
+				a.journalEvent(sp.Time, obs.EventConnState, connLabel(sp), map[string]any{
+					"state":   "dialect_detected",
+					"station": sc.Name,
+					"dialect": p.String(),
+				})
+			}
+			if flipped {
+				a.metrics.noteFlip()
+			}
+		}
+		if strictInvalid && a.metrics != nil {
+			// Label by the dialect that rescued the frame; detection
+			// above may have just pinned it.
+			dialect := "undetected"
+			if sc.Detected {
+				dialect = sc.Profile.String()
+			}
+			a.metrics.noteStrictInvalid(dialect)
 		}
 		// N(S) continuity per flow direction.
 		if st != nil {
 			if st.nsSeen && apdu.SendSeq != st.nextNS {
 				a.SeqAnomalies++
+				a.metrics.noteSeqAnomaly()
+				a.journalEvent(sp.Time, obs.EventSeqAnomaly, connLabel(sp), map[string]any{
+					"expected_ns": st.nextNS,
+					"got_ns":      apdu.SendSeq,
+				})
 			}
 			st.nsSeen = true
 			st.nextNS = (apdu.SendSeq + 1) & 0x7FFF
@@ -372,11 +445,19 @@ func (a *Analyzer) complianceFor(addr netip.Addr) *StationCompliance {
 // ReadPCAP runs the whole pipeline over a capture stream in either
 // classic pcap or pcapng format. Packets that are not IPv4/TCP are
 // skipped (taps also carry ARP, ICCP, C37.118 and other plant traffic
-// the paper leaves to future work).
+// the paper leaves to future work). When the analyzer is instrumented,
+// the capture reader is instrumented too and the read / decode / feed
+// stages are individually timed.
 func (a *Analyzer) ReadPCAP(r io.Reader) error {
 	pr, err := pcap.NewAutoReader(r)
 	if err != nil {
 		return err
+	}
+	if a.metrics != nil {
+		if ir, ok := pr.(interface{ Instrument(*obs.Registry) }); ok {
+			ir.Instrument(a.metrics.reg)
+		}
+		return a.readInstrumented(pr)
 	}
 	for {
 		data, ci, err := pr.ReadPacket()
@@ -391,6 +472,38 @@ func (a *Analyzer) ReadPCAP(r io.Reader) error {
 			continue
 		}
 		a.FeedPacket(pkt)
+	}
+}
+
+// readInstrumented is ReadPCAP's loop with per-stage wall-time
+// accounting. The clock reads live here — not in FeedPacket — so the
+// FeedPacket hot path itself stays free of timing overhead.
+func (a *Analyzer) readInstrumented(pr pcap.PacketReader) error {
+	var (
+		readStage   = a.metrics.reg.Stage(StagePcapRead)
+		decodeStage = a.metrics.reg.Stage(StagePcapDecode)
+		feedStage   = a.metrics.reg.Stage(StageAnalyzeFeed)
+	)
+	for {
+		t0 := time.Now()
+		data, ci, err := pr.ReadPacket()
+		readStage.Observe(time.Since(t0))
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("core: reading capture: %w", err)
+		}
+		t0 = time.Now()
+		pkt, err := pcap.DecodePacket(pr.LinkType(), ci, data)
+		decodeStage.Observe(time.Since(t0))
+		if err != nil {
+			a.metrics.noteDecodeError()
+			continue
+		}
+		t0 = time.Now()
+		a.FeedPacket(pkt)
+		feedStage.Observe(time.Since(t0))
 	}
 }
 

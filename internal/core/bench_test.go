@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"uncharted/internal/obs"
+	"uncharted/internal/pcap"
+	"uncharted/internal/scadasim"
+	"uncharted/internal/topology"
+)
+
+// benchPackets synthesizes a capture once and pre-decodes it, so the
+// benchmark loop measures FeedPacket alone.
+var benchPackets []pcap.Packet
+
+func loadBenchPackets(b *testing.B) []pcap.Packet {
+	if benchPackets != nil {
+		return benchPackets
+	}
+	cfg := scadasim.DefaultConfig(topology.Y1, 3)
+	cfg.Duration = 2 * time.Minute
+	cfg.CyclePeriod = time.Minute
+	sim, err := scadasim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePCAP(&buf); err != nil {
+		b.Fatal(err)
+	}
+	r, err := pcap.NewAutoReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for {
+		data, ci, err := r.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkt, err := pcap.DecodePacket(r.LinkType(), ci, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchPackets = append(benchPackets, pkt)
+	}
+	return benchPackets
+}
+
+func feedAll(b *testing.B, instrument bool) {
+	pkts := loadBenchPackets(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewAnalyzer(nil)
+		if instrument {
+			a.Instrument(obs.NewRegistry(), nil)
+		}
+		for _, pkt := range pkts {
+			a.FeedPacket(pkt)
+		}
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(len(pkts)*b.N)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkFeedPacket is the uninstrumented baseline.
+func BenchmarkFeedPacket(b *testing.B) { feedAll(b, false) }
+
+// BenchmarkFeedPacketInstrumented measures the same workload with the
+// metrics registry attached; the acceptance budget is within 5% of the
+// baseline.
+func BenchmarkFeedPacketInstrumented(b *testing.B) { feedAll(b, true) }

@@ -20,29 +20,35 @@ func mustFrame(t *testing.T) []byte {
 
 func TestNextFrameExact(t *testing.T) {
 	frame := mustFrame(t)
-	got, rest, ok := nextFrame(frame)
-	if !ok || !bytes.Equal(got, frame) || len(rest) != 0 {
-		t.Fatalf("ok=%v got=%d rest=%d", ok, len(got), len(rest))
+	got, rest, skipped, ok := nextFrame(frame)
+	if !ok || !bytes.Equal(got, frame) || len(rest) != 0 || skipped != 0 {
+		t.Fatalf("ok=%v got=%d rest=%d skipped=%d", ok, len(got), len(rest), skipped)
 	}
 }
 
 func TestNextFramePartial(t *testing.T) {
 	frame := mustFrame(t)
-	_, rest, ok := nextFrame(frame[:4])
+	_, rest, skipped, ok := nextFrame(frame[:4])
 	if ok {
 		t.Fatal("partial frame extracted")
 	}
 	if len(rest) != 4 {
 		t.Fatalf("partial buffer trimmed to %d", len(rest))
 	}
+	if skipped != 0 {
+		t.Fatalf("skipped %d bytes of a clean partial frame", skipped)
+	}
 }
 
 func TestNextFrameSkipsLeadingGarbage(t *testing.T) {
 	frame := mustFrame(t)
 	buf := append([]byte{0x00, 0x11, 0x22}, frame...)
-	got, rest, ok := nextFrame(buf)
+	got, rest, skipped, ok := nextFrame(buf)
 	if !ok || !bytes.Equal(got, frame) || len(rest) != 0 {
 		t.Fatalf("resync failed: ok=%v got=%d rest=%d", ok, len(got), len(rest))
+	}
+	if skipped != 3 {
+		t.Fatalf("skipped = %d, want 3", skipped)
 	}
 }
 
@@ -51,13 +57,19 @@ func TestNextFrameBadLengthResync(t *testing.T) {
 	// A false 0x68 followed by a too-small length, then a real frame.
 	buf := append([]byte{0x68, 0x01}, frame...)
 	// First call drops the false start byte.
-	_, rest, ok := nextFrame(buf)
+	_, rest, skipped, ok := nextFrame(buf)
 	if ok {
 		t.Fatal("corrupt header extracted")
 	}
-	got, rest2, ok := nextFrame(rest)
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1 (the false start byte)", skipped)
+	}
+	got, rest2, skipped, ok := nextFrame(rest)
 	if !ok || !bytes.Equal(got, frame) || len(rest2) != 0 {
 		t.Fatalf("second resync failed: ok=%v", ok)
+	}
+	if skipped != 1 {
+		t.Fatalf("second skipped = %d, want 1 (the stray length octet)", skipped)
 	}
 }
 
@@ -66,7 +78,7 @@ func TestNextFrameMultiple(t *testing.T) {
 	buf := append(append([]byte{}, frame...), frame...)
 	n := 0
 	for {
-		got, rest, ok := nextFrame(buf)
+		got, rest, _, ok := nextFrame(buf)
 		if !ok {
 			break
 		}

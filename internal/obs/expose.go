@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one TYPE line per family, HELP
+// where registered, histograms with cumulative le buckets plus _sum
+// and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	r.mu.RLock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	seen := map[string]bool{}
+	header := func(name string, typ MetricType) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		if h := help[name]; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, strings.ReplaceAll(h, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, typ)
+	}
+	for _, c := range snap.Counters {
+		header(c.Name, TypeCounter)
+		fmt.Fprintf(&b, "%s%s %d\n", c.Name, labelString(c.Labels), c.Value)
+	}
+	for _, g := range snap.Gauges {
+		header(g.Name, TypeGauge)
+		fmt.Fprintf(&b, "%s%s %s\n", g.Name, labelString(g.Labels), formatFloat(g.Value))
+	}
+	for _, h := range snap.Histograms {
+		header(h.Name, TypeHistogram)
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket%s %d\n",
+				h.Name, labelString(append(append([]string(nil), h.Labels...), "le", formatFloat(bound))), cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		fmt.Fprintf(&b, "%s_bucket%s %d\n",
+			h.Name, labelString(append(append([]string(nil), h.Labels...), "le", "+Inf")), cum)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", h.Name, labelString(h.Labels), formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", h.Name, labelString(h.Labels), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// varsPayload is the expvar-style JSON document served at /debug/vars.
+type varsPayload struct {
+	Metrics  Snapshot            `json:"metrics"`
+	Journal  map[EventType]int64 `json:"journal_events,omitempty"`
+	MemStats *runtime.MemStats   `json:"memstats,omitempty"`
+}
+
+// WriteJSON renders an expvar-style JSON snapshot of the registry
+// (plus runtime memstats, mirroring the stdlib expvar handler).
+// journal may be nil.
+func (r *Registry) WriteJSON(w io.Writer, journal *Journal) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(varsPayload{
+		Metrics:  r.Snapshot(),
+		Journal:  journal.Counts(),
+		MemStats: &ms,
+	})
+}
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics     Prometheus text exposition
+//	/debug/vars  expvar-style JSON (metrics + memstats)
+//	/            a plain-text index
+//
+// journal may be nil; when set, its per-type event counts are included
+// in the JSON document.
+func Handler(r *Registry, journal *Journal) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteJSON(w, journal)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "uncharted observability endpoint\n\n/metrics     Prometheus text format\n/debug/vars  expvar-style JSON\n")
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for Handler(r, journal) on addr and
+// returns the bound address (useful with ":0") plus a shutdown
+// function. The server runs until the shutdown function is called.
+func Serve(addr string, r *Registry, journal *Journal) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(r, journal)}
+	go srv.Serve(ln)
+	return ln.Addr(), srv.Close, nil
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHandler drives the HTTP endpoint end to end: /metrics serves
+// Prometheus text, /debug/vars serves the JSON snapshot with journal
+// counts.
+func TestHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total").Inc()
+	var sink strings.Builder
+	j := NewJournal(&sink)
+	j.Log(time.Now(), EventConnState, "c", nil)
+
+	srv := httptest.NewServer(Handler(reg, j))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "up_total 1") {
+		t.Errorf("metrics body missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics Snapshot            `json:"metrics"`
+		Journal map[EventType]int64 `json:"journal_events"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Metrics.Counters) != 1 || doc.Metrics.Counters[0].Value != 1 {
+		t.Errorf("vars counters = %+v", doc.Metrics.Counters)
+	}
+	if doc.Journal[EventConnState] != 1 {
+		t.Errorf("vars journal = %v", doc.Journal)
+	}
+
+	resp, err = http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", resp.StatusCode)
+	}
+}
+
+// TestServe checks the real listener path with addr ":0".
+func TestServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("serving").Set(1)
+	addr, stop, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "serving 1") {
+		t.Errorf("metrics body missing gauge:\n%s", body)
+	}
+}

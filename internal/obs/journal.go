@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventType names the structured events the pipeline journals.
+type EventType string
+
+// The event vocabulary. Every journal line carries exactly one of
+// these in its "type" field.
+const (
+	// EventParseError: an APDU failed tolerant parsing.
+	EventParseError EventType = "parse_error"
+	// EventResync: the framing layer skipped garbage to find a start
+	// byte.
+	EventResync EventType = "resync"
+	// EventSeqAnomaly: an I-frame's N(S) broke the per-direction
+	// sequence continuity.
+	EventSeqAnomaly EventType = "seq_anomaly"
+	// EventTimerFired: a protocol timer (T0-T3 or a deadline derived
+	// from one) drove an action.
+	EventTimerFired EventType = "timer_fired"
+	// EventConnState: a connection changed state (opened, activated,
+	// closed, dialect pinned, compliance flip).
+	EventConnState EventType = "conn_state"
+	// EventFailover: a redundancy group promoted its standby.
+	EventFailover EventType = "failover"
+)
+
+// Event is one journal entry.
+type Event struct {
+	// Time is the event timestamp: capture time for offline analysis,
+	// wall time for live endpoints. Zero means "now".
+	Time time.Time `json:"ts"`
+	// Type is the event's kind.
+	Type EventType `json:"type"`
+	// Conn identifies the connection or endpoint involved, when one
+	// is (e.g. "10.0.0.1:33012>10.0.1.30:2404" or a station name).
+	Conn string `json:"conn,omitempty"`
+	// Attrs carries event-specific fields. Keys marshal sorted, so
+	// journal lines are deterministic for a deterministic input.
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Journal is an append-only JSONL event log. A nil *Journal is a
+// valid no-op sink, so instrumented code can log unconditionally.
+type Journal struct {
+	mu     sync.Mutex
+	w      io.Writer
+	enc    *json.Encoder
+	counts map[EventType]int64
+	// writeErr remembers the first write failure; later events are
+	// counted but dropped.
+	writeErr error
+}
+
+// NewJournal writes events to w as one JSON object per line. Callers
+// own w's lifecycle (and any buffering/flushing).
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: w, enc: json.NewEncoder(w), counts: make(map[EventType]int64)}
+}
+
+// Log appends one event. Safe on a nil journal. A zero ts is replaced
+// with the current wall time.
+func (j *Journal) Log(ts time.Time, typ EventType, conn string, attrs map[string]any) {
+	if j == nil {
+		return
+	}
+	if ts.IsZero() {
+		ts = time.Now()
+	}
+	e := Event{Time: ts.UTC(), Type: typ, Conn: conn, Attrs: attrs}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.counts[typ]++
+	if j.writeErr != nil {
+		return
+	}
+	j.writeErr = j.enc.Encode(e)
+}
+
+// Counts returns how many events of each type were logged (including
+// any dropped by a write error). Nil-safe.
+func (j *Journal) Counts() map[EventType]int64 {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[EventType]int64, len(j.counts))
+	for k, v := range j.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Err returns the first write error, if any. Nil-safe.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.writeErr
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestJournalSchema checks the JSONL line shape: one object per line
+// with ts/type/conn/attrs, timestamps in UTC.
+func TestJournalSchema(t *testing.T) {
+	var b strings.Builder
+	j := NewJournal(&b)
+	ts := time.Date(2026, 7, 5, 9, 0, 0, 0, time.FixedZone("x", 3600))
+	j.Log(ts, EventResync, "10.0.0.1:1>10.0.1.2:2404", map[string]any{"skipped_bytes": 3})
+	j.Log(time.Time{}, EventFailover, "10.0.1.2:2404", nil)
+
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if e.Type != EventResync || e.Conn != "10.0.0.1:1>10.0.1.2:2404" {
+		t.Errorf("event = %+v", e)
+	}
+	if e.Attrs["skipped_bytes"] != float64(3) {
+		t.Errorf("attrs = %v", e.Attrs)
+	}
+	if e.Time.Location() != time.UTC || !e.Time.Equal(ts) {
+		t.Errorf("time = %v, want %v UTC", e.Time, ts)
+	}
+	var e2 Event
+	if err := json.Unmarshal([]byte(lines[1]), &e2); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if e2.Time.IsZero() {
+		t.Error("zero event time not replaced with wall time")
+	}
+
+	counts := j.Counts()
+	if counts[EventResync] != 1 || counts[EventFailover] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+// TestJournalNil checks that a nil journal accepts all calls.
+func TestJournalNil(t *testing.T) {
+	var j *Journal
+	j.Log(time.Now(), EventParseError, "x", nil)
+	if j.Counts() != nil || j.Err() != nil {
+		t.Error("nil journal should return nil counts and error")
+	}
+}
+
+// failingWriter fails every write after the first.
+type failingWriter struct {
+	n int
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 1 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+// TestJournalWriteError checks that the first write error sticks and
+// later events still count.
+func TestJournalWriteError(t *testing.T) {
+	j := NewJournal(&failingWriter{})
+	j.Log(time.Now(), EventResync, "", nil)
+	j.Log(time.Now(), EventResync, "", nil)
+	j.Log(time.Now(), EventResync, "", nil)
+	if j.Err() == nil {
+		t.Fatal("write error not recorded")
+	}
+	if j.Counts()[EventResync] != 3 {
+		t.Errorf("counts = %v, want resync=3", j.Counts())
+	}
+}
+
+// TestJournalConcurrent interleaves writers; run with -race.
+func TestJournalConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	lockedWriter := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	j := NewJournal(lockedWriter)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				j.Log(time.Now(), EventSeqAnomaly, "c", map[string]any{"i": i})
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("lines = %d, want 800", len(lines))
+	}
+	for _, l := range lines {
+		if !json.Valid([]byte(l)) {
+			t.Fatalf("interleaved line is not valid JSON: %q", l)
+		}
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

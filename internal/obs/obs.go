@@ -1,0 +1,443 @@
+// Package obs is the pipeline's zero-dependency observability layer:
+// a concurrency-safe metrics registry (counters, gauges, histograms
+// with fixed bucket layouts), named-stage wall-time accounting, a
+// structured JSONL event journal, and HTTP exposition in Prometheus
+// text format plus expvar-style JSON.
+//
+// Components that sit on hot paths resolve their metric handles once
+// (at Instrument time) and then pay only an atomic operation per
+// event, so instrumentation stays within a few percent of the
+// uninstrumented throughput.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MetricType distinguishes the registry's series kinds.
+type MetricType int
+
+// Metric types.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics; this is
+// not enforced on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates observations into fixed buckets. Bounds are
+// upper bounds of each bucket; an implicit +Inf bucket is appended.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64   // float64 bits
+	n      atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Fixed bucket layouts.
+var (
+	// DurationBuckets covers stage timings from 1µs to ~10s
+	// (seconds, exponential).
+	DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 2.5, 5, 10}
+	// SizeBuckets covers frame/payload sizes in bytes.
+	SizeBuckets = []float64{8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536}
+)
+
+// Stage aggregates wall time of one named pipeline stage: call count,
+// total, min and max, plus a duration histogram.
+type Stage struct {
+	name string
+	hist *Histogram
+
+	mu       sync.Mutex
+	count    int64
+	total    time.Duration
+	min, max time.Duration
+}
+
+// Observe records one stage execution.
+func (s *Stage) Observe(d time.Duration) {
+	s.hist.Observe(d.Seconds())
+	s.mu.Lock()
+	s.count++
+	s.total += d
+	if s.count == 1 || d < s.min {
+		s.min = d
+	}
+	if d > s.max {
+		s.max = d
+	}
+	s.mu.Unlock()
+}
+
+// Time runs fn, recording its wall time.
+func (s *Stage) Time(fn func()) {
+	start := time.Now()
+	fn()
+	s.Observe(time.Since(start))
+}
+
+// snapshot captures the stage's aggregate under its lock.
+func (s *Stage) snapshot() StageSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ss := StageSnapshot{Name: s.name, Count: s.count, Total: s.total, Min: s.min, Max: s.max}
+	if s.count > 0 {
+		ss.Mean = s.total / time.Duration(s.count)
+	}
+	return ss
+}
+
+// series is one (name, labels) time series.
+type series struct {
+	name   string
+	labels []string // alternating key, value
+	typ    MetricType
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// Registry is a concurrency-safe collection of metrics and stages.
+// The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series
+	help   map[string]string
+	stages map[string]*Stage
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		series: make(map[string]*series),
+		help:   make(map[string]string),
+		stages: make(map[string]*Stage),
+	}
+}
+
+// Default is the process-wide registry served by the -metrics
+// endpoints of the long-running commands.
+var Default = NewRegistry()
+
+// seriesKey builds the unique map key for (name, labels).
+func seriesKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0xff)
+		b.WriteString(l)
+	}
+	return b.String()
+}
+
+// lookup returns the series for (name, labels), creating it — with
+// its metric value, so snapshots never see a half-built series — on
+// first use. bounds is only consulted for histograms.
+func (r *Registry) lookup(name string, typ MetricType, labels []string, bounds []float64) *series {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list for %s: %v", name, labels))
+	}
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	s := r.series[key]
+	r.mu.RUnlock()
+	if s == nil {
+		r.mu.Lock()
+		if s = r.series[key]; s == nil {
+			s = &series{name: name, labels: append([]string(nil), labels...), typ: typ}
+			switch typ {
+			case TypeCounter:
+				s.c = &Counter{}
+			case TypeGauge:
+				s.g = &Gauge{}
+			case TypeHistogram:
+				s.h = newHistogram(bounds)
+			}
+			r.series[key] = s
+		}
+		r.mu.Unlock()
+	}
+	if s.typ != typ {
+		panic(fmt.Sprintf("obs: %s registered as %v, requested as %v", name, s.typ, typ))
+	}
+	return s
+}
+
+// Counter returns (registering on first use) the counter for name with
+// the given alternating label key/value pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.lookup(name, TypeCounter, labels, nil).c
+}
+
+// Gauge returns (registering on first use) the gauge for name.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.lookup(name, TypeGauge, labels, nil).g
+}
+
+// Histogram returns (registering on first use) the histogram for name
+// with the given bucket upper bounds. Bounds are fixed at first
+// registration; later calls reuse the existing layout.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	return r.lookup(name, TypeHistogram, labels, bounds).h
+}
+
+// SetHelp attaches a HELP string to a metric family name.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// StageDurationMetric is the histogram family every stage feeds.
+const StageDurationMetric = "uncharted_stage_duration_seconds"
+
+// Stage returns (registering on first use) the named stage accumulator.
+// Resolve once and call Observe on hot paths.
+func (r *Registry) Stage(name string) *Stage {
+	r.mu.RLock()
+	st := r.stages[name]
+	r.mu.RUnlock()
+	if st != nil {
+		return st
+	}
+	h := r.Histogram(StageDurationMetric, DurationBuckets, "stage", name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st = r.stages[name]; st == nil {
+		st = &Stage{name: name, hist: h}
+		r.stages[name] = st
+	}
+	return st
+}
+
+// Timer starts timing one execution of a named stage and returns the
+// stop function: `defer reg.Timer("analyzer.feed")()`.
+func (r *Registry) Timer(stage string) func() {
+	st := r.Stage(stage)
+	start := time.Now()
+	return func() { st.Observe(time.Since(start)) }
+}
+
+// CounterSnapshot is one counter's point-in-time state.
+type CounterSnapshot struct {
+	Name   string   `json:"name"`
+	Labels []string `json:"labels,omitempty"`
+	Value  int64    `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's point-in-time state.
+type GaugeSnapshot struct {
+	Name   string   `json:"name"`
+	Labels []string `json:"labels,omitempty"`
+	Value  float64  `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's point-in-time state. Counts are
+// per-bucket (not cumulative); the last entry is the +Inf bucket.
+type HistogramSnapshot struct {
+	Name   string    `json:"name"`
+	Labels []string  `json:"labels,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// StageSnapshot is one stage's aggregate timing.
+type StageSnapshot struct {
+	Name  string        `json:"name"`
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Snapshot is a consistent-enough point-in-time view of the registry:
+// each series is read atomically; a histogram's bucket counts are read
+// before its total, so Count may briefly exceed the bucket sum under
+// concurrent writes but never the reverse.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters,omitempty"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	Stages     []StageSnapshot     `json:"stages,omitempty"`
+}
+
+// Snapshot captures every series, sorted by (name, labels).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	stages := make([]*Stage, 0, len(r.stages))
+	for _, st := range r.stages {
+		stages = append(stages, st)
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return labelString(all[i].labels) < labelString(all[j].labels)
+	})
+	sort.Slice(stages, func(i, j int) bool { return stages[i].name < stages[j].name })
+
+	var snap Snapshot
+	for _, s := range all {
+		switch s.typ {
+		case TypeCounter:
+			snap.Counters = append(snap.Counters, CounterSnapshot{
+				Name: s.name, Labels: s.labels, Value: s.c.Value(),
+			})
+		case TypeGauge:
+			snap.Gauges = append(snap.Gauges, GaugeSnapshot{
+				Name: s.name, Labels: s.labels, Value: s.g.Value(),
+			})
+		case TypeHistogram:
+			hs := HistogramSnapshot{
+				Name: s.name, Labels: s.labels,
+				Bounds: append([]float64(nil), s.h.bounds...),
+				Counts: make([]uint64, len(s.h.counts)),
+			}
+			for i := range s.h.counts {
+				hs.Counts[i] = s.h.counts[i].Load()
+			}
+			hs.Count = s.h.Count()
+			hs.Sum = s.h.Sum()
+			snap.Histograms = append(snap.Histograms, hs)
+		}
+	}
+	for _, st := range stages {
+		snap.Stages = append(snap.Stages, st.snapshot())
+	}
+	return snap
+}
+
+// labelString renders labels as {k="v",...} (empty for none).
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines; run
+// with -race this also proves the registry lookup path is safe.
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("test_total", "worker", "shared")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("test_total", "worker", "shared").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestHistogramConcurrent checks bucket assignment and totals under
+// concurrent observation.
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	bounds := []float64{1, 10, 100}
+	const workers, perWorker = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := reg.Histogram("test_hist", bounds)
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(w%4) * 30) // 0, 30, 60, 90: buckets le=1 and le=100
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := reg.Histogram("test_hist", bounds)
+	if h.Count() != workers*perWorker {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	snap := reg.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms in snapshot = %d, want 1", len(snap.Histograms))
+	}
+	hs := snap.Histograms[0]
+	// w%4==0 lands in le=1 (value 0); the rest in le=100 (30, 60, 90).
+	if hs.Counts[0] != 2*perWorker {
+		t.Errorf("le=1 bucket = %d, want %d", hs.Counts[0], 2*perWorker)
+	}
+	if hs.Counts[2] != 6*perWorker {
+		t.Errorf("le=100 bucket = %d, want %d", hs.Counts[2], 6*perWorker)
+	}
+	if hs.Counts[3] != 0 {
+		t.Errorf("+Inf bucket = %d, want 0", hs.Counts[3])
+	}
+}
+
+// TestGauge checks Set/Add round-trips.
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("test_gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+// TestSnapshotConsistency takes snapshots while writers are running:
+// a histogram's bucket sum must never exceed its count (buckets are
+// read before the total).
+func TestSnapshotConsistency(t *testing.T) {
+	reg := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := reg.Histogram("busy_hist", []float64{1, 2})
+			c := reg.Counter("busy_total")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(1.5)
+				c.Inc()
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		snap := reg.Snapshot()
+		for _, hs := range snap.Histograms {
+			var sum uint64
+			for _, n := range hs.Counts {
+				sum += n
+			}
+			if sum > hs.Count {
+				t.Fatalf("bucket sum %d exceeds count %d", sum, hs.Count)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestStage checks the aggregate wall-time accounting.
+func TestStage(t *testing.T) {
+	reg := NewRegistry()
+	st := reg.Stage("test.stage")
+	st.Observe(10 * time.Millisecond)
+	st.Observe(30 * time.Millisecond)
+	snap := reg.Snapshot()
+	if len(snap.Stages) != 1 {
+		t.Fatalf("stages = %d, want 1", len(snap.Stages))
+	}
+	ss := snap.Stages[0]
+	if ss.Name != "test.stage" || ss.Count != 2 {
+		t.Fatalf("stage snapshot = %+v", ss)
+	}
+	if ss.Total != 40*time.Millisecond || ss.Mean != 20*time.Millisecond {
+		t.Errorf("total=%v mean=%v, want 40ms/20ms", ss.Total, ss.Mean)
+	}
+	if ss.Min != 10*time.Millisecond || ss.Max != 30*time.Millisecond {
+		t.Errorf("min=%v max=%v, want 10ms/30ms", ss.Min, ss.Max)
+	}
+	// The stage also feeds the shared duration histogram family.
+	found := false
+	for _, hs := range snap.Histograms {
+		if hs.Name == StageDurationMetric && hs.Count == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("stage duration histogram missing from snapshot")
+	}
+}
+
+// TestWritePrometheus pins the exposition format on a small fixed
+// registry (the golden output a scraper must be able to parse).
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetHelp("app_requests_total", "Requests served.")
+	reg.Counter("app_requests_total", "code", "200").Add(3)
+	reg.Counter("app_requests_total", "code", "500").Add(1)
+	reg.Gauge("app_temperature").Set(36.6)
+	h := reg.Histogram("app_latency_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{code="200"} 3
+app_requests_total{code="500"} 1
+# TYPE app_temperature gauge
+app_temperature 36.6
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="1"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 5.55
+app_latency_seconds_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestLabelEscaping checks Prometheus label-value escaping.
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "path", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped series %q not found in:\n%s", want, b.String())
+	}
+}
+
+// TestTypeMismatchPanics pins the registration-conflict contract.
+func TestTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mixed_metric")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on counter re-registered as gauge")
+		}
+	}()
+	reg.Gauge("mixed_metric")
+}

@@ -1,0 +1,77 @@
+package pcap
+
+import (
+	"errors"
+	"io"
+
+	"uncharted/internal/obs"
+)
+
+// Metric names exported by instrumented readers.
+const (
+	MetricPacketsRead = "uncharted_pcap_packets_read_total"
+	MetricBytesRead   = "uncharted_pcap_bytes_read_total"
+	MetricTruncated   = "uncharted_pcap_truncated_records_total"
+)
+
+// readerMetrics holds the pre-resolved handles one reader updates.
+type readerMetrics struct {
+	packets *obs.Counter
+	bytes   *obs.Counter
+	// truncated by cause: a record header cut short, a record body cut
+	// short, or a record longer than the declared snap length.
+	truncHeader  *obs.Counter
+	truncBody    *obs.Counter
+	truncSnapLen *obs.Counter
+}
+
+func newReaderMetrics(reg *obs.Registry) *readerMetrics {
+	reg.SetHelp(MetricPacketsRead, "Capture records decoded from the pcap/pcapng stream.")
+	reg.SetHelp(MetricBytesRead, "Captured packet bytes read (capture lengths, not wire lengths).")
+	reg.SetHelp(MetricTruncated, "Records the reader could not fully read, by cause.")
+	return &readerMetrics{
+		packets:      reg.Counter(MetricPacketsRead),
+		bytes:        reg.Counter(MetricBytesRead),
+		truncHeader:  reg.Counter(MetricTruncated, "cause", "short_header"),
+		truncBody:    reg.Counter(MetricTruncated, "cause", "short_body"),
+		truncSnapLen: reg.Counter(MetricTruncated, "cause", "snaplen_exceeded"),
+	}
+}
+
+// noteRead books one successfully decoded record. Nil-safe.
+func (m *readerMetrics) noteRead(capLen int) {
+	if m == nil {
+		return
+	}
+	m.packets.Inc()
+	m.bytes.Add(int64(capLen))
+}
+
+// noteShortHeader books a record header cut off mid-read. Nil-safe.
+func (m *readerMetrics) noteShortHeader() {
+	if m != nil {
+		m.truncHeader.Inc()
+	}
+}
+
+// noteShortBody books a record body shorter than its declared capture
+// length — the classic symptom of a tap or disk filling up. Nil-safe.
+func (m *readerMetrics) noteShortBody() {
+	if m != nil {
+		m.truncBody.Inc()
+	}
+}
+
+// noteSnapLen books a record that claims more bytes than the declared
+// snap length allows. Nil-safe.
+func (m *readerMetrics) noteSnapLen() {
+	if m != nil {
+		m.truncSnapLen.Inc()
+	}
+}
+
+// truncated reports whether err looks like a cut-off record rather
+// than corrupt framing.
+func truncated(err error) bool {
+	return errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)
+}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"uncharted/internal/obs"
 )
 
 // Magic numbers of the classic libpcap file header.
@@ -47,6 +49,13 @@ type Reader struct {
 	snapLen   uint32
 	recHdr    [16]byte
 	packetNum int
+	metrics   *readerMetrics
+}
+
+// Instrument books per-record counters (packets, bytes, truncated
+// records) into reg under the uncharted_pcap_* names.
+func (r *Reader) Instrument(reg *obs.Registry) {
+	r.metrics = newReaderMetrics(reg)
 }
 
 // Errors returned by the reader.
@@ -93,6 +102,7 @@ func (r *Reader) ReadPacket() ([]byte, CaptureInfo, error) {
 		if err == io.EOF {
 			return nil, CaptureInfo{}, io.EOF
 		}
+		r.metrics.noteShortHeader()
 		return nil, CaptureInfo{}, fmt.Errorf("pcap: record %d header: %w", r.packetNum, err)
 	}
 	sec := r.order.Uint32(r.recHdr[0:4])
@@ -100,12 +110,17 @@ func (r *Reader) ReadPacket() ([]byte, CaptureInfo, error) {
 	capLen := r.order.Uint32(r.recHdr[8:12])
 	origLen := r.order.Uint32(r.recHdr[12:16])
 	if r.snapLen != 0 && capLen > r.snapLen {
+		r.metrics.noteSnapLen()
 		return nil, CaptureInfo{}, fmt.Errorf("%w: %d > %d", ErrSnapLen, capLen, r.snapLen)
 	}
 	data := make([]byte, capLen)
 	if _, err := io.ReadFull(r.r, data); err != nil {
+		if truncated(err) {
+			r.metrics.noteShortBody()
+		}
 		return nil, CaptureInfo{}, fmt.Errorf("pcap: record %d body: %w", r.packetNum, err)
 	}
+	r.metrics.noteRead(int(capLen))
 	nanos := int64(frac) * 1000
 	if r.nanos {
 		nanos = int64(frac)

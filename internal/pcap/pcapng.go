@@ -8,6 +8,8 @@ import (
 	"io"
 	"math"
 	"time"
+
+	"uncharted/internal/obs"
 )
 
 // pcapng block types.
@@ -28,7 +30,14 @@ type NgReader struct {
 	r     io.Reader
 	order binary.ByteOrder
 	// interfaces seen in the current section, in declaration order.
-	ifaces []ngInterface
+	ifaces  []ngInterface
+	metrics *readerMetrics
+}
+
+// Instrument books per-record counters (packets, bytes, truncated
+// records) into reg under the uncharted_pcap_* names.
+func (ng *NgReader) Instrument(reg *obs.Registry) {
+	ng.metrics = newReaderMetrics(reg)
 }
 
 type ngInterface struct {
@@ -210,6 +219,9 @@ func (ng *NgReader) ReadPacket() ([]byte, CaptureInfo, error) {
 	for {
 		typ, body, err := ng.readBlockHeader()
 		if err != nil {
+			if err != io.EOF && truncated(err) {
+				ng.metrics.noteShortBody()
+			}
 			return nil, CaptureInfo{}, err
 		}
 		switch typ {
@@ -222,9 +234,21 @@ func (ng *NgReader) ReadPacket() ([]byte, CaptureInfo, error) {
 				return nil, CaptureInfo{}, err
 			}
 		case blockEPB:
-			return ng.parseEPB(body)
+			data, ci, err := ng.parseEPB(body)
+			if err == nil {
+				ng.metrics.noteRead(ci.CaptureLength)
+			} else {
+				ng.metrics.noteShortHeader()
+			}
+			return data, ci, err
 		case blockSPB:
-			return ng.parseSPB(body)
+			data, ci, err := ng.parseSPB(body)
+			if err == nil {
+				ng.metrics.noteRead(ci.CaptureLength)
+			} else {
+				ng.metrics.noteShortHeader()
+			}
+			return data, ci, err
 		default:
 			// Name resolution, statistics, custom blocks: skip.
 		}

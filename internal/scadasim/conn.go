@@ -68,12 +68,14 @@ func (c *conn) emit(t time.Time, fromClient bool, flags uint8, payload []byte) {
 		}
 	}
 	c.recs = append(c.recs, r)
+	c.sim.metrics.noteRecord(flags&pcap.FlagRST != 0)
 	// TCP-level retransmission: duplicate the segment a beat later.
 	// This is what §6.3.1 found behind "repeated U16/U32" tokens.
 	if len(payload) > 0 && c.rng.Float64() < c.sim.cfg.RetransmitProb {
 		dup := r
 		dup.Time = t.Add(150*time.Millisecond + c.jitter(100*time.Millisecond))
 		c.recs = append(c.recs, dup)
+		c.sim.metrics.noteRetransDup()
 	}
 }
 
@@ -100,6 +102,7 @@ func (c *conn) apdu(a *iec104.APDU) []byte {
 	if err != nil {
 		panic("scadasim: " + err.Error())
 	}
+	c.sim.metrics.noteAPDU(a)
 	return b
 }
 

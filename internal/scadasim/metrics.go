@@ -1,0 +1,157 @@
+package scadasim
+
+import (
+	"time"
+
+	"uncharted/internal/iec104"
+	"uncharted/internal/obs"
+)
+
+// Metric names exported by an instrumented Simulator.
+const (
+	MetricConnections  = "uncharted_scadasim_connections_total"
+	MetricRecords      = "uncharted_scadasim_records_total"
+	MetricRetransDups  = "uncharted_scadasim_retransmit_dups_total"
+	MetricResets       = "uncharted_scadasim_rst_segments_total"
+	MetricAPDUs        = "uncharted_scadasim_apdus_total"
+	MetricTimerRedials = "uncharted_scadasim_t0_redials_total"
+	MetricTestFRPairs  = "uncharted_scadasim_testfr_acts_total"
+	MetricStartDTPairs = "uncharted_scadasim_startdt_acts_total"
+)
+
+// simMetrics holds the pre-resolved handles one Simulator updates.
+type simMetrics struct {
+	reg *obs.Registry
+
+	records     *obs.Counter
+	retransDups *obs.Counter
+	resets      *obs.Counter
+	apduI       *obs.Counter
+	apduS       *obs.Counter
+	apduU       *obs.Counter
+	t0Redials   *obs.Counter
+	testFRActs  *obs.Counter
+	startDTActs *obs.Counter
+}
+
+func newSimMetrics(reg *obs.Registry) *simMetrics {
+	reg.SetHelp(MetricConnections, "Synthesized TCP connections, by ground-truth role and pathology.")
+	reg.SetHelp(MetricRecords, "TCP segments written to the trace.")
+	reg.SetHelp(MetricRetransDups, "Segments duplicated to model TCP retransmission.")
+	reg.SetHelp(MetricResets, "RST segments emitted (the rejected-backup pathology).")
+	reg.SetHelp(MetricAPDUs, "IEC 104 APDUs synthesized, by APCI format.")
+	reg.SetHelp(MetricTimerRedials, "Backup re-dial attempts driven by the T0 connection timeout.")
+	reg.SetHelp(MetricTestFRPairs, "TESTFR act frames emitted (keep-alives).")
+	reg.SetHelp(MetricStartDTPairs, "STARTDT act frames emitted (transfer activations).")
+	return &simMetrics{
+		reg:         reg,
+		records:     reg.Counter(MetricRecords),
+		retransDups: reg.Counter(MetricRetransDups),
+		resets:      reg.Counter(MetricResets),
+		apduI:       reg.Counter(MetricAPDUs, "format", "i"),
+		apduS:       reg.Counter(MetricAPDUs, "format", "s"),
+		apduU:       reg.Counter(MetricAPDUs, "format", "u"),
+		t0Redials:   reg.Counter(MetricTimerRedials),
+		testFRActs:  reg.Counter(MetricTestFRPairs),
+		startDTActs: reg.Counter(MetricStartDTPairs),
+	}
+}
+
+// noteRecord books one emitted segment. Nil-safe.
+func (m *simMetrics) noteRecord(rst bool) {
+	if m == nil {
+		return
+	}
+	m.records.Inc()
+	if rst {
+		m.resets.Inc()
+	}
+}
+
+// noteRetransDup books one duplicated segment. Nil-safe.
+func (m *simMetrics) noteRetransDup() {
+	if m != nil {
+		m.retransDups.Inc()
+	}
+}
+
+// noteAPDU books one marshalled APDU. Nil-safe.
+func (m *simMetrics) noteAPDU(a *iec104.APDU) {
+	if m == nil {
+		return
+	}
+	switch a.Format {
+	case iec104.FormatI:
+		m.apduI.Inc()
+	case iec104.FormatS:
+		m.apduS.Inc()
+	case iec104.FormatU:
+		m.apduU.Inc()
+		switch a.U {
+		case iec104.UTestFRAct:
+			m.testFRActs.Inc()
+		case iec104.UStartDTAct:
+			m.startDTActs.Inc()
+		}
+	}
+}
+
+// noteT0Redial books one T0-driven reconnect attempt. Nil-safe.
+func (m *simMetrics) noteT0Redial() {
+	if m != nil {
+		m.t0Redials.Inc()
+	}
+}
+
+// noteConn books one finished connection under its ground-truth labels.
+// Connections are few, so the labeled series resolves lazily. Nil-safe.
+func (m *simMetrics) noteConn(truth ConnTruth) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(MetricConnections,
+		"role", roleLabel(truth.Role), "pathology", truthPathology(truth)).Inc()
+}
+
+// roleLabel renders a ConnRole for metric labels.
+func roleLabel(r ConnRole) string {
+	if r == RolePrimary {
+		return "primary"
+	}
+	return "secondary"
+}
+
+// truthPathology flattens a ConnTruth's behaviour flags into one label.
+func truthPathology(t ConnTruth) string {
+	switch {
+	case t.Rejected:
+		return "rejected"
+	case t.Silent:
+		return "silent"
+	case t.Testing:
+		return "testing"
+	case t.Switchover:
+		return "switchover"
+	}
+	return "none"
+}
+
+// journalConn emits a conn_state event describing one flushed
+// connection. Nil-safe via Journal.Log.
+func (s *Simulator) journalConn(c *conn, truth ConnTruth) {
+	if s.journal == nil {
+		return
+	}
+	ts := time.Time{}
+	if len(c.recs) > 0 {
+		ts = c.recs[len(c.recs)-1].Time
+	}
+	s.journal.Log(ts, obs.EventConnState, c.client.String()+">"+c.server.String(), map[string]any{
+		"state":      "flushed",
+		"server":     truth.Server,
+		"outstation": truth.Outstation,
+		"role":       roleLabel(truth.Role),
+		"pathology":  truthPathology(truth),
+		"records":    len(c.recs),
+	})
+}

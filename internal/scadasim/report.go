@@ -293,4 +293,6 @@ func absFloat(f float64) float64 {
 func (s *Simulator) flush(c *conn, truth ConnTruth) {
 	s.records = append(s.records, c.recs...)
 	s.truth.Connections = append(s.truth.Connections, truth)
+	s.metrics.noteConn(truth)
+	s.journalConn(c, truth)
 }

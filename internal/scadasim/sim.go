@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"uncharted/internal/iec104"
+	"uncharted/internal/obs"
 	"uncharted/internal/topology"
 )
 
@@ -98,6 +99,19 @@ type Simulator struct {
 
 	nextPort uint16
 	records  []Record
+
+	metrics *simMetrics
+	journal *obs.Journal
+}
+
+// Instrument books the simulator's generation counters into reg and
+// attaches an optional event journal. Call before Run; either argument
+// may be nil.
+func (s *Simulator) Instrument(reg *obs.Registry, j *obs.Journal) {
+	if reg != nil {
+		s.metrics = newSimMetrics(reg)
+	}
+	s.journal = j
 }
 
 // New builds a simulator over the paper's topology.
@@ -278,6 +292,17 @@ func (s *Simulator) generateRejected(o *topology.Outstation, sid topology.Server
 	attempt := 0
 	for t := first; t.Before(s.end()); t = t.Add(interval) {
 		c := newConn(s, serverAddr, s.port(), o)
+		if attempt > 0 {
+			// Every attempt after the first is a T0-expiry-driven
+			// reconnect of the same logical backup channel.
+			s.metrics.noteT0Redial()
+			s.journal.Log(t, obs.EventTimerFired, c.client.String()+">"+c.server.String(), map[string]any{
+				"timer":      "t0",
+				"interval":   interval.String(),
+				"attempt":    attempt,
+				"outstation": string(o.ID),
+			})
+		}
 		hung := false
 		switch {
 		case silent && attempt%8 == 7:

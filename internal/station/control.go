@@ -2,12 +2,15 @@ package station
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
 	"time"
 
 	"uncharted/internal/iec104"
+	"uncharted/internal/obs"
 )
 
 // Measurement is one value received by a control station.
@@ -90,6 +93,20 @@ func Dial(ctx context.Context, addr string, profile iec104.Profile) (*ControlSta
 	return cs, nil
 }
 
+// Instrument books frame counters, the frame-size histogram and the
+// active-link gauge into reg (role="control") and attaches an optional
+// event journal. Safe to call after Dial: the read loop picks the
+// handles up atomically. Either argument may be nil.
+func (cs *ControlStation) Instrument(reg *obs.Registry, j *obs.Journal) {
+	var m *stationMetrics
+	if reg != nil {
+		m = newStationMetrics(reg, "control")
+	}
+	so := newStationObs(m, j, "control", cs.conn.RemoteAddr().String())
+	cs.link.obs.Store(so)
+	so.noteLinkOpen()
+}
+
 // Close tears the connection down.
 func (cs *ControlStation) Close() error {
 	cs.mu.Lock()
@@ -109,18 +126,26 @@ func (cs *ControlStation) readLoop() {
 	for {
 		if err := cs.conn.SetReadDeadline(time.Now().Add(DefaultT3 + DefaultT1)); err != nil {
 			cs.fail(err)
+			cs.link.observe().noteLinkClosed(closeCause(err))
 			return
 		}
 		frame, err := readFrame(cs.conn)
 		if err != nil {
+			so := cs.link.observe()
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				so.noteT3Expired()
+			}
 			cs.fail(err)
+			so.noteLinkClosed(closeCause(err))
 			return
 		}
 		apdu, _, err := iec104.ParseAPDU(frame, cs.Profile)
 		if err != nil {
 			cs.fail(err)
+			cs.link.observe().noteLinkClosed("parse_error")
 			return
 		}
+		cs.link.observe().noteFrame("rx", apdu.Format, apdu.U, len(frame))
 		switch apdu.Format {
 		case iec104.FormatU:
 			switch apdu.U {

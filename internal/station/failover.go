@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"uncharted/internal/iec104"
+	"uncharted/internal/obs"
 )
 
 // DialStandby connects to an outstation without activating transfer:
@@ -67,6 +68,11 @@ type FailoverConfig struct {
 	OnMeasurement func(Measurement)
 	// OnSwitchover is notified when the standby gets promoted.
 	OnSwitchover func(reason error)
+	// Registry, when set, books the group's failover counter and
+	// instruments every connection the group dials.
+	Registry *obs.Registry
+	// Journal, when set, receives failover and conn_state events.
+	Journal *obs.Journal
 }
 
 // Failover maintains a primary and a standby connection to one
@@ -83,8 +89,31 @@ type Failover struct {
 	closed   bool
 	switches int
 
+	failovers *obs.Counter // nil when cfg.Registry is nil
+
 	wg     sync.WaitGroup
 	cancel context.CancelFunc
+}
+
+// instrument attaches the group's observability to a freshly dialled
+// connection.
+func (f *Failover) instrument(cs *ControlStation) {
+	if f.cfg.Registry != nil || f.cfg.Journal != nil {
+		cs.Instrument(f.cfg.Registry, f.cfg.Journal)
+	}
+}
+
+// noteFailover books one promotion (mode is "standby_promoted" or
+// "redial") with the triggering error.
+func (f *Failover) noteFailover(mode string, reason error) {
+	if f.failovers != nil {
+		f.failovers.Inc()
+	}
+	attrs := map[string]any{"mode": mode}
+	if reason != nil {
+		attrs["reason"] = reason.Error()
+	}
+	f.cfg.Journal.Log(time.Time{}, obs.EventFailover, f.cfg.Addr, attrs)
 }
 
 // NewFailover dials both connections and starts supervision.
@@ -96,11 +125,15 @@ func NewFailover(ctx context.Context, cfg FailoverConfig) (*Failover, error) {
 		cfg.CheckInterval = time.Second
 	}
 	f := &Failover{cfg: cfg}
+	if cfg.Registry != nil {
+		f.failovers = cfg.Registry.Counter(MetricFailovers)
+	}
 
 	active, err := Dial(ctx, cfg.Addr, cfg.Profile)
 	if err != nil {
 		return nil, fmt.Errorf("station: failover primary: %w", err)
 	}
+	f.instrument(active)
 	active.OnMeasurement = cfg.OnMeasurement
 	if err := active.Interrogate(ctx, cfg.CommonAddr); err != nil {
 		active.Close()
@@ -111,6 +144,7 @@ func NewFailover(ctx context.Context, cfg FailoverConfig) (*Failover, error) {
 		active.Close()
 		return nil, fmt.Errorf("station: failover standby: %w", err)
 	}
+	f.instrument(standby)
 	f.active, f.standby = active, standby
 
 	runCtx, cancel := context.WithCancel(context.Background())
@@ -230,6 +264,7 @@ func (f *Failover) promote(ctx context.Context, reason error) {
 	f.switches++
 	cb := f.cfg.OnSwitchover
 	f.mu.Unlock()
+	f.noteFailover("standby_promoted", reason)
 	if cb != nil {
 		cb(reason)
 	}
@@ -244,6 +279,7 @@ func (f *Failover) redialActive(ctx context.Context, reason error) {
 		cs, err := Dial(dctx, f.cfg.Addr, f.cfg.Profile)
 		cancel()
 		if err == nil {
+			f.instrument(cs)
 			cs.OnMeasurement = f.cfg.OnMeasurement
 			ictx, icancel := context.WithTimeout(ctx, 10*time.Second)
 			err = cs.Interrogate(ictx, f.cfg.CommonAddr)
@@ -259,6 +295,7 @@ func (f *Failover) redialActive(ctx context.Context, reason error) {
 				f.switches++
 				cb := f.cfg.OnSwitchover
 				f.mu.Unlock()
+				f.noteFailover("redial", reason)
 				if cb != nil {
 					cb(reason)
 				}
@@ -287,6 +324,7 @@ func (f *Failover) redial(ctx context.Context, activeSlot bool) {
 	if err != nil {
 		return
 	}
+	f.instrument(cs)
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()

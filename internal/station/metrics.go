@@ -1,0 +1,176 @@
+package station
+
+import (
+	"time"
+
+	"uncharted/internal/iec104"
+	"uncharted/internal/obs"
+)
+
+// Metric names exported by instrumented endpoints.
+const (
+	MetricFrames      = "uncharted_station_frames_total"
+	MetricFrameBytes  = "uncharted_station_frame_bytes"
+	MetricUFrames     = "uncharted_station_u_frames_total"
+	MetricActiveLinks = "uncharted_station_active_links"
+	MetricTimerFired  = "uncharted_station_timer_fired_total"
+	MetricFailovers   = "uncharted_station_failovers_total"
+)
+
+// stationMetrics holds the pre-resolved handles shared by every link of
+// one endpoint (role is "outstation" or "control").
+type stationMetrics struct {
+	reg  *obs.Registry
+	role string
+
+	txI, txS, txU *obs.Counter
+	rxI, rxS, rxU *obs.Counter
+	frameBytes    *obs.Histogram
+	activeLinks   *obs.Gauge
+	timerT3       *obs.Counter
+}
+
+func newStationMetrics(reg *obs.Registry, role string) *stationMetrics {
+	reg.SetHelp(MetricFrames, "APDUs sent and received by live endpoints, by role, direction and format.")
+	reg.SetHelp(MetricFrameBytes, "On-the-wire APDU sizes in bytes, both directions.")
+	reg.SetHelp(MetricUFrames, "U-format control frames by function.")
+	reg.SetHelp(MetricActiveLinks, "Live TCP links currently held by the endpoint.")
+	reg.SetHelp(MetricTimerFired, "Protocol timer expiries (t3 is the idle keep-alive window).")
+	reg.SetHelp(MetricFailovers, "Redundancy-group promotions of a standby or fresh connection.")
+	return &stationMetrics{
+		reg:         reg,
+		role:        role,
+		txI:         reg.Counter(MetricFrames, "role", role, "dir", "tx", "format", "i"),
+		txS:         reg.Counter(MetricFrames, "role", role, "dir", "tx", "format", "s"),
+		txU:         reg.Counter(MetricFrames, "role", role, "dir", "tx", "format", "u"),
+		rxI:         reg.Counter(MetricFrames, "role", role, "dir", "rx", "format", "i"),
+		rxS:         reg.Counter(MetricFrames, "role", role, "dir", "rx", "format", "s"),
+		rxU:         reg.Counter(MetricFrames, "role", role, "dir", "rx", "format", "u"),
+		frameBytes:  reg.Histogram(MetricFrameBytes, obs.SizeBuckets, "role", role),
+		activeLinks: reg.Gauge(MetricActiveLinks, "role", role),
+		timerT3:     reg.Counter(MetricTimerFired, "role", role, "timer", "t3"),
+	}
+}
+
+// uKindLabel renders a U function for the by-kind counter.
+func uKindLabel(u iec104.UFunc) string {
+	switch u {
+	case iec104.UStartDTAct:
+		return "startdt_act"
+	case iec104.UStartDTCon:
+		return "startdt_con"
+	case iec104.UStopDTAct:
+		return "stopdt_act"
+	case iec104.UStopDTCon:
+		return "stopdt_con"
+	case iec104.UTestFRAct:
+		return "testfr_act"
+	case iec104.UTestFRCon:
+		return "testfr_con"
+	}
+	return "unknown"
+}
+
+// stationObs binds the shared metrics and journal to one link. m may
+// be nil when only a journal is attached.
+type stationObs struct {
+	m       *stationMetrics
+	journal *obs.Journal
+	role    string // "outstation" or "control"
+	conn    string // peer address label for journal events
+}
+
+func newStationObs(m *stationMetrics, j *obs.Journal, role, conn string) *stationObs {
+	return &stationObs{m: m, journal: j, role: role, conn: conn}
+}
+
+// noteFrame books one APDU in the given direction. Nil-safe.
+func (so *stationObs) noteFrame(dir string, format iec104.Format, u iec104.UFunc, size int) {
+	if so == nil || so.m == nil {
+		return
+	}
+	tx := dir == "tx"
+	switch format {
+	case iec104.FormatI:
+		if tx {
+			so.m.txI.Inc()
+		} else {
+			so.m.rxI.Inc()
+		}
+	case iec104.FormatS:
+		if tx {
+			so.m.txS.Inc()
+		} else {
+			so.m.rxS.Inc()
+		}
+	case iec104.FormatU:
+		if tx {
+			so.m.txU.Inc()
+		} else {
+			so.m.rxU.Inc()
+		}
+		// U frames are rare (handshakes and keep-alives), so the
+		// per-function series resolves lazily through the registry.
+		so.m.reg.Counter(MetricUFrames, "role", so.m.role, "dir", dir, "kind", uKindLabel(u)).Inc()
+	}
+	so.m.frameBytes.Observe(float64(size))
+}
+
+// noteLinkOpen books a new live link. Nil-safe.
+func (so *stationObs) noteLinkOpen() {
+	if so == nil {
+		return
+	}
+	if so.m != nil {
+		so.m.activeLinks.Add(1)
+	}
+	so.journal.Log(time.Time{}, obs.EventConnState, so.conn, map[string]any{
+		"state": "open",
+		"role":  so.role,
+	})
+}
+
+// noteLinkClosed books a link teardown with its cause. Nil-safe.
+func (so *stationObs) noteLinkClosed(cause string) {
+	if so == nil {
+		return
+	}
+	if so.m != nil {
+		so.m.activeLinks.Add(-1)
+	}
+	so.journal.Log(time.Time{}, obs.EventConnState, so.conn, map[string]any{
+		"state": "closed",
+		"role":  so.role,
+		"cause": cause,
+	})
+}
+
+// noteStartDT books a transfer-state transition. Nil-safe.
+func (so *stationObs) noteStartDT(started bool) {
+	if so == nil {
+		return
+	}
+	state := "startdt"
+	if !started {
+		state = "stopdt"
+	}
+	so.journal.Log(time.Time{}, obs.EventConnState, so.conn, map[string]any{
+		"state": state,
+		"role":  so.role,
+	})
+}
+
+// noteT3Expired books an idle keep-alive window running out. Nil-safe.
+func (so *stationObs) noteT3Expired() {
+	if so == nil {
+		return
+	}
+	if so.m != nil {
+		so.m.timerT3.Inc()
+	}
+	so.journal.Log(time.Time{}, obs.EventTimerFired, so.conn, map[string]any{
+		"timer":   "t3",
+		"role":    so.role,
+		"timeout": (DefaultT3 + DefaultT1).String(),
+	})
+}

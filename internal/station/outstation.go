@@ -1,13 +1,16 @@
 package station
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"time"
 
 	"uncharted/internal/iec104"
+	"uncharted/internal/obs"
 )
 
 // Outstation is a controlled station: it listens for control-station
@@ -33,6 +36,9 @@ type Outstation struct {
 	order  []uint32
 	links  map[*link]bool
 
+	metrics *stationMetrics
+	journal *obs.Journal
+
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -47,6 +53,17 @@ func NewOutstation(commonAddr uint16) *Outstation {
 		links:      make(map[*link]bool),
 		closed:     make(chan struct{}),
 	}
+}
+
+// Instrument books per-link frame counters, the frame-size histogram
+// and the active-link gauge into reg (role="outstation") and attaches
+// an optional event journal. Call before Listen or ServeConn; either
+// argument may be nil.
+func (o *Outstation) Instrument(reg *obs.Registry, j *obs.Journal) {
+	if reg != nil {
+		o.metrics = newStationMetrics(reg, "outstation")
+	}
+	o.journal = j
 }
 
 // AddPoint registers an information object.
@@ -210,6 +227,11 @@ func (o *Outstation) serve(conn net.Conn) {
 	defer o.wg.Done()
 	defer conn.Close()
 	l := newLink(conn, o.Profile, o.W)
+	if o.metrics != nil || o.journal != nil {
+		l.obs.Store(newStationObs(o.metrics, o.journal, "outstation", conn.RemoteAddr().String()))
+	}
+	so := l.observe()
+	so.noteLinkOpen()
 	o.mu.Lock()
 	o.links[l] = true
 	o.mu.Unlock()
@@ -221,27 +243,36 @@ func (o *Outstation) serve(conn net.Conn) {
 
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(DefaultT3 + DefaultT1)); err != nil {
+			so.noteLinkClosed(closeCause(err))
 			return
 		}
 		frame, err := readFrame(conn)
 		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				so.noteT3Expired()
+			}
+			so.noteLinkClosed(closeCause(err))
 			return
 		}
 		apdu, _, err := iec104.ParseAPDU(frame, o.Profile)
 		if err != nil {
 			o.logf("parse: %v", err)
+			so.noteLinkClosed("parse_error")
 			return
 		}
+		so.noteFrame("rx", apdu.Format, apdu.U, len(frame))
 		if o.RejectConnections {
 			// The misbehaving RTUs: accept TCP, then reset at the
 			// first application frame.
 			if tc, ok := conn.(*net.TCPConn); ok {
 				tc.SetLinger(0)
 			}
+			so.noteLinkClosed("rejected")
 			return
 		}
 		if err := o.handle(l, apdu); err != nil {
 			o.logf("handle: %v", err)
+			so.noteLinkClosed("handle_error")
 			return
 		}
 	}
@@ -255,11 +286,13 @@ func (o *Outstation) handle(l *link, apdu *iec104.APDU) error {
 			l.mu.Lock()
 			l.started = true
 			l.mu.Unlock()
+			l.observe().noteStartDT(true)
 			return l.send(iec104.NewU(iec104.UStartDTCon))
 		case iec104.UStopDTAct:
 			l.mu.Lock()
 			l.started = false
 			l.mu.Unlock()
+			l.observe().noteStartDT(false)
 			return l.send(iec104.NewU(iec104.UStopDTCon))
 		case iec104.UTestFRAct:
 			return l.send(iec104.NewU(iec104.UTestFRCon))

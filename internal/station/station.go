@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"uncharted/internal/iec104"
@@ -67,7 +69,16 @@ type link struct {
 	started bool // STARTDT active
 	lastRx  time.Time
 	lastTx  time.Time
+
+	// obs is attached by Instrument, possibly after the read loop is
+	// already running, hence the atomic pointer. Nil means
+	// uninstrumented; every note* helper tolerates that.
+	obs atomic.Pointer[stationObs]
 }
+
+// observe returns the attached observation handles (nil when
+// uninstrumented).
+func (l *link) observe() *stationObs { return l.obs.Load() }
 
 func newLink(conn net.Conn, profile iec104.Profile, w int) *link {
 	if w <= 0 {
@@ -100,6 +111,7 @@ func (l *link) sendLocked(a *iec104.APDU) error {
 	if _, err := l.conn.Write(b); err != nil {
 		return err
 	}
+	l.observe().noteFrame("tx", a.Format, a.U, len(b))
 	l.lastTx = time.Now()
 	return nil
 }
@@ -142,6 +154,19 @@ func (l *link) ackNow() error {
 }
 
 var errClosed = errors.New("station: connection closed")
+
+// closeCause renders a read-loop exit error for the journal.
+func closeCause(err error) string {
+	switch {
+	case err == nil:
+		return "local_close"
+	case errors.Is(err, io.EOF):
+		return "peer_closed"
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		return "read_deadline"
+	}
+	return "read_error"
+}
 
 // PointDef defines one information object an outstation serves.
 type PointDef struct {

@@ -1,0 +1,70 @@
+package tcpflow
+
+import "uncharted/internal/obs"
+
+// Metric names exported by an instrumented Tracker.
+const (
+	MetricFlowsOpened = "uncharted_tcpflow_flows_opened_total"
+	MetricFlowsClosed = "uncharted_tcpflow_flows_closed_total"
+	MetricOpenFlows   = "uncharted_tcpflow_open_flows"
+	MetricSegments    = "uncharted_tcpflow_segments_total"
+	MetricRetransmits = "uncharted_tcpflow_retransmit_segments_total"
+	MetricOutOfOrder  = "uncharted_tcpflow_out_of_order_segments_total"
+)
+
+// trackerMetrics holds the pre-resolved handles one Tracker updates.
+type trackerMetrics struct {
+	flowsOpened *obs.Counter
+	flowsClosed *obs.Counter
+	openFlows   *obs.Gauge
+	segments    *obs.Counter
+	retransmits *obs.Counter
+	outOfOrder  *obs.Counter
+}
+
+func newTrackerMetrics(reg *obs.Registry) *trackerMetrics {
+	reg.SetHelp(MetricFlowsOpened, "TCP 4-tuples first seen by the flow tracker.")
+	reg.SetHelp(MetricFlowsClosed, "Tracked flows that reached a FIN or RST.")
+	reg.SetHelp(MetricOpenFlows, "Tracked flows not yet closed by FIN or RST.")
+	reg.SetHelp(MetricSegments, "TCP segments fed to the flow tracker.")
+	reg.SetHelp(MetricRetransmits, "Payload segments carrying only already-delivered bytes.")
+	reg.SetHelp(MetricOutOfOrder, "Payload segments buffered ahead of a sequence gap.")
+	return &trackerMetrics{
+		flowsOpened: reg.Counter(MetricFlowsOpened),
+		flowsClosed: reg.Counter(MetricFlowsClosed),
+		openFlows:   reg.Gauge(MetricOpenFlows),
+		segments:    reg.Counter(MetricSegments),
+		retransmits: reg.Counter(MetricRetransmits),
+		outOfOrder:  reg.Counter(MetricOutOfOrder),
+	}
+}
+
+// noteFlowOpened books a newly tracked 4-tuple. Nil-safe.
+func (m *trackerMetrics) noteFlowOpened() {
+	if m != nil {
+		m.flowsOpened.Inc()
+		m.openFlows.Add(1)
+	}
+}
+
+// noteFlowClosed books the first FIN/RST seen on a flow. Nil-safe.
+func (m *trackerMetrics) noteFlowClosed() {
+	if m != nil {
+		m.flowsClosed.Inc()
+		m.openFlows.Add(-1)
+	}
+}
+
+// noteSegment books one fed segment and its reassembly outcome. Nil-safe.
+func (m *trackerMetrics) noteSegment(retrans, buffered bool) {
+	if m == nil {
+		return
+	}
+	m.segments.Inc()
+	if retrans {
+		m.retransmits.Inc()
+	}
+	if buffered {
+		m.outOfOrder.Inc()
+	}
+}

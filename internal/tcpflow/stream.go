@@ -22,11 +22,12 @@ func seqLess(a, b uint32) bool {
 	return int32(a-b) < 0
 }
 
-// insert adds a segment and returns the new in-order data it unlocked
-// plus whether the segment was entirely a retransmission.
-func (s *stream) insert(seq uint32, payload []byte) (newData []byte, retransmit bool) {
+// insert adds a segment and returns the new in-order data it unlocked,
+// whether the segment was entirely a retransmission, and whether it
+// arrived ahead of a sequence gap and had to be buffered.
+func (s *stream) insert(seq uint32, payload []byte) (newData []byte, retransmit, buffered bool) {
 	if len(payload) == 0 {
-		return nil, false
+		return nil, false, false
 	}
 	if !s.started {
 		s.started = true
@@ -35,7 +36,7 @@ func (s *stream) insert(seq uint32, payload []byte) (newData []byte, retransmit 
 	end := seq + uint32(len(payload))
 	if !seqLess(s.next, end) {
 		// Entire segment is before the reassembly point: retransmit.
-		return nil, true
+		return nil, true, false
 	}
 	if seqLess(seq, s.next) {
 		// Partial overlap: trim the already-delivered prefix. Count it
@@ -56,14 +57,14 @@ func (s *stream) insert(seq uint32, payload []byte) (newData []byte, retransmit 
 			newData = append(newData, p...)
 			s.next += uint32(len(p))
 		}
-		return newData, false
+		return newData, false, false
 	}
 	// Out of order: buffer unless we already hold this exact range.
 	if old, ok := s.pending[seq]; ok && len(old) >= len(payload) {
-		return nil, true
+		return nil, true, false
 	}
 	s.pending[seq] = append([]byte(nil), payload...)
-	return nil, false
+	return nil, false, true
 }
 
 // takePendingAt pops a pending segment whose usable data starts at (or

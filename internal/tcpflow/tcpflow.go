@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"uncharted/internal/obs"
 	"uncharted/internal/pcap"
 )
 
@@ -73,7 +74,8 @@ type Flow struct {
 	Initiator  netip.AddrPort // sender of the first SYN, if seen
 	AtoB, BtoA DirStats
 
-	streams [2]*stream
+	streams     [2]*stream
+	closeCounts bool // flow already booked as closed in the metrics
 }
 
 // Duration is the observed flow lifetime within the capture.
@@ -120,11 +122,18 @@ type Tracker struct {
 	flows    map[Key]*Flow
 	order    []*Flow // insertion order for deterministic output
 	consumer Consumer
+	metrics  *trackerMetrics
 }
 
 // NewTracker returns an empty tracker. consumer may be nil.
 func NewTracker(consumer Consumer) *Tracker {
 	return &Tracker{flows: make(map[Key]*Flow), consumer: consumer}
+}
+
+// Instrument books flow-lifecycle and reassembly counters into reg
+// under the uncharted_tcpflow_* names.
+func (t *Tracker) Instrument(reg *obs.Registry) {
+	t.metrics = newTrackerMetrics(reg)
 }
 
 // Feed ingests one decoded TCP packet.
@@ -139,6 +148,7 @@ func (t *Tracker) Feed(pkt pcap.Packet) {
 		f.streams[1] = newStream()
 		t.flows[key] = f
 		t.order = append(t.order, f)
+		t.metrics.noteFlowOpened()
 	}
 	if pkt.Info.Timestamp.Before(f.First) {
 		f.First = pkt.Info.Timestamp
@@ -158,6 +168,10 @@ func (t *Tracker) Feed(pkt pcap.Packet) {
 	if pkt.TCP.RST() {
 		f.SawRST = true
 	}
+	if (f.SawFIN || f.SawRST) && !f.closeCounts {
+		f.closeCounts = true
+		t.metrics.noteFlowClosed()
+	}
 
 	dirIdx := 0
 	ds := &f.AtoB
@@ -172,7 +186,8 @@ func (t *Tracker) Feed(pkt pcap.Packet) {
 	if len(pkt.TCP.Payload) == 0 {
 		return
 	}
-	newData, retrans := f.streams[dirIdx].insert(pkt.TCP.Seq, pkt.TCP.Payload)
+	newData, retrans, buffered := f.streams[dirIdx].insert(pkt.TCP.Seq, pkt.TCP.Payload)
+	t.metrics.noteSegment(retrans, buffered)
 	if retrans {
 		ds.Retransmits++
 	}
