@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/iec104"
+	"uncharted/internal/pcap"
+	"uncharted/internal/scadasim"
+	"uncharted/internal/stream"
+	"uncharted/internal/topology"
+)
+
+// BenchResult is one machine-readable benchmark row, the JSON shape of
+// a testing.BenchmarkResult. MBPerSec is only set for benchmarks with
+// a meaningful byte throughput.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func toBenchResult(name string, r testing.BenchmarkResult) BenchResult {
+	out := BenchResult{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if r.Bytes > 0 && r.T > 0 {
+		out.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	return out
+}
+
+// sliceSource feeds pre-decoded packets so the engine benchmarks
+// measure analysis, not capture decoding.
+type sliceSource struct {
+	pkts []pcap.Packet
+	i    int
+}
+
+func (s *sliceSource) Next() (pcap.Packet, error) {
+	if s.i >= len(s.pkts) {
+		return pcap.Packet{}, io.EOF
+	}
+	pkt := s.pkts[s.i]
+	s.i++
+	return pkt, nil
+}
+
+func (s *sliceSource) Close() error { return nil }
+
+// runBench runs the pipeline micro/throughput benchmarks with
+// testing.Benchmark and writes BENCH_core.json (parsers and the
+// offline analyzer) and BENCH_stream.json (the sharded engine) to dir.
+func runBench(dir string, scale float64, seed int64) error {
+	cfg := scadasim.DefaultConfig(topology.Y1, seed)
+	cfg.Duration = time.Duration(float64(cfg.Duration) * scale)
+	sim, err := scadasim.New(cfg)
+	if err != nil {
+		return err
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		return err
+	}
+	names := core.NamesFromTopology(sim.Network())
+	var capture bytes.Buffer
+	if err := tr.WritePCAP(&capture); err != nil {
+		return err
+	}
+	var pkts []pcap.Packet
+	src, err := stream.NewPCAPSource(bytes.NewReader(capture.Bytes()))
+	if err != nil {
+		return err
+	}
+	for {
+		pkt, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		pkts = append(pkts, pkt)
+	}
+	frame, err := iec104.NewI(3, 4, iec104.NewMeasurement(
+		iec104.MMeTf, 5, 1201, iec104.Value{Kind: iec104.KindFloat, Float: 60.01, HasTime: true},
+		iec104.CauseSpontaneous)).Marshal(iec104.Standard)
+	if err != nil {
+		return err
+	}
+
+	core104 := []BenchResult{
+		toBenchResult("parse_apdu_standard", testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(int64(len(frame)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := iec104.ParseAPDU(frame, iec104.Standard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})),
+		toBenchResult("tolerant_parser_frame", testing.Benchmark(func(b *testing.B) {
+			tp := iec104.NewTolerantParser()
+			b.SetBytes(int64(len(frame)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := tp.Parse("bench", frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})),
+		toBenchResult("analyzer_offline_capture", testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(int64(capture.Len()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := core.NewAnalyzer(names)
+				if err := a.ReadPCAP(bytes.NewReader(capture.Bytes())); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})),
+	}
+
+	engineBench := func(workers int) BenchResult {
+		name := fmt.Sprintf("engine_%dshard", workers)
+		return toBenchResult(name, testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(int64(capture.Len()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := stream.New(stream.Config{Workers: workers, Names: names})
+				if err := e.Run(context.Background(), &sliceSource{pkts: pkts}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	stream104 := []BenchResult{engineBench(1), engineBench(2), engineBench(4)}
+
+	write := func(name string, rows []BenchResult) error {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchtables: wrote %s\n", path)
+		return nil
+	}
+	if dir != "" && dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := write("BENCH_core.json", core104); err != nil {
+		return err
+	}
+	return write("BENCH_stream.json", stream104)
+}

@@ -32,7 +32,20 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed")
 	out := flag.String("out", "", "directory to write per-experiment .txt files (empty = stdout)")
 	asJSON := flag.Bool("json", false, "emit results as a JSON array on stdout")
+	bench := flag.Bool("bench", false,
+		"run the pipeline benchmarks instead of the experiments and write BENCH_core.json / BENCH_stream.json to -out (default .)")
 	flag.Parse()
+
+	if *bench {
+		dir := *out
+		if dir == "" {
+			dir = "."
+		}
+		if err := runBench(dir, *scale, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	r := experiments.NewRunner(*scale, *seed)
 	var results []experiments.Result

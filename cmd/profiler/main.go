@@ -5,26 +5,51 @@
 // physical-measurement ranking, and the pipeline's own observability
 // stats (per-stage wall time and metric counters).
 //
+// With -follow the capture is tailed like `tail -f` through the
+// streaming engine: -workers shards analyze concurrently, a rolling
+// profile is published at -metrics under /profile, and Ctrl-C drains
+// the pipeline and prints the final reports.
+//
 // Usage:
 //
 //	profiler capture.pcap
 //	profiler -report flows,markov capture.pcap
 //	profiler -report stats -journal events.jsonl capture.pcap
+//	profiler -follow -workers 4 -metrics :9104 growing.pcap
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/netip"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"uncharted/internal/core"
 	"uncharted/internal/obs"
+	"uncharted/internal/physical"
+	"uncharted/internal/stream"
 	"uncharted/internal/topology"
 )
+
+// reportHelp documents every -report value.
+const reportHelp = `comma-separated reports to print; valid values:
+  flows       TCP flow taxonomy and durations (Table 3 / Fig. 8)
+  compliance  per-endpoint dialect detection (§6.1 / Fig. 7)
+  clusters    session K-means clustering (§6.3 / Fig. 10-11)
+  markov      per-connection Markov chains and outstation classes (Fig. 13/17, Table 6)
+  types       ASDU type distribution (Table 7)
+  physical    measurement series ranked by normalized variance (§6.4)
+  timing      recovered per-station reporting periods (offline mode only)
+  stats       pipeline observability: stage timings, counters, journal events`
 
 func main() {
 	os.Exit(run())
@@ -34,22 +59,19 @@ func run() int {
 	log.SetFlags(0)
 	log.SetPrefix("profiler: ")
 
-	reports := flag.String("report", "flows,compliance,clusters,markov,types,physical,timing,stats",
-		"comma-separated reports to print")
+	reports := flag.String("report", "flows,compliance,clusters,markov,types,physical,timing,stats", reportHelp)
 	names := flag.Bool("names", true, "label addresses with the simulated topology's names (C1, O30, ...)")
 	journalPath := flag.String("journal", "", "append structured pipeline events to this JSONL file")
+	follow := flag.Bool("follow", false, "tail a growing capture with the streaming engine until interrupted")
+	workers := flag.Int("workers", 1, "analysis shards for the streaming engine (with -follow, or >1 to shard a finished capture)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /profile on this address (e.g. :9104)")
+	snapshotEvery := flag.Duration("snapshot", 2*time.Second, "rolling-profile period in streaming mode")
+	idleTimeout := flag.Duration("idle-timeout", 0, "evict flows idle this long in streaming mode (0 = keep all)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Print("usage: profiler [-report list] [-journal events.jsonl] capture.pcap")
+		log.Print("usage: profiler [-report list] [-journal events.jsonl] [-follow] [-workers N] [-metrics addr] capture.pcap")
 		return 2
 	}
-
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		log.Print(err)
-		return 1
-	}
-	defer f.Close()
 
 	var journal *obs.Journal
 	if *journalPath != "" {
@@ -62,6 +84,32 @@ func run() int {
 		journal = obs.NewJournal(jf)
 	}
 
+	want := map[string]bool{}
+	for _, r := range strings.Split(*reports, ",") {
+		want[strings.TrimSpace(r)] = true
+	}
+
+	if *follow || *workers > 1 {
+		return runStreaming(streamOpts{
+			path:          flag.Arg(0),
+			follow:        *follow,
+			workers:       *workers,
+			metricsAddr:   *metricsAddr,
+			snapshotEvery: *snapshotEvery,
+			idleTimeout:   *idleTimeout,
+			names:         *names,
+			journal:       journal,
+			want:          want,
+		})
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer f.Close()
+
 	var analyzer *core.Analyzer
 	if *names {
 		analyzer = core.NewAnalyzer(core.NamesFromTopology(topology.Build()))
@@ -70,6 +118,15 @@ func run() int {
 	}
 	reg := obs.NewRegistry()
 	analyzer.Instrument(reg, journal)
+	if *metricsAddr != "" {
+		addr, shutdown, err := obs.Serve(*metricsAddr, reg, journal)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer shutdown()
+		log.Printf("serving metrics on http://%s/", addr)
+	}
 
 	exit := 0
 	if err := analyzer.ReadPCAP(f); err != nil {
@@ -85,11 +142,6 @@ func run() int {
 		first.Format("2006-01-02 15:04:05"), last.Format("15:04:05"), analyzer.ParseErrors)
 	if analyzer.SeqAnomalies > 0 {
 		fmt.Printf("IEC 104 sequence anomalies: %d\n\n", analyzer.SeqAnomalies)
-	}
-
-	want := map[string]bool{}
-	for _, r := range strings.Split(*reports, ",") {
-		want[strings.TrimSpace(r)] = true
 	}
 
 	if want["flows"] {
@@ -230,8 +282,9 @@ func printTiming(a *core.Analyzer) {
 	}
 }
 
-func printFlows(a *core.Analyzer) {
-	rep := a.FlowAnalysis()
+func printFlows(a *core.Analyzer) { printFlowReport(a.FlowAnalysis()) }
+
+func printFlowReport(rep core.FlowReport) {
 	s := rep.Summary
 	fmt.Println("== TCP flow analysis (Table 3) ==")
 	fmt.Printf("short-lived: %d (%.1f%%), of which <1s: %d (%.1f%%)\n",
@@ -239,8 +292,9 @@ func printFlows(a *core.Analyzer) {
 	fmt.Printf("long-lived:  %d (%.1f%%)\n\n", s.LongLived, 100*s.LongProportion())
 }
 
-func printCompliance(a *core.Analyzer) {
-	rep := a.Compliance()
+func printCompliance(a *core.Analyzer) { printComplianceReport(a.Compliance()) }
+
+func printComplianceReport(rep core.ComplianceReport) {
 	fmt.Println("== IEC 104 compliance (§6.1) ==")
 	if len(rep.NonCompliant) == 0 {
 		fmt.Println("all endpoints standard-compliant")
@@ -256,8 +310,12 @@ func printCompliance(a *core.Analyzer) {
 }
 
 func printClusters(a *core.Analyzer) {
-	fmt.Println("== Session clustering (Fig. 10/11) ==")
 	rep, err := a.ClusterSessions(5, 1202)
+	printClusterReport(rep, err)
+}
+
+func printClusterReport(rep *core.ClusterReport, err error) {
+	fmt.Println("== Session clustering (Fig. 10/11) ==")
 	if err != nil {
 		fmt.Printf("(skipped: %v)\n\n", err)
 		return
@@ -267,8 +325,9 @@ func printClusters(a *core.Analyzer) {
 	fmt.Printf("outlier cluster: %s\n\n", strings.Join(rep.Outliers, ", "))
 }
 
-func printMarkov(a *core.Analyzer) {
-	rep := a.MarkovChains()
+func printMarkov(a *core.Analyzer) { printMarkovReport(a.MarkovChains()) }
+
+func printMarkovReport(rep core.MarkovReport) {
 	fmt.Println("== Markov chains (Fig. 13) ==")
 	fmt.Printf("connections=%d point(1,1)=%d square=%d ellipse=%d\n",
 		len(rep.Chains), len(rep.Point11), len(rep.Square), len(rep.Ellipse))
@@ -296,5 +355,160 @@ func printPhysical(a *core.Analyzer) {
 		}
 		fmt.Printf("  %-14s %-10s nvar=%.4g samples=%d\n",
 			s.Key, s.Type.Acronym(), s.NormalizedVariance(), len(s.Samples))
+	}
+}
+
+// streamOpts carries the flag values into the streaming path.
+type streamOpts struct {
+	path          string
+	follow        bool
+	workers       int
+	metricsAddr   string
+	snapshotEvery time.Duration
+	idleTimeout   time.Duration
+	names         bool
+	journal       *obs.Journal
+	want          map[string]bool
+}
+
+// runStreaming analyzes the capture through the sharded engine: with
+// -follow the file is tailed until SIGINT/SIGTERM, otherwise it is
+// read to EOF; either way the final merged state renders the same
+// reports as the offline path.
+func runStreaming(o streamOpts) int {
+	var nameMap map[netip.Addr]string
+	if o.names {
+		nameMap = core.NamesFromTopology(topology.Build())
+	}
+	reg := obs.NewRegistry()
+
+	snapshotEvery := time.Duration(0)
+	if o.follow {
+		snapshotEvery = o.snapshotEvery
+	}
+	e := stream.New(stream.Config{
+		Workers:       o.workers,
+		SnapshotEvery: snapshotEvery,
+		IdleTimeout:   o.idleTimeout,
+		ClusterK:      5,
+		ClusterSeed:   1202,
+		Names:         nameMap,
+		Registry:      reg,
+		Journal:       o.journal,
+	})
+
+	var src stream.Source
+	if o.follow {
+		fs, err := stream.NewFollowSource(o.path)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		src = fs
+	} else {
+		f, err := os.Open(o.path)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer f.Close()
+		ps, err := stream.NewPCAPSource(f)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		src = ps
+	}
+	defer src.Close()
+
+	if o.metricsAddr != "" {
+		addr, shutdown, err := obs.ServeWith(o.metricsAddr, reg, o.journal,
+			map[string]http.Handler{"/profile": e.ProfileHandler()})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer shutdown()
+		log.Printf("serving metrics and rolling profile on http://%s/", addr)
+	}
+
+	ctx := context.Background()
+	if o.follow {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		log.Printf("following %s with %d worker shard(s); interrupt to drain", o.path, o.workers)
+	}
+
+	exit := 0
+	if err := e.Run(ctx, src); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "profiler: warning: stream stopped early: %v (reporting partial results)\n", err)
+		exit = 1
+	}
+
+	p := e.Final()
+	fmt.Printf("Capture: %d packets (%d IEC 104), window %s .. %s, parse errors %d\n\n",
+		p.Packets, p.IECPackets,
+		p.First.Format("2006-01-02 15:04:05"), p.Last.Format("15:04:05"), p.ParseErrors)
+	if p.SeqAnomalies > 0 {
+		fmt.Printf("IEC 104 sequence anomalies: %d\n\n", p.SeqAnomalies)
+	}
+	if p.FlowsEvicted > 0 {
+		fmt.Printf("flows evicted after %s idle: %d\n\n", o.idleTimeout, p.FlowsEvicted)
+	}
+
+	if o.want["flows"] {
+		printFlowReport(p.FlowReport())
+	}
+	if o.want["compliance"] {
+		printComplianceReport(p.ComplianceReport())
+	}
+	if o.want["clusters"] {
+		rep, err := p.ClusterReport(5, 1202)
+		printClusterReport(rep, err)
+	}
+	if o.want["markov"] {
+		printMarkovReport(p.MarkovReport())
+	}
+	if o.want["types"] {
+		fmt.Println("== ASDU type distribution (Table 7) ==")
+		fmt.Println(core.FormatTypeTable(p.TypeDistribution()))
+	}
+	if o.want["physical"] {
+		printPhysicalDigests(p.Physical)
+	}
+	if o.want["timing"] {
+		fmt.Println("== recovered reporting periods (timing characteristics) ==")
+		fmt.Println("(unavailable in streaming mode: raw per-point timestamps are not retained)")
+		fmt.Println()
+	}
+	if o.want["stats"] {
+		printStats(reg, o.journal)
+	}
+	if err := o.journal.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "profiler: warning: journal write failed: %v\n", err)
+		if exit == 0 {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// printPhysicalDigests is the streaming analogue of printPhysical,
+// rendered from merged moment sketches instead of raw sample series.
+func printPhysicalDigests(digests []physical.Digest) {
+	fmt.Println("== Physical measurements (§6.4) ==")
+	fmt.Printf("series extracted: %d\n", len(digests))
+	fmt.Println("top normalized-variance series:")
+	for i, d := range physical.RankDigests(digests, 2) {
+		if i >= 8 {
+			break
+		}
+		kind := "measurement"
+		if d.Command {
+			kind = "command"
+		}
+		fmt.Printf("  %s/%-6d %-11s nvar=%.4g samples=%d\n",
+			d.Key.Station, d.Key.IOA, kind, d.NormalizedVariance(), d.Count)
 	}
 }

@@ -103,7 +103,35 @@ type Analyzer struct {
 	// hot path pays only a pointer test.
 	metrics *analyzerMetrics
 	journal *obs.Journal
+
+	// observer, when set, sees every accepted APDU as it is consumed —
+	// the hook online detectors (ids.Monitor) attach to.
+	observer FrameObserver
 }
+
+// FrameEvent describes one accepted APDU for live observers.
+type FrameEvent struct {
+	Time time.Time
+	// Conn is the logical server/outstation relationship.
+	Conn ConnKey
+	// Server / Outstation are the resolved names of the endpoints.
+	Server, Outstation string
+	// FromOutstation is true for monitor-direction frames.
+	FromOutstation bool
+	Token          iec104.Token
+	// ASDU is set for I-format frames only.
+	ASDU *iec104.ASDU
+}
+
+// FrameObserver receives every accepted APDU in arrival order. It is
+// called synchronously on the analysis path, so implementations must
+// be fast and must not retain the ASDU.
+type FrameObserver interface {
+	ObserveFrame(FrameEvent)
+}
+
+// SetFrameObserver attaches (or, with nil, detaches) a live observer.
+func (a *Analyzer) SetFrameObserver(o FrameObserver) { a.observer = o }
 
 // StationCompliance is the §6.1 verdict for one endpoint.
 type StationCompliance struct {
@@ -369,7 +397,19 @@ func (a *Analyzer) consumeFrame(sp tcpflow.StreamPayload, frame []byte, st *endp
 	if fromOutstation {
 		ck = ConnKey{Server: dstAddr, Outstation: srcAddr}
 	}
-	a.tokens[ck] = append(a.tokens[ck], apdu.Token())
+	tok := apdu.Token()
+	a.tokens[ck] = append(a.tokens[ck], tok)
+	if a.observer != nil {
+		a.observer.ObserveFrame(FrameEvent{
+			Time:           sp.Time,
+			Conn:           ck,
+			Server:         a.Name(ck.Server),
+			Outstation:     a.Name(ck.Outstation),
+			FromOutstation: fromOutstation,
+			Token:          tok,
+			ASDU:           apdu.ASDU,
+		})
+	}
 
 	// Directional session APDU mix.
 	skey := tcpflow.SessionKey{Src: srcAddr, Dst: dstAddr}
@@ -570,16 +610,22 @@ func (a *Analyzer) ConnKeys() []ConnKey {
 	return out
 }
 
-// CaptureWindow returns the first/last packet timestamps seen.
+// CaptureWindow returns the first/last packet timestamps seen. The
+// window comes from the flow tracker's packet clock, so it survives
+// streaming-mode flow eviction.
 func (a *Analyzer) CaptureWindow() (time.Time, time.Time) {
-	var first, last time.Time
-	for _, f := range a.tracker.Flows() {
-		if first.IsZero() || f.First.Before(first) {
-			first = f.First
-		}
-		if f.Last.After(last) {
-			last = f.Last
-		}
-	}
-	return first, last
+	return a.tracker.Window()
+}
+
+// EnableFlowEviction turns on idle-flow eviction in the tracker for
+// streaming over endless captures: flows (and their APDU framing
+// buffers) idle longer than timeout are dropped, keeping memory
+// bounded. The flow taxonomy stays exact; a flow that wakes up after
+// eviction re-enters as a fresh long-lived flow.
+func (a *Analyzer) EnableFlowEviction(timeout time.Duration) {
+	a.tracker.SetIdleTimeout(timeout)
+	a.tracker.OnEvict(func(f *tcpflow.Flow) {
+		delete(a.framing, f.Key.A.String()+">"+f.Key.B.String())
+		delete(a.framing, f.Key.B.String()+">"+f.Key.A.String())
+	})
 }

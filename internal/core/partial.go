@@ -1,0 +1,213 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"uncharted/internal/iec104"
+	"uncharted/internal/markov"
+	"uncharted/internal/physical"
+	"uncharted/internal/tcpflow"
+)
+
+// Partial is one analyzer's mergeable snapshot: every §6 aggregate in
+// a form that (a) no longer aliases the live analyzer's mutable state
+// and (b) combines exactly across analysis shards. The streaming
+// engine partitions traffic so each flow, logical connection and
+// directional session is owned by one shard; merging partials then
+// reproduces the single-analyzer result.
+type Partial struct {
+	Packets      int
+	IECPackets   int
+	ParseErrors  int
+	SeqAnomalies int
+	// First / Last bound every packet seen (the capture window).
+	First, Last time.Time
+
+	Flows        tcpflow.Summary
+	FlowsEvicted int
+	Compliance   []StationCompliance
+	TypeCounts   map[iec104.TypeID]int
+	TotalASDUs   int
+	// Chains carries one freshly built Markov chain per logical
+	// connection; chains never alias analyzer state.
+	Chains []ConnChain
+	// Features is one clustering row per directional session.
+	Features []SessionFeature
+	// Physical summarises every extracted series as a moment sketch.
+	Physical []physical.Digest
+	// OtherPorts tallies non-IEC-104 payload bytes by well-known port.
+	OtherPorts map[uint16]int
+}
+
+// Partial snapshots the analyzer. The result shares nothing mutable
+// with the analyzer, so the caller may keep it while analysis
+// continues.
+func (a *Analyzer) Partial() Partial {
+	first, last := a.tracker.Window()
+	p := Partial{
+		Packets:      a.Packets,
+		IECPackets:   a.IECPackets,
+		ParseErrors:  a.ParseErrors,
+		SeqAnomalies: a.SeqAnomalies,
+		First:        first,
+		Last:         last,
+		Flows:        a.tracker.Summarize(),
+		FlowsEvicted: a.tracker.EvictedFlows(),
+		TotalASDUs:   a.totalASDUs,
+		TypeCounts:   make(map[iec104.TypeID]int, len(a.typeCounts)),
+		Features:     a.SessionFeatures(),
+		// MergeDigests on a single list just sorts by series key, so a
+		// lone Partial and a merged one order Physical identically.
+		Physical:   physical.MergeDigests(a.store.Digests()),
+		OtherPorts: a.OtherProtocols(),
+	}
+	for t, c := range a.typeCounts {
+		p.TypeCounts[t] = c
+	}
+	for _, sc := range a.compliance {
+		p.Compliance = append(p.Compliance, *sc)
+	}
+	sort.Slice(p.Compliance, func(i, j int) bool {
+		return p.Compliance[i].Name < p.Compliance[j].Name
+	})
+	for _, key := range a.ConnKeys() {
+		ch := markov.NewChain()
+		ch.Add(a.tokens[key])
+		p.Chains = append(p.Chains, ConnChain{
+			Key:        key,
+			Server:     a.Name(key.Server),
+			Outstation: a.Name(key.Outstation),
+			Chain:      ch,
+		})
+	}
+	return p
+}
+
+// MergePartials combines shard snapshots into one. Counters add;
+// compliance verdicts merge per endpoint; chains, features and
+// physical digests concatenate (deduplicating by key, which only
+// triggers if two shards somehow saw the same flow) and are sorted so
+// the merged result is deterministic regardless of shard count or
+// scheduling.
+func MergePartials(parts []Partial) Partial {
+	var out Partial
+	out.TypeCounts = make(map[iec104.TypeID]int)
+	out.OtherPorts = make(map[uint16]int)
+	compliance := make(map[netip.Addr]*StationCompliance)
+	chains := make(map[ConnKey]*ConnChain)
+	var physLists [][]physical.Digest
+
+	for _, p := range parts {
+		out.Packets += p.Packets
+		out.IECPackets += p.IECPackets
+		out.ParseErrors += p.ParseErrors
+		out.SeqAnomalies += p.SeqAnomalies
+		out.TotalASDUs += p.TotalASDUs
+		out.FlowsEvicted += p.FlowsEvicted
+		if !p.First.IsZero() && (out.First.IsZero() || p.First.Before(out.First)) {
+			out.First = p.First
+		}
+		if p.Last.After(out.Last) {
+			out.Last = p.Last
+		}
+		out.Flows = out.Flows.Merge(p.Flows)
+		for t, c := range p.TypeCounts {
+			out.TypeCounts[t] += c
+		}
+		for port, n := range p.OtherPorts {
+			out.OtherPorts[port] += n
+		}
+		for i := range p.Compliance {
+			sc := p.Compliance[i]
+			cur, ok := compliance[sc.Addr]
+			if !ok {
+				cp := sc
+				compliance[sc.Addr] = &cp
+				continue
+			}
+			mergeCompliance(cur, sc)
+		}
+		for i := range p.Chains {
+			cc := p.Chains[i]
+			cur, ok := chains[cc.Key]
+			if !ok {
+				cp := cc
+				chains[cc.Key] = &cp
+				continue
+			}
+			cur.Chain.Merge(cc.Chain)
+		}
+		out.Features = append(out.Features, p.Features...)
+		physLists = append(physLists, p.Physical)
+	}
+
+	for _, sc := range compliance {
+		out.Compliance = append(out.Compliance, *sc)
+	}
+	sort.Slice(out.Compliance, func(i, j int) bool {
+		return out.Compliance[i].Name < out.Compliance[j].Name
+	})
+	for _, cc := range chains {
+		out.Chains = append(out.Chains, *cc)
+	}
+	sort.Slice(out.Chains, func(i, j int) bool {
+		a, b := out.Chains[i].Key, out.Chains[j].Key
+		if c := a.Server.Compare(b.Server); c != 0 {
+			return c < 0
+		}
+		return a.Outstation.Compare(b.Outstation) < 0
+	})
+	sort.Slice(out.Features, func(i, j int) bool {
+		a, b := out.Features[i], out.Features[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+	out.Physical = physical.MergeDigests(physLists...)
+	return out
+}
+
+// mergeCompliance folds one shard's verdict for an endpoint into the
+// accumulated one. Frame tallies add; when both shards pinned a
+// dialect the verdict of the shard that saw more frames wins (an
+// endpoint talking through two shards detects independently on each).
+func mergeCompliance(dst *StationCompliance, src StationCompliance) {
+	if src.Detected && (!dst.Detected || src.Frames > dst.Frames) {
+		dst.Profile = src.Profile
+		dst.Detected = true
+	}
+	dst.Frames += src.Frames
+	dst.StrictInvalid += src.StrictInvalid
+}
+
+// FlowReport renders the §6.2 report from the snapshot.
+func (p *Partial) FlowReport() FlowReport { return FlowReportFromSummary(p.Flows) }
+
+// ComplianceReport renders the §6.1 report from the snapshot.
+func (p *Partial) ComplianceReport() ComplianceReport {
+	rep := ComplianceReport{Stations: append([]StationCompliance(nil), p.Compliance...)}
+	for _, sc := range rep.Stations {
+		if sc.NonCompliant() {
+			rep.NonCompliant = append(rep.NonCompliant, sc.Name)
+		}
+	}
+	return rep
+}
+
+// TypeDistribution renders the Table 7 shares from the snapshot.
+func (p *Partial) TypeDistribution() []TypeIDShare {
+	return TypeSharesFromCounts(p.TypeCounts, p.TotalASDUs)
+}
+
+// MarkovReport classifies the snapshot's per-connection chains.
+func (p *Partial) MarkovReport() MarkovReport {
+	return MarkovFromChains(p.Chains)
+}
+
+// ClusterReport clusters the snapshot's session features.
+func (p *Partial) ClusterReport(k int, seed int64) (*ClusterReport, error) {
+	return ClusterFeatures(p.Features, k, seed)
+}

@@ -22,7 +22,12 @@ type FlowReport struct {
 
 // FlowAnalysis computes the §6.2 report.
 func (a *Analyzer) FlowAnalysis() FlowReport {
-	sum := a.tracker.Summarize()
+	return FlowReportFromSummary(a.tracker.Summarize())
+}
+
+// FlowReportFromSummary builds the §6.2 report from a (possibly
+// merged) flow summary.
+func FlowReportFromSummary(sum tcpflow.Summary) FlowReport {
 	var secs []float64
 	for _, d := range sum.ShortLivedDuration {
 		secs = append(secs, d.Seconds())
@@ -117,7 +122,12 @@ type ClusterReport struct {
 // ClusterSessions runs the paper's K=5 K-means++ clustering over
 // standardized session features, with model selection diagnostics.
 func (a *Analyzer) ClusterSessions(k int, seed int64) (*ClusterReport, error) {
-	feats := a.SessionFeatures()
+	return ClusterFeatures(a.SessionFeatures(), k, seed)
+}
+
+// ClusterFeatures clusters a prepared feature set — the entry point
+// shard-merged streaming profiles use.
+func ClusterFeatures(feats []SessionFeature, k int, seed int64) (*ClusterReport, error) {
 	if len(feats) < k {
 		return nil, fmt.Errorf("core: %d sessions with APDUs, need at least %d", len(feats), k)
 	}
@@ -213,18 +223,28 @@ type MarkovReport struct {
 // MarkovChains builds per-connection chains and classifies every
 // outstation.
 func (a *Analyzer) MarkovChains() MarkovReport {
-	var rep MarkovReport
-	var summaries []markov.ConnSummary
+	var chains []ConnChain
 	for _, key := range a.ConnKeys() {
 		ch := markov.NewChain()
 		ch.Add(a.tokens[key])
-		cc := ConnChain{
+		chains = append(chains, ConnChain{
 			Key:        key,
 			Server:     a.Name(key.Server),
 			Outstation: a.Name(key.Outstation),
 			Chain:      ch,
-			Cluster:    markov.Classify11SquareEllipse(ch),
-		}
+		})
+	}
+	return MarkovFromChains(chains)
+}
+
+// MarkovFromChains classifies a prepared per-connection chain set —
+// the entry point shard-merged streaming profiles use. Each chain's
+// Cluster field is (re)computed.
+func MarkovFromChains(chains []ConnChain) MarkovReport {
+	var rep MarkovReport
+	var summaries []markov.ConnSummary
+	for _, cc := range chains {
+		cc.Cluster = markov.Classify11SquareEllipse(cc.Chain)
 		rep.Chains = append(rep.Chains, cc)
 		label := cc.Server + "-" + cc.Outstation
 		switch cc.Cluster {
@@ -236,7 +256,7 @@ func (a *Analyzer) MarkovChains() MarkovReport {
 			rep.Square = append(rep.Square, label)
 		}
 		summaries = append(summaries, markov.ConnSummary{
-			Server: cc.Server, Outstation: cc.Outstation, Chain: ch,
+			Server: cc.Server, Outstation: cc.Outstation, Chain: cc.Chain,
 		})
 	}
 	rep.Classes = markov.ClassifyAll(summaries)
@@ -253,10 +273,16 @@ type TypeIDShare struct {
 
 // TypeDistribution returns the observed ASDU type shares, descending.
 func (a *Analyzer) TypeDistribution() []TypeIDShare {
+	return TypeSharesFromCounts(a.typeCounts, a.totalASDUs)
+}
+
+// TypeSharesFromCounts renders (possibly merged) per-type ASDU counts
+// as the Table 7 shares, descending.
+func TypeSharesFromCounts(counts map[iec104.TypeID]int, total int) []TypeIDShare {
 	var out []TypeIDShare
-	for t, c := range a.typeCounts {
+	for t, c := range counts {
 		out = append(out, TypeIDShare{
-			Type: t, Count: c, Percent: 100 * float64(c) / float64(a.totalASDUs),
+			Type: t, Count: c, Percent: 100 * float64(c) / float64(total),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

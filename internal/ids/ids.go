@@ -268,20 +268,7 @@ func (b *Baseline) Scan(a *core.Analyzer) []Alert {
 				"IOA %d (%s) never seen in baseline", pk.IOA, s.Type.Acronym())
 			continue
 		}
-		// Margin: a fraction of the observed span, floored at a small
-		// fraction of the operating magnitude so near-constant series
-		// (a bus voltage pinned at nominal) do not alert on normal
-		// measurement noise.
-		span := vr.Max - vr.Min
-		margin := b.RangeMargin * span
-		if floor := 0.05 * math.Max(math.Abs(vr.Min), math.Abs(vr.Max)); margin < floor {
-			margin = floor
-		}
-		if margin < 0.01 {
-			margin = 0.01
-		}
-		lo := vr.Min - margin
-		hi := vr.Max + margin
+		lo, hi := b.bounds(vr)
 		for _, smp := range s.Samples {
 			if smp.V < lo || smp.V > hi {
 				sev := 2

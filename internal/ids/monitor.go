@@ -1,0 +1,224 @@
+package ids
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+
+	"uncharted/internal/core"
+	"uncharted/internal/iec104"
+)
+
+// Monitor is the online counterpart of Baseline.Scan: it implements
+// core.FrameObserver so a live analyzer raises alerts as frames
+// arrive instead of after the capture ends. Each check fires at most
+// once per subject (endpoint, connection, token, point) so a noisy
+// intruder does not flood the sink; the frame-level checks match the
+// offline scanner's thresholds exactly. Dialect-change detection needs
+// a settled per-endpoint profile and stays a Scan-time check.
+//
+// A Monitor is not safe for concurrent use: attach one per analyzer
+// (the streaming engine runs one per shard) and serialise the sink if
+// alerts from several monitors converge.
+type Monitor struct {
+	b    *Baseline
+	sink func(Alert)
+
+	alertedEndpoint map[netip.Addr]bool
+	alertedConn     map[connKey]bool
+	alertedToken    map[connKey]map[string]bool
+	alertedPoint    map[pointKey]bool
+	alertedRange    map[pointKey]bool
+	alertedBurst    map[connKey]bool
+	alertedSeq      map[connKey]bool
+
+	conns map[connKey]*connState
+
+	alerts int
+}
+
+// connState is the rolling per-connection window the sequence and
+// command-burst checks score.
+type connState struct {
+	tokens   int
+	commands int
+	recent   []iec104.Token
+}
+
+// seqWindow bounds the token window scored for perplexity;
+// seqCheckEvery is how often (in tokens) the score is recomputed.
+// minBurstTokens matches Scan's minimum stream length before rate
+// checks apply.
+const (
+	seqWindow      = 256
+	seqCheckEvery  = 64
+	minBurstTokens = 20
+)
+
+// NewMonitor wraps a trained baseline for live checking. sink receives
+// every alert as it fires; a nil sink only counts.
+func NewMonitor(b *Baseline, sink func(Alert)) *Monitor {
+	return &Monitor{
+		b:               b,
+		sink:            sink,
+		alertedEndpoint: make(map[netip.Addr]bool),
+		alertedConn:     make(map[connKey]bool),
+		alertedToken:    make(map[connKey]map[string]bool),
+		alertedPoint:    make(map[pointKey]bool),
+		alertedRange:    make(map[pointKey]bool),
+		alertedBurst:    make(map[connKey]bool),
+		alertedSeq:      make(map[connKey]bool),
+		conns:           make(map[connKey]*connState),
+	}
+}
+
+// Alerts returns how many alerts have fired so far.
+func (m *Monitor) Alerts() int { return m.alerts }
+
+func (m *Monitor) emit(kind AlertKind, sev int, subject, format string, args ...any) {
+	m.alerts++
+	if m.sink != nil {
+		m.sink(Alert{Kind: kind, Severity: sev, Subject: subject, Detail: fmt.Sprintf(format, args...)})
+	}
+}
+
+// ObserveFrame implements core.FrameObserver.
+func (m *Monitor) ObserveFrame(ev core.FrameEvent) {
+	for _, addr := range []netip.Addr{ev.Conn.Server, ev.Conn.Outstation} {
+		if !m.b.endpoints[addr] && !m.alertedEndpoint[addr] {
+			m.alertedEndpoint[addr] = true
+			name := ev.Server
+			if addr == ev.Conn.Outstation {
+				name = ev.Outstation
+			}
+			m.emit(AlertNewEndpoint, 3, name,
+				"address %s speaks IEC 104 but is not in the baseline", addr)
+		}
+	}
+
+	ck := connKey{Server: ev.Server, Outstation: ev.Outstation}
+	label := ev.Server + "-" + ev.Outstation
+	vocab, known := m.b.conns[ck]
+	if !known && !m.alertedConn[ck] {
+		m.alertedConn[ck] = true
+		m.emit(AlertNewConnection, 2, label, "no baseline traffic between these endpoints")
+	}
+
+	tok := ev.Token
+	isCommand := tok.Kind == iec104.FormatI && tok.Type.IsCommand()
+	if known && !vocab[tok.String()] {
+		seen := m.alertedToken[ck]
+		if seen == nil {
+			seen = make(map[string]bool)
+			m.alertedToken[ck] = seen
+		}
+		if !seen[tok.String()] {
+			seen[tok.String()] = true
+			sev := 1
+			if isCommand {
+				sev = 3 // a brand-new command type is the Industroyer pattern
+			}
+			m.emit(AlertNewToken, sev, label, "token %s outside baseline vocabulary", tok)
+		}
+	}
+
+	cs := m.conns[ck]
+	if cs == nil {
+		cs = &connState{}
+		m.conns[ck] = cs
+	}
+	cs.tokens++
+	if isCommand {
+		cs.commands++
+	}
+	cs.recent = append(cs.recent, tok)
+	if len(cs.recent) > seqWindow {
+		cs.recent = cs.recent[len(cs.recent)-seqWindow:]
+	}
+
+	if cs.tokens >= minBurstTokens && !m.alertedBurst[ck] {
+		rate := float64(cs.commands) / float64(cs.tokens)
+		base := m.b.commandRate[ck]
+		if rate > 0.2 && rate > 4*base+0.05 {
+			m.alertedBurst[ck] = true
+			m.emit(AlertCommandBurst, 3, label,
+				"command rate %.0f%% of APDUs (baseline %.0f%%)", 100*rate, 100*base)
+		}
+	}
+
+	if cs.tokens%seqCheckEvery == 0 && !m.alertedSeq[ck] && m.b.worstPerplexity > 0 {
+		if p, err := m.b.bigram.Perplexity(cs.recent); err == nil &&
+			p > m.b.PerplexityFactor*m.b.worstPerplexity {
+			m.alertedSeq[ck] = true
+			m.emit(AlertSequence, 2, label,
+				"token-sequence perplexity %.1f exceeds baseline ceiling %.1f",
+				p, m.b.worstPerplexity)
+		}
+	}
+
+	if ev.ASDU != nil {
+		m.observeObjects(ev)
+	}
+}
+
+// observeObjects applies the point-whitelist and operating-envelope
+// checks to each value-bearing information object, mirroring the
+// extraction rules of physical.Store.Feed: the station is always the
+// outstation side, control-direction frames are commands.
+func (m *Monitor) observeObjects(ev core.FrameEvent) {
+	command := !ev.FromOutstation
+	for _, obj := range ev.ASDU.Objects {
+		var v float64
+		switch obj.Value.Kind {
+		case iec104.KindFloat, iec104.KindNormalized, iec104.KindScaled,
+			iec104.KindSingle, iec104.KindDouble, iec104.KindStep,
+			iec104.KindCounter, iec104.KindCommand:
+			v = obj.Value.Float
+		default:
+			continue
+		}
+		pk := pointKey{Station: ev.Outstation, IOA: obj.IOA}
+		vr, knownPoint := m.b.points[pk]
+		if !knownPoint {
+			if !m.alertedPoint[pk] {
+				m.alertedPoint[pk] = true
+				sev := 1
+				if command {
+					sev = 3
+				}
+				m.emit(AlertUnknownPoint, sev, pk.Station,
+					"IOA %d (%s) never seen in baseline", pk.IOA, ev.ASDU.Type.Acronym())
+			}
+			continue
+		}
+		if m.alertedRange[pk] {
+			continue
+		}
+		lo, hi := m.b.bounds(vr)
+		if v < lo || v > hi {
+			m.alertedRange[pk] = true
+			sev := 2
+			if command {
+				sev = 3
+			}
+			m.emit(AlertValueRange, sev, fmt.Sprintf("%s/%d", pk.Station, pk.IOA),
+				"value %.4g outside baseline [%.4g, %.4g]", v, vr.Min, vr.Max)
+		}
+	}
+}
+
+// bounds widens a point's baseline envelope by the configured margin:
+// a fraction of the observed span, floored at a small fraction of the
+// operating magnitude so near-constant series (a bus voltage pinned at
+// nominal) do not alert on normal measurement noise.
+func (b *Baseline) bounds(vr *valueRange) (lo, hi float64) {
+	span := vr.Max - vr.Min
+	margin := b.RangeMargin * span
+	if floor := 0.05 * math.Max(math.Abs(vr.Min), math.Abs(vr.Max)); margin < floor {
+		margin = floor
+	}
+	if margin < 0.01 {
+		margin = 0.01
+	}
+	return vr.Min - margin, vr.Max + margin
+}

@@ -1,0 +1,143 @@
+package iec104
+
+import (
+	"testing"
+)
+
+// fuzzSeeds returns the corpus the fuzzers start from: one valid frame
+// of every APCI format under every candidate profile, plus the
+// malformed shapes the robustness tests already exercise (wrong start
+// byte, lying length octet, truncations, empty input). Native fuzzing
+// then mutates from frames that reach deep into the ASDU decoders
+// instead of bouncing off the header checks.
+func fuzzSeeds(f *testing.F) [][]byte {
+	var seeds [][]byte
+	asdus := []*ASDU{
+		NewMeasurement(MMeTf, 5, 1201, Value{Kind: KindFloat, Float: 60.01, HasTime: true}, CauseSpontaneous),
+		NewMeasurement(MMeNc, 9, 2001, Value{Kind: KindFloat, Float: -12.5}, CausePeriodic),
+		NewInterrogation(7, CauseActivation),
+		NewSetpointFloat(3, 4001, 120.5, CauseActivation),
+	}
+	for _, p := range CandidateProfiles {
+		for _, a := range asdus {
+			frame, err := NewI(3, 4, a).Marshal(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			seeds = append(seeds, frame)
+		}
+	}
+	s, err := NewS(9).Marshal(Standard)
+	if err != nil {
+		f.Fatal(err)
+	}
+	u, err := NewU(UStartDTAct).Marshal(Standard)
+	if err != nil {
+		f.Fatal(err)
+	}
+	good := seeds[0]
+	seeds = append(seeds, s, u,
+		nil,                   // empty
+		[]byte{StartByte},     // lone start byte
+		[]byte{0x69, 4, 0, 0}, // wrong start byte
+		good[:3],              // truncated header
+		good[:len(good)-2],    // truncated body
+		append([]byte{StartByte, 0xff}, good[2:]...), // lying length octet
+	)
+	return seeds
+}
+
+// FuzzParseAPDU checks the frame parser under every profile: it must
+// never panic, must report consumed bytes inside the input, and any
+// frame it accepts must survive a marshal → parse round trip.
+func FuzzParseAPDU(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, p := range CandidateProfiles {
+			apdu, n, err := ParseAPDU(data, p)
+			if err != nil {
+				continue
+			}
+			if n <= 0 || n > len(data) {
+				t.Fatalf("profile %v: consumed %d of %d bytes", p, n, len(data))
+			}
+			out, err := apdu.Marshal(p)
+			if err != nil {
+				// Some tolerated inputs (e.g. unsupported type IDs) parse
+				// but do not re-marshal; that is fine.
+				continue
+			}
+			re, _, err := ParseAPDU(out, p)
+			if err != nil {
+				t.Fatalf("profile %v: re-parse of re-marshalled frame failed: %v", p, err)
+			}
+			if re.Format != apdu.Format {
+				t.Fatalf("profile %v: format changed across round trip: %v -> %v", p, apdu.Format, re.Format)
+			}
+		}
+	})
+}
+
+// FuzzParseAPDUs checks the multi-frame splitter: no panics, and the
+// consumed count must stay within the input.
+func FuzzParseAPDUs(f *testing.F) {
+	seeds := fuzzSeeds(f)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	// A two-frame seed exercises the resynchronisation path.
+	f.Add(append(append([]byte(nil), seeds[0]...), seeds[1]...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, p := range CandidateProfiles {
+			apdus, n, _ := ParseAPDUs(data, p)
+			if n < 0 || n > len(data) {
+				t.Fatalf("profile %v: consumed %d of %d bytes", p, n, len(data))
+			}
+			if len(apdus) > 0 && n == 0 {
+				t.Fatalf("profile %v: returned %d frames without consuming input", p, len(apdus))
+			}
+		}
+	})
+}
+
+// FuzzParseASDU fuzzes the payload decoder directly, bypassing the
+// APCI header checks that shield it in FuzzParseAPDU.
+func FuzzParseASDU(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		if len(s) > 6 {
+			f.Add(s[6:]) // strip the APCI, leaving the raw ASDU
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, p := range CandidateProfiles {
+			_, _ = ParseASDU(data, p)
+		}
+	})
+}
+
+// FuzzTolerantParser drives the endpoint-learning parser, the exact
+// code path the measurement pipeline feeds with live TCP payloads.
+// DetectProfile rides along since the tolerant parser calls it while
+// undecided.
+func FuzzTolerantParser(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = DetectProfile(data)
+		tp := NewTolerantParser()
+		apdus, err := tp.Parse("fuzz-endpoint", data)
+		if err == nil {
+			for _, a := range apdus {
+				if a == nil {
+					t.Fatal("tolerant parser returned a nil frame without error")
+				}
+			}
+		}
+		// Feeding the same endpoint again must not panic either: the
+		// parser keeps per-endpoint dialect state between calls.
+		_, _ = tp.Parse("fuzz-endpoint", data)
+	})
+}

@@ -57,6 +57,32 @@ func (c *Chain) Add(seq []iec104.Token) {
 	}
 }
 
+// Merge folds another chain's counts into c: node, edge and total
+// counts add. Sequences observed separately stay unstitched — no
+// cross-chain bigram is invented, matching Add's semantics.
+func (c *Chain) Merge(o *Chain) {
+	if o == nil {
+		return
+	}
+	for tok, n := range o.nodes {
+		c.nodes[tok] += n
+	}
+	c.total += o.total
+	for from, m := range o.counts {
+		dst, ok := c.counts[from]
+		if !ok {
+			dst = make(map[iec104.Token]int, len(m))
+			c.counts[from] = dst
+		}
+		for to, n := range m {
+			dst[to] += n
+		}
+	}
+	for from, n := range o.outs {
+		c.outs[from] += n
+	}
+}
+
 // Nodes returns the number of distinct tokens observed.
 func (c *Chain) Nodes() int { return len(c.nodes) }
 

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -97,6 +98,13 @@ func (r *Registry) WriteJSON(w io.Writer, journal *Journal) error {
 // journal may be nil; when set, its per-type event counts are included
 // in the JSON document.
 func Handler(r *Registry, journal *Journal) http.Handler {
+	return HandlerWith(r, journal, nil)
+}
+
+// HandlerWith is Handler plus caller-supplied routes (path → handler),
+// which appear in the index page. Extra routes must not shadow the
+// built-in ones.
+func HandlerWith(r *Registry, journal *Journal, extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -106,15 +114,36 @@ func Handler(r *Registry, journal *Journal) http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		r.WriteJSON(w, journal)
 	})
+	index := "uncharted observability endpoint\n\n/metrics     Prometheus text format\n/debug/vars  expvar-style JSON\n"
+	paths := make([]string, 0, len(extra))
+	for p := range extra {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		mux.Handle(p, extra[p])
+		index += fmt.Sprintf("%-12s (application route)\n", p)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "uncharted observability endpoint\n\n/metrics     Prometheus text format\n/debug/vars  expvar-style JSON\n")
+		io.WriteString(w, index)
 	})
 	return mux
+}
+
+// ServeWith is Serve with extra routes, mirroring HandlerWith.
+func ServeWith(addr string, r *Registry, journal *Journal, extra map[string]http.Handler) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: HandlerWith(r, journal, extra)}
+	go srv.Serve(ln)
+	return ln.Addr(), srv.Close, nil
 }
 
 // Serve starts an HTTP server for Handler(r, journal) on addr and

@@ -29,6 +29,12 @@ const (
 	EventConnState EventType = "conn_state"
 	// EventFailover: a redundancy group promoted its standby.
 	EventFailover EventType = "failover"
+	// EventSnapshot: the streaming engine published a rolling profile.
+	EventSnapshot EventType = "snapshot"
+	// EventDrop: the streaming engine shed load (dropped a batch).
+	EventDrop EventType = "drop"
+	// EventAlert: the online IDS raised an alert.
+	EventAlert EventType = "alert"
 )
 
 // Event is one journal entry.

@@ -1,0 +1,157 @@
+package physical
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"uncharted/internal/iec104"
+)
+
+// Digest is a mergeable moment sketch of one series: enough state to
+// rank series by normalized variance across analysis shards without
+// shipping raw samples. Mean/M2 follow Welford's accumulation, merged
+// with the parallel (Chan et al.) update.
+type Digest struct {
+	Key     SeriesKey     `json:"key"`
+	Type    iec104.TypeID `json:"type"`
+	Command bool          `json:"command"`
+	Count   int           `json:"count"`
+	Min     float64       `json:"min"`
+	Max     float64       `json:"max"`
+	Mean    float64       `json:"mean"`
+	M2      float64       `json:"-"` // sum of squared deviations from Mean
+	First   time.Time     `json:"first"`
+	Last    time.Time     `json:"last"`
+}
+
+// Variance returns the population variance, matching
+// stats.Variance (zero below two samples).
+func (d Digest) Variance() float64 {
+	if d.Count < 2 {
+		return 0
+	}
+	return d.M2 / float64(d.Count)
+}
+
+// NormalizedVariance matches stats.NormalizedVariance: variance over
+// squared mean, or the raw variance for near-zero means.
+func (d Digest) NormalizedVariance() float64 {
+	v := d.Variance()
+	if math.Abs(d.Mean) < 1e-9 {
+		return v
+	}
+	return v / (d.Mean * d.Mean)
+}
+
+// merge folds another digest of the same series into d.
+func (d *Digest) merge(o Digest) {
+	if o.Count == 0 {
+		return
+	}
+	if d.Count == 0 {
+		*d = o
+		return
+	}
+	if o.Min < d.Min {
+		d.Min = o.Min
+	}
+	if o.Max > d.Max {
+		d.Max = o.Max
+	}
+	if o.First.Before(d.First) {
+		d.First = o.First
+	}
+	if o.Last.After(d.Last) {
+		d.Last = o.Last
+	}
+	n1, n2 := float64(d.Count), float64(o.Count)
+	delta := o.Mean - d.Mean
+	n := n1 + n2
+	d.M2 = d.M2 + o.M2 + delta*delta*n1*n2/n
+	d.Mean = d.Mean + delta*n2/n
+	d.Count += o.Count
+}
+
+// Digest summarises one series.
+func (s *Series) Digest() Digest {
+	d := Digest{Key: s.Key, Type: s.Type, Command: s.Command}
+	for _, smp := range s.Samples {
+		d.Count++
+		if d.Count == 1 {
+			d.Min, d.Max = smp.V, smp.V
+			d.First, d.Last = smp.T, smp.T
+		} else {
+			if smp.V < d.Min {
+				d.Min = smp.V
+			}
+			if smp.V > d.Max {
+				d.Max = smp.V
+			}
+			if smp.T.Before(d.First) {
+				d.First = smp.T
+			}
+			if smp.T.After(d.Last) {
+				d.Last = smp.T
+			}
+		}
+		delta := smp.V - d.Mean
+		d.Mean += delta / float64(d.Count)
+		d.M2 += delta * (smp.V - d.Mean)
+	}
+	return d
+}
+
+// Digests summarises every series in first-seen order.
+func (st *Store) Digests() []Digest {
+	out := make([]Digest, 0, len(st.order))
+	for _, k := range st.order {
+		out = append(out, st.m[k].Digest())
+	}
+	return out
+}
+
+// MergeDigests combines digest lists from several shards: digests of
+// the same series are folded together, and the result is sorted by
+// series key for deterministic output.
+func MergeDigests(lists ...[]Digest) []Digest {
+	byKey := make(map[SeriesKey]*Digest)
+	var order []SeriesKey
+	for _, list := range lists {
+		for _, d := range list {
+			if cur, ok := byKey[d.Key]; ok {
+				cur.merge(d)
+				continue
+			}
+			cp := d
+			byKey[d.Key] = &cp
+			order = append(order, d.Key)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Station != order[j].Station {
+			return order[i].Station < order[j].Station
+		}
+		return order[i].IOA < order[j].IOA
+	})
+	out := make([]Digest, len(order))
+	for i, k := range order {
+		out[i] = *byKey[k]
+	}
+	return out
+}
+
+// RankDigests orders digests with at least minSamples by decreasing
+// normalized variance — the streaming counterpart of Store.Ranked.
+func RankDigests(ds []Digest, minSamples int) []Digest {
+	var out []Digest
+	for _, d := range ds {
+		if d.Count >= minSamples {
+			out = append(out, d)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].NormalizedVariance() > out[j].NormalizedVariance()
+	})
+	return out
+}

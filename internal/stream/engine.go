@@ -1,0 +1,396 @@
+// Package stream turns the offline measurement pipeline into a
+// long-running service: a single reader stage pulls decoded packets
+// from a Source (a finished capture, a growing capture being tailed,
+// a time-scaled replay, or an in-process simulator feed) and fans
+// batches out to N analysis shards over bounded channels.
+//
+// Traffic is partitioned by unordered IP pair, so every TCP flow,
+// every logical server/outstation connection and every directional
+// session is owned by exactly one shard: each shard runs an ordinary
+// *core.Analyzer with no locks on the hot path, and the per-connection
+// token order the §6.3 Markov models depend on is preserved. Shard
+// snapshots are core.Partial values, merged into a rolling Profile
+// that is published over HTTP next to the /metrics endpoint and
+// journalled as JSONL. Bounded queues give backpressure: the reader
+// either blocks (lossless, default) or sheds whole batches with an
+// explicit drop counter when a shard falls behind.
+package stream
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/obs"
+	"uncharted/internal/pcap"
+)
+
+// DropPolicy says what the reader does when a shard's queue is full.
+type DropPolicy int
+
+// Policies.
+const (
+	// Block waits for the shard: lossless, backpressure propagates to
+	// the source. The right choice for replay and bounded captures.
+	Block DropPolicy = iota
+	// DropNewest sheds the incoming batch and counts it: the profile
+	// becomes approximate but the reader never stalls. The right
+	// choice when the source is an unstoppable live feed.
+	DropNewest
+)
+
+// Config parameterises an Engine.
+type Config struct {
+	// Workers is the shard count; minimum (and default) 1.
+	Workers int
+	// BatchSize is how many packets ride one channel send (default 64).
+	BatchSize int
+	// QueueDepth is the per-shard queue capacity in batches (default 64).
+	QueueDepth int
+	// Policy picks Block (default) or DropNewest.
+	Policy DropPolicy
+	// SnapshotEvery is the rolling-profile period; 0 disables the
+	// periodic snapshotter (a final profile is still produced).
+	SnapshotEvery time.Duration
+	// PollInterval is how long the reader sleeps on ErrNotReady
+	// (default 25ms).
+	PollInterval time.Duration
+	// IdleTimeout, when set, evicts flows idle for that long from the
+	// per-shard trackers (streaming memory bound; taxonomy is kept).
+	IdleTimeout time.Duration
+	// ClusterK / ClusterSeed parameterise the profile's session
+	// clustering; K 0 disables it.
+	ClusterK    int
+	ClusterSeed int64
+	// Names resolves endpoint addresses for reports.
+	Names map[netip.Addr]string
+	// Registry / Journal instrument the engine and its analyzers; both
+	// optional.
+	Registry *obs.Registry
+	Journal  *obs.Journal
+	// Observer, when set, attaches a core.FrameObserver to each shard
+	// (e.g. an ids.Monitor). Called once per shard at start; monitors
+	// are per-shard, so no locking is needed inside them, but a shared
+	// alert sink must be serialised by the caller.
+	Observer func(shard int) core.FrameObserver
+}
+
+func (c *Config) fill() {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 64
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 25 * time.Millisecond
+	}
+}
+
+// shard owns one analyzer. The engine communicates with it only
+// through its channels, so analyzer state needs no locks.
+type shard struct {
+	id   int
+	an   *core.Analyzer
+	in   chan []pcap.Packet
+	snap chan chan core.Partial
+	done chan struct{}
+}
+
+func (s *shard) run() {
+	defer close(s.done)
+	for {
+		select {
+		case pkts, ok := <-s.in:
+			if !ok {
+				return
+			}
+			for i := range pkts {
+				s.an.FeedPacket(pkts[i])
+			}
+		case reply := <-s.snap:
+			reply <- s.an.Partial()
+		}
+	}
+}
+
+// Engine is the streaming pipeline. Create with New, drive with Run;
+// Profile and Snapshot may be called from other goroutines while Run
+// is in flight.
+type Engine struct {
+	cfg     Config
+	shards  []*shard
+	metrics *engineMetrics
+
+	profile atomic.Pointer[Profile]
+	seq     int
+
+	mu      sync.Mutex
+	running bool
+	final   core.Partial
+}
+
+// New builds an engine; Run starts it.
+func New(cfg Config) *Engine {
+	cfg.fill()
+	e := &Engine{cfg: cfg, metrics: newEngineMetrics(cfg.Registry, cfg.Workers)}
+	for i := 0; i < cfg.Workers; i++ {
+		an := core.NewAnalyzer(cfg.Names)
+		if cfg.Registry != nil || cfg.Journal != nil {
+			an.Instrument(cfg.Registry, cfg.Journal)
+		}
+		if cfg.IdleTimeout > 0 {
+			an.EnableFlowEviction(cfg.IdleTimeout)
+		}
+		if cfg.Observer != nil {
+			if o := cfg.Observer(i); o != nil {
+				an.SetFrameObserver(o)
+			}
+		}
+		e.shards = append(e.shards, &shard{
+			id:   i,
+			an:   an,
+			in:   make(chan []pcap.Packet, cfg.QueueDepth),
+			snap: make(chan chan core.Partial),
+			done: make(chan struct{}),
+		})
+	}
+	return e
+}
+
+// shardFor partitions by unordered IP pair: both directions of a flow
+// — and every flow between the same two hosts, so reconnects of one
+// logical connection too — land on the same shard.
+func (e *Engine) shardFor(pkt pcap.Packet) int {
+	if len(e.shards) == 1 {
+		return 0
+	}
+	a, b := pkt.IP.Src, pkt.IP.Dst
+	if b.Compare(a) < 0 {
+		a, b = b, a
+	}
+	h := uint64(14695981039346656037) // FNV-1a
+	for _, by := range a.As16() {
+		h = (h ^ uint64(by)) * 1099511628211
+	}
+	for _, by := range b.As16() {
+		h = (h ^ uint64(by)) * 1099511628211
+	}
+	return int(h % uint64(len(e.shards)))
+}
+
+// Run consumes the source until io.EOF or ctx cancellation, then
+// drains the shards and publishes the final profile. It returns nil on
+// clean exhaustion, ctx.Err() on cancellation, or the source's error.
+func (e *Engine) Run(ctx context.Context, src Source) error {
+	e.mu.Lock()
+	e.running = true
+	e.mu.Unlock()
+
+	for _, sh := range e.shards {
+		go sh.run()
+	}
+
+	stopSnap := make(chan struct{})
+	var snapWG sync.WaitGroup
+	if e.cfg.SnapshotEvery > 0 {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			tick := time.NewTicker(e.cfg.SnapshotEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					e.Snapshot()
+				case <-stopSnap:
+					return
+				}
+			}
+		}()
+	}
+
+	pending := make([][]pcap.Packet, len(e.shards))
+	flush := func(i int) bool {
+		if len(pending[i]) == 0 {
+			return true
+		}
+		ok := e.dispatch(ctx, i, pending[i])
+		pending[i] = nil
+		return ok
+	}
+	flushAll := func() bool {
+		for i := range pending {
+			if !flush(i) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var srcErr error
+read:
+	for {
+		select {
+		case <-ctx.Done():
+			srcErr = ctx.Err()
+			break read
+		default:
+		}
+		pkt, err := src.Next()
+		switch {
+		case err == nil:
+			i := e.shardFor(pkt)
+			pending[i] = append(pending[i], pkt)
+			if len(pending[i]) >= e.cfg.BatchSize {
+				if !flush(i) {
+					srcErr = ctx.Err()
+					break read
+				}
+			}
+		case errors.Is(err, ErrNotReady):
+			if !flushAll() {
+				srcErr = ctx.Err()
+				break read
+			}
+			select {
+			case <-ctx.Done():
+				srcErr = ctx.Err()
+				break read
+			case <-time.After(e.cfg.PollInterval):
+			}
+		case errors.Is(err, io.EOF):
+			flushAll()
+			break read
+		default:
+			srcErr = err
+			break read
+		}
+	}
+	if srcErr == nil || errors.Is(srcErr, context.Canceled) {
+		flushAll()
+	}
+
+	close(stopSnap)
+	snapWG.Wait()
+
+	// Shut down: from here Snapshot serves the final profile instead of
+	// fanning out, so no request can race the closing queues.
+	e.mu.Lock()
+	e.running = false
+	for _, sh := range e.shards {
+		close(sh.in)
+	}
+	for _, sh := range e.shards {
+		<-sh.done
+	}
+	parts := make([]core.Partial, len(e.shards))
+	for i, sh := range e.shards {
+		parts[i] = sh.an.Partial()
+	}
+	e.final = core.MergePartials(parts)
+	e.seq++
+	e.publish(e.final, e.seq)
+	e.mu.Unlock()
+	return srcErr
+}
+
+// dispatch hands a batch to a shard under the configured policy. The
+// false return means the context died while blocked.
+func (e *Engine) dispatch(ctx context.Context, i int, pkts []pcap.Packet) bool {
+	e.metrics.noteBatch(len(pkts))
+	if e.cfg.Policy == DropNewest {
+		select {
+		case e.shards[i].in <- pkts:
+		default:
+			e.metrics.noteDropped(i, len(pkts))
+			e.cfg.Journal.Log(pkts[0].Info.Timestamp, obs.EventDrop, "", map[string]any{
+				"shard": i, "packets": len(pkts),
+			})
+		}
+		return true
+	}
+	select {
+	case e.shards[i].in <- pkts:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Snapshot merges a consistent-enough cut of all shards into a
+// Partial, publishes the derived rolling Profile, and returns the
+// Partial. After Run finishes it returns the exact final state.
+func (e *Engine) Snapshot() core.Partial {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.running {
+		return e.final
+	}
+	replies := make([]chan core.Partial, len(e.shards))
+	for i, sh := range e.shards {
+		replies[i] = make(chan core.Partial, 1)
+		sh.snap <- replies[i]
+	}
+	parts := make([]core.Partial, len(e.shards))
+	for i := range replies {
+		parts[i] = <-replies[i]
+	}
+	merged := core.MergePartials(parts)
+	e.seq++
+	e.publish(merged, e.seq)
+	return merged
+}
+
+// publish derives and stores the rolling profile. Called with e.mu
+// held (or single-threaded at shutdown).
+func (e *Engine) publish(p core.Partial, seq int) {
+	prof := BuildProfile(p, seq, e.cfg.ClusterK, e.cfg.ClusterSeed)
+	prof.Workers = e.cfg.Workers
+	prof.DroppedBatches, prof.DroppedPackets = e.metrics.dropped()
+	e.profile.Store(prof)
+	e.metrics.noteSnapshot()
+	e.cfg.Journal.Log(p.Last, obs.EventSnapshot, "", map[string]any{
+		"seq":          seq,
+		"packets":      p.Packets,
+		"iec":          p.IECPackets,
+		"flows":        p.Flows.Total(),
+		"asdus":        p.TotalASDUs,
+		"parse_errors": p.ParseErrors,
+	})
+}
+
+// Profile returns the latest published rolling profile, or nil before
+// the first snapshot.
+func (e *Engine) Profile() *Profile { return e.profile.Load() }
+
+// Final returns the exact end-of-stream state; valid after Run
+// returns.
+func (e *Engine) Final() core.Partial {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.final
+}
+
+// ProfileHandler serves the rolling profile as JSON — mount it at
+// /profile next to the obs handler.
+func (e *Engine) ProfileHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		prof := e.Profile()
+		if prof == nil {
+			http.Error(w, "no profile published yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		prof.WriteJSON(w)
+	})
+}

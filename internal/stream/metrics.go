@@ -1,0 +1,88 @@
+package stream
+
+import (
+	"strconv"
+
+	"uncharted/internal/obs"
+)
+
+// Metric names exported by the engine.
+const (
+	MetricPackets        = "uncharted_stream_packets_total"
+	MetricBatches        = "uncharted_stream_batches_total"
+	MetricDroppedBatches = "uncharted_stream_dropped_batches_total"
+	MetricDroppedPackets = "uncharted_stream_dropped_packets_total"
+	MetricShardDropped   = "uncharted_stream_shard_dropped_batches_total"
+	MetricSnapshots      = "uncharted_stream_snapshots_total"
+	MetricWorkers        = "uncharted_stream_workers"
+)
+
+// engineMetrics books the engine's counters; a nil receiver (no
+// registry configured) is a no-op, mirroring the other packages.
+type engineMetrics struct {
+	packets   *obs.Counter
+	batches   *obs.Counter
+	snapshots *obs.Counter
+	dropB     *obs.Counter
+	dropP     *obs.Counter
+	perShardB []*obs.Counter
+}
+
+func newEngineMetrics(reg *obs.Registry, workers int) *engineMetrics {
+	if reg == nil {
+		return nil
+	}
+	reg.SetHelp(MetricPackets, "Packets dispatched to analysis shards.")
+	reg.SetHelp(MetricBatches, "Batches dispatched to analysis shards.")
+	reg.SetHelp(MetricDroppedBatches, "Batches shed under the drop policy.")
+	reg.SetHelp(MetricDroppedPackets, "Packets shed under the drop policy.")
+	reg.SetHelp(MetricShardDropped, "Batches shed per shard under the drop policy.")
+	reg.SetHelp(MetricSnapshots, "Rolling profiles published.")
+	reg.SetHelp(MetricWorkers, "Configured analysis shard count.")
+	m := &engineMetrics{
+		packets:   reg.Counter(MetricPackets),
+		batches:   reg.Counter(MetricBatches),
+		snapshots: reg.Counter(MetricSnapshots),
+		dropB:     reg.Counter(MetricDroppedBatches),
+		dropP:     reg.Counter(MetricDroppedPackets),
+	}
+	for i := 0; i < workers; i++ {
+		m.perShardB = append(m.perShardB, reg.Counter(MetricShardDropped, "shard", strconv.Itoa(i)))
+	}
+	reg.Gauge(MetricWorkers).Set(float64(workers))
+	return m
+}
+
+func (m *engineMetrics) noteBatch(packets int) {
+	if m == nil {
+		return
+	}
+	m.batches.Inc()
+	m.packets.Add(int64(packets))
+}
+
+func (m *engineMetrics) noteDropped(shard, packets int) {
+	if m == nil {
+		return
+	}
+	m.dropB.Inc()
+	m.dropP.Add(int64(packets))
+	if shard < len(m.perShardB) {
+		m.perShardB[shard].Inc()
+	}
+}
+
+func (m *engineMetrics) noteSnapshot() {
+	if m == nil {
+		return
+	}
+	m.snapshots.Inc()
+}
+
+// dropped returns the total shed batch/packet counts for the profile.
+func (m *engineMetrics) dropped() (batches, packets int64) {
+	if m == nil {
+		return 0, 0
+	}
+	return m.dropB.Value(), m.dropP.Value()
+}

@@ -1,0 +1,193 @@
+package stream
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/physical"
+)
+
+// Profile is the rolling JSON document the engine publishes: every §6
+// aggregate the offline profiler reports, derived from a merged
+// shard snapshot. It is what -follow mode serves at /profile and what
+// cmd/iec104live prints when it drains.
+type Profile struct {
+	// Seq increments per published snapshot; the final profile has the
+	// highest Seq.
+	Seq int `json:"seq"`
+	// Workers is the shard count that produced this profile.
+	Workers int `json:"workers"`
+	// First / Last bound the capture window seen so far.
+	First time.Time `json:"first"`
+	Last  time.Time `json:"last"`
+
+	Packets      int `json:"packets"`
+	IECPackets   int `json:"iec_packets"`
+	ParseErrors  int `json:"parse_errors"`
+	SeqAnomalies int `json:"seq_anomalies"`
+	TotalASDUs   int `json:"total_asdus"`
+	FlowsEvicted int `json:"flows_evicted,omitempty"`
+
+	// DroppedBatches / DroppedPackets count load shed under
+	// DropNewest; both zero under Block.
+	DroppedBatches int64 `json:"dropped_batches,omitempty"`
+	DroppedPackets int64 `json:"dropped_packets,omitempty"`
+
+	// Flows is the Table 3 taxonomy.
+	Flows FlowProfile `json:"flows"`
+	// Compliance is the §6.1 verdict per endpoint.
+	Compliance ComplianceProfile `json:"compliance"`
+	// Types is Table 7, descending.
+	Types []core.TypeIDShare `json:"types,omitempty"`
+	// Markov summarises the per-connection chains (Fig. 13/17).
+	Markov MarkovProfile `json:"markov"`
+	// Clusters summarises session clustering when enabled and enough
+	// sessions exist.
+	Clusters *ClusterProfile `json:"clusters,omitempty"`
+	// Physical ranks measurement series by normalized variance.
+	Physical []PhysicalPoint `json:"physical,omitempty"`
+}
+
+// FlowProfile is the JSON rendering of the flow taxonomy.
+type FlowProfile struct {
+	Total            int     `json:"total"`
+	ShortLived       int     `json:"short_lived"`
+	LongLived        int     `json:"long_lived"`
+	ShortLivedSubSec int     `json:"short_lived_subsec"`
+	SubSecProportion float64 `json:"subsec_proportion"`
+}
+
+// ComplianceProfile is the JSON rendering of the §6.1 report.
+type ComplianceProfile struct {
+	Stations     int               `json:"stations"`
+	NonCompliant []string          `json:"non_compliant,omitempty"`
+	Dialects     map[string]string `json:"dialects,omitempty"`
+}
+
+// ConnProfile is one connection's chain shape.
+type ConnProfile struct {
+	Server     string `json:"server"`
+	Outstation string `json:"outstation"`
+	Nodes      int    `json:"nodes"`
+	Edges      int    `json:"edges"`
+	Tokens     int    `json:"tokens"`
+	Cluster    string `json:"cluster"`
+}
+
+// MarkovProfile summarises Figs. 13 and 17.
+type MarkovProfile struct {
+	Connections  []ConnProfile `json:"connections,omitempty"`
+	Point11      []string      `json:"point11,omitempty"`
+	Square       []string      `json:"square,omitempty"`
+	Ellipse      []string      `json:"ellipse,omitempty"`
+	Distribution [9]int        `json:"distribution"`
+}
+
+// ClusterProfile summarises the §6.3 session clustering.
+type ClusterProfile struct {
+	K          int      `json:"k"`
+	Sizes      []int    `json:"sizes"`
+	Silhouette float64  `json:"silhouette"`
+	Outliers   []string `json:"outliers,omitempty"`
+}
+
+// PhysicalPoint is one ranked measurement series.
+type PhysicalPoint struct {
+	Station            string  `json:"station"`
+	IOA                uint32  `json:"ioa"`
+	Count              int     `json:"count"`
+	Min                float64 `json:"min"`
+	Max                float64 `json:"max"`
+	Mean               float64 `json:"mean"`
+	NormalizedVariance float64 `json:"normalized_variance"`
+	Command            bool    `json:"command,omitempty"`
+}
+
+// BuildProfile derives the published document from a merged snapshot.
+// k ≤ 0 skips clustering; clustering also degrades gracefully (to
+// absent) while fewer than k sessions exist.
+func BuildProfile(p core.Partial, seq, k int, seed int64) *Profile {
+	prof := &Profile{
+		Seq:          seq,
+		First:        p.First,
+		Last:         p.Last,
+		Packets:      p.Packets,
+		IECPackets:   p.IECPackets,
+		ParseErrors:  p.ParseErrors,
+		SeqAnomalies: p.SeqAnomalies,
+		TotalASDUs:   p.TotalASDUs,
+		FlowsEvicted: p.FlowsEvicted,
+		Types:        p.TypeDistribution(),
+	}
+	prof.Flows = FlowProfile{
+		Total:            p.Flows.Total(),
+		ShortLived:       p.Flows.ShortLived,
+		LongLived:        p.Flows.LongLived,
+		ShortLivedSubSec: p.Flows.ShortLivedSubSec,
+		SubSecProportion: p.Flows.SubSecProportion(),
+	}
+
+	comp := p.ComplianceReport()
+	prof.Compliance = ComplianceProfile{
+		Stations:     len(comp.Stations),
+		NonCompliant: comp.NonCompliant,
+		Dialects:     make(map[string]string, len(comp.Stations)),
+	}
+	for _, sc := range comp.Stations {
+		if sc.Detected {
+			prof.Compliance.Dialects[sc.Name] = sc.Profile.String()
+		}
+	}
+
+	mk := p.MarkovReport()
+	prof.Markov = MarkovProfile{
+		Point11:      mk.Point11,
+		Square:       mk.Square,
+		Ellipse:      mk.Ellipse,
+		Distribution: mk.Distribution,
+	}
+	for _, cc := range mk.Chains {
+		prof.Markov.Connections = append(prof.Markov.Connections, ConnProfile{
+			Server:     cc.Server,
+			Outstation: cc.Outstation,
+			Nodes:      cc.Chain.Nodes(),
+			Edges:      cc.Chain.Edges(),
+			Tokens:     cc.Chain.TotalTokens(),
+			Cluster:    cc.Cluster.String(),
+		})
+	}
+
+	if k > 0 {
+		if cr, err := p.ClusterReport(k, seed); err == nil {
+			prof.Clusters = &ClusterProfile{
+				K:          cr.K,
+				Sizes:      cr.Sizes,
+				Silhouette: cr.Sil,
+				Outliers:   cr.Outliers,
+			}
+		}
+	}
+
+	for _, d := range physical.RankDigests(p.Physical, 2) {
+		prof.Physical = append(prof.Physical, PhysicalPoint{
+			Station:            d.Key.Station,
+			IOA:                d.Key.IOA,
+			Count:              d.Count,
+			Min:                d.Min,
+			Max:                d.Max,
+			Mean:               d.Mean,
+			NormalizedVariance: d.NormalizedVariance(),
+			Command:            d.Command,
+		})
+	}
+	return prof
+}
+
+// WriteJSON renders the profile, indented for human consumption.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}

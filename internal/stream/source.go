@@ -1,0 +1,290 @@
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"uncharted/internal/pcap"
+	"uncharted/internal/scadasim"
+)
+
+// ErrNotReady is returned by a live Source when no packet is available
+// yet: the caller should flush in-flight work and poll again shortly.
+// It is a flow-control signal, not a failure.
+var ErrNotReady = errors.New("stream: no packet available yet")
+
+// Source yields decoded packets to the engine. Next returns io.EOF
+// when the source is exhausted for good and ErrNotReady when a live
+// source has nothing right now. Sources are used from a single
+// goroutine (the engine's reader stage).
+type Source interface {
+	Next() (pcap.Packet, error)
+	Close() error
+}
+
+// PCAPSource reads a finished capture (classic pcap or pcapng) as
+// fast as the engine consumes it.
+type PCAPSource struct {
+	pr pcap.PacketReader
+}
+
+// NewPCAPSource parses the capture header from r.
+func NewPCAPSource(r io.Reader) (*PCAPSource, error) {
+	pr, err := pcap.NewAutoReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &PCAPSource{pr: pr}, nil
+}
+
+// Next returns the next decodable packet. Records that fail link-layer
+// decoding are skipped, matching the offline Analyzer.ReadPCAP path.
+func (s *PCAPSource) Next() (pcap.Packet, error) {
+	for {
+		data, ci, err := s.pr.ReadPacket()
+		if err != nil {
+			if err == io.EOF {
+				return pcap.Packet{}, io.EOF
+			}
+			return pcap.Packet{}, fmt.Errorf("stream: reading capture: %w", err)
+		}
+		pkt, err := pcap.DecodePacket(s.pr.LinkType(), ci, data)
+		if err != nil {
+			continue
+		}
+		return pkt, nil
+	}
+}
+
+// Close implements Source; the underlying reader is caller-owned.
+func (s *PCAPSource) Close() error { return nil }
+
+// FollowSource tails a growing classic-pcap file (`tail -f` for
+// captures): it serves every complete record already on disk and
+// returns ErrNotReady at the write frontier instead of tearing down.
+// A record half-written by the capturing process is left untouched
+// until the rest arrives, so the embedded reader never sees a short
+// read.
+type FollowSource struct {
+	f       *os.File
+	pending []byte // bytes read from the file, not yet fully consumed
+	head    int    // consumed prefix of pending
+	order   binary.ByteOrder
+	pr      *pcap.Reader
+}
+
+// NewFollowSource opens path for tailing. The file may be empty or
+// not yet have a complete header; parsing starts once enough bytes
+// exist.
+func NewFollowSource(path string) (*FollowSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FollowSource{f: f}, nil
+}
+
+// Read serves the pcap.Reader from the buffered window. The framing
+// check in Next guarantees the reader only asks for bytes that are
+// already buffered.
+func (s *FollowSource) Read(p []byte) (int, error) {
+	if s.head >= len(s.pending) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.pending[s.head:])
+	s.head += n
+	return n, nil
+}
+
+// fill appends newly written file bytes to the window, compacting the
+// consumed prefix first so the buffer stays proportional to the
+// unparsed tail.
+func (s *FollowSource) fill() error {
+	if s.head > 0 && s.head == len(s.pending) {
+		s.pending = s.pending[:0]
+		s.head = 0
+	} else if s.head > 1<<16 {
+		s.pending = append(s.pending[:0], s.pending[s.head:]...)
+		s.head = 0
+	}
+	var chunk [64 * 1024]byte
+	for {
+		n, err := s.f.Read(chunk[:])
+		s.pending = append(s.pending, chunk[:n]...)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if n < len(chunk) {
+			return nil
+		}
+	}
+}
+
+func (s *FollowSource) avail() int { return len(s.pending) - s.head }
+
+// Next returns the next decodable packet, ErrNotReady at the write
+// frontier, and never io.EOF: a followed file has no end until the
+// caller stops.
+func (s *FollowSource) Next() (pcap.Packet, error) {
+	if err := s.fill(); err != nil {
+		return pcap.Packet{}, err
+	}
+	if s.pr == nil {
+		if s.avail() < 24 {
+			return pcap.Packet{}, ErrNotReady
+		}
+		switch binary.LittleEndian.Uint32(s.pending[s.head : s.head+4]) {
+		case 0xa1b2c3d4, 0xa1b23c4d:
+			s.order = binary.LittleEndian
+		case 0xd4c3b2a1, 0x4d3cb2a1:
+			s.order = binary.BigEndian
+		default:
+			return pcap.Packet{}, fmt.Errorf("stream: %s is not a classic pcap file", s.f.Name())
+		}
+		pr, err := pcap.NewReader(s)
+		if err != nil {
+			return pcap.Packet{}, err
+		}
+		s.pr = pr
+	}
+	for {
+		// Gate ReadPacket on a fully buffered record: 16-byte record
+		// header plus the captured length it declares.
+		if s.avail() < 16 {
+			return pcap.Packet{}, ErrNotReady
+		}
+		capLen := int(s.order.Uint32(s.pending[s.head+8 : s.head+12]))
+		if s.avail() < 16+capLen {
+			return pcap.Packet{}, ErrNotReady
+		}
+		data, ci, err := s.pr.ReadPacket()
+		if err != nil {
+			return pcap.Packet{}, err
+		}
+		pkt, err := pcap.DecodePacket(s.pr.LinkType(), ci, data)
+		if err != nil {
+			continue
+		}
+		return pkt, nil
+	}
+}
+
+// Close releases the tailed file.
+func (s *FollowSource) Close() error { return s.f.Close() }
+
+// ReplaySource replays a finished capture against the wall clock,
+// scaled by Speed: a packet captured Δt after the first is released
+// Δt/Speed after the replay started. It turns any recorded capture
+// into a live feed for exercising the engine's follow machinery.
+type ReplaySource struct {
+	inner   *PCAPSource
+	speed   float64
+	now     func() time.Time
+	started time.Time
+	base    time.Time
+	pending *pcap.Packet
+}
+
+// NewReplaySource wraps the capture read from r. speed <= 0 means
+// "as fast as possible".
+func NewReplaySource(r io.Reader, speed float64) (*ReplaySource, error) {
+	inner, err := NewPCAPSource(r)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplaySource{inner: inner, speed: speed, now: time.Now}, nil
+}
+
+// Next returns the next packet once its scaled capture offset has
+// elapsed, ErrNotReady before that, io.EOF at the end of the capture.
+func (s *ReplaySource) Next() (pcap.Packet, error) {
+	if s.pending == nil {
+		pkt, err := s.inner.Next()
+		if err != nil {
+			return pcap.Packet{}, err
+		}
+		s.pending = &pkt
+	}
+	if s.speed > 0 {
+		if s.started.IsZero() {
+			s.started = s.now()
+			s.base = s.pending.Info.Timestamp
+		}
+		due := s.started.Add(time.Duration(float64(s.pending.Info.Timestamp.Sub(s.base)) / s.speed))
+		if s.now().Before(due) {
+			return pcap.Packet{}, ErrNotReady
+		}
+	}
+	pkt := *s.pending
+	s.pending = nil
+	return pkt, nil
+}
+
+// Close implements Source.
+func (s *ReplaySource) Close() error { return s.inner.Close() }
+
+// RecordSource feeds simulator records straight into the engine with
+// no pcap round-trip: each record is serialized and decoded exactly
+// like Trace.WritePCAP followed by Analyzer.ReadPCAP, so the streamed
+// profile is comparable with the offline one. Speed works like
+// ReplaySource's.
+type RecordSource struct {
+	recs    []scadasim.Record
+	i       int
+	speed   float64
+	now     func() time.Time
+	started time.Time
+	base    time.Time
+}
+
+// NewRecordSource wraps a simulated trace's records. speed <= 0 means
+// "as fast as possible".
+func NewRecordSource(recs []scadasim.Record, speed float64) *RecordSource {
+	return &RecordSource{recs: recs, speed: speed, now: time.Now}
+}
+
+// Next serializes and decodes the next record.
+func (s *RecordSource) Next() (pcap.Packet, error) {
+	for {
+		if s.i >= len(s.recs) {
+			return pcap.Packet{}, io.EOF
+		}
+		r := &s.recs[s.i]
+		if s.speed > 0 {
+			if s.started.IsZero() {
+				s.started = s.now()
+				s.base = r.Time
+			}
+			due := s.started.Add(time.Duration(float64(r.Time.Sub(s.base)) / s.speed))
+			if s.now().Before(due) {
+				return pcap.Packet{}, ErrNotReady
+			}
+		}
+		s.i++
+		frame, err := pcap.BuildTCPPacket(r.Src, r.Dst, pcap.TCP{
+			Seq: r.Seq, Ack: r.Ack, Flags: r.Flags, Payload: r.Payload,
+		})
+		if err != nil {
+			return pcap.Packet{}, err
+		}
+		// The pcap writer floors timestamps to microseconds; match it
+		// so streamed and recorded profiles agree to the last bit.
+		ts := r.Time.Truncate(time.Microsecond).UTC()
+		ci := pcap.CaptureInfo{Timestamp: ts, CaptureLength: len(frame), Length: len(frame)}
+		pkt, err := pcap.DecodePacket(pcap.LinkTypeEthernet, ci, frame)
+		if err != nil {
+			continue
+		}
+		return pkt, nil
+	}
+}
+
+// Close implements Source.
+func (s *RecordSource) Close() error { return nil }

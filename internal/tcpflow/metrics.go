@@ -10,16 +10,18 @@ const (
 	MetricSegments    = "uncharted_tcpflow_segments_total"
 	MetricRetransmits = "uncharted_tcpflow_retransmit_segments_total"
 	MetricOutOfOrder  = "uncharted_tcpflow_out_of_order_segments_total"
+	MetricFlowsEvict  = "uncharted_tcpflow_flows_evicted_total"
 )
 
 // trackerMetrics holds the pre-resolved handles one Tracker updates.
 type trackerMetrics struct {
-	flowsOpened *obs.Counter
-	flowsClosed *obs.Counter
-	openFlows   *obs.Gauge
-	segments    *obs.Counter
-	retransmits *obs.Counter
-	outOfOrder  *obs.Counter
+	flowsOpened  *obs.Counter
+	flowsClosed  *obs.Counter
+	openFlows    *obs.Gauge
+	segments     *obs.Counter
+	retransmits  *obs.Counter
+	outOfOrder   *obs.Counter
+	flowsEvicted *obs.Counter
 }
 
 func newTrackerMetrics(reg *obs.Registry) *trackerMetrics {
@@ -29,13 +31,15 @@ func newTrackerMetrics(reg *obs.Registry) *trackerMetrics {
 	reg.SetHelp(MetricSegments, "TCP segments fed to the flow tracker.")
 	reg.SetHelp(MetricRetransmits, "Payload segments carrying only already-delivered bytes.")
 	reg.SetHelp(MetricOutOfOrder, "Payload segments buffered ahead of a sequence gap.")
+	reg.SetHelp(MetricFlowsEvict, "Flows dropped by streaming-mode idle eviction.")
 	return &trackerMetrics{
-		flowsOpened: reg.Counter(MetricFlowsOpened),
-		flowsClosed: reg.Counter(MetricFlowsClosed),
-		openFlows:   reg.Gauge(MetricOpenFlows),
-		segments:    reg.Counter(MetricSegments),
-		retransmits: reg.Counter(MetricRetransmits),
-		outOfOrder:  reg.Counter(MetricOutOfOrder),
+		flowsOpened:  reg.Counter(MetricFlowsOpened),
+		flowsClosed:  reg.Counter(MetricFlowsClosed),
+		openFlows:    reg.Gauge(MetricOpenFlows),
+		segments:     reg.Counter(MetricSegments),
+		retransmits:  reg.Counter(MetricRetransmits),
+		outOfOrder:   reg.Counter(MetricOutOfOrder),
+		flowsEvicted: reg.Counter(MetricFlowsEvict),
 	}
 }
 
@@ -51,6 +55,18 @@ func (m *trackerMetrics) noteFlowOpened() {
 func (m *trackerMetrics) noteFlowClosed() {
 	if m != nil {
 		m.flowsClosed.Inc()
+		m.openFlows.Add(-1)
+	}
+}
+
+// noteFlowEvicted books an idle-evicted flow; flows never closed by
+// FIN/RST leave the open-flow gauge too. Nil-safe.
+func (m *trackerMetrics) noteFlowEvicted(wasClosed bool) {
+	if m == nil {
+		return
+	}
+	m.flowsEvicted.Inc()
+	if !wasClosed {
 		m.openFlows.Add(-1)
 	}
 }

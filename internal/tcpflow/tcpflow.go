@@ -123,6 +123,20 @@ type Tracker struct {
 	order    []*Flow // insertion order for deterministic output
 	consumer Consumer
 	metrics  *trackerMetrics
+
+	// first/last span every fed packet, so the capture window survives
+	// flow eviction.
+	first, last time.Time
+
+	// idleTimeout > 0 enables streaming-mode eviction: flows whose last
+	// packet is older than the timeout (in capture time) are dropped
+	// from the table, their taxonomy folded into evicted. This bounds
+	// memory on endless captures.
+	idleTimeout time.Duration
+	onEvict     func(*Flow)
+	lastSweep   time.Time
+	evicted     Summary
+	evictedN    int
 }
 
 // NewTracker returns an empty tracker. consumer may be nil.
@@ -136,10 +150,78 @@ func (t *Tracker) Instrument(reg *obs.Registry) {
 	t.metrics = newTrackerMetrics(reg)
 }
 
+// SetIdleTimeout enables (d > 0) or disables (d <= 0) idle-flow
+// eviction. Eviction keeps the Summarize taxonomy exact — evicted
+// flows are folded into an accumulator — but Flows() no longer returns
+// them, and a flow that wakes up after eviction is tracked as a fresh
+// (long-lived) flow.
+func (t *Tracker) SetIdleTimeout(d time.Duration) { t.idleTimeout = d }
+
+// OnEvict registers a callback invoked for every evicted flow, before
+// the flow is dropped. Consumers use it to release per-flow state of
+// their own (reassembly buffers, framing state).
+func (t *Tracker) OnEvict(fn func(*Flow)) { t.onEvict = fn }
+
+// EvictIdle drops every flow whose last packet is older than the idle
+// timeout relative to now (capture time) and returns how many were
+// evicted. A zero timeout makes it a no-op.
+func (t *Tracker) EvictIdle(now time.Time) int {
+	if t.idleTimeout <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-t.idleTimeout)
+	n := 0
+	kept := t.order[:0]
+	for _, f := range t.order {
+		if f.Last.After(cutoff) {
+			kept = append(kept, f)
+			continue
+		}
+		if t.onEvict != nil {
+			t.onEvict(f)
+		}
+		delete(t.flows, f.Key)
+		t.evicted.add(f)
+		t.evictedN++
+		t.metrics.noteFlowEvicted(f.closeCounts)
+		n++
+	}
+	// Zero the freed tail so evicted flows are collectable.
+	for i := len(kept); i < len(t.order); i++ {
+		t.order[i] = nil
+	}
+	t.order = kept
+	return n
+}
+
+// EvictedFlows returns how many flows eviction has dropped.
+func (t *Tracker) EvictedFlows() int { return t.evictedN }
+
+// Window returns the first and last packet timestamps ever fed,
+// independent of eviction.
+func (t *Tracker) Window() (first, last time.Time) { return t.first, t.last }
+
 // Feed ingests one decoded TCP packet.
 func (t *Tracker) Feed(pkt pcap.Packet) {
 	src := netip.AddrPortFrom(pkt.IP.Src, pkt.TCP.SrcPort)
 	dst := netip.AddrPortFrom(pkt.IP.Dst, pkt.TCP.DstPort)
+	if t.first.IsZero() || pkt.Info.Timestamp.Before(t.first) {
+		t.first = pkt.Info.Timestamp
+	}
+	if pkt.Info.Timestamp.After(t.last) {
+		t.last = pkt.Info.Timestamp
+	}
+	if t.idleTimeout > 0 {
+		// Sweep at a quarter of the timeout so an idle flow lives at
+		// most 1.25 timeouts; capture time drives the clock, so replays
+		// behave identically at any speed.
+		if t.lastSweep.IsZero() {
+			t.lastSweep = pkt.Info.Timestamp
+		} else if pkt.Info.Timestamp.Sub(t.lastSweep) >= t.idleTimeout/4 {
+			t.lastSweep = pkt.Info.Timestamp
+			t.EvictIdle(t.last)
+		}
+	}
 	key := MakeKey(src, dst)
 	f, ok := t.flows[key]
 	if !ok {
@@ -237,22 +319,46 @@ func (s Summary) SubSecProportion() float64 {
 	return ratio(s.ShortLivedSubSec, s.ShortLived)
 }
 
-// Summarize classifies every flow.
+// add folds one classified flow into the summary.
+func (s *Summary) add(f *Flow) {
+	if f.Class() == LongLived {
+		s.LongLived++
+		return
+	}
+	s.ShortLived++
+	d := f.Duration()
+	s.ShortLivedDuration = append(s.ShortLivedDuration, d)
+	if d < time.Second {
+		s.ShortLivedSubSec++
+	} else {
+		s.ShortLivedOverSec++
+	}
+}
+
+// Merge returns the element-wise sum of two summaries (shard merging).
+func (s Summary) Merge(o Summary) Summary {
+	s.ShortLived += o.ShortLived
+	s.ShortLivedSubSec += o.ShortLivedSubSec
+	s.ShortLivedOverSec += o.ShortLivedOverSec
+	s.LongLived += o.LongLived
+	merged := make([]time.Duration, 0, len(s.ShortLivedDuration)+len(o.ShortLivedDuration))
+	merged = append(merged, s.ShortLivedDuration...)
+	merged = append(merged, o.ShortLivedDuration...)
+	s.ShortLivedDuration = merged
+	return s
+}
+
+// Summarize classifies every flow, including any evicted ones.
 func (t *Tracker) Summarize() Summary {
-	var s Summary
+	s := Summary{
+		ShortLived:         t.evicted.ShortLived,
+		ShortLivedSubSec:   t.evicted.ShortLivedSubSec,
+		ShortLivedOverSec:  t.evicted.ShortLivedOverSec,
+		LongLived:          t.evicted.LongLived,
+		ShortLivedDuration: append([]time.Duration(nil), t.evicted.ShortLivedDuration...),
+	}
 	for _, f := range t.order {
-		if f.Class() == LongLived {
-			s.LongLived++
-			continue
-		}
-		s.ShortLived++
-		d := f.Duration()
-		s.ShortLivedDuration = append(s.ShortLivedDuration, d)
-		if d < time.Second {
-			s.ShortLivedSubSec++
-		} else {
-			s.ShortLivedOverSec++
-		}
+		s.add(f)
 	}
 	return s
 }

@@ -252,3 +252,71 @@ func TestReassemblyFeedsIEC104Frames(t *testing.T) {
 		t.Fatalf("reassembled % x", got)
 	}
 }
+
+func TestIdleEviction(t *testing.T) {
+	const n = 10000
+	var evictCalls int
+	tr := NewTracker(nil)
+	tr.SetIdleTimeout(5 * time.Second)
+	tr.OnEvict(func(f *Flow) { evictCalls++ })
+
+	// 10k one-packet flows, one every 10ms: a 100s capture where almost
+	// every flow goes idle long before the end.
+	server := netip.MustParseAddrPort("10.0.0.2:2404")
+	for i := 0; i < n; i++ {
+		src := netip.AddrPortFrom(netip.AddrFrom4([4]byte{10, 1, byte(i >> 8), byte(i)}), 40000)
+		tr.Feed(mkPacket(src, server, t0.Add(time.Duration(i)*10*time.Millisecond), pcap.FlagACK|pcap.FlagPSH, 1, 1, []byte{1}))
+	}
+
+	live := len(tr.Flows())
+	if live >= n/2 {
+		t.Fatalf("eviction did not shrink the table: %d flows live", live)
+	}
+	if tr.EvictedFlows()+live != n {
+		t.Fatalf("evicted %d + live %d != %d", tr.EvictedFlows(), live, n)
+	}
+	if evictCalls != tr.EvictedFlows() {
+		t.Fatalf("OnEvict fired %d times, evicted %d", evictCalls, tr.EvictedFlows())
+	}
+
+	// Eviction must not lose taxonomy: the summary still covers all 10k.
+	s := tr.Summarize()
+	if s.Total() != n || s.LongLived != n {
+		t.Fatalf("summary %+v, want %d long-lived", s, n)
+	}
+
+	first, last := tr.Window()
+	if !first.Equal(t0) || !last.Equal(t0.Add((n-1)*10*time.Millisecond)) {
+		t.Fatalf("window [%v, %v]", first, last)
+	}
+
+	// A final explicit sweep well past the capture drains everything.
+	tr.EvictIdle(last.Add(time.Minute))
+	if len(tr.Flows()) != 0 || tr.EvictedFlows() != n {
+		t.Fatalf("after final sweep: %d live, %d evicted", len(tr.Flows()), tr.EvictedFlows())
+	}
+	if s := tr.Summarize(); s.Total() != n {
+		t.Fatalf("summary after drain %+v", s)
+	}
+}
+
+func TestIdleEvictionKeepsActiveFlow(t *testing.T) {
+	tr := NewTracker(nil)
+	tr.SetIdleTimeout(5 * time.Second)
+	// One long-running flow with steady traffic survives sweeps that
+	// evict a quiet neighbour.
+	quiet := netip.MustParseAddrPort("10.0.0.9:41000")
+	tr.Feed(mkPacket(quiet, hostB, t0, pcap.FlagACK|pcap.FlagPSH, 1, 1, []byte{1}))
+	for i := 0; i < 100; i++ {
+		tr.Feed(mkPacket(hostA, hostB, t0.Add(time.Duration(i)*time.Second), pcap.FlagACK|pcap.FlagPSH, uint32(1+i), 1, []byte{1}))
+	}
+	if len(tr.Flows()) != 1 {
+		t.Fatalf("%d flows live, want only the active one", len(tr.Flows()))
+	}
+	if tr.Flows()[0].Key != MakeKey(hostA, hostB) {
+		t.Fatal("wrong flow survived")
+	}
+	if tr.EvictedFlows() != 1 {
+		t.Fatalf("evicted %d, want 1", tr.EvictedFlows())
+	}
+}
