@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"uncharted/internal/core"
+	"uncharted/internal/historian"
 	"uncharted/internal/ids"
 	"uncharted/internal/obs"
 	"uncharted/internal/scadasim"
@@ -62,6 +63,8 @@ func run() int {
 	attack := flag.String("attack", "", "inject an attack mid-feed and detect it online: recon, breaker or setpoint")
 	pcapOut := flag.String("pcap", "", "also write the fed traffic as a capture for offline cross-checking")
 	journalPath := flag.String("journal", "", "append structured pipeline events to this JSONL file")
+	historianDir := flag.String("historian", "", "record every extracted measurement into the durable historian at this directory (adds /query next to /metrics)")
+	pointCap := flag.Int("point-cap", 0, "cap in-memory samples per series; pair with -historian for bounded-memory long feeds (0 = unbounded)")
 	flag.Parse()
 
 	y := topology.Y1
@@ -162,20 +165,35 @@ func run() int {
 	}
 
 	reg := obs.NewRegistry()
+	var hist *historian.Store
+	if *historianDir != "" {
+		var err error
+		hist, err = historian.Open(*historianDir, historian.Options{Registry: reg})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		log.Printf("recording measurements into historian at %s", *historianDir)
+	}
 	e := stream.New(stream.Config{
-		Workers:       *workers,
-		SnapshotEvery: *snapshotEvery,
-		ClusterK:      5,
-		ClusterSeed:   1202,
-		Names:         names,
-		Registry:      reg,
-		Journal:       journal,
-		Observer:      observer,
+		Workers:         *workers,
+		SnapshotEvery:   *snapshotEvery,
+		ClusterK:        5,
+		ClusterSeed:     1202,
+		Names:           names,
+		Registry:        reg,
+		Journal:         journal,
+		Observer:        observer,
+		Historian:       hist,
+		MaxPointSamples: *pointCap,
 	})
 
 	if *metricsAddr != "" {
-		addr, shutdown, err := obs.ServeWith(*metricsAddr, reg, journal,
-			map[string]http.Handler{"/profile": e.ProfileHandler()})
+		extra := map[string]http.Handler{"/profile": e.ProfileHandler()}
+		if hist != nil {
+			extra["/query"] = historian.QueryHandler(hist)
+		}
+		addr, shutdown, err := obs.ServeWith(*metricsAddr, reg, journal, extra)
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -203,6 +221,14 @@ func run() int {
 	}
 	if *attack != "" {
 		log.Printf("online alerts raised: %d", alerts)
+	}
+	if hist != nil {
+		// The drained engine already synced the tail; Close leaves the
+		// active segment resumable with zero torn bytes.
+		if err := hist.Close(); err != nil {
+			log.Printf("warning: historian close failed: %v", err)
+			exit = 1
+		}
 	}
 
 	// The final profile is exact: every dispatched packet was analyzed

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"uncharted/internal/core"
+	"uncharted/internal/historian"
 	"uncharted/internal/obs"
 	"uncharted/internal/physical"
 	"uncharted/internal/stream"
@@ -67,6 +68,8 @@ func run() int {
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /profile on this address (e.g. :9104)")
 	snapshotEvery := flag.Duration("snapshot", 2*time.Second, "rolling-profile period in streaming mode")
 	idleTimeout := flag.Duration("idle-timeout", 0, "evict flows idle this long in streaming mode (0 = keep all)")
+	historianDir := flag.String("historian", "", "record every extracted measurement into the durable historian at this directory (adds /query next to /metrics)")
+	pointCap := flag.Int("point-cap", 0, "cap in-memory samples per series; pair with -historian so long -follow runs hold steady memory (0 = unbounded)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Print("usage: profiler [-report list] [-journal events.jsonl] [-follow] [-workers N] [-metrics addr] capture.pcap")
@@ -97,6 +100,8 @@ func run() int {
 			metricsAddr:   *metricsAddr,
 			snapshotEvery: *snapshotEvery,
 			idleTimeout:   *idleTimeout,
+			historianDir:  *historianDir,
+			pointCap:      *pointCap,
 			names:         *names,
 			journal:       journal,
 			want:          want,
@@ -118,8 +123,31 @@ func run() int {
 	}
 	reg := obs.NewRegistry()
 	analyzer.Instrument(reg, journal)
+	if *pointCap > 0 {
+		analyzer.Physical().SetMaxSamplesPerSeries(*pointCap)
+	}
+
+	exit := 0
+	extra := map[string]http.Handler{}
+	var recorder *historian.Recorder
+	if *historianDir != "" {
+		hist, err := historian.Open(*historianDir, historian.Options{Registry: reg})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer func() {
+			if err := hist.Close(); err != nil {
+				log.Printf("warning: historian close failed: %v", err)
+			}
+		}()
+		recorder = historian.NewRecorder(hist)
+		analyzer.SetFrameObserver(recorder)
+		extra["/query"] = historian.QueryHandler(hist)
+		log.Printf("recording measurements into historian at %s", *historianDir)
+	}
 	if *metricsAddr != "" {
-		addr, shutdown, err := obs.Serve(*metricsAddr, reg, journal)
+		addr, shutdown, err := obs.ServeWith(*metricsAddr, reg, journal, extra)
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -127,13 +155,17 @@ func run() int {
 		defer shutdown()
 		log.Printf("serving metrics on http://%s/", addr)
 	}
-
-	exit := 0
 	if err := analyzer.ReadPCAP(f); err != nil {
 		// A truncated or partially corrupt capture still carries data:
 		// report what parsed, but exit non-zero so scripts notice.
 		fmt.Fprintf(os.Stderr, "profiler: warning: capture read stopped early: %v (reporting partial results)\n", err)
 		exit = 1
+	}
+	if recorder != nil {
+		if err := recorder.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "profiler: warning: historian write failed: %v\n", err)
+			exit = 1
+		}
 	}
 
 	first, last := analyzer.CaptureWindow()
@@ -366,6 +398,8 @@ type streamOpts struct {
 	metricsAddr   string
 	snapshotEvery time.Duration
 	idleTimeout   time.Duration
+	historianDir  string
+	pointCap      int
 	names         bool
 	journal       *obs.Journal
 	want          map[string]bool
@@ -382,19 +416,32 @@ func runStreaming(o streamOpts) int {
 	}
 	reg := obs.NewRegistry()
 
+	var hist *historian.Store
+	if o.historianDir != "" {
+		var err error
+		hist, err = historian.Open(o.historianDir, historian.Options{Registry: reg})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		log.Printf("recording measurements into historian at %s", o.historianDir)
+	}
+
 	snapshotEvery := time.Duration(0)
 	if o.follow {
 		snapshotEvery = o.snapshotEvery
 	}
 	e := stream.New(stream.Config{
-		Workers:       o.workers,
-		SnapshotEvery: snapshotEvery,
-		IdleTimeout:   o.idleTimeout,
-		ClusterK:      5,
-		ClusterSeed:   1202,
-		Names:         nameMap,
-		Registry:      reg,
-		Journal:       o.journal,
+		Workers:         o.workers,
+		SnapshotEvery:   snapshotEvery,
+		IdleTimeout:     o.idleTimeout,
+		ClusterK:        5,
+		ClusterSeed:     1202,
+		Names:           nameMap,
+		Registry:        reg,
+		Journal:         o.journal,
+		Historian:       hist,
+		MaxPointSamples: o.pointCap,
 	})
 
 	var src stream.Source
@@ -422,8 +469,11 @@ func runStreaming(o streamOpts) int {
 	defer src.Close()
 
 	if o.metricsAddr != "" {
-		addr, shutdown, err := obs.ServeWith(o.metricsAddr, reg, o.journal,
-			map[string]http.Handler{"/profile": e.ProfileHandler()})
+		extra := map[string]http.Handler{"/profile": e.ProfileHandler()}
+		if hist != nil {
+			extra["/query"] = historian.QueryHandler(hist)
+		}
+		addr, shutdown, err := obs.ServeWith(o.metricsAddr, reg, o.journal, extra)
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -444,6 +494,14 @@ func runStreaming(o streamOpts) int {
 	if err := e.Run(ctx, src); err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintf(os.Stderr, "profiler: warning: stream stopped early: %v (reporting partial results)\n", err)
 		exit = 1
+	}
+	if hist != nil {
+		// The drain already synced the tail; Close leaves the active
+		// segment resumable with zero torn bytes.
+		if err := hist.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "profiler: warning: historian close failed: %v\n", err)
+			exit = 1
+		}
 	}
 
 	p := e.Final()

@@ -61,7 +61,7 @@ func main() {
 		}
 	}
 	fmt.Println("\n-- unmet load detection (Figs. 18/19) --")
-	for _, ev := range physical.DetectUnmetLoad(freq, setpoints, 60, 0.01) {
+	for _, ev := range physical.DetectUnmetLoad(freq, physical.Views(setpoints...), 60, 0.01) {
 		fmt.Printf("excursion %s..%s peak=%.4f Hz, AGC reduced=%t restored=%t\n",
 			ev.Start.Format("15:04:05"), ev.End.Format("15:04:05"),
 			ev.PeakFrequency, ev.AGCReduced, ev.AGCRestored)

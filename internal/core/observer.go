@@ -1,0 +1,29 @@
+package core
+
+// Observers composes frame observers into one that fans each event
+// out in argument order. Nil entries are skipped; zero or one useful
+// observer collapses to nil or the observer itself, so the hot path
+// never pays for an empty fan-out.
+func Observers(obs ...FrameObserver) FrameObserver {
+	var live []FrameObserver
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiObserver(live)
+}
+
+type multiObserver []FrameObserver
+
+func (m multiObserver) ObserveFrame(ev FrameEvent) {
+	for _, o := range m {
+		o.ObserveFrame(ev)
+	}
+}

@@ -62,7 +62,7 @@ func (r *Runner) Fig18UnmetLoad() (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	events := physical.DetectUnmetLoad(freq, sps, 60, 0.01)
+	events := physical.DetectUnmetLoad(freq, physical.Views(sps...), 60, 0.01)
 	var b strings.Builder
 	fmt.Fprintf(&b, "Frequency series %s: %d samples\n", freq.Key, len(freq.Samples))
 	fmt.Fprintf(&b, "Detected %d frequency excursion(s):\n", len(events))

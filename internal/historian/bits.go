@@ -1,0 +1,89 @@
+package historian
+
+import "errors"
+
+// errShortBits reports a bit-level read past the end of a block
+// payload — a torn or corrupt block.
+var errShortBits = errors.New("historian: bit stream exhausted")
+
+// bitWriter appends bits MSB-first to a byte slice.
+type bitWriter struct {
+	b     []byte
+	avail uint // free bits in the last byte (0 when b is byte-aligned)
+}
+
+// writeBit appends one bit (any non-zero v writes 1).
+func (w *bitWriter) writeBit(v uint64) {
+	if w.avail == 0 {
+		w.b = append(w.b, 0)
+		w.avail = 8
+	}
+	if v != 0 {
+		w.b[len(w.b)-1] |= 1 << (w.avail - 1)
+	}
+	w.avail--
+}
+
+// writeBits appends the low n bits of v, most significant first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		if w.avail == 0 {
+			w.b = append(w.b, 0)
+			w.avail = 8
+		}
+		take := w.avail
+		if take > n {
+			take = n
+		}
+		chunk := (v >> (n - take)) & ((1 << take) - 1)
+		w.b[len(w.b)-1] |= byte(chunk << (w.avail - take))
+		w.avail -= take
+		n -= take
+	}
+}
+
+// bytes returns the accumulated bytes (trailing free bits are zero).
+func (w *bitWriter) bytes() []byte { return w.b }
+
+// bitReader consumes bits MSB-first from a byte slice.
+type bitReader struct {
+	b    []byte
+	pos  int  // next byte index
+	left uint // unread bits in b[pos-1] (0 = advance)
+}
+
+// readBit returns the next bit.
+func (r *bitReader) readBit() (uint64, error) {
+	if r.left == 0 {
+		if r.pos >= len(r.b) {
+			return 0, errShortBits
+		}
+		r.pos++
+		r.left = 8
+	}
+	r.left--
+	return uint64(r.b[r.pos-1]>>r.left) & 1, nil
+}
+
+// readBits returns the next n bits as the low bits of a uint64.
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for n > 0 {
+		if r.left == 0 {
+			if r.pos >= len(r.b) {
+				return 0, errShortBits
+			}
+			r.pos++
+			r.left = 8
+		}
+		take := r.left
+		if take > n {
+			take = n
+		}
+		chunk := uint64(r.b[r.pos-1]>>(r.left-take)) & ((1 << take) - 1)
+		v = v<<take | chunk
+		r.left -= take
+		n -= take
+	}
+	return v, nil
+}

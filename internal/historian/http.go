@@ -1,0 +1,116 @@
+package historian
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// QueryHandler serves the historian over HTTP, designed to mount next
+// to /metrics and /profile via obs.HandlerWith:
+//
+//	GET /query                                   point catalog
+//	GET /query?station=O29&ioa=3001              full history of a point
+//	    &from=RFC3339&to=RFC3339                 time-range bound
+//	    &step=30s                                downsampled buckets
+//
+// Responses are JSON. Timestamps accept RFC 3339 or unix nanoseconds.
+func QueryHandler(st *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+
+		station := q.Get("station")
+		if station == "" {
+			type catRow struct {
+				Station string    `json:"station"`
+				IOA     uint32    `json:"ioa"`
+				Type    byte      `json:"type"`
+				Command bool      `json:"command"`
+				Samples int64     `json:"samples"`
+				Blocks  int       `json:"blocks"`
+				Bytes   int64     `json:"compressed_bytes"`
+				First   time.Time `json:"first"`
+				Last    time.Time `json:"last"`
+			}
+			cat := st.Catalog()
+			rows := make([]catRow, 0, len(cat))
+			for _, pi := range cat {
+				rows = append(rows, catRow{
+					Station: pi.Key.Station, IOA: pi.Key.IOA, Type: pi.Type,
+					Command: pi.Command, Samples: pi.Samples, Blocks: pi.Blocks,
+					Bytes: pi.Bytes, First: pi.First, Last: pi.Last,
+				})
+			}
+			enc.Encode(rows)
+			return
+		}
+
+		ioa, err := strconv.ParseUint(q.Get("ioa"), 10, 32)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "ioa: "+err.Error())
+			return
+		}
+		key := PointKey{Station: station, IOA: uint32(ioa)}
+		from, err := parseTime(q.Get("from"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "from: "+err.Error())
+			return
+		}
+		to, err := parseTime(q.Get("to"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "to: "+err.Error())
+			return
+		}
+
+		if stepStr := q.Get("step"); stepStr != "" {
+			step, err := time.ParseDuration(stepStr)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "step: "+err.Error())
+				return
+			}
+			buckets, err := st.Downsample(key, from, to, step)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			enc.Encode(buckets)
+			return
+		}
+
+		samples, err := st.Query(key, from, to)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		type row struct {
+			T time.Time `json:"t"`
+			V float64   `json:"v"`
+		}
+		rows := make([]row, len(samples))
+		for i, s := range samples {
+			rows[i] = row{T: s.T, V: s.V}
+		}
+		enc.Encode(rows)
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// parseTime accepts RFC 3339 or unix nanoseconds; empty means
+// unbounded.
+func parseTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return time.Unix(0, n).UTC(), nil
+	}
+	return time.Parse(time.RFC3339, s)
+}

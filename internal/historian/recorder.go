@@ -1,0 +1,47 @@
+package historian
+
+import (
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/physical"
+)
+
+// Recorder bridges the analysis pipeline to the historian: it
+// implements core.FrameObserver and appends every value-bearing
+// information object of each accepted I-format APDU. It extracts
+// samples with physical.EachValue under the same station/command
+// resolution as physical.Store.Feed, so the durable history and the
+// in-memory series are sample-for-sample identical — the property
+// that makes historian-backed event detection reproduce live results
+// exactly.
+type Recorder struct {
+	store *Store
+	// err keeps the first append failure so a disk problem is not
+	// silently swallowed on the hot path.
+	err error
+}
+
+// NewRecorder returns a FrameObserver writing into store.
+func NewRecorder(store *Store) *Recorder { return &Recorder{store: store} }
+
+// ObserveFrame implements core.FrameObserver.
+func (r *Recorder) ObserveFrame(ev core.FrameEvent) {
+	if ev.ASDU == nil || r.err != nil {
+		return
+	}
+	// Mirrors the analyzer's Feed call: the point belongs to the
+	// outstation; server-to-outstation I-frames are commands.
+	command := !ev.FromOutstation
+	key := PointKey{Station: ev.Outstation}
+	typ := byte(ev.ASDU.Type)
+	physical.EachValue(ev.ASDU, ev.Time, func(ioa uint32, t time.Time, v float64) {
+		key.IOA = ioa
+		if err := r.store.Append(key, typ, command, physical.Sample{T: t, V: v}); err != nil {
+			r.err = err
+		}
+	})
+}
+
+// Err returns the first write error encountered, if any.
+func (r *Recorder) Err() error { return r.err }

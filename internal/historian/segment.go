@@ -1,0 +1,378 @@
+package historian
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// On-disk constants. All integers are little endian.
+const (
+	segMagic     = "UHIST001" // 8-byte segment file header
+	trailerMagic = "UHIDXEND" // 8-byte sealed-segment trailer
+	recMagic     = 0x55424C4B // "UBLK": one block record
+	idxMagic     = 0x55494458 // "UIDX": sealed-segment index
+)
+
+// maxKeyLen bounds a stored station name; anything longer in a file is
+// corruption.
+const maxKeyLen = 1 << 12
+
+// PointKey identifies one stored point: the station (ASDU address or
+// resolved outstation name) and the information object address.
+type PointKey struct {
+	Station string
+	IOA     uint32
+}
+
+func (k PointKey) String() string { return fmt.Sprintf("%s/%d", k.Station, k.IOA) }
+
+// flagCommand marks control-direction (setpoint) series.
+const flagCommand = 0x01
+
+// blockMeta locates one block inside a segment — the sparse index
+// entry: queries skip blocks whose [First,Last] window misses the
+// requested range without touching their payload.
+type blockMeta struct {
+	Off         int64 // record start offset in the segment file
+	Count       uint32
+	First, Last int64 // unix nanoseconds
+	Bytes       uint32 // compressed payload bytes
+}
+
+// pointMeta is a segment's per-point index.
+type pointMeta struct {
+	Key     PointKey
+	Type    byte
+	Flags   byte
+	Blocks  []blockMeta
+	Samples int64
+}
+
+// segment is one on-disk file: a header, a run of block records and —
+// once sealed — an index plus trailer. The last segment of a store is
+// active (append-mode); sealed segments are immutable.
+type segment struct {
+	path   string
+	f      *os.File
+	size   int64 // bytes of valid record data (excluding index/trailer)
+	sealed bool
+	points map[PointKey]*pointMeta
+	order  []PointKey
+}
+
+func (s *segment) point(key PointKey, typ, flags byte) *pointMeta {
+	pm, ok := s.points[key]
+	if !ok {
+		pm = &pointMeta{Key: key, Type: typ, Flags: flags}
+		s.points[key] = pm
+		s.order = append(s.order, key)
+	}
+	return pm
+}
+
+// createSegment starts a fresh active segment.
+func createSegment(path string) (*segment, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &segment{
+		path:   path,
+		f:      f,
+		size:   int64(len(segMagic)),
+		points: make(map[PointKey]*pointMeta),
+	}, nil
+}
+
+// appendRecord encodes one block record for key and appends it,
+// updating the in-memory index. It returns the record's size in bytes.
+func (s *segment) appendRecord(key PointKey, typ, flags byte, count uint32, first, last int64, payload []byte) (int, error) {
+	rec := make([]byte, 0, 32+len(key.Station)+len(payload))
+	rec = binary.LittleEndian.AppendUint32(rec, recMagic)
+	rec = binary.LittleEndian.AppendUint16(rec, uint16(len(key.Station)))
+	rec = append(rec, key.Station...)
+	rec = binary.LittleEndian.AppendUint32(rec, key.IOA)
+	rec = append(rec, typ, flags)
+	rec = binary.LittleEndian.AppendUint32(rec, count)
+	rec = binary.LittleEndian.AppendUint64(rec, uint64(first))
+	rec = binary.LittleEndian.AppendUint64(rec, uint64(last))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = append(rec, payload...)
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(rec))
+
+	off := s.size
+	if _, err := s.f.WriteAt(rec, off); err != nil {
+		return 0, err
+	}
+	s.size += int64(len(rec))
+	pm := s.point(key, typ, flags)
+	pm.Blocks = append(pm.Blocks, blockMeta{
+		Off: off, Count: count, First: first, Last: last, Bytes: uint32(len(payload)),
+	})
+	pm.Samples += int64(count)
+	return len(rec), nil
+}
+
+// readRecordPayload re-reads and verifies the record at meta.Off and
+// returns its compressed payload.
+func (s *segment) readRecordPayload(key PointKey, m blockMeta) ([]byte, error) {
+	size := recordHeaderSize(len(key.Station)) + int(m.Bytes) + 4
+	buf := make([]byte, size)
+	if _, err := s.f.ReadAt(buf, m.Off); err != nil {
+		return nil, fmt.Errorf("historian: reading block at %d in %s: %w", m.Off, s.path, err)
+	}
+	body := buf[:len(buf)-4]
+	if crc := binary.LittleEndian.Uint32(buf[len(buf)-4:]); crc != crc32.ChecksumIEEE(body) {
+		return nil, fmt.Errorf("historian: CRC mismatch at %d in %s", m.Off, s.path)
+	}
+	return body[len(body)-int(m.Bytes):], nil
+}
+
+// recordHeaderSize is the fixed record overhead before the payload for
+// a station name of the given length.
+func recordHeaderSize(stationLen int) int {
+	return 4 + 2 + stationLen + 4 + 1 + 1 + 4 + 8 + 8 + 4
+}
+
+// seal writes the sparse index and trailer, making the segment
+// immutable and instantly indexable on reopen.
+func (s *segment) seal() error {
+	if s.sealed {
+		return nil
+	}
+	idx := make([]byte, 0, 64*len(s.order))
+	idx = binary.LittleEndian.AppendUint32(idx, idxMagic)
+	idx = binary.LittleEndian.AppendUint32(idx, uint32(len(s.order)))
+	for _, key := range s.order {
+		pm := s.points[key]
+		idx = binary.LittleEndian.AppendUint16(idx, uint16(len(key.Station)))
+		idx = append(idx, key.Station...)
+		idx = binary.LittleEndian.AppendUint32(idx, key.IOA)
+		idx = append(idx, pm.Type, pm.Flags)
+		idx = binary.LittleEndian.AppendUint32(idx, uint32(len(pm.Blocks)))
+		for _, b := range pm.Blocks {
+			idx = binary.LittleEndian.AppendUint64(idx, uint64(b.Off))
+			idx = binary.LittleEndian.AppendUint32(idx, b.Count)
+			idx = binary.LittleEndian.AppendUint64(idx, uint64(b.First))
+			idx = binary.LittleEndian.AppendUint64(idx, uint64(b.Last))
+			idx = binary.LittleEndian.AppendUint32(idx, b.Bytes)
+		}
+	}
+	footer := make([]byte, 0, 20)
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(s.size))
+	footer = binary.LittleEndian.AppendUint32(footer, crc32.ChecksumIEEE(idx))
+	footer = append(footer, trailerMagic...)
+	if _, err := s.f.WriteAt(append(idx, footer...), s.size); err != nil {
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	s.sealed = true
+	return nil
+}
+
+// openSegment loads an existing segment. Sealed segments load their
+// index from the footer without touching record payloads; unsealed
+// (active at crash or shutdown) segments are scanned record by record,
+// and a torn tail — a partial or CRC-failing last record — is
+// truncated away. tornBytes reports how much was discarded.
+func openSegment(path string) (seg *segment, tornBytes int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	fileSize := st.Size()
+	head := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, head); err != nil || string(head) != segMagic {
+		f.Close()
+		return nil, 0, fmt.Errorf("historian: %s is not a historian segment", path)
+	}
+	s := &segment{path: path, f: f, points: make(map[PointKey]*pointMeta)}
+
+	if s.loadIndex(fileSize) == nil {
+		s.sealed = true
+		return s, 0, nil
+	}
+	// No (or invalid) index: scan records, truncate any torn tail.
+	valid, err := s.scan(fileSize)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	s.size = valid
+	if valid < fileSize {
+		tornBytes = fileSize - valid
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+	}
+	return s, tornBytes, nil
+}
+
+// loadIndex tries to parse a sealed segment's footer and index.
+func (s *segment) loadIndex(fileSize int64) error {
+	const footerLen = 8 + 4 + 8
+	if fileSize < int64(len(segMagic))+footerLen {
+		return errors.New("no footer")
+	}
+	footer := make([]byte, footerLen)
+	if _, err := s.f.ReadAt(footer, fileSize-footerLen); err != nil {
+		return err
+	}
+	if string(footer[12:]) != trailerMagic {
+		return errors.New("no trailer magic")
+	}
+	idxOff := int64(binary.LittleEndian.Uint64(footer[:8]))
+	wantCRC := binary.LittleEndian.Uint32(footer[8:12])
+	if idxOff < int64(len(segMagic)) || idxOff > fileSize-footerLen {
+		return errors.New("index offset out of range")
+	}
+	idx := make([]byte, fileSize-footerLen-idxOff)
+	if _, err := s.f.ReadAt(idx, idxOff); err != nil {
+		return err
+	}
+	if crc32.ChecksumIEEE(idx) != wantCRC {
+		return errors.New("index CRC mismatch")
+	}
+	p := 0
+	get := func(n int) ([]byte, bool) {
+		if p+n > len(idx) {
+			return nil, false
+		}
+		b := idx[p : p+n]
+		p += n
+		return b, true
+	}
+	b, ok := get(8)
+	if !ok || binary.LittleEndian.Uint32(b) != idxMagic {
+		return errors.New("bad index magic")
+	}
+	nPoints := binary.LittleEndian.Uint32(b[4:])
+	for i := uint32(0); i < nPoints; i++ {
+		b, ok := get(2)
+		if !ok {
+			return errors.New("index truncated")
+		}
+		keyLen := int(binary.LittleEndian.Uint16(b))
+		if keyLen > maxKeyLen {
+			return errors.New("index key too long")
+		}
+		kb, ok := get(keyLen)
+		if !ok {
+			return errors.New("index truncated")
+		}
+		hb, ok := get(4 + 1 + 1 + 4)
+		if !ok {
+			return errors.New("index truncated")
+		}
+		key := PointKey{Station: string(kb), IOA: binary.LittleEndian.Uint32(hb)}
+		pm := s.point(key, hb[4], hb[5])
+		nBlocks := binary.LittleEndian.Uint32(hb[6:])
+		for j := uint32(0); j < nBlocks; j++ {
+			bb, ok := get(8 + 4 + 8 + 8 + 4)
+			if !ok {
+				return errors.New("index truncated")
+			}
+			bm := blockMeta{
+				Off:   int64(binary.LittleEndian.Uint64(bb)),
+				Count: binary.LittleEndian.Uint32(bb[8:]),
+				First: int64(binary.LittleEndian.Uint64(bb[12:])),
+				Last:  int64(binary.LittleEndian.Uint64(bb[20:])),
+				Bytes: binary.LittleEndian.Uint32(bb[28:]),
+			}
+			pm.Blocks = append(pm.Blocks, bm)
+			pm.Samples += int64(bm.Count)
+		}
+	}
+	s.size = idxOff
+	return nil
+}
+
+// scan walks the record run from the top of the file, rebuilding the
+// in-memory index. It returns the offset of the first invalid byte —
+// everything after it is a torn tail.
+func (s *segment) scan(fileSize int64) (int64, error) {
+	off := int64(len(segMagic))
+	var hdr [4 + 2]byte
+	for off < fileSize {
+		if _, err := s.f.ReadAt(hdr[:], off); err != nil {
+			return off, nil // short header: torn
+		}
+		if binary.LittleEndian.Uint32(hdr[:4]) != recMagic {
+			return off, nil
+		}
+		keyLen := int(binary.LittleEndian.Uint16(hdr[4:]))
+		if keyLen > maxKeyLen {
+			return off, nil
+		}
+		rest := make([]byte, keyLen+4+1+1+4+8+8+4)
+		if _, err := s.f.ReadAt(rest, off+int64(len(hdr))); err != nil {
+			return off, nil
+		}
+		payloadLen := binary.LittleEndian.Uint32(rest[len(rest)-4:])
+		total := int64(recordHeaderSize(keyLen)) + int64(payloadLen) + 4
+		if off+total > fileSize {
+			return off, nil
+		}
+		rec := make([]byte, total)
+		if _, err := s.f.ReadAt(rec, off); err != nil {
+			return off, nil
+		}
+		body := rec[:len(rec)-4]
+		if binary.LittleEndian.Uint32(rec[len(rec)-4:]) != crc32.ChecksumIEEE(body) {
+			return off, nil
+		}
+		key := PointKey{Station: string(rest[:keyLen]), IOA: binary.LittleEndian.Uint32(rest[keyLen:])}
+		typ, flags := rest[keyLen+4], rest[keyLen+5]
+		count := binary.LittleEndian.Uint32(rest[keyLen+6:])
+		first := int64(binary.LittleEndian.Uint64(rest[keyLen+10:]))
+		last := int64(binary.LittleEndian.Uint64(rest[keyLen+18:]))
+		pm := s.point(key, typ, flags)
+		pm.Blocks = append(pm.Blocks, blockMeta{
+			Off: off, Count: count, First: first, Last: last, Bytes: payloadLen,
+		})
+		pm.Samples += int64(count)
+		off += total
+	}
+	return off, nil
+}
+
+// lastTS returns the newest sample timestamp in the segment (unix
+// nanoseconds), for retention decisions.
+func (s *segment) lastTS() int64 {
+	var last int64 = math64Min
+	for _, pm := range s.points {
+		for _, b := range pm.Blocks {
+			if b.Last > last {
+				last = b.Last
+			}
+		}
+	}
+	return last
+}
+
+const math64Min = -1 << 63
+
+func (s *segment) close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -35,6 +35,9 @@ const (
 	EventDrop EventType = "drop"
 	// EventAlert: the online IDS raised an alert.
 	EventAlert EventType = "alert"
+	// EventHistorianSync: making the historian durable failed (the
+	// success path is counted in metrics, not journalled).
+	EventHistorianSync EventType = "historian_sync"
 )
 
 // Event is one journal entry.

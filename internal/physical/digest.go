@@ -73,31 +73,39 @@ func (d *Digest) merge(o Digest) {
 	d.Count += o.Count
 }
 
-// Digest summarises one series.
-func (s *Series) Digest() Digest {
-	d := Digest{Key: s.Key, Type: s.Type, Command: s.Command}
-	for _, smp := range s.Samples {
-		d.Count++
-		if d.Count == 1 {
-			d.Min, d.Max = smp.V, smp.V
-			d.First, d.Last = smp.T, smp.T
-		} else {
-			if smp.V < d.Min {
-				d.Min = smp.V
-			}
-			if smp.V > d.Max {
-				d.Max = smp.V
-			}
-			if smp.T.Before(d.First) {
-				d.First = smp.T
-			}
-			if smp.T.After(d.Last) {
-				d.Last = smp.T
-			}
+// observe folds one sample into the digest (Welford's single-sample
+// update).
+func (d *Digest) observe(t time.Time, v float64) {
+	d.Count++
+	if d.Count == 1 {
+		d.Min, d.Max = v, v
+		d.First, d.Last = t, t
+	} else {
+		if v < d.Min {
+			d.Min = v
 		}
-		delta := smp.V - d.Mean
-		d.Mean += delta / float64(d.Count)
-		d.M2 += delta * (smp.V - d.Mean)
+		if v > d.Max {
+			d.Max = v
+		}
+		if t.Before(d.First) {
+			d.First = t
+		}
+		if t.After(d.Last) {
+			d.Last = t
+		}
+	}
+	delta := v - d.Mean
+	d.Mean += delta / float64(d.Count)
+	d.M2 += delta * (v - d.Mean)
+}
+
+// Digest summarises one series over its full history: the retained
+// window plus any samples evicted under the store's per-series cap.
+func (s *Series) Digest() Digest {
+	d := s.evicted
+	d.Key, d.Type, d.Command = s.Key, s.Type, s.Command
+	for _, smp := range s.Samples {
+		d.observe(smp.T, smp.V)
 	}
 	return d
 }

@@ -21,15 +21,18 @@ type UnmetLoadEvent struct {
 
 // DetectUnmetLoad scans a frequency series for sustained excursions
 // above nominal+threshold and checks the AGC setpoint series for the
-// down-then-up response. setpoints may be nil (the event is still
-// reported, with the AGC flags false).
-func DetectUnmetLoad(freq *Series, setpoints []*Series, nominal, threshold float64) []UnmetLoadEvent {
-	if freq == nil || len(freq.Samples) == 0 {
+// down-then-up response. The detectors take Views, so the same scan
+// runs over in-memory series and historian-backed query results.
+// setpoints may be nil (the event is still reported, with the AGC
+// flags false).
+func DetectUnmetLoad(freq View, setpoints []View, nominal, threshold float64) []UnmetLoadEvent {
+	if viewEmpty(freq) {
 		return nil
 	}
 	var events []UnmetLoadEvent
 	var cur *UnmetLoadEvent
-	for _, s := range freq.Samples {
+	for i := 0; i < freq.Len(); i++ {
+		s := freq.Sample(i)
 		dev := s.V - nominal
 		switch {
 		case cur == nil && dev > threshold:
@@ -46,7 +49,7 @@ func DetectUnmetLoad(freq *Series, setpoints []*Series, nominal, threshold float
 		}
 	}
 	if cur != nil {
-		cur.End = freq.Samples[len(freq.Samples)-1].T
+		cur.End = freq.Sample(freq.Len() - 1).T
 		annotateAGC(cur, setpoints)
 		events = append(events, *cur)
 	}
@@ -55,11 +58,15 @@ func DetectUnmetLoad(freq *Series, setpoints []*Series, nominal, threshold float
 
 // annotateAGC checks whether setpoints moved down inside the window
 // and up within a window after it.
-func annotateAGC(ev *UnmetLoadEvent, setpoints []*Series) {
+func annotateAGC(ev *UnmetLoadEvent, setpoints []View) {
 	for _, sp := range setpoints {
+		if viewEmpty(sp) {
+			continue
+		}
 		var before, minDuring, after float64
 		var haveBefore, haveDuring, haveAfter bool
-		for _, s := range sp.Samples {
+		for i := 0; i < sp.Len(); i++ {
+			s := sp.Sample(i)
 			switch {
 			case s.T.Before(ev.Start):
 				before = s.V
@@ -95,15 +102,18 @@ type AGCResponse struct {
 // CorrelateAGC resamples both series onto a common 1-sample grid (the
 // shorter length wins) and finds the lag 0..maxLag with the highest
 // correlation.
-func CorrelateAGC(station string, setpoint, output *Series, maxLag int) (AGCResponse, error) {
+func CorrelateAGC(station string, setpoint, output View, maxLag int) (AGCResponse, error) {
 	resp := AGCResponse{Station: station}
 	a := resampleOnto(setpoint, output)
-	b := output.Values()
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
+	n := output.Len()
+	if len(a) < n {
+		n = len(a)
 	}
-	a, b = a[:n], b[:n]
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		b[i] = output.Sample(i).V
+	}
+	a = a[:n]
 	best := -2.0
 	for lag := 0; lag <= maxLag && lag < n; lag++ {
 		r, err := stats.CrossCorrelation(a, b, lag)
@@ -120,12 +130,12 @@ func CorrelateAGC(station string, setpoint, output *Series, maxLag int) (AGCResp
 }
 
 // resampleOnto samples the step function of s at the timestamps of ref.
-func resampleOnto(s, ref *Series) []float64 {
-	out := make([]float64, 0, len(ref.Samples))
-	for _, r := range ref.Samples {
-		v, ok := s.At(r.T)
-		if !ok && len(s.Samples) > 0 {
-			v = s.Samples[0].V
+func resampleOnto(s, ref View) []float64 {
+	out := make([]float64, 0, ref.Len())
+	for i := 0; i < ref.Len(); i++ {
+		v, ok := viewAt(s, ref.Sample(i).T)
+		if !ok && !viewEmpty(s) {
+			v = s.Sample(0).V
 		}
 		out = append(out, v)
 	}

@@ -29,6 +29,41 @@ type Sample struct {
 	V float64
 }
 
+// View is a read-only, time-ordered sample sequence. The in-memory
+// *Series satisfies it, and so do historian-backed query results, so
+// the event-signature detectors run identically over live state and
+// replayed on-disk history.
+type View interface {
+	// Len returns the number of samples.
+	Len() int
+	// Sample returns the i-th sample in time order.
+	Sample(i int) Sample
+}
+
+// Views adapts a slice of series to a slice of Views (Go does not
+// convert slice element types implicitly).
+func Views(series ...*Series) []View {
+	out := make([]View, len(series))
+	for i, s := range series {
+		out[i] = s
+	}
+	return out
+}
+
+// viewEmpty reports whether v holds no samples; it tolerates both nil
+// interfaces and typed-nil *Series values.
+func viewEmpty(v View) bool { return v == nil || v.Len() == 0 }
+
+// viewAt returns the value in force at t (last sample not after t),
+// the View counterpart of Series.At.
+func viewAt(v View, t time.Time) (float64, bool) {
+	if viewEmpty(v) || t.Before(v.Sample(0).T) {
+		return 0, false
+	}
+	idx := sort.Search(v.Len(), func(i int) bool { return v.Sample(i).T.After(t) })
+	return v.Sample(idx - 1).V, true
+}
+
 // Series is the extracted history of one point.
 type Series struct {
 	Key  SeriesKey
@@ -36,9 +71,31 @@ type Series struct {
 	// Direction is true for control-direction objects (commands).
 	Command bool
 	Samples []Sample
+
+	// evicted summarises samples dropped under a store-level cap
+	// (SetMaxSamplesPerSeries), so moment statistics stay exact over
+	// the full history even when only a bounded window is retained.
+	evicted  Digest
+	nEvicted int
 }
 
-// Values returns the raw values.
+// Len implements View. It is nil-receiver-safe so a typed-nil *Series
+// passed through the View interface behaves like an empty series.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Samples)
+}
+
+// Sample implements View.
+func (s *Series) Sample(i int) Sample { return s.Samples[i] }
+
+// Evicted returns how many samples were dropped under the store's
+// per-series cap (zero when uncapped).
+func (s *Series) Evicted() int { return s.nEvicted }
+
+// Values returns the raw retained values.
 func (s *Series) Values() []float64 {
 	out := make([]float64, len(s.Samples))
 	for i, smp := range s.Samples {
@@ -48,7 +105,12 @@ func (s *Series) Values() []float64 {
 }
 
 // NormalizedVariance scores the series the way §6.4 ranks candidates.
+// Under a sample cap it is computed from the full-history digest, so
+// eviction never changes a series' ranking.
 func (s *Series) NormalizedVariance() float64 {
+	if s.nEvicted > 0 {
+		return s.Digest().NormalizedVariance()
+	}
 	return stats.NormalizedVariance(s.Values())
 }
 
@@ -65,24 +127,40 @@ func (s *Series) At(t time.Time) (float64, bool) {
 type Store struct {
 	m     map[SeriesKey]*Series
 	order []SeriesKey
+	// maxSamples, when non-zero, bounds retained samples per series:
+	// the oldest are folded into the series' digest and dropped.
+	maxSamples int
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store { return &Store{m: make(map[SeriesKey]*Series)} }
 
-// Feed extracts every value-bearing information object of an ASDU.
-// station names the outstation (or its IP); at is the capture
-// timestamp, used when the object carries no time tag. command flags
-// control-direction frames (setpoints), which are stored as separate
-// series so AGC commands and telemetry never mix.
-func (st *Store) Feed(station string, a *iec104.ASDU, at time.Time, command bool) {
+// SetMaxSamplesPerSeries bounds the retained in-memory samples per
+// series (minimum 2). Evicted samples keep contributing to each
+// series' digest — count, min/max, mean and variance stay exact over
+// the full history — but raw values older than the window are gone, so
+// time-domain scans (event signatures, At) only see the window. Long
+// -follow runs pair this with the historian, which retains the full
+// history on disk. n <= 0 restores unbounded growth.
+func (st *Store) SetMaxSamplesPerSeries(n int) {
+	if n > 0 && n < 2 {
+		n = 2
+	}
+	st.maxSamples = n
+}
+
+// EachValue calls fn for every value-bearing information object of an
+// ASDU, resolving each object's timestamp (its CP56 time tag when
+// present and valid, otherwise the capture timestamp at). Store.Feed
+// and the historian write path share this extraction, so the in-memory
+// series and the durable history see identical samples.
+func EachValue(a *iec104.ASDU, at time.Time, fn func(ioa uint32, t time.Time, v float64)) {
 	for _, obj := range a.Objects {
 		var v float64
 		switch obj.Value.Kind {
 		case iec104.KindFloat, iec104.KindNormalized, iec104.KindScaled,
-			iec104.KindSingle, iec104.KindDouble, iec104.KindStep, iec104.KindCounter:
-			v = obj.Value.Float
-		case iec104.KindCommand:
+			iec104.KindSingle, iec104.KindDouble, iec104.KindStep, iec104.KindCounter,
+			iec104.KindCommand:
 			v = obj.Value.Float
 		default:
 			continue
@@ -91,7 +169,18 @@ func (st *Store) Feed(station string, a *iec104.ASDU, at time.Time, command bool
 		if obj.Value.HasTime && !obj.Value.Time.Invalid {
 			ts = obj.Value.Time.Time
 		}
-		key := SeriesKey{Station: station, IOA: obj.IOA}
+		fn(obj.IOA, ts, v)
+	}
+}
+
+// Feed extracts every value-bearing information object of an ASDU.
+// station names the outstation (or its IP); at is the capture
+// timestamp, used when the object carries no time tag. command flags
+// control-direction frames (setpoints), which are stored as separate
+// series so AGC commands and telemetry never mix.
+func (st *Store) Feed(station string, a *iec104.ASDU, at time.Time, command bool) {
+	EachValue(a, at, func(ioa uint32, ts time.Time, v float64) {
+		key := SeriesKey{Station: station, IOA: ioa}
 		s, ok := st.m[key]
 		if !ok {
 			s = &Series{Key: key, Type: a.Type, Command: command}
@@ -106,10 +195,32 @@ func (st *Store) Feed(station string, a *iec104.ASDU, at time.Time, command bool
 			s.Samples = append(s.Samples, Sample{})
 			copy(s.Samples[idx+1:], s.Samples[idx:])
 			s.Samples[idx] = Sample{T: ts, V: v}
-			continue
+		} else {
+			s.Samples = append(s.Samples, Sample{T: ts, V: v})
 		}
-		s.Samples = append(s.Samples, Sample{T: ts, V: v})
+		if st.maxSamples > 0 && len(s.Samples) > st.maxSamples {
+			s.evictOldest(len(s.Samples) - st.maxSamples/2)
+		}
+	})
+}
+
+// evictOldest folds the first n samples into the series' digest and
+// drops them, sliding the retained window forward. Evicting down to
+// half the cap (rather than one sample at a time) keeps the amortized
+// cost O(1) per fed sample.
+func (s *Series) evictOldest(n int) {
+	if n <= 0 {
+		return
 	}
+	if n > len(s.Samples) {
+		n = len(s.Samples)
+	}
+	for _, smp := range s.Samples[:n] {
+		s.evicted.observe(smp.T, smp.V)
+	}
+	s.nEvicted += n
+	kept := copy(s.Samples, s.Samples[n:])
+	s.Samples = s.Samples[:kept]
 }
 
 // Get returns one series.
@@ -138,13 +249,13 @@ func (st *Store) ByStation(station string) []*Series {
 	return out
 }
 
-// Ranked returns all series with at least minSamples, ordered by
-// decreasing normalized variance — the paper's shortlist of
-// "interesting" physical behaviour.
+// Ranked returns all series with at least minSamples (counting evicted
+// ones), ordered by decreasing normalized variance — the paper's
+// shortlist of "interesting" physical behaviour.
 func (st *Store) Ranked(minSamples int) []*Series {
 	var out []*Series
 	for _, k := range st.order {
-		if s := st.m[k]; len(s.Samples) >= minSamples {
+		if s := st.m[k]; len(s.Samples)+s.nEvicted >= minSamples {
 			out = append(out, s)
 		}
 	}

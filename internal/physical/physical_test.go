@@ -206,7 +206,7 @@ func TestDetectUnmetLoad(t *testing.T) {
 		{T: t0.Add(40 * time.Second), V: 80},
 		{T: t0.Add(80 * time.Second), V: 100},
 	}
-	events := DetectUnmetLoad(fs, []*Series{sp}, 60, 0.04)
+	events := DetectUnmetLoad(fs, Views(sp), 60, 0.04)
 	if len(events) != 1 {
 		t.Fatalf("%d events", len(events))
 	}
@@ -239,6 +239,58 @@ func TestCorrelateAGC(t *testing.T) {
 	}
 	if resp.BestLag == 0 {
 		t.Fatalf("lag %d, want > 0", resp.BestLag)
+	}
+}
+
+func TestStoreCapBoundsMemory(t *testing.T) {
+	const n = 1_000_000
+	const cap = 1000
+	capped := NewStore()
+	capped.SetMaxSamplesPerSeries(cap)
+	exact := NewStore()
+
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := 60 + 0.05*float64(i%37) - 0.9
+		vals = append(vals, v)
+		a := iec104.NewMeasurement(iec104.MMeNc, 1, 1001,
+			iec104.Value{Kind: iec104.KindFloat, Float: v}, iec104.CausePeriodic)
+		at := t0.Add(time.Duration(i) * time.Millisecond)
+		capped.Feed("O1", a, at, false)
+		if i%101 == 0 { // sparse exact reference to keep the test fast
+			exact.Feed("O1", a, at, false)
+		}
+	}
+
+	s, ok := capped.Get(SeriesKey{Station: "O1", IOA: 1001})
+	if !ok {
+		t.Fatal("series missing")
+	}
+	if len(s.Samples) > cap {
+		t.Fatalf("retained %d samples, cap %d", len(s.Samples), cap)
+	}
+	if got := s.Evicted() + len(s.Samples); got != n {
+		t.Fatalf("digest coverage %d, want %d", got, n)
+	}
+	d := s.Digest()
+	if d.Count != n {
+		t.Fatalf("digest count %d, want %d", d.Count, n)
+	}
+	// The digest stays exact over the full history despite eviction.
+	var mean float64
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	if diff := d.Mean - mean; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("digest mean %v, exact mean %v", d.Mean, mean)
+	}
+	if d.First != t0 || d.Last != t0.Add((n-1)*time.Millisecond) {
+		t.Fatalf("digest window %v..%v", d.First, d.Last)
+	}
+	// Ranking still counts evicted samples toward minSamples.
+	if ranked := capped.Ranked(n); len(ranked) != 1 {
+		t.Fatalf("capped series fell out of the ranking: %d", len(ranked))
 	}
 }
 

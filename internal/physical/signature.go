@@ -77,19 +77,20 @@ func DefaultSyncConfig() SyncDetectorConfig {
 }
 
 // DetectSync runs the Fig. 21 machine over aligned voltage, breaker
-// and power series of one station. It returns every completed
-// activation. Non-compliant activations (power before breaker close)
-// are returned with Compliant=false — exactly the anomaly a SOC would
-// alert on.
-func DetectSync(station string, voltage, breaker, power *Series, cfg SyncDetectorConfig) []SyncEvent {
-	if voltage == nil || breaker == nil || power == nil || len(voltage.Samples) == 0 {
+// and power series of one station. The series are Views, so the same
+// machine runs over in-memory series and historian-backed queries. It
+// returns every completed activation. Non-compliant activations (power
+// before breaker close) are returned with Compliant=false — exactly
+// the anomaly a SOC would alert on.
+func DetectSync(station string, voltage, breaker, power View, cfg SyncDetectorConfig) []SyncEvent {
+	if viewEmpty(voltage) || breaker == nil || power == nil {
 		return nil
 	}
 	// The plateau estimate: the maximum voltage seen.
 	var vmax float64
-	for _, s := range voltage.Samples {
-		if s.V > vmax {
-			vmax = s.V
+	for i := 0; i < voltage.Len(); i++ {
+		if v := voltage.Sample(i).V; v > vmax {
+			vmax = v
 		}
 	}
 	if vmax <= cfg.VoltageZero {
@@ -104,7 +105,8 @@ func DetectSync(station string, voltage, breaker, power *Series, cfg SyncDetecto
 	// not an activation.
 	dead := false
 
-	for _, s := range voltage.Samples {
+	for i := 0; i < voltage.Len(); i++ {
+		s := voltage.Sample(i)
 		switch state {
 		case SyncIdle:
 			if s.V <= cfg.VoltageZero {
@@ -160,8 +162,12 @@ func DetectSync(station string, voltage, breaker, power *Series, cfg SyncDetecto
 }
 
 // firstCrossing returns the first sample at or after t satisfying pred.
-func firstCrossing(s *Series, t time.Time, pred func(float64) bool) (time.Time, bool) {
-	for _, smp := range s.Samples {
+func firstCrossing(s View, t time.Time, pred func(float64) bool) (time.Time, bool) {
+	if s == nil {
+		return time.Time{}, false
+	}
+	for i := 0; i < s.Len(); i++ {
+		smp := s.Sample(i)
 		if smp.T.Before(t) {
 			continue
 		}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"uncharted/internal/core"
+	"uncharted/internal/historian"
 	"uncharted/internal/obs"
 	"uncharted/internal/pcap"
 )
@@ -79,6 +80,17 @@ type Config struct {
 	// are per-shard, so no locking is needed inside them, but a shared
 	// alert sink must be serialised by the caller.
 	Observer func(shard int) core.FrameObserver
+	// Historian, when set, records every extracted measurement into the
+	// durable store: each shard gets a historian.Recorder composed with
+	// its Observer, and every Snapshot flushes and fsyncs the store so
+	// the on-disk history trails the live profile by at most one
+	// snapshot period.
+	Historian *historian.Store
+	// MaxPointSamples, when positive, caps each shard's in-memory
+	// samples per series (physical.Store.SetMaxSamplesPerSeries): the
+	// bound that lets -follow runs hold steady-state memory while the
+	// historian keeps the full history on disk.
+	MaxPointSamples int
 }
 
 func (c *Config) fill() {
@@ -151,10 +163,18 @@ func New(cfg Config) *Engine {
 		if cfg.IdleTimeout > 0 {
 			an.EnableFlowEviction(cfg.IdleTimeout)
 		}
+		if cfg.MaxPointSamples > 0 {
+			an.Physical().SetMaxSamplesPerSeries(cfg.MaxPointSamples)
+		}
+		var observer core.FrameObserver
 		if cfg.Observer != nil {
-			if o := cfg.Observer(i); o != nil {
-				an.SetFrameObserver(o)
-			}
+			observer = cfg.Observer(i)
+		}
+		if cfg.Historian != nil {
+			observer = core.Observers(observer, historian.NewRecorder(cfg.Historian))
+		}
+		if observer != nil {
+			an.SetFrameObserver(observer)
 		}
 		e.shards = append(e.shards, &shard{
 			id:   i,
@@ -301,6 +321,9 @@ read:
 	e.seq++
 	e.publish(e.final, e.seq)
 	e.mu.Unlock()
+	// The drain is complete: every observed frame has passed through
+	// the shard observers, so the historian tail can be made durable.
+	e.syncHistorian(e.final.Last)
 	return srcErr
 }
 
@@ -348,7 +371,19 @@ func (e *Engine) Snapshot() core.Partial {
 	merged := core.MergePartials(parts)
 	e.seq++
 	e.publish(merged, e.seq)
+	e.syncHistorian(merged.Last)
 	return merged
+}
+
+// syncHistorian makes the on-disk history durable up to the samples
+// recorded so far — the snapshot-stage fsync point.
+func (e *Engine) syncHistorian(at time.Time) {
+	if e.cfg.Historian == nil {
+		return
+	}
+	if err := e.cfg.Historian.Sync(); err != nil {
+		e.cfg.Journal.Log(at, obs.EventHistorianSync, "", map[string]any{"error": err.Error()})
+	}
 }
 
 // publish derives and stores the rolling profile. Called with e.mu
