@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"uncharted/internal/core"
+	"uncharted/internal/drift"
 	"uncharted/internal/historian"
 	"uncharted/internal/iec104"
 	"uncharted/internal/pcap"
@@ -162,6 +163,11 @@ func runBench(dir string, scale float64, seed int64) error {
 		return err
 	}
 
+	drift104, err := driftBench(names, capture.Bytes(), scale, seed)
+	if err != nil {
+		return err
+	}
+
 	write := func(name string, rows []BenchResult) error {
 		path := filepath.Join(dir, name)
 		f, err := os.Create(path)
@@ -191,7 +197,69 @@ func runBench(dir string, scale float64, seed int64) error {
 	if err := write("BENCH_stream.json", stream104); err != nil {
 		return err
 	}
-	return write("BENCH_historian.json", hist104)
+	if err := write("BENCH_historian.json", hist104); err != nil {
+		return err
+	}
+	return write("BENCH_drift.json", drift104)
+}
+
+// driftBench builds the BENCH_drift.json rows: profile codec
+// throughput (encode and decode of the full Y1 era profile, bytes per
+// op = one encoded profile) and the latency of the §6 era-vs-era
+// comparison over the full 58-outstation topology.
+func driftBench(names map[netip.Addr]string, capture []byte, scale float64, seed int64) ([]BenchResult, error) {
+	a := core.NewAnalyzer(names)
+	if err := a.ReadPCAP(bytes.NewReader(capture)); err != nil {
+		return nil, err
+	}
+	profA := drift.NewProfile("bench-y1", "bench", a.Partial(), time.Unix(0, 0).UTC())
+
+	cfgB := scadasim.DefaultConfig(topology.Y2, seed)
+	cfgB.Duration = time.Duration(float64(cfgB.Duration) * scale)
+	simB, err := scadasim.New(cfgB)
+	if err != nil {
+		return nil, err
+	}
+	trB, err := simB.Run()
+	if err != nil {
+		return nil, err
+	}
+	var capB bytes.Buffer
+	if err := trB.WritePCAP(&capB); err != nil {
+		return nil, err
+	}
+	b2 := core.NewAnalyzer(core.NamesFromTopology(simB.Network()))
+	if err := b2.ReadPCAP(bytes.NewReader(capB.Bytes())); err != nil {
+		return nil, err
+	}
+	profB := drift.NewProfile("bench-y2", "bench", b2.Partial(), time.Unix(0, 0).UTC())
+
+	encoded := profA.Encode()
+	rows := []BenchResult{
+		toBenchResult("profile_encode", testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(int64(len(encoded)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				profA.Encode()
+			}
+		})),
+		toBenchResult("profile_decode", testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(int64(len(encoded)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := drift.DecodeProfile(encoded); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})),
+		toBenchResult("profile_diff_eras", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				drift.Compare(profA, profB, drift.DefaultThresholds())
+			}
+		})),
+	}
+	return rows, nil
 }
 
 // deadbandSamples synthesizes a deadband-reported telemetry series —

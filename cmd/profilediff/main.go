@@ -1,0 +1,244 @@
+// Command profilediff is the longitudinal comparison tool from §6 of
+// the paper: it persists behavioral profiles of a bulk-power capture
+// and diffs two of them statistically — Markov-chain divergence,
+// timing and flow-duration distribution shifts, topology churn,
+// compliance-flag churn and physical-range shifts — so the paper's
+// Nov 2017 vs Mar 2019 experiment is a two-command reproduction.
+//
+// Usage:
+//
+//	profilediff save -out era-a.prof -label 2017-11 capture-a.pcap
+//	profilediff save -out era-b.prof -label 2019-03 capture-b.pcap
+//	profilediff diff era-a.prof era-b.prof
+//	profilediff diff -json era-a.prof era-b.prof > report.json
+//	profilediff watch -baseline era-a.prof growing.pcap
+//
+// Exit status of diff follows the diff(1) convention: 0 when no drift
+// is found, 1 when the profiles drifted, 2 on trouble.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/netip"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/drift"
+	"uncharted/internal/ids"
+	"uncharted/internal/obs"
+	"uncharted/internal/stream"
+	"uncharted/internal/topology"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func usage() int {
+	log.Print(`usage:
+  profilediff save  [-out file] [-label text] [-workers N] capture.pcap
+  profilediff diff  [-json] [-min-severity N] a.prof b.prof
+  profilediff watch -baseline a.prof [-workers N] [-interval d] [-metrics addr] growing.pcap`)
+	return 2
+}
+
+func run() int {
+	log.SetFlags(0)
+	log.SetPrefix("profilediff: ")
+	if len(os.Args) < 2 {
+		return usage()
+	}
+	switch os.Args[1] {
+	case "save":
+		return runSave(os.Args[2:])
+	case "diff":
+		return runDiff(os.Args[2:])
+	case "watch":
+		return runWatch(os.Args[2:])
+	default:
+		log.Printf("unknown subcommand %q", os.Args[1])
+		return usage()
+	}
+}
+
+// runSave analyzes a capture and persists the merged state as a
+// versioned profile file.
+func runSave(args []string) int {
+	fs := flag.NewFlagSet("save", flag.ExitOnError)
+	out := fs.String("out", "profile.prof", "output profile path")
+	label := fs.String("label", "", "label stored in the profile (default: capture path)")
+	workers := fs.Int("workers", 1, "analysis shards")
+	names := fs.Bool("names", true, "label addresses with the simulated topology's names")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return usage()
+	}
+	path := fs.Arg(0)
+	if *label == "" {
+		*label = path
+	}
+
+	p, err := analyze(path, *workers, *names)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	prof := drift.NewProfile(*label, path, p, time.Now())
+	if err := drift.SaveProfile(*out, prof); err != nil {
+		log.Print(err)
+		return 2
+	}
+	log.Printf("saved profile %q to %s: %d packets, %d connections, %d points, window %s .. %s",
+		*label, *out, p.Packets, len(p.Chains), len(p.Physical),
+		p.First.Format("2006-01-02 15:04:05"), p.Last.Format("15:04:05"))
+	return 0
+}
+
+// analyze runs a finished capture through the pipeline: one offline
+// analyzer, or the sharded streaming engine when workers > 1 (the
+// merge is order-independent, so both produce the same profile).
+func analyze(path string, workers int, names bool) (core.Partial, error) {
+	var nm map[netip.Addr]string
+	if names {
+		nm = core.NamesFromTopology(topology.Build())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return core.Partial{}, err
+	}
+	defer f.Close()
+	if workers <= 1 {
+		a := core.NewAnalyzer(nm)
+		if err := a.ReadPCAP(f); err != nil {
+			return core.Partial{}, fmt.Errorf("reading %s: %w", path, err)
+		}
+		return a.Partial(), nil
+	}
+	src, err := stream.NewPCAPSource(f)
+	if err != nil {
+		return core.Partial{}, err
+	}
+	e := stream.New(stream.Config{Workers: workers, Names: nm})
+	if err := e.Run(context.Background(), src); err != nil {
+		return core.Partial{}, err
+	}
+	return e.Final(), nil
+}
+
+// runDiff loads two profiles and prints the drift report.
+func runDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
+	minSev := fs.Int("min-severity", drift.SevInfo, "exit 1 only when a finding reaches this severity (1=info 2=warn 3=critical)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return usage()
+	}
+	a, err := drift.LoadProfile(fs.Arg(0))
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	b, err := drift.LoadProfile(fs.Arg(1))
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	rep := drift.Compare(a, b, drift.DefaultThresholds())
+	if *asJSON {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			log.Print(err)
+			return 2
+		}
+	} else {
+		rep.WriteText(os.Stdout)
+	}
+	if rep.MaxSeverity() >= *minSev && len(rep.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runWatch tails a growing capture, diffing the rolling profile
+// against the stored baseline on every snapshot: the paper's
+// longitudinal comparison as a monitor instead of a post-hoc study.
+func runWatch(args []string) int {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	basePath := fs.String("baseline", "", "stored profile to diff the live capture against (required)")
+	workers := fs.Int("workers", 2, "analysis shards")
+	interval := fs.Duration("interval", 2*time.Second, "snapshot and comparison period")
+	metricsAddr := fs.String("metrics", "", "serve /metrics, /profile and /drift on this address")
+	names := fs.Bool("names", true, "label addresses with the simulated topology's names")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *basePath == "" {
+		return usage()
+	}
+	baseline, err := drift.LoadProfile(*basePath)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	log.Printf("watching %s against profile %q (%s)",
+		fs.Arg(0), baseline.Meta.Label, baseline.Meta.SavedAt.Format("2006-01-02"))
+
+	var nm map[netip.Addr]string
+	if *names {
+		nm = core.NamesFromTopology(topology.Build())
+	}
+	e := stream.New(stream.Config{
+		Workers:       *workers,
+		SnapshotEvery: *interval,
+		Names:         nm,
+		Baseline:      baseline,
+		DriftAlerts: func(al ids.Alert) {
+			log.Printf("DRIFT %v", al)
+		},
+	})
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		addr, shutdown, err := obs.ServeWith(*metricsAddr, reg, nil, map[string]http.Handler{
+			"/profile": e.ProfileHandler(),
+			"/drift":   e.DriftHandler(),
+		})
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		defer shutdown()
+		log.Printf("serving live drift report on http://%s/drift", addr)
+	}
+
+	src, err := stream.NewFollowSource(fs.Arg(0))
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	defer src.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Print("interrupt to drain and print the final report")
+	if err := e.Run(ctx, src); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("stream stopped early: %v", err)
+		return 2
+	}
+	rep := e.DriftReport()
+	if rep == nil {
+		log.Print("no snapshot was published before shutdown")
+		return 2
+	}
+	rep.WriteText(os.Stdout)
+	if rep.MaxSeverity() >= drift.SevWarn {
+		return 1
+	}
+	return 0
+}

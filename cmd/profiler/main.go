@@ -30,11 +30,14 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"uncharted/internal/core"
+	"uncharted/internal/drift"
 	"uncharted/internal/historian"
+	"uncharted/internal/ids"
 	"uncharted/internal/obs"
 	"uncharted/internal/physical"
 	"uncharted/internal/stream"
@@ -70,6 +73,11 @@ func run() int {
 	idleTimeout := flag.Duration("idle-timeout", 0, "evict flows idle this long in streaming mode (0 = keep all)")
 	historianDir := flag.String("historian", "", "record every extracted measurement into the durable historian at this directory (adds /query next to /metrics)")
 	pointCap := flag.Int("point-cap", 0, "cap in-memory samples per series; pair with -historian so long -follow runs hold steady memory (0 = unbounded)")
+	saveProfile := flag.String("save-profile", "", "save the merged analysis state as a versioned profile file for later drift comparison")
+	profileLabel := flag.String("profile-label", "", "label stored with -save-profile (default: capture path)")
+	baselinePath := flag.String("baseline", "", "compare against this stored profile and print the drift report; with -follow the rolling profile is diffed live and served at /drift")
+	saveBaseline := flag.String("save-baseline", "", "train an IDS whitelist on the capture and persist it (offline single-analyzer mode only)")
+	loadBaseline := flag.String("load-baseline", "", "load a persisted IDS whitelist: offline mode scans the capture, streaming mode arms per-shard monitors")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Print("usage: profiler [-report list] [-journal events.jsonl] [-follow] [-workers N] [-metrics addr] capture.pcap")
@@ -92,7 +100,16 @@ func run() int {
 		want[strings.TrimSpace(r)] = true
 	}
 
+	label := *profileLabel
+	if label == "" {
+		label = flag.Arg(0)
+	}
+
 	if *follow || *workers > 1 {
+		if *saveBaseline != "" {
+			log.Print("-save-baseline needs the offline single-analyzer mode (raw samples are not retained across shards)")
+			return 2
+		}
 		return runStreaming(streamOpts{
 			path:          flag.Arg(0),
 			follow:        *follow,
@@ -105,6 +122,10 @@ func run() int {
 			names:         *names,
 			journal:       journal,
 			want:          want,
+			saveProfile:   *saveProfile,
+			profileLabel:  label,
+			baselinePath:  *baselinePath,
+			loadBaseline:  *loadBaseline,
 		})
 	}
 
@@ -201,6 +222,39 @@ func run() int {
 	if want["stats"] {
 		printStats(reg, journal)
 	}
+	if code := driftActions(analyzer.Partial(), flag.Arg(0), label, *saveProfile, *baselinePath); code != 0 {
+		exit = code
+	}
+	if *saveBaseline != "" {
+		base, err := ids.Train(analyzer)
+		if err != nil {
+			log.Printf("training baseline: %v", err)
+			return 1
+		}
+		if err := drift.SaveBaseline(*saveBaseline, base); err != nil {
+			log.Print(err)
+			return 1
+		}
+		eps, conns, points := base.Size()
+		log.Printf("saved IDS baseline to %s: %d endpoints, %d connections, %d points",
+			*saveBaseline, eps, conns, points)
+	}
+	if *loadBaseline != "" {
+		base, err := drift.LoadBaseline(*loadBaseline)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		alerts := base.Scan(analyzer)
+		fmt.Printf("== IDS scan against %s ==\n", *loadBaseline)
+		if len(alerts) == 0 {
+			fmt.Println("no deviations from baseline")
+		}
+		for _, al := range alerts {
+			fmt.Println(al)
+		}
+		fmt.Println()
+	}
 	if err := journal.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "profiler: warning: journal write failed: %v\n", err)
 		if exit == 0 {
@@ -208,6 +262,33 @@ func run() int {
 		}
 	}
 	return exit
+}
+
+// driftActions runs the profile-persistence and baseline-comparison
+// flags over the merged analysis state; both the offline and the
+// streaming paths end here.
+func driftActions(p core.Partial, source, label, savePath, baselinePath string) int {
+	if savePath != "" {
+		prof := drift.NewProfile(label, source, p, time.Now())
+		if err := drift.SaveProfile(savePath, prof); err != nil {
+			log.Print(err)
+			return 1
+		}
+		log.Printf("saved profile %q (%d packets, %d connections) to %s",
+			label, p.Packets, len(p.Chains), savePath)
+	}
+	if baselinePath != "" {
+		base, err := drift.LoadProfile(baselinePath)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		cur := drift.NewProfile(label, source, p, time.Now())
+		rep := drift.Compare(base, cur, drift.DefaultThresholds())
+		rep.WriteText(os.Stdout)
+		fmt.Println()
+	}
+	return 0
 }
 
 // printStats renders the observability registry: per-stage wall-time
@@ -403,6 +484,10 @@ type streamOpts struct {
 	names         bool
 	journal       *obs.Journal
 	want          map[string]bool
+	saveProfile   string
+	profileLabel  string
+	baselinePath  string
+	loadBaseline  string
 }
 
 // runStreaming analyzes the capture through the sharded engine: with
@@ -427,6 +512,39 @@ func runStreaming(o streamOpts) int {
 		log.Printf("recording measurements into historian at %s", o.historianDir)
 	}
 
+	var baseline *drift.Profile
+	if o.baselinePath != "" {
+		var err error
+		baseline, err = drift.LoadProfile(o.baselinePath)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		log.Printf("drift detection armed against profile %q (%s)",
+			baseline.Meta.Label, baseline.Meta.SavedAt.Format("2006-01-02"))
+	}
+	var observer func(int) core.FrameObserver
+	if o.loadBaseline != "" {
+		idsBase, err := drift.LoadBaseline(o.loadBaseline)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		eps, conns, points := idsBase.Size()
+		log.Printf("IDS monitors armed: %d endpoints, %d connections, %d points whitelisted",
+			eps, conns, points)
+		// Monitors are per shard (lock-free inside); the shared log sink
+		// serialises itself.
+		var alertMu sync.Mutex
+		observer = func(shard int) core.FrameObserver {
+			return ids.NewMonitor(idsBase, func(al ids.Alert) {
+				alertMu.Lock()
+				defer alertMu.Unlock()
+				log.Printf("ALERT [shard %d] %v", shard, al)
+			})
+		}
+	}
+
 	snapshotEvery := time.Duration(0)
 	if o.follow {
 		snapshotEvery = o.snapshotEvery
@@ -442,6 +560,11 @@ func runStreaming(o streamOpts) int {
 		Journal:         o.journal,
 		Historian:       hist,
 		MaxPointSamples: o.pointCap,
+		Baseline:        baseline,
+		Observer:        observer,
+		DriftAlerts: func(al ids.Alert) {
+			log.Printf("DRIFT %v", al)
+		},
 	})
 
 	var src stream.Source
@@ -470,6 +593,9 @@ func runStreaming(o streamOpts) int {
 
 	if o.metricsAddr != "" {
 		extra := map[string]http.Handler{"/profile": e.ProfileHandler()}
+		if baseline != nil {
+			extra["/drift"] = e.DriftHandler()
+		}
 		if hist != nil {
 			extra["/query"] = historian.QueryHandler(hist)
 		}
@@ -542,6 +668,16 @@ func runStreaming(o streamOpts) int {
 	}
 	if o.want["stats"] {
 		printStats(reg, o.journal)
+	}
+	if code := driftActions(p, o.path, o.profileLabel, o.saveProfile, ""); code != 0 {
+		exit = code
+	}
+	if rep := e.DriftReport(); rep != nil {
+		// The engine already diffed the final merged state against the
+		// baseline on the last publish; print that report rather than
+		// recomputing it.
+		rep.WriteText(os.Stdout)
+		fmt.Println()
 	}
 	if err := o.journal.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "profiler: warning: journal write failed: %v\n", err)

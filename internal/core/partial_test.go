@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"uncharted/internal/pcap"
+	"uncharted/internal/scadasim"
+	"uncharted/internal/topology"
+)
+
+// shardedPartials splits a capture across n analyzers by unordered IP
+// pair — the streaming engine's partitioning — and snapshots each.
+func shardedPartials(t *testing.T, n int) []Partial {
+	t.Helper()
+	cfg := scadasim.DefaultConfig(topology.Y1, 17)
+	cfg.Duration = 6 * time.Minute
+	sim, err := scadasim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePCAP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	names := NamesFromTopology(sim.Network())
+	analyzers := make([]*Analyzer, n)
+	for i := range analyzers {
+		analyzers[i] = NewAnalyzer(names)
+	}
+	rd, err := pcap.NewAutoReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		data, ci, err := rd.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkt, err := pcap.DecodePacket(rd.LinkType(), ci, data)
+		if err != nil {
+			continue
+		}
+		a, b := pkt.IP.Src, pkt.IP.Dst
+		if b.Compare(a) < 0 {
+			a, b = b, a
+		}
+		h := uint64(14695981039346656037)
+		for _, by := range a.As16() {
+			h = (h ^ uint64(by)) * 1099511628211
+		}
+		for _, by := range b.As16() {
+			h = (h ^ uint64(by)) * 1099511628211
+		}
+		analyzers[h%uint64(n)].FeedPacket(pkt)
+	}
+	parts := make([]Partial, n)
+	for i, a := range analyzers {
+		parts[i] = a.Partial()
+	}
+	return parts
+}
+
+// equalMerged asserts two merged partials describe the same network:
+// exact equality for everything integer-valued (counters, chains,
+// compliance, type counts, flow taxonomy, features) and tolerance
+// equality for the floating-point moment digests, whose Welford/Chan
+// merges are order-sensitive in the last bits.
+func equalMerged(t *testing.T, label string, a, b Partial) {
+	t.Helper()
+	if a.Packets != b.Packets || a.IECPackets != b.IECPackets ||
+		a.ParseErrors != b.ParseErrors || a.SeqAnomalies != b.SeqAnomalies ||
+		a.TotalASDUs != b.TotalASDUs || a.FlowsEvicted != b.FlowsEvicted {
+		t.Fatalf("%s: counters differ", label)
+	}
+	if !a.First.Equal(b.First) || !a.Last.Equal(b.Last) {
+		t.Fatalf("%s: capture window differs", label)
+	}
+	if !reflect.DeepEqual(a.TypeCounts, b.TypeCounts) {
+		t.Fatalf("%s: type counts differ", label)
+	}
+	if !reflect.DeepEqual(a.OtherPorts, b.OtherPorts) {
+		t.Fatalf("%s: other-port tallies differ", label)
+	}
+	if !reflect.DeepEqual(a.Compliance, b.Compliance) {
+		t.Fatalf("%s: compliance differs", label)
+	}
+	if !reflect.DeepEqual(a.Features, b.Features) {
+		t.Fatalf("%s: session features differ", label)
+	}
+
+	fa, fb := a.Flows, b.Flows
+	if fa.ShortLived != fb.ShortLived || fa.ShortLivedSubSec != fb.ShortLivedSubSec ||
+		fa.ShortLivedOverSec != fb.ShortLivedOverSec || fa.LongLived != fb.LongLived {
+		t.Fatalf("%s: flow taxonomy differs", label)
+	}
+	// Durations concatenate in merge order: compare as multisets.
+	da := append([]time.Duration(nil), fa.ShortLivedDuration...)
+	db := append([]time.Duration(nil), fb.ShortLivedDuration...)
+	sort.Slice(da, func(i, j int) bool { return da[i] < da[j] })
+	sort.Slice(db, func(i, j int) bool { return db[i] < db[j] })
+	if !reflect.DeepEqual(da, db) {
+		t.Fatalf("%s: flow duration populations differ", label)
+	}
+
+	if len(a.Chains) != len(b.Chains) {
+		t.Fatalf("%s: chain counts differ: %d vs %d", label, len(a.Chains), len(b.Chains))
+	}
+	for i := range a.Chains {
+		ca, cb := a.Chains[i], b.Chains[i]
+		if ca.Key != cb.Key || ca.Server != cb.Server || ca.Outstation != cb.Outstation {
+			t.Fatalf("%s: chain %d identity differs", label, i)
+		}
+		if !reflect.DeepEqual(ca.Chain.State(), cb.Chain.State()) {
+			t.Fatalf("%s: chain %s>%s counts differ", label, ca.Server, ca.Outstation)
+		}
+	}
+
+	if len(a.Physical) != len(b.Physical) {
+		t.Fatalf("%s: digest counts differ", label)
+	}
+	relClose := func(x, y float64) bool {
+		if x == y {
+			return true
+		}
+		scale := math.Max(math.Abs(x), math.Abs(y))
+		return math.Abs(x-y) <= 1e-9*math.Max(scale, 1)
+	}
+	for i := range a.Physical {
+		da, db := a.Physical[i], b.Physical[i]
+		if da.Key != db.Key || da.Type != db.Type || da.Command != db.Command || da.Count != db.Count {
+			t.Fatalf("%s: digest %v identity differs", label, da.Key)
+		}
+		if da.Min != db.Min || da.Max != db.Max {
+			t.Fatalf("%s: digest %v min/max differ", label, da.Key)
+		}
+		if !relClose(da.Mean, db.Mean) || !relClose(da.M2, db.M2) {
+			t.Fatalf("%s: digest %v moments differ beyond tolerance: mean %v vs %v, m2 %v vs %v",
+				label, da.Key, da.Mean, db.Mean, da.M2, db.M2)
+		}
+	}
+}
+
+// TestMergePartialsCommutativeAssociative: shard merge order must not
+// change the merged profile — the property the drift engine depends on
+// (a profile saved from a 4-shard stream must not "drift" against the
+// same capture analyzed offline).
+func TestMergePartialsCommutativeAssociative(t *testing.T) {
+	parts := shardedPartials(t, 3)
+	p0, p1, p2 := parts[0], parts[1], parts[2]
+
+	base := MergePartials([]Partial{p0, p1, p2})
+	perms := [][]Partial{
+		{p0, p2, p1},
+		{p1, p0, p2},
+		{p1, p2, p0},
+		{p2, p0, p1},
+		{p2, p1, p0},
+	}
+	for i, perm := range perms {
+		equalMerged(t, "commutativity perm "+string(rune('a'+i)), base, MergePartials(perm))
+	}
+
+	left := MergePartials([]Partial{MergePartials([]Partial{p0, p1}), p2})
+	right := MergePartials([]Partial{p0, MergePartials([]Partial{p1, p2})})
+	equalMerged(t, "associativity left", base, left)
+	equalMerged(t, "associativity right", base, right)
+	equalMerged(t, "associativity left-vs-right", left, right)
+
+	// Identity: merging one partial with nothing changes nothing
+	// observable.
+	solo := MergePartials([]Partial{p0})
+	equalMerged(t, "identity", solo, MergePartials([]Partial{solo}))
+}

@@ -1,0 +1,678 @@
+package drift
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/ids"
+	"uncharted/internal/iec104"
+	"uncharted/internal/markov"
+	"uncharted/internal/physical"
+	"uncharted/internal/tcpflow"
+)
+
+// Container format: an 8-byte magic, a uvarint schema version, a kind
+// byte, a uvarint payload length, the payload, and a CRC32-Castagnoli
+// of everything before the checksum. Every multi-valued structure is
+// written in canonical (sorted) order and every float as its IEEE 754
+// bit pattern, so encoding is deterministic: save → load → save
+// produces identical bytes.
+const (
+	magic = "UNCHDRFT"
+	// Version is the on-disk schema version. Decoders reject files
+	// from a newer schema rather than misreading them.
+	Version = 1
+)
+
+// Kind tags what a container holds.
+type Kind byte
+
+// Container kinds.
+const (
+	KindProfile  Kind = 1
+	KindBaseline Kind = 2
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is wrapped by every decode failure caused by the file
+// content (as opposed to I/O).
+var ErrCorrupt = errors.New("corrupt profile file")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// seal wraps a payload in the container framing.
+func seal(kind Kind, payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+24)
+	out = append(out, magic...)
+	out = binary.AppendUvarint(out, Version)
+	out = append(out, byte(kind))
+	out = binary.AppendUvarint(out, uint64(len(payload)))
+	out = append(out, payload...)
+	crc := crc32.Checksum(out, castagnoli)
+	out = binary.LittleEndian.AppendUint32(out, crc)
+	return out
+}
+
+// unseal validates the framing and returns the payload.
+func unseal(data []byte, want Kind) ([]byte, error) {
+	if len(data) < len(magic)+4 {
+		return nil, corruptf("truncated header (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, corruptf("bad magic")
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	if got, wantCRC := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(crcBytes); got != wantCRC {
+		return nil, corruptf("crc mismatch (file %08x, computed %08x)", wantCRC, got)
+	}
+	rest := body[len(magic):]
+	ver, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, corruptf("bad version varint")
+	}
+	rest = rest[n:]
+	if ver > Version {
+		return nil, corruptf("schema version %d newer than supported %d", ver, Version)
+	}
+	if len(rest) < 1 {
+		return nil, corruptf("missing kind byte")
+	}
+	kind := Kind(rest[0])
+	rest = rest[1:]
+	if kind != want {
+		return nil, corruptf("container holds kind %d, want %d", kind, want)
+	}
+	plen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, corruptf("bad payload length")
+	}
+	rest = rest[n:]
+	if plen != uint64(len(rest)) {
+		return nil, corruptf("payload length %d, have %d bytes", plen, len(rest))
+	}
+	return rest, nil
+}
+
+// enc accumulates the deterministic binary encoding.
+type enc struct{ b []byte }
+
+func (e *enc) u(v uint64)  { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) i(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) f(v float64) { e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v)) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+func (e *enc) str(s string) { e.u(uint64(len(s))); e.b = append(e.b, s...) }
+func (e *enc) addr(a netip.Addr) {
+	b, _ := a.MarshalBinary() // never fails for netip.Addr
+	e.u(uint64(len(b)))
+	e.b = append(e.b, b...)
+}
+
+// time encodes zero times distinctly so they restore as time.Time{}
+// rather than the unix epoch's representation of zero.
+func (e *enc) time(t time.Time) {
+	if t.IsZero() {
+		e.bool(false)
+		return
+	}
+	e.bool(true)
+	e.i(t.UnixNano())
+}
+
+// dec walks the payload, remembering the first error; all reads after
+// a failure return zero values, so decode code needs no per-field
+// error plumbing. Length fields are validated against the remaining
+// bytes before any allocation, which keeps fuzzed inputs from forcing
+// huge allocations.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = corruptf(format, args...)
+	}
+}
+
+func (d *dec) u() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) i() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) f() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b) < 1 {
+		d.fail("truncated bool")
+		return false
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	if v > 1 {
+		d.fail("bad bool byte %d", v)
+		return false
+	}
+	return v == 1
+}
+
+func (d *dec) str() string {
+	n := d.u()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("string length %d exceeds %d remaining bytes", n, len(d.b))
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *dec) addr() netip.Addr {
+	n := d.u()
+	if d.err != nil {
+		return netip.Addr{}
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("address length %d exceeds %d remaining bytes", n, len(d.b))
+		return netip.Addr{}
+	}
+	a, ok := netip.AddrFromSlice(d.b[:n])
+	if !ok && n != 0 {
+		d.fail("bad address of %d bytes", n)
+	}
+	d.b = d.b[n:]
+	return a
+}
+
+func (d *dec) time() time.Time {
+	if !d.bool() {
+		return time.Time{}
+	}
+	return time.Unix(0, d.i()).UTC()
+}
+
+// count reads a collection length and bounds it by the remaining
+// payload, given the minimum encoded size of one element.
+func (d *dec) count(minElem int) int {
+	n := d.u()
+	if d.err != nil {
+		return 0
+	}
+	if minElem < 1 {
+		minElem = 1
+	}
+	if n > uint64(len(d.b)/minElem) {
+		d.fail("collection of %d elements cannot fit in %d remaining bytes", n, len(d.b))
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) token() iec104.Token {
+	s := d.str()
+	if d.err != nil {
+		return iec104.Token{}
+	}
+	t, err := iec104.ParseToken(s)
+	if err != nil {
+		d.fail("bad token %q", s)
+		return iec104.Token{}
+	}
+	return t
+}
+
+// Encode serializes the profile.
+func (p *Profile) Encode() []byte {
+	var e enc
+	e.str(p.Meta.Label)
+	e.str(p.Meta.Source)
+	e.time(p.Meta.SavedAt)
+	encodePartial(&e, &p.Partial)
+	return seal(KindProfile, e.b)
+}
+
+// DecodeProfile parses a profile container.
+func DecodeProfile(data []byte) (*Profile, error) {
+	payload, err := unseal(data, KindProfile)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: payload}
+	var p Profile
+	p.Meta.Label = d.str()
+	p.Meta.Source = d.str()
+	p.Meta.SavedAt = d.time()
+	p.Partial = decodePartial(d)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, corruptf("%d trailing payload bytes", len(d.b))
+	}
+	return &p, nil
+}
+
+func encodePartial(e *enc, p *core.Partial) {
+	e.u(uint64(p.Packets))
+	e.u(uint64(p.IECPackets))
+	e.u(uint64(p.ParseErrors))
+	e.u(uint64(p.SeqAnomalies))
+	e.u(uint64(p.TotalASDUs))
+	e.u(uint64(p.FlowsEvicted))
+	e.time(p.First)
+	e.time(p.Last)
+
+	e.u(uint64(p.Flows.ShortLived))
+	e.u(uint64(p.Flows.ShortLivedSubSec))
+	e.u(uint64(p.Flows.ShortLivedOverSec))
+	e.u(uint64(p.Flows.LongLived))
+	e.u(uint64(len(p.Flows.ShortLivedDuration)))
+	for _, dur := range p.Flows.ShortLivedDuration {
+		e.i(int64(dur))
+	}
+
+	e.u(uint64(len(p.Compliance)))
+	for _, sc := range p.Compliance {
+		e.addr(sc.Addr)
+		e.str(sc.Name)
+		e.u(uint64(sc.Frames))
+		e.u(uint64(sc.StrictInvalid))
+		e.u(uint64(sc.Profile.COTSize))
+		e.u(uint64(sc.Profile.CommonAddrSize))
+		e.u(uint64(sc.Profile.IOASize))
+		e.bool(sc.Detected)
+	}
+
+	types := make([]iec104.TypeID, 0, len(p.TypeCounts))
+	for t := range p.TypeCounts {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	e.u(uint64(len(types)))
+	for _, t := range types {
+		e.u(uint64(t))
+		e.u(uint64(p.TypeCounts[t]))
+	}
+
+	e.u(uint64(len(p.Chains)))
+	for _, cc := range p.Chains {
+		e.addr(cc.Key.Server)
+		e.addr(cc.Key.Outstation)
+		e.str(cc.Server)
+		e.str(cc.Outstation)
+		e.u(uint64(cc.Cluster))
+		st := cc.Chain.State()
+		e.u(uint64(len(st.Nodes)))
+		for _, nc := range st.Nodes {
+			e.str(nc.Token.String())
+			e.u(uint64(nc.Count))
+		}
+		e.u(uint64(len(st.Edges)))
+		for _, ec := range st.Edges {
+			e.str(ec.From.String())
+			e.str(ec.To.String())
+			e.u(uint64(ec.Count))
+		}
+	}
+
+	e.u(uint64(len(p.Features)))
+	for _, f := range p.Features {
+		e.str(f.Src)
+		e.str(f.Dst)
+		e.f(f.DeltaT)
+		e.f(f.Num)
+		e.f(f.PctI)
+		e.f(f.PctS)
+		e.f(f.PctU)
+	}
+
+	e.u(uint64(len(p.Physical)))
+	for _, dg := range p.Physical {
+		e.str(dg.Key.Station)
+		e.u(uint64(dg.Key.IOA))
+		e.u(uint64(dg.Type))
+		e.bool(dg.Command)
+		e.u(uint64(dg.Count))
+		e.f(dg.Min)
+		e.f(dg.Max)
+		e.f(dg.Mean)
+		e.f(dg.M2)
+		e.time(dg.First)
+		e.time(dg.Last)
+	}
+
+	ports := make([]uint16, 0, len(p.OtherPorts))
+	for port := range p.OtherPorts {
+		ports = append(ports, port)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	e.u(uint64(len(ports)))
+	for _, port := range ports {
+		e.u(uint64(port))
+		e.u(uint64(p.OtherPorts[port]))
+	}
+}
+
+func decodePartial(d *dec) core.Partial {
+	var p core.Partial
+	p.Packets = int(d.u())
+	p.IECPackets = int(d.u())
+	p.ParseErrors = int(d.u())
+	p.SeqAnomalies = int(d.u())
+	p.TotalASDUs = int(d.u())
+	p.FlowsEvicted = int(d.u())
+	p.First = d.time()
+	p.Last = d.time()
+
+	p.Flows = tcpflow.Summary{
+		ShortLived:        int(d.u()),
+		ShortLivedSubSec:  int(d.u()),
+		ShortLivedOverSec: int(d.u()),
+		LongLived:         int(d.u()),
+	}
+	if n := d.count(1); n > 0 {
+		p.Flows.ShortLivedDuration = make([]time.Duration, n)
+		for i := range p.Flows.ShortLivedDuration {
+			p.Flows.ShortLivedDuration[i] = time.Duration(d.i())
+		}
+	}
+
+	if n := d.count(8); n > 0 {
+		p.Compliance = make([]core.StationCompliance, n)
+		for i := range p.Compliance {
+			sc := &p.Compliance[i]
+			sc.Addr = d.addr()
+			sc.Name = d.str()
+			sc.Frames = int(d.u())
+			sc.StrictInvalid = int(d.u())
+			sc.Profile.COTSize = int(d.u())
+			sc.Profile.CommonAddrSize = int(d.u())
+			sc.Profile.IOASize = int(d.u())
+			sc.Detected = d.bool()
+		}
+	}
+
+	p.TypeCounts = make(map[iec104.TypeID]int)
+	for i, n := 0, d.count(2); i < n; i++ {
+		t := iec104.TypeID(d.u())
+		p.TypeCounts[t] = int(d.u())
+	}
+
+	if n := d.count(8); n > 0 {
+		p.Chains = make([]core.ConnChain, n)
+		for i := range p.Chains {
+			cc := &p.Chains[i]
+			cc.Key.Server = d.addr()
+			cc.Key.Outstation = d.addr()
+			cc.Server = d.str()
+			cc.Outstation = d.str()
+			cc.Cluster = markov.SizeCluster(d.u())
+			var st markov.ChainState
+			if nn := d.count(3); nn > 0 {
+				st.Nodes = make([]markov.TokenCount, nn)
+				for j := range st.Nodes {
+					st.Nodes[j].Token = d.token()
+					st.Nodes[j].Count = int(d.u())
+				}
+			}
+			if ne := d.count(5); ne > 0 {
+				st.Edges = make([]markov.EdgeCount, ne)
+				for j := range st.Edges {
+					st.Edges[j].From = d.token()
+					st.Edges[j].To = d.token()
+					st.Edges[j].Count = int(d.u())
+				}
+			}
+			cc.Chain = markov.ChainFromState(st)
+		}
+	}
+
+	if n := d.count(42); n > 0 {
+		p.Features = make([]core.SessionFeature, n)
+		for i := range p.Features {
+			f := &p.Features[i]
+			f.Src = d.str()
+			f.Dst = d.str()
+			f.DeltaT = d.f()
+			f.Num = d.f()
+			f.PctI = d.f()
+			f.PctS = d.f()
+			f.PctU = d.f()
+		}
+	}
+
+	if n := d.count(40); n > 0 {
+		p.Physical = make([]physical.Digest, n)
+		for i := range p.Physical {
+			dg := &p.Physical[i]
+			dg.Key.Station = d.str()
+			dg.Key.IOA = uint32(d.u())
+			dg.Type = iec104.TypeID(d.u())
+			dg.Command = d.bool()
+			dg.Count = int(d.u())
+			dg.Min = d.f()
+			dg.Max = d.f()
+			dg.Mean = d.f()
+			dg.M2 = d.f()
+			dg.First = d.time()
+			dg.Last = d.time()
+		}
+	}
+
+	p.OtherPorts = make(map[uint16]int)
+	for i, n := 0, d.count(2); i < n; i++ {
+		port := uint16(d.u())
+		p.OtherPorts[port] = int(d.u())
+	}
+	return p
+}
+
+// EncodeBaseline serializes a trained IDS whitelist.
+func EncodeBaseline(b *ids.Baseline) []byte {
+	s := b.State()
+	var e enc
+	e.f(s.PerplexityFactor)
+	e.f(s.RangeMargin)
+	e.f(s.WorstPerplexity)
+
+	e.u(uint64(len(s.Endpoints)))
+	for _, a := range s.Endpoints {
+		e.addr(a)
+	}
+	e.u(uint64(len(s.Conns)))
+	for _, cv := range s.Conns {
+		e.str(cv.Server)
+		e.str(cv.Outstation)
+		e.u(uint64(len(cv.Tokens)))
+		for _, t := range cv.Tokens {
+			e.str(t)
+		}
+	}
+	e.u(uint64(s.Bigram.N))
+	e.u(uint64(len(s.Bigram.Counts)))
+	for _, c := range s.Bigram.Counts {
+		e.str(c.Key)
+		e.u(uint64(c.Count))
+	}
+	e.u(uint64(len(s.Bigram.Contexts)))
+	for _, c := range s.Bigram.Contexts {
+		e.str(c.Key)
+		e.u(uint64(c.Count))
+	}
+	e.u(uint64(len(s.Bigram.Vocab)))
+	for _, t := range s.Bigram.Vocab {
+		e.str(t)
+	}
+	e.u(uint64(len(s.Points)))
+	for _, pr := range s.Points {
+		e.str(pr.Station)
+		e.u(uint64(pr.IOA))
+		e.f(pr.Min)
+		e.f(pr.Max)
+		e.u(uint64(pr.Type))
+		e.bool(pr.Command)
+		e.u(uint64(pr.Samples))
+	}
+	e.u(uint64(len(s.Profiles)))
+	for _, sp := range s.Profiles {
+		e.str(sp.Name)
+		e.u(uint64(sp.Profile.COTSize))
+		e.u(uint64(sp.Profile.CommonAddrSize))
+		e.u(uint64(sp.Profile.IOASize))
+	}
+	e.u(uint64(len(s.Rates)))
+	for _, cr := range s.Rates {
+		e.str(cr.Server)
+		e.str(cr.Outstation)
+		e.f(cr.Rate)
+	}
+	return seal(KindBaseline, e.b)
+}
+
+// DecodeBaseline parses a baseline container and rebuilds the trained
+// whitelist.
+func DecodeBaseline(data []byte) (*ids.Baseline, error) {
+	payload, err := unseal(data, KindBaseline)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: payload}
+	var s ids.BaselineState
+	s.PerplexityFactor = d.f()
+	s.RangeMargin = d.f()
+	s.WorstPerplexity = d.f()
+
+	if n := d.count(2); n > 0 {
+		s.Endpoints = make([]netip.Addr, n)
+		for i := range s.Endpoints {
+			s.Endpoints[i] = d.addr()
+		}
+	}
+	if n := d.count(3); n > 0 {
+		s.Conns = make([]ids.ConnVocab, n)
+		for i := range s.Conns {
+			cv := &s.Conns[i]
+			cv.Server = d.str()
+			cv.Outstation = d.str()
+			if nt := d.count(2); nt > 0 {
+				cv.Tokens = make([]string, nt)
+				for j := range cv.Tokens {
+					cv.Tokens[j] = d.str()
+				}
+			}
+		}
+	}
+	s.Bigram.N = int(d.u())
+	if n := d.count(2); n > 0 {
+		s.Bigram.Counts = make([]markov.StringCount, n)
+		for i := range s.Bigram.Counts {
+			s.Bigram.Counts[i].Key = d.str()
+			s.Bigram.Counts[i].Count = int(d.u())
+		}
+	}
+	if n := d.count(2); n > 0 {
+		s.Bigram.Contexts = make([]markov.StringCount, n)
+		for i := range s.Bigram.Contexts {
+			s.Bigram.Contexts[i].Key = d.str()
+			s.Bigram.Contexts[i].Count = int(d.u())
+		}
+	}
+	if n := d.count(1); n > 0 {
+		s.Bigram.Vocab = make([]string, n)
+		for i := range s.Bigram.Vocab {
+			s.Bigram.Vocab[i] = d.str()
+		}
+	}
+	if n := d.count(22); n > 0 {
+		s.Points = make([]ids.PointRange, n)
+		for i := range s.Points {
+			pr := &s.Points[i]
+			pr.Station = d.str()
+			pr.IOA = uint32(d.u())
+			pr.Min = d.f()
+			pr.Max = d.f()
+			pr.Type = iec104.TypeID(d.u())
+			pr.Command = d.bool()
+			pr.Samples = int(d.u())
+		}
+	}
+	if n := d.count(4); n > 0 {
+		s.Profiles = make([]ids.StationProfile, n)
+		for i := range s.Profiles {
+			sp := &s.Profiles[i]
+			sp.Name = d.str()
+			sp.Profile.COTSize = int(d.u())
+			sp.Profile.CommonAddrSize = int(d.u())
+			sp.Profile.IOASize = int(d.u())
+		}
+	}
+	if n := d.count(10); n > 0 {
+		s.Rates = make([]ids.ConnRate, n)
+		for i := range s.Rates {
+			cr := &s.Rates[i]
+			cr.Server = d.str()
+			cr.Outstation = d.str()
+			cr.Rate = d.f()
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, corruptf("%d trailing payload bytes", len(d.b))
+	}
+	return ids.BaselineFromState(s)
+}

@@ -1,0 +1,120 @@
+package drift
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"uncharted/internal/topology"
+)
+
+// TestProfileRoundTripBitExact is the codec's core guarantee:
+// save -> load -> save produces identical bytes.
+func TestProfileRoundTripBitExact(t *testing.T) {
+	for _, year := range []topology.Year{topology.Y1, topology.Y2} {
+		p := getEra(t, year).profile
+		first := p.Encode()
+		decoded, err := DecodeProfile(first)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", year, err)
+		}
+		second := decoded.Encode()
+		if !bytes.Equal(first, second) {
+			t.Fatalf("%v: re-encoded profile differs (%d vs %d bytes)", year, len(first), len(second))
+		}
+	}
+}
+
+// TestProfileRoundTripPreservesReports checks the decoded state drives
+// every §6 report identically to the original.
+func TestProfileRoundTripPreservesReports(t *testing.T) {
+	p := getEra(t, topology.Y1).profile
+	decoded, err := DecodeProfile(p.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	a, b := &p.Partial, &decoded.Partial
+	if !reflect.DeepEqual(a.ComplianceReport(), b.ComplianceReport()) {
+		t.Error("compliance report changed across round trip")
+	}
+	if !reflect.DeepEqual(a.TypeDistribution(), b.TypeDistribution()) {
+		t.Error("type distribution changed across round trip")
+	}
+	if !reflect.DeepEqual(a.FlowReport(), b.FlowReport()) {
+		t.Error("flow report changed across round trip")
+	}
+	if !reflect.DeepEqual(a.Features, b.Features) {
+		t.Error("session features changed across round trip")
+	}
+	if !reflect.DeepEqual(a.Physical, b.Physical) {
+		t.Error("physical digests changed across round trip")
+	}
+	if len(a.Chains) != len(b.Chains) {
+		t.Fatalf("chain count %d -> %d", len(a.Chains), len(b.Chains))
+	}
+	for i := range a.Chains {
+		ca, cb := a.Chains[i], b.Chains[i]
+		if ca.Key != cb.Key || ca.Server != cb.Server || ca.Outstation != cb.Outstation {
+			t.Fatalf("chain %d identity changed", i)
+		}
+		if !reflect.DeepEqual(ca.Chain.State(), cb.Chain.State()) {
+			t.Errorf("chain %s>%s state changed across round trip", ca.Server, ca.Outstation)
+		}
+	}
+	// And the comparison engine agrees the two are the same network.
+	rep := Compare(p, decoded, DefaultThresholds())
+	if len(rep.Findings) != 0 {
+		t.Errorf("round-tripped profile drifted from itself: %v", rep.Findings)
+	}
+}
+
+// TestDecodeRejectsCorruption: bit flips anywhere in the file must be
+// caught (the CRC covers header and payload), truncations must error,
+// and neither may panic.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data := getEra(t, topology.Y2).profile.Encode()
+	if _, err := DecodeProfile(data); err != nil {
+		t.Fatalf("pristine decode: %v", err)
+	}
+	step := len(data)/64 + 1
+	for pos := 0; pos < len(data); pos += step {
+		corrupt := append([]byte(nil), data...)
+		corrupt[pos] ^= 0x40
+		if _, err := DecodeProfile(corrupt); err == nil {
+			t.Fatalf("bit flip at %d/%d went undetected", pos, len(data))
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d: error %v does not wrap ErrCorrupt", pos, err)
+		}
+	}
+	for _, n := range []int{0, 1, len(data) / 3, len(data) - 5, len(data) - 1} {
+		if _, err := DecodeProfile(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+}
+
+// TestDecodeKindMismatch: a profile container is not a baseline and
+// vice versa.
+func TestDecodeKindMismatch(t *testing.T) {
+	profBytes := getEra(t, topology.Y1).profile.Encode()
+	if _, err := DecodeBaseline(profBytes); err == nil {
+		t.Fatal("profile container decoded as baseline")
+	}
+}
+
+// TestDecodeVersionGate: files from a newer schema are rejected, not
+// misread.
+func TestDecodeVersionGate(t *testing.T) {
+	var out []byte
+	out = append(out, magic...)
+	out = binary.AppendUvarint(out, Version+1)
+	out = append(out, byte(KindProfile))
+	out = binary.AppendUvarint(out, 0)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(out, castagnoli))
+	if _, err := DecodeProfile(out); err == nil {
+		t.Fatal("newer schema version accepted")
+	}
+}

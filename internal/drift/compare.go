@@ -1,0 +1,470 @@
+package drift
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/markov"
+	"uncharted/internal/stats"
+)
+
+// Severity levels, matching the ids alert scale.
+const (
+	SevInfo     = 1
+	SevWarn     = 2
+	SevCritical = 3
+)
+
+// Finding kinds.
+const (
+	FindEndpointAdded     = "endpoint-added"
+	FindEndpointRemoved   = "endpoint-removed"
+	FindConnectionAdded   = "connection-added"
+	FindConnectionRemoved = "connection-removed"
+	FindReclassified      = "connection-reclassified"
+	FindMarkov            = "markov-divergence"
+	FindTiming            = "timing-shift"
+	FindFlowMix           = "flow-mix"
+	FindFlowDurations     = "flow-durations"
+	FindInterArrival      = "interarrival-shift"
+	FindTypeMix           = "asdu-type-mix"
+	FindDialect           = "dialect-change"
+	FindCompliance        = "compliance-churn"
+	FindRange             = "range-shift"
+	FindPointChurn        = "point-churn"
+)
+
+// Thresholds grade drift into findings. Values at or below a threshold
+// stay silent, so two identical profiles compare to zero findings.
+type Thresholds struct {
+	// TransitionJSD flags a matched connection whose joint transition
+	// distribution diverges by more than this many bits ([0,1]).
+	TransitionJSD float64
+	// CriticalJSD upgrades a Markov finding to critical.
+	CriticalJSD float64
+	// TimingFactor flags a matched session whose mean inter-arrival
+	// changed by more than this multiple...
+	TimingFactor float64
+	// TimingMin ...provided the absolute shift exceeds this many
+	// seconds (suppresses sub-second jitter).
+	TimingMin float64
+	// MinSessionAPDUs ignores sessions thinner than this for timing
+	// comparison (their means are noise).
+	MinSessionAPDUs float64
+	// KSStat flags a Kolmogorov–Smirnov statistic above this value on
+	// the flow-duration and session inter-arrival populations.
+	KSStat float64
+	// KSMinSamples is the smallest population KS is computed on.
+	KSMinSamples int
+	// FlowMixShift flags an absolute change in the short-lived flow
+	// proportion beyond this value.
+	FlowMixShift float64
+	// TypeMixJSD flags a global ASDU type-distribution divergence
+	// beyond this many bits.
+	TypeMixJSD float64
+	// RangeMargin widens a point's baseline [min,max] envelope by this
+	// fraction of its span before a range-shift fires, mirroring the
+	// ids scan margin.
+	RangeMargin float64
+	// StrictInvalidShift flags a change in an endpoint's strict-parse
+	// failure rate beyond this absolute value (a compliance flip).
+	StrictInvalidShift float64
+}
+
+// DefaultThresholds returns the grading used by the CLIs and the
+// stream engine unless overridden.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		TransitionJSD:      0.15,
+		CriticalJSD:        0.5,
+		TimingFactor:       4,
+		TimingMin:          2,
+		MinSessionAPDUs:    4,
+		KSStat:             0.25,
+		KSMinSamples:       8,
+		FlowMixShift:       0.1,
+		TypeMixJSD:         0.05,
+		RangeMargin:        0.25,
+		StrictInvalidShift: 0.05,
+	}
+}
+
+// Finding is one graded drift observation.
+type Finding struct {
+	Kind     string `json:"kind"`
+	Severity int    `json:"severity"`
+	Subject  string `json:"subject"`
+	Detail   string `json:"detail"`
+	// Score is the metric that crossed its threshold (JSD bits, KS
+	// statistic, timing factor, ...), for machine consumers.
+	Score float64 `json:"score,omitempty"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("[sev%d %s] %s: %s", f.Severity, f.Kind, f.Subject, f.Detail)
+}
+
+// Summary describes one side of a comparison.
+type Summary struct {
+	Label       string    `json:"label"`
+	SavedAt     time.Time `json:"saved_at,omitempty"`
+	Packets     int       `json:"packets"`
+	IECPackets  int       `json:"iec_packets"`
+	Window      string    `json:"window"`
+	Endpoints   int       `json:"endpoints"`
+	Connections int       `json:"connections"`
+	Points      int       `json:"points"`
+}
+
+// DriftReport is the structured outcome of comparing profile A
+// (the baseline / older era) against profile B (the newer era).
+type DriftReport struct {
+	A        Summary   `json:"a"`
+	B        Summary   `json:"b"`
+	Findings []Finding `json:"findings"`
+
+	// Global distribution metrics, reported even when below threshold.
+	MaxTransitionJSD float64 `json:"max_transition_jsd"`
+	TypeMixJSD       float64 `json:"type_mix_jsd"`
+	FlowDurationKS   float64 `json:"flow_duration_ks"`
+	InterArrivalKS   float64 `json:"interarrival_ks"`
+}
+
+// MaxSeverity returns the worst finding severity (0 when clean).
+func (r *DriftReport) MaxSeverity() int {
+	max := 0
+	for _, f := range r.Findings {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max
+}
+
+// CountBySeverity tallies findings per severity 1..3.
+func (r *DriftReport) CountBySeverity() [4]int {
+	var out [4]int
+	for _, f := range r.Findings {
+		if f.Severity >= 1 && f.Severity <= 3 {
+			out[f.Severity]++
+		}
+	}
+	return out
+}
+
+func summarize(p *Profile) Summary {
+	s := Summary{
+		Label:       p.Meta.Label,
+		SavedAt:     p.Meta.SavedAt,
+		Packets:     p.Partial.Packets,
+		IECPackets:  p.Partial.IECPackets,
+		Connections: len(p.Partial.Chains),
+		Points:      len(p.Partial.Physical),
+	}
+	if !p.Partial.First.IsZero() {
+		s.Window = p.Partial.Last.Sub(p.Partial.First).Round(time.Second).String()
+	}
+	s.Endpoints = len(endpointSet(&p.Partial))
+	return s
+}
+
+// endpointSet collects every named endpoint: chain ends plus every
+// station the compliance pass saw.
+func endpointSet(p *core.Partial) map[string]bool {
+	out := make(map[string]bool)
+	for _, cc := range p.Chains {
+		out[cc.Server] = true
+		out[cc.Outstation] = true
+	}
+	for _, sc := range p.Compliance {
+		out[sc.Name] = true
+	}
+	return out
+}
+
+func connLabel(server, outstation string) string { return server + ">" + outstation }
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compare grades profile B against profile A. Identical profiles
+// produce zero findings at any threshold setting.
+func Compare(a, b *Profile, th Thresholds) *DriftReport {
+	r := &DriftReport{A: summarize(a), B: summarize(b)}
+	add := func(kind string, sev int, subject, detail string, score float64) {
+		r.Findings = append(r.Findings, Finding{
+			Kind: kind, Severity: sev, Subject: subject, Detail: detail, Score: score,
+		})
+	}
+
+	pa, pb := &a.Partial, &b.Partial
+
+	// Topology: endpoint churn.
+	epA, epB := endpointSet(pa), endpointSet(pb)
+	for _, name := range sortedKeys(epB) {
+		if !epA[name] {
+			add(FindEndpointAdded, SevWarn, name, "endpoint speaks IEC 104 but is absent from the older profile", 0)
+		}
+	}
+	for _, name := range sortedKeys(epA) {
+		if !epB[name] {
+			add(FindEndpointRemoved, SevWarn, name, "endpoint from the older profile no longer appears", 0)
+		}
+	}
+
+	// Topology: connection churn, plus per-connection model drift for
+	// pairs present in both eras.
+	connA := make(map[string]*core.ConnChain)
+	for i := range pa.Chains {
+		connA[connLabel(pa.Chains[i].Server, pa.Chains[i].Outstation)] = &pa.Chains[i]
+	}
+	connB := make(map[string]*core.ConnChain)
+	for i := range pb.Chains {
+		connB[connLabel(pb.Chains[i].Server, pb.Chains[i].Outstation)] = &pb.Chains[i]
+	}
+	for _, label := range sortedKeys(connB) {
+		ccB := connB[label]
+		ccA, ok := connA[label]
+		if !ok {
+			add(FindConnectionAdded, SevWarn, label, "server/outstation pair absent from the older profile", 0)
+			continue
+		}
+		clA := markov.Classify11SquareEllipse(ccA.Chain)
+		clB := markov.Classify11SquareEllipse(ccB.Chain)
+		if clA != clB {
+			add(FindReclassified, SevWarn, label,
+				fmt.Sprintf("Markov class changed %s -> %s", clA, clB), 0)
+		}
+		jsd := markov.TransitionJSD(ccA.Chain, ccB.Chain)
+		if tok := markov.TokenJSD(ccA.Chain, ccB.Chain); tok > jsd {
+			jsd = tok
+		}
+		if jsd > r.MaxTransitionJSD {
+			r.MaxTransitionJSD = jsd
+		}
+		if jsd > th.TransitionJSD {
+			sev := SevWarn
+			if jsd > th.CriticalJSD {
+				sev = SevCritical
+			}
+			add(FindMarkov, sev, label,
+				fmt.Sprintf("token-model Jensen-Shannon divergence %.3f bits", jsd), jsd)
+		}
+	}
+	for _, label := range sortedKeys(connA) {
+		if _, ok := connB[label]; !ok {
+			add(FindConnectionRemoved, SevWarn, label, "server/outstation pair from the older profile no longer communicates", 0)
+		}
+	}
+
+	// Timing: per-session mean inter-arrival shifts, and the KS shift
+	// of the whole inter-arrival population.
+	sessA := make(map[string]core.SessionFeature)
+	for _, f := range pa.Features {
+		sessA[connLabel(f.Src, f.Dst)] = f
+	}
+	var iaA, iaB []float64
+	for _, f := range pa.Features {
+		iaA = append(iaA, f.DeltaT)
+	}
+	for _, f := range pb.Features {
+		iaB = append(iaB, f.DeltaT)
+	}
+	for _, f := range pb.Features {
+		label := connLabel(f.Src, f.Dst)
+		prev, ok := sessA[label]
+		if !ok || f.Num < th.MinSessionAPDUs || prev.Num < th.MinSessionAPDUs {
+			continue
+		}
+		lo, hi := prev.DeltaT, f.DeltaT
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo <= 0 || hi-lo < th.TimingMin {
+			continue
+		}
+		if factor := hi / lo; factor > th.TimingFactor {
+			sev := SevWarn
+			if factor > 8*th.TimingFactor {
+				sev = SevCritical
+			}
+			add(FindTiming, sev, label,
+				fmt.Sprintf("mean inter-arrival %.3gs -> %.3gs (x%.1f)", prev.DeltaT, f.DeltaT, factor), factor)
+		}
+	}
+	if len(iaA) >= th.KSMinSamples && len(iaB) >= th.KSMinSamples {
+		if d, err := stats.KolmogorovSmirnov(iaA, iaB); err == nil {
+			r.InterArrivalKS = d
+			if d > th.KSStat {
+				add(FindInterArrival, SevWarn, "sessions",
+					fmt.Sprintf("session inter-arrival distribution KS=%.3f (p=%.2g)",
+						d, stats.KSSignificance(d, len(iaA), len(iaB))), d)
+			}
+		}
+	}
+
+	// Flow taxonomy: short/long mix and the short-lived duration
+	// distribution.
+	if pa.Flows.Total() > 0 && pb.Flows.Total() > 0 {
+		sa, sb := pa.Flows.ShortProportion(), pb.Flows.ShortProportion()
+		if shift := math.Abs(sa - sb); shift > th.FlowMixShift {
+			add(FindFlowMix, SevWarn, "flows",
+				fmt.Sprintf("short-lived flow share %.0f%% -> %.0f%%", 100*sa, 100*sb), shift)
+		}
+	}
+	if len(pa.Flows.ShortLivedDuration) >= th.KSMinSamples && len(pb.Flows.ShortLivedDuration) >= th.KSMinSamples {
+		da := make([]float64, len(pa.Flows.ShortLivedDuration))
+		for i, d := range pa.Flows.ShortLivedDuration {
+			da[i] = d.Seconds()
+		}
+		db := make([]float64, len(pb.Flows.ShortLivedDuration))
+		for i, d := range pb.Flows.ShortLivedDuration {
+			db[i] = d.Seconds()
+		}
+		if d, err := stats.KolmogorovSmirnov(da, db); err == nil {
+			r.FlowDurationKS = d
+			if d > th.KSStat {
+				add(FindFlowDurations, SevWarn, "flows",
+					fmt.Sprintf("short-lived duration distribution KS=%.3f (p=%.2g)",
+						d, stats.KSSignificance(d, len(da), len(db))), d)
+			}
+		}
+	}
+
+	// Global ASDU type mix (the paper found this remarkably stable
+	// across its two captures, so movement here is a strong signal).
+	distA := make(map[string]float64, len(pa.TypeCounts))
+	for t, n := range pa.TypeCounts {
+		distA[t.Acronym()] = float64(n)
+	}
+	distB := make(map[string]float64, len(pb.TypeCounts))
+	for t, n := range pb.TypeCounts {
+		distB[t.Acronym()] = float64(n)
+	}
+	if len(distA) > 0 || len(distB) > 0 {
+		r.TypeMixJSD = stats.JensenShannon(distA, distB)
+		if r.TypeMixJSD > th.TypeMixJSD {
+			add(FindTypeMix, SevWarn, "asdu-types",
+				fmt.Sprintf("type distribution Jensen-Shannon divergence %.3f bits", r.TypeMixJSD), r.TypeMixJSD)
+		}
+	}
+
+	// Compliance churn: dialect flips and strict-parse failure rates
+	// for stations seen in both eras.
+	compA := make(map[string]core.StationCompliance)
+	for _, sc := range pa.Compliance {
+		compA[sc.Name] = sc
+	}
+	for _, sc := range pb.Compliance {
+		prev, ok := compA[sc.Name]
+		if !ok {
+			continue // already an endpoint-added finding
+		}
+		if prev.Detected && sc.Detected && prev.Profile != sc.Profile {
+			add(FindDialect, SevCritical, sc.Name,
+				fmt.Sprintf("wire dialect changed %s -> %s (device replaced or reconfigured?)", prev.Profile, sc.Profile), 0)
+		}
+		if prev.Frames > 0 && sc.Frames > 0 {
+			ra := float64(prev.StrictInvalid) / float64(prev.Frames)
+			rb := float64(sc.StrictInvalid) / float64(sc.Frames)
+			if shift := math.Abs(ra - rb); shift > th.StrictInvalidShift {
+				add(FindCompliance, SevWarn, sc.Name,
+					fmt.Sprintf("strict-parse failure rate %.0f%% -> %.0f%%", 100*ra, 100*rb), shift)
+			}
+		}
+	}
+
+	comparePhysical(r, pa, pb, th, add)
+
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		fi, fj := r.Findings[i], r.Findings[j]
+		if fi.Severity != fj.Severity {
+			return fi.Severity > fj.Severity
+		}
+		if fi.Kind != fj.Kind {
+			return fi.Kind < fj.Kind
+		}
+		return fi.Subject < fj.Subject
+	})
+	return r
+}
+
+// comparePhysical grades operating-envelope drift per matched point
+// and aggregates point churn per station (whole-station churn is
+// already an endpoint finding).
+func comparePhysical(r *DriftReport, pa, pb *core.Partial, th Thresholds,
+	add func(kind string, sev int, subject, detail string, score float64)) {
+	type pk struct {
+		station string
+		ioa     uint32
+	}
+	digA := make(map[pk]int, len(pa.Physical))
+	stationsA := make(map[string]bool)
+	for i, d := range pa.Physical {
+		digA[pk{d.Key.Station, d.Key.IOA}] = i
+		stationsA[d.Key.Station] = true
+	}
+	stationsB := make(map[string]bool)
+	churnAdd := make(map[string]int)
+	churnDel := make(map[string]int)
+	seenB := make(map[pk]bool, len(pb.Physical))
+	for _, d := range pb.Physical {
+		stationsB[d.Key.Station] = true
+		key := pk{d.Key.Station, d.Key.IOA}
+		seenB[key] = true
+		i, ok := digA[key]
+		if !ok {
+			if stationsA[d.Key.Station] {
+				churnAdd[d.Key.Station]++
+			}
+			continue
+		}
+		prev := pa.Physical[i]
+		span := prev.Max - prev.Min
+		margin := th.RangeMargin * span
+		if floor := 0.05 * math.Max(math.Abs(prev.Min), math.Abs(prev.Max)); margin < floor {
+			margin = floor
+		}
+		if margin < 0.01 {
+			margin = 0.01
+		}
+		if d.Min < prev.Min-margin || d.Max > prev.Max+margin {
+			sev := SevWarn
+			if d.Command {
+				sev = SevCritical
+			}
+			score := math.Max(prev.Min-d.Min, d.Max-prev.Max)
+			add(FindRange, sev, fmt.Sprintf("%s/%d", d.Key.Station, d.Key.IOA),
+				fmt.Sprintf("operating range [%.4g, %.4g] -> [%.4g, %.4g]", prev.Min, prev.Max, d.Min, d.Max), score)
+		} else if shift := math.Abs(d.Mean - prev.Mean); span > 0 && shift > th.RangeMargin*span {
+			add(FindRange, SevWarn, fmt.Sprintf("%s/%d", d.Key.Station, d.Key.IOA),
+				fmt.Sprintf("mean moved %.4g -> %.4g against span %.4g", prev.Mean, d.Mean, span), shift)
+		}
+	}
+	for key := range digA {
+		if !seenB[key] && stationsB[key.station] {
+			churnDel[key.station]++
+		}
+	}
+	stations := make(map[string]bool, len(churnAdd)+len(churnDel))
+	for s := range churnAdd {
+		stations[s] = true
+	}
+	for s := range churnDel {
+		stations[s] = true
+	}
+	for _, s := range sortedKeys(stations) {
+		add(FindPointChurn, SevInfo, s,
+			fmt.Sprintf("%d points added, %d removed (reporting configuration change)", churnAdd[s], churnDel[s]),
+			float64(churnAdd[s]+churnDel[s]))
+	}
+}

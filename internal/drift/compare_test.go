@@ -1,0 +1,197 @@
+package drift
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/pcap"
+	"uncharted/internal/topology"
+)
+
+func findingsOf(rep *DriftReport, kind string) []Finding {
+	var out []Finding
+	for _, f := range rep.Findings {
+		if f.Kind == kind {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestCompareIdenticalErasIsClean: era-A vs era-A (the profile against
+// its own decoded copy) reports zero drift above threshold.
+func TestCompareIdenticalErasIsClean(t *testing.T) {
+	p := getEra(t, topology.Y1).profile
+	decoded, err := DecodeProfile(p.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	rep := Compare(p, decoded, DefaultThresholds())
+	if len(rep.Findings) != 0 {
+		t.Fatalf("identical eras drifted: %v", rep.Findings)
+	}
+	if rep.MaxSeverity() != 0 {
+		t.Errorf("max severity %d on clean comparison", rep.MaxSeverity())
+	}
+	if rep.MaxTransitionJSD != 0 || rep.TypeMixJSD != 0 || rep.FlowDurationKS != 0 || rep.InterArrivalKS != 0 {
+		t.Errorf("nonzero metrics on identical profiles: %+v", rep)
+	}
+}
+
+// TestCompareErasFlagsPlantedChanges is the paper's longitudinal
+// experiment (§6, Nov 2017 vs Mar 2019) run against the simulator's
+// planted era differences: topology churn (Table 2), the C2-O30
+// misconfigured 430 s timer that was fixed between campaigns
+// (§6.3.2), and the silent-drop stations' changed backup behavior.
+func TestCompareErasFlagsPlantedChanges(t *testing.T) {
+	y1 := getEra(t, topology.Y1)
+	y2 := getEra(t, topology.Y2)
+	rep := Compare(y1.profile, y2.profile, DefaultThresholds())
+	t.Logf("era drift: %d findings, max JSD %.3f, type JSD %.3f, flow KS %.3f, ia KS %.3f",
+		len(rep.Findings), rep.MaxTransitionJSD, rep.TypeMixJSD, rep.FlowDurationKS, rep.InterArrivalKS)
+	for _, f := range rep.Findings {
+		t.Logf("  %s", f)
+	}
+
+	// Topology churn: the simulator's Table 2 — outstations added for
+	// Y2 and outstations decommissioned after Y1 — must surface as
+	// endpoint churn on both sides.
+	diff := topology.ComputeDiff(topology.Build())
+	added := findingsOf(rep, FindEndpointAdded)
+	removed := findingsOf(rep, FindEndpointRemoved)
+	if len(added) == 0 || len(removed) == 0 {
+		t.Fatalf("topology churn missed: %d added, %d removed findings", len(added), len(removed))
+	}
+	hasSubject := func(fs []Finding, name string) bool {
+		for _, f := range fs {
+			if f.Subject == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, ch := range diff.Added {
+		if !hasSubject(added, string(ch.Outstation)) {
+			t.Errorf("added outstation %s not flagged", ch.Outstation)
+		}
+	}
+	for _, ch := range diff.Removed {
+		if !hasSubject(removed, string(ch.Outstation)) {
+			t.Errorf("removed outstation %s not flagged", ch.Outstation)
+		}
+	}
+
+	// The timer fix: C2-O30's re-dial cadence collapsed from 430 s to
+	// the network-wide retry interval, a timing shift on that session.
+	var o30 *Finding
+	for i, f := range rep.Findings {
+		if f.Kind == FindTiming && strings.Contains(f.Subject, "O30") {
+			o30 = &rep.Findings[i]
+			break
+		}
+	}
+	if o30 == nil {
+		t.Errorf("C2-O30 timer fix not flagged as a timing shift")
+	} else if o30.Score < 8 {
+		t.Errorf("O30 timing shift factor %.1f, want the ~x100 collapse of the 430s timer", o30.Score)
+	}
+
+	// Reporting-mode change: the silent-drop stations leave unanswered
+	// SYNs (long-lived flows) in Y1 but answer with RSTs in Y2, so the
+	// short/long flow mix swings hard — that is how the backup-channel
+	// behavior change surfaces.
+	if len(findingsOf(rep, FindFlowMix)) == 0 {
+		t.Errorf("silent-drop -> RST reporting change left no flow-mix finding")
+	}
+	// The Type4 stations switch primary server between eras, so
+	// surviving connections change Markov class (square <-> ellipse as
+	// interrogation moves to the newly active channel).
+	if len(findingsOf(rep, FindReclassified)) == 0 {
+		t.Errorf("primary-server switches left no reclassified connections")
+	}
+	// The paper found the ASDU type distribution remarkably stable
+	// across its two captures; the simulator preserves that, and the
+	// engine must not manufacture a type-mix finding from it.
+	if rep.TypeMixJSD > DefaultThresholds().TypeMixJSD {
+		t.Errorf("type mix JSD %.3f flagged despite stable distribution", rep.TypeMixJSD)
+	}
+
+	// Era comparison must never be silently clean.
+	if rep.MaxSeverity() < SevWarn {
+		t.Fatalf("era comparison produced no warnings")
+	}
+}
+
+// TestMergeOrderDoesNotDrift: the same capture analyzed in shards and
+// merged in different orders must compare as identical — shard
+// scheduling noise may never masquerade as longitudinal drift.
+func TestMergeOrderDoesNotDrift(t *testing.T) {
+	y1 := getEra(t, topology.Y1)
+	analyzers := make([]*core.Analyzer, 3)
+	for i := range analyzers {
+		analyzers[i] = core.NewAnalyzer(y1.names)
+	}
+	rd, err := pcap.NewAutoReader(bytes.NewReader(y1.capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		data, ci, err := rd.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkt, err := pcap.DecodePacket(rd.LinkType(), ci, data)
+		if err != nil {
+			continue
+		}
+		a, b := pkt.IP.Src, pkt.IP.Dst
+		if b.Compare(a) < 0 {
+			a, b = b, a
+		}
+		h := uint64(14695981039346656037)
+		for _, by := range a.As16() {
+			h = (h ^ uint64(by)) * 1099511628211
+		}
+		for _, by := range b.As16() {
+			h = (h ^ uint64(by)) * 1099511628211
+		}
+		analyzers[h%3].FeedPacket(pkt)
+	}
+	p0, p1, p2 := analyzers[0].Partial(), analyzers[1].Partial(), analyzers[2].Partial()
+	mergeA := core.MergePartials([]core.Partial{p0, p1, p2})
+	mergeB := core.MergePartials([]core.Partial{core.MergePartials([]core.Partial{p2, p0}), p1})
+	profA := NewProfile("order-a", "sharded", mergeA, time.Time{})
+	profB := NewProfile("order-b", "sharded", mergeB, time.Time{})
+	rep := Compare(profA, profB, DefaultThresholds())
+	if len(rep.Findings) != 0 {
+		t.Fatalf("merge order changed drift metrics: %v", rep.Findings)
+	}
+	// The sharded merge must also not drift against the era's
+	// single-analyzer profile.
+	rep = Compare(y1.profile, profA, DefaultThresholds())
+	if len(rep.Findings) != 0 {
+		t.Fatalf("sharded analysis drifted from offline analysis: %v", rep.Findings)
+	}
+}
+
+// TestCompareDirectionality: A->B churn mirrors B->A.
+func TestCompareDirectionality(t *testing.T) {
+	y1 := getEra(t, topology.Y1)
+	y2 := getEra(t, topology.Y2)
+	fwd := Compare(y1.profile, y2.profile, DefaultThresholds())
+	rev := Compare(y2.profile, y1.profile, DefaultThresholds())
+	if len(findingsOf(fwd, FindEndpointAdded)) != len(findingsOf(rev, FindEndpointRemoved)) {
+		t.Errorf("added(A->B)=%d != removed(B->A)=%d",
+			len(findingsOf(fwd, FindEndpointAdded)), len(findingsOf(rev, FindEndpointRemoved)))
+	}
+	if len(findingsOf(fwd, FindConnectionAdded)) != len(findingsOf(rev, FindConnectionRemoved)) {
+		t.Errorf("connection churn not symmetric")
+	}
+}

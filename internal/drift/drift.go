@@ -1,0 +1,88 @@
+// Package drift is the longitudinal half of the measurement pipeline:
+// it persists a capture's full merged analyzer state (core.Partial —
+// per-endpoint compliance, per-connection Markov chains, session
+// features, physical digests, flow taxonomy) as a versioned, CRC'd
+// profile file, and statistically compares two profiles the way the
+// paper compares its Nov 2017 and Mar 2019 captures (§6): topology
+// churn, Jensen–Shannon divergence of per-connection token models,
+// Kolmogorov–Smirnov shifts of timing distributions, compliance-flag
+// churn and physical operating-range drift, each graded by severity
+// thresholds.
+//
+// The same codec persists a trained ids.Baseline, so live monitors
+// restart from a stored whitelist without re-reading the training
+// capture.
+package drift
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/ids"
+)
+
+// Meta describes where a profile came from.
+type Meta struct {
+	// Label names the capture era (e.g. "2017-11" / "2019-03").
+	Label string `json:"label"`
+	// Source is the capture path or feed description.
+	Source string `json:"source,omitempty"`
+	// SavedAt is when the profile was written.
+	SavedAt time.Time `json:"saved_at"`
+}
+
+// Profile is one capture's persisted behavioral profile.
+type Profile struct {
+	Meta    Meta
+	Partial core.Partial
+}
+
+// NewProfile wraps a merged analyzer snapshot for persistence.
+func NewProfile(label, source string, p core.Partial, at time.Time) *Profile {
+	return &Profile{Meta: Meta{Label: label, Source: source, SavedAt: at}, Partial: p}
+}
+
+// SaveProfile encodes the profile and writes it to path.
+func SaveProfile(path string, p *Profile) error {
+	if err := os.WriteFile(path, p.Encode(), 0o644); err != nil {
+		return fmt.Errorf("drift: save profile: %w", err)
+	}
+	return nil
+}
+
+// LoadProfile reads and decodes a profile file.
+func LoadProfile(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("drift: load profile: %w", err)
+	}
+	p, err := DecodeProfile(data)
+	if err != nil {
+		return nil, fmt.Errorf("drift: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// SaveBaseline persists a trained IDS whitelist through the same
+// container format (kind baseline).
+func SaveBaseline(path string, b *ids.Baseline) error {
+	if err := os.WriteFile(path, EncodeBaseline(b), 0o644); err != nil {
+		return fmt.Errorf("drift: save baseline: %w", err)
+	}
+	return nil
+}
+
+// LoadBaseline reads and decodes a persisted IDS whitelist.
+func LoadBaseline(path string) (*ids.Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("drift: load baseline: %w", err)
+	}
+	b, err := DecodeBaseline(data)
+	if err != nil {
+		return nil, fmt.Errorf("drift: %s: %w", path, err)
+	}
+	return b, nil
+}

@@ -1,0 +1,75 @@
+package drift
+
+import (
+	"bytes"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/scadasim"
+	"uncharted/internal/topology"
+)
+
+// era is one synthesized capture campaign: the paper's Nov 2017 (Y1)
+// or Mar 2019 (Y2) measurement, as a raw capture plus the merged
+// profile the pipeline persists.
+type era struct {
+	label   string
+	capture []byte
+	names   map[netip.Addr]string
+	profile *Profile
+}
+
+var (
+	eraMu    sync.Mutex
+	eraCache = map[topology.Year]*era{}
+)
+
+// getEra synthesizes (once per test binary) a full default-length
+// capture for the year: long enough that the C2-O30 misconfigured
+// 430 s re-dial timer produces several attempts in Y1.
+func getEra(t testing.TB, year topology.Year) *era {
+	t.Helper()
+	eraMu.Lock()
+	defer eraMu.Unlock()
+	if e, ok := eraCache[year]; ok {
+		return e
+	}
+	cfg := scadasim.DefaultConfig(year, 1)
+	sim, err := scadasim.New(cfg)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		t.Fatalf("sim run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePCAP(&buf); err != nil {
+		t.Fatalf("write pcap: %v", err)
+	}
+	e := &era{
+		label:   map[topology.Year]string{topology.Y1: "2017-11", topology.Y2: "2019-03"}[year],
+		capture: buf.Bytes(),
+		names:   core.NamesFromTopology(sim.Network()),
+	}
+	a := e.analyze(t)
+	// MergePartials canonicalises ordering the same way the streaming
+	// engine does for its rolling profiles.
+	part := core.MergePartials([]core.Partial{a.Partial()})
+	e.profile = NewProfile(e.label, "scadasim", part, time.Date(2019, 3, 20, 12, 0, 0, 0, time.UTC))
+	eraCache[year] = e
+	return e
+}
+
+// analyze runs a fresh offline analyzer over the era's capture.
+func (e *era) analyze(t testing.TB) *core.Analyzer {
+	t.Helper()
+	a := core.NewAnalyzer(e.names)
+	if err := a.ReadPCAP(bytes.NewReader(e.capture)); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return a
+}

@@ -1,0 +1,102 @@
+package drift
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/iec104"
+	"uncharted/internal/markov"
+	"uncharted/internal/physical"
+	"uncharted/internal/tcpflow"
+)
+
+// seedProfile builds a tiny handcrafted profile exercising every
+// payload section, so the fuzz corpus starts from structurally valid
+// bytes rather than relying on the fuzzer to discover the framing.
+func seedProfile() *Profile {
+	ch := markov.NewChain()
+	ch.Add([]iec104.Token{iec104.TokenStartDTAct, iec104.TokenStartDTCon, iec104.TokenInterro, iec104.TokenS})
+	base := time.Date(2017, 11, 7, 9, 0, 0, 0, time.UTC)
+	p := core.Partial{
+		Packets:    42,
+		IECPackets: 40,
+		First:      base,
+		Last:       base.Add(90 * time.Second),
+		Flows: tcpflow.Summary{
+			ShortLived: 2, ShortLivedSubSec: 1, ShortLivedOverSec: 1, LongLived: 1,
+			ShortLivedDuration: []time.Duration{120 * time.Millisecond, 3 * time.Second},
+		},
+		Compliance: []core.StationCompliance{{
+			Addr: netip.MustParseAddr("10.0.1.30"), Name: "O30", Frames: 40,
+			StrictInvalid: 2, Profile: iec104.LegacyCOT, Detected: true,
+		}},
+		TypeCounts: map[iec104.TypeID]int{iec104.MMeTf: 30, iec104.CIcNa: 2},
+		TotalASDUs: 32,
+		Chains: []core.ConnChain{{
+			Key: core.ConnKey{
+				Server:     netip.MustParseAddr("10.0.0.2"),
+				Outstation: netip.MustParseAddr("10.0.1.30"),
+			},
+			Server: "C2", Outstation: "O30", Chain: ch,
+		}},
+		Features: []core.SessionFeature{{
+			Src: "C2", Dst: "O30", DeltaT: 30, Num: 40, PctI: 0.8, PctS: 0.1, PctU: 0.1,
+		}},
+		Physical: []physical.Digest{{
+			Key: physical.SeriesKey{Station: "O30", IOA: 1201}, Type: iec104.MMeTf,
+			Count: 30, Min: 59.9, Max: 60.1, Mean: 60.0, M2: 0.01,
+			First: base, Last: base.Add(80 * time.Second),
+		}},
+		OtherPorts: map[uint16]int{443: 10},
+	}
+	return NewProfile("seed", "handcrafted", p, base.Add(time.Hour))
+}
+
+// FuzzDecodeProfile drives the container and payload decoders with
+// arbitrary bytes. The decoder must never panic or over-allocate, and
+// anything it accepts must re-encode stably (encode(decode(x)) is a
+// fixed point).
+func FuzzDecodeProfile(f *testing.F) {
+	valid := seedProfile().Encode()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(valid[:len(valid)/2])
+	truncTail := append([]byte(nil), valid[:len(valid)-2]...)
+	f.Add(truncTail)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0xff
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProfile(data)
+		if err != nil {
+			return
+		}
+		first := p.Encode()
+		p2, err := DecodeProfile(first)
+		if err != nil {
+			t.Fatalf("re-decode of accepted profile failed: %v", err)
+		}
+		if second := p2.Encode(); !bytes.Equal(first, second) {
+			t.Fatalf("encode(decode(x)) is not a fixed point: %d vs %d bytes", len(first), len(second))
+		}
+	})
+}
+
+// TestSeedProfileRoundTrips keeps the fuzz seed itself honest under
+// `go test` (the fuzz target only runs seeds in fuzz mode -run).
+func TestSeedProfileRoundTrips(t *testing.T) {
+	p := seedProfile()
+	first := p.Encode()
+	decoded, err := DecodeProfile(first)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(first, decoded.Encode()) {
+		t.Fatal("seed profile does not round trip bit-exactly")
+	}
+}

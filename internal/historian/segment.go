@@ -39,7 +39,7 @@ const flagCommand = 0x01
 type blockMeta struct {
 	Off         int64 // record start offset in the segment file
 	Count       uint32
-	First, Last int64 // unix nanoseconds
+	First, Last int64  // unix nanoseconds
 	Bytes       uint32 // compressed payload bytes
 }
 

@@ -56,6 +56,10 @@ const (
 	// AlertDialectChange: an endpoint switched wire dialect (a
 	// different device answering on the same address).
 	AlertDialectChange AlertKind = "dialect-change"
+	// AlertDrift: the streaming engine's rolling profile diverged from
+	// its stored baseline profile (raised by the drift engine, not by
+	// per-shard monitors — drift is a property of the merged state).
+	AlertDrift AlertKind = "drift"
 )
 
 // Alert is one finding.

@@ -1,0 +1,132 @@
+package markov
+
+import (
+	"fmt"
+	"sort"
+
+	"uncharted/internal/iec104"
+)
+
+// TokenCount is one token's observation count in a ChainState.
+type TokenCount struct {
+	Token iec104.Token
+	Count int
+}
+
+// EdgeCount is one transition's observation count in a ChainState.
+type EdgeCount struct {
+	From, To iec104.Token
+	Count    int
+}
+
+// ChainState is a Chain's full serializable state: node and edge
+// counts in canonical (sorted) order. Out-degrees and the total token
+// count are derivable and rebuilt on restore, so two chains with equal
+// states are behaviourally identical. Building the same State twice —
+// or once before and once after a round trip — yields identical
+// values, which is what makes the drift codec's output bit-exact.
+type ChainState struct {
+	Nodes []TokenCount
+	Edges []EdgeCount
+}
+
+// State snapshots the chain. The result shares nothing with c.
+func (c *Chain) State() ChainState {
+	var s ChainState
+	for tok, n := range c.nodes {
+		s.Nodes = append(s.Nodes, TokenCount{Token: tok, Count: n})
+	}
+	sort.Slice(s.Nodes, func(i, j int) bool {
+		return s.Nodes[i].Token.String() < s.Nodes[j].Token.String()
+	})
+	for from, m := range c.counts {
+		for to, n := range m {
+			s.Edges = append(s.Edges, EdgeCount{From: from, To: to, Count: n})
+		}
+	}
+	sort.Slice(s.Edges, func(i, j int) bool {
+		if s.Edges[i].From.String() != s.Edges[j].From.String() {
+			return s.Edges[i].From.String() < s.Edges[j].From.String()
+		}
+		return s.Edges[i].To.String() < s.Edges[j].To.String()
+	})
+	return s
+}
+
+// ChainFromState rebuilds a chain from a snapshot, rederiving the
+// out-degree and total-token counters.
+func ChainFromState(s ChainState) *Chain {
+	c := NewChain()
+	for _, nc := range s.Nodes {
+		c.nodes[nc.Token] += nc.Count
+		c.total += nc.Count
+	}
+	for _, ec := range s.Edges {
+		m, ok := c.counts[ec.From]
+		if !ok {
+			m = make(map[iec104.Token]int)
+			c.counts[ec.From] = m
+		}
+		m[ec.To] += ec.Count
+		c.outs[ec.From] += ec.Count
+	}
+	return c
+}
+
+// StringCount is one string-keyed count in an NGramState.
+type StringCount struct {
+	Key   string
+	Count int
+}
+
+// NGramState is an NGram's full serializable state. Counts, contexts
+// and vocabulary are kept explicitly (vocabulary covers tokens from
+// sequences shorter than the model order, so it is not derivable from
+// the gram counts) in sorted order for deterministic encoding.
+type NGramState struct {
+	N        int
+	Counts   []StringCount
+	Contexts []StringCount
+	Vocab    []string
+}
+
+func sortedCounts(m map[string]int) []StringCount {
+	out := make([]StringCount, 0, len(m))
+	for k, v := range m {
+		out = append(out, StringCount{Key: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// State snapshots the model. The result shares nothing with m.
+func (m *NGram) State() NGramState {
+	s := NGramState{
+		N:        m.n,
+		Counts:   sortedCounts(m.counts),
+		Contexts: sortedCounts(m.ctx),
+	}
+	for t := range m.vocab {
+		s.Vocab = append(s.Vocab, t)
+	}
+	sort.Strings(s.Vocab)
+	return s
+}
+
+// NGramFromState rebuilds a model from a snapshot.
+func NGramFromState(s NGramState) (*NGram, error) {
+	m, err := NewNGram(s.N)
+	if err != nil {
+		return nil, fmt.Errorf("markov: restore n-gram: %w", err)
+	}
+	for _, c := range s.Counts {
+		m.counts[c.Key] = c.Count
+	}
+	for _, c := range s.Contexts {
+		m.ctx[c.Key] = c.Count
+	}
+	for _, t := range s.Vocab {
+		m.vocab[t] = true
+	}
+	return m, nil
+}

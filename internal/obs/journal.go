@@ -38,6 +38,10 @@ const (
 	// EventHistorianSync: making the historian durable failed (the
 	// success path is counted in metrics, not journalled).
 	EventHistorianSync EventType = "historian_sync"
+	// EventDrift: the rolling profile diverged from the stored
+	// baseline profile (one summary event per snapshot comparison,
+	// plus one per newly seen finding).
+	EventDrift EventType = "drift"
 )
 
 // Event is one journal entry.

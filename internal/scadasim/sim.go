@@ -284,8 +284,11 @@ func (s *Simulator) generateRejected(o *topology.Outstation, sid topology.Server
 	if silent {
 		interval = s.cfg.SilentRetry
 	}
-	if o.Behavior.KeepAliveInterval > 0 {
-		// The misconfigured timer (C2-O30): attempts every 430 s.
+	if o.Behavior.KeepAliveInterval > 0 && s.cfg.Year == topology.Y1 {
+		// The misconfigured timer (C2-O30): attempts every 430 s. The
+		// operator fixed it after the first capture's disclosure
+		// (§6.3.2), so the Y2 trace re-dials at the network-wide
+		// cadence — one of the planted longitudinal changes.
 		interval = o.Behavior.KeepAliveInterval
 	}
 	first := s.cfg.Start.Add(time.Duration(topology.Num(o.ID)%10) * interval / 10)

@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"net/http"
+
+	"uncharted/internal/core"
+	"uncharted/internal/drift"
+	"uncharted/internal/obs"
+)
+
+// noteDrift diffs the freshly merged rolling state against the
+// configured baseline profile, publishes the report, and journals and
+// alerts on findings not seen before in this run. Called from publish
+// with e.mu held, so driftSeen needs no extra locking.
+func (e *Engine) noteDrift(p core.Partial, seq int) {
+	if e.cfg.Baseline == nil {
+		return
+	}
+	th := drift.DefaultThresholds()
+	if e.cfg.DriftThresholds != nil {
+		th = *e.cfg.DriftThresholds
+	}
+	cur := drift.NewProfile("live", "stream", p, p.Last)
+	rep := drift.Compare(e.cfg.Baseline, cur, th)
+	e.driftRep.Store(rep)
+	e.metrics.noteDrift(rep)
+
+	var fresh []drift.Finding
+	for _, f := range rep.Findings {
+		key := f.Kind + "|" + f.Subject
+		if e.driftSeen[key] {
+			continue
+		}
+		e.driftSeen[key] = true
+		fresh = append(fresh, f)
+	}
+	e.cfg.Journal.Log(p.Last, obs.EventDrift, "", map[string]any{
+		"seq":          seq,
+		"baseline":     e.cfg.Baseline.Meta.Label,
+		"findings":     len(rep.Findings),
+		"new":          len(fresh),
+		"max_severity": rep.MaxSeverity(),
+		"max_jsd":      rep.MaxTransitionJSD,
+	})
+	for _, f := range fresh {
+		e.cfg.Journal.Log(p.Last, obs.EventDrift, f.Subject, map[string]any{
+			"kind":     f.Kind,
+			"severity": f.Severity,
+			"detail":   f.Detail,
+			"score":    f.Score,
+		})
+		if e.cfg.DriftAlerts != nil {
+			e.cfg.DriftAlerts(f.Alert())
+		}
+	}
+}
+
+// DriftReport returns the report from the most recent snapshot's
+// baseline comparison, or nil when no baseline is configured or no
+// snapshot has been published yet.
+func (e *Engine) DriftReport() *drift.DriftReport { return e.driftRep.Load() }
+
+// DriftHandler serves the latest drift report as JSON — mount it at
+// /drift next to /profile and /metrics.
+func (e *Engine) DriftHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		rep := e.DriftReport()
+		if rep == nil {
+			http.Error(w, "no drift report published yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		rep.WriteJSON(w)
+	})
+}

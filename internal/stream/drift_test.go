@@ -1,0 +1,161 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/drift"
+	"uncharted/internal/ids"
+	"uncharted/internal/obs"
+	"uncharted/internal/scadasim"
+	"uncharted/internal/topology"
+)
+
+// simulateYear synthesizes a deterministic trace for either campaign.
+func simulateYear(t testing.TB, year topology.Year, dur time.Duration) (*scadasim.Simulator, []byte) {
+	t.Helper()
+	cfg := scadasim.DefaultConfig(year, 1)
+	cfg.Duration = dur
+	sim, err := scadasim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, tracePCAP(t, tr)
+}
+
+// TestEngineDriftDetection: an engine given the Y1 profile as baseline
+// and fed the Y2 capture must publish a drift report, journal it,
+// serve it at /drift, and raise drift-kind alerts — the paper's §6
+// longitudinal comparison running live instead of post hoc.
+func TestEngineDriftDetection(t *testing.T) {
+	dur := 10 * time.Minute
+	simA, capA := simulateYear(t, topology.Y1, dur)
+	simB, capB := simulateYear(t, topology.Y2, dur)
+	baseline := drift.NewProfile("2017-11", "test", offlinePartial(t, simA, capA),
+		time.Date(2017, 11, 7, 0, 0, 0, 0, time.UTC))
+
+	var journal bytes.Buffer
+	var alerts []ids.Alert
+	src, err := NewPCAPSource(bytes.NewReader(capB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	e := New(Config{
+		Workers:     3,
+		Names:       core.NamesFromTopology(simB.Network()),
+		Registry:    reg,
+		Journal:     obs.NewJournal(&journal),
+		Baseline:    baseline,
+		DriftAlerts: func(a ids.Alert) { alerts = append(alerts, a) },
+	})
+	if err := e.Run(context.Background(), src); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := e.DriftReport()
+	if rep == nil {
+		t.Fatal("no drift report published")
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("era change produced no findings")
+	}
+	if rep.MaxSeverity() < drift.SevWarn {
+		t.Errorf("max severity %d, want at least warn for an era change", rep.MaxSeverity())
+	}
+	if len(alerts) != len(rep.Findings) {
+		t.Errorf("%d alerts for %d findings", len(alerts), len(rep.Findings))
+	}
+	for _, a := range alerts {
+		if a.Kind != ids.AlertDrift {
+			t.Fatalf("alert kind %q, want %q", a.Kind, ids.AlertDrift)
+		}
+	}
+
+	// The /drift endpoint serves the same report.
+	rr := httptest.NewRecorder()
+	e.DriftHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/drift", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/drift status %d", rr.Code)
+	}
+	var served drift.DriftReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &served); err != nil {
+		t.Fatalf("/drift body: %v", err)
+	}
+	if len(served.Findings) != len(rep.Findings) {
+		t.Errorf("/drift served %d findings, engine holds %d", len(served.Findings), len(rep.Findings))
+	}
+
+	// The journal carries the drift events.
+	if !bytes.Contains(journal.Bytes(), []byte(string(obs.EventDrift))) {
+		t.Error("journal has no drift events")
+	}
+
+	// And the metrics reflect the comparison.
+	if got := reg.Counter(MetricDriftCompares).Value(); got < 1 {
+		t.Errorf("drift compares metric %d, want >= 1", got)
+	}
+}
+
+// TestEngineDriftSelfBaselineQuiet: streaming the very capture the
+// baseline was built from must stay quiet — shard merge noise is not
+// drift (Welford digests merge in shard order, so this also exercises
+// the tolerance in the physical comparison).
+func TestEngineDriftSelfBaselineQuiet(t *testing.T) {
+	sim, capture := simulateYear(t, topology.Y1, 10*time.Minute)
+	baseline := drift.NewProfile("self", "test", offlinePartial(t, sim, capture), time.Time{})
+
+	src, err := NewPCAPSource(bytes.NewReader(capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerted := 0
+	e := New(Config{
+		Workers:     4,
+		Names:       core.NamesFromTopology(sim.Network()),
+		Baseline:    baseline,
+		DriftAlerts: func(ids.Alert) { alerted++ },
+	})
+	if err := e.Run(context.Background(), src); err != nil {
+		t.Fatal(err)
+	}
+	rep := e.DriftReport()
+	if rep == nil {
+		t.Fatal("no drift report published")
+	}
+	if len(rep.Findings) != 0 || alerted != 0 {
+		t.Fatalf("self-comparison drifted: %d findings, %d alerts: %v",
+			len(rep.Findings), alerted, rep.Findings)
+	}
+}
+
+// TestEngineNoBaselineNoDrift: without a baseline the drift path stays
+// inert — no report, 503 from the handler.
+func TestEngineNoBaselineNoDrift(t *testing.T) {
+	sim, capture := simulateYear(t, topology.Y1, 2*time.Minute)
+	src, err := NewPCAPSource(bytes.NewReader(capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Workers: 2, Names: core.NamesFromTopology(sim.Network())})
+	if err := e.Run(context.Background(), src); err != nil {
+		t.Fatal(err)
+	}
+	if e.DriftReport() != nil {
+		t.Fatal("drift report published without a baseline")
+	}
+	rr := httptest.NewRecorder()
+	e.DriftHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/drift", nil))
+	if rr.Code != 503 {
+		t.Fatalf("/drift without baseline: status %d, want 503", rr.Code)
+	}
+}

@@ -27,7 +27,9 @@ import (
 	"time"
 
 	"uncharted/internal/core"
+	"uncharted/internal/drift"
 	"uncharted/internal/historian"
+	"uncharted/internal/ids"
 	"uncharted/internal/obs"
 	"uncharted/internal/pcap"
 )
@@ -91,6 +93,19 @@ type Config struct {
 	// bound that lets -follow runs hold steady-state memory while the
 	// historian keeps the full history on disk.
 	MaxPointSamples int
+	// Baseline, when set, turns on live drift detection: every
+	// published snapshot is compared against this stored profile and
+	// the resulting DriftReport is served at /drift, journalled, and
+	// fed to DriftAlerts.
+	Baseline *drift.Profile
+	// DriftThresholds overrides drift.DefaultThresholds for the live
+	// comparison; nil uses the defaults.
+	DriftThresholds *drift.Thresholds
+	// DriftAlerts receives one ids.Alert per finding the first time it
+	// appears in this run. Called from the snapshot path with the
+	// engine lock held: keep it fast and do not call back into the
+	// engine.
+	DriftAlerts func(ids.Alert)
 }
 
 func (c *Config) fill() {
@@ -143,18 +158,23 @@ type Engine struct {
 	shards  []*shard
 	metrics *engineMetrics
 
-	profile atomic.Pointer[Profile]
-	seq     int
+	profile  atomic.Pointer[Profile]
+	driftRep atomic.Pointer[drift.DriftReport]
+	seq      int
 
-	mu      sync.Mutex
-	running bool
-	final   core.Partial
+	mu        sync.Mutex
+	running   bool
+	final     core.Partial
+	driftSeen map[string]bool
 }
 
 // New builds an engine; Run starts it.
 func New(cfg Config) *Engine {
 	cfg.fill()
 	e := &Engine{cfg: cfg, metrics: newEngineMetrics(cfg.Registry, cfg.Workers)}
+	if cfg.Baseline != nil {
+		e.driftSeen = make(map[string]bool)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		an := core.NewAnalyzer(cfg.Names)
 		if cfg.Registry != nil || cfg.Journal != nil {
@@ -402,6 +422,7 @@ func (e *Engine) publish(p core.Partial, seq int) {
 		"asdus":        p.TotalASDUs,
 		"parse_errors": p.ParseErrors,
 	})
+	e.noteDrift(p, seq)
 }
 
 // Profile returns the latest published rolling profile, or nil before

@@ -3,6 +3,7 @@ package stream
 import (
 	"strconv"
 
+	"uncharted/internal/drift"
 	"uncharted/internal/obs"
 )
 
@@ -15,17 +16,23 @@ const (
 	MetricShardDropped   = "uncharted_stream_shard_dropped_batches_total"
 	MetricSnapshots      = "uncharted_stream_snapshots_total"
 	MetricWorkers        = "uncharted_stream_workers"
+	MetricDriftFindings  = "uncharted_stream_drift_findings"
+	MetricDriftSeverity  = "uncharted_stream_drift_max_severity"
+	MetricDriftCompares  = "uncharted_stream_drift_compares_total"
 )
 
 // engineMetrics books the engine's counters; a nil receiver (no
 // registry configured) is a no-op, mirroring the other packages.
 type engineMetrics struct {
-	packets   *obs.Counter
-	batches   *obs.Counter
-	snapshots *obs.Counter
-	dropB     *obs.Counter
-	dropP     *obs.Counter
-	perShardB []*obs.Counter
+	packets       *obs.Counter
+	batches       *obs.Counter
+	snapshots     *obs.Counter
+	dropB         *obs.Counter
+	dropP         *obs.Counter
+	perShardB     []*obs.Counter
+	driftCompares *obs.Counter
+	driftFindings *obs.Gauge
+	driftSeverity *obs.Gauge
 }
 
 func newEngineMetrics(reg *obs.Registry, workers int) *engineMetrics {
@@ -39,12 +46,18 @@ func newEngineMetrics(reg *obs.Registry, workers int) *engineMetrics {
 	reg.SetHelp(MetricShardDropped, "Batches shed per shard under the drop policy.")
 	reg.SetHelp(MetricSnapshots, "Rolling profiles published.")
 	reg.SetHelp(MetricWorkers, "Configured analysis shard count.")
+	reg.SetHelp(MetricDriftFindings, "Findings in the latest baseline comparison.")
+	reg.SetHelp(MetricDriftSeverity, "Maximum severity in the latest baseline comparison.")
+	reg.SetHelp(MetricDriftCompares, "Baseline comparisons performed.")
 	m := &engineMetrics{
-		packets:   reg.Counter(MetricPackets),
-		batches:   reg.Counter(MetricBatches),
-		snapshots: reg.Counter(MetricSnapshots),
-		dropB:     reg.Counter(MetricDroppedBatches),
-		dropP:     reg.Counter(MetricDroppedPackets),
+		packets:       reg.Counter(MetricPackets),
+		batches:       reg.Counter(MetricBatches),
+		snapshots:     reg.Counter(MetricSnapshots),
+		dropB:         reg.Counter(MetricDroppedBatches),
+		dropP:         reg.Counter(MetricDroppedPackets),
+		driftCompares: reg.Counter(MetricDriftCompares),
+		driftFindings: reg.Gauge(MetricDriftFindings),
+		driftSeverity: reg.Gauge(MetricDriftSeverity),
 	}
 	for i := 0; i < workers; i++ {
 		m.perShardB = append(m.perShardB, reg.Counter(MetricShardDropped, "shard", strconv.Itoa(i)))
@@ -70,6 +83,15 @@ func (m *engineMetrics) noteDropped(shard, packets int) {
 	if shard < len(m.perShardB) {
 		m.perShardB[shard].Inc()
 	}
+}
+
+func (m *engineMetrics) noteDrift(rep *drift.DriftReport) {
+	if m == nil {
+		return
+	}
+	m.driftCompares.Inc()
+	m.driftFindings.Set(float64(len(rep.Findings)))
+	m.driftSeverity.Set(float64(rep.MaxSeverity()))
 }
 
 func (m *engineMetrics) noteSnapshot() {
