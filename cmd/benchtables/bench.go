@@ -5,11 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"math"
 	"net/netip"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
@@ -17,7 +17,6 @@ import (
 	"uncharted/internal/drift"
 	"uncharted/internal/historian"
 	"uncharted/internal/iec104"
-	"uncharted/internal/pcap"
 	"uncharted/internal/physical"
 	"uncharted/internal/scadasim"
 	"uncharted/internal/stream"
@@ -52,28 +51,23 @@ func toBenchResult(name string, r testing.BenchmarkResult) BenchResult {
 	return out
 }
 
-// sliceSource feeds pre-decoded packets so the engine benchmarks
-// measure analysis, not capture decoding.
-type sliceSource struct {
-	pkts []pcap.Packet
-	i    int
-}
-
-func (s *sliceSource) Next() (pcap.Packet, error) {
-	if s.i >= len(s.pkts) {
-		return pcap.Packet{}, io.EOF
-	}
-	pkt := s.pkts[s.i]
-	s.i++
-	return pkt, nil
-}
-
-func (s *sliceSource) Close() error { return nil }
-
 // runBench runs the pipeline micro/throughput benchmarks with
 // testing.Benchmark and writes BENCH_core.json (parsers and the
 // offline analyzer) and BENCH_stream.json (the sharded engine) to dir.
-func runBench(dir string, scale float64, seed int64) error {
+// When baselineDir holds previous BENCH_*.json files, an old-vs-new
+// delta table is printed after each file is written.
+func runBench(dir, baselineDir string, scale float64, seed int64) error {
+	// Snapshot the baseline rows up front: baselineDir usually is the
+	// repo root, i.e. the same files this run is about to overwrite.
+	baselines := map[string]map[string]BenchResult{}
+	if baselineDir != "" {
+		for _, name := range benchFiles {
+			if rows, err := loadBenchFile(filepath.Join(baselineDir, name)); err == nil {
+				baselines[name] = rows
+			}
+		}
+	}
+
 	cfg := scadasim.DefaultConfig(topology.Y1, seed)
 	cfg.Duration = time.Duration(float64(cfg.Duration) * scale)
 	sim, err := scadasim.New(cfg)
@@ -89,21 +83,13 @@ func runBench(dir string, scale float64, seed int64) error {
 	if err := tr.WritePCAP(&capture); err != nil {
 		return err
 	}
-	var pkts []pcap.Packet
-	src, err := stream.NewPCAPSource(bytes.NewReader(capture.Bytes()))
-	if err != nil {
-		return err
-	}
-	for {
-		pkt, err := src.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		pkts = append(pkts, pkt)
-	}
+	// Release the generator state before any timing starts: the
+	// simulator's record buffers are several times the capture size and
+	// would otherwise sit in the live heap, taxing every GC cycle the
+	// benchmarks trigger.
+	tr = nil
+	sim = nil
+	runtime.GC()
 	frame, err := iec104.NewI(3, 4, iec104.NewMeasurement(
 		iec104.MMeTf, 5, 1201, iec104.Value{Kind: iec104.KindFloat, Float: 60.01, HasTime: true},
 		iec104.CauseSpontaneous)).Marshal(iec104.Standard)
@@ -143,14 +129,22 @@ func runBench(dir string, scale float64, seed int64) error {
 		})),
 	}
 
+	// The engine rows stream the capture itself (the RawSource pooled
+	// path): the reader slices raw frames into recycled slabs and the
+	// shard workers decode, so these rows measure the full streaming
+	// ingest the way production runs it.
 	engineBench := func(workers int) BenchResult {
 		name := fmt.Sprintf("engine_%dshard", workers)
 		return toBenchResult(name, testing.Benchmark(func(b *testing.B) {
 			b.SetBytes(int64(capture.Len()))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
+				src, err := stream.NewPCAPSource(bytes.NewReader(capture.Bytes()))
+				if err != nil {
+					b.Fatal(err)
+				}
 				e := stream.New(stream.Config{Workers: workers, Names: names})
-				if err := e.Run(context.Background(), &sliceSource{pkts: pkts}); err != nil {
+				if err := e.Run(context.Background(), src); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -158,7 +152,7 @@ func runBench(dir string, scale float64, seed int64) error {
 	}
 	stream104 := []BenchResult{engineBench(1), engineBench(2), engineBench(4)}
 
-	hist104, err := historianBench(names, capture.Bytes(), pkts)
+	hist104, err := historianBench(names, capture.Bytes())
 	if err != nil {
 		return err
 	}
@@ -184,6 +178,7 @@ func runBench(dir string, scale float64, seed int64) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "benchtables: wrote %s\n", path)
+		printDelta(os.Stdout, name, baselines[name], rows)
 		return nil
 	}
 	if dir != "" && dir != "." {
@@ -283,7 +278,7 @@ func deadbandSamples(n int) []physical.Sample {
 // offline analyzer extracts from the capture, and the 1-shard engine
 // re-run with the historian attached so its throughput cost is read
 // directly against engine_1shard in BENCH_stream.json.
-func historianBench(names map[netip.Addr]string, capture []byte, pkts []pcap.Packet) ([]BenchResult, error) {
+func historianBench(names map[netip.Addr]string, capture []byte) ([]BenchResult, error) {
 	samples := deadbandSamples(512)
 	raw := int64(len(samples)) * 16
 	encoded := historian.EncodeBlock(samples)
@@ -408,9 +403,13 @@ func historianBench(names map[netip.Addr]string, capture []byte, pkts []pcap.Pac
 			if err != nil {
 				b.Fatal(err)
 			}
+			src, err := stream.NewPCAPSource(bytes.NewReader(capture))
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.StartTimer()
 			e := stream.New(stream.Config{Workers: 1, Names: names, Historian: st})
-			if err := e.Run(context.Background(), &sliceSource{pkts: pkts}); err != nil {
+			if err := e.Run(context.Background(), src); err != nil {
 				b.Fatal(err)
 			}
 			if err := st.Close(); err != nil {

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// benchFiles are the benchmark JSON files runBench maintains, in the
+// order they are written.
+var benchFiles = []string{
+	"BENCH_core.json",
+	"BENCH_stream.json",
+	"BENCH_historian.json",
+	"BENCH_drift.json",
+}
+
+// loadBenchFile reads a previously written benchmark file into a
+// name-keyed map for delta reporting.
+func loadBenchFile(path string) (map[string]BenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BenchResult
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]BenchResult, len(rows))
+	for _, r := range rows {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+// printDelta renders the old-vs-new comparison for one benchmark file.
+// A missing baseline prints nothing (first run, or -baseline ""); rows
+// without a baseline counterpart are marked new.
+func printDelta(w io.Writer, title string, old map[string]BenchResult, rows []BenchResult) {
+	if len(old) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%s vs baseline (old -> new):\n", title)
+	fmt.Fprintf(w, "  %-26s %-30s %-28s %s\n", "benchmark", "ns/op", "MB/s", "allocs/op")
+	for _, r := range rows {
+		o, ok := old[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-26s (no baseline row)\n", r.Name)
+			continue
+		}
+		fmt.Fprintf(w, "  %-26s %-30s %-28s %s\n", r.Name,
+			deltaCell(o.NsPerOp, r.NsPerOp),
+			deltaCell(o.MBPerSec, r.MBPerSec),
+			deltaCell(float64(o.AllocsPerOp), float64(r.AllocsPerOp)))
+	}
+}
+
+// deltaCell formats "old -> new (+x.x%)"; a zero pair (e.g. MB/s on a
+// row with no byte throughput) collapses to a dash.
+func deltaCell(old, new float64) string {
+	if old == 0 && new == 0 {
+		return "-"
+	}
+	cell := fmtNum(old) + " -> " + fmtNum(new)
+	if old != 0 {
+		cell += fmt.Sprintf(" (%+.1f%%)", (new-old)/old*100)
+	}
+	return cell
+}
+
+// fmtNum keeps big counts readable without scientific notation.
+func fmtNum(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v == float64(int64(v)):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -41,6 +41,13 @@ type DirCounts struct {
 // Total returns the APDU count.
 func (d DirCounts) Total() int { return d.I + d.S + d.U }
 
+// dirKey identifies one flow direction (src half-connection to dst)
+// for the framing buffers. Keying by struct instead of a rendered
+// string keeps the per-segment map lookup allocation-free.
+type dirKey struct {
+	src, dst netip.AddrPort
+}
+
 // endpointState holds the APDU framing buffer and IEC 104 sequence
 // state of one flow direction.
 type endpointState struct {
@@ -49,6 +56,43 @@ type endpointState struct {
 	// the check after the first I-frame.
 	nextNS uint16
 	nsSeen bool
+	// dir caches the direction-constant lookups of consumeFrame.
+	dir dirCache
+}
+
+// dirCache memoizes the lookups whose result depends only on the flow
+// direction (source/destination address pair), so the per-frame path
+// stops re-hashing map keys for them. The eagerly filled fields mirror
+// state consumeFrame creates for every frame regardless of parse
+// outcome; dc, toks and ioas stay lazy because their map entries must
+// only exist once a frame (or I-frame) has actually been accepted.
+type dirCache struct {
+	filled         bool
+	fromOutstation bool
+	command        bool
+	sc             *StationCompliance
+	srcKey         string
+	ck             ConnKey
+	skey           tcpflow.SessionKey
+	serverName     string
+	outName        string
+	station        string
+	stationAddr    netip.Addr
+	dc             *DirCounts
+	toks           *tokenList
+	ioas           map[uint32]bool
+}
+
+// tokenList is the token accumulator of one logical connection; the
+// map holds pointers so appends do not rewrite the map slot.
+type tokenList struct {
+	toks []iec104.Token
+}
+
+// framingRef is one entry of the analyzer's framing-lookup memo.
+type framingRef struct {
+	key dirKey
+	st  *endpointState
 }
 
 // Analyzer ingests decoded packets and accumulates every §6 analysis.
@@ -61,7 +105,7 @@ type Analyzer struct {
 	store    *physical.Store
 
 	// tokens per logical connection, in arrival order.
-	tokens map[ConnKey][]iec104.Token
+	tokens map[ConnKey]*tokenList
 	// sessionAPDUs tallies formats per directional host pair.
 	sessionAPDUs map[tcpflow.SessionKey]*DirCounts
 	// sessionIOAs tracks distinct information object addresses per
@@ -77,8 +121,27 @@ type Analyzer struct {
 
 	compliance map[netip.Addr]*StationCompliance
 
-	// framing buffers keyed by flow + direction.
-	framing map[string]*endpointState
+	// framing buffers keyed by flow + direction. lastFraming memoizes
+	// the two most recent lookups (request/response traffic alternates
+	// between exactly two directions), skipping the map hash on most
+	// segments.
+	framing     map[dirKey]*endpointState
+	lastFraming [2]framingRef
+
+	// endpointKeys interns the "ip" endpoint strings handed to the
+	// tolerant parser; nameCache interns rendered addresses for
+	// endpoints the address book does not know. Both exist so the
+	// per-frame path never calls netip.Addr.String.
+	endpointKeys map[netip.Addr]string
+	nameCache    map[netip.Addr]string
+
+	// scratchAPDU / scratchASDU are the caller-owned decode targets of
+	// consumeFrame's tolerant parse. They are reused for every frame,
+	// which is safe because every consumer of an accepted frame
+	// (accumulators, physical store, observers) extracts what it needs
+	// before the next frame is parsed.
+	scratchAPDU iec104.APDU
+	scratchASDU iec104.ASDU
 
 	// Errors the pipeline tolerated (non-IEC payloads, undecodable
 	// frames), for reporting.
@@ -161,13 +224,15 @@ func NewAnalyzer(names map[netip.Addr]string) *Analyzer {
 		parser:               iec104.NewTolerantParser(),
 		sessions:             tcpflow.NewSessions(),
 		store:                physical.NewStore(),
-		tokens:               make(map[ConnKey][]iec104.Token),
+		tokens:               make(map[ConnKey]*tokenList),
 		sessionAPDUs:         make(map[tcpflow.SessionKey]*DirCounts),
 		sessionIOAs:          make(map[tcpflow.SessionKey]map[uint32]bool),
 		typeCounts:           make(map[iec104.TypeID]int),
 		typeStations:         make(map[iec104.TypeID]map[netip.Addr]bool),
 		compliance:           make(map[netip.Addr]*StationCompliance),
-		framing:              make(map[string]*endpointState),
+		framing:              make(map[dirKey]*endpointState),
+		endpointKeys:         make(map[netip.Addr]string),
+		nameCache:            make(map[netip.Addr]string),
 		otherPorts:           make(map[uint16]int),
 		DedupRetransmissions: true,
 	}
@@ -199,12 +264,29 @@ func NamesFromTopology(net *topology.Network) map[netip.Addr]string {
 	return m
 }
 
-// Name renders an address through the address book.
+// Name renders an address through the address book. Unknown addresses
+// are rendered numerically once and interned, so repeated lookups on
+// the frame path do not allocate.
 func (a *Analyzer) Name(addr netip.Addr) string {
 	if n, ok := a.names[addr]; ok {
 		return n
 	}
-	return addr.String()
+	if n, ok := a.nameCache[addr]; ok {
+		return n
+	}
+	n := addr.String()
+	a.nameCache[addr] = n
+	return n
+}
+
+// endpointKey interns the parser's per-endpoint cache key.
+func (a *Analyzer) endpointKey(addr netip.Addr) string {
+	if k, ok := a.endpointKeys[addr]; ok {
+		return k
+	}
+	k := addr.String()
+	a.endpointKeys[addr] = k
+	return k
 }
 
 // FeedPacket ingests one decoded TCP packet.
@@ -256,26 +338,50 @@ func (a *Analyzer) OnPayload(sp tcpflow.StreamPayload) {
 	if len(sp.Data) == 0 {
 		return
 	}
-	key := sp.Src.String() + ">" + sp.Dst.String()
-	st, ok := a.framing[key]
-	if !ok {
-		st = &endpointState{}
-		a.framing[key] = st
+	key := dirKey{src: sp.Src, dst: sp.Dst}
+	var st *endpointState
+	switch {
+	case a.lastFraming[0].st != nil && a.lastFraming[0].key == key:
+		st = a.lastFraming[0].st
+	case a.lastFraming[1].st != nil && a.lastFraming[1].key == key:
+		st = a.lastFraming[1].st
+	default:
+		var ok bool
+		st, ok = a.framing[key]
+		if !ok {
+			st = &endpointState{}
+			a.framing[key] = st
+		}
+		a.lastFraming[0], a.lastFraming[1] = framingRef{key, st}, a.lastFraming[0]
 	}
-	st.buf = append(st.buf, sp.Data...)
+	// Fast path: with no partial frame pending, scan the segment in
+	// place instead of copying it into the framing buffer. Only a
+	// trailing partial frame (or resync tail) is retained. sp.Data may
+	// live in a pooled buffer that is recycled after this call, so the
+	// tail must be copied out before returning.
+	buf := sp.Data
+	if len(st.buf) > 0 {
+		st.buf = append(st.buf, sp.Data...)
+		buf = st.buf
+	}
 	for {
-		frame, rest, skipped, ok := nextFrame(st.buf)
+		frame, rest, skipped, ok := nextFrame(buf)
 		if skipped > 0 {
 			a.metrics.noteResync(skipped)
-			a.journalEvent(sp.Time, obs.EventResync, key, map[string]any{
-				"skipped_bytes": skipped,
-			})
+			if a.journal != nil {
+				a.journalEvent(sp.Time, obs.EventResync, connLabel(sp), map[string]any{
+					"skipped_bytes": skipped,
+				})
+			}
 		}
 		if !ok {
-			st.buf = rest
+			// Copy-to-front also bounds the buffer: the consumed prefix
+			// is reclaimed instead of the backing array growing with
+			// the stream. rest may overlap st.buf; copy is a memmove.
+			st.buf = append(st.buf[:0], rest...)
 			return
 		}
-		st.buf = rest
+		buf = rest
 		a.consumeFrame(sp, frame, st)
 	}
 }
@@ -309,15 +415,21 @@ func nextFrame(buf []byte) (frame, rest []byte, skipped int, ok bool) {
 // carries the flow direction's sequence state (nil when the frame is a
 // retransmission replay that must not advance it).
 func (a *Analyzer) consumeFrame(sp tcpflow.StreamPayload, frame []byte, st *endpointState) {
-	srcAddr := sp.Src.Addr()
-	dstAddr := sp.Dst.Addr()
-	fromOutstation := sp.Src.Port() == IEC104Port
+	var c *dirCache
+	if st != nil {
+		c = &st.dir
+	} else {
+		c = &dirCache{}
+	}
+	if !c.filled {
+		a.fillDirCache(c, sp)
+	}
 
-	sc := a.complianceFor(srcAddr)
+	sc := c.sc
 	sc.Frames++
 
-	apdus, err := a.parser.Parse(srcAddr.String(), frame)
-	if err != nil || len(apdus) == 0 {
+	_, err := a.parser.ParseFrameInto(c.srcKey, frame, &a.scratchAPDU, &a.scratchASDU)
+	if err != nil {
 		a.ParseErrors++
 		if a.metrics != nil || a.journal != nil {
 			cause := parseErrorCause(err)
@@ -329,7 +441,9 @@ func (a *Analyzer) consumeFrame(sp tcpflow.StreamPayload, frame []byte, st *endp
 		}
 		return
 	}
-	apdu := apdus[0]
+	// apdu (and its ASDU) are the analyzer's scratch: valid only until
+	// the next frame is parsed, never retained past this function.
+	apdu := &a.scratchAPDU
 	a.metrics.noteFrame(apdu.Format)
 
 	if apdu.Format == iec104.FormatI {
@@ -348,7 +462,7 @@ func (a *Analyzer) consumeFrame(sp tcpflow.StreamPayload, frame []byte, st *endp
 			sc.StrictInvalid++
 			strictInvalid = true
 		}
-		if p, ok := a.parser.ProfileFor(srcAddr.String()); ok {
+		if p, ok := a.parser.ProfileFor(c.srcKey); ok {
 			newlyDetected := !sc.Detected
 			// A flip is the station settling on a legacy dialect, or a
 			// pinned dialect changing; first detection of the standard
@@ -382,78 +496,111 @@ func (a *Analyzer) consumeFrame(sp tcpflow.StreamPayload, frame []byte, st *endp
 			if st.nsSeen && apdu.SendSeq != st.nextNS {
 				a.SeqAnomalies++
 				a.metrics.noteSeqAnomaly()
-				a.journalEvent(sp.Time, obs.EventSeqAnomaly, connLabel(sp), map[string]any{
-					"expected_ns": st.nextNS,
-					"got_ns":      apdu.SendSeq,
-				})
+				if a.journal != nil {
+					a.journalEvent(sp.Time, obs.EventSeqAnomaly, connLabel(sp), map[string]any{
+						"expected_ns": st.nextNS,
+						"got_ns":      apdu.SendSeq,
+					})
+				}
 			}
 			st.nsSeen = true
 			st.nextNS = (apdu.SendSeq + 1) & 0x7FFF
 		}
 	}
 
-	// Token stream per logical connection.
-	ck := ConnKey{Server: srcAddr, Outstation: dstAddr}
-	if fromOutstation {
-		ck = ConnKey{Server: dstAddr, Outstation: srcAddr}
-	}
+	// Token stream per logical connection. The list is created on the
+	// first accepted frame only, so parse-error-only directions keep no
+	// entry (exactly as before the cache).
 	tok := apdu.Token()
-	a.tokens[ck] = append(a.tokens[ck], tok)
+	if c.toks == nil {
+		tl, ok := a.tokens[c.ck]
+		if !ok {
+			tl = &tokenList{}
+			a.tokens[c.ck] = tl
+		}
+		c.toks = tl
+	}
+	c.toks.toks = append(c.toks.toks, tok)
 	if a.observer != nil {
 		a.observer.ObserveFrame(FrameEvent{
 			Time:           sp.Time,
-			Conn:           ck,
-			Server:         a.Name(ck.Server),
-			Outstation:     a.Name(ck.Outstation),
-			FromOutstation: fromOutstation,
+			Conn:           c.ck,
+			Server:         c.serverName,
+			Outstation:     c.outName,
+			FromOutstation: c.fromOutstation,
 			Token:          tok,
 			ASDU:           apdu.ASDU,
 		})
 	}
 
 	// Directional session APDU mix.
-	skey := tcpflow.SessionKey{Src: srcAddr, Dst: dstAddr}
-	dc, ok := a.sessionAPDUs[skey]
-	if !ok {
-		dc = &DirCounts{}
-		a.sessionAPDUs[skey] = dc
+	if c.dc == nil {
+		dc, ok := a.sessionAPDUs[c.skey]
+		if !ok {
+			dc = &DirCounts{}
+			a.sessionAPDUs[c.skey] = dc
+		}
+		c.dc = dc
 	}
 	switch apdu.Format {
 	case iec104.FormatI:
-		dc.I++
+		c.dc.I++
 	case iec104.FormatS:
-		dc.S++
+		c.dc.S++
 	case iec104.FormatU:
-		dc.U++
+		c.dc.U++
 	}
 
 	if apdu.Format == iec104.FormatI && apdu.ASDU != nil {
 		a.typeCounts[apdu.ASDU.Type]++
 		a.totalASDUs++
-		ioas, ok := a.sessionIOAs[skey]
-		if !ok {
-			ioas = make(map[uint32]bool)
-			a.sessionIOAs[skey] = ioas
+		if c.ioas == nil {
+			ioas, ok := a.sessionIOAs[c.skey]
+			if !ok {
+				ioas = make(map[uint32]bool)
+				a.sessionIOAs[c.skey] = ioas
+			}
+			c.ioas = ioas
 		}
 		for _, obj := range apdu.ASDU.Objects {
-			ioas[obj.IOA] = true
-		}
-		station := a.Name(srcAddr)
-		stationAddr := srcAddr
-		command := false
-		if !fromOutstation {
-			station = a.Name(dstAddr)
-			stationAddr = dstAddr
-			command = true
+			c.ioas[obj.IOA] = true
 		}
 		ts, ok := a.typeStations[apdu.ASDU.Type]
 		if !ok {
 			ts = make(map[netip.Addr]bool)
 			a.typeStations[apdu.ASDU.Type] = ts
 		}
-		ts[stationAddr] = true
-		a.store.Feed(station, apdu.ASDU, sp.Time, command)
+		ts[c.stationAddr] = true
+		a.store.Feed(c.station, apdu.ASDU, sp.Time, c.command)
 	}
+}
+
+// fillDirCache computes the direction-constant half of consumeFrame
+// once per flow direction. Everything created here (the compliance
+// entry, interned strings) is state consumeFrame previously created on
+// every frame regardless of parse outcome, so eager filling changes no
+// observable behaviour.
+func (a *Analyzer) fillDirCache(c *dirCache, sp tcpflow.StreamPayload) {
+	srcAddr := sp.Src.Addr()
+	dstAddr := sp.Dst.Addr()
+	c.fromOutstation = sp.Src.Port() == IEC104Port
+	c.sc = a.complianceFor(srcAddr)
+	c.srcKey = a.endpointKey(srcAddr)
+	c.ck = ConnKey{Server: srcAddr, Outstation: dstAddr}
+	if c.fromOutstation {
+		c.ck = ConnKey{Server: dstAddr, Outstation: srcAddr}
+	}
+	c.serverName = a.Name(c.ck.Server)
+	c.outName = a.Name(c.ck.Outstation)
+	c.skey = tcpflow.SessionKey{Src: srcAddr, Dst: dstAddr}
+	c.station = a.Name(srcAddr)
+	c.stationAddr = srcAddr
+	if !c.fromOutstation {
+		c.station = a.Name(dstAddr)
+		c.stationAddr = dstAddr
+		c.command = true
+	}
+	c.filled = true
 }
 
 // strictPlausible checks whether a standard-profile parse of the frame
@@ -499,14 +646,20 @@ func (a *Analyzer) ReadPCAP(r io.Reader) error {
 		}
 		return a.readInstrumented(pr)
 	}
+	// One scratch buffer serves the whole capture: nothing downstream
+	// of FeedPacket retains packet bytes past the call (reassembly and
+	// framing copy what they buffer), so each record may overwrite the
+	// previous one.
+	var scratch []byte
 	for {
-		data, ci, err := pr.ReadPacket()
+		data, ci, err := pr.ReadPacketInto(scratch)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
 			return fmt.Errorf("core: reading capture: %w", err)
 		}
+		scratch = data
 		pkt, err := pcap.DecodePacket(pr.LinkType(), ci, data)
 		if err != nil {
 			continue
@@ -523,10 +676,11 @@ func (a *Analyzer) readInstrumented(pr pcap.PacketReader) error {
 		readStage   = a.metrics.reg.Stage(StagePcapRead)
 		decodeStage = a.metrics.reg.Stage(StagePcapDecode)
 		feedStage   = a.metrics.reg.Stage(StageAnalyzeFeed)
+		scratch     []byte
 	)
 	for {
 		t0 := time.Now()
-		data, ci, err := pr.ReadPacket()
+		data, ci, err := pr.ReadPacketInto(scratch)
 		readStage.Observe(time.Since(t0))
 		if err == io.EOF {
 			return nil
@@ -534,6 +688,7 @@ func (a *Analyzer) readInstrumented(pr pcap.PacketReader) error {
 		if err != nil {
 			return fmt.Errorf("core: reading capture: %w", err)
 		}
+		scratch = data
 		t0 = time.Now()
 		pkt, err := pcap.DecodePacket(pr.LinkType(), ci, data)
 		decodeStage.Observe(time.Since(t0))
@@ -593,7 +748,12 @@ func (a *Analyzer) Sessions() *tcpflow.Sessions { return a.sessions }
 func (a *Analyzer) Physical() *physical.Store { return a.store }
 
 // TokenStream returns the token sequence of one logical connection.
-func (a *Analyzer) TokenStream(k ConnKey) []iec104.Token { return a.tokens[k] }
+func (a *Analyzer) TokenStream(k ConnKey) []iec104.Token {
+	if tl, ok := a.tokens[k]; ok {
+		return tl.toks
+	}
+	return nil
+}
 
 // ConnKeys returns every logical connection sorted by name.
 func (a *Analyzer) ConnKeys() []ConnKey {
@@ -625,7 +785,9 @@ func (a *Analyzer) CaptureWindow() (time.Time, time.Time) {
 func (a *Analyzer) EnableFlowEviction(timeout time.Duration) {
 	a.tracker.SetIdleTimeout(timeout)
 	a.tracker.OnEvict(func(f *tcpflow.Flow) {
-		delete(a.framing, f.Key.A.String()+">"+f.Key.B.String())
-		delete(a.framing, f.Key.B.String()+">"+f.Key.A.String())
+		delete(a.framing, dirKey{src: f.Key.A, dst: f.Key.B})
+		delete(a.framing, dirKey{src: f.Key.B, dst: f.Key.A})
+		// The memo may point at the states just deleted.
+		a.lastFraming = [2]framingRef{}
 	})
 }

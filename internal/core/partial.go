@@ -74,7 +74,7 @@ func (a *Analyzer) Partial() Partial {
 	})
 	for _, key := range a.ConnKeys() {
 		ch := markov.NewChain()
-		ch.Add(a.tokens[key])
+		ch.Add(a.TokenStream(key))
 		p.Chains = append(p.Chains, ConnChain{
 			Key:        key,
 			Server:     a.Name(key.Server),

@@ -226,7 +226,7 @@ func (a *Analyzer) MarkovChains() MarkovReport {
 	var chains []ConnChain
 	for _, key := range a.ConnKeys() {
 		ch := markov.NewChain()
-		ch.Add(a.tokens[key])
+		ch.Add(a.TokenStream(key))
 		chains = append(chains, ConnChain{
 			Key:        key,
 			Server:     a.Name(key.Server),

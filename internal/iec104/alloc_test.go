@@ -1,0 +1,74 @@
+package iec104
+
+import "testing"
+
+// buildIFrame returns a marshalled I-format APDU carrying one float
+// measurement — the shape that dominates real SCADA captures and the
+// pipeline's hot parse path.
+func buildIFrame(t *testing.T) []byte {
+	t.Helper()
+	asdu := NewMeasurement(MMeNc, 1, 100, Value{Kind: KindFloat, Float: 60.0}, CauseSpontaneous)
+	b, err := NewI(7, 3, asdu).Marshal(Standard)
+	if err != nil {
+		t.Fatalf("marshal I-frame: %v", err)
+	}
+	return b
+}
+
+// TestParseAPDUAllocCeiling pins the copying compatibility API's cost:
+// one APDU is four allocations (ASDU struct, Objects slice, Raw copy,
+// element decode). A regression here means the convenience path got
+// more expensive, not just the hot path.
+func TestParseAPDUAllocCeiling(t *testing.T) {
+	frame := buildIFrame(t)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := ParseAPDU(frame, Standard); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Errorf("ParseAPDU allocations per frame = %.1f, want <= 4", allocs)
+	}
+}
+
+// TestParseAPDUIntoZeroAlloc pins the scratch-reusing hot path at zero
+// steady-state allocations: after one warm-up call sizes the Objects
+// slice, re-parsing into the same scratch with aliasing enabled must
+// not touch the heap at all.
+func TestParseAPDUIntoZeroAlloc(t *testing.T) {
+	frame := buildIFrame(t)
+	var apdu APDU
+	var asdu ASDU
+	if _, err := ParseAPDUInto(&apdu, &asdu, frame, Standard, true); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := ParseAPDUInto(&apdu, &asdu, frame, Standard, true); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ParseAPDUInto allocations per frame = %.1f, want 0", allocs)
+	}
+}
+
+// TestTolerantParseFrameIntoZeroAlloc pins the endpoint-cached tolerant
+// parser at zero steady-state allocations once the endpoint's profile
+// has been detected and cached.
+func TestTolerantParseFrameIntoZeroAlloc(t *testing.T) {
+	frame := buildIFrame(t)
+	tp := NewTolerantParser()
+	var apdu APDU
+	var asdu ASDU
+	if _, err := tp.ParseFrameInto("10.0.0.1:2404", frame, &apdu, &asdu); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := tp.ParseFrameInto("10.0.0.1:2404", frame, &apdu, &asdu); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ParseFrameInto allocations per frame = %.1f, want 0", allocs)
+	}
+}

@@ -160,54 +160,75 @@ func (a *APDU) Marshal(p Profile) ([]byte, error) {
 }
 
 // ParseAPDU decodes a single APDU from the front of data using profile p
-// and returns it together with the number of bytes consumed.
+// and returns it together with the number of bytes consumed. The result
+// owns all of its memory; hot paths should prefer ParseAPDUInto.
 func ParseAPDU(data []byte, p Profile) (*APDU, int, error) {
+	a := &APDU{}
+	n, err := ParseAPDUInto(a, nil, data, p, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	return a, n, nil
+}
+
+// ParseAPDUInto decodes a single APDU from the front of data into the
+// caller-owned dst, returning the number of bytes consumed. For
+// I-format frames the payload is decoded into scratch (reusing its
+// Objects slice across calls) and dst.ASDU is pointed at it; for S/U
+// frames dst.ASDU is nil. With alias true the decoded object Raw bytes
+// alias data (see ParseASDUInto); either way the decoded APDU is only
+// valid until dst/scratch are reused, which is what makes repeated calls
+// with the same pair allocation-free.
+func ParseAPDUInto(dst *APDU, scratch *ASDU, data []byte, p Profile, alias bool) (int, error) {
 	if len(data) < 6 {
-		return nil, 0, ErrShortFrame
+		return 0, ErrShortFrame
 	}
 	if data[0] != StartByte {
-		return nil, 0, ErrBadStartByte
+		return 0, ErrBadStartByte
 	}
 	apduLen := int(data[1])
 	if apduLen < 4 || 2+apduLen > len(data) {
-		return nil, 0, ErrBadLength
+		return 0, ErrBadLength
 	}
 	total := 2 + apduLen
 	cf := data[2:6]
-	a := &APDU{}
+	*dst = APDU{}
+	a := dst
 	switch {
 	case cf[0]&0x01 == 0: // I format
 		a.Format = FormatI
 		a.SendSeq = uint16(cf[0])>>1 | uint16(cf[1])<<7
 		a.RecvSeq = uint16(cf[2])>>1 | uint16(cf[3])<<7
-		asdu, err := ParseASDU(data[6:total], p)
-		if err != nil {
-			return nil, 0, err
+		if scratch == nil {
+			scratch = &ASDU{}
 		}
-		a.ASDU = asdu
+		if err := ParseASDUInto(scratch, data[6:total], p, alias); err != nil {
+			return 0, err
+		}
+		a.ASDU = scratch
 	case cf[0]&0x03 == 0x01: // S format
 		a.Format = FormatS
 		if apduLen != 4 {
-			return nil, 0, fmt.Errorf("%w: S-format APDU with ASDU bytes", ErrBadControl)
+			return 0, fmt.Errorf("%w: S-format APDU with ASDU bytes", ErrBadControl)
 		}
 		a.RecvSeq = uint16(cf[2])>>1 | uint16(cf[3])<<7
 	default: // U format (low two bits 11)
 		a.Format = FormatU
 		if apduLen != 4 {
-			return nil, 0, fmt.Errorf("%w: U-format APDU with ASDU bytes", ErrBadControl)
+			return 0, fmt.Errorf("%w: U-format APDU with ASDU bytes", ErrBadControl)
 		}
 		u := UFunc(cf[0] >> 2)
 		switch u {
 		case UStartDTAct, UStartDTCon, UStopDTAct, UStopDTCon, UTestFRAct, UTestFRCon:
 			a.U = u
 		default:
-			return nil, 0, fmt.Errorf("%w: U control octet %#x", ErrBadControl, cf[0])
+			return 0, fmt.Errorf("%w: U control octet %#x", ErrBadControl, cf[0])
 		}
 		if cf[1] != 0 || cf[2] != 0 || cf[3] != 0 {
-			return nil, 0, fmt.Errorf("%w: nonzero U padding", ErrBadControl)
+			return 0, fmt.Errorf("%w: nonzero U padding", ErrBadControl)
 		}
 	}
-	return a, total, nil
+	return total, nil
 }
 
 // ParseAPDUs decodes every APDU packed into one TCP payload. IEC 104

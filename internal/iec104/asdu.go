@@ -102,31 +102,48 @@ func (a *ASDU) Marshal(p Profile) ([]byte, error) {
 
 // ParseASDU decodes an ASDU from data using profile p. The whole buffer
 // must be consumed exactly; trailing or missing bytes are errors, which
-// is what lets DetectProfile discriminate dialects.
+// is what lets DetectProfile discriminate dialects. The result owns all
+// of its memory (object Raw bytes are copied out of data).
 func ParseASDU(data []byte, p Profile) (*ASDU, error) {
-	if err := p.Validate(); err != nil {
+	a := &ASDU{}
+	if err := ParseASDUInto(a, data, p, false); err != nil {
 		return nil, err
+	}
+	return a, nil
+}
+
+// ParseASDUInto decodes an ASDU from data into dst, reusing dst's
+// Objects slice (grown once to the working-set size, then reused across
+// frames with zero allocation). When alias is true, object Raw slices
+// alias data instead of being copied: the decoded ASDU is then only
+// valid until data's buffer is reused, which is the contract the
+// analyzer's scratch-parse hot path runs under. When alias is false the
+// result owns all of its memory, like ParseASDU.
+func ParseASDUInto(dst *ASDU, data []byte, p Profile, alias bool) error {
+	if err := p.Validate(); err != nil {
+		return err
 	}
 	duiLen := 2 + p.COTSize + p.CommonAddrSize
 	if len(data) < duiLen {
-		return nil, ErrShortASDU
+		return ErrShortASDU
 	}
-	a := &ASDU{Type: TypeID(data[0])}
+	a := dst
+	*a = ASDU{Type: TypeID(data[0]), Objects: dst.Objects[:0]}
 	if !Supported(a.Type) {
-		return nil, fmt.Errorf("%w: %d", ErrUnsupportedType, data[0])
+		return fmt.Errorf("%w: %d", ErrUnsupportedType, data[0])
 	}
 	count := int(data[1] & 0x7F)
 	a.Sequence = data[1]&0x80 != 0
 	if count == 0 {
-		return nil, ErrNoObjects
+		return ErrNoObjects
 	}
 	var err error
 	a.COT, err = decodeCOT(data[2:], p.COTSize)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if !a.COT.Cause.Valid() {
-		return nil, fmt.Errorf("iec104: invalid cause of transmission %d", uint8(a.COT.Cause))
+		return fmt.Errorf("iec104: invalid cause of transmission %d", uint8(a.COT.Cause))
 	}
 	off := 2 + p.COTSize
 	if p.CommonAddrSize == 2 {
@@ -137,23 +154,30 @@ func ParseASDU(data []byte, p Profile) (*ASDU, error) {
 	off += p.CommonAddrSize
 	body := data[off:]
 
+	rawBytes := func(b []byte) []byte {
+		if alias {
+			return b
+		}
+		return append([]byte(nil), b...)
+	}
+
 	elemSize, fixed := a.Type.ElementSize()
 	if !fixed {
 		// Variable-size types (file segments): retain raw bytes as a
 		// single object. The length octet inside the element governs
 		// its size; we keep the whole remainder.
 		if a.Sequence || count != 1 {
-			return nil, fmt.Errorf("iec104: variable-size type %v must carry one object", a.Type)
+			return fmt.Errorf("iec104: variable-size type %v must carry one object", a.Type)
 		}
 		if len(body) < p.IOASize {
-			return nil, ErrShortASDU
+			return ErrShortASDU
 		}
-		a.Objects = []InfoObject{{
+		a.Objects = append(a.Objects, InfoObject{
 			IOA:   decodeIOA(body, p.IOASize),
 			Value: Value{Kind: KindRaw},
-			Raw:   append([]byte(nil), body[p.IOASize:]...),
-		}}
-		return a, nil
+			Raw:   rawBytes(body[p.IOASize:]),
+		})
+		return nil
 	}
 
 	var need int
@@ -163,11 +187,10 @@ func ParseASDU(data []byte, p Profile) (*ASDU, error) {
 		need = count * (p.IOASize + elemSize)
 	}
 	if len(body) != need {
-		return nil, fmt.Errorf("%w: %v x%d (SQ=%t) needs %d body bytes, have %d",
+		return fmt.Errorf("%w: %v x%d (SQ=%t) needs %d body bytes, have %d",
 			ErrObjectCount, a.Type, count, a.Sequence, need, len(body))
 	}
 
-	a.Objects = make([]InfoObject, 0, count)
 	if a.Sequence {
 		base := decodeIOA(body, p.IOASize)
 		pos := p.IOASize
@@ -175,12 +198,12 @@ func ParseASDU(data []byte, p Profile) (*ASDU, error) {
 			el := body[pos : pos+elemSize]
 			v, err := decodeElement(a.Type, el)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			a.Objects = append(a.Objects, InfoObject{
 				IOA:   base + uint32(i),
 				Value: v,
-				Raw:   append([]byte(nil), el...),
+				Raw:   rawBytes(el),
 			})
 			pos += elemSize
 		}
@@ -192,17 +215,17 @@ func ParseASDU(data []byte, p Profile) (*ASDU, error) {
 			el := body[pos : pos+elemSize]
 			v, err := decodeElement(a.Type, el)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			a.Objects = append(a.Objects, InfoObject{
 				IOA:   ioa,
 				Value: v,
-				Raw:   append([]byte(nil), el...),
+				Raw:   rawBytes(el),
 			})
 			pos += elemSize
 		}
 	}
-	return a, nil
+	return nil
 }
 
 func decodeIOA(b []byte, size int) uint32 {

@@ -252,3 +252,34 @@ func (tp *TolerantParser) Parse(endpoint string, payload []byte) ([]*APDU, error
 	}
 	return out, nil
 }
+
+// ParseFrameInto decodes the single APDU at the front of frame into the
+// caller-owned dst/scratch pair, using the endpoint's cached dialect
+// when available and falling back to detection exactly like Parse. The
+// decode aliases frame (object Raw slices point into it), so the result
+// is valid only until frame's buffer or the scratch pair is reused.
+// Steady-state calls (cache hit) allocate nothing; this is the
+// analyzer's per-frame hot path, which always hands in exactly one
+// framed APDU. Returns the number of bytes consumed.
+func (tp *TolerantParser) ParseFrameInto(endpoint string, frame []byte, dst *APDU, scratch *ASDU) (int, error) {
+	p, cached := tp.profiles[endpoint]
+	if cached {
+		n, err := ParseAPDUInto(dst, scratch, frame, p, true)
+		if err == nil {
+			return n, nil
+		}
+	}
+	detected, _, err := DetectProfile(frame)
+	if err != nil {
+		return 0, err
+	}
+	tp.Detections++
+	n, err := ParseAPDUInto(dst, scratch, frame, detected, true)
+	if err != nil {
+		return 0, err
+	}
+	if dst.Format == FormatI {
+		tp.profiles[endpoint] = detected
+	}
+	return n, nil
+}

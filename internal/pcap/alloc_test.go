@@ -1,0 +1,54 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// buildCapture writes n same-sized records into a classic pcap byte
+// slice for the allocation guards below.
+func buildCapture(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeEthernet)
+	payload := bytes.Repeat([]byte{0x5A}, 600)
+	base := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		ci := CaptureInfo{Timestamp: base.Add(time.Duration(i) * time.Millisecond)}
+		if err := w.WritePacket(ci, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestReadPacketIntoAllocCeiling pins the scratch-reusing read path:
+// draining a whole capture through one reused buffer must cost a small
+// per-capture constant (reader setup plus the single scratch growth),
+// not a per-packet allocation. 256 packets per run would blow the
+// ceiling immediately if any per-record make() crept back in.
+func TestReadPacketIntoAllocCeiling(t *testing.T) {
+	capture := buildCapture(t, 256)
+	allocs := testing.AllocsPerRun(20, func() {
+		r, err := NewReader(bytes.NewReader(capture))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var scratch []byte
+		for {
+			data, _, err := r.ReadPacketInto(scratch)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			scratch = data
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("draining 256 packets cost %.1f allocations, want <= 8 per capture", allocs)
+	}
+}

@@ -1,0 +1,56 @@
+package pcap
+
+import "sync"
+
+// Buffer is a pooled byte buffer for packet data. Ownership is
+// explicit: whoever holds the *Buffer may read and append to Data;
+// calling Release returns it to its pool, after which Data must not be
+// touched — the backing array will be handed to another reader. The
+// zero-copy contract through the pipeline is built on this: a slice of
+// Buffer.Data is valid exactly as long as the Buffer is unreleased.
+type Buffer struct {
+	Data []byte
+	pool *BufferPool
+}
+
+// Release recycles the buffer into the pool it came from. Safe to call
+// on a nil Buffer; calling it twice hands the same backing array to two
+// owners, which the poison mode in tests is designed to catch.
+func (b *Buffer) Release() {
+	if b == nil || b.pool == nil {
+		return
+	}
+	p := b.pool
+	if p.poison {
+		for i := range b.Data {
+			b.Data[i] = 0xDB
+		}
+	}
+	b.Data = b.Data[:0]
+	p.pool.Put(b)
+}
+
+// BufferPool hands out reusable Buffers. The zero value is ready to
+// use. Buffers come back with Data length 0 but retain their grown
+// capacity, so a steady-state pipeline stops allocating once its
+// buffers have grown to the working-set size.
+type BufferPool struct {
+	pool   sync.Pool
+	poison bool
+}
+
+// Get returns a Buffer with empty Data (capacity retained from earlier
+// use). The caller must Release it exactly once when done.
+func (p *BufferPool) Get() *Buffer {
+	if b, ok := p.pool.Get().(*Buffer); ok {
+		return b
+	}
+	return &Buffer{Data: make([]byte, 0, 64<<10), pool: p}
+}
+
+// SetPoison toggles overwrite-on-release: every Release fills the
+// buffer with 0xDB before pooling it, so any consumer that wrongly
+// retains a slice past Release sees garbage instead of stale frame
+// bytes. Intended for tests (it costs a memset per release); must be
+// set before the pool is shared across goroutines.
+func (p *BufferPool) SetPoison(on bool) { p.poison = on }

@@ -1,0 +1,56 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestBufferPoolPoisonOnRelease(t *testing.T) {
+	var pool BufferPool
+	pool.SetPoison(true)
+	b := pool.Get()
+	b.Data = append(b.Data, 0x01, 0x02, 0x03)
+	stale := b.Data[:3]
+	b.Release()
+	for i, v := range stale {
+		if v != 0xDB {
+			t.Fatalf("released byte %d = %#02x, want poison 0xDB", i, v)
+		}
+	}
+	if reused := pool.Get(); len(reused.Data) != 0 {
+		t.Fatalf("recycled buffer has %d stale bytes, want 0", len(reused.Data))
+	}
+}
+
+func TestBufferReleaseNilSafe(t *testing.T) {
+	var b *Buffer
+	b.Release() // must not panic
+}
+
+func TestReadPacketBuffer(t *testing.T) {
+	capture := buildCapture(t, 3)
+	r, err := NewReader(bytes.NewReader(capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pool BufferPool
+	var seen int
+	for {
+		b, ci, err := ReadPacketBuffer(r, &pool)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b.Data) != ci.CaptureLength {
+			t.Fatalf("buffer holds %d bytes, capture info says %d", len(b.Data), ci.CaptureLength)
+		}
+		seen++
+		b.Release()
+	}
+	if seen != 3 {
+		t.Fatalf("read %d packets, want 3", seen)
+	}
+}

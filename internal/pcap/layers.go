@@ -303,12 +303,15 @@ func foldChecksum(sum uint32) uint16 {
 	return ^uint16(sum)
 }
 
-// Packet bundles the decoded layers of one captured frame.
+// Packet bundles the decoded layers of one captured frame. Eth is the
+// zero value (HasEth false) on raw-IP captures; it is held by value so
+// decoding a packet performs no heap allocation.
 type Packet struct {
-	Info CaptureInfo
-	Eth  *Ethernet
-	IP   IPv4
-	TCP  TCP
+	Info   CaptureInfo
+	Eth    Ethernet
+	HasEth bool
+	IP     IPv4
+	TCP    TCP
 }
 
 // DecodePacket parses one record according to the capture's link type.
@@ -325,7 +328,7 @@ func DecodePacket(link LinkType, ci CaptureInfo, data []byte) (Packet, error) {
 		if eth.EtherType != EtherTypeIPv4 {
 			return p, fmt.Errorf("%w: ethertype %#04x", ErrNotIPv4, eth.EtherType)
 		}
-		p.Eth = &eth
+		p.Eth, p.HasEth = eth, true
 		ipBytes = eth.Payload
 	}
 	ip, err := DecodeIPv4(ipBytes)
@@ -342,6 +345,29 @@ func DecodePacket(link LinkType, ci CaptureInfo, data []byte) (Packet, error) {
 	}
 	p.TCP = tcp
 	return p, nil
+}
+
+// PeekIPv4Pair extracts the IPv4 source and destination addresses from
+// a raw frame without decoding or validating the full packet. It is the
+// cheap routing peek the streaming reader uses to pick a shard before
+// handing the frame to a worker for the real decode. ok is false only
+// when DecodePacket would certainly fail too (frame too short, not
+// IPv4), so every packet the offline path would analyze gets a valid
+// pair; frames that fail the peek still fail the worker-side decode and
+// are skipped identically to the offline path.
+func PeekIPv4Pair(link LinkType, data []byte) (src, dst netip.Addr, ok bool) {
+	if link == LinkTypeEthernet {
+		if len(data) < 14 || binary.BigEndian.Uint16(data[12:14]) != EtherTypeIPv4 {
+			return netip.Addr{}, netip.Addr{}, false
+		}
+		data = data[14:]
+	}
+	if len(data) < 20 || data[0]>>4 != 4 {
+		return netip.Addr{}, netip.Addr{}, false
+	}
+	src, _ = netip.AddrFromSlice(data[12:16])
+	dst, _ = netip.AddrFromSlice(data[16:20])
+	return src, dst, true
 }
 
 // BuildTCPPacket serializes a full Ethernet/IPv4/TCP frame. MAC

@@ -7,6 +7,7 @@
 package pcap
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -64,8 +65,24 @@ var (
 	ErrSnapLen  = errors.New("pcap: record exceeds snap length")
 )
 
-// NewReader parses the global header from r.
+// buffered wraps r in a bufio.Reader unless it is already buffered.
+// Implementing io.ByteReader is the signal that r serves small reads
+// cheaply itself (bufio.Reader, bytes.Reader, strings.Reader, and the
+// stream package's tailing source all do); wrapping those again would
+// either waste a copy or, for the tailing source, read ahead past the
+// bytes its framing gate has admitted.
+func buffered(r io.Reader) io.Reader {
+	if _, ok := r.(io.ByteReader); ok {
+		return r
+	}
+	return bufio.NewReaderSize(r, 64<<10)
+}
+
+// NewReader parses the global header from r. Unless r is already
+// buffered (implements io.ByteReader) it is wrapped in a bufio.Reader
+// so per-record header reads do not hit the underlying file.
 func NewReader(r io.Reader) (*Reader, error) {
+	r = buffered(r)
 	var hdr [24]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("pcap: reading global header: %w", err)
@@ -95,9 +112,22 @@ func (r *Reader) LinkType() LinkType { return r.linkType }
 // SnapLen returns the capture's snapshot length.
 func (r *Reader) SnapLen() uint32 { return r.snapLen }
 
-// ReadPacket returns the next record. It returns io.EOF cleanly at the
-// end of the stream.
+// ReadPacket returns the next record in a freshly allocated buffer the
+// caller owns outright. It returns io.EOF cleanly at the end of the
+// stream. Hot paths should prefer ReadPacketInto, which reuses a
+// caller-supplied scratch buffer instead of allocating per packet.
 func (r *Reader) ReadPacket() ([]byte, CaptureInfo, error) {
+	return r.ReadPacketInto(nil)
+}
+
+// ReadPacketInto reads the next record into scratch, growing it if
+// needed, and returns the (possibly reallocated) slice holding exactly
+// the record bytes. The returned slice shares scratch's backing array:
+// it is only valid until the next ReadPacketInto call that reuses it.
+// Callers keep the returned slice as the scratch for the next call to
+// amortize the allocation to zero. Passing nil always allocates, which
+// is what ReadPacket does.
+func (r *Reader) ReadPacketInto(scratch []byte) ([]byte, CaptureInfo, error) {
 	if _, err := io.ReadFull(r.r, r.recHdr[:]); err != nil {
 		if err == io.EOF {
 			return nil, CaptureInfo{}, io.EOF
@@ -113,7 +143,7 @@ func (r *Reader) ReadPacket() ([]byte, CaptureInfo, error) {
 		r.metrics.noteSnapLen()
 		return nil, CaptureInfo{}, fmt.Errorf("%w: %d > %d", ErrSnapLen, capLen, r.snapLen)
 	}
-	data := make([]byte, capLen)
+	data := grow(scratch, int(capLen))
 	if _, err := io.ReadFull(r.r, data); err != nil {
 		if truncated(err) {
 			r.metrics.noteShortBody()
@@ -131,6 +161,15 @@ func (r *Reader) ReadPacket() ([]byte, CaptureInfo, error) {
 		CaptureLength: int(capLen),
 		Length:        int(origLen),
 	}, nil
+}
+
+// grow returns a length-n slice backed by scratch when its capacity
+// allows, allocating otherwise.
+func grow(scratch []byte, n int) []byte {
+	if cap(scratch) >= n {
+		return scratch[:n]
+	}
+	return make([]byte, n)
 }
 
 // Writer emits a libpcap stream with microsecond timestamps in little-

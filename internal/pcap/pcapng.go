@@ -32,6 +32,10 @@ type NgReader struct {
 	// interfaces seen in the current section, in declaration order.
 	ifaces  []ngInterface
 	metrics *readerMetrics
+	// scratch holds the current block body; it grows to the largest
+	// block seen and is reused for every subsequent block, so steady-
+	// state block reads allocate nothing.
+	scratch []byte
 }
 
 // Instrument books per-record counters (packets, bytes, truncated
@@ -54,9 +58,11 @@ var (
 	ErrNgInterface = errors.New("pcap: packet references an undeclared interface")
 )
 
-// NewNgReader parses the leading section header block.
+// NewNgReader parses the leading section header block. Unless r is
+// already buffered (implements io.ByteReader) it is wrapped in a
+// bufio.Reader.
 func NewNgReader(r io.Reader) (*NgReader, error) {
-	ng := &NgReader{r: r}
+	ng := &NgReader{r: buffered(r)}
 	typ, body, err := ng.readBlockHeader()
 	if err != nil {
 		return nil, err
@@ -126,7 +132,7 @@ func (ng *NgReader) readBlockHeader() (uint32, []byte, error) {
 		if total < 28 || total > 1<<24 {
 			return 0, nil, fmt.Errorf("%w: SHB length %d", ErrNgCorrupt, total)
 		}
-		body := make([]byte, total-12)
+		body := ng.growScratch(int(total - 12))
 		if _, err := io.ReadFull(ng.r, body); err != nil {
 			return 0, nil, fmt.Errorf("pcap: reading SHB: %w", err)
 		}
@@ -140,7 +146,7 @@ func (ng *NgReader) readBlockHeader() (uint32, []byte, error) {
 	if total < 12 || total%4 != 0 || total > 1<<24 {
 		return 0, nil, fmt.Errorf("%w: block %#08x length %d", ErrNgCorrupt, typ, total)
 	}
-	body := make([]byte, total-8)
+	body := ng.growScratch(int(total - 8))
 	if _, err := io.ReadFull(ng.r, body); err != nil {
 		return 0, nil, fmt.Errorf("pcap: reading block %#08x: %w", typ, err)
 	}
@@ -149,6 +155,17 @@ func (ng *NgReader) readBlockHeader() (uint32, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: trailing length mismatch", ErrNgCorrupt)
 	}
 	return typ, body[:len(body)-4], nil
+}
+
+// growScratch returns the reader's scratch buffer sized to n bytes,
+// growing it when a larger block arrives. The returned slice is only
+// valid until the next block read.
+func (ng *NgReader) growScratch(n int) []byte {
+	if cap(ng.scratch) < n {
+		ng.scratch = make([]byte, n)
+	}
+	ng.scratch = ng.scratch[:n]
+	return ng.scratch
 }
 
 func (ng *NgReader) parseSHB(body []byte) error {
@@ -213,9 +230,18 @@ func (ng *NgReader) parseIDB(body []byte) error {
 	return nil
 }
 
-// ReadPacket returns the next captured packet, skipping non-packet
-// blocks. io.EOF signals a clean end of stream.
+// ReadPacket returns the next captured packet in a freshly allocated
+// buffer, skipping non-packet blocks. io.EOF signals a clean end of
+// stream. Hot paths should prefer ReadPacketInto.
 func (ng *NgReader) ReadPacket() ([]byte, CaptureInfo, error) {
+	return ng.ReadPacketInto(nil)
+}
+
+// ReadPacketInto reads the next packet into scratch (grown as needed)
+// and returns the slice holding exactly the packet bytes. Same
+// ownership contract as Reader.ReadPacketInto: the result is valid
+// until the scratch is reused, and passing nil allocates.
+func (ng *NgReader) ReadPacketInto(scratch []byte) ([]byte, CaptureInfo, error) {
 	for {
 		typ, body, err := ng.readBlockHeader()
 		if err != nil {
@@ -234,7 +260,7 @@ func (ng *NgReader) ReadPacket() ([]byte, CaptureInfo, error) {
 				return nil, CaptureInfo{}, err
 			}
 		case blockEPB:
-			data, ci, err := ng.parseEPB(body)
+			data, ci, err := ng.parseEPB(body, scratch)
 			if err == nil {
 				ng.metrics.noteRead(ci.CaptureLength)
 			} else {
@@ -242,7 +268,7 @@ func (ng *NgReader) ReadPacket() ([]byte, CaptureInfo, error) {
 			}
 			return data, ci, err
 		case blockSPB:
-			data, ci, err := ng.parseSPB(body)
+			data, ci, err := ng.parseSPB(body, scratch)
 			if err == nil {
 				ng.metrics.noteRead(ci.CaptureLength)
 			} else {
@@ -255,7 +281,7 @@ func (ng *NgReader) ReadPacket() ([]byte, CaptureInfo, error) {
 	}
 }
 
-func (ng *NgReader) parseEPB(body []byte) ([]byte, CaptureInfo, error) {
+func (ng *NgReader) parseEPB(body, scratch []byte) ([]byte, CaptureInfo, error) {
 	if len(body) < 20 {
 		return nil, CaptureInfo{}, ErrNgCorrupt
 	}
@@ -270,7 +296,10 @@ func (ng *NgReader) parseEPB(body []byte) ([]byte, CaptureInfo, error) {
 	if capLen < 0 || 20+capLen > len(body) {
 		return nil, CaptureInfo{}, ErrNgCorrupt
 	}
-	data := append([]byte(nil), body[20:20+capLen]...)
+	// The block body lives in the reader's scratch; copy the packet out
+	// into the caller's buffer before the next block overwrites it.
+	data := grow(scratch, capLen)
+	copy(data, body[20:20+capLen])
 	div := iface.tsDivisor
 	sec := tsRaw / div
 	frac := tsRaw % div
@@ -282,7 +311,7 @@ func (ng *NgReader) parseEPB(body []byte) ([]byte, CaptureInfo, error) {
 	}, nil
 }
 
-func (ng *NgReader) parseSPB(body []byte) ([]byte, CaptureInfo, error) {
+func (ng *NgReader) parseSPB(body, scratch []byte) ([]byte, CaptureInfo, error) {
 	if len(body) < 4 || len(ng.ifaces) == 0 {
 		return nil, CaptureInfo{}, ErrNgCorrupt
 	}
@@ -295,7 +324,8 @@ func (ng *NgReader) parseSPB(body []byte) ([]byte, CaptureInfo, error) {
 	if 4+capLen > len(body) {
 		capLen = len(body) - 4
 	}
-	data := append([]byte(nil), body[4:4+capLen]...)
+	data := grow(scratch, capLen)
+	copy(data, body[4:4+capLen])
 	return data, CaptureInfo{CaptureLength: capLen, Length: origLen}, nil
 }
 
@@ -309,10 +339,28 @@ func (ng *NgReader) LinkType() LinkType {
 }
 
 // PacketReader is the common surface of the classic and pcapng
-// readers.
+// readers. ReadPacket hands back a freshly allocated buffer;
+// ReadPacketInto reuses a caller-supplied scratch (see
+// Reader.ReadPacketInto for the ownership contract).
 type PacketReader interface {
 	ReadPacket() ([]byte, CaptureInfo, error)
+	ReadPacketInto(scratch []byte) ([]byte, CaptureInfo, error)
 	LinkType() LinkType
+}
+
+// ReadPacketBuffer reads the next packet from pr into a Buffer drawn
+// from pool. On success the caller owns the Buffer and must Release it
+// exactly once when the packet bytes are no longer needed; on error
+// (including io.EOF) the buffer has already been recycled.
+func ReadPacketBuffer(pr PacketReader, pool *BufferPool) (*Buffer, CaptureInfo, error) {
+	b := pool.Get()
+	data, ci, err := pr.ReadPacketInto(b.Data[:cap(b.Data)])
+	if err != nil {
+		b.Release()
+		return nil, CaptureInfo{}, err
+	}
+	b.Data = data
+	return b, ci, nil
 }
 
 // NewAutoReader sniffs the capture format (classic pcap in either

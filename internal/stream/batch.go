@@ -1,0 +1,109 @@
+package stream
+
+import (
+	"sync"
+	"time"
+
+	"uncharted/internal/pcap"
+)
+
+// batch is one unit of work on a shard queue: either decoded packets
+// (from a plain Source) or raw frames packed into a pooled slab (from a
+// RawSource). Exactly one of dec / raw is set.
+type batch struct {
+	dec *pktBatch
+	raw *rawBatch
+}
+
+// size returns how many packets/frames the batch carries.
+func (b batch) size() int {
+	if b.raw != nil {
+		return len(b.raw.frames)
+	}
+	return len(b.dec.pkts)
+}
+
+// firstTime returns the capture timestamp of the batch's first entry.
+func (b batch) firstTime() time.Time {
+	if b.raw != nil {
+		return b.raw.frames[0].ci.Timestamp
+	}
+	return b.dec.pkts[0].Info.Timestamp
+}
+
+// pktBatch is a pooled decoded-packet slice. Pooling the wrapper (not
+// the bare slice) keeps sync.Pool round-trips allocation-free.
+type pktBatch struct {
+	pkts []pcap.Packet
+}
+
+// rawFrame locates one record inside a rawBatch slab. Offsets, not
+// subslices: the slab's backing array may move while the reader is
+// still appending frames to the batch.
+type rawFrame struct {
+	off, end int
+	ci       pcap.CaptureInfo
+}
+
+// rawBatch carries undecoded records for one shard: the frame bytes
+// live back to back in slab (a pcap.Buffer drawn from the engine's
+// pool), located by the frames index. The consuming shard releases the
+// slab and returns the batch to the pool, so a steady-state run cycles
+// a fixed set of buffers with no per-batch allocation.
+type rawBatch struct {
+	link   pcap.LinkType
+	frames []rawFrame
+	slab   *pcap.Buffer
+}
+
+// batchPools hold the recycled batch carriers shared by the reader
+// (producer) and shards (consumers).
+type batchPools struct {
+	slabs pcap.BufferPool
+	raw   sync.Pool // *rawBatch
+	dec   sync.Pool // *pktBatch
+}
+
+func (p *batchPools) getRaw(link pcap.LinkType) *rawBatch {
+	rb, ok := p.raw.Get().(*rawBatch)
+	if !ok {
+		rb = &rawBatch{}
+	}
+	rb.link = link
+	rb.slab = p.slabs.Get()
+	return rb
+}
+
+// putRaw releases the slab back to the buffer pool and recycles the
+// batch. The caller must be done with every frame: slab bytes are
+// invalid from here on (and poisoned in tests).
+func (p *batchPools) putRaw(rb *rawBatch) {
+	rb.slab.Release()
+	rb.slab = nil
+	rb.frames = rb.frames[:0]
+	p.raw.Put(rb)
+}
+
+func (p *batchPools) getDec() *pktBatch {
+	if pb, ok := p.dec.Get().(*pktBatch); ok {
+		return pb
+	}
+	return &pktBatch{}
+}
+
+// putDec zeroes the packet entries (dropping their payload references)
+// and recycles the batch.
+func (p *batchPools) putDec(pb *pktBatch) {
+	clear(pb.pkts)
+	pb.pkts = pb.pkts[:0]
+	p.dec.Put(pb)
+}
+
+// recycle returns a batch of either kind to its pool.
+func (p *batchPools) recycle(b batch) {
+	if b.raw != nil {
+		p.putRaw(b.raw)
+		return
+	}
+	p.putDec(b.dec)
+}

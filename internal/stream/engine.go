@@ -126,28 +126,50 @@ func (c *Config) fill() {
 // shard owns one analyzer. The engine communicates with it only
 // through its channels, so analyzer state needs no locks.
 type shard struct {
-	id   int
-	an   *core.Analyzer
-	in   chan []pcap.Packet
-	snap chan chan core.Partial
-	done chan struct{}
+	id    int
+	an    *core.Analyzer
+	pools *batchPools
+	in    chan batch
+	snap  chan chan core.Partial
+	done  chan struct{}
 }
 
 func (s *shard) run() {
 	defer close(s.done)
 	for {
 		select {
-		case pkts, ok := <-s.in:
+		case b, ok := <-s.in:
 			if !ok {
 				return
 			}
-			for i := range pkts {
-				s.an.FeedPacket(pkts[i])
-			}
+			s.consume(b)
 		case reply := <-s.snap:
 			reply <- s.an.Partial()
 		}
 	}
+}
+
+// consume feeds one batch into the shard's analyzer and recycles the
+// batch. Raw batches are decoded here — on the shard worker, off the
+// reader goroutine — and records that fail link-layer decoding are
+// skipped, matching the offline ReadPCAP path exactly.
+func (s *shard) consume(b batch) {
+	if rb := b.raw; rb != nil {
+		for i := range rb.frames {
+			fr := &rb.frames[i]
+			pkt, err := pcap.DecodePacket(rb.link, fr.ci, rb.slab.Data[fr.off:fr.end])
+			if err != nil {
+				continue
+			}
+			s.an.FeedPacket(pkt)
+		}
+		s.pools.putRaw(rb)
+		return
+	}
+	for i := range b.dec.pkts {
+		s.an.FeedPacket(b.dec.pkts[i])
+	}
+	s.pools.putDec(b.dec)
 }
 
 // Engine is the streaming pipeline. Create with New, drive with Run;
@@ -156,6 +178,7 @@ func (s *shard) run() {
 type Engine struct {
 	cfg     Config
 	shards  []*shard
+	pools   batchPools
 	metrics *engineMetrics
 
 	profile  atomic.Pointer[Profile]
@@ -197,11 +220,12 @@ func New(cfg Config) *Engine {
 			an.SetFrameObserver(observer)
 		}
 		e.shards = append(e.shards, &shard{
-			id:   i,
-			an:   an,
-			in:   make(chan []pcap.Packet, cfg.QueueDepth),
-			snap: make(chan chan core.Partial),
-			done: make(chan struct{}),
+			id:    i,
+			an:    an,
+			pools: &e.pools,
+			in:    make(chan batch, cfg.QueueDepth),
+			snap:  make(chan chan core.Partial),
+			done:  make(chan struct{}),
 		})
 	}
 	return e
@@ -211,10 +235,13 @@ func New(cfg Config) *Engine {
 // — and every flow between the same two hosts, so reconnects of one
 // logical connection too — land on the same shard.
 func (e *Engine) shardFor(pkt pcap.Packet) int {
+	return e.shardForPair(pkt.IP.Src, pkt.IP.Dst)
+}
+
+func (e *Engine) shardForPair(a, b netip.Addr) int {
 	if len(e.shards) == 1 {
 		return 0
 	}
-	a, b := pkt.IP.Src, pkt.IP.Dst
 	if b.Compare(a) < 0 {
 		a, b = b, a
 	}
@@ -259,66 +286,7 @@ func (e *Engine) Run(ctx context.Context, src Source) error {
 		}()
 	}
 
-	pending := make([][]pcap.Packet, len(e.shards))
-	flush := func(i int) bool {
-		if len(pending[i]) == 0 {
-			return true
-		}
-		ok := e.dispatch(ctx, i, pending[i])
-		pending[i] = nil
-		return ok
-	}
-	flushAll := func() bool {
-		for i := range pending {
-			if !flush(i) {
-				return false
-			}
-		}
-		return true
-	}
-
-	var srcErr error
-read:
-	for {
-		select {
-		case <-ctx.Done():
-			srcErr = ctx.Err()
-			break read
-		default:
-		}
-		pkt, err := src.Next()
-		switch {
-		case err == nil:
-			i := e.shardFor(pkt)
-			pending[i] = append(pending[i], pkt)
-			if len(pending[i]) >= e.cfg.BatchSize {
-				if !flush(i) {
-					srcErr = ctx.Err()
-					break read
-				}
-			}
-		case errors.Is(err, ErrNotReady):
-			if !flushAll() {
-				srcErr = ctx.Err()
-				break read
-			}
-			select {
-			case <-ctx.Done():
-				srcErr = ctx.Err()
-				break read
-			case <-time.After(e.cfg.PollInterval):
-			}
-		case errors.Is(err, io.EOF):
-			flushAll()
-			break read
-		default:
-			srcErr = err
-			break read
-		}
-	}
-	if srcErr == nil || errors.Is(srcErr, context.Canceled) {
-		flushAll()
-	}
+	srcErr := e.readLoop(ctx, src)
 
 	close(stopSnap)
 	snapWG.Wait()
@@ -347,23 +315,190 @@ read:
 	return srcErr
 }
 
+// readLoop drives the reader stage: it pulls records from the source,
+// routes them to shards, and flushes pending batches at quiet points.
+// Sources that implement RawSource take the fast path where the reader
+// only copies raw frames into pooled per-shard slabs and the shard
+// workers do the L2-L4 decoding.
+func (e *Engine) readLoop(ctx context.Context, src Source) error {
+	if rs, ok := src.(RawSource); ok {
+		return e.readRaw(ctx, rs)
+	}
+	return e.readDecoded(ctx, src)
+}
+
+func (e *Engine) readDecoded(ctx context.Context, src Source) error {
+	pending := make([]*pktBatch, len(e.shards))
+	flush := func(i int) bool {
+		pb := pending[i]
+		if pb == nil {
+			return true
+		}
+		pending[i] = nil
+		return e.dispatch(ctx, i, batch{dec: pb})
+	}
+	flushAll := func() bool {
+		for i := range pending {
+			if !flush(i) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var srcErr error
+read:
+	for {
+		select {
+		case <-ctx.Done():
+			srcErr = ctx.Err()
+			break read
+		default:
+		}
+		pkt, err := src.Next()
+		switch {
+		case err == nil:
+			i := e.shardFor(pkt)
+			pb := pending[i]
+			if pb == nil {
+				pb = e.pools.getDec()
+				pending[i] = pb
+			}
+			pb.pkts = append(pb.pkts, pkt)
+			if len(pb.pkts) >= e.cfg.BatchSize {
+				if !flush(i) {
+					srcErr = ctx.Err()
+					break read
+				}
+			}
+		case errors.Is(err, ErrNotReady):
+			if !flushAll() {
+				srcErr = ctx.Err()
+				break read
+			}
+			select {
+			case <-ctx.Done():
+				srcErr = ctx.Err()
+				break read
+			case <-time.After(e.cfg.PollInterval):
+			}
+		case errors.Is(err, io.EOF):
+			flushAll()
+			break read
+		default:
+			srcErr = err
+			break read
+		}
+	}
+	if srcErr == nil || errors.Is(srcErr, context.Canceled) {
+		flushAll()
+	}
+	return srcErr
+}
+
+func (e *Engine) readRaw(ctx context.Context, src RawSource) error {
+	pending := make([]*rawBatch, len(e.shards))
+	flush := func(i int) bool {
+		rb := pending[i]
+		if rb == nil {
+			return true
+		}
+		pending[i] = nil
+		return e.dispatch(ctx, i, batch{raw: rb})
+	}
+	flushAll := func() bool {
+		for i := range pending {
+			if !flush(i) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// scratch is the reader's record buffer: each record is read into
+	// it, then copied into the owning shard's pending slab, so a single
+	// buffer serves the whole run.
+	var scratch []byte
+	var srcErr error
+read:
+	for {
+		select {
+		case <-ctx.Done():
+			srcErr = ctx.Err()
+			break read
+		default:
+		}
+		data, ci, link, err := src.NextRaw(scratch)
+		switch {
+		case err == nil:
+			scratch = data
+			// Route by the cheap header peek; records the peek cannot
+			// classify go to shard 0, whose worker-side decode then skips
+			// them exactly like the offline path would.
+			i := 0
+			if len(e.shards) > 1 {
+				if sa, da, ok := pcap.PeekIPv4Pair(link, data); ok {
+					i = e.shardForPair(sa, da)
+				}
+			}
+			rb := pending[i]
+			if rb == nil {
+				rb = e.pools.getRaw(link)
+				pending[i] = rb
+			}
+			off := len(rb.slab.Data)
+			rb.slab.Data = append(rb.slab.Data, data...)
+			rb.frames = append(rb.frames, rawFrame{off: off, end: off + len(data), ci: ci})
+			if len(rb.frames) >= e.cfg.BatchSize {
+				if !flush(i) {
+					srcErr = ctx.Err()
+					break read
+				}
+			}
+		case errors.Is(err, ErrNotReady):
+			if !flushAll() {
+				srcErr = ctx.Err()
+				break read
+			}
+			select {
+			case <-ctx.Done():
+				srcErr = ctx.Err()
+				break read
+			case <-time.After(e.cfg.PollInterval):
+			}
+		case errors.Is(err, io.EOF):
+			flushAll()
+			break read
+		default:
+			srcErr = err
+			break read
+		}
+	}
+	if srcErr == nil || errors.Is(srcErr, context.Canceled) {
+		flushAll()
+	}
+	return srcErr
+}
+
 // dispatch hands a batch to a shard under the configured policy. The
 // false return means the context died while blocked.
-func (e *Engine) dispatch(ctx context.Context, i int, pkts []pcap.Packet) bool {
-	e.metrics.noteBatch(len(pkts))
+func (e *Engine) dispatch(ctx context.Context, i int, b batch) bool {
+	n := b.size()
+	e.metrics.noteBatch(n)
 	if e.cfg.Policy == DropNewest {
 		select {
-		case e.shards[i].in <- pkts:
+		case e.shards[i].in <- b:
 		default:
-			e.metrics.noteDropped(i, len(pkts))
-			e.cfg.Journal.Log(pkts[0].Info.Timestamp, obs.EventDrop, "", map[string]any{
-				"shard": i, "packets": len(pkts),
+			e.metrics.noteDropped(i, n)
+			e.cfg.Journal.Log(b.firstTime(), obs.EventDrop, "", map[string]any{
+				"shard": i, "packets": n,
 			})
+			e.pools.recycle(b)
 		}
 		return true
 	}
 	select {
-	case e.shards[i].in <- pkts:
+	case e.shards[i].in <- b:
 		return true
 	case <-ctx.Done():
 		return false

@@ -324,9 +324,13 @@ func TestDropPolicyCountsSheddedBatches(t *testing.T) {
 	e := New(Config{Workers: 1, QueueDepth: 1, Policy: DropNewest, Registry: reg})
 	// The shard goroutine is not running, so the queue fills and the
 	// second dispatch must shed instead of blocking.
-	pkts := make([]pcap.Packet, 3)
+	mkBatch := func() batch {
+		pb := e.pools.getDec()
+		pb.pkts = append(pb.pkts, make([]pcap.Packet, 3)...)
+		return batch{dec: pb}
+	}
 	ctx := context.Background()
-	if !e.dispatch(ctx, 0, pkts) || !e.dispatch(ctx, 0, pkts) {
+	if !e.dispatch(ctx, 0, mkBatch()) || !e.dispatch(ctx, 0, mkBatch()) {
 		t.Fatal("dispatch returned false without cancellation")
 	}
 	if got := reg.Counter(MetricDroppedBatches).Value(); got != 1 {

@@ -1,0 +1,40 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"uncharted/internal/core"
+)
+
+// TestBufferPoolLifecycleAcrossShards hammers the pooled raw path's
+// recycle/reuse cycle: tiny batches and shallow queues force slabs
+// through the pool as fast as four shards can drain them, and
+// poison-on-release overwrites every slab with 0xDB the moment a shard
+// returns it. A use-after-release anywhere — reader appending into a
+// released slab, shard decoding after recycling — surfaces either as a
+// race report under -race or as poisoned frames whose decode failures
+// break the exact offline equivalence asserted at the end.
+func TestBufferPoolLifecycleAcrossShards(t *testing.T) {
+	sim, tr := simulate(t, 23, 3*time.Minute)
+	capture := tracePCAP(t, tr)
+	want := offlinePartial(t, sim, capture)
+
+	src, err := NewPCAPSource(bytes.NewReader(capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{
+		Workers:    4,
+		BatchSize:  4,
+		QueueDepth: 2,
+		Names:      core.NamesFromTopology(sim.Network()),
+	})
+	e.pools.slabs.SetPoison(true)
+	if err := e.Run(context.Background(), src); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, want, e.Final())
+}

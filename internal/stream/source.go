@@ -26,6 +26,19 @@ type Source interface {
 	Close() error
 }
 
+// RawSource is the zero-copy fast path a Source may additionally
+// implement: NextRaw returns the next capture record undecoded, read
+// into scratch (grown as needed — same ownership contract as
+// pcap.ReadPacketInto). Unlike Next it does NOT skip undecodable
+// records; the engine routes every record to a shard whose worker
+// performs the decode and skips failures there, which keeps the skip
+// semantics identical to the decoded path while moving the L2-L4
+// decode work off the reader goroutine.
+type RawSource interface {
+	Source
+	NextRaw(scratch []byte) (data []byte, ci pcap.CaptureInfo, link pcap.LinkType, err error)
+}
+
 // PCAPSource reads a finished capture (classic pcap or pcapng) as
 // fast as the engine consumes it.
 type PCAPSource struct {
@@ -58,6 +71,19 @@ func (s *PCAPSource) Next() (pcap.Packet, error) {
 		}
 		return pkt, nil
 	}
+}
+
+// NextRaw implements RawSource: it returns the next record undecoded,
+// read into scratch.
+func (s *PCAPSource) NextRaw(scratch []byte) ([]byte, pcap.CaptureInfo, pcap.LinkType, error) {
+	data, ci, err := s.pr.ReadPacketInto(scratch)
+	if err != nil {
+		if err == io.EOF {
+			return nil, ci, s.pr.LinkType(), io.EOF
+		}
+		return nil, ci, s.pr.LinkType(), fmt.Errorf("stream: reading capture: %w", err)
+	}
+	return data, ci, s.pr.LinkType(), nil
 }
 
 // Close implements Source; the underlying reader is caller-owned.
@@ -100,6 +126,20 @@ func (s *FollowSource) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// ReadByte marks the source as already buffered: pcap.NewReader wraps
+// plain readers in a bufio.Reader, which would read ahead past the
+// bytes the framing gate in nextRecord has admitted and desynchronise
+// the window accounting. Serving byte reads directly keeps the reader
+// unwrapped.
+func (s *FollowSource) ReadByte() (byte, error) {
+	if s.head >= len(s.pending) {
+		return 0, io.EOF
+	}
+	b := s.pending[s.head]
+	s.head++
+	return b, nil
+}
+
 // fill appends newly written file bytes to the window, compacting the
 // consumed prefix first so the buffer stays proportional to the
 // unparsed tail.
@@ -129,16 +169,16 @@ func (s *FollowSource) fill() error {
 
 func (s *FollowSource) avail() int { return len(s.pending) - s.head }
 
-// Next returns the next decodable packet, ErrNotReady at the write
-// frontier, and never io.EOF: a followed file has no end until the
-// caller stops.
-func (s *FollowSource) Next() (pcap.Packet, error) {
+// nextRecord returns the next fully buffered record (read into
+// scratch), ErrNotReady at the write frontier, and never io.EOF: a
+// followed file has no end until the caller stops.
+func (s *FollowSource) nextRecord(scratch []byte) ([]byte, pcap.CaptureInfo, error) {
 	if err := s.fill(); err != nil {
-		return pcap.Packet{}, err
+		return nil, pcap.CaptureInfo{}, err
 	}
 	if s.pr == nil {
 		if s.avail() < 24 {
-			return pcap.Packet{}, ErrNotReady
+			return nil, pcap.CaptureInfo{}, ErrNotReady
 		}
 		switch binary.LittleEndian.Uint32(s.pending[s.head : s.head+4]) {
 		case 0xa1b2c3d4, 0xa1b23c4d:
@@ -146,25 +186,31 @@ func (s *FollowSource) Next() (pcap.Packet, error) {
 		case 0xd4c3b2a1, 0x4d3cb2a1:
 			s.order = binary.BigEndian
 		default:
-			return pcap.Packet{}, fmt.Errorf("stream: %s is not a classic pcap file", s.f.Name())
+			return nil, pcap.CaptureInfo{}, fmt.Errorf("stream: %s is not a classic pcap file", s.f.Name())
 		}
 		pr, err := pcap.NewReader(s)
 		if err != nil {
-			return pcap.Packet{}, err
+			return nil, pcap.CaptureInfo{}, err
 		}
 		s.pr = pr
 	}
+	// Gate ReadPacket on a fully buffered record: 16-byte record
+	// header plus the captured length it declares.
+	if s.avail() < 16 {
+		return nil, pcap.CaptureInfo{}, ErrNotReady
+	}
+	capLen := int(s.order.Uint32(s.pending[s.head+8 : s.head+12]))
+	if s.avail() < 16+capLen {
+		return nil, pcap.CaptureInfo{}, ErrNotReady
+	}
+	return s.pr.ReadPacketInto(scratch)
+}
+
+// Next returns the next decodable packet, ErrNotReady at the write
+// frontier, and never io.EOF.
+func (s *FollowSource) Next() (pcap.Packet, error) {
 	for {
-		// Gate ReadPacket on a fully buffered record: 16-byte record
-		// header plus the captured length it declares.
-		if s.avail() < 16 {
-			return pcap.Packet{}, ErrNotReady
-		}
-		capLen := int(s.order.Uint32(s.pending[s.head+8 : s.head+12]))
-		if s.avail() < 16+capLen {
-			return pcap.Packet{}, ErrNotReady
-		}
-		data, ci, err := s.pr.ReadPacket()
+		data, ci, err := s.nextRecord(nil)
 		if err != nil {
 			return pcap.Packet{}, err
 		}
@@ -174,6 +220,17 @@ func (s *FollowSource) Next() (pcap.Packet, error) {
 		}
 		return pkt, nil
 	}
+}
+
+// NextRaw implements RawSource with the same write-frontier gating as
+// Next, minus the decode.
+func (s *FollowSource) NextRaw(scratch []byte) ([]byte, pcap.CaptureInfo, pcap.LinkType, error) {
+	data, ci, err := s.nextRecord(scratch)
+	var link pcap.LinkType
+	if s.pr != nil {
+		link = s.pr.LinkType()
+	}
+	return data, ci, link, err
 }
 
 // Close releases the tailed file.

@@ -9,11 +9,16 @@ type stream struct {
 	started bool
 	next    uint32 // next expected sequence number
 	// pending holds out-of-order segments keyed by sequence number.
+	// Buffered segments are always copied; only lazily allocated since
+	// in-order traffic (the overwhelming common case) never buffers.
 	pending map[uint32][]byte
+	// scratch is reused for the concatenation when a segment unlocks
+	// buffered out-of-order data, so drains do not allocate either.
+	scratch []byte
 }
 
 func newStream() *stream {
-	return &stream{pending: make(map[uint32][]byte)}
+	return &stream{}
 }
 
 // seqLess reports whether a precedes b in sequence space (RFC 1982
@@ -46,8 +51,15 @@ func (s *stream) insert(seq uint32, payload []byte) (newData []byte, retransmit,
 		seq = s.next
 	}
 	if seq == s.next {
-		newData = append(newData, payload...)
 		s.next = seq + uint32(len(payload))
+		if len(s.pending) == 0 {
+			// Zero-copy fast path: the segment is in order and unlocks
+			// nothing else, so hand the caller's bytes straight back.
+			// The returned slice aliases payload and is only valid for
+			// the synchronous consumer callback.
+			return payload, false, false
+		}
+		newData = append(s.scratch[:0], payload...)
 		// Drain any pending segments that are now contiguous.
 		for {
 			p, ok := s.takePendingAt(s.next)
@@ -57,11 +69,15 @@ func (s *stream) insert(seq uint32, payload []byte) (newData []byte, retransmit,
 			newData = append(newData, p...)
 			s.next += uint32(len(p))
 		}
+		s.scratch = newData
 		return newData, false, false
 	}
 	// Out of order: buffer unless we already hold this exact range.
 	if old, ok := s.pending[seq]; ok && len(old) >= len(payload) {
 		return nil, true, false
+	}
+	if s.pending == nil {
+		s.pending = make(map[uint32][]byte)
 	}
 	s.pending[seq] = append([]byte(nil), payload...)
 	return nil, false, true

@@ -96,7 +96,11 @@ func (f *Flow) Packets() int { return f.AtoB.Packets + f.BtoA.Packets }
 func (f *Flow) Retransmits() int { return f.AtoB.Retransmits + f.BtoA.Retransmits }
 
 // StreamPayload is a chunk of reassembled in-order payload delivered to
-// a consumer.
+// a consumer. Data and Raw alias the fed packet's buffer (or the
+// stream's internal reassembly scratch): they are valid only for the
+// duration of the synchronous OnPayload call, and consumers must copy
+// whatever they keep. This is what lets the ingest path reuse one
+// packet buffer for the whole capture.
 type StreamPayload struct {
 	Flow     *Flow
 	Src, Dst netip.AddrPort
@@ -123,6 +127,11 @@ type Tracker struct {
 	order    []*Flow // insertion order for deterministic output
 	consumer Consumer
 	metrics  *trackerMetrics
+
+	// lastFlow memoizes the most recent lookup: SCADA captures carry
+	// long packet runs on one flow (and Key is direction-normalized),
+	// so most Feeds skip the map hash entirely.
+	lastFlow *Flow
 
 	// first/last span every fed packet, so the capture window survives
 	// flow eviction.
@@ -171,6 +180,7 @@ func (t *Tracker) EvictIdle(now time.Time) int {
 	}
 	cutoff := now.Add(-t.idleTimeout)
 	n := 0
+	t.lastFlow = nil // may be about to be evicted
 	kept := t.order[:0]
 	for _, f := range t.order {
 		if f.Last.After(cutoff) {
@@ -223,14 +233,19 @@ func (t *Tracker) Feed(pkt pcap.Packet) {
 		}
 	}
 	key := MakeKey(src, dst)
-	f, ok := t.flows[key]
-	if !ok {
-		f = &Flow{Key: key, First: pkt.Info.Timestamp, Last: pkt.Info.Timestamp}
-		f.streams[0] = newStream()
-		f.streams[1] = newStream()
-		t.flows[key] = f
-		t.order = append(t.order, f)
-		t.metrics.noteFlowOpened()
+	f := t.lastFlow
+	if f == nil || f.Key != key {
+		var ok bool
+		f, ok = t.flows[key]
+		if !ok {
+			f = &Flow{Key: key, First: pkt.Info.Timestamp, Last: pkt.Info.Timestamp}
+			f.streams[0] = newStream()
+			f.streams[1] = newStream()
+			t.flows[key] = f
+			t.order = append(t.order, f)
+			t.metrics.noteFlowOpened()
+		}
+		t.lastFlow = f
 	}
 	if pkt.Info.Timestamp.Before(f.First) {
 		f.First = pkt.Info.Timestamp
@@ -403,6 +418,10 @@ func (s *Session) MeanInterArrival() float64 {
 type Sessions struct {
 	m     map[SessionKey]*Session
 	order []*Session
+	// last memoizes the two most recent lookups: sessions are
+	// directional, so request/response traffic alternates between
+	// exactly two keys.
+	last [2]*Session
 }
 
 // NewSessions returns an empty session table.
@@ -413,11 +432,21 @@ func NewSessions() *Sessions {
 // Feed ingests one decoded packet.
 func (ss *Sessions) Feed(pkt pcap.Packet) *Session {
 	key := SessionKey{Src: pkt.IP.Src, Dst: pkt.IP.Dst}
-	s, ok := ss.m[key]
-	if !ok {
-		s = &Session{Key: key, First: pkt.Info.Timestamp}
-		ss.m[key] = s
-		ss.order = append(ss.order, s)
+	var s *Session
+	switch {
+	case ss.last[0] != nil && ss.last[0].Key == key:
+		s = ss.last[0]
+	case ss.last[1] != nil && ss.last[1].Key == key:
+		s = ss.last[1]
+	default:
+		var ok bool
+		s, ok = ss.m[key]
+		if !ok {
+			s = &Session{Key: key, First: pkt.Info.Timestamp}
+			ss.m[key] = s
+			ss.order = append(ss.order, s)
+		}
+		ss.last[0], ss.last[1] = s, ss.last[0]
 	}
 	if s.Packets > 0 {
 		s.interArrival = append(s.interArrival, pkt.Info.Timestamp.Sub(s.lastSeen).Seconds())
