@@ -192,6 +192,7 @@ func runBench(dir, baselineDir string, scale float64, seed int64) error {
 	if err := write("BENCH_stream.json", stream104); err != nil {
 		return err
 	}
+	printScaling(os.Stdout, stream104)
 	if err := write("BENCH_historian.json", hist104); err != nil {
 		return err
 	}

@@ -69,6 +69,35 @@ func deltaCell(old, new float64) string {
 	return cell
 }
 
+// scalingWarnBelow is the 4-shard/1-shard throughput ratio under
+// which printScaling flags the run: sharding that fails to at least
+// break even means the fan-out overhead (routing, queue handoff,
+// merge) ate the parallelism — exactly what the flight recorder's
+// stage spans and backpressure attribution exist to localise.
+const scalingWarnBelow = 1.0
+
+// printScaling reports how engine throughput scales from 1 to 4
+// shards using the MB/s columns of the BENCH_stream.json rows, and
+// warns when the ratio is below scalingWarnBelow. Missing rows (or
+// rows without throughput) print nothing.
+func printScaling(w io.Writer, rows []BenchResult) {
+	byName := make(map[string]BenchResult, len(rows))
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	one, four := byName["engine_1shard"], byName["engine_4shard"]
+	if one.MBPerSec == 0 || four.MBPerSec == 0 {
+		return
+	}
+	ratio := four.MBPerSec / one.MBPerSec
+	fmt.Fprintf(w, "\nshard scaling: engine_4shard %.2f MB/s / engine_1shard %.2f MB/s = %.2fx\n",
+		four.MBPerSec, one.MBPerSec, ratio)
+	if ratio < scalingWarnBelow {
+		fmt.Fprintf(w, "WARNING: 4 shards are not faster than 1 (%.2fx < %.2fx); profile the pipeline with -trace / /statusz to attribute the stall\n",
+			ratio, scalingWarnBelow)
+	}
+}
+
 // fmtNum keeps big counts readable without scientific notation.
 func fmtNum(v float64) string {
 	switch {

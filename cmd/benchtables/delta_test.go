@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrintScalingWarns: a sublinear 4-shard ratio prints the ratio
+// and the warning pointing at the flight recorder.
+func TestPrintScalingWarns(t *testing.T) {
+	rows := []BenchResult{
+		{Name: "engine_1shard", MBPerSec: 67.85},
+		{Name: "engine_2shard", MBPerSec: 63.97},
+		{Name: "engine_4shard", MBPerSec: 64.74},
+	}
+	var b strings.Builder
+	printScaling(&b, rows)
+	out := b.String()
+	if !strings.Contains(out, "= 0.95x") {
+		t.Errorf("scaling report missing ratio:\n%s", out)
+	}
+	if !strings.Contains(out, "WARNING") || !strings.Contains(out, "-trace") {
+		t.Errorf("sublinear scaling did not warn:\n%s", out)
+	}
+}
+
+// TestPrintScalingQuietWhenScaling: a healthy ratio reports without
+// warning, and missing rows print nothing at all.
+func TestPrintScalingQuietWhenScaling(t *testing.T) {
+	var b strings.Builder
+	printScaling(&b, []BenchResult{
+		{Name: "engine_1shard", MBPerSec: 50},
+		{Name: "engine_4shard", MBPerSec: 150},
+	})
+	out := b.String()
+	if !strings.Contains(out, "= 3.00x") {
+		t.Errorf("scaling report missing ratio:\n%s", out)
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("healthy scaling warned:\n%s", out)
+	}
+
+	b.Reset()
+	printScaling(&b, []BenchResult{{Name: "engine_1shard", MBPerSec: 50}})
+	if b.Len() != 0 {
+		t.Errorf("missing 4-shard row still printed: %q", b.String())
+	}
+}

@@ -17,11 +17,19 @@
 //	iec104live -pcap same.pcap >live.json
 //	profiler same.pcap
 //
+// With -trace the flight recorder samples stage spans across the
+// whole pipeline and writes a Chrome trace_event JSON file on drain
+// (or on SIGUSR1 mid-run) that loads in chrome://tracing and
+// Perfetto; -metrics additionally serves /statusz (live pipeline
+// topology), /readyz and the pprof endpoints — poll them with
+// cmd/unchartedtop for a top-style view.
+//
 // Usage:
 //
 //	iec104live                       # 2 simulated minutes, as fast as possible
 //	iec104live -speed 60 -metrics :9104
 //	iec104live -attack recon -workers 4
+//	iec104live -workers 4 -trace out.json   # then open out.json in Perfetto
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"uncharted/internal/historian"
 	"uncharted/internal/ids"
 	"uncharted/internal/obs"
+	"uncharted/internal/obs/trace"
 	"uncharted/internal/scadasim"
 	"uncharted/internal/stream"
 	"uncharted/internal/topology"
@@ -65,6 +74,8 @@ func run() int {
 	journalPath := flag.String("journal", "", "append structured pipeline events to this JSONL file")
 	historianDir := flag.String("historian", "", "record every extracted measurement into the durable historian at this directory (adds /query next to /metrics)")
 	pointCap := flag.Int("point-cap", 0, "cap in-memory samples per series; pair with -historian for bounded-memory long feeds (0 = unbounded)")
+	tracePath := flag.String("trace", "", "record sampled stage spans and write a Chrome trace_event JSON file here on drain (open in chrome://tracing or Perfetto; SIGUSR1 dumps mid-run)")
+	traceSample := flag.Int("trace-sample", 64, "with -trace, record 1 in N span starts per lane")
 	flag.Parse()
 
 	y := topology.Y1
@@ -165,6 +176,13 @@ func run() int {
 	}
 
 	reg := obs.NewRegistry()
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.New(trace.Config{SampleEvery: *traceSample, Registry: reg})
+		stopDump := rec.DumpOnSIGUSR1(*tracePath, log.Printf)
+		defer stopDump()
+		log.Printf("flight recorder armed: sampling 1 in %d spans, SIGUSR1 dumps %s", *traceSample, *tracePath)
+	}
 	var hist *historian.Store
 	if *historianDir != "" {
 		var err error
@@ -186,10 +204,15 @@ func run() int {
 		Observer:        observer,
 		Historian:       hist,
 		MaxPointSamples: *pointCap,
+		Trace:           rec,
 	})
 
 	if *metricsAddr != "" {
-		extra := map[string]http.Handler{"/profile": e.ProfileHandler()}
+		extra := map[string]http.Handler{
+			"/profile": e.ProfileHandler(),
+			"/statusz": e.StatuszHandler(),
+			"/readyz":  obs.ReadyHandler(e.Ready),
+		}
 		if hist != nil {
 			extra["/query"] = historian.QueryHandler(hist)
 		}
@@ -199,7 +222,7 @@ func run() int {
 			return 1
 		}
 		defer shutdown()
-		log.Printf("serving metrics and rolling profile on http://%s/", addr)
+		log.Printf("serving metrics, rolling profile and /statusz on http://%s/", addr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -221,6 +244,14 @@ func run() int {
 	}
 	if *attack != "" {
 		log.Printf("online alerts raised: %d", alerts)
+	}
+	if rec != nil {
+		if err := rec.WriteChromeTraceFile(*tracePath); err != nil {
+			log.Printf("warning: trace export failed: %v", err)
+			exit = 1
+		} else {
+			log.Printf("wrote Chrome trace to %s (open in chrome://tracing or Perfetto)", *tracePath)
+		}
 	}
 	if hist != nil {
 		// The drained engine already synced the tail; Close leaves the

@@ -28,7 +28,9 @@ import (
 )
 
 // serveMetrics starts the observability endpoint when addr is set and
-// returns its shutdown function (a no-op for an empty addr).
+// returns its shutdown function (a no-op for an empty addr). The
+// handler also exposes /healthz and the net/http/pprof endpoints, so a
+// long-lived station can be probed and profiled in place.
 func serveMetrics(addr string) func() error {
 	if addr == "" {
 		return func() error { return nil }

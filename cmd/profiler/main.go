@@ -8,7 +8,10 @@
 // With -follow the capture is tailed like `tail -f` through the
 // streaming engine: -workers shards analyze concurrently, a rolling
 // profile is published at -metrics under /profile, and Ctrl-C drains
-// the pipeline and prints the final reports.
+// the pipeline and prints the final reports. In streaming mode -trace
+// arms the flight recorder: sampled stage spans exported as a Chrome
+// trace_event JSON file on drain (or SIGUSR1), with /statusz and
+// /readyz served next to /metrics.
 //
 // Usage:
 //
@@ -16,6 +19,7 @@
 //	profiler -report flows,markov capture.pcap
 //	profiler -report stats -journal events.jsonl capture.pcap
 //	profiler -follow -workers 4 -metrics :9104 growing.pcap
+//	profiler -workers 4 -trace out.json capture.pcap
 package main
 
 import (
@@ -39,6 +43,7 @@ import (
 	"uncharted/internal/historian"
 	"uncharted/internal/ids"
 	"uncharted/internal/obs"
+	"uncharted/internal/obs/trace"
 	"uncharted/internal/physical"
 	"uncharted/internal/stream"
 	"uncharted/internal/topology"
@@ -80,6 +85,8 @@ func run() int {
 	loadBaseline := flag.String("load-baseline", "", "load a persisted IDS whitelist: offline mode scans the capture, streaming mode arms per-shard monitors")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file at exit")
+	tracePath := flag.String("trace", "", "streaming mode: record sampled stage spans and write a Chrome trace_event JSON file here on drain (SIGUSR1 dumps mid-run)")
+	traceSample := flag.Int("trace-sample", 64, "with -trace, record 1 in N span starts per lane")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Print("usage: profiler [-report list] [-journal events.jsonl] [-follow] [-workers N] [-metrics addr] capture.pcap")
@@ -120,6 +127,8 @@ func run() int {
 			return 2
 		}
 		return runStreaming(streamOpts{
+			tracePath:     *tracePath,
+			traceSample:   *traceSample,
 			path:          flag.Arg(0),
 			follow:        *follow,
 			workers:       *workers,
@@ -136,6 +145,10 @@ func run() int {
 			baselinePath:  *baselinePath,
 			loadBaseline:  *loadBaseline,
 		})
+	}
+
+	if *tracePath != "" {
+		log.Print("note: -trace records the streaming pipeline; ignored in offline single-analyzer mode (use -follow or -workers > 1)")
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -497,6 +510,8 @@ type streamOpts struct {
 	profileLabel  string
 	baselinePath  string
 	loadBaseline  string
+	tracePath     string
+	traceSample   int
 }
 
 // runStreaming analyzes the capture through the sharded engine: with
@@ -509,6 +524,14 @@ func runStreaming(o streamOpts) int {
 		nameMap = core.NamesFromTopology(topology.Build())
 	}
 	reg := obs.NewRegistry()
+
+	var rec *trace.Recorder
+	if o.tracePath != "" {
+		rec = trace.New(trace.Config{SampleEvery: o.traceSample, Registry: reg})
+		stopDump := rec.DumpOnSIGUSR1(o.tracePath, log.Printf)
+		defer stopDump()
+		log.Printf("flight recorder armed: sampling 1 in %d spans, SIGUSR1 dumps %s", o.traceSample, o.tracePath)
+	}
 
 	var hist *historian.Store
 	if o.historianDir != "" {
@@ -571,6 +594,7 @@ func runStreaming(o streamOpts) int {
 		MaxPointSamples: o.pointCap,
 		Baseline:        baseline,
 		Observer:        observer,
+		Trace:           rec,
 		DriftAlerts: func(al ids.Alert) {
 			log.Printf("DRIFT %v", al)
 		},
@@ -601,7 +625,11 @@ func runStreaming(o streamOpts) int {
 	defer src.Close()
 
 	if o.metricsAddr != "" {
-		extra := map[string]http.Handler{"/profile": e.ProfileHandler()}
+		extra := map[string]http.Handler{
+			"/profile": e.ProfileHandler(),
+			"/statusz": e.StatuszHandler(),
+			"/readyz":  obs.ReadyHandler(e.Ready),
+		}
 		if baseline != nil {
 			extra["/drift"] = e.DriftHandler()
 		}
@@ -614,7 +642,7 @@ func runStreaming(o streamOpts) int {
 			return 1
 		}
 		defer shutdown()
-		log.Printf("serving metrics and rolling profile on http://%s/", addr)
+		log.Printf("serving metrics, rolling profile and /statusz on http://%s/", addr)
 	}
 
 	ctx := context.Background()
@@ -636,6 +664,14 @@ func runStreaming(o streamOpts) int {
 		if err := hist.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "profiler: warning: historian close failed: %v\n", err)
 			exit = 1
+		}
+	}
+	if rec != nil {
+		if err := rec.WriteChromeTraceFile(o.tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "profiler: warning: trace export failed: %v\n", err)
+			exit = 1
+		} else {
+			log.Printf("wrote Chrome trace to %s (open in chrome://tracing or Perfetto)", o.tracePath)
 		}
 	}
 

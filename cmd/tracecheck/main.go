@@ -1,0 +1,94 @@
+// Command tracecheck validates a Chrome trace_event JSON file written
+// by the flight recorder (-trace on iec104live or profiler): it
+// counts complete ("X") span events per stage name, prints the tally,
+// and exits non-zero when a required stage recorded no spans. CI uses
+// it to prove the traced hot path really covered the whole pipeline.
+//
+// Usage:
+//
+//	tracecheck out.json
+//	tracecheck -require read,enqueue,feed,merge,publish out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+// traceDoc is the slice of the trace_event format the checker reads.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Dur  float64 `json:"dur"`
+	} `json:"traceEvents"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+
+	require := flag.String("require", "", "comma-separated stage names that must each have at least one span")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Print("usage: tracecheck [-require stages] trace.json")
+		return 2
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		log.Printf("%s: not a Chrome trace JSON document: %v", flag.Arg(0), err)
+		return 1
+	}
+
+	counts := map[string]int{}
+	total := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		counts[ev.Name]++
+		total++
+	}
+
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: %d span events across %d stages\n", flag.Arg(0), total, len(names))
+	for _, n := range names {
+		fmt.Printf("  %-12s %d\n", n, counts[n])
+	}
+
+	var missing []string
+	for _, want := range strings.Split(*require, ",") {
+		want = strings.TrimSpace(want)
+		if want != "" && counts[want] == 0 {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		log.Printf("missing required stages: %s", strings.Join(missing, ", "))
+		return 1
+	}
+	if total == 0 {
+		log.Print("trace contains no span events")
+		return 1
+	}
+	return 0
+}

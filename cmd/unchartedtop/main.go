@@ -1,0 +1,110 @@
+// Command unchartedtop is a top-style terminal dashboard for a running
+// uncharted pipeline (iec104live or profiler -follow). It polls the
+// process's observability endpoint — /statusz?format=json for the
+// engine topology and /debug/vars for metrics, journal counts and
+// memstats — and redraws per-shard queue occupancy, backpressure and
+// drop attribution, per-stage latency quantiles from the flight
+// recorder, and packet/drop rates computed between polls.
+//
+// Usage:
+//
+//	unchartedtop -addr localhost:9104
+//	unchartedtop -addr localhost:9104 -interval 500ms
+//	unchartedtop -addr localhost:9104 -once      # one plain snapshot and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	log.SetFlags(0)
+	log.SetPrefix("unchartedtop: ")
+
+	addr := flag.String("addr", "localhost:9104", "host:port (or full http:// URL) of the pipeline's -metrics endpoint")
+	interval := flag.Duration("interval", 2*time.Second, "poll and redraw period")
+	count := flag.Int("count", 0, "exit after this many polls (0 = run until interrupted)")
+	once := flag.Bool("once", false, "print a single plain snapshot and exit (same as -count 1 -plain)")
+	plain := flag.Bool("plain", false, "append frames instead of redrawing the terminal (no ANSI escapes)")
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	if *once {
+		*count = 1
+		*plain = true
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	var prev *sample
+	polls := 0
+	for {
+		cur, err := poll(client, base)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		var b strings.Builder
+		render(&b, prev, cur)
+		if !*plain {
+			// Home the cursor and clear below: a flicker-free redraw.
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		os.Stdout.WriteString(b.String())
+		prev = cur
+
+		polls++
+		if *count > 0 && polls >= *count {
+			return 0
+		}
+		select {
+		case <-sigs:
+			return 0
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// poll fetches and decodes both documents, stamping the sample with
+// the local receive time so render can turn deltas into rates.
+func poll(client *http.Client, base string) (*sample, error) {
+	s := &sample{At: time.Now(), Addr: strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")}
+	if err := getJSON(client, base+"/statusz?format=json", &s.Status); err != nil {
+		return nil, fmt.Errorf("statusz: %w (is the pipeline running with -metrics?)", err)
+	}
+	if err := getJSON(client, base+"/debug/vars", &s.Vars); err != nil {
+		return nil, fmt.Errorf("debug/vars: %w", err)
+	}
+	return s, nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

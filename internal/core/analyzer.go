@@ -16,6 +16,7 @@ import (
 
 	"uncharted/internal/iec104"
 	"uncharted/internal/obs"
+	"uncharted/internal/obs/trace"
 	"uncharted/internal/pcap"
 	"uncharted/internal/physical"
 	"uncharted/internal/tcpflow"
@@ -167,6 +168,10 @@ type Analyzer struct {
 	metrics *analyzerMetrics
 	journal *obs.Journal
 
+	// lane is the flight-recorder lane FeedPacket spans land on; nil
+	// (the default) costs one branch per packet.
+	lane *trace.Lane
+
 	// observer, when set, sees every accepted APDU as it is consumed —
 	// the hook online detectors (ids.Monitor) attach to.
 	observer FrameObserver
@@ -289,8 +294,15 @@ func (a *Analyzer) endpointKey(addr netip.Addr) string {
 	return k
 }
 
+// SetTraceLane attaches (or, with nil, detaches) a flight-recorder
+// lane: FeedPacket then records one sampled StageFeed span per packet.
+// The lane is single-producer, so it must belong to the goroutine that
+// calls FeedPacket — in the streaming engine, the owning shard's lane.
+func (a *Analyzer) SetTraceLane(l *trace.Lane) { a.lane = l }
+
 // FeedPacket ingests one decoded TCP packet.
 func (a *Analyzer) FeedPacket(pkt pcap.Packet) {
+	sp := a.lane.Start()
 	a.Packets++
 	iec := pkt.TCP.SrcPort == IEC104Port || pkt.TCP.DstPort == IEC104Port
 	if iec {
@@ -299,6 +311,7 @@ func (a *Analyzer) FeedPacket(pkt pcap.Packet) {
 	a.metrics.notePacket(iec)
 	a.tracker.Feed(pkt)
 	a.sessions.Feed(pkt)
+	a.lane.End(sp, trace.StageFeed, 1, -1)
 }
 
 // OnPayload implements tcpflow.Consumer: it receives reassembled

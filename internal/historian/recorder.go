@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"uncharted/internal/core"
+	"uncharted/internal/obs/trace"
 	"uncharted/internal/physical"
 )
 
@@ -17,6 +18,9 @@ import (
 // exactly.
 type Recorder struct {
 	store *Store
+	// lane is the optional flight-recorder lane StageHistorian spans
+	// land on; nil costs one branch per frame.
+	lane *trace.Lane
 	// err keeps the first append failure so a disk problem is not
 	// silently swallowed on the hot path.
 	err error
@@ -25,22 +29,31 @@ type Recorder struct {
 // NewRecorder returns a FrameObserver writing into store.
 func NewRecorder(store *Store) *Recorder { return &Recorder{store: store} }
 
+// SetTraceLane attaches a flight-recorder lane; ObserveFrame then
+// records one sampled StageHistorian span per value-bearing frame.
+// The lane must belong to the goroutine that feeds this recorder.
+func (r *Recorder) SetTraceLane(l *trace.Lane) { r.lane = l }
+
 // ObserveFrame implements core.FrameObserver.
 func (r *Recorder) ObserveFrame(ev core.FrameEvent) {
 	if ev.ASDU == nil || r.err != nil {
 		return
 	}
+	sp := r.lane.Start()
 	// Mirrors the analyzer's Feed call: the point belongs to the
 	// outstation; server-to-outstation I-frames are commands.
 	command := !ev.FromOutstation
 	key := PointKey{Station: ev.Outstation}
 	typ := byte(ev.ASDU.Type)
+	n := 0
 	physical.EachValue(ev.ASDU, ev.Time, func(ioa uint32, t time.Time, v float64) {
+		n++
 		key.IOA = ioa
 		if err := r.store.Append(key, typ, command, physical.Sample{T: t, V: v}); err != nil {
 			r.err = err
 		}
 	})
+	r.lane.End(sp, trace.StageHistorian, n, -1)
 }
 
 // Err returns the first write error encountered, if any.

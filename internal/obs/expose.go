@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"strconv"
@@ -69,9 +70,10 @@ func formatFloat(v float64) string {
 
 // varsPayload is the expvar-style JSON document served at /debug/vars.
 type varsPayload struct {
-	Metrics  Snapshot            `json:"metrics"`
-	Journal  map[EventType]int64 `json:"journal_events,omitempty"`
-	MemStats *runtime.MemStats   `json:"memstats,omitempty"`
+	Metrics        Snapshot            `json:"metrics"`
+	Journal        map[EventType]int64 `json:"journal_events,omitempty"`
+	JournalDropped int64               `json:"journal_dropped,omitempty"`
+	MemStats       *runtime.MemStats   `json:"memstats,omitempty"`
 }
 
 // WriteJSON renders an expvar-style JSON snapshot of the registry
@@ -83,17 +85,20 @@ func (r *Registry) WriteJSON(w io.Writer, journal *Journal) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(varsPayload{
-		Metrics:  r.Snapshot(),
-		Journal:  journal.Counts(),
-		MemStats: &ms,
+		Metrics:        r.Snapshot(),
+		Journal:        journal.Counts(),
+		JournalDropped: journal.Dropped(),
+		MemStats:       &ms,
 	})
 }
 
 // Handler serves the registry over HTTP:
 //
-//	/metrics     Prometheus text exposition
-//	/debug/vars  expvar-style JSON (metrics + memstats)
-//	/            a plain-text index
+//	/metrics       Prometheus text exposition
+//	/debug/vars    expvar-style JSON (metrics + memstats)
+//	/debug/pprof/  the runtime profiler endpoints
+//	/healthz       liveness: 200 as long as the process serves
+//	/              a plain-text index
 //
 // journal may be nil; when set, its per-type event counts are included
 // in the JSON document.
@@ -114,7 +119,20 @@ func HandlerWith(r *Registry, journal *Journal, extra map[string]http.Handler) h
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		r.WriteJSON(w, journal)
 	})
-	index := "uncharted observability endpoint\n\n/metrics     Prometheus text format\n/debug/vars  expvar-style JSON\n"
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		io.WriteString(w, `{"status":"ok"}`+"\n")
+	})
+	index := "uncharted observability endpoint\n\n" +
+		"/metrics       Prometheus text format\n" +
+		"/debug/vars    expvar-style JSON\n" +
+		"/debug/pprof/  runtime profiler\n" +
+		"/healthz       liveness\n"
 	paths := make([]string, 0, len(extra))
 	for p := range extra {
 		paths = append(paths, p)
@@ -133,6 +151,23 @@ func HandlerWith(r *Registry, journal *Journal, extra map[string]http.Handler) h
 		io.WriteString(w, index)
 	})
 	return mux
+}
+
+// ReadyHandler builds a /readyz-style readiness endpoint from a check
+// function: 200 with {"ready":true} when check says so, 503 with the
+// reason otherwise (e.g. "draining", "engine not started").
+func ReadyHandler(check func() (bool, string)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		ready, reason := check()
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(struct {
+			Ready  bool   `json:"ready"`
+			Reason string `json:"reason,omitempty"`
+		}{ready, reason})
+	})
 }
 
 // ServeWith is Serve with extra routes, mirroring HandlerWith.

@@ -42,6 +42,9 @@ const (
 	// baseline profile (one summary event per snapshot comparison,
 	// plus one per newly seen finding).
 	EventDrift EventType = "drift"
+	// EventSpan: a sampled flight-recorder span (stage, lane, timing)
+	// drained from the trace rings at snapshot time.
+	EventSpan EventType = "span"
 )
 
 // Event is one journal entry.
@@ -59,26 +62,74 @@ type Event struct {
 	Attrs map[string]any `json:"attrs,omitempty"`
 }
 
-// Journal is an append-only JSONL event log. A nil *Journal is a
-// valid no-op sink, so instrumented code can log unconditionally.
+// journalQueueMax bounds the pending-line queue. When the writer
+// cannot keep up (slow disk, blocked pipe), further events are counted
+// and dropped rather than stalling the pipeline.
+const journalQueueMax = 1024
+
+// Journal is an append-only JSONL event log. Events are encoded on
+// the calling goroutine (order and key determinism are preserved) but
+// written by a background goroutine behind a bounded queue, so a slow
+// or blocked writer never stalls the hot path: once the queue is full,
+// events are dropped and counted (Dropped). A nil *Journal is a valid
+// no-op sink, so instrumented code can log unconditionally.
 type Journal struct {
-	mu     sync.Mutex
-	w      io.Writer
-	enc    *json.Encoder
-	counts map[EventType]int64
+	mu   sync.Mutex
+	cond *sync.Cond
+	w    io.Writer
+
+	queue    [][]byte
+	inflight bool
+	counts   map[EventType]int64
+	dropped  int64
 	// writeErr remembers the first write failure; later events are
 	// counted but dropped.
 	writeErr error
 }
 
 // NewJournal writes events to w as one JSON object per line. Callers
-// own w's lifecycle (and any buffering/flushing).
+// own w's lifecycle (and any buffering/flushing); call Flush (or Err,
+// which flushes) before tearing w down.
 func NewJournal(w io.Writer) *Journal {
-	return &Journal{w: w, enc: json.NewEncoder(w), counts: make(map[EventType]int64)}
+	j := &Journal{w: w, counts: make(map[EventType]int64)}
+	j.cond = sync.NewCond(&j.mu)
+	go j.writer()
+	return j
+}
+
+// writer drains the queue for the journal's lifetime. It holds no
+// lock while writing, so Log never waits on w.
+func (j *Journal) writer() {
+	j.mu.Lock()
+	for {
+		for len(j.queue) == 0 {
+			j.cond.Wait()
+		}
+		lines := j.queue
+		j.queue = nil
+		j.inflight = true
+		err := j.writeErr
+		j.mu.Unlock()
+		if err == nil {
+			for _, line := range lines {
+				if _, werr := j.w.Write(line); werr != nil {
+					err = werr
+					break
+				}
+			}
+		}
+		j.mu.Lock()
+		if err != nil && j.writeErr == nil {
+			j.writeErr = err
+		}
+		j.inflight = false
+		j.cond.Broadcast()
+	}
 }
 
 // Log appends one event. Safe on a nil journal. A zero ts is replaced
-// with the current wall time.
+// with the current wall time. Log never blocks on the underlying
+// writer: if the queue is full the event is dropped and counted.
 func (j *Journal) Log(ts time.Time, typ EventType, conn string, attrs map[string]any) {
 	if j == nil {
 		return
@@ -86,18 +137,38 @@ func (j *Journal) Log(ts time.Time, typ EventType, conn string, attrs map[string
 	if ts.IsZero() {
 		ts = time.Now()
 	}
-	e := Event{Time: ts.UTC(), Type: typ, Conn: conn, Attrs: attrs}
+	line, encErr := json.Marshal(Event{Time: ts.UTC(), Type: typ, Conn: conn, Attrs: attrs})
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.counts[typ]++
-	if j.writeErr != nil {
+	if encErr != nil || j.writeErr != nil {
 		return
 	}
-	j.writeErr = j.enc.Encode(e)
+	if len(j.queue) >= journalQueueMax {
+		j.dropped++
+		return
+	}
+	j.queue = append(j.queue, append(line, '\n'))
+	j.cond.Broadcast()
+}
+
+// Flush blocks until every queued event has been handed to the
+// underlying writer (or the writer failed). Nil-safe. Flush does not
+// return while the writer is wedged inside a blocking Write; it is a
+// shutdown/teardown aid, not a hot-path call.
+func (j *Journal) Flush() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	for (len(j.queue) > 0 || j.inflight) && j.writeErr == nil {
+		j.cond.Wait()
+	}
+	j.mu.Unlock()
 }
 
 // Counts returns how many events of each type were logged (including
-// any dropped by a write error). Nil-safe.
+// any dropped by a write error or a full queue). Nil-safe.
 func (j *Journal) Counts() map[EventType]int64 {
 	if j == nil {
 		return nil
@@ -111,11 +182,25 @@ func (j *Journal) Counts() map[EventType]int64 {
 	return out
 }
 
-// Err returns the first write error, if any. Nil-safe.
+// Dropped returns how many events were shed because the writer fell
+// behind (queue full). Events lost to a write error are not included
+// here — those surface through Err. Nil-safe.
+func (j *Journal) Dropped() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Err flushes the queue and returns the first write error, if any.
+// Nil-safe.
 func (j *Journal) Err() error {
 	if j == nil {
 		return nil
 	}
+	j.Flush()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.writeErr

@@ -17,6 +17,7 @@ func TestJournalSchema(t *testing.T) {
 	ts := time.Date(2026, 7, 5, 9, 0, 0, 0, time.FixedZone("x", 3600))
 	j.Log(ts, EventResync, "10.0.0.1:1>10.0.1.2:2404", map[string]any{"skipped_bytes": 3})
 	j.Log(time.Time{}, EventFailover, "10.0.1.2:2404", nil)
+	j.Flush()
 
 	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
 	if len(lines) != 2 {
@@ -53,8 +54,9 @@ func TestJournalSchema(t *testing.T) {
 func TestJournalNil(t *testing.T) {
 	var j *Journal
 	j.Log(time.Now(), EventParseError, "x", nil)
-	if j.Counts() != nil || j.Err() != nil {
-		t.Error("nil journal should return nil counts and error")
+	j.Flush()
+	if j.Counts() != nil || j.Err() != nil || j.Dropped() != 0 {
+		t.Error("nil journal should return nil counts, nil error, zero drops")
 	}
 }
 
@@ -107,6 +109,7 @@ func TestJournalConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+	j.Flush()
 	mu.Lock()
 	defer mu.Unlock()
 	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
@@ -123,3 +126,44 @@ func TestJournalConcurrent(t *testing.T) {
 type writerFunc func([]byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestJournalSlowWriterDrops: a writer wedged inside Write must not
+// stall Log — the queue fills, further events drop and are counted.
+func TestJournalSlowWriterDrops(t *testing.T) {
+	release := make(chan struct{})
+	var wrote sync.WaitGroup
+	wrote.Add(1)
+	var once sync.Once
+	blocked := writerFunc(func(p []byte) (int, error) {
+		once.Do(wrote.Done)
+		<-release // wedge until the test lets go
+		return len(p), nil
+	})
+	j := NewJournal(blocked)
+
+	// Wedge the writer on the first line, then overrun the queue.
+	j.Log(time.Now(), EventResync, "", nil)
+	wrote.Wait()
+	const extra = 200
+	start := time.Now()
+	for i := 0; i < journalQueueMax+extra; i++ {
+		j.Log(time.Now(), EventSeqAnomaly, "c", map[string]any{"i": i})
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Log stalled behind a blocked writer: %v for %d events", elapsed, journalQueueMax+extra)
+	}
+
+	if d := j.Dropped(); d < extra {
+		t.Errorf("dropped = %d, want >= %d (queue bound %d)", d, extra, journalQueueMax)
+	}
+	counts := j.Counts()
+	if counts[EventSeqAnomaly] != journalQueueMax+extra {
+		t.Errorf("counts = %v: dropped events must still be counted", counts)
+	}
+
+	close(release) // unwedge; the queued tail drains
+	j.Flush()
+	if j.Err() != nil {
+		t.Fatalf("unexpected write error: %v", j.Err())
+	}
+}

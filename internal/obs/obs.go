@@ -328,6 +328,39 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the bucket that holds it, the standard
+// fixed-bucket estimate. Observations beyond the last finite bound
+// are reported as that bound. Returns 0 for an empty histogram.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	target := q * float64(h.Count)
+	cum := 0.0
+	lower := 0.0
+	for i, bound := range h.Bounds {
+		next := cum + float64(h.Counts[i])
+		if next >= target && h.Counts[i] > 0 {
+			frac := (target - cum) / float64(h.Counts[i])
+			return lower + frac*(bound-lower)
+		}
+		cum = next
+		lower = bound
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Label returns the value of the named label, or "".
+func (h HistogramSnapshot) Label(key string) string {
+	for i := 0; i+1 < len(h.Labels); i += 2 {
+		if h.Labels[i] == key {
+			return h.Labels[i+1]
+		}
+	}
+	return ""
+}
+
 // StageSnapshot is one stage's aggregate timing.
 type StageSnapshot struct {
 	Name  string        `json:"name"`

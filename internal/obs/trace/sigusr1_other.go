@@ -1,0 +1,9 @@
+//go:build !unix
+
+package trace
+
+// DumpOnSIGUSR1 is a no-op on platforms without SIGUSR1; the
+// drain-time export still works everywhere.
+func (r *Recorder) DumpOnSIGUSR1(path string, logf func(format string, args ...any)) (stop func()) {
+	return func() {}
+}

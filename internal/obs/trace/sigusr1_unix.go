@@ -1,0 +1,43 @@
+//go:build unix
+
+package trace
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// DumpOnSIGUSR1 arranges for the recorder to write a Chrome trace to
+// path each time the process receives SIGUSR1 — the mid-run escape
+// hatch when a long capture cannot wait for the drain-time export.
+// logf (optional) receives one line per dump or failure. The returned
+// stop function unregisters the handler.
+func (r *Recorder) DumpOnSIGUSR1(path string, logf func(format string, args ...any)) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				if err := r.WriteChromeTraceFile(path); err != nil {
+					if logf != nil {
+						logf("trace dump: %v", err)
+					}
+				} else if logf != nil {
+					logf("trace dumped to %s", path)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

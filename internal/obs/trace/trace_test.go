@@ -1,0 +1,331 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"uncharted/internal/obs"
+)
+
+// TestSpanRecording: sampled spans land in the ring with their stage,
+// items and queue depth, and feed the per-stage histograms.
+func TestSpanRecording(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := New(Config{SampleEvery: 1, RingSize: 64, Registry: reg})
+	lane := r.Lane("0")
+
+	for i := 0; i < 5; i++ {
+		sp := lane.Start()
+		if !sp.Sampled() {
+			t.Fatalf("span %d not sampled at rate 1", i)
+		}
+		lane.End(sp, StageFeed, 7, 3)
+	}
+	sp := lane.Start()
+	lane.End(sp, StageDecode, 64, -1)
+
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Lane != "0" {
+		t.Fatalf("snapshot lanes = %+v", snap)
+	}
+	spans := snap[0].Spans
+	if len(spans) != 6 {
+		t.Fatalf("got %d spans, want 6", len(spans))
+	}
+	for _, s := range spans[:5] {
+		if s.Stage != StageFeed || s.Items != 7 || s.Queue != 3 {
+			t.Errorf("span %+v, want feed/7/3", s)
+		}
+		if s.Start <= 0 || s.Dur < 0 {
+			t.Errorf("span timing %+v", s)
+		}
+	}
+	if last := spans[5]; last.Stage != StageDecode || last.Items != 64 || last.Queue != -1 {
+		t.Errorf("last span %+v, want decode/64/-1", last)
+	}
+
+	h := reg.Histogram(StageSecondsMetric, obs.DurationBuckets, "stage", "feed", "shard", "0")
+	if h.Count() != 5 {
+		t.Errorf("feed histogram count %d, want 5", h.Count())
+	}
+}
+
+// TestSampling: 1-in-N sampling records N-th starts only.
+func TestSampling(t *testing.T) {
+	r := New(Config{SampleEvery: 4, RingSize: 256})
+	lane := r.Lane("reader")
+	for i := 0; i < 100; i++ {
+		sp := lane.Start()
+		lane.End(sp, StageRead, 1, -1)
+	}
+	spans, _ := lane.read(0)
+	if len(spans) != 25 {
+		t.Fatalf("got %d spans from 100 starts at 1-in-4, want 25", len(spans))
+	}
+}
+
+// TestLaneSampleOverride: the first start of every sampling window is
+// recorded (a cold lane's lone span survives any rate), and a per-lane
+// override beats the recorder default — but not a disabled recorder.
+func TestLaneSampleOverride(t *testing.T) {
+	r := New(Config{SampleEvery: 100, RingSize: 64})
+	hot := r.Lane("hot")
+	if sp := hot.Start(); !sp.Sampled() {
+		t.Error("first start of a window not sampled")
+	} else {
+		hot.End(sp, StageRead, 1, -1)
+	}
+	if sp := hot.Start(); sp.Sampled() {
+		t.Error("second of 100 sampled")
+	}
+
+	cold := r.Lane("cold")
+	cold.SetSampleEvery(1)
+	for i := 0; i < 10; i++ {
+		sp := cold.Start()
+		if !sp.Sampled() {
+			t.Fatalf("overridden lane start %d not sampled", i)
+		}
+		cold.End(sp, StageMerge, 1, -1)
+	}
+	if spans, _ := cold.read(0); len(spans) != 10 {
+		t.Fatalf("override lane recorded %d spans, want 10", len(spans))
+	}
+
+	// Recorder rate 0 still disables overridden lanes.
+	r.SetSampleEvery(0)
+	if sp := cold.Start(); sp.Sampled() {
+		t.Error("disabled recorder sampled an overridden lane")
+	}
+}
+
+// TestDisabledSingleLoad: at rate 0 nothing records, and flipping the
+// rate at runtime takes effect.
+func TestDisabledSingleLoad(t *testing.T) {
+	r := New(Config{SampleEvery: 0})
+	lane := r.Lane("x")
+	for i := 0; i < 50; i++ {
+		sp := lane.Start()
+		if sp.Sampled() {
+			t.Fatal("sampled with rate 0")
+		}
+		lane.End(sp, StageFeed, 1, -1)
+	}
+	if spans, _ := lane.read(0); len(spans) != 0 {
+		t.Fatalf("rate 0 recorded %d spans", len(spans))
+	}
+	r.SetSampleEvery(1)
+	sp := lane.Start()
+	lane.End(sp, StageFeed, 1, -1)
+	if spans, _ := lane.read(0); len(spans) != 1 {
+		t.Fatalf("after enable got %d spans, want 1", len(spans))
+	}
+}
+
+// TestTracedPathZeroAllocs guards the acceptance criterion: the traced
+// hot path allocates nothing, whether sampling is off or recording
+// every span.
+func TestTracedPathZeroAllocs(t *testing.T) {
+	reg := obs.NewRegistry()
+	for _, tc := range []struct {
+		name  string
+		every int
+	}{{"disabled", 0}, {"every", 1}} {
+		r := New(Config{SampleEvery: tc.every, RingSize: 1024, Registry: reg})
+		lane := r.Lane("0")
+		allocs := testing.AllocsPerRun(1000, func() {
+			sp := lane.Start()
+			lane.End(sp, StageFeed, 1, 2)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs/op on the traced path, want 0", tc.name, allocs)
+		}
+	}
+	// A nil lane (tracing not configured at all) must also stay free.
+	var nl *Lane
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := nl.Start()
+		nl.End(sp, StageFeed, 1, -1)
+	})
+	if allocs != 0 {
+		t.Errorf("nil lane: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestRingWraps: the ring keeps the newest spans once full.
+func TestRingWraps(t *testing.T) {
+	r := New(Config{SampleEvery: 1, RingSize: 8})
+	lane := r.Lane("0")
+	for i := 0; i < 20; i++ {
+		sp := lane.Start()
+		lane.End(sp, StageFeed, i, -1)
+	}
+	spans, _ := lane.read(0)
+	if len(spans) != 8 {
+		t.Fatalf("got %d spans, ring size 8", len(spans))
+	}
+	for i, s := range spans {
+		if want := int32(12 + i); s.Items != want {
+			t.Errorf("span %d items %d, want %d (newest retained)", i, s.Items, want)
+		}
+	}
+}
+
+// TestDrainNew consumes only spans recorded since the previous drain.
+func TestDrainNew(t *testing.T) {
+	r := New(Config{SampleEvery: 1, RingSize: 64})
+	lane := r.Lane("0")
+	record := func(n int) {
+		for i := 0; i < n; i++ {
+			sp := lane.Start()
+			lane.End(sp, StageRead, 1, -1)
+		}
+	}
+	count := func() int {
+		n := 0
+		r.DrainNew(func(string, Span) { n++ })
+		return n
+	}
+	record(3)
+	if got := count(); got != 3 {
+		t.Fatalf("first drain %d, want 3", got)
+	}
+	record(2)
+	if got := count(); got != 2 {
+		t.Fatalf("second drain %d, want 2", got)
+	}
+	if got := count(); got != 0 {
+		t.Fatalf("empty drain %d, want 0", got)
+	}
+}
+
+// TestChromeTraceExport: the export parses as a Chrome trace_event
+// document with a named thread per lane and one X event per span.
+func TestChromeTraceExport(t *testing.T) {
+	r := New(Config{SampleEvery: 1, RingSize: 64})
+	reader := r.Lane("reader")
+	shard := r.Lane("0")
+	sp := reader.Start()
+	time.Sleep(time.Millisecond)
+	reader.End(sp, StageRead, 1, -1)
+	sp = shard.Start()
+	shard.End(sp, StageFeed, 64, 5)
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var threads, spans int
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			threads++
+			names[ev.Args["name"].(string)] = true
+		case "X":
+			spans++
+			names[ev.Name] = true
+			if ev.TS < 0 || ev.Dur < 0 {
+				t.Errorf("negative timing in %+v", ev)
+			}
+		}
+	}
+	if threads != 2 || spans != 2 {
+		t.Fatalf("%d threads / %d spans, want 2/2", threads, spans)
+	}
+	for _, want := range []string{"reader", "0", "read", "feed"} {
+		if !names[want] {
+			t.Errorf("export missing %q", want)
+		}
+	}
+	// The queue depth rides along where it was observed.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "feed" {
+			if q, ok := ev.Args["queue_depth"].(float64); !ok || q != 5 {
+				t.Errorf("feed span args %+v, want queue_depth 5", ev.Args)
+			}
+		}
+	}
+}
+
+// TestNilSafety: the whole surface is a no-op on nil receivers.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	lane := r.Lane("anything")
+	if lane != nil {
+		t.Fatal("nil recorder handed out a lane")
+	}
+	sp := lane.Start()
+	lane.End(sp, StageFeed, 1, -1)
+	if lane.Name() != "" {
+		t.Fatal("nil lane has a name")
+	}
+	if snap := r.Snapshot(); snap != nil {
+		t.Fatalf("nil snapshot = %v", snap)
+	}
+	r.DrainNew(func(string, Span) { t.Fatal("drained from nil") })
+	r.SetSampleEvery(10)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("nil export is not JSON")
+	}
+	stop := r.DumpOnSIGUSR1("/nonexistent", nil)
+	stop()
+}
+
+// TestConcurrentSnapshot: readers racing a producer never see torn
+// spans (stage outside the vocabulary, negative durations) and the
+// race detector stays quiet.
+func TestConcurrentSnapshot(t *testing.T) {
+	r := New(Config{SampleEvery: 1, RingSize: 16})
+	lane := r.Lane("0")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sp := lane.Start()
+			lane.End(sp, Stage(i%int(numStages)), i, i%7)
+		}
+	}()
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, ls := range r.Snapshot() {
+			for _, s := range ls.Spans {
+				if s.Stage >= numStages {
+					t.Errorf("torn span stage %d", s.Stage)
+				}
+				if s.Dur < 0 || s.Start <= 0 {
+					t.Errorf("torn span timing %+v", s)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -12,12 +12,17 @@ const (
 	MetricPacketsRead = "uncharted_pcap_packets_read_total"
 	MetricBytesRead   = "uncharted_pcap_bytes_read_total"
 	MetricTruncated   = "uncharted_pcap_truncated_records_total"
+	MetricRecordBytes = "uncharted_pcap_record_bytes"
 )
 
 // readerMetrics holds the pre-resolved handles one reader updates.
 type readerMetrics struct {
 	packets *obs.Counter
 	bytes   *obs.Counter
+	// sizes is the capture-length distribution — the input-shape half
+	// of the flight recorder's per-stage timings (a latency shift with
+	// an unchanged size profile points at the pipeline, not the tap).
+	sizes *obs.Histogram
 	// truncated by cause: a record header cut short, a record body cut
 	// short, or a record longer than the declared snap length.
 	truncHeader  *obs.Counter
@@ -29,9 +34,11 @@ func newReaderMetrics(reg *obs.Registry) *readerMetrics {
 	reg.SetHelp(MetricPacketsRead, "Capture records decoded from the pcap/pcapng stream.")
 	reg.SetHelp(MetricBytesRead, "Captured packet bytes read (capture lengths, not wire lengths).")
 	reg.SetHelp(MetricTruncated, "Records the reader could not fully read, by cause.")
+	reg.SetHelp(MetricRecordBytes, "Capture-length distribution of decoded records.")
 	return &readerMetrics{
 		packets:      reg.Counter(MetricPacketsRead),
 		bytes:        reg.Counter(MetricBytesRead),
+		sizes:        reg.Histogram(MetricRecordBytes, obs.SizeBuckets),
 		truncHeader:  reg.Counter(MetricTruncated, "cause", "short_header"),
 		truncBody:    reg.Counter(MetricTruncated, "cause", "short_body"),
 		truncSnapLen: reg.Counter(MetricTruncated, "cause", "snaplen_exceeded"),
@@ -45,6 +52,7 @@ func (m *readerMetrics) noteRead(capLen int) {
 	}
 	m.packets.Inc()
 	m.bytes.Add(int64(capLen))
+	m.sizes.Observe(float64(capLen))
 }
 
 // noteShortHeader books a record header cut off mid-read. Nil-safe.

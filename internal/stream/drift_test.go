@@ -50,15 +50,19 @@ func TestEngineDriftDetection(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := obs.NewRegistry()
+	j := obs.NewJournal(&journal)
 	e := New(Config{
 		Workers:     3,
 		Names:       core.NamesFromTopology(simB.Network()),
 		Registry:    reg,
-		Journal:     obs.NewJournal(&journal),
+		Journal:     j,
 		Baseline:    baseline,
 		DriftAlerts: func(a ids.Alert) { alerts = append(alerts, a) },
 	})
 	if err := e.Run(context.Background(), src); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Err(); err != nil {
 		t.Fatal(err)
 	}
 

@@ -22,6 +22,7 @@ import (
 	"io"
 	"net/http"
 	"net/netip"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"uncharted/internal/historian"
 	"uncharted/internal/ids"
 	"uncharted/internal/obs"
+	"uncharted/internal/obs/trace"
 	"uncharted/internal/pcap"
 )
 
@@ -77,6 +79,12 @@ type Config struct {
 	// optional.
 	Registry *obs.Registry
 	Journal  *obs.Journal
+	// Trace, when set, attaches the flight recorder: the reader, each
+	// shard and the snapshot path get their own lanes, sampled spans
+	// feed uncharted_stage_seconds{stage,shard}, and every published
+	// snapshot drains new spans into the Journal as obs.EventSpan
+	// lines. Export the rings with Trace.WriteChromeTrace after Run.
+	Trace *trace.Recorder
 	// Observer, when set, attaches a core.FrameObserver to each shard
 	// (e.g. an ids.Monitor). Called once per shard at start; monitors
 	// are per-shard, so no locking is needed inside them, but a shared
@@ -123,6 +131,20 @@ func (c *Config) fill() {
 	}
 }
 
+// curIdle is the shard's published stage while it waits on its queue;
+// any other value is the int32 of the trace.Stage it is executing.
+// The reader loads it when a queue backs up to attribute the stall or
+// loss to the stage actually holding the shard.
+const curIdle int32 = -1
+
+// causeName renders a shard's published stage for attribution labels.
+func causeName(cur int32) string {
+	if cur < 0 {
+		return "idle"
+	}
+	return trace.Stage(cur).String()
+}
+
 // shard owns one analyzer. The engine communicates with it only
 // through its channels, so analyzer state needs no locks.
 type shard struct {
@@ -132,6 +154,15 @@ type shard struct {
 	in    chan batch
 	snap  chan chan core.Partial
 	done  chan struct{}
+
+	// lane is this shard's flight-recorder lane (nil when tracing is
+	// off); cur is the stage the worker is in right now, read by the
+	// reader for backpressure attribution.
+	lane *trace.Lane
+	cur  atomic.Int32
+	// scratch holds one batch's decoded packets between the decode and
+	// feed passes; reused across batches.
+	scratch []pcap.Packet
 }
 
 func (s *shard) run() {
@@ -152,24 +183,41 @@ func (s *shard) run() {
 // consume feeds one batch into the shard's analyzer and recycles the
 // batch. Raw batches are decoded here — on the shard worker, off the
 // reader goroutine — and records that fail link-layer decoding are
-// skipped, matching the offline ReadPCAP path exactly.
+// skipped, matching the offline ReadPCAP path exactly. Decode and
+// feed run as separate passes so each gets its own span and the
+// published stage tells the reader which one a backlog is stuck in.
 func (s *shard) consume(b batch) {
 	if rb := b.raw; rb != nil {
+		s.cur.Store(int32(trace.StageDecode))
+		sp := s.lane.Start()
+		pkts := s.scratch[:0]
 		for i := range rb.frames {
 			fr := &rb.frames[i]
 			pkt, err := pcap.DecodePacket(rb.link, fr.ci, rb.slab.Data[fr.off:fr.end])
 			if err != nil {
 				continue
 			}
-			s.an.FeedPacket(pkt)
+			pkts = append(pkts, pkt)
 		}
+		s.lane.End(sp, trace.StageDecode, len(rb.frames), -1)
+		s.cur.Store(int32(trace.StageFeed))
+		for i := range pkts {
+			s.an.FeedPacket(pkts[i])
+		}
+		// The packets reference slab bytes: drop them before the slab
+		// goes back to the pool.
+		clear(pkts)
+		s.scratch = pkts[:0]
 		s.pools.putRaw(rb)
+		s.cur.Store(curIdle)
 		return
 	}
+	s.cur.Store(int32(trace.StageFeed))
 	for i := range b.dec.pkts {
 		s.an.FeedPacket(b.dec.pkts[i])
 	}
 	s.pools.putDec(b.dec)
+	s.cur.Store(curIdle)
 }
 
 // Engine is the streaming pipeline. Create with New, drive with Run;
@@ -181,6 +229,11 @@ type Engine struct {
 	pools   batchPools
 	metrics *engineMetrics
 
+	trcReader *trace.Lane
+	trcSnap   *trace.Lane
+	state     atomic.Int32
+	started   atomic.Int64 // unix nanos at Run start; 0 before
+
 	profile  atomic.Pointer[Profile]
 	driftRep atomic.Pointer[drift.DriftReport]
 	seq      int
@@ -191,6 +244,14 @@ type Engine struct {
 	driftSeen map[string]bool
 }
 
+// Engine lifecycle states, published for readiness probes.
+const (
+	stateIdle int32 = iota
+	stateRunning
+	stateDraining
+	stateDone
+)
+
 // New builds an engine; Run starts it.
 func New(cfg Config) *Engine {
 	cfg.fill()
@@ -198,11 +259,18 @@ func New(cfg Config) *Engine {
 	if cfg.Baseline != nil {
 		e.driftSeen = make(map[string]bool)
 	}
+	e.trcReader = cfg.Trace.Lane("reader")
+	e.trcSnap = cfg.Trace.Lane("snapshot")
+	// Merges and publishes are rare and off the hot path; record every
+	// one of them regardless of the hot-path sampling rate.
+	e.trcSnap.SetSampleEvery(1)
 	for i := 0; i < cfg.Workers; i++ {
+		lane := cfg.Trace.Lane(strconv.Itoa(i))
 		an := core.NewAnalyzer(cfg.Names)
 		if cfg.Registry != nil || cfg.Journal != nil {
 			an.Instrument(cfg.Registry, cfg.Journal)
 		}
+		an.SetTraceLane(lane)
 		if cfg.IdleTimeout > 0 {
 			an.EnableFlowEviction(cfg.IdleTimeout)
 		}
@@ -214,19 +282,24 @@ func New(cfg Config) *Engine {
 			observer = cfg.Observer(i)
 		}
 		if cfg.Historian != nil {
-			observer = core.Observers(observer, historian.NewRecorder(cfg.Historian))
+			rec := historian.NewRecorder(cfg.Historian)
+			rec.SetTraceLane(lane)
+			observer = core.Observers(observer, rec)
 		}
 		if observer != nil {
 			an.SetFrameObserver(observer)
 		}
-		e.shards = append(e.shards, &shard{
+		sh := &shard{
 			id:    i,
 			an:    an,
 			pools: &e.pools,
 			in:    make(chan batch, cfg.QueueDepth),
 			snap:  make(chan chan core.Partial),
 			done:  make(chan struct{}),
-		})
+			lane:  lane,
+		}
+		sh.cur.Store(curIdle)
+		e.shards = append(e.shards, sh)
 	}
 	return e
 }
@@ -262,6 +335,8 @@ func (e *Engine) Run(ctx context.Context, src Source) error {
 	e.mu.Lock()
 	e.running = true
 	e.mu.Unlock()
+	e.started.Store(time.Now().UnixNano())
+	e.state.Store(stateRunning)
 
 	for _, sh := range e.shards {
 		go sh.run()
@@ -288,6 +363,7 @@ func (e *Engine) Run(ctx context.Context, src Source) error {
 
 	srcErr := e.readLoop(ctx, src)
 
+	e.state.Store(stateDraining)
 	close(stopSnap)
 	snapWG.Wait()
 
@@ -301,18 +377,36 @@ func (e *Engine) Run(ctx context.Context, src Source) error {
 	for _, sh := range e.shards {
 		<-sh.done
 	}
+	msp := e.trcSnap.Start()
 	parts := make([]core.Partial, len(e.shards))
 	for i, sh := range e.shards {
 		parts[i] = sh.an.Partial()
 	}
 	e.final = core.MergePartials(parts)
+	e.trcSnap.End(msp, trace.StageMerge, len(parts), -1)
 	e.seq++
 	e.publish(e.final, e.seq)
 	e.mu.Unlock()
 	// The drain is complete: every observed frame has passed through
 	// the shard observers, so the historian tail can be made durable.
 	e.syncHistorian(e.final.Last)
+	e.state.Store(stateDone)
 	return srcErr
+}
+
+// Ready reports whether the engine is serving fresh data — the reader
+// attached and the shards running — with a reason when it is not. The
+// obs.ReadyHandler adapter turns it into a /readyz endpoint.
+func (e *Engine) Ready() (bool, string) {
+	switch e.state.Load() {
+	case stateRunning:
+		return true, ""
+	case stateDraining:
+		return false, "draining"
+	case stateDone:
+		return false, "stopped"
+	}
+	return false, "engine not started"
 }
 
 // readLoop drives the reader stage: it pulls records from the source,
@@ -355,9 +449,11 @@ read:
 			break read
 		default:
 		}
+		sp := e.trcReader.Start()
 		pkt, err := src.Next()
 		switch {
 		case err == nil:
+			e.trcReader.End(sp, trace.StageRead, 1, -1)
 			i := e.shardFor(pkt)
 			pb := pending[i]
 			if pb == nil {
@@ -428,10 +524,13 @@ read:
 			break read
 		default:
 		}
+		sp := e.trcReader.Start()
 		data, ci, link, err := src.NextRaw(scratch)
 		switch {
 		case err == nil:
+			e.trcReader.End(sp, trace.StageRead, 1, -1)
 			scratch = data
+			rsp := e.trcReader.Start()
 			// Route by the cheap header peek; records the peek cannot
 			// classify go to shard 0, whose worker-side decode then skips
 			// them exactly like the offline path would.
@@ -449,6 +548,7 @@ read:
 			off := len(rb.slab.Data)
 			rb.slab.Data = append(rb.slab.Data, data...)
 			rb.frames = append(rb.frames, rawFrame{off: off, end: off + len(data), ci: ci})
+			e.trcReader.End(rsp, trace.StageRoute, 1, -1)
 			if len(rb.frames) >= e.cfg.BatchSize {
 				if !flush(i) {
 					srcErr = ctx.Err()
@@ -481,24 +581,50 @@ read:
 }
 
 // dispatch hands a batch to a shard under the configured policy. The
-// false return means the context died while blocked.
+// false return means the context died while blocked. Every outcome is
+// attributed: a clean enqueue records the queue depth it saw; a full
+// queue reads the shard's published stage so the stall (Block) or the
+// loss (DropNewest) is counted against the stage that caused it.
 func (e *Engine) dispatch(ctx context.Context, i int, b batch) bool {
 	n := b.size()
 	e.metrics.noteBatch(n)
+	sh := e.shards[i]
+	sp := e.trcReader.Start()
 	if e.cfg.Policy == DropNewest {
 		select {
-		case e.shards[i].in <- b:
+		case sh.in <- b:
+			depth := len(sh.in)
+			e.metrics.noteDepth(i, depth)
+			e.trcReader.End(sp, trace.StageEnqueue, n, depth)
 		default:
-			e.metrics.noteDropped(i, n)
+			cause := causeName(sh.cur.Load())
+			e.metrics.noteDropped(i, n, cause)
+			e.metrics.noteDepth(i, cap(sh.in))
 			e.cfg.Journal.Log(b.firstTime(), obs.EventDrop, "", map[string]any{
-				"shard": i, "packets": n,
+				"shard": i, "packets": n, "cause": cause,
 			})
 			e.pools.recycle(b)
+			e.trcReader.End(sp, trace.StageEnqueue, n, cap(sh.in))
 		}
 		return true
 	}
 	select {
-	case e.shards[i].in <- b:
+	case sh.in <- b:
+		depth := len(sh.in)
+		e.metrics.noteDepth(i, depth)
+		e.trcReader.End(sp, trace.StageEnqueue, n, depth)
+		return true
+	default:
+	}
+	// The queue is full: a real reader stall begins here.
+	cause := causeName(sh.cur.Load())
+	stallStart := time.Now()
+	select {
+	case sh.in <- b:
+		e.metrics.noteStall(i, cause, time.Since(stallStart))
+		depth := len(sh.in)
+		e.metrics.noteDepth(i, depth)
+		e.trcReader.End(sp, trace.StageEnqueue, n, depth)
 		return true
 	case <-ctx.Done():
 		return false
@@ -514,6 +640,7 @@ func (e *Engine) Snapshot() core.Partial {
 	if !e.running {
 		return e.final
 	}
+	msp := e.trcSnap.Start()
 	replies := make([]chan core.Partial, len(e.shards))
 	for i, sh := range e.shards {
 		replies[i] = make(chan core.Partial, 1)
@@ -524,6 +651,7 @@ func (e *Engine) Snapshot() core.Partial {
 		parts[i] = <-replies[i]
 	}
 	merged := core.MergePartials(parts)
+	e.trcSnap.End(msp, trace.StageMerge, len(parts), -1)
 	e.seq++
 	e.publish(merged, e.seq)
 	e.syncHistorian(merged.Last)
@@ -544,6 +672,7 @@ func (e *Engine) syncHistorian(at time.Time) {
 // publish derives and stores the rolling profile. Called with e.mu
 // held (or single-threaded at shutdown).
 func (e *Engine) publish(p core.Partial, seq int) {
+	psp := e.trcSnap.Start()
 	prof := BuildProfile(p, seq, e.cfg.ClusterK, e.cfg.ClusterSeed)
 	prof.Workers = e.cfg.Workers
 	prof.DroppedBatches, prof.DroppedPackets = e.metrics.dropped()
@@ -558,6 +687,22 @@ func (e *Engine) publish(p core.Partial, seq int) {
 		"parse_errors": p.ParseErrors,
 	})
 	e.noteDrift(p, seq)
+	e.trcSnap.End(psp, trace.StagePublish, 0, -1)
+	// Stream the spans recorded since the last snapshot into the
+	// journal. The journal's bounded queue sheds overload, so a burst
+	// of spans can never stall the snapshot path.
+	if e.cfg.Trace != nil && e.cfg.Journal != nil {
+		e.cfg.Trace.DrainNew(func(lane string, s trace.Span) {
+			e.cfg.Journal.Log(p.Last, obs.EventSpan, "", map[string]any{
+				"lane":     lane,
+				"stage":    s.Stage.String(),
+				"start_us": s.Start.Microseconds(),
+				"dur_us":   s.Dur.Microseconds(),
+				"items":    s.Items,
+				"queue":    s.Queue,
+			})
+		})
+	}
 }
 
 // Profile returns the latest published rolling profile, or nil before

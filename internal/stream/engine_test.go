@@ -333,14 +333,19 @@ func TestDropPolicyCountsSheddedBatches(t *testing.T) {
 	if !e.dispatch(ctx, 0, mkBatch()) || !e.dispatch(ctx, 0, mkBatch()) {
 		t.Fatal("dispatch returned false without cancellation")
 	}
-	if got := reg.Counter(MetricDroppedBatches).Value(); got != 1 {
+	if got := reg.Counter(MetricDroppedBatches, "shard", "0").Value(); got != 1 {
 		t.Fatalf("dropped batches %d, want 1", got)
 	}
-	if got := reg.Counter(MetricDroppedPackets).Value(); got != 3 {
+	if got := reg.Counter(MetricDroppedPackets, "shard", "0").Value(); got != 3 {
 		t.Fatalf("dropped packets %d, want 3", got)
 	}
 	if got := reg.Counter(MetricBatches).Value(); got != 2 {
 		t.Fatalf("batches %d, want 2", got)
+	}
+	// The shard goroutine never started, so the loss is attributed to
+	// an idle shard.
+	if got := reg.Counter(MetricDropCause, "shard", "0", "cause", "idle").Value(); got != 1 {
+		t.Fatalf("idle-attributed drops %d, want 1", got)
 	}
 }
 

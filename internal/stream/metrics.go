@@ -2,24 +2,45 @@ package stream
 
 import (
 	"strconv"
+	"time"
 
 	"uncharted/internal/drift"
 	"uncharted/internal/obs"
 )
 
-// Metric names exported by the engine.
+// Metric names exported by the engine. Drop, depth and backpressure
+// series carry a "shard" label so per-shard overload is visible
+// instead of one aggregate; attribution series add a "cause" label
+// naming the stage the blocked shard was in.
 const (
 	MetricPackets        = "uncharted_stream_packets_total"
 	MetricBatches        = "uncharted_stream_batches_total"
 	MetricDroppedBatches = "uncharted_stream_dropped_batches_total"
 	MetricDroppedPackets = "uncharted_stream_dropped_packets_total"
-	MetricShardDropped   = "uncharted_stream_shard_dropped_batches_total"
 	MetricSnapshots      = "uncharted_stream_snapshots_total"
 	MetricWorkers        = "uncharted_stream_workers"
+	MetricQueueDepth     = "uncharted_stream_queue_depth"
+	MetricStalls         = "uncharted_stream_backpressure_stalls_total"
+	MetricStallSeconds   = "uncharted_stream_stall_seconds"
+	MetricDropCause      = "uncharted_stream_backpressure_drops_total"
 	MetricDriftFindings  = "uncharted_stream_drift_findings"
 	MetricDriftSeverity  = "uncharted_stream_drift_max_severity"
 	MetricDriftCompares  = "uncharted_stream_drift_compares_total"
 )
+
+// stallCauses is the attribution vocabulary: the stage a shard can be
+// observed in when its queue backs up onto the reader.
+var stallCauses = []string{"idle", "decode", "feed"}
+
+// shardMetrics pre-resolves one shard's labeled series.
+type shardMetrics struct {
+	dropB    *obs.Counter
+	dropP    *obs.Counter
+	depth    *obs.Gauge
+	stallSec *obs.Histogram
+	stalls   map[string]*obs.Counter
+	dropBy   map[string]*obs.Counter
+}
 
 // engineMetrics books the engine's counters; a nil receiver (no
 // registry configured) is a no-op, mirroring the other packages.
@@ -27,9 +48,7 @@ type engineMetrics struct {
 	packets       *obs.Counter
 	batches       *obs.Counter
 	snapshots     *obs.Counter
-	dropB         *obs.Counter
-	dropP         *obs.Counter
-	perShardB     []*obs.Counter
+	shards        []shardMetrics
 	driftCompares *obs.Counter
 	driftFindings *obs.Gauge
 	driftSeverity *obs.Gauge
@@ -41,11 +60,14 @@ func newEngineMetrics(reg *obs.Registry, workers int) *engineMetrics {
 	}
 	reg.SetHelp(MetricPackets, "Packets dispatched to analysis shards.")
 	reg.SetHelp(MetricBatches, "Batches dispatched to analysis shards.")
-	reg.SetHelp(MetricDroppedBatches, "Batches shed under the drop policy.")
-	reg.SetHelp(MetricDroppedPackets, "Packets shed under the drop policy.")
-	reg.SetHelp(MetricShardDropped, "Batches shed per shard under the drop policy.")
+	reg.SetHelp(MetricDroppedBatches, "Batches shed under the drop policy, by shard.")
+	reg.SetHelp(MetricDroppedPackets, "Packets shed under the drop policy, by shard.")
 	reg.SetHelp(MetricSnapshots, "Rolling profiles published.")
 	reg.SetHelp(MetricWorkers, "Configured analysis shard count.")
+	reg.SetHelp(MetricQueueDepth, "Shard queue depth observed at the latest enqueue.")
+	reg.SetHelp(MetricStalls, "Reader stalls under the Block policy, by shard and the stage that caused them.")
+	reg.SetHelp(MetricStallSeconds, "Time the reader spent blocked on a full shard queue.")
+	reg.SetHelp(MetricDropCause, "DropNewest losses by shard and the stage that caused them.")
 	reg.SetHelp(MetricDriftFindings, "Findings in the latest baseline comparison.")
 	reg.SetHelp(MetricDriftSeverity, "Maximum severity in the latest baseline comparison.")
 	reg.SetHelp(MetricDriftCompares, "Baseline comparisons performed.")
@@ -53,14 +75,25 @@ func newEngineMetrics(reg *obs.Registry, workers int) *engineMetrics {
 		packets:       reg.Counter(MetricPackets),
 		batches:       reg.Counter(MetricBatches),
 		snapshots:     reg.Counter(MetricSnapshots),
-		dropB:         reg.Counter(MetricDroppedBatches),
-		dropP:         reg.Counter(MetricDroppedPackets),
 		driftCompares: reg.Counter(MetricDriftCompares),
 		driftFindings: reg.Gauge(MetricDriftFindings),
 		driftSeverity: reg.Gauge(MetricDriftSeverity),
 	}
 	for i := 0; i < workers; i++ {
-		m.perShardB = append(m.perShardB, reg.Counter(MetricShardDropped, "shard", strconv.Itoa(i)))
+		shard := strconv.Itoa(i)
+		sm := shardMetrics{
+			dropB:    reg.Counter(MetricDroppedBatches, "shard", shard),
+			dropP:    reg.Counter(MetricDroppedPackets, "shard", shard),
+			depth:    reg.Gauge(MetricQueueDepth, "shard", shard),
+			stallSec: reg.Histogram(MetricStallSeconds, obs.DurationBuckets, "shard", shard),
+			stalls:   make(map[string]*obs.Counter, len(stallCauses)),
+			dropBy:   make(map[string]*obs.Counter, len(stallCauses)),
+		}
+		for _, cause := range stallCauses {
+			sm.stalls[cause] = reg.Counter(MetricStalls, "shard", shard, "cause", cause)
+			sm.dropBy[cause] = reg.Counter(MetricDropCause, "shard", shard, "cause", cause)
+		}
+		m.shards = append(m.shards, sm)
 	}
 	reg.Gauge(MetricWorkers).Set(float64(workers))
 	return m
@@ -74,15 +107,34 @@ func (m *engineMetrics) noteBatch(packets int) {
 	m.packets.Add(int64(packets))
 }
 
-func (m *engineMetrics) noteDropped(shard, packets int) {
-	if m == nil {
+func (m *engineMetrics) noteDepth(shard, depth int) {
+	if m == nil || shard >= len(m.shards) {
 		return
 	}
-	m.dropB.Inc()
-	m.dropP.Add(int64(packets))
-	if shard < len(m.perShardB) {
-		m.perShardB[shard].Inc()
+	m.shards[shard].depth.Set(float64(depth))
+}
+
+func (m *engineMetrics) noteDropped(shard, packets int, cause string) {
+	if m == nil || shard >= len(m.shards) {
+		return
 	}
+	sm := &m.shards[shard]
+	sm.dropB.Inc()
+	sm.dropP.Add(int64(packets))
+	if c := sm.dropBy[cause]; c != nil {
+		c.Inc()
+	}
+}
+
+func (m *engineMetrics) noteStall(shard int, cause string, d time.Duration) {
+	if m == nil || shard >= len(m.shards) {
+		return
+	}
+	sm := &m.shards[shard]
+	if c := sm.stalls[cause]; c != nil {
+		c.Inc()
+	}
+	sm.stallSec.Observe(d.Seconds())
 }
 
 func (m *engineMetrics) noteDrift(rep *drift.DriftReport) {
@@ -101,10 +153,15 @@ func (m *engineMetrics) noteSnapshot() {
 	m.snapshots.Inc()
 }
 
-// dropped returns the total shed batch/packet counts for the profile.
+// dropped returns the total shed batch/packet counts for the profile,
+// summed across shards.
 func (m *engineMetrics) dropped() (batches, packets int64) {
 	if m == nil {
 		return 0, 0
 	}
-	return m.dropB.Value(), m.dropP.Value()
+	for i := range m.shards {
+		batches += m.shards[i].dropB.Value()
+		packets += m.shards[i].dropP.Value()
+	}
+	return batches, packets
 }

@@ -1,0 +1,240 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"uncharted/internal/obs/trace"
+)
+
+// StageStatus is one (stage, lane) row of the live pipeline topology:
+// sampled-span latency quantiles from the flight recorder histograms.
+type StageStatus struct {
+	Stage string  `json:"stage"`
+	Lane  string  `json:"lane"`
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
+// ShardStatus is one shard's live health: queue occupancy, the stage
+// it is in right now, and its drop/stall attribution.
+type ShardStatus struct {
+	ID             int              `json:"id"`
+	QueueLen       int              `json:"queue_len"`
+	QueueCap       int              `json:"queue_cap"`
+	Current        string           `json:"current_stage"`
+	DroppedBatches int64            `json:"dropped_batches"`
+	DroppedPackets int64            `json:"dropped_packets"`
+	Stalls         map[string]int64 `json:"stalls_by_cause,omitempty"`
+	DropCauses     map[string]int64 `json:"drops_by_cause,omitempty"`
+}
+
+// Status is the engine's /statusz document.
+type Status struct {
+	State          string        `json:"state"`
+	UptimeSeconds  float64       `json:"uptime_seconds"`
+	Workers        int           `json:"workers"`
+	BatchSize      int           `json:"batch_size"`
+	QueueDepth     int           `json:"queue_depth"`
+	Policy         string        `json:"policy"`
+	Packets        int64         `json:"packets"`
+	Batches        int64         `json:"batches"`
+	Snapshots      int64         `json:"snapshots"`
+	DroppedBatches int64         `json:"dropped_batches"`
+	DroppedPackets int64         `json:"dropped_packets"`
+	Stages         []StageStatus `json:"stages,omitempty"`
+	Shards         []ShardStatus `json:"shards"`
+}
+
+func (p DropPolicy) String() string {
+	if p == DropNewest {
+		return "drop-newest"
+	}
+	return "block"
+}
+
+func stateName(s int32) string {
+	switch s {
+	case stateRunning:
+		return "running"
+	case stateDraining:
+		return "draining"
+	case stateDone:
+		return "done"
+	}
+	return "idle"
+}
+
+// Status assembles the live pipeline view: engine state, per-shard
+// queue occupancy and attribution, and — when a registry is attached —
+// per-stage latency quantiles estimated from the flight recorder's
+// sampled histograms.
+func (e *Engine) Status() Status {
+	st := Status{
+		State:      stateName(e.state.Load()),
+		Workers:    e.cfg.Workers,
+		BatchSize:  e.cfg.BatchSize,
+		QueueDepth: e.cfg.QueueDepth,
+		Policy:     e.cfg.Policy.String(),
+	}
+	if started := e.started.Load(); started != 0 {
+		st.UptimeSeconds = time.Since(time.Unix(0, started)).Seconds()
+	}
+	if m := e.metrics; m != nil {
+		st.Packets = m.packets.Value()
+		st.Batches = m.batches.Value()
+		st.Snapshots = m.snapshots.Value()
+		st.DroppedBatches, st.DroppedPackets = m.dropped()
+	}
+	for _, sh := range e.shards {
+		ss := ShardStatus{
+			ID:       sh.id,
+			QueueLen: len(sh.in),
+			QueueCap: cap(sh.in),
+			Current:  causeName(sh.cur.Load()),
+		}
+		if m := e.metrics; m != nil && sh.id < len(m.shards) {
+			sm := &m.shards[sh.id]
+			ss.DroppedBatches = sm.dropB.Value()
+			ss.DroppedPackets = sm.dropP.Value()
+			for cause, c := range sm.stalls {
+				if v := c.Value(); v > 0 {
+					if ss.Stalls == nil {
+						ss.Stalls = make(map[string]int64)
+					}
+					ss.Stalls[cause] = v
+				}
+			}
+			for cause, c := range sm.dropBy {
+				if v := c.Value(); v > 0 {
+					if ss.DropCauses == nil {
+						ss.DropCauses = make(map[string]int64)
+					}
+					ss.DropCauses[cause] = v
+				}
+			}
+		}
+		st.Shards = append(st.Shards, ss)
+	}
+	if e.cfg.Registry != nil {
+		for _, h := range e.cfg.Registry.Snapshot().Histograms {
+			if h.Name != trace.StageSecondsMetric || h.Count == 0 {
+				continue
+			}
+			st.Stages = append(st.Stages, StageStatus{
+				Stage: h.Label("stage"),
+				Lane:  h.Label("shard"),
+				Count: h.Count,
+				P50:   h.Quantile(0.50),
+				P99:   h.Quantile(0.99),
+			})
+		}
+		sort.Slice(st.Stages, func(i, j int) bool {
+			if st.Stages[i].Lane != st.Stages[j].Lane {
+				return st.Stages[i].Lane < st.Stages[j].Lane
+			}
+			return st.Stages[i].Stage < st.Stages[j].Stage
+		})
+	}
+	return st
+}
+
+// StatuszHandler serves the live pipeline topology: HTML by default
+// (auto-refreshing), JSON with ?format=json — the document
+// cmd/unchartedtop polls.
+func (e *Engine) StatuszHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		st := e.Status()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(st)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		writeStatusHTML(w, st)
+	})
+}
+
+func writeStatusHTML(w io.Writer, st Status) {
+	fmt.Fprintf(w, `<!DOCTYPE html>
+<html><head><meta http-equiv="refresh" content="2"><title>uncharted /statusz</title>
+<style>
+body{font-family:monospace;margin:1.5em}
+table{border-collapse:collapse;margin:0 0 1.5em}
+td,th{border:1px solid #999;padding:2px 8px;text-align:right}
+th{background:#eee}
+td:first-child,th:first-child{text-align:left}
+.bar{background:#cfc;height:0.8em;display:inline-block}
+</style></head><body>
+<h2>uncharted streaming pipeline</h2>
+<p>state <b>%s</b> · uptime %.1fs · policy %s · %d workers · batch %d · queue %d</p>
+<p>packets %d · batches %d · snapshots %d · dropped %d batches / %d packets</p>
+`,
+		html.EscapeString(st.State), st.UptimeSeconds, html.EscapeString(st.Policy),
+		st.Workers, st.BatchSize, st.QueueDepth,
+		st.Packets, st.Batches, st.Snapshots, st.DroppedBatches, st.DroppedPackets)
+
+	fmt.Fprint(w, "<h3>shards</h3><table><tr><th>shard</th><th>queue</th><th>stage</th><th>dropped batches</th><th>dropped packets</th><th>stalls (cause)</th><th>drops (cause)</th></tr>\n")
+	for _, sh := range st.Shards {
+		fill := 0
+		if sh.QueueCap > 0 {
+			fill = 100 * sh.QueueLen / sh.QueueCap
+		}
+		fmt.Fprintf(w, `<tr><td>%d</td><td>%d/%d <span class="bar" style="width:%dpx"></span></td><td>%s</td><td>%d</td><td>%d</td><td>%s</td><td>%s</td></tr>`+"\n",
+			sh.ID, sh.QueueLen, sh.QueueCap, fill,
+			html.EscapeString(sh.Current), sh.DroppedBatches, sh.DroppedPackets,
+			html.EscapeString(causeMapString(sh.Stalls)), html.EscapeString(causeMapString(sh.DropCauses)))
+	}
+	fmt.Fprint(w, "</table>\n")
+
+	if len(st.Stages) > 0 {
+		fmt.Fprint(w, "<h3>stages (sampled)</h3><table><tr><th>lane</th><th>stage</th><th>spans</th><th>p50</th><th>p99</th></tr>\n")
+		for _, sg := range st.Stages {
+			fmt.Fprintf(w, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%s</td><td>%s</td></tr>\n",
+				html.EscapeString(sg.Lane), html.EscapeString(sg.Stage), sg.Count,
+				fmtSeconds(sg.P50), fmtSeconds(sg.P99))
+		}
+		fmt.Fprint(w, "</table>\n")
+	}
+	fmt.Fprint(w, "</body></html>\n")
+}
+
+// causeMapString renders an attribution map as "feed:3 decode:1".
+func causeMapString(m map[string]int64) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%d", k, m[k])
+	}
+	return out
+}
+
+func fmtSeconds(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	}
+	return fmt.Sprintf("%.3fs", s)
+}
