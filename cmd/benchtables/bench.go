@@ -196,7 +196,10 @@ func runBench(dir, baselineDir string, scale float64, seed int64) error {
 	if err := write("BENCH_historian.json", hist104); err != nil {
 		return err
 	}
-	return write("BENCH_drift.json", drift104)
+	if err := write("BENCH_drift.json", drift104); err != nil {
+		return err
+	}
+	return runServiceBench(dir, baselineDir, scale, seed)
 }
 
 // driftBench builds the BENCH_drift.json rows: profile codec

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"uncharted/internal/obs"
+	"uncharted/internal/service"
+)
+
+// serviceP99WarnFactor flags a control-room latency regression: when
+// the new overall p99 exceeds the baseline's by more than this factor
+// the delta table prints a WARNING, mirroring the shard-scaling check
+// on BENCH_stream.json.
+const serviceP99WarnFactor = 1.5
+
+// serviceBenchFile is the committed load report the delta compares.
+const serviceBenchFile = "BENCH_service.json"
+
+// runServiceBench boots a 2-tenant control-room service in process
+// (both tenants fed by the simulator, historian enabled on one),
+// drives the mixed read workload against it with the loadgen library,
+// writes BENCH_service.json to dir and prints the delta against the
+// baseline report.
+func runServiceBench(dir, baselineDir string, scale float64, seed int64) error {
+	var old *service.LoadReport
+	if baselineDir != "" {
+		old, _ = service.LoadLoadReport(filepath.Join(baselineDir, serviceBenchFile))
+	}
+
+	histRoot, err := os.MkdirTemp("", "benchsvc")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(histRoot)
+
+	cfg := service.Config{
+		HistorianRoot: histRoot,
+		Tenants: []service.TenantConfig{
+			{
+				Name:      "east",
+				Source:    service.SourceConfig{Kind: "sim", Year: 1, Seed: seed},
+				Workers:   2,
+				Snapshot:  service.Duration(500 * time.Millisecond),
+				Historian: true,
+			},
+			{
+				Name:     "west",
+				Source:   service.SourceConfig{Kind: "sim", Year: 2, Seed: seed + 1},
+				Workers:  2,
+				Snapshot: service.Duration(500 * time.Millisecond),
+			},
+		},
+	}
+	reg := obs.NewRegistry()
+	svc, err := service.New(cfg, reg, nil)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	svc.Start(ctx)
+	addr, shutdown, err := obs.ServeWith("127.0.0.1:0", reg, nil, svc.Endpoints())
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	base := "http://" + addr.String()
+
+	if err := service.WaitReady(ctx, base, 60*time.Second); err != nil {
+		return err
+	}
+
+	// Scale the load with the capture scale so -scale 0.05 CI smoke
+	// runs stay cheap while a full run exercises 1000 clients.
+	clients := int(1000 * scale)
+	if clients < 64 {
+		clients = 64
+	}
+	duration := time.Duration(float64(5*time.Second) * scale)
+	if duration < time.Second {
+		duration = time.Second
+	}
+	rep, err := service.RunLoad(ctx, service.LoadOptions{
+		BaseURL:  base,
+		Tenants:  []string{"east", "west"},
+		Clients:  clients,
+		Duration: duration,
+		Mix:      map[string]int{"profile": 8, "query": 2, "statusz": 1},
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	svc.Drain()
+
+	path := filepath.Join(dir, serviceBenchFile)
+	if err := service.WriteLoadReport(path, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchtables: wrote %s\n", path)
+	printServiceDelta(os.Stdout, old, rep)
+	return nil
+}
+
+// printServiceDelta renders the control-room load comparison: overall
+// p99 latency, request throughput and cache hit ratio, old vs new,
+// warning on a p99 regression beyond serviceP99WarnFactor.
+func printServiceDelta(w io.Writer, old, rep *service.LoadReport) {
+	fmt.Fprintf(w, "\ncontrol-room service load (%d clients x %.1fs, %d tenants): %d requests, %d 5xx\n",
+		rep.Clients, rep.DurationSec, rep.Tenants, rep.Requests, rep.Errors5xx)
+	if old == nil {
+		fmt.Fprintf(w, "  p99 %s  throughput %.0f req/s  cache hit ratio %.3f (no baseline report)\n",
+			fmtMicros(rep.P99Micros), rep.RequestsPerSec, rep.CacheHitRatio)
+		return
+	}
+	fmt.Fprintf(w, "  %-16s %s\n", "p99 latency", deltaCell(old.P99Micros, rep.P99Micros))
+	fmt.Fprintf(w, "  %-16s %s\n", "requests/s", deltaCell(old.RequestsPerSec, rep.RequestsPerSec))
+	fmt.Fprintf(w, "  %-16s %.3f -> %.3f\n", "cache hit ratio", old.CacheHitRatio, rep.CacheHitRatio)
+	if old.P99Micros > 0 && rep.P99Micros > old.P99Micros*serviceP99WarnFactor {
+		fmt.Fprintf(w, "WARNING: service p99 regressed %.2fx (%s -> %s); check the snapshot cache hit ratio and /statusz stage timings\n",
+			rep.P99Micros/old.P99Micros, fmtMicros(old.P99Micros), fmtMicros(rep.P99Micros))
+	}
+}
+
+// fmtMicros renders a microsecond latency with a unit.
+func fmtMicros(us float64) string {
+	if us >= 1000 {
+		return fmt.Sprintf("%.2fms", us/1000)
+	}
+	return fmt.Sprintf("%.0fus", us)
+}

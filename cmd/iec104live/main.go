@@ -37,7 +37,6 @@ import (
 	"errors"
 	"flag"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -208,15 +207,7 @@ func run() int {
 	})
 
 	if *metricsAddr != "" {
-		extra := map[string]http.Handler{
-			"/profile": e.ProfileHandler(),
-			"/statusz": e.StatuszHandler(),
-			"/readyz":  obs.ReadyHandler(e.Ready),
-		}
-		if hist != nil {
-			extra["/query"] = historian.QueryHandler(hist)
-		}
-		addr, shutdown, err := obs.ServeWith(*metricsAddr, reg, journal, extra)
+		addr, shutdown, err := obs.ServeWith(*metricsAddr, reg, journal, stream.Endpoints(e, hist))
 		if err != nil {
 			log.Print(err)
 			return 1

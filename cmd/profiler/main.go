@@ -23,10 +23,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/netip"
@@ -79,7 +81,8 @@ func run() int {
 	historianDir := flag.String("historian", "", "record every extracted measurement into the durable historian at this directory (adds /query next to /metrics)")
 	pointCap := flag.Int("point-cap", 0, "cap in-memory samples per series; pair with -historian so long -follow runs hold steady memory (0 = unbounded)")
 	saveProfile := flag.String("save-profile", "", "save the merged analysis state as a versioned profile file for later drift comparison")
-	profileLabel := flag.String("profile-label", "", "label stored with -save-profile (default: capture path)")
+	profileLabel := flag.String("profile-label", "", "label stored with -save-profile and -push (default: capture path)")
+	pushURL := flag.String("push", "", "probe mode: POST the final merged partial (drift profile codec) to this control-room URL, e.g. http://host:9180/v1/fleet/partial")
 	baselinePath := flag.String("baseline", "", "compare against this stored profile and print the drift report; with -follow the rolling profile is diffed live and served at /drift")
 	saveBaseline := flag.String("save-baseline", "", "train an IDS whitelist on the capture and persist it (offline single-analyzer mode only)")
 	loadBaseline := flag.String("load-baseline", "", "load a persisted IDS whitelist: offline mode scans the capture, streaming mode arms per-shard monitors")
@@ -142,6 +145,7 @@ func run() int {
 			want:          want,
 			saveProfile:   *saveProfile,
 			profileLabel:  label,
+			pushURL:       *pushURL,
 			baselinePath:  *baselinePath,
 			loadBaseline:  *loadBaseline,
 		})
@@ -244,7 +248,7 @@ func run() int {
 	if want["stats"] {
 		printStats(reg, journal)
 	}
-	if code := driftActions(analyzer.Partial(), flag.Arg(0), label, *saveProfile, *baselinePath); code != 0 {
+	if code := driftActions(analyzer.Partial(), flag.Arg(0), label, *saveProfile, *pushURL, *baselinePath); code != 0 {
 		exit = code
 	}
 	if *saveBaseline != "" {
@@ -286,10 +290,10 @@ func run() int {
 	return exit
 }
 
-// driftActions runs the profile-persistence and baseline-comparison
-// flags over the merged analysis state; both the offline and the
-// streaming paths end here.
-func driftActions(p core.Partial, source, label, savePath, baselinePath string) int {
+// driftActions runs the profile-persistence, probe-push and
+// baseline-comparison flags over the merged analysis state; both the
+// offline and the streaming paths end here.
+func driftActions(p core.Partial, source, label, savePath, pushURL, baselinePath string) int {
 	if savePath != "" {
 		prof := drift.NewProfile(label, source, p, time.Now())
 		if err := drift.SaveProfile(savePath, prof); err != nil {
@@ -298,6 +302,12 @@ func driftActions(p core.Partial, source, label, savePath, baselinePath string) 
 		}
 		log.Printf("saved profile %q (%d packets, %d connections) to %s",
 			label, p.Packets, len(p.Chains), savePath)
+	}
+	if pushURL != "" {
+		if err := pushPartial(pushURL, label, source, p); err != nil {
+			log.Print(err)
+			return 1
+		}
 	}
 	if baselinePath != "" {
 		base, err := drift.LoadProfile(baselinePath)
@@ -311,6 +321,26 @@ func driftActions(p core.Partial, source, label, savePath, baselinePath string) 
 		fmt.Println()
 	}
 	return 0
+}
+
+// pushPartial is the probe half of the control-room fleet view: the
+// merged analysis state, encoded with the drift profile codec, POSTed
+// to an unchartedd /v1/{tenant}/partial endpoint where MergePartials
+// folds it into the fleet-wide profile.
+func pushPartial(url, label, source string, p core.Partial) error {
+	prof := drift.NewProfile(label, source, p, time.Now())
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(prof.Encode()))
+	if err != nil {
+		return fmt.Errorf("push %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("push %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	log.Printf("pushed partial %q (%d packets) to %s: %s",
+		label, p.Packets, url, strings.TrimSpace(string(body)))
+	return nil
 }
 
 // printStats renders the observability registry: per-stage wall-time
@@ -507,6 +537,7 @@ type streamOpts struct {
 	journal       *obs.Journal
 	want          map[string]bool
 	saveProfile   string
+	pushURL       string
 	profileLabel  string
 	baselinePath  string
 	loadBaseline  string
@@ -625,18 +656,7 @@ func runStreaming(o streamOpts) int {
 	defer src.Close()
 
 	if o.metricsAddr != "" {
-		extra := map[string]http.Handler{
-			"/profile": e.ProfileHandler(),
-			"/statusz": e.StatuszHandler(),
-			"/readyz":  obs.ReadyHandler(e.Ready),
-		}
-		if baseline != nil {
-			extra["/drift"] = e.DriftHandler()
-		}
-		if hist != nil {
-			extra["/query"] = historian.QueryHandler(hist)
-		}
-		addr, shutdown, err := obs.ServeWith(o.metricsAddr, reg, o.journal, extra)
+		addr, shutdown, err := obs.ServeWith(o.metricsAddr, reg, o.journal, stream.Endpoints(e, hist))
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -714,7 +734,7 @@ func runStreaming(o streamOpts) int {
 	if o.want["stats"] {
 		printStats(reg, o.journal)
 	}
-	if code := driftActions(p, o.path, o.profileLabel, o.saveProfile, ""); code != 0 {
+	if code := driftActions(p, o.path, o.profileLabel, o.saveProfile, o.pushURL, ""); code != 0 {
 		exit = code
 	}
 	if rep := e.DriftReport(); rep != nil {

@@ -2,26 +2,40 @@ package historian
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
+
+	"uncharted/internal/obs"
 )
 
 // QueryHandler serves the historian over HTTP, designed to mount next
-// to /metrics and /profile via obs.HandlerWith:
+// to /metrics and /profile via obs.HandlerWith (and per tenant by the
+// control-room service):
 //
 //	GET /query                                   point catalog
 //	GET /query?station=O29&ioa=3001              full history of a point
 //	    &from=RFC3339&to=RFC3339                 time-range bound
 //	    &step=30s                                downsampled buckets
+//	    &format=json|text                        JSON (default) or CSV
 //
-// Responses are JSON. Timestamps accept RFC 3339 or unix nanoseconds.
+// Timestamps accept RFC 3339 or unix nanoseconds.
 func QueryHandler(st *Store) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		format, ok := obs.PickFormat(w, req, "json", "text")
+		if !ok {
+			return
+		}
 		q := req.URL.Query()
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
+		var enc *json.Encoder
+		if format == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		} else {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc = json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+		}
 
 		station := q.Get("station")
 		if station == "" {
@@ -37,6 +51,15 @@ func QueryHandler(st *Store) http.Handler {
 				Last    time.Time `json:"last"`
 			}
 			cat := st.Catalog()
+			if format == "text" {
+				fmt.Fprintln(w, "station,ioa,type,command,samples,blocks,compressed_bytes,first,last")
+				for _, pi := range cat {
+					fmt.Fprintf(w, "%s,%d,%d,%t,%d,%d,%d,%s,%s\n",
+						pi.Key.Station, pi.Key.IOA, pi.Type, pi.Command, pi.Samples,
+						pi.Blocks, pi.Bytes, pi.First.Format(time.RFC3339Nano), pi.Last.Format(time.RFC3339Nano))
+				}
+				return
+			}
 			rows := make([]catRow, 0, len(cat))
 			for _, pi := range cat {
 				rows = append(rows, catRow{
@@ -77,6 +100,14 @@ func QueryHandler(st *Store) http.Handler {
 				httpError(w, http.StatusInternalServerError, err.Error())
 				return
 			}
+			if format == "text" {
+				fmt.Fprintln(w, "start,min,max,mean,count")
+				for _, b := range buckets {
+					fmt.Fprintf(w, "%s,%g,%g,%g,%d\n",
+						b.Start.Format(time.RFC3339Nano), b.Min, b.Max, b.Mean, b.Count)
+				}
+				return
+			}
 			enc.Encode(buckets)
 			return
 		}
@@ -84,6 +115,13 @@ func QueryHandler(st *Store) http.Handler {
 		samples, err := st.Query(key, from, to)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if format == "text" {
+			fmt.Fprintln(w, "t,v")
+			for _, s := range samples {
+				fmt.Fprintf(w, "%s,%g\n", s.T.Format(time.RFC3339Nano), s.V)
+			}
 			return
 		}
 		type row struct {
@@ -99,6 +137,7 @@ func QueryHandler(st *Store) http.Handler {
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }

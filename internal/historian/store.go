@@ -85,6 +85,18 @@ type Store struct {
 	m *storeMetrics
 }
 
+// OpenNamespace opens (or creates) a historian under root/ns. The
+// namespace must be a single clean path element — tenant names map
+// onto isolated per-tenant stores under one configured root without
+// any chance of escaping it.
+func OpenNamespace(root, ns string, opts Options) (*Store, error) {
+	if ns == "" || ns != filepath.Base(ns) || ns == "." || ns == ".." ||
+		strings.ContainsAny(ns, `/\`) {
+		return nil, fmt.Errorf("historian: invalid namespace %q", ns)
+	}
+	return Open(filepath.Join(root, ns), opts)
+}
+
 // Open opens (or creates) a historian under dir. An unsealed last
 // segment — the active one at crash or shutdown — is recovered: its
 // records are re-indexed by scanning and a torn tail, if any, is

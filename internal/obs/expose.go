@@ -19,12 +19,13 @@ import (
 // and _count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	snap := r.Snapshot()
-	r.mu.RLock()
-	help := make(map[string]string, len(r.help))
-	for k, v := range r.help {
+	o := r.owner()
+	o.mu.RLock()
+	help := make(map[string]string, len(o.help))
+	for k, v := range o.help {
 		help[k] = v
 	}
-	r.mu.RUnlock()
+	o.mu.RUnlock()
 
 	var b strings.Builder
 	seen := map[string]bool{}
@@ -151,6 +152,32 @@ func HandlerWith(r *Registry, journal *Journal, extra map[string]http.Handler) h
 		io.WriteString(w, index)
 	})
 	return mux
+}
+
+// PickFormat resolves a query endpoint's ?format= parameter: an empty
+// parameter picks def, a listed value picks itself, anything else
+// returns ok=false after writing a 400 JSON error. Every query
+// endpoint negotiates through this one helper so the surfaces cannot
+// drift.
+func PickFormat(w http.ResponseWriter, req *http.Request, def string, allowed ...string) (string, bool) {
+	f := req.URL.Query().Get("format")
+	if f == "" {
+		return def, true
+	}
+	if f == def {
+		return f, true
+	}
+	for _, a := range allowed {
+		if f == a {
+			return f, true
+		}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(map[string]string{
+		"error": fmt.Sprintf("unsupported format %q (want %s)", f, strings.Join(append([]string{def}, allowed...), "|")),
+	})
+	return "", false
 }
 
 // ReadyHandler builds a /readyz-style readiness endpoint from a check

@@ -45,6 +45,9 @@ const (
 	// EventSpan: a sampled flight-recorder span (stage, lane, timing)
 	// drained from the trace rings at snapshot time.
 	EventSpan EventType = "span"
+	// EventPartial: the control-room service merged a remote probe's
+	// posted partial into a tenant's fleet aggregate.
+	EventPartial EventType = "partial"
 )
 
 // Event is one journal entry.

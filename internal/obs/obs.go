@@ -128,6 +128,9 @@ var (
 type Stage struct {
 	name string
 	hist *Histogram
+	// labels carries the base labels of the registry view that booked
+	// the stage (empty on a root), so view snapshots can filter.
+	labels []string
 
 	mu       sync.Mutex
 	count    int64
@@ -186,6 +189,56 @@ type Registry struct {
 	series map[string]*series
 	help   map[string]string
 	stages map[string]*Stage
+
+	// root points at the registry owning the maps above when this
+	// value is a label-scoped view created by With; nil on a root.
+	root *Registry
+	// base is stamped onto every series the view books; a root has
+	// none.
+	base []string
+}
+
+// owner resolves the registry that holds the series store: the root
+// for a With view, the receiver itself otherwise.
+func (r *Registry) owner() *Registry {
+	if r.root != nil {
+		return r.root
+	}
+	return r
+}
+
+// With returns a label-scoped view of the registry: every metric or
+// stage booked through the view carries the given label pairs in
+// addition to its own, and the view's Snapshot reports only series
+// carrying them. The underlying store is shared, so a single /metrics
+// endpoint on the root exposes every view's series — this is how one
+// process hosts many tenants with per-tenant metric labels.
+func (r *Registry) With(labels ...string) *Registry {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list for registry view: %v", labels))
+	}
+	base := make([]string, 0, len(r.base)+len(labels))
+	base = append(base, r.base...)
+	base = append(base, labels...)
+	return &Registry{root: r.owner(), base: base}
+}
+
+// labelsContain reports whether every (key, value) pair of needles
+// appears in haystack.
+func labelsContain(haystack, needles []string) bool {
+	for i := 0; i+1 < len(needles); i += 2 {
+		found := false
+		for j := 0; j+1 < len(haystack); j += 2 {
+			if haystack[j] == needles[i] && haystack[j+1] == needles[i+1] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // NewRegistry returns an empty registry.
@@ -222,13 +275,20 @@ func (r *Registry) lookup(name string, typ MetricType, labels []string, bounds [
 	if len(labels)%2 != 0 {
 		panic(fmt.Sprintf("obs: odd label list for %s: %v", name, labels))
 	}
+	if len(r.base) > 0 {
+		merged := make([]string, 0, len(r.base)+len(labels))
+		merged = append(merged, r.base...)
+		merged = append(merged, labels...)
+		labels = merged
+	}
+	o := r.owner()
 	key := seriesKey(name, labels)
-	r.mu.RLock()
-	s := r.series[key]
-	r.mu.RUnlock()
+	o.mu.RLock()
+	s := o.series[key]
+	o.mu.RUnlock()
 	if s == nil {
-		r.mu.Lock()
-		if s = r.series[key]; s == nil {
+		o.mu.Lock()
+		if s = o.series[key]; s == nil {
 			s = &series{name: name, labels: append([]string(nil), labels...), typ: typ}
 			switch typ {
 			case TypeCounter:
@@ -238,9 +298,9 @@ func (r *Registry) lookup(name string, typ MetricType, labels []string, bounds [
 			case TypeHistogram:
 				s.h = newHistogram(bounds)
 			}
-			r.series[key] = s
+			o.series[key] = s
 		}
-		r.mu.Unlock()
+		o.mu.Unlock()
 	}
 	if s.typ != typ {
 		panic(fmt.Sprintf("obs: %s registered as %v, requested as %v", name, s.typ, typ))
@@ -268,29 +328,34 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *H
 
 // SetHelp attaches a HELP string to a metric family name.
 func (r *Registry) SetHelp(name, help string) {
-	r.mu.Lock()
-	r.help[name] = help
-	r.mu.Unlock()
+	o := r.owner()
+	o.mu.Lock()
+	o.help[name] = help
+	o.mu.Unlock()
 }
 
 // StageDurationMetric is the histogram family every stage feeds.
 const StageDurationMetric = "uncharted_stage_duration_seconds"
 
 // Stage returns (registering on first use) the named stage accumulator.
-// Resolve once and call Observe on hot paths.
+// Resolve once and call Observe on hot paths. On a With view the
+// backing histogram carries the view's base labels, and two views book
+// distinct accumulators for the same stage name.
 func (r *Registry) Stage(name string) *Stage {
-	r.mu.RLock()
-	st := r.stages[name]
-	r.mu.RUnlock()
+	o := r.owner()
+	key := seriesKey(name, r.base)
+	o.mu.RLock()
+	st := o.stages[key]
+	o.mu.RUnlock()
 	if st != nil {
 		return st
 	}
 	h := r.Histogram(StageDurationMetric, DurationBuckets, "stage", name)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if st = r.stages[name]; st == nil {
-		st = &Stage{name: name, hist: h}
-		r.stages[name] = st
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if st = o.stages[key]; st == nil {
+		st = &Stage{name: name, hist: h, labels: r.base}
+		o.stages[key] = st
 	}
 	return st
 }
@@ -382,18 +447,27 @@ type Snapshot struct {
 	Stages     []StageSnapshot     `json:"stages,omitempty"`
 }
 
-// Snapshot captures every series, sorted by (name, labels).
+// Snapshot captures every series, sorted by (name, labels). On a With
+// view, only the series and stages carrying the view's base labels are
+// included, so a tenant's snapshot never leaks its neighbours'.
 func (r *Registry) Snapshot() Snapshot {
-	r.mu.RLock()
-	all := make([]*series, 0, len(r.series))
-	for _, s := range r.series {
+	o := r.owner()
+	o.mu.RLock()
+	all := make([]*series, 0, len(o.series))
+	for _, s := range o.series {
+		if len(r.base) > 0 && !labelsContain(s.labels, r.base) {
+			continue
+		}
 		all = append(all, s)
 	}
-	stages := make([]*Stage, 0, len(r.stages))
-	for _, st := range r.stages {
+	stages := make([]*Stage, 0, len(o.stages))
+	for _, st := range o.stages {
+		if len(r.base) > 0 && !labelsContain(st.labels, r.base) {
+			continue
+		}
 		stages = append(stages, st)
 	}
-	r.mu.RUnlock()
+	o.mu.RUnlock()
 
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].name != all[j].name {

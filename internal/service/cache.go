@@ -1,0 +1,152 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sync"
+)
+
+// Cache is the snapshot/query response cache: a mutex-guarded LRU of
+// fully rendered HTTP responses keyed by (tenant, endpoint, snapshot
+// version, raw query). Because the published snapshot's sequence
+// number is part of the key, every newly published snapshot
+// invalidates all of a tenant's hot entries at once — readers of the
+// new snapshot miss, render once, and every subsequent read is served
+// from memory without touching the analyzer. Entries hold immutable
+// byte slices, so concurrent readers can never observe a torn
+// response.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+// cacheEntry is one rendered response.
+type cacheEntry struct {
+	key   string
+	etag  string
+	ctype string
+	body  []byte
+}
+
+// NewCache builds a cache holding at most max rendered responses;
+// max <= 0 picks the 4096-entry default.
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Cache{max: max, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key, promoting it to most recently used.
+func (c *Cache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put inserts (or replaces) the entry for key, evicting from the LRU
+// tail when over capacity.
+func (c *Cache) put(key string, e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the live entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cacheKey builds the cache key and the strong ETag for one request.
+func cacheKey(tenant, endpoint, version, rawQuery string) (key, etag string) {
+	key = tenant + "\x00" + endpoint + "\x00" + version + "\x00" + rawQuery
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return key, fmt.Sprintf("%q", fmt.Sprintf("%s-%s-%s-%016x", tenant, endpoint, version, h.Sum64()))
+}
+
+// recorder captures an inner handler's response for caching.
+type recorder struct {
+	hdr  http.Header
+	code int
+	body []byte
+}
+
+func newRecorder() *recorder { return &recorder{hdr: make(http.Header), code: http.StatusOK} }
+
+func (r *recorder) Header() http.Header         { return r.hdr }
+func (r *recorder) WriteHeader(code int)        { r.code = code }
+func (r *recorder) Write(p []byte) (int, error) { r.body = append(r.body, p...); return len(p), nil }
+
+// cached wraps a query handler with the snapshot cache. version must
+// return a string that changes whenever the underlying data does —
+// the engine's published snapshot sequence — so hot reads of the
+// current snapshot are served straight from memory and every new
+// snapshot starts a fresh generation. Only 200 responses to GET/HEAD
+// are stored; If-None-Match requests matching the entry's ETag get
+// 304. The X-Cache header says hit or miss, which is how cmd/loadgen
+// measures the hit ratio from outside.
+func (s *Service) cached(t *Tenant, endpoint string, version func() string, inner http.Handler) http.Handler {
+	if s.cache == nil {
+		return inner
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			inner.ServeHTTP(w, req)
+			return
+		}
+		key, etag := cacheKey(t.name, endpoint, version(), req.URL.RawQuery)
+		if e, ok := s.cache.get(key); ok {
+			t.cacheHits.Inc()
+			h := w.Header()
+			h.Set("X-Cache", "hit")
+			h.Set("ETag", e.etag)
+			if e.ctype != "" {
+				h.Set("Content-Type", e.ctype)
+			}
+			if req.Header.Get("If-None-Match") == e.etag {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			w.Write(e.body)
+			return
+		}
+		t.cacheMisses.Inc()
+		rec := newRecorder()
+		inner.ServeHTTP(rec, req)
+		h := w.Header()
+		for k, vv := range rec.hdr {
+			h[k] = vv
+		}
+		h.Set("X-Cache", "miss")
+		if rec.code == http.StatusOK {
+			h.Set("ETag", etag)
+			s.cache.put(key, &cacheEntry{
+				key: key, etag: etag, ctype: rec.hdr.Get("Content-Type"), body: rec.body,
+			})
+		}
+		w.WriteHeader(rec.code)
+		w.Write(rec.body)
+	})
+}

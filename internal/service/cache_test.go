@@ -1,0 +1,259 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"uncharted/internal/obs"
+)
+
+// testTenant builds a bare tenant (no engine) plus a caching service
+// around it, for exercising the cached middleware in isolation.
+func testTenant(cacheMax int) (*Service, *Tenant) {
+	reg := obs.NewRegistry()
+	treg := reg.With("tenant", "t1")
+	s := &Service{cache: NewCache(cacheMax), reg: reg}
+	t := &Tenant{
+		name:        "t1",
+		agg:         newAggregator(),
+		cacheHits:   treg.Counter("uncharted_service_cache_hits_total"),
+		cacheMisses: treg.Counter("uncharted_service_cache_misses_total"),
+	}
+	return s, t
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.put("a", &cacheEntry{key: "a"})
+	c.put("b", &cacheEntry{key: "b"})
+	if _, ok := c.get("a"); !ok { // promote a; b is now LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", &cacheEntry{key: "c"}) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c should be present")
+	}
+	if got := c.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+}
+
+func TestCacheKeyDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, tc := range []struct{ tenant, ep, ver, query string }{
+		{"a", "profile", "1", ""},
+		{"a", "profile", "2", ""},
+		{"a", "profile", "1", "format=text"},
+		{"a", "drift", "1", ""},
+		{"b", "profile", "1", ""},
+	} {
+		key, etag := cacheKey(tc.tenant, tc.ep, tc.ver, tc.query)
+		if prev, dup := seen[key]; dup {
+			t.Errorf("key collision: %q vs %q", prev, key)
+		}
+		seen[key] = etag
+		if !strings.HasPrefix(etag, `"`) || !strings.HasSuffix(etag, `"`) {
+			t.Errorf("etag %q not quoted", etag)
+		}
+	}
+	// Same inputs must be stable.
+	k1, e1 := cacheKey("a", "profile", "1", "")
+	k2, e2 := cacheKey("a", "profile", "1", "")
+	if k1 != k2 || e1 != e2 {
+		t.Error("cacheKey not deterministic")
+	}
+}
+
+// TestCachedInvalidation is the table-driven cache correctness test:
+// a new snapshot (version bump) must invalidate stale responses —
+// the ETag changes and the body reflects the new snapshot — while
+// repeat reads of one version hit.
+func TestCachedInvalidation(t *testing.T) {
+	s, tn := testTenant(16)
+	var version atomic.Int64
+	version.Store(1)
+	var renders atomic.Int64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		renders.Add(1)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, `{"snapshot":%d,"query":%q}`, version.Load(), req.URL.RawQuery)
+	})
+	h := s.cached(tn, "profile", func() string { return fmt.Sprint(version.Load()) }, inner)
+
+	get := func(query, inm string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", "/v1/t1/profile", nil)
+		req.URL.RawQuery = query
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+		return rr
+	}
+
+	steps := []struct {
+		name      string
+		bump      bool   // publish a new snapshot first
+		query     string // raw query
+		wantCache string // expected X-Cache
+		wantBody  string // expected body substring
+	}{
+		{name: "first read misses", query: "", wantCache: "miss", wantBody: `"snapshot":1`},
+		{name: "repeat read hits", query: "", wantCache: "hit", wantBody: `"snapshot":1`},
+		{name: "distinct query misses", query: "format=json", wantCache: "miss", wantBody: `"snapshot":1`},
+		{name: "new snapshot invalidates", bump: true, query: "", wantCache: "miss", wantBody: `"snapshot":2`},
+		{name: "new snapshot re-hits", query: "", wantCache: "hit", wantBody: `"snapshot":2`},
+	}
+	var etags []string
+	for _, st := range steps {
+		if st.bump {
+			version.Add(1)
+		}
+		rr := get(st.query, "")
+		if rr.Code != http.StatusOK {
+			t.Fatalf("%s: code %d", st.name, rr.Code)
+		}
+		if got := rr.Header().Get("X-Cache"); got != st.wantCache {
+			t.Errorf("%s: X-Cache %q, want %q", st.name, got, st.wantCache)
+		}
+		if body := rr.Body.String(); !strings.Contains(body, st.wantBody) {
+			t.Errorf("%s: body %q missing %q", st.name, body, st.wantBody)
+		}
+		if et := rr.Header().Get("ETag"); et == "" {
+			t.Errorf("%s: no ETag", st.name)
+		} else {
+			etags = append(etags, et)
+		}
+	}
+	// Same-version reads share an ETag; a new snapshot changes it.
+	if etags[0] != etags[1] {
+		t.Errorf("repeat read changed ETag: %q vs %q", etags[0], etags[1])
+	}
+	if etags[0] == etags[3] {
+		t.Errorf("new snapshot kept stale ETag %q", etags[0])
+	}
+
+	// A matching If-None-Match yields 304 with no body.
+	rr := get("", etags[4])
+	if rr.Code != http.StatusNotModified {
+		t.Errorf("If-None-Match: code %d, want 304", rr.Code)
+	}
+	if rr.Body.Len() != 0 {
+		t.Errorf("304 carried a body: %q", rr.Body.String())
+	}
+
+	// The stale ETag no longer matches — full 200 response.
+	rr = get("", etags[0])
+	if rr.Code != http.StatusOK {
+		t.Errorf("stale If-None-Match: code %d, want 200", rr.Code)
+	}
+}
+
+func TestCachedSkipsNon200(t *testing.T) {
+	s, tn := testTenant(16)
+	var calls atomic.Int64
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.Error(w, "not yet", http.StatusServiceUnavailable)
+	})
+	h := s.cached(tn, "profile", func() string { return "1" }, inner)
+	for i := 0; i < 3; i++ {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", "/x", nil))
+		if rr.Code != http.StatusServiceUnavailable {
+			t.Fatalf("code %d", rr.Code)
+		}
+		if rr.Header().Get("ETag") != "" {
+			t.Error("503 must not carry an ETag")
+		}
+	}
+	if calls.Load() != 3 {
+		t.Errorf("inner called %d times, want 3 (non-200 must not cache)", calls.Load())
+	}
+	if s.cache.Len() != 0 {
+		t.Errorf("cache holds %d entries after non-200s", s.cache.Len())
+	}
+}
+
+// TestCachedConcurrentReaders hammers the cached handler from many
+// goroutines while snapshots keep publishing, asserting no reader ever
+// observes a torn response: every body must exactly match the
+// canonical rendering of some version, and the ETag must be consistent
+// with that body. Run with -race this also proves the cache itself is
+// data-race free.
+func TestCachedConcurrentReaders(t *testing.T) {
+	s, tn := testTenant(8)
+	var version atomic.Int64
+	version.Store(1)
+	canonical := func(v int64) string {
+		return fmt.Sprintf(`{"snapshot":%d,"payload":%q}`, v, strings.Repeat("x", 1024+int(v)%7))
+	}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		// Write in several chunks so a torn copy would be detectable.
+		v := version.Load()
+		body := canonical(v)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		for i := 0; i < len(body); i += 100 {
+			end := i + 100
+			if end > len(body) {
+				end = len(body)
+			}
+			w.Write([]byte(body[i:end]))
+		}
+	})
+	h := s.cached(tn, "profile", func() string { return fmt.Sprint(version.Load()) }, inner)
+
+	const readers = 8
+	const reads = 400
+	stop := make(chan struct{})
+	go func() {
+		for i := 0; i < 40; i++ {
+			version.Add(1)
+		}
+		close(stop)
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan string, readers*4)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				rr := httptest.NewRecorder()
+				h.ServeHTTP(rr, httptest.NewRequest("GET", "/x", nil))
+				body := rr.Body.String()
+				var v int64
+				if _, err := fmt.Sscanf(body, `{"snapshot":%d`, &v); err != nil {
+					select {
+					case errs <- fmt.Sprintf("unparseable body %.60q", body):
+					default:
+					}
+					continue
+				}
+				if body != canonical(v) {
+					select {
+					case errs <- fmt.Sprintf("torn response for version %d: %.60q", v, body):
+					default:
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-stop
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

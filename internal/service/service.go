@@ -1,0 +1,306 @@
+// Package service is the control-room layer of the measurement
+// pipeline: one process hosting N concurrent streaming engines — one
+// per tenant, where a tenant is a balancing authority, a capture era,
+// or a single capture — behind a multi-tenant HTTP API:
+//
+//	GET  /v1/{tenant}/profile   rolling profile (cached per snapshot)
+//	GET  /v1/{tenant}/drift     live drift report (cached)
+//	GET  /v1/{tenant}/query     historian queries, per-tenant namespace
+//	GET  /v1/{tenant}/statusz   live pipeline topology (uncached)
+//	GET  /v1/{tenant}/fleet     fleet-wide merged profile (cached)
+//	POST /v1/{tenant}/partial   remote-probe partial ingest
+//	GET  /v1/{tenant}/readyz    tenant readiness
+//	GET  /v1/                   tenant index
+//
+// The query handlers are the same constructors the single-engine
+// commands mount (internal/stream), wrapped in a snapshot-keyed LRU
+// response cache: hot reads of the current snapshot are served from
+// memory with a stable ETag and never touch the analyzer; publishing
+// a new snapshot starts a fresh cache generation. Remote probes
+// (profiler -push, or anything that can write the drift profile
+// codec) post their merged partials to /partial, and the commutative
+// MergePartials folds them into a fleet-wide rolling profile — the
+// paper's per-substation taps aggregated at the fleet collection
+// point.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"uncharted/internal/obs"
+	"uncharted/internal/stream"
+)
+
+// Service hosts the tenants. Build with New, start ingest with Start,
+// mount Handler, stop with Drain.
+type Service struct {
+	cfg     Config
+	reg     *obs.Registry
+	journal *obs.Journal
+	cache   *Cache
+	tenants map[string]*Tenant
+	order   []string
+	mux     *http.ServeMux
+}
+
+// New builds the service and all its tenants (sources included: sim
+// tenants synthesize their feed here, so New is where the cost is).
+// reg and journal may be nil.
+func New(cfg Config, reg *obs.Registry, journal *obs.Journal) (*Service, error) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("service: no tenants configured")
+	}
+	var cache *Cache
+	if cfg.CacheEntries >= 0 {
+		cache = NewCache(cfg.CacheEntries)
+	}
+	s := &Service{
+		cfg:     cfg,
+		reg:     reg,
+		journal: journal,
+		cache:   cache,
+		tenants: make(map[string]*Tenant),
+		mux:     http.NewServeMux(),
+	}
+	for _, tc := range cfg.Tenants {
+		if strings.ContainsAny(tc.Name, "/\\ ") {
+			return nil, fmt.Errorf("service: invalid tenant name %q", tc.Name)
+		}
+		if _, dup := s.tenants[tc.Name]; dup {
+			return nil, fmt.Errorf("service: duplicate tenant %q", tc.Name)
+		}
+		t, err := newTenant(tc, cfg, reg, journal)
+		if err != nil {
+			return nil, err
+		}
+		s.wireTenant(t)
+		s.tenants[tc.Name] = t
+		s.order = append(s.order, tc.Name)
+	}
+	s.routes()
+	return s, nil
+}
+
+// wireTenant builds the tenant's handler set from the shared stream
+// constructors plus the service-level cache and aggregation routes.
+func (s *Service) wireTenant(t *Tenant) {
+	t.handlers = make(map[string]http.Handler)
+	if t.engine != nil {
+		eps := stream.Endpoints(t.engine, t.hist)
+		t.handlers["profile"] = s.cached(t, "profile", t.engineVersion, eps["/profile"])
+		t.handlers["statusz"] = eps["/statusz"]
+		if h, ok := eps["/drift"]; ok {
+			t.handlers["drift"] = s.cached(t, "drift", t.engineVersion, h)
+		}
+		if h, ok := eps["/query"]; ok {
+			t.handlers["query"] = s.cached(t, "query", t.engineVersion, h)
+		}
+	} else {
+		// Probe-only tenant: the fleet aggregate IS the profile.
+		t.handlers["profile"] = s.cached(t, "profile", t.fleetVersion, stream.NewProfileHandler(t.fleetProfile))
+	}
+	t.handlers["fleet"] = s.cached(t, "fleet", t.fleetVersion, stream.NewProfileHandler(t.fleetProfile))
+	t.handlers["partial"] = http.HandlerFunc(t.handlePartial)
+	t.handlers["readyz"] = obs.ReadyHandler(t.Ready)
+}
+
+// routes mounts the /v1 tree. Patterns carry the method, so a POST to
+// /profile is 405 from the mux itself.
+func (s *Service) routes() {
+	query := func(endpoint string) http.Handler { return s.tenantRoute(endpoint) }
+	s.mux.Handle("GET /v1/{tenant}/profile", query("profile"))
+	s.mux.Handle("GET /v1/{tenant}/drift", query("drift"))
+	s.mux.Handle("GET /v1/{tenant}/query", query("query"))
+	s.mux.Handle("GET /v1/{tenant}/statusz", query("statusz"))
+	s.mux.Handle("GET /v1/{tenant}/fleet", query("fleet"))
+	s.mux.Handle("GET /v1/{tenant}/readyz", query("readyz"))
+	s.mux.Handle("POST /v1/{tenant}/partial", s.tenantRoute("partial"))
+	s.mux.HandleFunc("GET /v1/{$}", s.handleIndex)
+	s.mux.HandleFunc("GET /v1", s.handleIndex)
+}
+
+// tenantRoute resolves {tenant} and dispatches to its handler for the
+// endpoint, counting every request by tenant, endpoint and status.
+func (s *Service) tenantRoute(endpoint string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		name := req.PathValue("tenant")
+		t, ok := s.tenants[name]
+		if !ok {
+			s.reg.Counter("uncharted_service_requests_total",
+				"tenant", "unknown", "endpoint", endpoint, "code", "404").Inc()
+			writeJSONError(w, http.StatusNotFound, fmt.Sprintf("unknown tenant %q", name))
+			return
+		}
+		h, ok := t.handlers[endpoint]
+		if !ok {
+			s.reg.Counter("uncharted_service_requests_total",
+				"tenant", name, "endpoint", endpoint, "code", "404").Inc()
+			writeJSONError(w, http.StatusNotFound,
+				fmt.Sprintf("endpoint %s not enabled for tenant %s", endpoint, name))
+			return
+		}
+		cw := &countingWriter{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(cw, req)
+		s.reg.Counter("uncharted_service_requests_total",
+			"tenant", name, "endpoint", endpoint, "code", fmt.Sprint(cw.code)).Inc()
+	})
+}
+
+// handleIndex is GET /v1: the tenant directory.
+func (s *Service) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	type row struct {
+		Name      string   `json:"name"`
+		Source    string   `json:"source"`
+		Ready     bool     `json:"ready"`
+		Reason    string   `json:"reason,omitempty"`
+		Seq       int      `json:"seq"`
+		Probes    int      `json:"probes"`
+		Endpoints []string `json:"endpoints"`
+	}
+	rows := make([]row, 0, len(s.order))
+	for _, name := range s.order {
+		t := s.tenants[name]
+		ready, reason := t.Ready()
+		r := row{Name: name, Source: t.cfg.Source.Kind, Ready: ready, Reason: reason}
+		if r.Source == "" {
+			r.Source = "probe"
+		}
+		if t.engine != nil {
+			if p := t.engine.Profile(); p != nil {
+				r.Seq = p.Seq
+			}
+		}
+		t.agg.mu.Lock()
+		r.Probes = len(t.agg.byProbe)
+		t.agg.mu.Unlock()
+		for ep := range t.handlers {
+			r.Endpoints = append(r.Endpoints, ep)
+		}
+		sort.Strings(r.Endpoints)
+		rows = append(rows, r)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenants":       rows,
+		"cache_entries": s.cacheLen(),
+	})
+}
+
+func (s *Service) cacheLen() int {
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.Len()
+}
+
+// Handler returns the /v1 tree, ready to mount into obs.HandlerWith
+// under the "/v1/" prefix (the service mux patterns carry the full
+// path, so no stripping is needed).
+func (s *Service) Handler() http.Handler { return s.mux }
+
+// Endpoints returns the route map for obs.HandlerWith so the daemon
+// serves /v1/... next to /metrics, /healthz and the pprof tree.
+func (s *Service) Endpoints() map[string]http.Handler {
+	return map[string]http.Handler{
+		"/v1":     s.mux,
+		"/v1/":    s.mux,
+		"/readyz": obs.ReadyHandler(s.Ready),
+	}
+}
+
+// Start launches every tenant's ingest. The engines drain when ctx is
+// cancelled; Drain waits for them.
+func (s *Service) Start(ctx context.Context) {
+	for _, name := range s.order {
+		t := s.tenants[name]
+		tctx, cancel := context.WithCancel(ctx)
+		t.cancel = cancel
+		go t.run(tctx)
+	}
+}
+
+// Drain cancels every tenant's ingest and waits until all engines
+// have drained their shards and published their final profiles — the
+// graceful-shutdown path reusing the engine lifecycle state machine.
+func (s *Service) Drain() {
+	for _, name := range s.order {
+		if c := s.tenants[name].cancel; c != nil {
+			c()
+		}
+	}
+	for _, name := range s.order {
+		<-s.tenants[name].done
+	}
+}
+
+// Wait blocks until every tenant's ingest finished on its own (finite
+// sources) or was drained.
+func (s *Service) Wait() {
+	for _, name := range s.order {
+		<-s.tenants[name].done
+	}
+}
+
+// Ready is the service-wide readiness check: every tenant must be
+// ready.
+func (s *Service) Ready() (bool, string) {
+	for _, name := range s.order {
+		if ok, reason := s.tenants[name].Ready(); !ok {
+			return false, name + ": " + reason
+		}
+	}
+	return true, ""
+}
+
+// Tenant returns a hosted tenant by name, or nil.
+func (s *Service) Tenant(name string) *Tenant { return s.tenants[name] }
+
+// Tenants returns the tenant names in config order.
+func (s *Service) Tenants() []string { return append([]string(nil), s.order...) }
+
+// countingWriter captures the status code for the request counter.
+type countingWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (c *countingWriter) WriteHeader(code int) {
+	c.code = code
+	c.ResponseWriter.WriteHeader(code)
+}
+
+// writeJSON renders a JSON response with the service's standard
+// header.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeJSONError is the service's uniform error document.
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// readAll reads a request body up to limit bytes, failing when the
+// body exceeds it.
+func readAll(req *http.Request, limit int64) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > limit {
+		return nil, fmt.Errorf("body exceeds %d bytes", limit)
+	}
+	return body, nil
+}

@@ -1,0 +1,442 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/drift"
+	"uncharted/internal/obs"
+	"uncharted/internal/scadasim"
+	"uncharted/internal/stream"
+	"uncharted/internal/topology"
+)
+
+// startSimService boots a one-sim-tenant service over a short
+// synthesized capture and returns it with an httptest server mounted
+// on its /v1 tree. The engine runs the feed to completion before
+// return, so queries observe the final snapshot.
+func startSimService(t *testing.T, tc TenantConfig, svcCfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	if tc.Source.Kind == "" {
+		tc.Source = SourceConfig{Kind: "sim", Year: 1, Seed: 7, Duration: Duration(2 * time.Minute)}
+	}
+	svcCfg.Tenants = append(svcCfg.Tenants, tc)
+	svc, err := New(svcCfg, obs.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start(context.Background())
+	svc.Wait() // finite sim feed: drain fully so snapshots are stable
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return svc, srv
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestServiceEndpointHeaders is the header / field-name regression
+// test: every query endpoint must declare an explicit Content-Type,
+// honor ?format=, reject unknown formats with a JSON 400, and keep the
+// profile document's JSON field names stable.
+func TestServiceEndpointHeaders(t *testing.T) {
+	_, srv := startSimService(t, TenantConfig{Name: "east", Workers: 2, Historian: true},
+		Config{HistorianRoot: t.TempDir()})
+
+	cases := []struct {
+		name       string
+		path       string
+		wantCode   int
+		wantCT     string
+		wantInBody string
+	}{
+		{"profile json default", "/v1/east/profile", 200, "application/json; charset=utf-8", `"seq"`},
+		{"profile json explicit", "/v1/east/profile?format=json", 200, "application/json; charset=utf-8", `"packets"`},
+		{"profile text", "/v1/east/profile?format=text", 200, "text/plain; charset=utf-8", "rolling profile seq"},
+		{"profile bad format", "/v1/east/profile?format=xml", 400, "application/json; charset=utf-8", "unsupported format"},
+		{"statusz html default", "/v1/east/statusz", 200, "text/html; charset=utf-8", "<html"},
+		{"statusz json", "/v1/east/statusz?format=json", 200, "application/json; charset=utf-8", `"state"`},
+		{"statusz text", "/v1/east/statusz?format=text", 200, "text/plain; charset=utf-8", "state "},
+		{"query json default", "/v1/east/query", 200, "application/json; charset=utf-8", `"station"`},
+		{"query text csv", "/v1/east/query?format=text", 200, "text/plain; charset=utf-8", "station,ioa,type"},
+		{"query bad format", "/v1/east/query?format=yaml", 400, "application/json; charset=utf-8", "unsupported format"},
+		{"unknown tenant", "/v1/nope/profile", 404, "application/json; charset=utf-8", "unknown tenant"},
+		{"disabled endpoint", "/v1/east/drift", 404, "application/json; charset=utf-8", "not enabled"},
+		{"index", "/v1/", 200, "application/json; charset=utf-8", `"tenants"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := get(t, srv.URL+tc.path)
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("code %d, want %d (body %.120s)", resp.StatusCode, tc.wantCode, body)
+			}
+			if got := resp.Header.Get("Content-Type"); got != tc.wantCT {
+				t.Errorf("Content-Type %q, want %q", got, tc.wantCT)
+			}
+			if !strings.Contains(string(body), tc.wantInBody) {
+				t.Errorf("body %.160q missing %q", body, tc.wantInBody)
+			}
+		})
+	}
+
+	// The profile document's field names are API surface: downstream
+	// dashboards bind to them, so renames must be deliberate.
+	_, body := get(t, srv.URL+"/v1/east/profile")
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		"seq", "workers", "first", "last", "packets", "iec_packets",
+		"parse_errors", "seq_anomalies", "total_asdus", "flows",
+		"compliance", "markov",
+	} {
+		if _, ok := doc[field]; !ok {
+			t.Errorf("profile JSON lost field %q", field)
+		}
+	}
+	flows, _ := doc["flows"].(map[string]any)
+	for _, field := range []string{"total", "short_lived", "long_lived", "short_lived_subsec", "subsec_proportion"} {
+		if _, ok := flows[field]; !ok {
+			t.Errorf("profile flows JSON lost field %q", field)
+		}
+	}
+}
+
+func TestServiceCacheOverHTTP(t *testing.T) {
+	_, srv := startSimService(t, TenantConfig{Name: "east", Workers: 1}, Config{})
+
+	r1, b1 := get(t, srv.URL+"/v1/east/profile")
+	if r1.Header.Get("X-Cache") != "miss" {
+		t.Errorf("first read X-Cache %q, want miss", r1.Header.Get("X-Cache"))
+	}
+	r2, b2 := get(t, srv.URL+"/v1/east/profile")
+	if r2.Header.Get("X-Cache") != "hit" {
+		t.Errorf("second read X-Cache %q, want hit", r2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("cached body differs from rendered body")
+	}
+	if e1, e2 := r1.Header.Get("ETag"), r2.Header.Get("ETag"); e1 == "" || e1 != e2 {
+		t.Errorf("ETags %q / %q, want equal and non-empty", e1, e2)
+	}
+
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/east/profile", nil)
+	req.Header.Set("If-None-Match", r1.Header.Get("ETag"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Errorf("If-None-Match code %d, want 304", resp.StatusCode)
+	}
+}
+
+func TestPartialEndpointValidation(t *testing.T) {
+	_, srv := startSimService(t, TenantConfig{Name: "fleet", Source: SourceConfig{Kind: "probe"}}, Config{})
+
+	// GET on a POST-only route: the mux's method pattern rejects it.
+	resp, _ := get(t, srv.URL+"/v1/fleet/partial")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET partial: code %d, want 405", resp.StatusCode)
+	}
+
+	// Garbage body fails codec validation.
+	resp2, err := http.Post(srv.URL+"/v1/fleet/partial", "application/octet-stream",
+		strings.NewReader("not a profile"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage partial: code %d, want 400", resp2.StatusCode)
+	}
+
+	// A valid profile with no label and no ?probe= is rejected.
+	empty := drift.NewProfile("", "", core.Partial{}, time.Unix(0, 0))
+	resp3, err := http.Post(srv.URL+"/v1/fleet/partial", "application/octet-stream",
+		bytes.NewReader(empty.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body3, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest || !strings.Contains(string(body3), "probe label") {
+		t.Errorf("unlabeled partial: code %d body %.120q, want 400 probe-label error", resp3.StatusCode, body3)
+	}
+}
+
+// connKey canonicalizes a record's unordered IP pair — the same
+// partitioning the streaming engine shards by — so every packet
+// between two hosts lands in the same probe slice and the per-pair
+// session state merges exactly.
+func connKey(src, dst netip.AddrPort) string {
+	a, b := src.Addr().String(), dst.Addr().String()
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// TestFleetMergeEquivalence is the acceptance test for remote-probe
+// aggregation: a capture split by connection across two probes, each
+// analyzed by its own offline analyzer (profiler-as-probe) and POSTed
+// to /partial, must yield a served fleet profile identical to the
+// local merge, and the merged state must match a single-process
+// analysis of the whole capture on every exactly-mergeable aggregate.
+func TestFleetMergeEquivalence(t *testing.T) {
+	cfg := scadasim.DefaultConfig(topology.Y1, 11)
+	cfg.Duration = 2 * time.Minute
+	sim, err := scadasim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := core.NamesFromTopology(sim.Network())
+
+	// Split the capture by connection: probe A taps half the links,
+	// probe B the other half.
+	var half [2]scadasim.Trace
+	for _, rec := range tr.Records {
+		h := fnv.New32a()
+		io.WriteString(h, connKey(rec.Src, rec.Dst))
+		i := int(h.Sum32() % 2)
+		half[i].Records = append(half[i].Records, rec)
+	}
+	if len(half[0].Records) == 0 || len(half[1].Records) == 0 {
+		t.Fatal("degenerate split")
+	}
+
+	analyze := func(tr *scadasim.Trace) core.Partial {
+		var buf bytes.Buffer
+		if err := tr.WritePCAP(&buf); err != nil {
+			t.Fatal(err)
+		}
+		a := core.NewAnalyzer(names)
+		if err := a.ReadPCAP(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return a.Partial()
+	}
+	pa, pb := analyze(&half[0]), analyze(&half[1])
+	full := analyze(tr)
+
+	// Boot a probe tenant and post both partials, as profiler -push
+	// would.
+	_, srv := startSimService(t, TenantConfig{Name: "fleet", Source: SourceConfig{Kind: "probe"}}, Config{})
+	for probe, p := range map[string]core.Partial{"siteA": pa, "siteB": pb} {
+		prof := drift.NewProfile(probe, "split-capture", p, time.Unix(0, 0).UTC())
+		resp, err := http.Post(srv.URL+"/v1/fleet/partial", "application/octet-stream",
+			bytes.NewReader(prof.Encode()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post partial %s: code %d", probe, resp.StatusCode)
+		}
+	}
+
+	// The served fleet profile must equal the local merge, byte for
+	// byte (modulo JSON round-trip).
+	_, body := get(t, srv.URL+"/v1/fleet/profile")
+	var got map[string]any
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("fleet profile: %v (body %.120q)", err, body)
+	}
+	merged := core.MergePartials([]core.Partial{pa, pb})
+	wantProf := stream.BuildProfile(merged, 2, 0, clusterSeed)
+	wantProf.Workers = 2
+	wantJSON, err := json.Marshal(wantProf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want map[string]any
+	json.Unmarshal(wantJSON, &want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("served fleet profile differs from local merge:\n got %.400s\nwant %.400s", body, wantJSON)
+	}
+
+	// And the merge itself must match single-process analysis of the
+	// concatenated capture on every exactly-mergeable aggregate.
+	if merged.Packets != full.Packets || merged.IECPackets != full.IECPackets {
+		t.Errorf("packets %d/%d, want %d/%d", merged.Packets, merged.IECPackets, full.Packets, full.IECPackets)
+	}
+	if merged.TotalASDUs != full.TotalASDUs {
+		t.Errorf("ASDUs %d, want %d", merged.TotalASDUs, full.TotalASDUs)
+	}
+	if !merged.First.Equal(full.First) || !merged.Last.Equal(full.Last) {
+		t.Errorf("window [%v %v], want [%v %v]", merged.First, merged.Last, full.First, full.Last)
+	}
+	mf, ff := merged.Flows, full.Flows
+	if mf.ShortLived != ff.ShortLived || mf.LongLived != ff.LongLived ||
+		mf.ShortLivedSubSec != ff.ShortLivedSubSec || mf.ShortLivedOverSec != ff.ShortLivedOverSec {
+		t.Errorf("flow summary %+v, want %+v", mf, ff)
+	}
+	if !reflect.DeepEqual(merged.TypeCounts, full.TypeCounts) {
+		t.Errorf("type counts %v, want %v", merged.TypeCounts, full.TypeCounts)
+	}
+	mc, fc := merged.ComplianceReport(), full.ComplianceReport()
+	if !reflect.DeepEqual(mc.NonCompliant, fc.NonCompliant) {
+		t.Errorf("non-compliant %v, want %v", mc.NonCompliant, fc.NonCompliant)
+	}
+	mm, fm := merged.MarkovReport(), full.MarkovReport()
+	if mm.Distribution != fm.Distribution {
+		t.Errorf("markov distribution %v, want %v", mm.Distribution, fm.Distribution)
+	}
+	if len(merged.Features) != len(full.Features) {
+		t.Errorf("%d session features, want %d", len(merged.Features), len(full.Features))
+	}
+
+	// A probe re-posting replaces its previous partial rather than
+	// double counting.
+	prof := drift.NewProfile("siteA", "split-capture", pa, time.Unix(0, 0).UTC())
+	resp, err := http.Post(srv.URL+"/v1/fleet/partial?probe=siteA", "application/octet-stream",
+		bytes.NewReader(prof.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack struct {
+		Probes  int    `json:"probes"`
+		Version uint64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ack.Probes != 2 {
+		t.Errorf("re-post grew probe set to %d, want 2", ack.Probes)
+	}
+	_, body2 := get(t, srv.URL+"/v1/fleet/profile")
+	var got2 map[string]any
+	json.Unmarshal(body2, &got2)
+	if got2["packets"] != got["packets"] {
+		t.Errorf("re-post changed packet count %v -> %v", got["packets"], got2["packets"])
+	}
+}
+
+func TestConfigDuration(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    time.Duration
+		wantErr bool
+	}{
+		{`"30s"`, 30 * time.Second, false},
+		{`"1m30s"`, 90 * time.Second, false},
+		{`1000000000`, time.Second, false},
+		{`"bogus"`, 0, true},
+		{`true`, 0, true},
+	}
+	for _, tc := range cases {
+		var d Duration
+		err := json.Unmarshal([]byte(tc.in), &d)
+		if tc.wantErr != (err != nil) {
+			t.Errorf("%s: err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if !tc.wantErr && time.Duration(d) != tc.want {
+			t.Errorf("%s: %v, want %v", tc.in, time.Duration(d), tc.want)
+		}
+	}
+	// Round trip.
+	out, err := json.Marshal(Duration(90 * time.Second))
+	if err != nil || string(out) != `"1m30s"` {
+		t.Errorf("marshal: %s, %v", out, err)
+	}
+}
+
+func TestServiceRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no tenants", Config{}},
+		{"duplicate tenant", Config{Tenants: []TenantConfig{
+			{Name: "a", Source: SourceConfig{Kind: "probe"}},
+			{Name: "a", Source: SourceConfig{Kind: "probe"}},
+		}}},
+		{"bad tenant name", Config{Tenants: []TenantConfig{
+			{Name: "a/b", Source: SourceConfig{Kind: "probe"}},
+		}}},
+		{"unknown source", Config{Tenants: []TenantConfig{
+			{Name: "a", Source: SourceConfig{Kind: "carrier-pigeon"}},
+		}}},
+		{"historian without root", Config{Tenants: []TenantConfig{
+			{Name: "a", Source: SourceConfig{Kind: "sim", Duration: Duration(time.Minute)}, Historian: true},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.cfg, obs.NewRegistry(), nil); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+// TestLoadgenAgainstService wires the loadgen library against a live
+// service and sanity-checks the report: traffic flowed, nothing
+// 5xx'd, and repeated profile reads hit the snapshot cache.
+func TestLoadgenAgainstService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	_, srv := startSimService(t, TenantConfig{Name: "east", Workers: 1}, Config{})
+
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		BaseURL:  srv.URL,
+		Tenants:  []string{"east"},
+		Clients:  32,
+		Duration: 1 * time.Second,
+		Mix:      map[string]int{"profile": 4, "statusz": 1},
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Errors5xx != 0 {
+		t.Errorf("%d 5xx responses", rep.Errors5xx)
+	}
+	if rep.CacheHitRatio < 0.9 {
+		t.Errorf("cache hit ratio %.3f, want > 0.9 on repeated profile reads", rep.CacheHitRatio)
+	}
+	var sum int64
+	for _, ep := range rep.Endpoints {
+		sum += ep.Requests
+	}
+	if sum != rep.Requests {
+		t.Errorf("endpoint rows sum to %d, total says %d", sum, rep.Requests)
+	}
+}

@@ -1,0 +1,343 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/drift"
+	"uncharted/internal/historian"
+	"uncharted/internal/obs"
+	"uncharted/internal/scadasim"
+	"uncharted/internal/stream"
+	"uncharted/internal/topology"
+)
+
+// clusterSeed keeps tenant clustering deterministic across restarts,
+// matching the single-engine commands.
+const clusterSeed = 1202
+
+// maxPartialBytes bounds one posted probe partial (the full Y1 era
+// profile encodes to a few MB; 64 MB leaves room for much larger
+// fleets without letting a stray client exhaust memory).
+const maxPartialBytes = 64 << 20
+
+// aggregator accumulates remote-probe partials for one tenant. Each
+// probe's latest partial replaces its previous one, so probes can
+// re-post rolling updates; the fleet view is MergePartials over the
+// current set, which is commutative and associative, so arrival order
+// never matters.
+type aggregator struct {
+	mu      sync.Mutex
+	byProbe map[string]core.Partial
+	ver     uint64
+}
+
+func newAggregator() *aggregator { return &aggregator{byProbe: make(map[string]core.Partial)} }
+
+// put stores a probe's latest partial and returns the new version and
+// probe count.
+func (a *aggregator) put(probe string, p core.Partial) (ver uint64, probes int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.byProbe[probe] = p
+	a.ver++
+	return a.ver, len(a.byProbe)
+}
+
+// partials returns the current probe set in deterministic order plus
+// the aggregate version.
+func (a *aggregator) partials() ([]core.Partial, uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make([]string, 0, len(a.byProbe))
+	for n := range a.byProbe {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]core.Partial, 0, len(names))
+	for _, n := range names {
+		out = append(out, a.byProbe[n])
+	}
+	return out, a.ver
+}
+
+// Tenant is one hosted balancing authority / era / capture: its own
+// engine (nil for probe-only tenants), historian namespace, fleet
+// aggregator, and pre-built handler set.
+type Tenant struct {
+	name   string
+	cfg    TenantConfig
+	engine *stream.Engine
+	src    stream.Source
+	hist   *historian.Store
+	agg    *aggregator
+
+	handlers map[string]http.Handler
+
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	partialsIn  *obs.Counter
+
+	journal *obs.Journal
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	errMu  sync.Mutex
+	runErr error
+}
+
+// newTenant builds one tenant from its config: source, engine,
+// historian namespace, aggregator and metric series — everything but
+// the handler set, which the service wires after it exists (handlers
+// close over the service's cache).
+func newTenant(cfg TenantConfig, svcCfg Config, reg *obs.Registry, journal *obs.Journal) (*Tenant, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("service: tenant with empty name")
+	}
+	treg := reg.With("tenant", cfg.Name)
+	t := &Tenant{
+		name:        cfg.Name,
+		cfg:         cfg,
+		agg:         newAggregator(),
+		journal:     journal,
+		cacheHits:   treg.Counter("uncharted_service_cache_hits_total"),
+		cacheMisses: treg.Counter("uncharted_service_cache_misses_total"),
+		partialsIn:  treg.Counter("uncharted_service_partials_total"),
+		done:        make(chan struct{}),
+	}
+
+	src, nameMap, err := buildSource(cfg.Source)
+	if err != nil {
+		return nil, fmt.Errorf("service: tenant %s: %w", cfg.Name, err)
+	}
+	if src == nil {
+		// Probe-only tenant: no engine, the fleet aggregate is the
+		// profile.
+		return t, nil
+	}
+	t.src = src
+
+	if cfg.Historian {
+		root := svcCfg.HistorianRoot
+		if root == "" {
+			return nil, fmt.Errorf("service: tenant %s: historian enabled but no historian_root configured", cfg.Name)
+		}
+		st, err := historian.OpenNamespace(root, cfg.Name, historian.Options{Registry: treg})
+		if err != nil {
+			return nil, fmt.Errorf("service: tenant %s: %w", cfg.Name, err)
+		}
+		t.hist = st
+	}
+
+	var baseline *drift.Profile
+	if cfg.BaselinePath != "" {
+		baseline, err = drift.LoadProfile(cfg.BaselinePath)
+		if err != nil {
+			return nil, fmt.Errorf("service: tenant %s: %w", cfg.Name, err)
+		}
+	}
+
+	snapshotEvery := time.Duration(cfg.Snapshot)
+	if snapshotEvery <= 0 {
+		snapshotEvery = time.Second
+	}
+	t.engine = stream.New(stream.Config{
+		Workers:         cfg.Workers,
+		SnapshotEvery:   snapshotEvery,
+		IdleTimeout:     time.Duration(cfg.IdleTimeout),
+		ClusterK:        cfg.ClusterK,
+		ClusterSeed:     clusterSeed,
+		Names:           nameMap,
+		Registry:        treg,
+		Journal:         journal,
+		Historian:       t.hist,
+		MaxPointSamples: cfg.PointCap,
+		Baseline:        baseline,
+	})
+	return t, nil
+}
+
+// buildSource materialises a tenant's packet source. A probe source
+// returns (nil, nil, nil): no local ingest.
+func buildSource(sc SourceConfig) (stream.Source, map[netip.Addr]string, error) {
+	switch sc.Kind {
+	case "probe", "":
+		return nil, nil, nil
+	case "sim":
+		year := topology.Y1
+		if sc.Year == 2 {
+			year = topology.Y2
+		}
+		cfg := scadasim.DefaultConfig(year, sc.Seed)
+		if sc.Duration > 0 {
+			cfg.Duration = time.Duration(sc.Duration)
+		}
+		sim, err := scadasim.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr, err := sim.Run()
+		if err != nil {
+			return nil, nil, err
+		}
+		return stream.NewRecordSource(tr.Records, sc.Speed), core.NamesFromTopology(sim.Network()), nil
+	case "pcap":
+		f, err := os.Open(sc.Path)
+		if err != nil {
+			return nil, nil, err
+		}
+		src, err := stream.NewPCAPSource(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return src, nil, nil
+	case "follow":
+		src, err := stream.NewFollowSource(sc.Path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return src, nil, nil
+	}
+	return nil, nil, fmt.Errorf("unknown source kind %q (want sim, pcap, follow or probe)", sc.Kind)
+}
+
+// engineVersion is the cache version for engine-backed endpoints: the
+// published snapshot sequence.
+func (t *Tenant) engineVersion() string {
+	if t.engine != nil {
+		if p := t.engine.Profile(); p != nil {
+			return strconv.Itoa(p.Seq)
+		}
+	}
+	return "0"
+}
+
+// fleetVersion is the cache version for the fleet view: it moves with
+// both the probe aggregate and the local snapshot sequence.
+func (t *Tenant) fleetVersion() string {
+	t.agg.mu.Lock()
+	ver := t.agg.ver
+	t.agg.mu.Unlock()
+	return strconv.FormatUint(ver, 10) + "-" + t.engineVersion()
+}
+
+// fleetProfile merges the probe partials with the tenant's own latest
+// snapshot (when an engine exists) into the fleet-wide rolling
+// profile, or nil when nothing has been seen yet.
+func (t *Tenant) fleetProfile() *stream.Profile {
+	parts, ver := t.agg.partials()
+	if t.engine != nil {
+		if p, ok := t.engine.LastPartial(); ok {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	merged := core.MergePartials(parts)
+	prof := stream.BuildProfile(merged, int(ver), t.cfg.ClusterK, clusterSeed)
+	prof.Workers = len(parts)
+	return prof
+}
+
+// Ready reports tenant readiness: probe tenants are always ready;
+// engine tenants are ready once their first snapshot has published —
+// before that the query surface would serve 503s — and stay ready
+// after a finite feed ends because the final profile keeps serving.
+func (t *Tenant) Ready() (bool, string) {
+	if t.engine == nil {
+		return true, ""
+	}
+	if t.engine.Profile() == nil {
+		if ok, reason := t.engine.Ready(); !ok {
+			return false, reason
+		}
+		return false, "no snapshot published yet"
+	}
+	return true, ""
+}
+
+// handlePartial is POST /v1/{tenant}/partial: decode a drift-codec
+// profile posted by a remote probe and fold it into the fleet
+// aggregate. The probe label comes from ?probe=, falling back to the
+// profile's own Meta.Label.
+func (t *Tenant) handlePartial(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST a drift-codec profile")
+		return
+	}
+	body, err := readAll(req, maxPartialBytes)
+	if err != nil {
+		writeJSONError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	prof, err := drift.DecodeProfile(body)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	probe := req.URL.Query().Get("probe")
+	if probe == "" {
+		probe = prof.Meta.Label
+	}
+	if probe == "" {
+		writeJSONError(w, http.StatusBadRequest, "probe label missing: set ?probe= or the profile's label")
+		return
+	}
+	ver, probes := t.agg.put(probe, prof.Partial)
+	t.partialsIn.Inc()
+	t.journal.Log(time.Now(), obs.EventPartial, probe, map[string]any{
+		"tenant":  t.name,
+		"packets": prof.Partial.Packets,
+		"probes":  probes,
+		"version": ver,
+	})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant":  t.name,
+		"probe":   probe,
+		"probes":  probes,
+		"version": ver,
+	})
+}
+
+// run drives the tenant's engine until its source is exhausted or the
+// service drains it.
+func (t *Tenant) run(ctx context.Context) {
+	defer close(t.done)
+	if t.engine == nil {
+		return
+	}
+	err := t.engine.Run(ctx, t.src)
+	if errors.Is(err, context.Canceled) {
+		// A drain is the normal way a live tenant stops.
+		err = nil
+	}
+	t.src.Close()
+	if t.hist != nil {
+		if cerr := t.hist.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	t.errMu.Lock()
+	t.runErr = err
+	t.errMu.Unlock()
+}
+
+// Err returns the tenant's terminal ingest error, if any; valid once
+// the tenant is drained.
+func (t *Tenant) Err() error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return t.runErr
+}

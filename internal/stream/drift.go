@@ -60,16 +60,9 @@ func (e *Engine) noteDrift(p core.Partial, seq int) {
 // snapshot has been published yet.
 func (e *Engine) DriftReport() *drift.DriftReport { return e.driftRep.Load() }
 
-// DriftHandler serves the latest drift report as JSON — mount it at
-// /drift next to /profile and /metrics.
+// DriftHandler serves the latest drift report — mount it at /drift
+// next to /profile and /metrics. JSON by default, ?format=text for
+// the profilediff rendering.
 func (e *Engine) DriftHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		rep := e.DriftReport()
-		if rep == nil {
-			http.Error(w, "no drift report published yet", http.StatusServiceUnavailable)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		rep.WriteJSON(w)
-	})
+	return NewDriftHandler(e.DriftReport)
 }

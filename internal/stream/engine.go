@@ -235,6 +235,7 @@ type Engine struct {
 	started   atomic.Int64 // unix nanos at Run start; 0 before
 
 	profile  atomic.Pointer[Profile]
+	lastPart atomic.Pointer[core.Partial]
 	driftRep atomic.Pointer[drift.DriftReport]
 	seq      int
 
@@ -677,6 +678,8 @@ func (e *Engine) publish(p core.Partial, seq int) {
 	prof.Workers = e.cfg.Workers
 	prof.DroppedBatches, prof.DroppedPackets = e.metrics.dropped()
 	e.profile.Store(prof)
+	pp := p
+	e.lastPart.Store(&pp)
 	e.metrics.noteSnapshot()
 	e.cfg.Journal.Log(p.Last, obs.EventSnapshot, "", map[string]any{
 		"seq":          seq,
@@ -717,16 +720,22 @@ func (e *Engine) Final() core.Partial {
 	return e.final
 }
 
-// ProfileHandler serves the rolling profile as JSON — mount it at
-// /profile next to the obs handler.
+// LastPartial returns the merged analyzer state behind the most
+// recently published snapshot, or ok=false before the first one. The
+// value is detached from the shards (Partial snapshots share nothing
+// mutable), so callers may merge it further — the control-room service
+// folds it into fleet-wide aggregates — but must not mutate it.
+func (e *Engine) LastPartial() (core.Partial, bool) {
+	p := e.lastPart.Load()
+	if p == nil {
+		return core.Partial{}, false
+	}
+	return *p, true
+}
+
+// ProfileHandler serves the rolling profile — mount it at /profile
+// next to the obs handler. JSON by default, ?format=text for the
+// operator summary.
 func (e *Engine) ProfileHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		prof := e.Profile()
-		if prof == nil {
-			http.Error(w, "no profile published yet", http.StatusServiceUnavailable)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		prof.WriteJSON(w)
-	})
+	return NewProfileHandler(e.Profile)
 }

@@ -2,7 +2,9 @@ package stream
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"uncharted/internal/core"
@@ -190,4 +192,45 @@ func (p *Profile) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(p)
+}
+
+// WriteText renders the profile as a compact plain-text operator
+// summary — the ?format=text rendering of every /profile surface.
+func (p *Profile) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "rolling profile seq %d (%d workers)\n", p.Seq, p.Workers)
+	fmt.Fprintf(w, "window   %s .. %s\n", p.First.Format(time.RFC3339), p.Last.Format(time.RFC3339))
+	fmt.Fprintf(w, "packets  %d (iec %d, asdus %d, parse errors %d, seq anomalies %d)\n",
+		p.Packets, p.IECPackets, p.TotalASDUs, p.ParseErrors, p.SeqAnomalies)
+	fmt.Fprintf(w, "flows    total %d  short %d  long %d  subsec %.2f\n",
+		p.Flows.Total, p.Flows.ShortLived, p.Flows.LongLived, p.Flows.SubSecProportion)
+	fmt.Fprintf(w, "stations %d", p.Compliance.Stations)
+	if len(p.Compliance.NonCompliant) > 0 {
+		fmt.Fprintf(w, " (non-compliant: %s)", strings.Join(p.Compliance.NonCompliant, " "))
+	}
+	fmt.Fprintln(w)
+	if len(p.Types) > 0 {
+		fmt.Fprint(w, "types   ")
+		for i, t := range p.Types {
+			if i >= 5 {
+				break
+			}
+			fmt.Fprintf(w, " I%d %.1f%%", int(t.Type), t.Percent)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "markov   %d connections, type distribution %v\n",
+		len(p.Markov.Connections), p.Markov.Distribution)
+	if p.Clusters != nil {
+		fmt.Fprintf(w, "clusters k=%d sizes %v silhouette %.3f\n",
+			p.Clusters.K, p.Clusters.Sizes, p.Clusters.Silhouette)
+	}
+	if len(p.Physical) > 0 {
+		d := p.Physical[0]
+		fmt.Fprintf(w, "physical %d ranked series, top %s/%d nvar %.4g\n",
+			len(p.Physical), d.Station, d.IOA, d.NormalizedVariance)
+	}
+	if p.DroppedBatches > 0 || p.DroppedPackets > 0 {
+		fmt.Fprintf(w, "dropped  %d batches / %d packets\n", p.DroppedBatches, p.DroppedPackets)
+	}
+	return nil
 }

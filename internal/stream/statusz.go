@@ -146,21 +146,37 @@ func (e *Engine) Status() Status {
 }
 
 // StatuszHandler serves the live pipeline topology: HTML by default
-// (auto-refreshing), JSON with ?format=json — the document
-// cmd/unchartedtop polls.
+// (auto-refreshing), ?format=json — the document cmd/unchartedtop
+// polls — or ?format=text for terminals.
 func (e *Engine) StatuszHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		st := e.Status()
-		if req.URL.Query().Get("format") == "json" {
-			w.Header().Set("Content-Type", "application/json; charset=utf-8")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			enc.Encode(st)
-			return
-		}
-		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		writeStatusHTML(w, st)
-	})
+	return NewStatusHandler(e.Status)
+}
+
+// WriteJSON renders the status document, indented.
+func (st Status) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+// WriteText renders the status document as a terminal-friendly
+// summary: one header line, one line per shard, one per sampled stage.
+func (st Status) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "state %s  uptime %.1fs  policy %s  workers %d  batch %d  queue %d\n",
+		st.State, st.UptimeSeconds, st.Policy, st.Workers, st.BatchSize, st.QueueDepth)
+	fmt.Fprintf(w, "packets %d  batches %d  snapshots %d  dropped %d batches / %d packets\n",
+		st.Packets, st.Batches, st.Snapshots, st.DroppedBatches, st.DroppedPackets)
+	for _, sh := range st.Shards {
+		fmt.Fprintf(w, "shard %d: queue %d/%d  stage %s  dropped %d/%d  stalls %s  drops %s\n",
+			sh.ID, sh.QueueLen, sh.QueueCap, sh.Current,
+			sh.DroppedBatches, sh.DroppedPackets,
+			causeMapString(sh.Stalls), causeMapString(sh.DropCauses))
+	}
+	for _, sg := range st.Stages {
+		fmt.Fprintf(w, "stage %s/%s: spans %d  p50 %s  p99 %s\n",
+			sg.Lane, sg.Stage, sg.Count, fmtSeconds(sg.P50), fmtSeconds(sg.P99))
+	}
+	return nil
 }
 
 func writeStatusHTML(w io.Writer, st Status) {
