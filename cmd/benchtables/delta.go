@@ -14,6 +14,7 @@ var benchFiles = []string{
 	"BENCH_stream.json",
 	"BENCH_historian.json",
 	"BENCH_drift.json",
+	"BENCH_pipeline.json",
 }
 
 // loadBenchFile reads a previously written benchmark file into a

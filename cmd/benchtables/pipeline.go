@@ -1,0 +1,115 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"uncharted/internal/core"
+	"uncharted/internal/pipeline"
+	"uncharted/internal/stream"
+	"uncharted/internal/topology"
+)
+
+// pipelineOverheadWarnAbove is the graph-vs-hand-wired ns/op ratio
+// above which the bench flags the run: the segment runtime's channel
+// handoff, metering and fan-out bookkeeping are supposed to be noise
+// next to decode + analysis, so more than 5% overhead means the
+// runtime itself regressed.
+const pipelineOverheadWarnAbove = 1.05
+
+// pipelineBench builds the BENCH_pipeline.json rows: the same capture
+// analyzed by the hand-wired engine (pcap source + stream.New, exactly
+// what cmd/profiler did before the runtime existed) and by the
+// declared profiler segment graph, at 1 and 4 shards. Both paths read
+// the capture from the same file so the comparison isolates the graph
+// runtime's cost.
+func pipelineBench(capture []byte) ([]BenchResult, error) {
+	scratch, err := os.MkdirTemp("", "pipebench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(scratch)
+	path := filepath.Join(scratch, "capture.pcap")
+	if err := os.WriteFile(path, capture, 0o644); err != nil {
+		return nil, err
+	}
+	quiet := func(string, ...any) {}
+
+	bench := func(name string, fn func() error) BenchResult {
+		return toBenchResult(name, testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(int64(len(capture)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	var rows []BenchResult
+	for _, workers := range []int{1, 4} {
+		rows = append(rows,
+			bench(fmt.Sprintf("handwired_%dshard", workers), func() error {
+				f, err := os.Open(path)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				src, err := stream.NewPCAPSource(f)
+				if err != nil {
+					return err
+				}
+				// One full pre-refactor profiler invocation: name-map
+				// construction included, exactly like the graph op's
+				// runner construction includes it.
+				names := core.NamesFromTopology(topology.Build())
+				e := stream.New(stream.Config{Workers: workers, ClusterK: 5, ClusterSeed: 1202, Names: names})
+				if err := e.Run(context.Background(), src); err != nil {
+					return err
+				}
+				// Both paths deliver the same product: the final
+				// clustered profile (the graph's analyzer publishes it
+				// as its last snapshot).
+				e.Profile()
+				return nil
+			}),
+			bench(fmt.Sprintf("graph_%dshard", workers), func() error {
+				cfg, hooks := pipeline.ProfilerGraph(pipeline.ProfilerPreset{Path: path, Workers: workers, Names: true})
+				runner, err := pipeline.NewRunner(cfg, pipeline.Options{Hooks: hooks, Logf: quiet})
+				if err != nil {
+					return err
+				}
+				return runner.Run(context.Background())
+			}),
+		)
+	}
+	return rows, nil
+}
+
+// printPipelineOverhead reports the graph runtime's cost over the
+// hand-wired engine per shard count and warns past the 5% budget.
+func printPipelineOverhead(w io.Writer, rows []BenchResult) {
+	byName := make(map[string]BenchResult, len(rows))
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	for _, workers := range []int{1, 4} {
+		hand := byName[fmt.Sprintf("handwired_%dshard", workers)]
+		graph := byName[fmt.Sprintf("graph_%dshard", workers)]
+		if hand.NsPerOp == 0 || graph.NsPerOp == 0 {
+			continue
+		}
+		ratio := graph.NsPerOp / hand.NsPerOp
+		fmt.Fprintf(w, "\npipeline overhead (%d shard): graph %s ns/op / hand-wired %s ns/op = %.3fx\n",
+			workers, fmtNum(graph.NsPerOp), fmtNum(hand.NsPerOp), ratio)
+		if ratio > pipelineOverheadWarnAbove {
+			fmt.Fprintf(w, "WARNING: segment graph is %.1f%% slower than the hand-wired engine at %d shards (budget %.0f%%); check per-segment queue metrics and stall attribution\n",
+				(ratio-1)*100, workers, (pipelineOverheadWarnAbove-1)*100)
+		}
+	}
+}

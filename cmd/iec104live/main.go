@@ -34,7 +34,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"log"
 	"os"
@@ -44,11 +43,10 @@ import (
 	"time"
 
 	"uncharted/internal/core"
-	"uncharted/internal/historian"
 	"uncharted/internal/ids"
 	"uncharted/internal/obs"
 	"uncharted/internal/obs/trace"
-	"uncharted/internal/scadasim"
+	"uncharted/internal/pipeline"
 	"uncharted/internal/stream"
 	"uncharted/internal/topology"
 )
@@ -81,51 +79,20 @@ func run() int {
 	if *year == 2 {
 		y = topology.Y2
 	}
-	cfg := scadasim.DefaultConfig(y, *seed)
-	cfg.Duration = *duration
-	if *attack != "" {
-		// Long cycle period: general interrogations would otherwise
-		// legitimise the attacker's recon tokens.
-		cfg.CyclePeriod = 100 * time.Minute
-	}
-	sim, err := scadasim.New(cfg)
-	if err != nil {
-		log.Print(err)
-		return 1
-	}
-	tr, err := sim.Run()
-	if err != nil {
-		log.Print(err)
-		return 1
-	}
-	net := sim.Network()
-	names := core.NamesFromTopology(net)
 
 	var observer func(int) core.FrameObserver
 	var alertMu sync.Mutex
 	alerts := 0
 	if *attack != "" {
-		ac := scadasim.AttackConfig{At: cfg.Start.Add(*duration / 2)}
 		switch *attack {
-		case "recon":
-			ac.Kind = scadasim.AttackRecon
-		case "breaker":
-			ac.Kind = scadasim.AttackBreakerTrip
-		case "setpoint":
-			ac.Kind = scadasim.AttackSetpointTamper
-			ac.Attacker = net.ServerAddr("C1")
+		case "recon", "breaker", "setpoint":
 		default:
 			log.Printf("unknown -attack %q (want recon, breaker or setpoint)", *attack)
 			return 2
 		}
-		n, err := sim.InjectAttack(tr, ac)
-		if err != nil {
-			log.Print(err)
-			return 1
-		}
-		log.Printf("injected %s attack: %d packets at +%s", ac.Kind, n, *duration/2)
-
-		baseline, err := trainBaseline(y, *seed, *duration)
+		// Train on a clean run of the same grid and length (a different
+		// seed, like training on yesterday's capture).
+		baseline, err := pipeline.TrainBaseline(y, *seed+1000, *duration)
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -143,24 +110,6 @@ func run() int {
 				log.Printf("ALERT [shard %d] %v", shard, al)
 			})
 		}
-	}
-
-	if *pcapOut != "" {
-		pf, err := os.Create(*pcapOut)
-		if err != nil {
-			log.Print(err)
-			return 1
-		}
-		if err := tr.WritePCAP(pf); err != nil {
-			log.Print(err)
-			pf.Close()
-			return 1
-		}
-		if err := pf.Close(); err != nil {
-			log.Print(err)
-			return 1
-		}
-		log.Printf("wrote equivalent capture to %s", *pcapOut)
 	}
 
 	var journal *obs.Journal
@@ -182,32 +131,64 @@ func run() int {
 		defer stopDump()
 		log.Printf("flight recorder armed: sampling 1 in %d spans, SIGUSR1 dumps %s", *traceSample, *tracePath)
 	}
-	var hist *historian.Store
 	if *historianDir != "" {
-		var err error
-		hist, err = historian.Open(*historianDir, historian.Options{Registry: reg})
+		log.Printf("recording measurements into historian at %s", *historianDir)
+	}
+
+	// The sim→analyzer graph is the same declared pipeline a
+	// cmd/pipelined config would build; the simulator runs (and the
+	// attack is injected) while the runner constructs the segments.
+	graph, hooks := pipeline.LiveGraph(pipeline.LivePreset{
+		Year:          *year,
+		Seed:          int(*seed),
+		Duration:      *duration,
+		Speed:         *speed,
+		Attack:        *attack,
+		Workers:       *workers,
+		SnapshotEvery: *snapshotEvery,
+		HistorianDir:  *historianDir,
+		PointCap:      *pointCap,
+		Trace:         rec,
+		Observer:      observer,
+	})
+	runner, err := pipeline.NewRunner(graph, pipeline.Options{
+		Registry: reg,
+		Journal:  journal,
+		Logf:     log.Printf,
+		Hooks:    hooks,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	simIn := runner.Segment("live", "sim").(*pipeline.SimInput)
+	an := runner.Segment("live", "an").(*pipeline.AnalyzerSegment)
+	e := an.Engine()
+
+	if *pcapOut != "" {
+		pf, err := os.Create(*pcapOut)
 		if err != nil {
 			log.Print(err)
 			return 1
 		}
-		log.Printf("recording measurements into historian at %s", *historianDir)
+		if err := simIn.Trace().WritePCAP(pf); err != nil {
+			log.Print(err)
+			pf.Close()
+			return 1
+		}
+		if err := pf.Close(); err != nil {
+			log.Print(err)
+			return 1
+		}
+		log.Printf("wrote equivalent capture to %s", *pcapOut)
 	}
-	e := stream.New(stream.Config{
-		Workers:         *workers,
-		SnapshotEvery:   *snapshotEvery,
-		ClusterK:        5,
-		ClusterSeed:     1202,
-		Names:           names,
-		Registry:        reg,
-		Journal:         journal,
-		Observer:        observer,
-		Historian:       hist,
-		MaxPointSamples: *pointCap,
-		Trace:           rec,
-	})
 
 	if *metricsAddr != "" {
-		addr, shutdown, err := obs.ServeWith(*metricsAddr, reg, journal, stream.Endpoints(e, hist))
+		eps := stream.Endpoints(e, an.Historian())
+		for p, h := range runner.Endpoints() {
+			eps[p] = h
+		}
+		addr, shutdown, err := obs.ServeWith(*metricsAddr, reg, journal, eps)
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -220,18 +201,18 @@ func run() int {
 	defer stop()
 
 	log.Printf("feeding %s of simulated traffic (%d records) through %d shard(s); interrupt to drain",
-		*duration, len(tr.Records), *workers)
+		*duration, len(simIn.Trace().Records), *workers)
 	exit := 0
 	start := time.Now()
-	err = e.Run(ctx, stream.NewRecordSource(tr.Records, *speed))
+	err = runner.Run(ctx)
 	switch {
-	case err == nil:
-		log.Printf("feed exhausted in %s", time.Since(start).Round(time.Millisecond))
-	case errors.Is(err, context.Canceled):
-		log.Printf("interrupted after %s, shards drained", time.Since(start).Round(time.Millisecond))
-	default:
+	case err != nil:
 		log.Printf("stream failed: %v", err)
 		exit = 1
+	case ctx.Err() != nil:
+		log.Printf("interrupted after %s, shards drained", time.Since(start).Round(time.Millisecond))
+	default:
+		log.Printf("feed exhausted in %s", time.Since(start).Round(time.Millisecond))
 	}
 	if *attack != "" {
 		log.Printf("online alerts raised: %d", alerts)
@@ -242,14 +223,6 @@ func run() int {
 			exit = 1
 		} else {
 			log.Printf("wrote Chrome trace to %s (open in chrome://tracing or Perfetto)", *tracePath)
-		}
-	}
-	if hist != nil {
-		// The drained engine already synced the tail; Close leaves the
-		// active segment resumable with zero torn bytes.
-		if err := hist.Close(); err != nil {
-			log.Printf("warning: historian close failed: %v", err)
-			exit = 1
 		}
 	}
 
@@ -268,31 +241,4 @@ func run() int {
 		}
 	}
 	return exit
-}
-
-// trainBaseline builds the detector whitelist from a clean simulation
-// of the same grid and length (a different seed, like training on
-// yesterday's capture).
-func trainBaseline(y topology.Year, seed int64, d time.Duration) (*ids.Baseline, error) {
-	cfg := scadasim.DefaultConfig(y, seed+1000)
-	cfg.Duration = d
-	cfg.CyclePeriod = 100 * time.Minute
-	sim, err := scadasim.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := sim.Run()
-	if err != nil {
-		return nil, err
-	}
-	a := core.NewAnalyzer(core.NamesFromTopology(sim.Network()))
-	src := stream.NewRecordSource(tr.Records, 0)
-	for {
-		pkt, err := src.Next()
-		if err != nil {
-			break
-		}
-		a.FeedPacket(pkt)
-	}
-	return ids.Train(a)
 }

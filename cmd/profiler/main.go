@@ -31,7 +31,6 @@ import (
 	"io"
 	"log"
 	"net/http"
-	"net/netip"
 	"os"
 	"os/signal"
 	"sort"
@@ -47,6 +46,7 @@ import (
 	"uncharted/internal/obs"
 	"uncharted/internal/obs/trace"
 	"uncharted/internal/physical"
+	"uncharted/internal/pipeline"
 	"uncharted/internal/stream"
 	"uncharted/internal/topology"
 )
@@ -545,15 +545,13 @@ type streamOpts struct {
 	traceSample   int
 }
 
-// runStreaming analyzes the capture through the sharded engine: with
-// -follow the file is tailed until SIGINT/SIGTERM, otherwise it is
-// read to EOF; either way the final merged state renders the same
-// reports as the offline path.
+// runStreaming analyzes the capture through the declared pipeline
+// runtime: the ProfilerGraph preset constructs the src→analyzer graph
+// the streaming engine used to be hand-wired into, with -follow the
+// file is tailed until SIGINT/SIGTERM, otherwise it is read to EOF;
+// either way the final merged state renders the same reports as the
+// offline path.
 func runStreaming(o streamOpts) int {
-	var nameMap map[netip.Addr]string
-	if o.names {
-		nameMap = core.NamesFromTopology(topology.Build())
-	}
 	reg := obs.NewRegistry()
 
 	var rec *trace.Recorder
@@ -563,29 +561,15 @@ func runStreaming(o streamOpts) int {
 		defer stopDump()
 		log.Printf("flight recorder armed: sampling 1 in %d spans, SIGUSR1 dumps %s", o.traceSample, o.tracePath)
 	}
-
-	var hist *historian.Store
 	if o.historianDir != "" {
-		var err error
-		hist, err = historian.Open(o.historianDir, historian.Options{Registry: reg})
-		if err != nil {
-			log.Print(err)
-			return 1
-		}
 		log.Printf("recording measurements into historian at %s", o.historianDir)
 	}
-
-	var baseline *drift.Profile
 	if o.baselinePath != "" {
-		var err error
-		baseline, err = drift.LoadProfile(o.baselinePath)
-		if err != nil {
-			log.Print(err)
-			return 1
-		}
-		log.Printf("drift detection armed against profile %q (%s)",
-			baseline.Meta.Label, baseline.Meta.SavedAt.Format("2006-01-02"))
+		log.Printf("drift detection armed against stored profile %s", o.baselinePath)
 	}
+
+	// The IDS monitors stay cmd-wired (hook, not ids_baseline param) so
+	// the alert log lines keep their historical shape.
 	var observer func(int) core.FrameObserver
 	if o.loadBaseline != "" {
 		idsBase, err := drift.LoadBaseline(o.loadBaseline)
@@ -608,55 +592,41 @@ func runStreaming(o streamOpts) int {
 		}
 	}
 
-	snapshotEvery := time.Duration(0)
-	if o.follow {
-		snapshotEvery = o.snapshotEvery
-	}
-	e := stream.New(stream.Config{
-		Workers:         o.workers,
-		SnapshotEvery:   snapshotEvery,
-		IdleTimeout:     o.idleTimeout,
-		ClusterK:        5,
-		ClusterSeed:     1202,
-		Names:           nameMap,
-		Registry:        reg,
-		Journal:         o.journal,
-		Historian:       hist,
-		MaxPointSamples: o.pointCap,
-		Baseline:        baseline,
-		Observer:        observer,
-		Trace:           rec,
-		DriftAlerts: func(al ids.Alert) {
-			log.Printf("DRIFT %v", al)
-		},
+	graph, hooks := pipeline.ProfilerGraph(pipeline.ProfilerPreset{
+		Path:          o.path,
+		Follow:        o.follow,
+		Workers:       o.workers,
+		SnapshotEvery: o.snapshotEvery,
+		IdleTimeout:   o.idleTimeout,
+		PointCap:      o.pointCap,
+		Names:         o.names,
+		HistorianDir:  o.historianDir,
+		BaselinePath:  o.baselinePath,
+		Trace:         rec,
+		Observer:      observer,
 	})
-
-	var src stream.Source
-	if o.follow {
-		fs, err := stream.NewFollowSource(o.path)
-		if err != nil {
-			log.Print(err)
-			return 1
-		}
-		src = fs
-	} else {
-		f, err := os.Open(o.path)
-		if err != nil {
-			log.Print(err)
-			return 1
-		}
-		defer f.Close()
-		ps, err := stream.NewPCAPSource(f)
-		if err != nil {
-			log.Print(err)
-			return 1
-		}
-		src = ps
+	runner, err := pipeline.NewRunner(graph, pipeline.Options{
+		Registry: reg,
+		Journal:  o.journal,
+		Logf:     log.Printf,
+		Hooks:    hooks,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
 	}
-	defer src.Close()
+	seg := runner.Segment("profiler", "an").(*pipeline.AnalyzerSegment)
+	e := seg.Engine()
 
 	if o.metricsAddr != "" {
-		addr, shutdown, err := obs.ServeWith(o.metricsAddr, reg, o.journal, stream.Endpoints(e, hist))
+		// The historical root endpoints stay, the pipeline surface
+		// (/statusz graph view, /pipelines/profiler/...) mounts next to
+		// them.
+		eps := stream.Endpoints(e, seg.Historian())
+		for p, h := range runner.Endpoints() {
+			eps[p] = h
+		}
+		addr, shutdown, err := obs.ServeWith(o.metricsAddr, reg, o.journal, eps)
 		if err != nil {
 			log.Print(err)
 			return 1
@@ -674,17 +644,9 @@ func runStreaming(o streamOpts) int {
 	}
 
 	exit := 0
-	if err := e.Run(ctx, src); err != nil && !errors.Is(err, context.Canceled) {
+	if err := runner.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintf(os.Stderr, "profiler: warning: stream stopped early: %v (reporting partial results)\n", err)
 		exit = 1
-	}
-	if hist != nil {
-		// The drain already synced the tail; Close leaves the active
-		// segment resumable with zero torn bytes.
-		if err := hist.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "profiler: warning: historian close failed: %v\n", err)
-			exit = 1
-		}
 	}
 	if rec != nil {
 		if err := rec.WriteChromeTraceFile(o.tracePath); err != nil {

@@ -1,0 +1,467 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/drift"
+	"uncharted/internal/historian"
+	"uncharted/internal/ids"
+	"uncharted/internal/obs"
+	"uncharted/internal/obs/trace"
+	"uncharted/internal/pcap"
+	"uncharted/internal/scadasim"
+	"uncharted/internal/stream"
+	"uncharted/internal/topology"
+)
+
+func init() {
+	Register(Spec{
+		Kind: "analyzer",
+		Role: RoleAnalysis,
+		In:   PortPackets,
+		Out:  PortProfiles,
+		Doc:  "the sharded core analyzer: consumes packets, publishes rolling profiles, serves /{id}/profile, /{id}/statusz, /{id}/readyz (+/drift, /query when armed)",
+		Params: []ParamSpec{
+			{Name: "workers", Type: ParamInt, Default: 1, Doc: "analysis shards"},
+			{Name: "snapshot", Type: ParamDuration, Default: time.Duration(0), Doc: "rolling-profile period (0 = final profile only)"},
+			{Name: "batch", Type: ParamInt, Default: 64, Doc: "packets per shard-queue send"},
+			{Name: "queue", Type: ParamInt, Default: 64, Doc: "per-shard queue capacity in batches"},
+			{Name: "cluster_k", Type: ParamInt, Default: 5, Doc: "session clustering K (0 = off)"},
+			{Name: "cluster_seed", Type: ParamInt, Default: 1202, Doc: "session clustering seed"},
+			{Name: "idle_timeout", Type: ParamDuration, Default: time.Duration(0), Doc: "evict flows idle this long (0 = never)"},
+			{Name: "point_cap", Type: ParamInt, Default: 0, Doc: "cap in-memory samples per series (0 = unbounded)"},
+			{Name: "names", Type: ParamBool, Default: true, Doc: "label addresses with the simulated topology's names (C1, O30, ...)"},
+			{Name: "historian", Type: ParamString, Default: "", Doc: "record measurements into the durable historian at this directory (adds /{id}/query)"},
+			{Name: "baseline", Type: ParamString, Default: "", Doc: "stored drift profile: arms live drift detection (adds /{id}/drift)"},
+			{Name: "ids_baseline", Type: ParamString, Default: "", Doc: "stored IDS baseline: arms one online monitor per shard"},
+		},
+		Build: buildAnalyzer,
+	})
+	Register(Spec{
+		Kind: "ids",
+		Role: RoleAnalysis,
+		In:   PortPackets,
+		Out:  PortAlerts,
+		Doc:  "online intrusion detector: feeds packets through a whitelist monitor and emits one alert per violation",
+		Params: []ParamSpec{
+			{Name: "baseline", Type: ParamString, Default: "", Doc: "stored IDS baseline to load (alternative to train_*)"},
+			{Name: "train_year", Type: ParamInt, Default: 0, Doc: "train the whitelist from a clean simulation of this campaign (1 or 2)"},
+			{Name: "train_seed", Type: ParamInt, Default: 1, Doc: "training simulation seed"},
+			{Name: "train_duration", Type: ParamDuration, Default: 2 * time.Minute, Doc: "training simulation length"},
+		},
+		Build: buildIDS,
+	})
+	Register(Spec{
+		Kind: "drift",
+		Role: RoleAnalysis,
+		In:   PortProfiles,
+		Out:  PortAlerts,
+		Doc:  "two-era drift comparator: compares every snapshot against a stored baseline profile, serves /{id}/drift, emits one alert per new finding",
+		Params: []ParamSpec{
+			{Name: "baseline", Type: ParamString, Required: true, Doc: "stored drift profile to compare against"},
+		},
+		Build: buildDrift,
+	})
+	Register(Spec{
+		Kind: "historian",
+		Role: RoleAnalysis,
+		In:   PortPackets,
+		Doc:  "record every extracted measurement into the durable historian and serve /{id}/query",
+		Params: []ParamSpec{
+			{Name: "dir", Type: ParamString, Required: true, Doc: "historian directory"},
+			{Name: "point_cap", Type: ParamInt, Default: 0, Doc: "cap in-memory samples per series (0 = unbounded)"},
+		},
+		Build: buildHistorian,
+	})
+}
+
+// chanSource adapts a packets edge to the engine's Source contract:
+// Next pops packets off the incoming batches and reports io.EOF once
+// the edge closes. Blocking in Next is fine — the runtime's close
+// cascade is the engine's end-of-stream signal.
+type chanSource struct {
+	in  <-chan Msg
+	cur []pcap.Packet
+	i   int
+}
+
+func (s *chanSource) Next() (pcap.Packet, error) {
+	for {
+		if s.i < len(s.cur) {
+			p := s.cur[s.i]
+			s.i++
+			return p, nil
+		}
+		m, ok := <-s.in
+		if !ok {
+			return pcap.Packet{}, io.EOF
+		}
+		s.cur, s.i = m.Pkts, 0
+	}
+}
+
+func (s *chanSource) Close() error { return nil }
+
+// AnalyzerHooks is the Options.Hooks payload an analyzer segment
+// accepts: programmatic attachments no config file can express.
+type AnalyzerHooks struct {
+	// Observer attaches a core.FrameObserver per shard (e.g. the
+	// presets' alert-counting IDS monitors). Composed with (not
+	// replaced by) the ids_baseline param's monitors.
+	Observer func(shard int) core.FrameObserver
+	// Trace attaches the flight recorder.
+	Trace *trace.Recorder
+	// DriftAlerts receives live drift alerts (on top of the built-in
+	// journal + log wiring).
+	DriftAlerts func(ids.Alert)
+}
+
+// AnalyzerSegment wraps the streaming engine — the exact same sharded
+// analyzer the hand-wired commands use, so profiles are identical.
+type AnalyzerSegment struct {
+	env  *Env
+	id   string
+	eng  *stream.Engine
+	hist *historian.Store
+
+	fwd        chan *Snapshot
+	fwdDropped *obs.Counter
+}
+
+func buildAnalyzer(bc BuildCtx) (Segment, error) {
+	hooks, _ := bc.Hook.(AnalyzerHooks)
+	s := &AnalyzerSegment{
+		env:        bc.Env,
+		id:         bc.ID,
+		fwd:        make(chan *Snapshot, 8),
+		fwdDropped: bc.Env.Registry.With("segment", bc.ID).Counter("uncharted_pipeline_snapshot_drops_total"),
+	}
+
+	var baseline *drift.Profile
+	if path := bc.Params.Str("baseline"); path != "" {
+		var err error
+		baseline, err = drift.LoadProfile(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	observer := hooks.Observer
+	if path := bc.Params.Str("ids_baseline"); path != "" {
+		base, err := drift.LoadBaseline(path)
+		if err != nil {
+			return nil, err
+		}
+		inner := observer
+		observer = func(shard int) core.FrameObserver {
+			mon := ids.NewMonitor(base, alertLogger(bc.Env, bc.ID, shard))
+			if inner == nil {
+				return mon
+			}
+			return core.Observers(inner(shard), mon)
+		}
+	}
+	if dir := bc.Params.Str("historian"); dir != "" {
+		st, err := historian.Open(dir, historian.Options{Registry: bc.Env.Registry.With("segment", bc.ID)})
+		if err != nil {
+			return nil, err
+		}
+		s.hist = st
+	}
+
+	var names map[netip.Addr]string
+	if bc.Params.Bool("names") {
+		names = core.NamesFromTopology(topology.Build())
+	}
+	s.eng = stream.New(stream.Config{
+		Workers:         bc.Params.Int("workers"),
+		BatchSize:       bc.Params.Int("batch"),
+		QueueDepth:      bc.Params.Int("queue"),
+		SnapshotEvery:   bc.Params.Dur("snapshot"),
+		IdleTimeout:     bc.Params.Dur("idle_timeout"),
+		ClusterK:        bc.Params.Int("cluster_k"),
+		ClusterSeed:     int64(bc.Params.Int("cluster_seed")),
+		Names:           names,
+		Registry:        bc.Env.Registry.With("segment", bc.ID),
+		Journal:         bc.Env.Journal,
+		Trace:           hooks.Trace,
+		Observer:        observer,
+		Historian:       s.hist,
+		MaxPointSamples: bc.Params.Int("point_cap"),
+		Baseline:        baseline,
+		DriftAlerts: func(al ids.Alert) {
+			bc.Env.Logf("DRIFT [%s] %v", bc.ID, al)
+			if hooks.DriftAlerts != nil {
+				hooks.DriftAlerts(al)
+			}
+		},
+		// Forward published snapshots down the profiles edge. Called
+		// with the engine lock held, so hand off without blocking; a
+		// full buffer drops the stale intermediate (the final state is
+		// emitted separately after the drain, losslessly).
+		OnSnapshot: func(p core.Partial, prof *stream.Profile, final bool) {
+			if final {
+				return
+			}
+			select {
+			case s.fwd <- &Snapshot{Seq: prof.Seq, Partial: p, Profile: prof}:
+			default:
+				s.fwdDropped.Inc()
+			}
+		},
+	})
+	for path, h := range stream.Endpoints(s.eng, s.hist) {
+		bc.Env.Handle("/"+bc.ID+path, h)
+	}
+	return s, nil
+}
+
+// alertLogger is the built-in sink for ids_baseline monitors: journal,
+// log, done. Monitors are per shard but share it; it serialises itself.
+func alertLogger(env *Env, id string, shard int) func(ids.Alert) {
+	var mu sync.Mutex
+	return func(al ids.Alert) {
+		mu.Lock()
+		defer mu.Unlock()
+		env.Logf("ALERT [%s shard %d] %v", id, shard, al)
+		env.Journal.Log(time.Now(), obs.EventAlert, al.Subject, map[string]any{
+			"segment": id, "shard": shard, "kind": string(al.Kind),
+			"severity": al.Severity, "detail": al.Detail,
+		})
+	}
+}
+
+// Engine exposes the wrapped engine (presets print its final profile).
+func (s *AnalyzerSegment) Engine() *stream.Engine { return s.eng }
+
+// Historian exposes the segment's store, nil unless the historian
+// param is set (presets mount the legacy /query endpoint from it).
+func (s *AnalyzerSegment) Historian() *historian.Store { return s.hist }
+
+// Run implements Segment: the engine consumes the packets edge via a
+// chanSource; snapshots forwarded by the OnSnapshot hook ride the
+// profiles edge, and the exact final state follows the drain.
+func (s *AnalyzerSegment) Run(_ context.Context, in <-chan Msg, emit Emit) error {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for sn := range s.fwd {
+			emit(Msg{Snap: sn})
+		}
+	}()
+	// The engine runs under a background context: cancellation reaches
+	// it as the close cascade on in (chanSource io.EOF), which drains
+	// the shards and publishes the exact final profile.
+	err := s.eng.Run(context.Background(), &chanSource{in: in})
+	close(s.fwd)
+	wg.Wait()
+	if prof := s.eng.Profile(); prof != nil {
+		emit(Msg{Snap: &Snapshot{Seq: prof.Seq, Final: true, Partial: s.eng.Final(), Profile: prof}})
+	}
+	if s.hist != nil {
+		if cerr := s.hist.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// IDSSegment feeds packets through a single whitelist monitor and
+// emits alerts.
+type IDSSegment struct {
+	env  *Env
+	id   string
+	base *ids.Baseline
+	// onAlert is the optional hook sink (func(ids.Alert)).
+	onAlert func(ids.Alert)
+	alerts  atomic.Int64
+}
+
+func buildIDS(bc BuildCtx) (Segment, error) {
+	s := &IDSSegment{env: bc.Env, id: bc.ID}
+	s.onAlert, _ = bc.Hook.(func(ids.Alert))
+	switch {
+	case bc.Params.Str("baseline") != "":
+		base, err := drift.LoadBaseline(bc.Params.Str("baseline"))
+		if err != nil {
+			return nil, err
+		}
+		s.base = base
+	case bc.Params.Int("train_year") > 0:
+		base, err := TrainBaseline(trainYear(bc.Params.Int("train_year")),
+			int64(bc.Params.Int("train_seed")), bc.Params.Dur("train_duration"))
+		if err != nil {
+			return nil, err
+		}
+		s.base = base
+	default:
+		return nil, fmt.Errorf("need baseline or train_year")
+	}
+	eps, conns, points := s.base.Size()
+	bc.Env.Logf("segment %s: online detector armed: %d endpoints, %d connections, %d physical points whitelisted",
+		bc.ID, eps, conns, points)
+	return s, nil
+}
+
+func trainYear(y int) topology.Year {
+	if y == 2 {
+		return topology.Y2
+	}
+	return topology.Y1
+}
+
+// TrainBaseline builds a detector whitelist from a clean simulation of
+// the given grid and length (like training on yesterday's capture).
+// The long cycle period keeps general interrogations from
+// legitimising attacker recon tokens.
+func TrainBaseline(y topology.Year, seed int64, d time.Duration) (*ids.Baseline, error) {
+	cfg := scadasim.DefaultConfig(y, seed)
+	cfg.Duration = d
+	cfg.CyclePeriod = 100 * time.Minute
+	sim, err := scadasim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	a := core.NewAnalyzer(core.NamesFromTopology(sim.Network()))
+	src := stream.NewRecordSource(tr.Records, 0)
+	for {
+		pkt, err := src.Next()
+		if err != nil {
+			break
+		}
+		a.FeedPacket(pkt)
+	}
+	return ids.Train(a)
+}
+
+// Alerts returns how many alerts the monitor has raised.
+func (s *IDSSegment) Alerts() int64 { return s.alerts.Load() }
+
+// Run implements Segment. The monitor's sink runs synchronously on
+// this goroutine (FeedPacket calls it inline), so no locking is
+// needed around emit.
+func (s *IDSSegment) Run(_ context.Context, in <-chan Msg, emit Emit) error {
+	an := core.NewAnalyzer(core.NamesFromTopology(topology.Build()))
+	// The sink journals and emits but does not log: rendering alerts is
+	// the downstream log/webhook segments' job.
+	mon := ids.NewMonitor(s.base, func(al ids.Alert) {
+		s.alerts.Add(1)
+		s.env.Journal.Log(time.Now(), obs.EventAlert, al.Subject, map[string]any{
+			"segment": s.id, "kind": string(al.Kind),
+			"severity": al.Severity, "detail": al.Detail,
+		})
+		if s.onAlert != nil {
+			s.onAlert(al)
+		}
+		a := al
+		emit(Msg{Alert: &a})
+	})
+	an.SetFrameObserver(mon)
+	for m := range in {
+		for i := range m.Pkts {
+			an.FeedPacket(m.Pkts[i])
+		}
+	}
+	return nil
+}
+
+// DriftSegment compares every incoming snapshot against a stored
+// baseline profile.
+type DriftSegment struct {
+	env  *Env
+	id   string
+	base *drift.Profile
+	rep  atomic.Pointer[drift.DriftReport]
+}
+
+func buildDrift(bc BuildCtx) (Segment, error) {
+	base, err := drift.LoadProfile(bc.Params.Str("baseline"))
+	if err != nil {
+		return nil, err
+	}
+	s := &DriftSegment{env: bc.Env, id: bc.ID, base: base}
+	bc.Env.Handle("/"+bc.ID+"/drift", stream.NewDriftHandler(s.Report))
+	return s, nil
+}
+
+// Report returns the latest comparison, or nil before the first
+// snapshot arrives.
+func (s *DriftSegment) Report() *drift.DriftReport { return s.rep.Load() }
+
+// Run implements Segment: one Compare per snapshot, one alert per
+// finding the first time it appears.
+func (s *DriftSegment) Run(_ context.Context, in <-chan Msg, emit Emit) error {
+	seen := make(map[string]bool)
+	for m := range in {
+		sn := m.Snap
+		if sn == nil {
+			continue
+		}
+		cur := drift.NewProfile("live", "pipeline:"+s.env.Pipeline, sn.Partial, sn.Partial.Last)
+		rep := drift.Compare(s.base, cur, drift.DefaultThresholds())
+		s.rep.Store(rep)
+		s.env.Journal.Log(sn.Partial.Last, obs.EventDrift, "", map[string]any{
+			"segment": s.id, "seq": sn.Seq,
+			"findings": len(rep.Findings), "max_severity": rep.MaxSeverity(),
+		})
+		for _, f := range rep.Findings {
+			key := f.Kind + "|" + f.Subject
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			al := f.Alert()
+			s.env.Logf("DRIFT [%s] %v", s.id, al)
+			emit(Msg{Alert: &al})
+		}
+	}
+	return nil
+}
+
+// HistorianSegment records every extracted measurement into the
+// durable store — a terminal packets consumer with a query surface.
+type HistorianSegment struct {
+	store *historian.Store
+	an    *core.Analyzer
+	rec   *historian.Recorder
+}
+
+func buildHistorian(bc BuildCtx) (Segment, error) {
+	st, err := historian.Open(bc.Params.Str("dir"), historian.Options{Registry: bc.Env.Registry.With("segment", bc.ID)})
+	if err != nil {
+		return nil, err
+	}
+	an := core.NewAnalyzer(core.NamesFromTopology(topology.Build()))
+	if pc := bc.Params.Int("point_cap"); pc > 0 {
+		an.Physical().SetMaxSamplesPerSeries(pc)
+	}
+	rec := historian.NewRecorder(st)
+	an.SetFrameObserver(rec)
+	bc.Env.Handle("/"+bc.ID+"/query", historian.QueryHandler(st))
+	return &HistorianSegment{store: st, an: an, rec: rec}, nil
+}
+
+// Run implements Segment.
+func (s *HistorianSegment) Run(_ context.Context, in <-chan Msg, _ Emit) error {
+	for m := range in {
+		for i := range m.Pkts {
+			s.an.FeedPacket(m.Pkts[i])
+		}
+	}
+	err := s.rec.Err()
+	if cerr := s.store.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,499 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// NodeConfig declares one segment instance in a pipeline graph.
+type NodeConfig struct {
+	// ID names the node inside its pipeline; edges reference it.
+	ID string `json:"id"`
+	// Kind is the registered segment kind.
+	Kind string `json:"segment"`
+	// From lists the upstream node IDs feeding this node. Empty for
+	// inputs; every consumer of a node shares its output (implicit
+	// fan-out/tee).
+	From []string `json:"from,omitempty"`
+	// Params is the segment's parameter object, validated against the
+	// kind's declared schema.
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// PipelineConfig declares one named pipeline: a DAG of segments.
+type PipelineConfig struct {
+	// Name routes the pipeline's HTTP surface (/pipelines/{name}/...)
+	// and labels its metrics. Must be a clean path element.
+	Name string `json:"name"`
+	// Nodes is the segment list. Declaration order is free: edges may
+	// reference nodes declared later.
+	Nodes []NodeConfig `json:"segments"`
+}
+
+// Config is the top-level document: every pipeline one process runs.
+type Config struct {
+	Pipelines []PipelineConfig `json:"pipelines"`
+}
+
+// ConfigError is one validation failure, locating the offending spot
+// in the config file. Line is 0 when the error is not attributable to
+// a single line (e.g. a cycle).
+type ConfigError struct {
+	File  string
+	Line  int
+	Where string
+	Msg   string
+}
+
+func (e *ConfigError) Error() string {
+	var b strings.Builder
+	if e.File != "" {
+		b.WriteString(e.File)
+		if e.Line > 0 {
+			fmt.Fprintf(&b, ":%d", e.Line)
+		}
+		b.WriteString(": ")
+	}
+	if e.Where != "" {
+		b.WriteString(e.Where)
+		b.WriteString(": ")
+	}
+	b.WriteString(e.Msg)
+	return b.String()
+}
+
+// Load reads, parses and validates a pipeline config file. JSONC is
+// accepted: // and /* */ comments plus trailing commas are stripped
+// before decoding. All validation failures are reported together.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data, path)
+}
+
+// Parse decodes and validates config bytes; file names the source in
+// errors.
+func Parse(data []byte, file string) (*Config, error) {
+	clean := stripJSONC(data)
+	var cfg Config
+	if err := json.Unmarshal(clean, &cfg); err != nil {
+		line := 0
+		var syn *json.SyntaxError
+		var typ *json.UnmarshalTypeError
+		switch {
+		case errors.As(err, &syn):
+			line = lineAt(clean, syn.Offset)
+		case errors.As(err, &typ):
+			line = lineAt(clean, typ.Offset)
+		}
+		return nil, &ConfigError{File: file, Line: line, Msg: err.Error()}
+	}
+	if err := cfg.validate(file, nodeOffsets(clean)); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// Validate checks a programmatically built config (presets, tests).
+func (c *Config) Validate() error { return c.validate("", nil) }
+
+// validate runs every graph check and joins all failures. offsets,
+// when present, locates each node's declaration line ([pipeline
+// index][node index], from nodeOffsets).
+func (c *Config) validate(file string, offsets [][]int) error {
+	var errs []error
+	fail := func(pi, ni int, where, msg string) {
+		line := 0
+		if offsets != nil && pi < len(offsets) && ni >= 0 && ni < len(offsets[pi]) {
+			line = offsets[pi][ni]
+		}
+		errs = append(errs, &ConfigError{File: file, Line: line, Where: where, Msg: msg})
+	}
+
+	if len(c.Pipelines) == 0 {
+		errs = append(errs, &ConfigError{File: file, Msg: "config declares no pipelines"})
+	}
+	seenPipes := map[string]bool{}
+	for pi := range c.Pipelines {
+		p := &c.Pipelines[pi]
+		pwhere := fmt.Sprintf("pipeline %q", p.Name)
+		if p.Name == "" {
+			pwhere = fmt.Sprintf("pipelines[%d]", pi)
+			fail(pi, -1, pwhere, "pipeline has no name")
+		} else if !cleanName(p.Name) {
+			fail(pi, -1, pwhere, "name must be letters, digits, '-' or '_'")
+		}
+		if seenPipes[p.Name] {
+			fail(pi, -1, pwhere, "duplicate pipeline name")
+		}
+		seenPipes[p.Name] = true
+		if len(p.Nodes) == 0 {
+			fail(pi, -1, pwhere, "pipeline has no segments")
+			continue
+		}
+
+		byID := map[string]*NodeConfig{}
+		for ni := range p.Nodes {
+			n := &p.Nodes[ni]
+			where := fmt.Sprintf("%s segment %q", pwhere, n.ID)
+			if n.ID == "" {
+				where = fmt.Sprintf("%s segments[%d]", pwhere, ni)
+				fail(pi, ni, where, "segment has no id")
+				continue
+			}
+			if !cleanName(n.ID) {
+				fail(pi, ni, where, "id must be letters, digits, '-' or '_'")
+			}
+			if _, dup := byID[n.ID]; dup {
+				fail(pi, ni, where, "duplicate segment id")
+				continue
+			}
+			byID[n.ID] = n
+		}
+
+		hasInput := false
+		for ni := range p.Nodes {
+			n := &p.Nodes[ni]
+			where := fmt.Sprintf("%s segment %q", pwhere, n.ID)
+			spec, ok := Lookup(n.Kind)
+			if !ok {
+				fail(pi, ni, where, fmt.Sprintf("unknown segment kind %q (run `pipelined -segments` for the catalog)", n.Kind))
+				continue
+			}
+			if _, err := parseParams(spec.Params, n.Params); err != nil {
+				fail(pi, ni, where, err.Error())
+			}
+			if spec.In == PortNone {
+				hasInput = true
+				if len(n.From) > 0 {
+					fail(pi, ni, where, fmt.Sprintf("%q is an input segment and cannot have \"from\"", n.Kind))
+				}
+				continue
+			}
+			if len(n.From) == 0 {
+				fail(pi, ni, where, fmt.Sprintf("%q consumes %s but has no \"from\"", n.Kind, spec.In))
+				continue
+			}
+			for _, from := range n.From {
+				up, ok := byID[from]
+				if !ok {
+					fail(pi, ni, where, fmt.Sprintf("dangling edge: \"from\" references unknown segment %q", from))
+					continue
+				}
+				if up == n {
+					// Reported by the cycle check below with a clearer message.
+					continue
+				}
+				upSpec, ok := Lookup(up.Kind)
+				if !ok {
+					continue // already reported on the upstream node
+				}
+				if upSpec.Out == PortNone {
+					fail(pi, ni, where, fmt.Sprintf("segment %q (%s) is terminal and produces no output", from, up.Kind))
+					continue
+				}
+				if upSpec.Out != spec.In {
+					fail(pi, ni, where, fmt.Sprintf("port type mismatch: %q (%s) emits %s but %q consumes %s",
+						from, up.Kind, upSpec.Out, n.Kind, spec.In))
+				}
+			}
+		}
+		if !hasInput && len(byID) > 0 {
+			fail(pi, -1, pwhere, "pipeline has no input segment")
+		}
+
+		for _, cyc := range findCycles(p.Nodes) {
+			fail(pi, -1, pwhere, "cycle: "+cyc)
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return errors.Join(errs...)
+}
+
+// findCycles reports each cycle in the edge set once, rendered as
+// "a -> b -> a".
+func findCycles(nodes []NodeConfig) []string {
+	idx := map[string]int{}
+	for i := range nodes {
+		if nodes[i].ID != "" {
+			idx[nodes[i].ID] = i
+		}
+	}
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make([]int, len(nodes))
+	var stack []string
+	var cycles []string
+	var visit func(i int)
+	visit = func(i int) {
+		state[i] = inStack
+		stack = append(stack, nodes[i].ID)
+		for _, from := range nodes[i].From {
+			j, ok := idx[from]
+			if !ok {
+				continue
+			}
+			switch state[j] {
+			case inStack:
+				// Render the cycle from its first occurrence on the stack.
+				start := 0
+				for k, id := range stack {
+					if id == from {
+						start = k
+						break
+					}
+				}
+				cycles = append(cycles, strings.Join(append(append([]string{}, stack[start:]...), from), " -> "))
+			case unvisited:
+				visit(j)
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[i] = done
+	}
+	for i := range nodes {
+		if state[i] == unvisited {
+			visit(i)
+		}
+	}
+	return cycles
+}
+
+func cleanName(s string) bool {
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// stripJSONC blanks // and /* */ comments (newlines preserved, so
+// byte offsets keep mapping to the original lines) and removes
+// trailing commas before ] or }.
+func stripJSONC(data []byte) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	const (
+		code = iota
+		inString
+		lineComment
+		blockComment
+	)
+	state := code
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		switch state {
+		case code:
+			switch {
+			case c == '"':
+				state = inString
+			case c == '/' && i+1 < len(out) && out[i+1] == '/':
+				state = lineComment
+				out[i] = ' '
+			case c == '/' && i+1 < len(out) && out[i+1] == '*':
+				state = blockComment
+				out[i] = ' '
+			}
+		case inString:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				state = code
+			}
+		case lineComment:
+			if c == '\n' {
+				state = code
+			} else {
+				out[i] = ' '
+			}
+		case blockComment:
+			if c == '*' && i+1 < len(out) && out[i+1] == '/' {
+				out[i], out[i+1] = ' ', ' '
+				i++
+				state = code
+			} else if c != '\n' {
+				out[i] = ' '
+			}
+		}
+	}
+	// Trailing commas: blank a comma whose next non-space byte closes a
+	// container.
+	state = code
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		if state == inString {
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				state = code
+			}
+			continue
+		}
+		if c == '"' {
+			state = inString
+			continue
+		}
+		if c != ',' {
+			continue
+		}
+		for j := i + 1; j < len(out); j++ {
+			n := out[j]
+			if n == ' ' || n == '\t' || n == '\n' || n == '\r' {
+				continue
+			}
+			if n == ']' || n == '}' {
+				out[i] = ' '
+			}
+			break
+		}
+	}
+	return out
+}
+
+// lineAt converts a byte offset to a 1-based line number.
+func lineAt(data []byte, off int64) int {
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	return 1 + bytes.Count(data[:off], []byte{'\n'})
+}
+
+// nodeOffsets walks the JSON token stream and records, for each
+// pipeline in document order, the line each of its segment objects
+// starts on. It mirrors the shape json.Unmarshal decodes, so indexes
+// line up with Config.Pipelines[i].Nodes[j].
+func nodeOffsets(data []byte) [][]int {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var out [][]int
+
+	next := func() (json.Token, bool) {
+		t, err := dec.Token()
+		if err != nil {
+			return nil, false
+		}
+		return t, true
+	}
+	var skip func() bool
+	skip = func() bool {
+		t, ok := next()
+		if !ok {
+			return false
+		}
+		if d, isDelim := t.(json.Delim); isDelim && (d == '{' || d == '[') {
+			for dec.More() {
+				if !skip() {
+					return false
+				}
+			}
+			_, ok = next() // closing delim
+			return ok
+		}
+		return true
+	}
+
+	// Top-level object.
+	if t, ok := next(); !ok {
+		return nil
+	} else if d, isDelim := t.(json.Delim); !isDelim || d != '{' {
+		return nil
+	}
+	for dec.More() {
+		key, ok := next()
+		if !ok {
+			return out
+		}
+		if key != "pipelines" {
+			if !skip() {
+				return out
+			}
+			continue
+		}
+		// pipelines: [ {...}, ... ]
+		if t, ok := next(); !ok {
+			return out
+		} else if d, isDelim := t.(json.Delim); !isDelim || d != '[' {
+			continue
+		}
+		for dec.More() {
+			// One pipeline object.
+			if t, ok := next(); !ok {
+				return out
+			} else if d, isDelim := t.(json.Delim); !isDelim || d != '{' {
+				if _, isDelim := t.(json.Delim); isDelim {
+					skipRest(dec)
+				}
+				continue
+			}
+			var lines []int
+			for dec.More() {
+				pkey, ok := next()
+				if !ok {
+					return out
+				}
+				if pkey != "segments" {
+					if !skip() {
+						return out
+					}
+					continue
+				}
+				if t, ok := next(); !ok {
+					return out
+				} else if d, isDelim := t.(json.Delim); !isDelim || d != '[' {
+					continue
+				}
+				for dec.More() {
+					// InputOffset points just past the previous token
+					// (the '[' or the prior element); the element itself
+					// starts at the next non-separator byte.
+					lines = append(lines, lineAt(data, elemStart(data, dec.InputOffset())))
+					if !skip() {
+						return out
+					}
+				}
+				next() // ]
+			}
+			next() // }
+			out = append(out, lines)
+		}
+		next() // ]
+	}
+	return out
+}
+
+// elemStart advances past whitespace and the element separator to the
+// first byte of the next array element.
+func elemStart(data []byte, off int64) int64 {
+	for off < int64(len(data)) {
+		switch data[off] {
+		case ' ', '\t', '\n', '\r', ',':
+			off++
+		default:
+			return off
+		}
+	}
+	return off
+}
+
+// skipRest drains the decoder after an unexpected delimiter so the
+// walk can continue; malformed documents already failed Unmarshal.
+func skipRest(dec *json.Decoder) {
+	for {
+		if _, err := dec.Token(); err != nil {
+			return
+		}
+	}
+}

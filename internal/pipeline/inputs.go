@@ -1,0 +1,482 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/drift"
+	"uncharted/internal/obs"
+	"uncharted/internal/pcap"
+	"uncharted/internal/scadasim"
+	"uncharted/internal/stream"
+	"uncharted/internal/topology"
+)
+
+// maxPartialBytes bounds one posted probe partial, matching the
+// control-room service's limit.
+const maxPartialBytes = 64 << 20
+
+func init() {
+	Register(Spec{
+		Kind: "pcap",
+		Role: RoleInput,
+		Out:  PortPackets,
+		Doc:  "read finished captures (a file, or every *.pcap/*.pcapng in a directory, sorted)",
+		Params: []ParamSpec{
+			{Name: "path", Type: ParamString, Required: true, Doc: "capture file or directory"},
+			{Name: "batch", Type: ParamInt, Default: 64, Doc: "packets per emitted message"},
+			{Name: "speed", Type: ParamFloat, Default: 0.0, Doc: "replay pacing (60 = one captured minute per wall second; 0 = as fast as possible; single file only)"},
+		},
+		Build: buildPCAPInput,
+	})
+	Register(Spec{
+		Kind: "follow",
+		Role: RoleInput,
+		Out:  PortPackets,
+		Doc:  "tail a growing classic-pcap capture (never EOF; stops on drain)",
+		Params: []ParamSpec{
+			{Name: "path", Type: ParamString, Required: true, Doc: "capture file being written"},
+			{Name: "batch", Type: ParamInt, Default: 64, Doc: "packets per emitted message"},
+			{Name: "poll", Type: ParamDuration, Default: 25 * time.Millisecond, Doc: "sleep at the write frontier"},
+		},
+		Build: buildFollowInput,
+	})
+	Register(Spec{
+		Kind: "sim",
+		Role: RoleInput,
+		Out:  PortPackets,
+		Doc:  "feed the in-process grid simulator, optionally with an injected mid-feed attack",
+		Params: []ParamSpec{
+			{Name: "year", Type: ParamInt, Default: 1, Doc: "capture campaign to simulate (1 or 2)"},
+			{Name: "seed", Type: ParamInt, Default: 1, Doc: "simulation seed"},
+			{Name: "duration", Type: ParamDuration, Default: 2 * time.Minute, Doc: "simulated feed length"},
+			{Name: "speed", Type: ParamFloat, Default: 0.0, Doc: "replay pacing (60 = one simulated minute per wall second; 0 = as fast as possible)"},
+			{Name: "attack", Type: ParamString, Default: "", Doc: "inject an attack mid-feed: recon, breaker or setpoint"},
+			{Name: "batch", Type: ParamInt, Default: 64, Doc: "packets per emitted message"},
+			{Name: "poll", Type: ParamDuration, Default: 25 * time.Millisecond, Doc: "sleep while paced replay has nothing due"},
+		},
+		Build: buildSimInput,
+	})
+	Register(Spec{
+		Kind: "probe",
+		Role: RoleInput,
+		Out:  PortProfiles,
+		Doc:  "receive drift-codec partials POSTed by remote probes at /{id}/partial and emit the merged fleet snapshot",
+		Params: []ParamSpec{
+			{Name: "cluster_k", Type: ParamInt, Default: 0, Doc: "session clustering K for the merged profile (0 = off)"},
+		},
+		Build: buildProbeInput,
+	})
+}
+
+// batcher groups packets into emitted messages. Emitted slices are
+// handed to consumers (who share them read-only across a fan-out), so
+// a fresh slice backs every message.
+type batcher struct {
+	emit Emit
+	size int
+	buf  []pcap.Packet
+}
+
+func (b *batcher) add(p pcap.Packet) {
+	if b.buf == nil {
+		b.buf = make([]pcap.Packet, 0, b.size)
+	}
+	b.buf = append(b.buf, p)
+	if len(b.buf) >= b.size {
+		b.flush()
+	}
+}
+
+func (b *batcher) flush() {
+	if len(b.buf) == 0 {
+		return
+	}
+	b.emit(Msg{Pkts: b.buf})
+	b.buf = nil
+}
+
+// PCAPInput streams one or more finished captures.
+type PCAPInput struct {
+	files []string
+	batch int
+	speed float64
+}
+
+func buildPCAPInput(bc BuildCtx) (Segment, error) {
+	path := bc.Params.Str("path")
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &PCAPInput{batch: bc.Params.Int("batch"), speed: bc.Params.Float("speed")}
+	if s.batch < 1 {
+		s.batch = 64
+	}
+	if !fi.IsDir() {
+		s.files = []string{path}
+		return s, nil
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch strings.ToLower(filepath.Ext(e.Name())) {
+		case ".pcap", ".pcapng":
+			s.files = append(s.files, filepath.Join(path, e.Name()))
+		}
+	}
+	if len(s.files) == 0 {
+		return nil, fmt.Errorf("no *.pcap or *.pcapng files in %s", path)
+	}
+	if s.speed > 0 && len(s.files) > 1 {
+		return nil, fmt.Errorf("speed pacing needs a single capture file, %s holds %d", path, len(s.files))
+	}
+	sort.Strings(s.files)
+	return s, nil
+}
+
+// Run implements Segment.
+func (s *PCAPInput) Run(ctx context.Context, _ <-chan Msg, emit Emit) error {
+	b := &batcher{emit: emit, size: s.batch}
+	for _, path := range s.files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		var src stream.Source
+		if s.speed > 0 {
+			src, err = stream.NewReplaySource(f, s.speed)
+		} else {
+			src, err = stream.NewPCAPSource(f)
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if rs, ok := src.(stream.RawSource); ok {
+			err = pumpRawSource(ctx, rs, b, 25*time.Millisecond)
+		} else {
+			err = pumpSource(ctx, src, b, 25*time.Millisecond)
+		}
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+	}
+	b.flush()
+	return nil
+}
+
+// pumpSource drives one source into the batcher until io.EOF or ctx
+// cancellation; ErrNotReady flushes in-flight work and polls. A
+// canceled ctx is a drain, not an error.
+func pumpSource(ctx context.Context, src stream.Source, b *batcher, poll time.Duration) error {
+	for {
+		if ctx.Err() != nil {
+			b.flush()
+			return nil
+		}
+		pkt, err := src.Next()
+		switch {
+		case err == nil:
+			b.add(pkt)
+		case errors.Is(err, stream.ErrNotReady):
+			b.flush()
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(poll):
+			}
+		case errors.Is(err, io.EOF):
+			b.flush()
+			return nil
+		default:
+			b.flush()
+			return err
+		}
+	}
+}
+
+// slabSize sets how many decoded record bytes share one backing
+// allocation in pumpRawSource.
+const slabSize = 256 << 10
+
+// pumpRawSource drives a RawSource into the batcher with amortized
+// allocations: each record is read into a reused scratch buffer, then
+// copied onto a shared slab (a fresh slab roughly every 256 KiB, never
+// reused) and decoded in place, so the emitted packets — whose layer
+// slices alias the slab — stay valid for every fan-out consumer at one
+// allocation per slab instead of one per packet. Undecodable records
+// are skipped, matching PCAPSource.Next. A canceled ctx is a drain.
+func pumpRawSource(ctx context.Context, src stream.RawSource, b *batcher, poll time.Duration) error {
+	var scratch, slab []byte
+	for {
+		if ctx.Err() != nil {
+			b.flush()
+			return nil
+		}
+		data, ci, link, err := src.NextRaw(scratch)
+		switch {
+		case err == nil:
+			scratch = data
+			if len(slab)+len(data) > cap(slab) {
+				n := slabSize
+				if len(data) > n {
+					n = len(data)
+				}
+				slab = make([]byte, 0, n)
+			}
+			off := len(slab)
+			slab = append(slab, data...)
+			pkt, derr := pcap.DecodePacket(link, ci, slab[off:len(slab):len(slab)])
+			if derr == nil {
+				b.add(pkt)
+			}
+		case errors.Is(err, stream.ErrNotReady):
+			b.flush()
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(poll):
+			}
+		case errors.Is(err, io.EOF):
+			b.flush()
+			return nil
+		default:
+			b.flush()
+			return err
+		}
+	}
+}
+
+// FollowInput tails a growing capture.
+type FollowInput struct {
+	src   *stream.FollowSource
+	batch int
+	poll  time.Duration
+}
+
+func buildFollowInput(bc BuildCtx) (Segment, error) {
+	src, err := stream.NewFollowSource(bc.Params.Str("path"))
+	if err != nil {
+		return nil, err
+	}
+	return &FollowInput{src: src, batch: bc.Params.Int("batch"), poll: bc.Params.Dur("poll")}, nil
+}
+
+// Run implements Segment: a followed file never ends, so the segment
+// runs until the drain.
+func (s *FollowInput) Run(ctx context.Context, _ <-chan Msg, emit Emit) error {
+	defer s.src.Close()
+	return pumpRawSource(ctx, s.src, &batcher{emit: emit, size: s.batch}, s.poll)
+}
+
+// SimInput feeds a synthesized grid capture, optionally with an
+// Industroyer-style attack injected mid-feed.
+type SimInput struct {
+	trace   *scadasim.Trace
+	network *topology.Network
+	speed   float64
+	batch   int
+	poll    time.Duration
+}
+
+func buildSimInput(bc BuildCtx) (Segment, error) {
+	year := topology.Y1
+	if bc.Params.Int("year") == 2 {
+		year = topology.Y2
+	}
+	cfg := scadasim.DefaultConfig(year, int64(bc.Params.Int("seed")))
+	cfg.Duration = bc.Params.Dur("duration")
+	attack := bc.Params.Str("attack")
+	if attack != "" {
+		// Long cycle period: general interrogations would otherwise
+		// legitimise the attacker's recon tokens.
+		cfg.CyclePeriod = 100 * time.Minute
+	}
+	sim, err := scadasim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	s := &SimInput{
+		trace:   tr,
+		network: sim.Network(),
+		speed:   bc.Params.Float("speed"),
+		batch:   bc.Params.Int("batch"),
+		poll:    bc.Params.Dur("poll"),
+	}
+	if attack != "" {
+		ac := scadasim.AttackConfig{At: cfg.Start.Add(cfg.Duration / 2)}
+		switch attack {
+		case "recon":
+			ac.Kind = scadasim.AttackRecon
+		case "breaker":
+			ac.Kind = scadasim.AttackBreakerTrip
+		case "setpoint":
+			ac.Kind = scadasim.AttackSetpointTamper
+			ac.Attacker = s.network.ServerAddr("C1")
+		default:
+			return nil, fmt.Errorf("unknown attack %q (want recon, breaker or setpoint)", attack)
+		}
+		n, err := sim.InjectAttack(tr, ac)
+		if err != nil {
+			return nil, err
+		}
+		bc.Env.Logf("segment %s: injected %s attack: %d packets at +%s", bc.ID, ac.Kind, n, cfg.Duration/2)
+	}
+	return s, nil
+}
+
+// Trace exposes the generated records (presets write the -pcap
+// cross-check capture from it).
+func (s *SimInput) Trace() *scadasim.Trace { return s.trace }
+
+// Network exposes the simulated topology.
+func (s *SimInput) Network() *topology.Network { return s.network }
+
+// Run implements Segment.
+func (s *SimInput) Run(ctx context.Context, _ <-chan Msg, emit Emit) error {
+	src := stream.NewRecordSource(s.trace.Records, s.speed)
+	return pumpSource(ctx, src, &batcher{emit: emit, size: s.batch}, s.poll)
+}
+
+// ProbeInput is the remote-probe receiver: probes POST drift-codec
+// profiles (the same wire format the control-room service accepts) to
+// /{id}/partial, and every accepted post re-merges the fleet and
+// emits one Snapshot downstream.
+type ProbeInput struct {
+	env      *Env
+	id       string
+	clusterK int
+
+	mu      sync.Mutex
+	byProbe map[string]core.Partial
+	ver     int
+
+	dirty chan struct{}
+}
+
+func buildProbeInput(bc BuildCtx) (Segment, error) {
+	s := &ProbeInput{
+		env:      bc.Env,
+		id:       bc.ID,
+		clusterK: bc.Params.Int("cluster_k"),
+		byProbe:  make(map[string]core.Partial),
+		dirty:    make(chan struct{}, 1),
+	}
+	bc.Env.Handle("/"+bc.ID+"/partial", http.HandlerFunc(s.handlePartial))
+	return s, nil
+}
+
+func (s *ProbeInput) handlePartial(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST a drift-codec profile", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxPartialBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxPartialBytes {
+		http.Error(w, "partial too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	prof, err := drift.DecodeProfile(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	probe := req.URL.Query().Get("probe")
+	if probe == "" {
+		probe = prof.Meta.Label
+	}
+	if probe == "" {
+		http.Error(w, "probe label missing: set ?probe= or the profile's label", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.byProbe[probe] = prof.Partial
+	s.ver++
+	ver, probes := s.ver, len(s.byProbe)
+	s.mu.Unlock()
+	select {
+	case s.dirty <- struct{}{}:
+	default:
+	}
+	s.env.Journal.Log(time.Now(), obs.EventPartial, probe, map[string]any{
+		"pipeline": s.env.Pipeline,
+		"segment":  s.id,
+		"packets":  prof.Partial.Packets,
+		"probes":   probes,
+		"version":  ver,
+	})
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\"probe\":%q,\"probes\":%d,\"version\":%d}\n", probe, probes, ver)
+}
+
+// snapshot merges the current probe set; MergePartials is commutative
+// and associative, so arrival order never matters.
+func (s *ProbeInput) snapshot() *Snapshot {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.byProbe))
+	for n := range s.byProbe {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]core.Partial, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, s.byProbe[n])
+	}
+	ver := s.ver
+	s.mu.Unlock()
+	if len(parts) == 0 {
+		return nil
+	}
+	merged := core.MergePartials(parts)
+	prof := stream.BuildProfile(merged, ver, s.clusterK, 1202)
+	prof.Workers = len(parts)
+	return &Snapshot{Seq: ver, Partial: merged, Profile: prof}
+}
+
+// Run implements Segment: it emits one merged snapshot per accepted
+// post until the drain, then a final merged state.
+func (s *ProbeInput) Run(ctx context.Context, _ <-chan Msg, emit Emit) error {
+	for {
+		select {
+		case <-ctx.Done():
+			if sn := s.snapshot(); sn != nil {
+				sn.Final = true
+				emit(Msg{Snap: sn})
+			}
+			return nil
+		case <-s.dirty:
+			if sn := s.snapshot(); sn != nil {
+				emit(Msg{Snap: sn})
+			}
+		}
+	}
+}

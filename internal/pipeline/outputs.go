@@ -1,0 +1,313 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"uncharted/internal/ids"
+	"uncharted/internal/obs"
+	"uncharted/internal/stream"
+)
+
+func init() {
+	Register(Spec{
+		Kind: "snapshot_http",
+		Role: RoleOutput,
+		In:   PortProfiles,
+		Doc:  "serve the latest snapshot's profile over HTTP (JSON, ?format=text for the operator summary)",
+		Params: []ParamSpec{
+			{Name: "path", Type: ParamString, Default: "", Doc: "mount path under the pipeline (default /{id})"},
+		},
+		Build: buildSnapshotHTTP,
+	})
+	Register(Spec{
+		Kind: "export",
+		Role: RoleOutput,
+		In:   PortProfiles,
+		Doc:  "write profiles to a file: json (final profile), jsonl (one profile per snapshot) or csv (one summary row per snapshot)",
+		Params: []ParamSpec{
+			{Name: "path", Type: ParamString, Required: true, Doc: "output file"},
+			{Name: "format", Type: ParamString, Default: "json", Doc: "json, jsonl or csv"},
+		},
+		Build: buildExport,
+	})
+	Register(Spec{
+		Kind: "journal",
+		Role: RoleOutput,
+		In:   PortProfiles,
+		Doc:  "append one JSONL snapshot event per published profile to a file",
+		Params: []ParamSpec{
+			{Name: "path", Type: ParamString, Required: true, Doc: "JSONL output file"},
+		},
+		Build: buildJournalOutput,
+	})
+	Register(Spec{
+		Kind: "webhook",
+		Role: RoleOutput,
+		In:   PortAlerts,
+		Doc:  "POST one JSON document per alert to an HTTP endpoint (delivery failures are logged, not fatal)",
+		Params: []ParamSpec{
+			{Name: "url", Type: ParamString, Required: true, Doc: "webhook endpoint"},
+			{Name: "timeout", Type: ParamDuration, Default: 5 * time.Second, Doc: "per-delivery timeout"},
+		},
+		Build: buildWebhook,
+	})
+	Register(Spec{
+		Kind:  "log",
+		Role:  RoleOutput,
+		In:    PortAlerts,
+		Doc:   "log every alert through the pipeline's logger",
+		Build: buildLogOutput,
+	})
+}
+
+// SnapshotHTTPOutput publishes the latest profile at a mount path.
+type SnapshotHTTPOutput struct {
+	prof atomic.Pointer[stream.Profile]
+}
+
+func buildSnapshotHTTP(bc BuildCtx) (Segment, error) {
+	s := &SnapshotHTTPOutput{}
+	path := bc.Params.Str("path")
+	if path == "" {
+		path = "/" + bc.ID
+	}
+	if path[0] != '/' {
+		path = "/" + path
+	}
+	bc.Env.Handle(path, stream.NewProfileHandler(s.prof.Load))
+	return s, nil
+}
+
+// Run implements Segment.
+func (s *SnapshotHTTPOutput) Run(_ context.Context, in <-chan Msg, _ Emit) error {
+	for m := range in {
+		if m.Snap != nil && m.Snap.Profile != nil {
+			s.prof.Store(m.Snap.Profile)
+		}
+	}
+	return nil
+}
+
+// ExportOutput writes profiles to a file in one of three formats.
+type ExportOutput struct {
+	path   string
+	format string
+}
+
+func buildExport(bc BuildCtx) (Segment, error) {
+	format := bc.Params.Str("format")
+	switch format {
+	case "json", "jsonl", "csv":
+	default:
+		return nil, fmt.Errorf("unknown format %q (want json, jsonl or csv)", format)
+	}
+	// Create eagerly so an unwritable path fails the build, not the run.
+	f, err := os.Create(bc.Params.Str("path"))
+	if err != nil {
+		return nil, err
+	}
+	f.Close()
+	return &ExportOutput{path: bc.Params.Str("path"), format: format}, nil
+}
+
+// Run implements Segment.
+func (s *ExportOutput) Run(_ context.Context, in <-chan Msg, _ Emit) error {
+	f, err := os.Create(s.path)
+	if err != nil {
+		return err
+	}
+	var last *stream.Profile
+	var cw *csv.Writer
+	if s.format == "csv" {
+		cw = csv.NewWriter(f)
+		if err := cw.Write([]string{"seq", "last", "packets", "iec_packets", "flows", "asdus", "parse_errors", "seq_anomalies"}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	for m := range in {
+		sn := m.Snap
+		if sn == nil || sn.Profile == nil {
+			continue
+		}
+		switch s.format {
+		case "jsonl":
+			var buf bytes.Buffer
+			if err := json.NewEncoder(&buf).Encode(sn.Profile); err != nil {
+				f.Close()
+				return err
+			}
+			if _, err := f.Write(buf.Bytes()); err != nil {
+				f.Close()
+				return err
+			}
+		case "csv":
+			p := sn.Partial
+			if err := cw.Write([]string{
+				strconv.Itoa(sn.Seq),
+				p.Last.UTC().Format(time.RFC3339Nano),
+				strconv.Itoa(p.Packets),
+				strconv.Itoa(p.IECPackets),
+				strconv.Itoa(p.Flows.Total()),
+				strconv.Itoa(p.TotalASDUs),
+				strconv.Itoa(p.ParseErrors),
+				strconv.Itoa(p.SeqAnomalies),
+			}); err != nil {
+				f.Close()
+				return err
+			}
+		default:
+			last = sn.Profile
+		}
+	}
+	if s.format == "csv" {
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if s.format == "json" && last != nil {
+		if err := last.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// JournalOutput appends one obs snapshot event per published profile.
+type JournalOutput struct {
+	path string
+}
+
+func buildJournalOutput(bc BuildCtx) (Segment, error) {
+	f, err := os.Create(bc.Params.Str("path"))
+	if err != nil {
+		return nil, err
+	}
+	f.Close()
+	return &JournalOutput{path: bc.Params.Str("path")}, nil
+}
+
+// Run implements Segment.
+func (s *JournalOutput) Run(_ context.Context, in <-chan Msg, _ Emit) error {
+	f, err := os.Create(s.path)
+	if err != nil {
+		return err
+	}
+	j := obs.NewJournal(f)
+	for m := range in {
+		sn := m.Snap
+		if sn == nil {
+			continue
+		}
+		p := sn.Partial
+		j.Log(p.Last, obs.EventSnapshot, "", map[string]any{
+			"seq":          sn.Seq,
+			"final":        sn.Final,
+			"packets":      p.Packets,
+			"iec":          p.IECPackets,
+			"flows":        p.Flows.Total(),
+			"asdus":        p.TotalASDUs,
+			"parse_errors": p.ParseErrors,
+		})
+	}
+	j.Flush()
+	err = j.Err()
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WebhookOutput delivers alerts as JSON POSTs.
+type WebhookOutput struct {
+	env      *Env
+	id       string
+	url      string
+	client   *http.Client
+	failures *obs.Counter
+}
+
+func buildWebhook(bc BuildCtx) (Segment, error) {
+	return &WebhookOutput{
+		env:      bc.Env,
+		id:       bc.ID,
+		url:      bc.Params.Str("url"),
+		client:   &http.Client{Timeout: bc.Params.Dur("timeout")},
+		failures: bc.Env.Registry.With("segment", bc.ID).Counter("uncharted_pipeline_webhook_failures_total"),
+	}, nil
+}
+
+// Run implements Segment. A failed delivery is counted and logged but
+// never fails the pipeline: an alert sink being down must not stop
+// analysis.
+func (s *WebhookOutput) Run(_ context.Context, in <-chan Msg, _ Emit) error {
+	for m := range in {
+		if m.Alert == nil {
+			continue
+		}
+		body, err := json.Marshal(map[string]any{
+			"pipeline": s.env.Pipeline,
+			"segment":  s.id,
+			"kind":     string(m.Alert.Kind),
+			"severity": m.Alert.Severity,
+			"subject":  m.Alert.Subject,
+			"detail":   m.Alert.Detail,
+		})
+		if err != nil {
+			s.failures.Inc()
+			continue
+		}
+		resp, err := s.client.Post(s.url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			s.failures.Inc()
+			s.env.Logf("webhook %s: delivery failed: %v", s.id, err)
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			s.failures.Inc()
+			s.env.Logf("webhook %s: endpoint answered %s", s.id, resp.Status)
+		}
+	}
+	return nil
+}
+
+// LogOutput logs alerts.
+type LogOutput struct {
+	env *Env
+	id  string
+	// onAlert is the optional hook sink (func(ids.Alert)).
+	onAlert func(ids.Alert)
+}
+
+func buildLogOutput(bc BuildCtx) (Segment, error) {
+	s := &LogOutput{env: bc.Env, id: bc.ID}
+	s.onAlert, _ = bc.Hook.(func(ids.Alert))
+	return s, nil
+}
+
+// Run implements Segment.
+func (s *LogOutput) Run(_ context.Context, in <-chan Msg, _ Emit) error {
+	for m := range in {
+		if m.Alert == nil {
+			continue
+		}
+		s.env.Logf("ALERT [%s] %v", s.id, *m.Alert)
+		if s.onAlert != nil {
+			s.onAlert(*m.Alert)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/ids"
+	"uncharted/internal/obs/trace"
+)
+
+// The presets turn the hand-wired commands into declared graphs: the
+// profiler's streaming path and iec104live construct the same
+// input→analyzer pipelines a config file would, so every capability
+// those commands expose is reachable from cmd/pipelined too — and the
+// equivalence tests pin the profiles to be identical either way.
+
+// presetNode builds one NodeConfig with marshalled params. Params values
+// must be JSON-encodable; durations are emitted as nanosecond numbers,
+// which the loader accepts.
+func presetNode(id, kind string, from []string, params map[string]any) NodeConfig {
+	nc := NodeConfig{ID: id, Kind: kind, From: from}
+	if len(params) > 0 {
+		raw, err := json.Marshal(params)
+		if err != nil {
+			// Preset params are program literals; a marshal failure is a
+			// programming error.
+			panic(fmt.Sprintf("pipeline: preset params: %v", err))
+		}
+		nc.Params = raw
+	}
+	return nc
+}
+
+// ProfilerPreset parameterises the profiler command's streaming path.
+type ProfilerPreset struct {
+	// Path is the capture; Follow tails it instead of reading to EOF.
+	Path   string
+	Follow bool
+	// Workers / SnapshotEvery / IdleTimeout / PointCap / Names map to
+	// the analyzer params of the same name. SnapshotEvery only applies
+	// when following (a finished capture publishes the final profile
+	// only), matching the command.
+	Workers       int
+	SnapshotEvery time.Duration
+	IdleTimeout   time.Duration
+	PointCap      int
+	Names         bool
+	// HistorianDir / BaselinePath / IDSBaselinePath arm the analyzer's
+	// optional stages.
+	HistorianDir    string
+	BaselinePath    string
+	IDSBaselinePath string
+	// Trace / Observer / DriftAlerts are the programmatic attachments
+	// (flight recorder, per-shard monitors, drift alert sink).
+	Trace       *trace.Recorder
+	Observer    func(shard int) core.FrameObserver
+	DriftAlerts func(ids.Alert)
+}
+
+// ProfilerGraph returns the declared graph equivalent to the
+// profiler's hand-wired streaming engine — pipeline "profiler",
+// segments "src" → "an" — plus the hooks to install via Options.Hooks.
+func ProfilerGraph(p ProfilerPreset) (*Config, map[string]any) {
+	srcKind := "pcap"
+	if p.Follow {
+		srcKind = "follow"
+	}
+	snapshot := time.Duration(0)
+	if p.Follow {
+		snapshot = p.SnapshotEvery
+	}
+	cfg := &Config{Pipelines: []PipelineConfig{{
+		Name: "profiler",
+		Nodes: []NodeConfig{
+			presetNode("src", srcKind, nil, map[string]any{"path": p.Path}),
+			presetNode("an", "analyzer", []string{"src"}, map[string]any{
+				"workers":      p.Workers,
+				"snapshot":     snapshot,
+				"idle_timeout": p.IdleTimeout,
+				"cluster_k":    5,
+				"cluster_seed": 1202,
+				"point_cap":    p.PointCap,
+				"names":        p.Names,
+				"historian":    p.HistorianDir,
+				"baseline":     p.BaselinePath,
+				"ids_baseline": p.IDSBaselinePath,
+			}),
+		},
+	}}}
+	hooks := map[string]any{
+		"profiler/an": AnalyzerHooks{Trace: p.Trace, Observer: p.Observer, DriftAlerts: p.DriftAlerts},
+	}
+	return cfg, hooks
+}
+
+// LivePreset parameterises the iec104live command's graph.
+type LivePreset struct {
+	// Year / Seed / Duration / Speed / Attack map to the sim input's
+	// params of the same name.
+	Year     int
+	Seed     int
+	Duration time.Duration
+	Speed    float64
+	Attack   string
+	// Workers / SnapshotEvery / HistorianDir / PointCap map to the
+	// analyzer params.
+	Workers       int
+	SnapshotEvery time.Duration
+	HistorianDir  string
+	PointCap      int
+	// Trace / Observer attach the flight recorder and the per-shard
+	// attack monitors.
+	Trace    *trace.Recorder
+	Observer func(shard int) core.FrameObserver
+}
+
+// LiveGraph returns the declared graph equivalent to iec104live's
+// hand-wired simulator→engine wiring — pipeline "live", segments
+// "sim" → "an" — plus the hooks to install via Options.Hooks.
+func LiveGraph(p LivePreset) (*Config, map[string]any) {
+	cfg := &Config{Pipelines: []PipelineConfig{{
+		Name: "live",
+		Nodes: []NodeConfig{
+			presetNode("sim", "sim", nil, map[string]any{
+				"year":     p.Year,
+				"seed":     p.Seed,
+				"duration": p.Duration,
+				"speed":    p.Speed,
+				"attack":   p.Attack,
+			}),
+			presetNode("an", "analyzer", []string{"sim"}, map[string]any{
+				"workers":      p.Workers,
+				"snapshot":     p.SnapshotEvery,
+				"cluster_k":    5,
+				"cluster_seed": 1202,
+				"point_cap":    p.PointCap,
+				"historian":    p.HistorianDir,
+			}),
+		},
+	}}}
+	hooks := map[string]any{
+		"live/an": AnalyzerHooks{Trace: p.Trace, Observer: p.Observer},
+	}
+	return cfg, hooks
+}

@@ -41,9 +41,10 @@ func (d Duration) MarshalJSON() ([]byte, error) {
 // SourceConfig says where a tenant's packets come from.
 type SourceConfig struct {
 	// Kind picks the source: "sim" (in-process simulator), "pcap"
-	// (finished capture), "follow" (growing capture, tail -f style) or
+	// (finished capture), "follow" (growing capture, tail -f style),
 	// "probe" (no local ingest: the tenant only aggregates partials
-	// posted by remote probes).
+	// posted by remote probes) or "pipeline" (host a declared segment
+	// graph from a cmd/pipelined config file).
 	Kind string `json:"kind"`
 	// Year / Seed / Duration / Speed parameterise a sim source. Year
 	// is the capture campaign (1 or 2), Speed the replay pacing
@@ -55,6 +56,15 @@ type SourceConfig struct {
 	Speed    float64  `json:"speed,omitempty"`
 	// Path is the capture file for pcap / follow sources.
 	Path string `json:"path,omitempty"`
+	// File / Pipeline select a declared graph for the "pipeline"
+	// source kind: File is a cmd/pipelined config (JSON/JSONC) and
+	// Pipeline names the pipeline within it (optional when the file
+	// declares exactly one). The tenant's profile surface binds to the
+	// graph's first analyzer segment; tenant-level engine knobs
+	// (workers, snapshot, ...) are ignored — the graph declares its
+	// own.
+	File     string `json:"file,omitempty"`
+	Pipeline string `json:"pipeline,omitempty"`
 }
 
 // TenantConfig describes one hosted tenant: a balancing authority,

@@ -8,6 +8,7 @@
 //	GET  /v1/{tenant}/query     historian queries, per-tenant namespace
 //	GET  /v1/{tenant}/statusz   live pipeline topology (uncached)
 //	GET  /v1/{tenant}/fleet     fleet-wide merged profile (cached)
+//	GET  /v1/{tenant}/pipeline  hosted segment-graph status (pipeline tenants)
 //	POST /v1/{tenant}/partial   remote-probe partial ingest
 //	GET  /v1/{tenant}/readyz    tenant readiness
 //	GET  /v1/                   tenant index
@@ -34,6 +35,7 @@ import (
 	"strings"
 
 	"uncharted/internal/obs"
+	"uncharted/internal/pipeline"
 	"uncharted/internal/stream"
 )
 
@@ -108,6 +110,10 @@ func (s *Service) wireTenant(t *Tenant) {
 		// Probe-only tenant: the fleet aggregate IS the profile.
 		t.handlers["profile"] = s.cached(t, "profile", t.fleetVersion, stream.NewProfileHandler(t.fleetProfile))
 	}
+	if t.runner != nil {
+		// The live graph view (uncached: it moves every poll).
+		t.handlers["pipeline"] = pipeline.NewStatusHandler(t.runner.Status)
+	}
 	t.handlers["fleet"] = s.cached(t, "fleet", t.fleetVersion, stream.NewProfileHandler(t.fleetProfile))
 	t.handlers["partial"] = http.HandlerFunc(t.handlePartial)
 	t.handlers["readyz"] = obs.ReadyHandler(t.Ready)
@@ -122,6 +128,7 @@ func (s *Service) routes() {
 	s.mux.Handle("GET /v1/{tenant}/query", query("query"))
 	s.mux.Handle("GET /v1/{tenant}/statusz", query("statusz"))
 	s.mux.Handle("GET /v1/{tenant}/fleet", query("fleet"))
+	s.mux.Handle("GET /v1/{tenant}/pipeline", query("pipeline"))
 	s.mux.Handle("GET /v1/{tenant}/readyz", query("readyz"))
 	s.mux.Handle("POST /v1/{tenant}/partial", s.tenantRoute("partial"))
 	s.mux.HandleFunc("GET /v1/{$}", s.handleIndex)

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/netip"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -439,4 +440,90 @@ func TestLoadgenAgainstService(t *testing.T) {
 	if sum != rep.Requests {
 		t.Errorf("endpoint rows sum to %d, total says %d", sum, rep.Requests)
 	}
+}
+
+// TestPipelineTenant hosts a declared segment graph as a tenant: the
+// tenant's profile surface must bind to the graph's analyzer, and the
+// /pipeline endpoint must expose the live graph.
+func TestPipelineTenant(t *testing.T) {
+	dir := t.TempDir()
+	pipePath := dir + "/graph.jsonc"
+	pipeDoc := `// test graph
+	{
+	  "pipelines": [
+	    {
+	      "name": "hosted",
+	      "segments": [
+	        { "id": "src", "segment": "sim", "params": { "duration": "5s", "seed": 5 } },
+	        { "id": "an", "segment": "analyzer", "from": ["src"], "params": { "workers": 2 } },
+	      ],
+	    },
+	  ],
+	}`
+	if err := os.WriteFile(pipePath, []byte(pipeDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, srv := startSimService(t,
+		TenantConfig{Name: "hosted", Source: SourceConfig{Kind: "pipeline", File: pipePath}},
+		Config{})
+
+	resp, body := get(t, srv.URL+"/v1/hosted/profile")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile: status %d: %s", resp.StatusCode, body)
+	}
+	var prof stream.Profile
+	if err := json.Unmarshal(body, &prof); err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	if prof.Packets == 0 {
+		t.Error("hosted pipeline analyzed zero packets")
+	}
+
+	resp, body = get(t, srv.URL+"/v1/hosted/pipeline?format=json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pipeline: status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`"hosted"`)) || !bytes.Contains(body, []byte(`"analyzer"`)) {
+		t.Errorf("pipeline status missing graph detail: %s", body)
+	}
+}
+
+// TestPipelineTenantErrors pins the config failure modes of the
+// pipeline source kind.
+func TestPipelineTenantErrors(t *testing.T) {
+	dir := t.TempDir()
+	two := dir + "/two.jsonc"
+	doc := `{"pipelines": [
+	  {"name": "a", "segments": [{ "id": "src", "segment": "sim", "params": {"duration": "1s"} }]},
+	  {"name": "b", "segments": [{ "id": "src", "segment": "sim", "params": {"duration": "1s"} }]}
+	]}`
+	if err := os.WriteFile(two, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		src  SourceConfig
+		want string
+	}{
+		{"missing file", SourceConfig{Kind: "pipeline"}, `"file"`},
+		{"ambiguous pipeline", SourceConfig{Kind: "pipeline", File: two}, "declares 2 pipelines"},
+		{"unknown pipeline", SourceConfig{Kind: "pipeline", File: two, Pipeline: "c"}, `no pipeline "c"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(Config{Tenants: []TenantConfig{{Name: "x", Source: tc.src}}}, obs.NewRegistry(), nil)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("New error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+	// Selecting by name works.
+	svc, err := New(Config{Tenants: []TenantConfig{
+		{Name: "x", Source: SourceConfig{Kind: "pipeline", File: two, Pipeline: "b"}},
+	}}, obs.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Start(context.Background())
+	svc.Wait()
 }

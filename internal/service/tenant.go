@@ -16,6 +16,7 @@ import (
 	"uncharted/internal/drift"
 	"uncharted/internal/historian"
 	"uncharted/internal/obs"
+	"uncharted/internal/pipeline"
 	"uncharted/internal/scadasim"
 	"uncharted/internal/stream"
 	"uncharted/internal/topology"
@@ -80,6 +81,10 @@ type Tenant struct {
 	src    stream.Source
 	hist   *historian.Store
 	agg    *aggregator
+	// runner hosts a declared segment graph for "pipeline" tenants;
+	// engine then aliases the graph's first analyzer (or stays nil for
+	// analyzer-less graphs).
+	runner *pipeline.Runner
 
 	handlers map[string]http.Handler
 
@@ -113,6 +118,13 @@ func newTenant(cfg TenantConfig, svcCfg Config, reg *obs.Registry, journal *obs.
 		cacheMisses: treg.Counter("uncharted_service_cache_misses_total"),
 		partialsIn:  treg.Counter("uncharted_service_partials_total"),
 		done:        make(chan struct{}),
+	}
+
+	if cfg.Source.Kind == "pipeline" {
+		if err := t.attachPipeline(cfg.Source, treg, journal); err != nil {
+			return nil, fmt.Errorf("service: tenant %s: %w", cfg.Name, err)
+		}
+		return t, nil
 	}
 
 	src, nameMap, err := buildSource(cfg.Source)
@@ -164,6 +176,54 @@ func newTenant(cfg TenantConfig, svcCfg Config, reg *obs.Registry, journal *obs.
 		Baseline:        baseline,
 	})
 	return t, nil
+}
+
+// attachPipeline hosts a declared segment graph as the tenant's
+// ingest: the named pipeline from a cmd/pipelined config file runs
+// inside the tenant, and the tenant's profile surface binds to the
+// graph's first analyzer segment (a graph without one still runs; the
+// fleet aggregate is then the only profile).
+func (t *Tenant) attachPipeline(sc SourceConfig, reg *obs.Registry, journal *obs.Journal) error {
+	if sc.File == "" {
+		return fmt.Errorf(`pipeline source needs "file" (a cmd/pipelined config)`)
+	}
+	pcfg, err := pipeline.Load(sc.File)
+	if err != nil {
+		return err
+	}
+	var pc *pipeline.PipelineConfig
+	if sc.Pipeline == "" {
+		if len(pcfg.Pipelines) != 1 {
+			return fmt.Errorf("%s declares %d pipelines; set \"pipeline\" to pick one", sc.File, len(pcfg.Pipelines))
+		}
+		pc = &pcfg.Pipelines[0]
+	} else {
+		for i := range pcfg.Pipelines {
+			if pcfg.Pipelines[i].Name == sc.Pipeline {
+				pc = &pcfg.Pipelines[i]
+				break
+			}
+		}
+		if pc == nil {
+			return fmt.Errorf("%s declares no pipeline %q", sc.File, sc.Pipeline)
+		}
+	}
+	runner, err := pipeline.NewRunner(&pipeline.Config{Pipelines: []pipeline.PipelineConfig{*pc}},
+		pipeline.Options{Registry: reg, Journal: journal})
+	if err != nil {
+		return err
+	}
+	t.runner = runner
+	for _, st := range runner.Status() {
+		for _, seg := range st.Segments {
+			if a, ok := runner.Segment(st.Name, seg.ID).(*pipeline.AnalyzerSegment); ok {
+				t.engine = a.Engine()
+				t.hist = a.Historian()
+				return nil
+			}
+		}
+	}
+	return nil
 }
 
 // buildSource materialises a tenant's packet source. A probe source
@@ -315,6 +375,15 @@ func (t *Tenant) handlePartial(w http.ResponseWriter, req *http.Request) {
 // service drains it.
 func (t *Tenant) run(ctx context.Context) {
 	defer close(t.done)
+	if t.runner != nil {
+		// The graph owns its segments' lifecycles (the analyzer closes
+		// its own historian); a cancelled ctx is the normal drain.
+		err := t.runner.Run(ctx)
+		t.errMu.Lock()
+		t.runErr = err
+		t.errMu.Unlock()
+		return
+	}
 	if t.engine == nil {
 		return
 	}

@@ -114,6 +114,13 @@ type Config struct {
 	// engine lock held: keep it fast and do not call back into the
 	// engine.
 	DriftAlerts func(ids.Alert)
+	// OnSnapshot receives every published snapshot: the merged Partial,
+	// the derived Profile and whether this is the final end-of-stream
+	// publish. Called from the snapshot path with the engine lock held:
+	// keep it fast (hand off to a channel) and do not call back into
+	// the engine. The pipeline runtime uses it to forward snapshots
+	// down profiles edges.
+	OnSnapshot func(p core.Partial, prof *Profile, final bool)
 }
 
 func (c *Config) fill() {
@@ -386,7 +393,7 @@ func (e *Engine) Run(ctx context.Context, src Source) error {
 	e.final = core.MergePartials(parts)
 	e.trcSnap.End(msp, trace.StageMerge, len(parts), -1)
 	e.seq++
-	e.publish(e.final, e.seq)
+	e.publish(e.final, e.seq, true)
 	e.mu.Unlock()
 	// The drain is complete: every observed frame has passed through
 	// the shard observers, so the historian tail can be made durable.
@@ -654,7 +661,7 @@ func (e *Engine) Snapshot() core.Partial {
 	merged := core.MergePartials(parts)
 	e.trcSnap.End(msp, trace.StageMerge, len(parts), -1)
 	e.seq++
-	e.publish(merged, e.seq)
+	e.publish(merged, e.seq, false)
 	e.syncHistorian(merged.Last)
 	return merged
 }
@@ -672,7 +679,7 @@ func (e *Engine) syncHistorian(at time.Time) {
 
 // publish derives and stores the rolling profile. Called with e.mu
 // held (or single-threaded at shutdown).
-func (e *Engine) publish(p core.Partial, seq int) {
+func (e *Engine) publish(p core.Partial, seq int, final bool) {
 	psp := e.trcSnap.Start()
 	prof := BuildProfile(p, seq, e.cfg.ClusterK, e.cfg.ClusterSeed)
 	prof.Workers = e.cfg.Workers
@@ -690,6 +697,9 @@ func (e *Engine) publish(p core.Partial, seq int) {
 		"parse_errors": p.ParseErrors,
 	})
 	e.noteDrift(p, seq)
+	if e.cfg.OnSnapshot != nil {
+		e.cfg.OnSnapshot(p, prof, final)
+	}
 	e.trcSnap.End(psp, trace.StagePublish, 0, -1)
 	// Stream the spans recorded since the last snapshot into the
 	// journal. The journal's bounded queue sheds overload, so a burst
