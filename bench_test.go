@@ -404,7 +404,7 @@ func BenchmarkMarkovChainBuild(b *testing.B) {
 	// A realistic primary-connection token stream.
 	var seq []iec104.Token
 	for i := 0; i < 3000; i++ {
-		seq = append(seq, iec104.Token{Kind: iec104.FormatI, Type: iec104.MMeTf})
+		seq = append(seq, iec104.IToken(iec104.MMeTf))
 		if i%8 == 7 {
 			seq = append(seq, iec104.TokenS)
 		}

@@ -207,6 +207,16 @@ func runBench(dir, baselineDir string, scale float64, seed int64) error {
 		return err
 	}
 	printPipelineOverhead(os.Stdout, pipe104)
+	proto, err := protocolBench(scale, seed)
+	if err != nil {
+		return err
+	}
+	if err := write("BENCH_protocol.json", proto); err != nil {
+		return err
+	}
+	if line := printProtocolOverhead(proto, core104); line != "" {
+		fmt.Fprintln(os.Stdout, line)
+	}
 	return runServiceBench(dir, baselineDir, scale, seed)
 }
 
@@ -322,7 +332,7 @@ func historianBench(names map[netip.Addr]string, capture []byte) ([]BenchResult,
 	}
 	type point struct {
 		key     historian.PointKey
-		typ     byte
+		typ     physical.PointType
 		command bool
 		samples []physical.Sample
 	}
@@ -331,7 +341,7 @@ func historianBench(names map[netip.Addr]string, capture []byte) ([]BenchResult,
 	for _, s := range a.Physical().All() {
 		points = append(points, point{
 			key:     historian.PointKey{Station: s.Key.Station, IOA: s.Key.IOA},
-			typ:     byte(s.Type),
+			typ:     s.Type,
 			command: s.Command,
 			samples: s.Samples,
 		})

@@ -15,6 +15,7 @@ var benchFiles = []string{
 	"BENCH_historian.json",
 	"BENCH_drift.json",
 	"BENCH_pipeline.json",
+	"BENCH_protocol.json",
 }
 
 // loadBenchFile reads a previously written benchmark file into a

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"uncharted/internal/c37118"
+	"uncharted/internal/core"
+	"uncharted/internal/iec104"
+	"uncharted/internal/modbus"
+	"uncharted/internal/protocol"
+	"uncharted/internal/scadasim"
+	"uncharted/internal/topology"
+)
+
+// protocolBench builds the BENCH_protocol.json rows: per-dialect
+// session decode throughput through the registry (the generic path the
+// multi-protocol analyzer runs), plus the offline analyzer over a mixed
+// IEC 104 + C37.118 + Modbus capture in auto-detect mode. Read
+// analyzer_mixed_auto against analyzer_offline_capture in
+// BENCH_core.json: the registry fan-out is budgeted to cost under 10%
+// of the single-protocol throughput.
+func protocolBench(scale float64, seed int64) ([]BenchResult, error) {
+	// decodeRow replays a prepared frame stream through a fresh session
+	// per iteration — steady-state framing with no TCP layer, so the
+	// MB/s is the codec itself.
+	decodeRow := func(name string, id protocol.ID, buf []byte) BenchResult {
+		d := protocol.Get(id)
+		return toBenchResult(name, testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(int64(len(buf)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sess := d.NewSession()
+				rest := buf
+				for len(rest) > 0 {
+					var ok bool
+					_, rest, _, ok = sess.Next(rest, true)
+					if !ok {
+						break
+					}
+				}
+			}
+		}))
+	}
+
+	const frames = 256
+
+	iframe, err := iec104.NewI(3, 4, iec104.NewMeasurement(
+		iec104.MMeTf, 5, 1201, iec104.Value{Kind: iec104.KindFloat, Float: 60.01, HasTime: true},
+		iec104.CauseSpontaneous)).Marshal(iec104.Standard)
+	if err != nil {
+		return nil, err
+	}
+	iecBuf := bytes.Repeat(iframe, frames)
+
+	cfg := &c37118.Config{
+		IDCode: 7,
+		Time:   time.Unix(1560000000, 0).UTC(),
+		PMUs: []c37118.PMUConfig{{
+			StationName: "BENCH", IDCode: 8,
+			PhasorNames: []string{"VA", "VB", "IA"}, NominalFreq: 60, ConversionFactor: 0.01,
+		}},
+		DataRate: 30,
+	}
+	cfgFrame, err := cfg.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	var c37Buf []byte
+	c37Buf = append(c37Buf, cfgFrame...)
+	for i := 0; i < frames; i++ {
+		df, err := (&c37118.Data{
+			IDCode: 7,
+			Time:   cfg.Time.Add(time.Duration(i) * time.Second / 30),
+			PMUs: []c37118.PMUData{{
+				Phasors: []c37118.Phasor{{Magnitude: 132000}, {Magnitude: 131900}, {Magnitude: 420}},
+				Freq:    60.002,
+			}},
+		}).Marshal(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c37Buf = append(c37Buf, df...)
+	}
+
+	var mbBuf []byte
+	vals := []uint16{3000, 3040, 3081, 3122, 3160, 3199}
+	for i := 0; i < frames/2; i++ {
+		mbBuf = append(mbBuf, modbus.ReadRequest(uint16(i), 1, modbus.FuncReadHolding, 100, 6)...)
+		mbBuf = append(mbBuf, modbus.ReadRegistersResponse(uint16(i), 1, modbus.FuncReadHolding, vals)...)
+	}
+
+	rows := []BenchResult{
+		decodeRow("decode_iec104", protocol.IEC104, iecBuf),
+		decodeRow("decode_c37118", protocol.C37118, c37Buf),
+		decodeRow("decode_modbus", protocol.Modbus, mbBuf),
+	}
+
+	// The mixed-capture row: same topology and duration as
+	// analyzer_offline_capture plus the Modbus association and the
+	// registry running in auto-detect, so the two rows read as
+	// single-protocol vs multi-protocol ingest throughput.
+	mixedCfg := scadasim.DefaultConfig(topology.Y1, seed)
+	mixedCfg.Duration = time.Duration(float64(mixedCfg.Duration) * scale)
+	mixedCfg.EnableModbus = true
+	sim, err := scadasim.New(mixedCfg)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	var capture bytes.Buffer
+	if err := tr.WritePCAP(&capture); err != nil {
+		return nil, err
+	}
+	names := core.NamesFromTopology(sim.Network())
+	rows = append(rows, toBenchResult("analyzer_mixed_auto", testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(capture.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a := core.NewAnalyzer(names)
+			a.EnableProtocolDetect()
+			if err := a.ReadPCAP(bytes.NewReader(capture.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
+	return rows, nil
+}
+
+// printProtocolOverhead reads the mixed-capture analyzer row against
+// the single-protocol baseline row and prints the throughput delta the
+// 10% budget is judged on.
+func printProtocolOverhead(rows, coreRows []BenchResult) string {
+	var mixed, base BenchResult
+	for _, r := range rows {
+		if r.Name == "analyzer_mixed_auto" {
+			mixed = r
+		}
+	}
+	for _, r := range coreRows {
+		if r.Name == "analyzer_offline_capture" {
+			base = r
+		}
+	}
+	if mixed.MBPerSec == 0 || base.MBPerSec == 0 {
+		return ""
+	}
+	return fmt.Sprintf("multi-protocol ingest: %.1f MB/s mixed+auto vs %.1f MB/s iec104-only (%+.1f%%)",
+		mixed.MBPerSec, base.MBPerSec, 100*(mixed.MBPerSec-base.MBPerSec)/base.MBPerSec)
+}

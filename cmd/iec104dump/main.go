@@ -1,11 +1,17 @@
-// Command iec104dump prints the IEC 104 traffic of a capture,
-// Wireshark-style, using the tolerant parser: frames from outstations
-// that kept legacy IEC 101 field sizes (the paper's O37/O28/O53/O58)
-// decode correctly, with the detected dialect reported per endpoint.
+// Command iec104dump prints the industrial traffic of a capture,
+// Wireshark-style. The default IEC 104 mode uses the tolerant parser:
+// frames from outstations that kept legacy IEC 101 field sizes (the
+// paper's O37/O28/O53/O58) decode correctly, with the detected dialect
+// reported per endpoint. -proto switches to the protocol registry:
+// c37118 or modbus dumps that dialect alone, auto claims each flow by
+// registered port (content-sniffing the rest) and dumps the whole
+// multi-protocol tap.
 //
 // Usage:
 //
 //	iec104dump -n 50 capture.pcap
+//	iec104dump -proto auto mixed.pcap
+//	iec104dump -proto modbus -q capture.pcap
 package main
 
 import (
@@ -19,17 +25,28 @@ import (
 
 	"uncharted/internal/iec104"
 	"uncharted/internal/pcap"
+	"uncharted/internal/protocol"
+
+	// Link the non-default dialects for -proto.
+	_ "uncharted/internal/c37118"
+	_ "uncharted/internal/modbus"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("iec104dump: ")
 
-	limit := flag.Int("n", 0, "stop after this many IEC 104 packets (0 = all)")
+	limit := flag.Int("n", 0, "stop after this many printed frames (0 = all)")
 	quiet := flag.Bool("q", false, "suppress per-packet lines; print only the endpoint summary")
+	proto := flag.String("proto", "iec104", "protocol to dump: iec104 (tolerant parser), c37118, modbus, or auto (registry detection across all dialects)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		log.Fatal("usage: iec104dump [-n N] [-q] capture.pcap")
+		log.Fatal("usage: iec104dump [-n N] [-q] [-proto auto|iec104|c37118|modbus] capture.pcap")
+	}
+	if *proto != "iec104" && *proto != "auto" {
+		if protocol.ByName(*proto) == nil {
+			log.Fatalf("unknown protocol %q (want iec104, c37118, modbus or auto)", *proto)
+		}
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -41,6 +58,10 @@ func main() {
 	r, err := pcap.NewAutoReader(f)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *proto != "iec104" {
+		dumpGeneric(r, *proto, *limit, *quiet)
+		return
 	}
 	parser := iec104.NewTolerantParser()
 	stats := map[netip.Addr]*endpointStats{}
@@ -122,4 +143,143 @@ func printSummary(parser *iec104.TolerantParser, stats map[netip.Addr]*endpointS
 type endpointStats struct {
 	frames int
 	errors int
+}
+
+// genFlow is one claimed connection's decode state, shared by both
+// directions so sessions can pair requests with responses.
+type genFlow struct {
+	d    protocol.Dialect
+	sess protocol.Session
+}
+
+// genDir is one direction's view of a flow.
+type genDir struct {
+	flow        *genFlow
+	fromStation bool
+	buf         []byte
+}
+
+// dumpGeneric prints frames through the protocol registry: mode names
+// one dialect ("c37118", "modbus") or "auto" for port+sniff detection
+// across every registered dialect, IEC 104 included.
+func dumpGeneric(r pcap.PacketReader, mode string, limit int, quiet bool) {
+	only := protocol.ByName(mode) // nil in auto mode
+	dirs := map[[2]netip.AddrPort]*genDir{}
+	tally := map[protocol.ID]*dialectTally{}
+
+	claim := func(src, dst netip.AddrPort, payload []byte) *genDir {
+		d := protocol.ByPort(dst.Port())
+		if d == nil {
+			d = protocol.ByPort(src.Port())
+		}
+		if d == nil && only != nil && only.Sniff(payload) {
+			d = only
+		}
+		if d == nil && only == nil {
+			d = protocol.Detect(payload)
+		}
+		if d == nil || (only != nil && d.ID() != only.ID()) {
+			return nil
+		}
+		var fromStation bool
+		switch {
+		case dst.Port() == d.Port():
+			fromStation = d.StationInitiates()
+		case src.Port() == d.Port():
+			fromStation = !d.StationInitiates()
+		default:
+			fromStation = d.StationInitiates()
+		}
+		return &genDir{
+			flow:        &genFlow{d: d, sess: d.NewSession()},
+			fromStation: fromStation,
+		}
+	}
+
+	shown := 0
+	for {
+		data, ci, err := r.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		pkt, err := pcap.DecodePacket(r.LinkType(), ci, data)
+		if err != nil || len(pkt.TCP.Payload) == 0 {
+			continue
+		}
+		src := netip.AddrPortFrom(pkt.IP.Src, pkt.TCP.SrcPort)
+		dst := netip.AddrPortFrom(pkt.IP.Dst, pkt.TCP.DstPort)
+		key := [2]netip.AddrPort{src, dst}
+		gd, seen := dirs[key]
+		if !seen {
+			if rev, ok := dirs[[2]netip.AddrPort{dst, src}]; ok && rev != nil {
+				gd = &genDir{flow: rev.flow, fromStation: !rev.fromStation}
+			} else {
+				gd = claim(src, dst, pkt.TCP.Payload)
+			}
+			dirs[key] = gd
+		}
+		if gd == nil {
+			continue
+		}
+		dt := tally[gd.flow.d.ID()]
+		if dt == nil {
+			dt = &dialectTally{}
+			tally[gd.flow.d.ID()] = dt
+		}
+		gd.buf = append(gd.buf, pkt.TCP.Payload...)
+		for {
+			ev, rest, _, ok := gd.flow.sess.Next(gd.buf, gd.fromStation)
+			if !ok {
+				gd.buf = append(gd.buf[:0], rest...)
+				break
+			}
+			gd.buf = rest
+			if ev.Err != nil {
+				dt.errors++
+				continue
+			}
+			dt.frames++
+			dt.points += len(ev.Points)
+			if quiet {
+				continue
+			}
+			line := fmt.Sprintf("%s %21s > %-21s %-8s %-5s",
+				ci.Timestamp.Format("15:04:05.000000"), src, dst,
+				gd.flow.d.Name(), ev.Token)
+			if len(ev.Points) > 0 {
+				p := ev.Points[0]
+				line += fmt.Sprintf(" points=%d first{ioa=%d val=%.4g", len(ev.Points), p.IOA, p.V)
+				if p.Command {
+					line += " cmd"
+				}
+				line += "}"
+			}
+			fmt.Println(line)
+			shown++
+			if limit > 0 && shown >= limit {
+				printGenericSummary(tally)
+				return
+			}
+		}
+	}
+	printGenericSummary(tally)
+}
+
+// dialectTally accumulates per-dialect totals for the -proto summary.
+type dialectTally struct{ frames, errors, points int }
+
+func printGenericSummary(tally map[protocol.ID]*dialectTally) {
+	fmt.Println("\nDialect summary:")
+	ids := make([]protocol.ID, 0, len(tally))
+	for id := range tally {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		t := tally[id]
+		fmt.Printf("  %-8s frames=%-8d parse-errors=%-5d points=%d\n", id, t.frames, t.errors, t.points)
+	}
 }

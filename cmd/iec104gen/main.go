@@ -31,12 +31,18 @@ func main() {
 	duration := flag.Duration("duration", 0, "explicit capture duration (overrides -scale)")
 	journalPath := flag.String("journal", "", "append structured generator events to this JSONL file")
 	stats := flag.Bool("stats", false, "print generator metrics to stderr after the run")
+	modbus := flag.Bool("modbus", false, "add a Modbus/TCP polling association (mixed-protocol capture)")
+	faultTimeout := flag.Float64("fault-timeout", 0, "probability a device response is dropped (lossy field link)")
+	faultShortRead := flag.Float64("fault-shortread", 0, "probability a frame is torn across two TCP segments")
 	flag.Parse()
 
 	if *year != 1 && *year != 2 {
 		log.Fatalf("year must be 1 or 2, got %d", *year)
 	}
 	cfg := scadasim.DefaultConfig(topology.Year(*year), *seed)
+	cfg.EnableModbus = *modbus
+	cfg.Faults.TimeoutProb = *faultTimeout
+	cfg.Faults.ShortReadProb = *faultShortRead
 	switch {
 	case *duration > 0:
 		cfg.Duration = *duration

@@ -47,6 +47,7 @@ import (
 	"uncharted/internal/obs/trace"
 	"uncharted/internal/physical"
 	"uncharted/internal/pipeline"
+	"uncharted/internal/protocol"
 	"uncharted/internal/stream"
 	"uncharted/internal/topology"
 )
@@ -72,6 +73,7 @@ func run() int {
 
 	reports := flag.String("report", "flows,compliance,clusters,markov,types,physical,timing,stats", reportHelp)
 	names := flag.Bool("names", true, "label addresses with the simulated topology's names (C1, O30, ...)")
+	proto := flag.String("proto", "", "extra dialects to decode, comma-separated (c37118, modbus), or \"auto\" to content-detect every registered dialect")
 	journalPath := flag.String("journal", "", "append structured pipeline events to this JSONL file")
 	follow := flag.Bool("follow", false, "tail a growing capture with the streaming engine until interrupted")
 	workers := flag.Int("workers", 1, "analysis shards for the streaming engine (with -follow, or >1 to shard a finished capture)")
@@ -124,6 +126,12 @@ func run() int {
 		label = flag.Arg(0)
 	}
 
+	protos, err := stream.ParseProtocols(*proto)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+
 	if *follow || *workers > 1 {
 		if *saveBaseline != "" {
 			log.Print("-save-baseline needs the offline single-analyzer mode (raw samples are not retained across shards)")
@@ -132,6 +140,7 @@ func run() int {
 		return runStreaming(streamOpts{
 			tracePath:     *tracePath,
 			traceSample:   *traceSample,
+			protocols:     *proto,
 			path:          flag.Arg(0),
 			follow:        *follow,
 			workers:       *workers,
@@ -167,6 +176,10 @@ func run() int {
 		analyzer = core.NewAnalyzer(core.NamesFromTopology(topology.Build()))
 	} else {
 		analyzer = core.NewAnalyzer(nil)
+	}
+	if err := analyzer.EnableProtocolNames(protos...); err != nil {
+		log.Print(err)
+		return 2
 	}
 	reg := obs.NewRegistry()
 	analyzer.Instrument(reg, journal)
@@ -228,6 +241,7 @@ func run() int {
 	}
 	if want["compliance"] {
 		printCompliance(analyzer)
+		printDialects(analyzer.Dialects(), analyzer.StreamCompliance())
 	}
 	if want["clusters"] {
 		printClusters(analyzer)
@@ -474,6 +488,27 @@ func printComplianceReport(rep core.ComplianceReport) {
 	fmt.Println()
 }
 
+// printDialects renders the multi-protocol decode tally and the
+// per-stream rate compliance; silent on single-protocol runs.
+func printDialects(ds []core.DialectStat, streams []protocol.StreamCompliance) {
+	if len(ds) == 0 {
+		return
+	}
+	fmt.Println("== Multi-protocol dialects ==")
+	for _, d := range ds {
+		fmt.Printf("%-8s frames=%d parse-errors=%d bytes=%d tokens=%d\n",
+			d.Proto, d.Frames, d.ParseErrors, d.Bytes, len(d.TokenCounts))
+	}
+	for _, sc := range streams {
+		verdict := "ok"
+		if !sc.Compliant {
+			verdict = "VIOLATION"
+		}
+		fmt.Printf("%-8s stream %s/%s %s: %s\n", sc.Proto, sc.Conn, sc.Unit, verdict, sc.Detail)
+	}
+	fmt.Println()
+}
+
 func printClusters(a *core.Analyzer) {
 	rep, err := a.ClusterSessions(5, 1202)
 	printClusterReport(rep, err)
@@ -526,6 +561,7 @@ func printPhysical(a *core.Analyzer) {
 // streamOpts carries the flag values into the streaming path.
 type streamOpts struct {
 	path          string
+	protocols     string
 	follow        bool
 	workers       int
 	metricsAddr   string
@@ -602,6 +638,7 @@ func runStreaming(o streamOpts) int {
 		Names:         o.names,
 		HistorianDir:  o.historianDir,
 		BaselinePath:  o.baselinePath,
+		Protocols:     o.protocols,
 		Trace:         rec,
 		Observer:      observer,
 	})
@@ -673,6 +710,7 @@ func runStreaming(o streamOpts) int {
 	}
 	if o.want["compliance"] {
 		printComplianceReport(p.ComplianceReport())
+		printDialects(p.Dialects, p.Streams)
 	}
 	if o.want["clusters"] {
 		rep, err := p.ClusterReport(5, 1202)

@@ -56,7 +56,7 @@ func main() {
 	freq := findSeries(store, net, "O29", topology.KindFrequency)
 	var setpoints []*physical.Series
 	for _, s := range store.All() {
-		if s.Command && s.Type == iec104.CSeNc {
+		if s.Command && s.Type == physical.IEC104Type(iec104.CSeNc) {
 			setpoints = append(setpoints, s)
 		}
 	}

@@ -1,0 +1,214 @@
+package c37118
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"uncharted/internal/protocol"
+)
+
+// Port is the registered TCP port for C37.118 data transfer.
+const Port = 4712
+
+// NextFrame extracts one C37.118 frame from the front of buf,
+// resynchronising on the 0xAA sync byte. A sync byte followed by an
+// implausible header (reserved frame type or a size below the minimum)
+// is treated as a false sync and skipped. skipped reports the garbage
+// byte count; ok=false means more bytes are needed.
+func NextFrame(buf []byte) (frame, rest []byte, skipped int, ok bool) {
+	skipped = 0
+	for {
+		i := 0
+		for i < len(buf) && buf[i] != SyncByte {
+			i++
+		}
+		skipped += i
+		buf = buf[i:]
+		if len(buf) < 4 {
+			return nil, buf, skipped, false
+		}
+		size := int(buf[2])<<8 | int(buf[3])
+		if FrameType(buf[1]>>4&0x07) > FrameCommand || size < 16 {
+			// False sync: skip the 0xAA and rescan.
+			buf = buf[1:]
+			skipped++
+			continue
+		}
+		if len(buf) < size {
+			return nil, buf, skipped, false
+		}
+		return buf[:size], buf[size:], skipped, true
+	}
+}
+
+// ValidateFrame validates a framed byte slice (length and CRC) and
+// returns its header plus the body between the common header and the
+// CHK trailer — the exported entry point generic decoders use.
+func ValidateFrame(b []byte) (FrameInfo, []byte, error) {
+	return checkFrame(b)
+}
+
+// RateHz converts the DATA_RATE field to frames per second: positive
+// values are fps, negative values are seconds per frame.
+func RateHz(r int16) float64 {
+	switch {
+	case r > 0:
+		return float64(r)
+	case r < 0:
+		return -1.0 / float64(r)
+	}
+	return 0
+}
+
+// dialect implements protocol.Dialect for IEEE C37.118.
+type dialect struct{}
+
+func (dialect) ID() protocol.ID { return protocol.C37118 }
+func (dialect) Name() string    { return "c37118" }
+func (dialect) Port() uint16    { return Port }
+func (dialect) NewSession() protocol.Session {
+	return &session{streams: make(map[uint16]*streamStat)}
+}
+
+// StationInitiates: PMUs dial out and stream to a listening collector,
+// the inverse of the IEC 104 / Modbus server model.
+func (dialect) StationInitiates() bool { return true }
+
+// Sniff accepts a plausible frame head: sync byte, a defined frame
+// type, and a size of at least the empty-frame minimum.
+func (dialect) Sniff(b []byte) bool {
+	if len(b) < 4 || b[0] != SyncByte {
+		return false
+	}
+	size := int(b[2])<<8 | int(b[3])
+	return FrameType(b[1]>>4&0x07) <= FrameCommand && size >= 16
+}
+
+// streamStat tracks one synchrophasor stream (one IDCode) inside a
+// flow: its latest configuration and the observed data-frame cadence,
+// measured on the frames' own GPS timestamps so capture jitter cannot
+// fail a healthy stream.
+type streamStat struct {
+	cfg         *Config
+	dataFrames  int
+	errors      int
+	first, last time.Time
+}
+
+// session is the per-flow protocol.Session. Configuration frames are
+// tracked per stream IDCode, so data frames decode into measurements
+// once their stream's config-2 frame has passed the tap.
+type session struct {
+	streams map[uint16]*streamStat
+	order   []uint16
+	pts     []protocol.Point
+}
+
+func (s *session) stream(id uint16) *streamStat {
+	st, ok := s.streams[id]
+	if !ok {
+		st = &streamStat{}
+		s.streams[id] = st
+		s.order = append(s.order, id)
+	}
+	return st
+}
+
+func (s *session) Next(buf []byte, fromStation bool) (protocol.Event, []byte, int, bool) {
+	frame, rest, skipped, ok := NextFrame(buf)
+	if !ok {
+		return protocol.Event{}, rest, skipped, false
+	}
+	info, _, err := checkFrame(frame)
+	if err != nil {
+		if info.IDCode != 0 || len(s.streams) > 0 {
+			s.stream(info.IDCode).errors++
+		}
+		return protocol.Event{Err: err}, rest, skipped, true
+	}
+	// Token kinds mirror FrameType values (pinned by test).
+	ev := protocol.Event{Token: protocol.Token{Proto: protocol.C37118, Kind: uint8(info.Type)}}
+	switch info.Type {
+	case FrameConfig1, FrameConfig2:
+		cfg, err := ParseConfig(frame)
+		if err != nil {
+			s.stream(info.IDCode).errors++
+			return protocol.Event{Err: err}, rest, skipped, true
+		}
+		s.stream(info.IDCode).cfg = cfg
+	case FrameData:
+		st := s.stream(info.IDCode)
+		st.dataFrames++
+		if st.first.IsZero() {
+			st.first = info.Time
+		}
+		st.last = info.Time
+		if st.cfg == nil {
+			break // no measurements until the config frame passes
+		}
+		d, err := ParseData(frame, st.cfg)
+		if err != nil {
+			st.errors++
+			return protocol.Event{Err: err}, rest, skipped, true
+		}
+		s.pts = s.pts[:0]
+		for pi, pd := range d.PMUs {
+			pc := st.cfg.PMUs[pi]
+			// Point addresses pack the PMU IDCode with a channel slot:
+			// 1 = frequency, 2 = ROCOF, 16+i = phasor i magnitude.
+			base := uint32(pc.IDCode) << 8
+			s.pts = append(s.pts,
+				protocol.Point{IOA: base | 1, Code: protocol.C37PointFreq, T: d.Time, V: pd.Freq},
+				protocol.Point{IOA: base | 2, Code: protocol.C37PointROCOF, T: d.Time, V: pd.ROCOF},
+			)
+			for j, ph := range pd.Phasors {
+				s.pts = append(s.pts, protocol.Point{
+					IOA: base | uint32(16+j), Code: protocol.C37PointPhasor,
+					T: d.Time, V: ph.Magnitude,
+				})
+			}
+		}
+		ev.Points = s.pts
+	}
+	return ev, rest, skipped, true
+}
+
+// Compliance reports data-rate conformance per synchrophasor stream:
+// the observed data-frame rate must stay within 10% of the rate the
+// stream's configuration frame declares.
+func (s *session) Compliance() []protocol.StreamCompliance {
+	var out []protocol.StreamCompliance
+	for _, id := range s.order {
+		st := s.streams[id]
+		sc := protocol.StreamCompliance{
+			Proto:  protocol.C37118,
+			Unit:   fmt.Sprintf("pmu-%d", id),
+			Frames: st.dataFrames,
+			Errors: st.errors,
+		}
+		if st.cfg != nil {
+			sc.ConfiguredRate = RateHz(st.cfg.DataRate)
+		}
+		if span := st.last.Sub(st.first); span > 0 && st.dataFrames > 1 {
+			sc.ObservedRate = float64(st.dataFrames-1) / span.Seconds()
+		}
+		switch {
+		case st.cfg == nil:
+			sc.Detail = "no configuration frame observed"
+		case sc.ConfiguredRate == 0:
+			sc.Detail = "configuration declares no data rate"
+		case sc.ObservedRate == 0:
+			sc.Detail = "too few data frames to estimate rate"
+		default:
+			dev := (sc.ObservedRate - sc.ConfiguredRate) / sc.ConfiguredRate
+			sc.Compliant = math.Abs(dev) <= 0.1
+			sc.Detail = fmt.Sprintf("observed %.2f fps vs configured %.2f fps (%+.1f%%)",
+				sc.ObservedRate, sc.ConfiguredRate, dev*100)
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+func init() { protocol.Register(dialect{}) }

@@ -19,6 +19,7 @@ import (
 	"uncharted/internal/obs/trace"
 	"uncharted/internal/pcap"
 	"uncharted/internal/physical"
+	"uncharted/internal/protocol"
 	"uncharted/internal/tcpflow"
 	"uncharted/internal/topology"
 )
@@ -175,11 +176,69 @@ type Analyzer struct {
 	// observer, when set, sees every accepted APDU as it is consumed —
 	// the hook online detectors (ids.Monitor) attach to.
 	observer FrameObserver
+
+	// Multi-protocol state. protocols marks dialects enabled beyond
+	// IEC 104 (which keeps its specialised path above); detectUnknown
+	// additionally content-sniffs streams on ports no dialect owns.
+	// Both are off by default, so an un-configured analyzer behaves —
+	// byte for byte — like the IEC 104-only one.
+	protocols     map[protocol.ID]bool
+	detectUnknown bool
+	// protoDirs maps each flow direction to its generic decode state;
+	// both directions share one *protoFlow (dialects pair requests with
+	// responses across directions). A nil value is the negative cache:
+	// the flow was inspected and claimed by no enabled dialect.
+	protoDirs map[dirKey]*protoDir
+	// protoFlowList keeps every claimed flow for snapshot-time
+	// compliance collection.
+	protoFlowList []*protoFlow
+	// connProto records the dialect of each non-IEC-104 logical
+	// connection (absent = IEC 104).
+	connProto map[ConnKey]protocol.ID
+	// dialectStats accumulates per-dialect frame/error/byte tallies.
+	dialectStats map[protocol.ID]*DialectStat
 }
 
-// FrameEvent describes one accepted APDU for live observers.
+// DialectStat is one dialect's traffic summary in a snapshot.
+type DialectStat struct {
+	Proto       protocol.ID
+	Frames      int
+	ParseErrors int
+	// Bytes counts reassembled payload bytes fed to the dialect.
+	Bytes int
+	// TokenCounts tallies the dialect's emitted tokens by their textual
+	// form.
+	TokenCounts map[string]int
+}
+
+// protoDir is one flow direction's generic decode state.
+type protoDir struct {
+	flow        *protoFlow
+	fromStation bool
+	// skey / dc mirror the IEC 104 dirCache: the directional session
+	// tally this direction books into.
+	skey tcpflow.SessionKey
+	dc   *DirCounts
+	buf  []byte
+}
+
+// protoFlow is the per-flow state shared by both directions.
+type protoFlow struct {
+	proto protocol.ID
+	sess  protocol.Session
+	ck    ConnKey
+	// serverName / outName / station are resolved once per flow.
+	serverName, outName, station string
+	toks                         *tokenList
+}
+
+// FrameEvent describes one accepted application frame for live
+// observers.
 type FrameEvent struct {
 	Time time.Time
+	// Proto is the dialect the frame belongs to (IEC 104 unless the
+	// analyzer has other protocols enabled).
+	Proto protocol.ID
 	// Conn is the logical server/outstation relationship.
 	Conn ConnKey
 	// Server / Outstation are the resolved names of the endpoints.
@@ -187,8 +246,13 @@ type FrameEvent struct {
 	// FromOutstation is true for monitor-direction frames.
 	FromOutstation bool
 	Token          iec104.Token
-	// ASDU is set for I-format frames only.
+	// ASDU is set for IEC 104 I-format frames only.
 	ASDU *iec104.ASDU
+	// Points carries the frame's extracted measurements for non-IEC-104
+	// dialects (IEC 104 observers extract from the ASDU). Like the
+	// ASDU, the slice is scratch: valid only during the ObserveFrame
+	// call.
+	Points []protocol.Point
 }
 
 // FrameObserver receives every accepted APDU in arrival order. It is
@@ -200,6 +264,334 @@ type FrameObserver interface {
 
 // SetFrameObserver attaches (or, with nil, detaches) a live observer.
 func (a *Analyzer) SetFrameObserver(o FrameObserver) { a.observer = o }
+
+// EnableProtocols turns on generic registry decoding for the given
+// dialects: streams on an enabled dialect's registered port are framed
+// and tokenised by that dialect's Session instead of landing in the
+// OtherPorts tally. IEC 104 needs no enabling — it always runs through
+// the analyzer's specialised path — and unregistered IDs are ignored.
+// With no protocols enabled the analyzer's output is byte-identical to
+// the IEC 104-only pipeline.
+func (a *Analyzer) EnableProtocols(ids ...protocol.ID) {
+	if a.protocols == nil {
+		a.protocols = make(map[protocol.ID]bool)
+		a.protoDirs = make(map[dirKey]*protoDir)
+		a.connProto = make(map[ConnKey]protocol.ID)
+		a.dialectStats = make(map[protocol.ID]*DialectStat)
+	}
+	for _, id := range ids {
+		if id == protocol.IEC104 {
+			continue
+		}
+		if protocol.Get(id) != nil {
+			a.protocols[id] = true
+		}
+	}
+}
+
+// EnableProtocolDetect enables every registered dialect and
+// additionally content-sniffs streams on ports no dialect owns,
+// claiming them for the first dialect whose Sniff accepts the first
+// payload — the mixed-capture auto-detect mode.
+func (a *Analyzer) EnableProtocolDetect() {
+	var ids []protocol.ID
+	for _, d := range protocol.All() {
+		ids = append(ids, d.ID())
+	}
+	a.EnableProtocols(ids...)
+	a.detectUnknown = true
+}
+
+// EnableProtocolNames applies a -proto style protocol list: each name
+// enables that dialect, "auto" switches on full auto-detection, and
+// "iec104" alone is the (default) single-protocol mode.
+func (a *Analyzer) EnableProtocolNames(names ...string) error {
+	for _, name := range names {
+		if name == "auto" {
+			a.EnableProtocolDetect()
+			continue
+		}
+		id, ok := protocol.ParseID(name)
+		if !ok {
+			return fmt.Errorf("unknown protocol %q", name)
+		}
+		if id == protocol.IEC104 {
+			continue
+		}
+		a.EnableProtocols(id)
+	}
+	return nil
+}
+
+// enabledByPort resolves the enabled dialect owning a TCP port.
+func (a *Analyzer) enabledByPort(port uint16) protocol.Dialect {
+	d := protocol.ByPort(port)
+	if d == nil || !a.protocols[d.ID()] {
+		return nil
+	}
+	return d
+}
+
+// claimFlow decides whether an enabled dialect owns a new flow
+// direction and builds its decode state. Returns nil when no dialect
+// claims the flow (the negative-cache entry).
+func (a *Analyzer) claimFlow(sp tcpflow.StreamPayload) *protoDir {
+	// The reverse direction may already be claimed; both directions
+	// share one session so dialects can pair requests with responses.
+	if rev, ok := a.protoDirs[dirKey{src: sp.Dst, dst: sp.Src}]; ok {
+		if rev == nil {
+			return nil
+		}
+		return &protoDir{
+			flow:        rev.flow,
+			fromStation: !rev.fromStation,
+			skey:        tcpflow.SessionKey{Src: sp.Src.Addr(), Dst: sp.Dst.Addr()},
+		}
+	}
+	d := a.enabledByPort(sp.Dst.Port())
+	if d == nil {
+		d = a.enabledByPort(sp.Src.Port())
+	}
+	if d == nil {
+		if !a.detectUnknown {
+			return nil
+		}
+		if d = protocol.Detect(sp.Data); d == nil || !a.protocols[d.ID()] {
+			return nil
+		}
+	}
+	srcAddr, dstAddr := sp.Src.Addr(), sp.Dst.Addr()
+	var fromStation bool
+	var server, station netip.Addr
+	switch {
+	case sp.Dst.Port() == d.Port():
+		// src dialled the port owner.
+		if d.StationInitiates() {
+			fromStation, server, station = true, dstAddr, srcAddr
+		} else {
+			fromStation, server, station = false, srcAddr, dstAddr
+		}
+	case sp.Src.Port() == d.Port():
+		if d.StationInitiates() {
+			fromStation, server, station = false, srcAddr, dstAddr
+		} else {
+			fromStation, server, station = true, dstAddr, srcAddr
+		}
+	default:
+		// Content-sniffed flow with no registered port on either side:
+		// orient by the dialect's initiation convention — the first
+		// talker is the station exactly when stations dial out.
+		fromStation = d.StationInitiates()
+		server, station = dstAddr, srcAddr
+		if !fromStation {
+			server, station = srcAddr, dstAddr
+		}
+	}
+	pf := &protoFlow{
+		proto:      d.ID(),
+		sess:       d.NewSession(),
+		ck:         ConnKey{Server: server, Outstation: station},
+		serverName: a.Name(server),
+		outName:    a.Name(station),
+		station:    a.Name(station),
+	}
+	a.protoFlowList = append(a.protoFlowList, pf)
+	return &protoDir{
+		flow:        pf,
+		fromStation: fromStation,
+		skey:        tcpflow.SessionKey{Src: srcAddr, Dst: dstAddr},
+	}
+}
+
+// feedDialect routes a non-IEC-104 stream chunk through the registry.
+// It reports whether an enabled dialect consumed the chunk.
+func (a *Analyzer) feedDialect(sp tcpflow.StreamPayload) bool {
+	key := dirKey{src: sp.Src, dst: sp.Dst}
+	pd, seen := a.protoDirs[key]
+	if !seen {
+		pd = a.claimFlow(sp)
+		a.protoDirs[key] = pd
+	}
+	if pd == nil {
+		return false
+	}
+	if sp.Retransmit {
+		// Generic sessions are stateful across frames (config frames,
+		// transaction pairing), so retransmitted bytes are dropped
+		// rather than replayed through the session.
+		return true
+	}
+	if len(sp.Data) == 0 {
+		return true
+	}
+	ds := a.dialectStatFor(pd.flow.proto)
+	ds.Bytes += len(sp.Data)
+	buf := sp.Data
+	if len(pd.buf) > 0 {
+		pd.buf = append(pd.buf, sp.Data...)
+		buf = pd.buf
+	}
+	for {
+		ev, rest, skipped, ok := pd.flow.sess.Next(buf, pd.fromStation)
+		if skipped > 0 {
+			a.metrics.noteResync(skipped)
+		}
+		if !ok {
+			pd.buf = append(pd.buf[:0], rest...)
+			return true
+		}
+		buf = rest
+		a.consumeDialectEvent(pd, sp, ev)
+	}
+}
+
+// consumeDialectEvent books one generic decoded frame into the shared
+// accumulators — the dialect-neutral mirror of consumeFrame.
+func (a *Analyzer) consumeDialectEvent(pd *protoDir, sp tcpflow.StreamPayload, ev protocol.Event) {
+	pf := pd.flow
+	ds := a.dialectStatFor(pf.proto)
+	if ev.Err != nil {
+		ds.ParseErrors++
+		a.ParseErrors++
+		return
+	}
+	ds.Frames++
+	if ds.TokenCounts == nil {
+		ds.TokenCounts = make(map[string]int)
+	}
+	ds.TokenCounts[ev.Token.String()]++
+
+	if pf.toks == nil {
+		tl, ok := a.tokens[pf.ck]
+		if !ok {
+			tl = &tokenList{}
+			a.tokens[pf.ck] = tl
+		}
+		pf.toks = tl
+		a.connProto[pf.ck] = pf.proto
+	}
+	pf.toks.toks = append(pf.toks.toks, ev.Token)
+
+	if pd.dc == nil {
+		dc, ok := a.sessionAPDUs[pd.skey]
+		if !ok {
+			dc = &DirCounts{}
+			a.sessionAPDUs[pd.skey] = dc
+		}
+		pd.dc = dc
+	}
+	// The session feature vector keys on the I/S/U role mix; other
+	// dialects map through the token's class.
+	switch ev.Token.Class() {
+	case protocol.ClassAck:
+		pd.dc.S++
+	case protocol.ClassControl:
+		pd.dc.U++
+	default:
+		pd.dc.I++
+	}
+
+	if len(ev.Points) > 0 {
+		a.store.FeedPoints(pf.station, pf.proto, ev.Points, sp.Time)
+	}
+	if a.observer != nil {
+		a.observer.ObserveFrame(FrameEvent{
+			Time:           sp.Time,
+			Proto:          pf.proto,
+			Conn:           pf.ck,
+			Server:         pf.serverName,
+			Outstation:     pf.outName,
+			FromOutstation: pd.fromStation,
+			Token:          ev.Token,
+			Points:         ev.Points,
+		})
+	}
+}
+
+func (a *Analyzer) dialectStatFor(id protocol.ID) *DialectStat {
+	ds, ok := a.dialectStats[id]
+	if !ok {
+		ds = &DialectStat{Proto: id}
+		a.dialectStats[id] = ds
+	}
+	return ds
+}
+
+// Dialects returns per-dialect traffic summaries sorted by dialect ID.
+// Empty unless EnableProtocols saw traffic.
+func (a *Analyzer) Dialects() []DialectStat {
+	out := make([]DialectStat, 0, len(a.dialectStats))
+	for _, ds := range a.dialectStats {
+		cp := *ds
+		cp.TokenCounts = make(map[string]int, len(ds.TokenCounts))
+		for t, n := range ds.TokenCounts {
+			cp.TokenCounts[t] = n
+		}
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Proto < out[j].Proto })
+	return out
+}
+
+// StreamCompliance collects per-stream dialect-compliance verdicts
+// from every claimed flow whose session reports them (e.g. C37.118
+// data-rate conformance). Entries for the same (dialect, connection,
+// unit) — a flow that dropped and re-dialled — are folded together.
+func (a *Analyzer) StreamCompliance() []protocol.StreamCompliance {
+	type key struct {
+		proto protocol.ID
+		conn  string
+		unit  string
+	}
+	merged := make(map[key]*protocol.StreamCompliance)
+	var order []key
+	for _, pf := range a.protoFlowList {
+		cr, ok := pf.sess.(protocol.ComplianceReporter)
+		if !ok {
+			continue
+		}
+		conn := pf.serverName + "-" + pf.outName
+		for _, sc := range cr.Compliance() {
+			sc.Proto = pf.proto
+			sc.Conn = conn
+			k := key{sc.Proto, sc.Conn, sc.Unit}
+			cur, ok := merged[k]
+			if !ok {
+				cp := sc
+				merged[k] = &cp
+				order = append(order, k)
+				continue
+			}
+			if sc.Frames > cur.Frames {
+				cur.ConfiguredRate, cur.ObservedRate = sc.ConfiguredRate, sc.ObservedRate
+				cur.Compliant, cur.Detail = sc.Compliant, sc.Detail
+			}
+			cur.Frames += sc.Frames
+			cur.Errors += sc.Errors
+		}
+	}
+	out := make([]protocol.StreamCompliance, 0, len(order))
+	for _, k := range order {
+		out = append(out, *merged[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Proto != b.Proto {
+			return a.Proto < b.Proto
+		}
+		if a.Conn != b.Conn {
+			return a.Conn < b.Conn
+		}
+		return a.Unit < b.Unit
+	})
+	return out
+}
+
+// ConnProto returns the dialect of a logical connection (IEC 104 when
+// never claimed by another dialect).
+func (a *Analyzer) ConnProto(k ConnKey) protocol.ID {
+	return a.connProto[k]
+}
 
 // StationCompliance is the §6.1 verdict for one endpoint.
 type StationCompliance struct {
@@ -321,6 +713,9 @@ func (a *Analyzer) FeedPacket(pkt pcap.Packet) {
 // and skipped.
 func (a *Analyzer) OnPayload(sp tcpflow.StreamPayload) {
 	if sp.Src.Port() != IEC104Port && sp.Dst.Port() != IEC104Port {
+		if a.protocols != nil && a.feedDialect(sp) {
+			return
+		}
 		a.notePortTraffic(sp)
 		return
 	}
@@ -399,29 +794,12 @@ func (a *Analyzer) OnPayload(sp tcpflow.StreamPayload) {
 	}
 }
 
-// nextFrame extracts one APDU from the front of buf. It resynchronises
-// on 0x68 if leading garbage is present; skipped reports how many bytes
-// were discarded doing so (including a false start byte on a corrupt
-// length octet).
+// nextFrame extracts one APDU from the front of buf. The framing and
+// garbage-skip live with the codec (iec104.NextFrame), so the
+// analyzer's specialised IEC 104 path and the generic protocol.Session
+// path can never drift in resync behaviour.
 func nextFrame(buf []byte) (frame, rest []byte, skipped int, ok bool) {
-	// Drop bytes until a start byte.
-	i := 0
-	for i < len(buf) && buf[i] != iec104.StartByte {
-		i++
-	}
-	buf = buf[i:]
-	if len(buf) < 2 {
-		return nil, buf, i, false
-	}
-	total := 2 + int(buf[1])
-	if int(buf[1]) < 4 {
-		// Corrupt length; skip the false start byte.
-		return nil, buf[1:], i + 1, false
-	}
-	if len(buf) < total {
-		return nil, buf, i, false
-	}
-	return buf[:total], buf[total:], i, true
+	return iec104.NextFrame(buf)
 }
 
 // consumeFrame parses one APDU and updates every accumulator. st
@@ -802,5 +1180,10 @@ func (a *Analyzer) EnableFlowEviction(timeout time.Duration) {
 		delete(a.framing, dirKey{src: f.Key.B, dst: f.Key.A})
 		// The memo may point at the states just deleted.
 		a.lastFraming = [2]framingRef{}
+		// Generic-dialect decode state (including negative-cache
+		// entries) goes too; compliance already lives on the flow
+		// record, which survives in protoFlowList.
+		delete(a.protoDirs, dirKey{src: f.Key.A, dst: f.Key.B})
+		delete(a.protoDirs, dirKey{src: f.Key.B, dst: f.Key.A})
 	})
 }

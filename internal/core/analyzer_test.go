@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"uncharted/internal/iec104"
+	"uncharted/internal/physical"
 	"uncharted/internal/scadasim"
 	"uncharted/internal/topology"
 )
@@ -264,7 +265,7 @@ func TestPhysicalExtraction(t *testing.T) {
 	// The AGC stations must show command-direction setpoint series.
 	var sawSetpoint bool
 	for _, s := range st.All() {
-		if s.Command && s.Type == iec104.CSeNc {
+		if s.Command && s.Type == physical.IEC104Type(iec104.CSeNc) {
 			sawSetpoint = true
 			break
 		}
@@ -275,11 +276,11 @@ func TestPhysicalExtraction(t *testing.T) {
 	// Table 8: station counts per type. I36 and I13 must come from
 	// many stations.
 	counts := st.TypeStations()
-	if counts[iec104.MMeTf] < 5 {
-		t.Errorf("I36 stations = %d", counts[iec104.MMeTf])
+	if counts[physical.IEC104Type(iec104.MMeTf)] < 5 {
+		t.Errorf("I36 stations = %d", counts[physical.IEC104Type(iec104.MMeTf)])
 	}
-	if counts[iec104.MMeNc] < 5 {
-		t.Errorf("I13 stations = %d", counts[iec104.MMeNc])
+	if counts[physical.IEC104Type(iec104.MMeNc)] < 5 {
+		t.Errorf("I13 stations = %d", counts[physical.IEC104Type(iec104.MMeNc)])
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"uncharted/internal/iec104"
 	"uncharted/internal/markov"
 	"uncharted/internal/physical"
+	"uncharted/internal/protocol"
 	"uncharted/internal/tcpflow"
 )
 
@@ -39,6 +40,12 @@ type Partial struct {
 	Physical []physical.Digest
 	// OtherPorts tallies non-IEC-104 payload bytes by well-known port.
 	OtherPorts map[uint16]int
+	// Dialects summarises generic-registry traffic per dialect; empty
+	// unless EnableProtocols saw frames (multi-protocol analyses only).
+	Dialects []DialectStat
+	// Streams carries per-stream dialect-compliance verdicts (e.g.
+	// C37.118 data-rate conformance).
+	Streams []protocol.StreamCompliance
 }
 
 // Partial snapshots the analyzer. The result shares nothing mutable
@@ -79,9 +86,12 @@ func (a *Analyzer) Partial() Partial {
 			Key:        key,
 			Server:     a.Name(key.Server),
 			Outstation: a.Name(key.Outstation),
+			Proto:      a.connProto[key],
 			Chain:      ch,
 		})
 	}
+	p.Dialects = a.Dialects()
+	p.Streams = a.StreamCompliance()
 	return p
 }
 
@@ -97,6 +107,13 @@ func MergePartials(parts []Partial) Partial {
 	out.OtherPorts = make(map[uint16]int)
 	compliance := make(map[netip.Addr]*StationCompliance)
 	chains := make(map[ConnKey]*ConnChain)
+	dialects := make(map[protocol.ID]*DialectStat)
+	type streamKey struct {
+		proto protocol.ID
+		conn  string
+		unit  string
+	}
+	streams := make(map[streamKey]*protocol.StreamCompliance)
 	var physLists [][]physical.Digest
 
 	for _, p := range parts {
@@ -137,7 +154,45 @@ func MergePartials(parts []Partial) Partial {
 				chains[cc.Key] = &cp
 				continue
 			}
+			if cur.Proto == 0 {
+				cur.Proto = cc.Proto
+			}
 			cur.Chain.Merge(cc.Chain)
+		}
+		for i := range p.Dialects {
+			ds := p.Dialects[i]
+			cur, ok := dialects[ds.Proto]
+			if !ok {
+				cp := ds
+				cp.TokenCounts = make(map[string]int, len(ds.TokenCounts))
+				for t, n := range ds.TokenCounts {
+					cp.TokenCounts[t] = n
+				}
+				dialects[ds.Proto] = &cp
+				continue
+			}
+			cur.Frames += ds.Frames
+			cur.ParseErrors += ds.ParseErrors
+			cur.Bytes += ds.Bytes
+			for t, n := range ds.TokenCounts {
+				cur.TokenCounts[t] += n
+			}
+		}
+		for i := range p.Streams {
+			sc := p.Streams[i]
+			k := streamKey{sc.Proto, sc.Conn, sc.Unit}
+			cur, ok := streams[k]
+			if !ok {
+				cp := sc
+				streams[k] = &cp
+				continue
+			}
+			if sc.Frames > cur.Frames {
+				cur.ConfiguredRate, cur.ObservedRate = sc.ConfiguredRate, sc.ObservedRate
+				cur.Compliant, cur.Detail = sc.Compliant, sc.Detail
+			}
+			cur.Frames += sc.Frames
+			cur.Errors += sc.Errors
 		}
 		out.Features = append(out.Features, p.Features...)
 		physLists = append(physLists, p.Physical)
@@ -165,6 +220,25 @@ func MergePartials(parts []Partial) Partial {
 			return a.Src < b.Src
 		}
 		return a.Dst < b.Dst
+	})
+	for _, ds := range dialects {
+		out.Dialects = append(out.Dialects, *ds)
+	}
+	sort.Slice(out.Dialects, func(i, j int) bool {
+		return out.Dialects[i].Proto < out.Dialects[j].Proto
+	})
+	for _, sc := range streams {
+		out.Streams = append(out.Streams, *sc)
+	}
+	sort.Slice(out.Streams, func(i, j int) bool {
+		a, b := out.Streams[i], out.Streams[j]
+		if a.Proto != b.Proto {
+			return a.Proto < b.Proto
+		}
+		if a.Conn != b.Conn {
+			return a.Conn < b.Conn
+		}
+		return a.Unit < b.Unit
 	})
 	out.Physical = physical.MergeDigests(physLists...)
 	return out

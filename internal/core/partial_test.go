@@ -17,9 +17,18 @@ import (
 // shardedPartials splits a capture across n analyzers by unordered IP
 // pair — the streaming engine's partitioning — and snapshots each.
 func shardedPartials(t *testing.T, n int) []Partial {
+	return shardedPartialsMode(t, n, false)
+}
+
+// shardedPartialsMode is shardedPartials with an optional mixed-protocol
+// capture: multi adds a Modbus association to the trace and runs every
+// shard analyzer in registry auto-detect mode, so the resulting partials
+// carry cross-protocol Dialects and Streams state.
+func shardedPartialsMode(t *testing.T, n int, multi bool) []Partial {
 	t.Helper()
 	cfg := scadasim.DefaultConfig(topology.Y1, 17)
 	cfg.Duration = 6 * time.Minute
+	cfg.EnableModbus = multi
 	sim, err := scadasim.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -36,6 +45,9 @@ func shardedPartials(t *testing.T, n int) []Partial {
 	analyzers := make([]*Analyzer, n)
 	for i := range analyzers {
 		analyzers[i] = NewAnalyzer(names)
+		if multi {
+			analyzers[i].EnableProtocolDetect()
+		}
 	}
 	rd, err := pcap.NewAutoReader(&buf)
 	if err != nil {
@@ -99,6 +111,12 @@ func equalMerged(t *testing.T, label string, a, b Partial) {
 	}
 	if !reflect.DeepEqual(a.Features, b.Features) {
 		t.Fatalf("%s: session features differ", label)
+	}
+	if !reflect.DeepEqual(a.Dialects, b.Dialects) {
+		t.Fatalf("%s: dialect stats differ:\n%+v\n%+v", label, a.Dialects, b.Dialects)
+	}
+	if !reflect.DeepEqual(a.Streams, b.Streams) {
+		t.Fatalf("%s: stream compliance differs:\n%+v\n%+v", label, a.Streams, b.Streams)
 	}
 
 	fa, fb := a.Flows, b.Flows
@@ -183,4 +201,36 @@ func TestMergePartialsCommutativeAssociative(t *testing.T) {
 	// observable.
 	solo := MergePartials([]Partial{p0})
 	equalMerged(t, "identity", solo, MergePartials([]Partial{solo}))
+}
+
+// TestMergePartialsCrossProtocolCommutative re-runs the merge-order
+// property over a mixed-protocol capture: the per-dialect stats, token
+// maps, proto-tagged chains and C37.118 stream verdicts must also be
+// independent of shard merge order.
+func TestMergePartialsCrossProtocolCommutative(t *testing.T) {
+	parts := shardedPartialsMode(t, 3, true)
+	p0, p1, p2 := parts[0], parts[1], parts[2]
+
+	base := MergePartials([]Partial{p0, p1, p2})
+	if len(base.Dialects) < 2 {
+		t.Fatalf("mixed capture produced too few dialects to test: %+v", base.Dialects)
+	}
+	if len(base.Streams) == 0 {
+		t.Fatal("mixed capture produced no stream compliance verdicts")
+	}
+
+	perms := [][]Partial{
+		{p0, p2, p1},
+		{p1, p0, p2},
+		{p1, p2, p0},
+		{p2, p0, p1},
+		{p2, p1, p0},
+	}
+	for i, perm := range perms {
+		equalMerged(t, "cross-proto commutativity perm "+string(rune('a'+i)), base, MergePartials(perm))
+	}
+	left := MergePartials([]Partial{MergePartials([]Partial{p0, p1}), p2})
+	right := MergePartials([]Partial{p0, MergePartials([]Partial{p1, p2})})
+	equalMerged(t, "cross-proto associativity", left, right)
+	equalMerged(t, "cross-proto associativity vs flat", base, left)
 }

@@ -9,6 +9,7 @@ import (
 	"uncharted/internal/cluster"
 	"uncharted/internal/iec104"
 	"uncharted/internal/markov"
+	"uncharted/internal/protocol"
 	"uncharted/internal/stats"
 	"uncharted/internal/tcpflow"
 )
@@ -206,8 +207,11 @@ type ConnChain struct {
 	Key        ConnKey
 	Server     string
 	Outstation string
-	Chain      *markov.Chain
-	Cluster    markov.SizeCluster
+	// Proto is the dialect whose tokens feed the chain; the zero value
+	// is IEC 104, keeping single-protocol snapshots unchanged.
+	Proto   protocol.ID
+	Chain   *markov.Chain
+	Cluster markov.SizeCluster
 }
 
 // MarkovReport is Figs. 12-17 and Table 6.

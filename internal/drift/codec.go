@@ -15,6 +15,7 @@ import (
 	"uncharted/internal/iec104"
 	"uncharted/internal/markov"
 	"uncharted/internal/physical"
+	"uncharted/internal/protocol"
 	"uncharted/internal/tcpflow"
 )
 
@@ -26,9 +27,13 @@ import (
 // produces identical bytes.
 const (
 	magic = "UNCHDRFT"
-	// Version is the on-disk schema version. Decoders reject files
-	// from a newer schema rather than misreading them.
-	Version = 1
+	// Version is the newest on-disk schema version this build can
+	// decode. Decoders reject files from a newer schema rather than
+	// misreading them. Version 2 appends the multi-protocol sections
+	// (per-dialect stats, stream compliance, per-chain dialects);
+	// encoders only stamp it when that content is present, so
+	// IEC 104-only profiles stay byte-identical to version 1 files.
+	Version = 2
 )
 
 // Kind tags what a container holds.
@@ -51,10 +56,10 @@ func corruptf(format string, args ...any) error {
 }
 
 // seal wraps a payload in the container framing.
-func seal(kind Kind, payload []byte) []byte {
+func seal(kind Kind, version uint64, payload []byte) []byte {
 	out := make([]byte, 0, len(payload)+24)
 	out = append(out, magic...)
-	out = binary.AppendUvarint(out, Version)
+	out = binary.AppendUvarint(out, version)
 	out = append(out, byte(kind))
 	out = binary.AppendUvarint(out, uint64(len(payload)))
 	out = append(out, payload...)
@@ -63,44 +68,45 @@ func seal(kind Kind, payload []byte) []byte {
 	return out
 }
 
-// unseal validates the framing and returns the payload.
-func unseal(data []byte, want Kind) ([]byte, error) {
+// unseal validates the framing and returns the payload and the file's
+// schema version.
+func unseal(data []byte, want Kind) ([]byte, uint64, error) {
 	if len(data) < len(magic)+4 {
-		return nil, corruptf("truncated header (%d bytes)", len(data))
+		return nil, 0, corruptf("truncated header (%d bytes)", len(data))
 	}
 	if string(data[:len(magic)]) != magic {
-		return nil, corruptf("bad magic")
+		return nil, 0, corruptf("bad magic")
 	}
 	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
 	if got, wantCRC := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(crcBytes); got != wantCRC {
-		return nil, corruptf("crc mismatch (file %08x, computed %08x)", wantCRC, got)
+		return nil, 0, corruptf("crc mismatch (file %08x, computed %08x)", wantCRC, got)
 	}
 	rest := body[len(magic):]
 	ver, n := binary.Uvarint(rest)
 	if n <= 0 {
-		return nil, corruptf("bad version varint")
+		return nil, 0, corruptf("bad version varint")
 	}
 	rest = rest[n:]
-	if ver > Version {
-		return nil, corruptf("schema version %d newer than supported %d", ver, Version)
+	if ver == 0 || ver > Version {
+		return nil, 0, corruptf("schema version %d newer than supported %d", ver, Version)
 	}
 	if len(rest) < 1 {
-		return nil, corruptf("missing kind byte")
+		return nil, 0, corruptf("missing kind byte")
 	}
 	kind := Kind(rest[0])
 	rest = rest[1:]
 	if kind != want {
-		return nil, corruptf("container holds kind %d, want %d", kind, want)
+		return nil, 0, corruptf("container holds kind %d, want %d", kind, want)
 	}
 	plen, n := binary.Uvarint(rest)
 	if n <= 0 {
-		return nil, corruptf("bad payload length")
+		return nil, 0, corruptf("bad payload length")
 	}
 	rest = rest[n:]
 	if plen != uint64(len(rest)) {
-		return nil, corruptf("payload length %d, have %d bytes", plen, len(rest))
+		return nil, 0, corruptf("payload length %d, have %d bytes", plen, len(rest))
 	}
-	return rest, nil
+	return rest, ver, nil
 }
 
 // enc accumulates the deterministic binary encoding.
@@ -266,7 +272,10 @@ func (d *dec) token() iec104.Token {
 	if d.err != nil {
 		return iec104.Token{}
 	}
-	t, err := iec104.ParseToken(s)
+	// Tokens serialize as their textual form, so the multi-protocol
+	// grammar decodes through the same path; IEC 104 strings parse to
+	// tokens identical to the pre-multi-protocol ones.
+	t, err := protocol.ParseToken(s)
 	if err != nil {
 		d.fail("bad token %q", s)
 		return iec104.Token{}
@@ -274,19 +283,35 @@ func (d *dec) token() iec104.Token {
 	return t
 }
 
+// profileVersion picks the schema version a profile needs: version 2
+// only when multi-protocol content is present, so IEC 104-only
+// profiles keep producing version-1 files byte for byte.
+func profileVersion(p *core.Partial) uint64 {
+	if len(p.Dialects) > 0 || len(p.Streams) > 0 {
+		return 2
+	}
+	for _, cc := range p.Chains {
+		if cc.Proto != 0 {
+			return 2
+		}
+	}
+	return 1
+}
+
 // Encode serializes the profile.
 func (p *Profile) Encode() []byte {
+	ver := profileVersion(&p.Partial)
 	var e enc
 	e.str(p.Meta.Label)
 	e.str(p.Meta.Source)
 	e.time(p.Meta.SavedAt)
-	encodePartial(&e, &p.Partial)
-	return seal(KindProfile, e.b)
+	encodePartial(&e, &p.Partial, ver)
+	return seal(KindProfile, ver, e.b)
 }
 
 // DecodeProfile parses a profile container.
 func DecodeProfile(data []byte) (*Profile, error) {
-	payload, err := unseal(data, KindProfile)
+	payload, ver, err := unseal(data, KindProfile)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +320,7 @@ func DecodeProfile(data []byte) (*Profile, error) {
 	p.Meta.Label = d.str()
 	p.Meta.Source = d.str()
 	p.Meta.SavedAt = d.time()
-	p.Partial = decodePartial(d)
+	p.Partial = decodePartial(d, ver)
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -305,7 +330,7 @@ func DecodeProfile(data []byte) (*Profile, error) {
 	return &p, nil
 }
 
-func encodePartial(e *enc, p *core.Partial) {
+func encodePartial(e *enc, p *core.Partial, ver uint64) {
 	e.u(uint64(p.Packets))
 	e.u(uint64(p.IECPackets))
 	e.u(uint64(p.ParseErrors))
@@ -404,9 +429,52 @@ func encodePartial(e *enc, p *core.Partial) {
 		e.u(uint64(port))
 		e.u(uint64(p.OtherPorts[port]))
 	}
+
+	if ver < 2 {
+		return
+	}
+	// Version 2: multi-protocol sections, appended after the full v1
+	// layout so version-1 decoding logic is a strict prefix.
+
+	// Per-chain dialects, positional with the Chains section above.
+	e.u(uint64(len(p.Chains)))
+	for _, cc := range p.Chains {
+		e.u(uint64(cc.Proto))
+	}
+
+	e.u(uint64(len(p.Dialects)))
+	for _, ds := range p.Dialects {
+		e.u(uint64(ds.Proto))
+		e.u(uint64(ds.Frames))
+		e.u(uint64(ds.ParseErrors))
+		e.u(uint64(ds.Bytes))
+		toks := make([]string, 0, len(ds.TokenCounts))
+		for t := range ds.TokenCounts {
+			toks = append(toks, t)
+		}
+		sort.Strings(toks)
+		e.u(uint64(len(toks)))
+		for _, t := range toks {
+			e.str(t)
+			e.u(uint64(ds.TokenCounts[t]))
+		}
+	}
+
+	e.u(uint64(len(p.Streams)))
+	for _, sc := range p.Streams {
+		e.u(uint64(sc.Proto))
+		e.str(sc.Conn)
+		e.str(sc.Unit)
+		e.f(sc.ConfiguredRate)
+		e.f(sc.ObservedRate)
+		e.u(uint64(sc.Frames))
+		e.u(uint64(sc.Errors))
+		e.bool(sc.Compliant)
+		e.str(sc.Detail)
+	}
 }
 
-func decodePartial(d *dec) core.Partial {
+func decodePartial(d *dec, ver uint64) core.Partial {
 	var p core.Partial
 	p.Packets = int(d.u())
 	p.IECPackets = int(d.u())
@@ -500,7 +568,7 @@ func decodePartial(d *dec) core.Partial {
 			dg := &p.Physical[i]
 			dg.Key.Station = d.str()
 			dg.Key.IOA = uint32(d.u())
-			dg.Type = iec104.TypeID(d.u())
+			dg.Type = physical.PointType(d.u())
 			dg.Command = d.bool()
 			dg.Count = int(d.u())
 			dg.Min = d.f()
@@ -516,6 +584,51 @@ func decodePartial(d *dec) core.Partial {
 	for i, n := 0, d.count(2); i < n; i++ {
 		port := uint16(d.u())
 		p.OtherPorts[port] = int(d.u())
+	}
+	if ver < 2 {
+		return p
+	}
+
+	if n := d.count(1); n > 0 {
+		if n != len(p.Chains) {
+			d.fail("chain dialect section covers %d chains, profile has %d", n, len(p.Chains))
+			return p
+		}
+		for i := range p.Chains {
+			p.Chains[i].Proto = protocol.ID(d.u())
+		}
+	}
+
+	if n := d.count(4); n > 0 {
+		p.Dialects = make([]core.DialectStat, n)
+		for i := range p.Dialects {
+			ds := &p.Dialects[i]
+			ds.Proto = protocol.ID(d.u())
+			ds.Frames = int(d.u())
+			ds.ParseErrors = int(d.u())
+			ds.Bytes = int(d.u())
+			ds.TokenCounts = make(map[string]int)
+			for j, nt := 0, d.count(2); j < nt; j++ {
+				t := d.str()
+				ds.TokenCounts[t] = int(d.u())
+			}
+		}
+	}
+
+	if n := d.count(20); n > 0 {
+		p.Streams = make([]protocol.StreamCompliance, n)
+		for i := range p.Streams {
+			sc := &p.Streams[i]
+			sc.Proto = protocol.ID(d.u())
+			sc.Conn = d.str()
+			sc.Unit = d.str()
+			sc.ConfiguredRate = d.f()
+			sc.ObservedRate = d.f()
+			sc.Frames = int(d.u())
+			sc.Errors = int(d.u())
+			sc.Compliant = d.bool()
+			sc.Detail = d.str()
+		}
 	}
 	return p
 }
@@ -579,13 +692,13 @@ func EncodeBaseline(b *ids.Baseline) []byte {
 		e.str(cr.Outstation)
 		e.f(cr.Rate)
 	}
-	return seal(KindBaseline, e.b)
+	return seal(KindBaseline, 1, e.b)
 }
 
 // DecodeBaseline parses a baseline container and rebuilds the trained
 // whitelist.
 func DecodeBaseline(data []byte) (*ids.Baseline, error) {
-	payload, err := unseal(data, KindBaseline)
+	payload, _, err := unseal(data, KindBaseline)
 	if err != nil {
 		return nil, err
 	}
@@ -644,7 +757,7 @@ func DecodeBaseline(data []byte) (*ids.Baseline, error) {
 			pr.IOA = uint32(d.u())
 			pr.Min = d.f()
 			pr.Max = d.f()
-			pr.Type = iec104.TypeID(d.u())
+			pr.Type = physical.PointType(d.u())
 			pr.Command = d.bool()
 			pr.Samples = int(d.u())
 		}

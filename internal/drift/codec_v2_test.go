@@ -1,0 +1,104 @@
+package drift
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/markov"
+	"uncharted/internal/protocol"
+	"uncharted/internal/topology"
+)
+
+// fileVersion reads the container's schema version varint.
+func fileVersion(t *testing.T, data []byte) uint64 {
+	t.Helper()
+	ver, n := binary.Uvarint(data[len(magic):])
+	if n <= 0 {
+		t.Fatal("bad version varint")
+	}
+	return ver
+}
+
+// IEC 104-only profiles must keep writing version-1 files: the version
+// bump is conditional on multi-protocol content, so single-protocol
+// archives stay byte-identical across this change.
+func TestIEC104OnlyProfileStaysVersion1(t *testing.T) {
+	data := getEra(t, topology.Y1).profile.Encode()
+	if v := fileVersion(t, data); v != 1 {
+		t.Fatalf("IEC 104-only profile sealed as version %d, want 1", v)
+	}
+}
+
+func multiProtoProfile() *Profile {
+	server := netip.MustParseAddr("10.0.0.1")
+	pmu := netip.MustParseAddr("10.0.7.21")
+	ch := markov.NewChain()
+	ch.Add([]protocol.Token{
+		{Proto: protocol.C37118, Kind: protocol.KindC37Config2},
+		{Proto: protocol.C37118, Kind: protocol.KindC37Data},
+		{Proto: protocol.C37118, Kind: protocol.KindC37Data},
+	})
+	p := &Profile{}
+	p.Meta.Label = "mixed"
+	p.Partial = core.Partial{
+		Packets: 10,
+		First:   time.Unix(1500000000, 0).UTC(),
+		Last:    time.Unix(1500000600, 0).UTC(),
+		Chains: []core.ConnChain{{
+			Key:        core.ConnKey{Server: server, Outstation: pmu},
+			Server:     "C1",
+			Outstation: "PMU21",
+			Proto:      protocol.C37118,
+			Chain:      ch,
+		}},
+		Dialects: []core.DialectStat{{
+			Proto:       protocol.C37118,
+			Frames:      3,
+			ParseErrors: 1,
+			Bytes:       420,
+			TokenCounts: map[string]int{"C2": 1, "D": 2},
+		}},
+		Streams: []protocol.StreamCompliance{{
+			Proto:          protocol.C37118,
+			Conn:           "C1-PMU21",
+			Unit:           "pmu-7",
+			ConfiguredRate: 25,
+			ObservedRate:   24.8,
+			Frames:         2,
+			Compliant:      true,
+			Detail:         "observed 24.80 fps vs configured 25.00 fps (-0.8%)",
+		}},
+	}
+	return p
+}
+
+// Multi-protocol content bumps the file to version 2 and round-trips
+// every appended section bit-exactly.
+func TestMultiProtocolProfileRoundTrip(t *testing.T) {
+	p := multiProtoProfile()
+	data := p.Encode()
+	if v := fileVersion(t, data); v != 2 {
+		t.Fatalf("multi-protocol profile sealed as version %d, want 2", v)
+	}
+	decoded, err := DecodeProfile(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !bytes.Equal(data, decoded.Encode()) {
+		t.Fatal("re-encoded v2 profile differs")
+	}
+	if !reflect.DeepEqual(decoded.Partial.Dialects, p.Partial.Dialects) {
+		t.Errorf("dialect stats changed: %+v", decoded.Partial.Dialects)
+	}
+	if !reflect.DeepEqual(decoded.Partial.Streams, p.Partial.Streams) {
+		t.Errorf("stream compliance changed: %+v", decoded.Partial.Streams)
+	}
+	if decoded.Partial.Chains[0].Proto != protocol.C37118 {
+		t.Errorf("chain proto = %v, want c37118", decoded.Partial.Chains[0].Proto)
+	}
+}

@@ -46,7 +46,7 @@ func seedProfile() *Profile {
 			Src: "C2", Dst: "O30", DeltaT: 30, Num: 40, PctI: 0.8, PctS: 0.1, PctU: 0.1,
 		}},
 		Physical: []physical.Digest{{
-			Key: physical.SeriesKey{Station: "O30", IOA: 1201}, Type: iec104.MMeTf,
+			Key: physical.SeriesKey{Station: "O30", IOA: 1201}, Type: physical.IEC104Type(iec104.MMeTf),
 			Count: 30, Min: 59.9, Max: 60.1, Mean: 60.0, M2: 0.01,
 			First: base, Last: base.Add(80 * time.Second),
 		}},

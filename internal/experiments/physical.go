@@ -40,7 +40,7 @@ func (r *Runner) setpointSeries(year topology.Year) ([]*physical.Series, error) 
 	}
 	var out []*physical.Series
 	for _, s := range a.Physical().All() {
-		if s.Command && s.Type == iec104.CSeNc {
+		if s.Command && s.Type == physical.IEC104Type(iec104.CSeNc) {
 			out = append(out, s)
 		}
 	}

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"uncharted/internal/obs"
+
+	"uncharted/internal/physical"
 )
 
 // QueryHandler serves the historian over HTTP, designed to mount next
@@ -40,15 +42,15 @@ func QueryHandler(st *Store) http.Handler {
 		station := q.Get("station")
 		if station == "" {
 			type catRow struct {
-				Station string    `json:"station"`
-				IOA     uint32    `json:"ioa"`
-				Type    byte      `json:"type"`
-				Command bool      `json:"command"`
-				Samples int64     `json:"samples"`
-				Blocks  int       `json:"blocks"`
-				Bytes   int64     `json:"compressed_bytes"`
-				First   time.Time `json:"first"`
-				Last    time.Time `json:"last"`
+				Station string             `json:"station"`
+				IOA     uint32             `json:"ioa"`
+				Type    physical.PointType `json:"type"`
+				Command bool               `json:"command"`
+				Samples int64              `json:"samples"`
+				Blocks  int                `json:"blocks"`
+				Bytes   int64              `json:"compressed_bytes"`
+				First   time.Time          `json:"first"`
+				Last    time.Time          `json:"last"`
 			}
 			cat := st.Catalog()
 			if format == "text" {

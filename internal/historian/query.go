@@ -5,8 +5,8 @@ import (
 	"sort"
 	"time"
 
-	"uncharted/internal/iec104"
 	"uncharted/internal/physical"
+	"uncharted/internal/protocol"
 )
 
 // Samples is a time-ordered query result. It implements physical.View,
@@ -127,7 +127,7 @@ func (st *Store) Downsample(key PointKey, from, to time.Time, step time.Duration
 // PointInfo describes one stored point for the catalog.
 type PointInfo struct {
 	Key     PointKey
-	Type    byte
+	Type    physical.PointType
 	Command bool
 	Samples int64 // on disk + buffered
 	Blocks  int
@@ -146,7 +146,7 @@ func (st *Store) Catalog() []PointInfo {
 	get := func(key PointKey, typ, flags byte) *PointInfo {
 		pi, ok := infos[key]
 		if !ok {
-			pi = &PointInfo{Key: key, Type: typ, Command: flags&flagCommand != 0}
+			pi = &PointInfo{Key: key, Type: pointType(typ, flags), Command: flags&flagCommand != 0}
 			infos[key] = pi
 			order = append(order, key)
 		}
@@ -204,27 +204,34 @@ func extend(pi *PointInfo, first, last time.Time) {
 // API.
 func (st *Store) SeriesFor(key PointKey, from, to time.Time) (*physical.Series, error) {
 	st.mu.Lock()
-	typ, command := byte(0), false
+	typ, flags := byte(0), byte(0)
 	if buf, ok := st.buffers[key]; ok {
-		typ, command = buf.typ, buf.flags&flagCommand != 0
+		typ, flags = buf.typ, buf.flags
 	} else {
 		segs := append(append([]*segment(nil), st.sealed...), st.active)
 		for _, seg := range segs {
 			if pm, ok := seg.points[key]; ok {
-				typ, command = pm.Type, pm.Flags&flagCommand != 0
+				typ, flags = pm.Type, pm.Flags
 				break
 			}
 		}
 	}
 	st.mu.Unlock()
+	command := flags&flagCommand != 0
 	samples, err := st.Query(key, from, to)
 	if err != nil {
 		return nil, err
 	}
 	return &physical.Series{
 		Key:     physical.SeriesKey{Station: key.Station, IOA: key.IOA},
-		Type:    iec104.TypeID(typ),
+		Type:    pointType(typ, flags),
 		Command: command,
 		Samples: samples,
 	}, nil
+}
+
+// pointType recomposes a record's full point type from its stored type
+// byte and the dialect nibble of its flags.
+func pointType(typ, flags byte) physical.PointType {
+	return physical.TypeOf(protocol.ID(flags>>flagProtoShift), typ)
 }

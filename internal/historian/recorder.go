@@ -44,7 +44,7 @@ func (r *Recorder) ObserveFrame(ev core.FrameEvent) {
 	// outstation; server-to-outstation I-frames are commands.
 	command := !ev.FromOutstation
 	key := PointKey{Station: ev.Outstation}
-	typ := byte(ev.ASDU.Type)
+	typ := physical.IEC104Type(ev.ASDU.Type)
 	n := 0
 	physical.EachValue(ev.ASDU, ev.Time, func(ioa uint32, t time.Time, v float64) {
 		n++

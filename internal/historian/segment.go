@@ -33,6 +33,12 @@ func (k PointKey) String() string { return fmt.Sprintf("%s/%d", k.Station, k.IOA
 // flagCommand marks control-direction (setpoint) series.
 const flagCommand = 0x01
 
+// flagProtoShift positions the dialect (protocol.ID) in the high
+// nibble of the flags byte. IEC 104 is dialect zero, so records from
+// IEC 104-only captures are byte-identical to the pre-multi-protocol
+// format.
+const flagProtoShift = 4
+
 // blockMeta locates one block inside a segment — the sparse index
 // entry: queries skip blocks whose [First,Last] window misses the
 // requested range without touching their payload.

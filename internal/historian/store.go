@@ -196,10 +196,11 @@ func (st *Store) rotateLocked() error {
 	return nil
 }
 
-// Append buffers one sample for a point. typ is the IEC 104 type
-// identifier byte; command flags control-direction (setpoint) series.
-// The buffer is flushed to a compressed block at Options.FlushSamples.
-func (st *Store) Append(key PointKey, typ byte, command bool, s physical.Sample) error {
+// Append buffers one sample for a point. typ carries the dialect and
+// its local type code (for IEC 104, numerically the TypeID); command
+// flags control-direction (setpoint) series. The buffer is flushed to
+// a compressed block at Options.FlushSamples.
+func (st *Store) Append(key PointKey, typ physical.PointType, command bool, s physical.Sample) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
@@ -207,11 +208,11 @@ func (st *Store) Append(key PointKey, typ byte, command bool, s physical.Sample)
 	}
 	buf, ok := st.buffers[key]
 	if !ok {
-		var flags byte
+		flags := byte(typ.Proto()) << flagProtoShift
 		if command {
 			flags |= flagCommand
 		}
-		buf = &pointBuffer{typ: typ, flags: flags}
+		buf = &pointBuffer{typ: typ.Code(), flags: flags}
 		st.buffers[key] = buf
 		st.order = append(st.order, key)
 	}

@@ -25,6 +25,7 @@ import (
 	"uncharted/internal/core"
 	"uncharted/internal/iec104"
 	"uncharted/internal/markov"
+	"uncharted/internal/physical"
 )
 
 // AlertKind classifies a finding.
@@ -83,7 +84,7 @@ type pointKey struct {
 // valueRange is a point's baseline operating envelope.
 type valueRange struct {
 	Min, Max float64
-	Type     iec104.TypeID
+	Type     physical.PointType
 	Command  bool
 	Samples  int
 }
@@ -145,7 +146,7 @@ func Train(a *core.Analyzer) (*Baseline, error) {
 		commands := 0
 		for _, t := range stream {
 			vocab[t.String()] = true
-			if t.Kind == iec104.FormatI && t.Type.IsCommand() {
+			if t.IsCommand() {
 				commands++
 			}
 		}
@@ -236,12 +237,12 @@ func (b *Baseline) Scan(a *core.Analyzer) []Alert {
 			if known && !vocab[t.String()] && !newTokens[t.String()] {
 				newTokens[t.String()] = true
 				sev := 1
-				if t.Kind == iec104.FormatI && t.Type.IsCommand() {
+				if t.IsCommand() {
 					sev = 3 // a brand-new command type is the Industroyer pattern
 				}
 				add(AlertNewToken, sev, label, "token %s outside baseline vocabulary", t)
 			}
-			if t.Kind == iec104.FormatI && t.Type.IsCommand() {
+			if t.IsCommand() {
 				commands++
 			}
 		}

@@ -105,7 +105,7 @@ func (m *Monitor) ObserveFrame(ev core.FrameEvent) {
 	}
 
 	tok := ev.Token
-	isCommand := tok.Kind == iec104.FormatI && tok.Type.IsCommand()
+	isCommand := tok.IsCommand()
 	if known && !vocab[tok.String()] {
 		seen := m.alertedToken[ck]
 		if seen == nil {

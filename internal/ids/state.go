@@ -7,6 +7,7 @@ import (
 
 	"uncharted/internal/iec104"
 	"uncharted/internal/markov"
+	"uncharted/internal/physical"
 )
 
 // BaselineState is a Baseline's full serializable state in canonical
@@ -39,7 +40,7 @@ type PointRange struct {
 	IOA     uint32
 	Min     float64
 	Max     float64
-	Type    iec104.TypeID
+	Type    physical.PointType
 	Command bool
 	Samples int
 }

@@ -256,15 +256,15 @@ func ParseAPDUs(data []byte, p Profile) ([]*APDU, int, error) {
 func (a *APDU) Token() Token {
 	switch a.Format {
 	case FormatS:
-		return Token{Kind: FormatS}
+		return TokenS
 	case FormatU:
-		return Token{Kind: FormatU, U: a.U}
+		return UToken(a.U)
 	default:
 		var t TypeID
 		if a.ASDU != nil {
 			t = a.ASDU.Type
 		}
-		return Token{Kind: FormatI, Type: t}
+		return IToken(t)
 	}
 }
 

@@ -1,0 +1,104 @@
+package iec104
+
+import (
+	"uncharted/internal/protocol"
+)
+
+// NextFrame extracts one APDU from the front of buf. It resynchronises
+// on the 0x68 start byte if leading garbage is present; skipped reports
+// how many bytes were discarded doing so (including a false start byte
+// on a corrupt length octet). This is the dialect-owned garbage-skip:
+// the core analyzer and the generic protocol.Session both frame
+// through it, so resync behaviour cannot drift between the two paths.
+func NextFrame(buf []byte) (frame, rest []byte, skipped int, ok bool) {
+	// Drop bytes until a start byte.
+	i := 0
+	for i < len(buf) && buf[i] != StartByte {
+		i++
+	}
+	buf = buf[i:]
+	if len(buf) < 2 {
+		return nil, buf, i, false
+	}
+	total := 2 + int(buf[1])
+	if int(buf[1]) < 4 {
+		// Corrupt length; skip the false start byte.
+		return nil, buf[1:], i + 1, false
+	}
+	if len(buf) < total {
+		return nil, buf, i, false
+	}
+	return buf[:total], buf[total:], i, true
+}
+
+// dialect implements protocol.Dialect for IEC 60870-5-104.
+type dialect struct{}
+
+func (dialect) ID() protocol.ID        { return protocol.IEC104 }
+func (dialect) Name() string           { return "iec104" }
+func (dialect) Port() uint16           { return 2404 }
+func (dialect) StationInitiates() bool { return false }
+func (dialect) NewSession() protocol.Session {
+	return &session{parser: NewTolerantParser()}
+}
+
+// Sniff accepts a plausible APDU head: the 0x68 start byte followed by
+// a legal length octet.
+func (dialect) Sniff(b []byte) bool {
+	return len(b) >= 2 && b[0] == StartByte && b[1] >= 4
+}
+
+// session is the per-flow protocol.Session. The core analyzer keeps
+// its own specialised IEC 104 path (shared tolerant-parser dialect
+// cache, compliance bookkeeping); this session serves the generic
+// registry consumers — iec104dump's shared decode, mixed-capture
+// tooling — with the same framing and tolerant parsing.
+type session struct {
+	parser *TolerantParser
+	apdu   APDU
+	asdu   ASDU
+	pts    []protocol.Point
+}
+
+func (s *session) Next(buf []byte, fromStation bool) (protocol.Event, []byte, int, bool) {
+	frame, rest, skipped, ok := NextFrame(buf)
+	if !ok {
+		return protocol.Event{}, rest, skipped, false
+	}
+	// The tolerant parser pins a dialect per endpoint key; within one
+	// flow the two directions are the two endpoints.
+	key := "master"
+	if fromStation {
+		key = "station"
+	}
+	if _, err := s.parser.ParseFrameInto(key, frame, &s.apdu, &s.asdu); err != nil {
+		return protocol.Event{Err: err}, rest, skipped, true
+	}
+	ev := protocol.Event{Token: s.apdu.Token()}
+	if s.apdu.Format == FormatI && s.apdu.ASDU != nil {
+		s.pts = s.pts[:0]
+		command := !fromStation
+		for _, obj := range s.apdu.ASDU.Objects {
+			switch obj.Value.Kind {
+			case KindFloat, KindNormalized, KindScaled, KindSingle,
+				KindDouble, KindStep, KindCounter, KindCommand:
+			default:
+				continue
+			}
+			p := protocol.Point{
+				IOA:     obj.IOA,
+				Code:    uint8(s.apdu.ASDU.Type),
+				V:       obj.Value.Float,
+				Command: command,
+			}
+			if obj.Value.HasTime && !obj.Value.Time.Invalid {
+				p.T = obj.Value.Time.Time
+			}
+			s.pts = append(s.pts, p)
+		}
+		ev.Points = s.pts
+	}
+	return ev, rest, skipped, true
+}
+
+func init() { protocol.Register(dialect{}) }

@@ -2,37 +2,39 @@ package iec104
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
+
+	"uncharted/internal/protocol"
 )
 
 // Token is the paper's APDU tokenisation (§6.3.1, Table 4) used for
 // N-gram and Markov-chain modelling: "S" for acknowledgements, "U<n>"
 // for the six control functions (U1 STARTDT act ... U32 TESTFR con) and
 // "I<typeid>" for information transfer.
-type Token struct {
-	Kind Format
-	U    UFunc  // valid when Kind == FormatU
-	Type TypeID // valid when Kind == FormatI
+//
+// It is an alias for the dialect-neutral protocol.Token with
+// Proto == protocol.IEC104 (the zero value): the analysis layers run
+// over the protocol alphabet, and IEC 104 tokens render, parse, sort
+// and serialize exactly as they did when the alphabet was IEC 104-only.
+type Token = protocol.Token
+
+// UToken builds the token of a U-format control frame.
+func UToken(u UFunc) Token {
+	return Token{Proto: protocol.IEC104, Kind: uint8(FormatU), Code: uint16(u)}
 }
 
-func (t Token) String() string {
-	switch t.Kind {
-	case FormatS:
-		return "S"
-	case FormatU:
-		return "U" + strconv.Itoa(int(t.U))
-	default:
-		return "I" + strconv.Itoa(int(t.Type))
-	}
+// IToken builds the token of an I-format frame carrying a type.
+func IToken(t TypeID) Token {
+	return Token{Proto: protocol.IEC104, Kind: uint8(FormatI), Code: uint16(t)}
 }
 
-// ParseToken parses the textual token form back into a Token.
+// ParseToken parses the textual token form back into a Token. Unlike
+// protocol.ParseToken it accepts only the IEC 104 grammar.
 func ParseToken(s string) (Token, error) {
 	switch {
 	case s == "S":
-		return Token{Kind: FormatS}, nil
+		return TokenS, nil
 	case strings.HasPrefix(s, "U"):
 		n, err := strconv.Atoi(s[1:])
 		if err != nil {
@@ -41,7 +43,7 @@ func ParseToken(s string) (Token, error) {
 		u := UFunc(n)
 		switch u {
 		case UStartDTAct, UStartDTCon, UStopDTAct, UStopDTCon, UTestFRAct, UTestFRCon:
-			return Token{Kind: FormatU, U: u}, nil
+			return UToken(u), nil
 		}
 		return Token{}, fmt.Errorf("iec104: unknown U function in token %q", s)
 	case strings.HasPrefix(s, "I"):
@@ -49,44 +51,24 @@ func ParseToken(s string) (Token, error) {
 		if err != nil || n < 1 || n > 127 {
 			return Token{}, fmt.Errorf("iec104: bad I token %q", s)
 		}
-		return Token{Kind: FormatI, Type: TypeID(n)}, nil
+		return IToken(TypeID(n)), nil
 	}
 	return Token{}, fmt.Errorf("iec104: unrecognised token %q", s)
 }
 
 // Tokens used repeatedly by the analysis layer.
 var (
-	TokenS          = Token{Kind: FormatS}
-	TokenStartDTAct = Token{Kind: FormatU, U: UStartDTAct}
-	TokenStartDTCon = Token{Kind: FormatU, U: UStartDTCon}
-	TokenStopDTAct  = Token{Kind: FormatU, U: UStopDTAct}
-	TokenStopDTCon  = Token{Kind: FormatU, U: UStopDTCon}
-	TokenTestFRAct  = Token{Kind: FormatU, U: UTestFRAct}
-	TokenTestFRCon  = Token{Kind: FormatU, U: UTestFRCon}
-	TokenInterro    = Token{Kind: FormatI, Type: CIcNa} // I100
+	TokenS          = Token{Proto: protocol.IEC104, Kind: uint8(FormatS)}
+	TokenStartDTAct = UToken(UStartDTAct)
+	TokenStartDTCon = UToken(UStartDTCon)
+	TokenStopDTAct  = UToken(UStopDTAct)
+	TokenStopDTCon  = UToken(UStopDTCon)
+	TokenTestFRAct  = UToken(UTestFRAct)
+	TokenTestFRCon  = UToken(UTestFRCon)
+	TokenInterro    = IToken(CIcNa) // I100
 )
 
 // SortTokens orders tokens S < U (by function) < I (by type), a stable
-// canonical order for reports.
-func SortTokens(ts []Token) {
-	rank := func(k Format) int {
-		switch k {
-		case FormatS:
-			return 0
-		case FormatU:
-			return 1
-		default:
-			return 2
-		}
-	}
-	sort.Slice(ts, func(i, j int) bool {
-		a, b := ts[i], ts[j]
-		if a.Kind != b.Kind {
-			return rank(a.Kind) < rank(b.Kind)
-		}
-		if a.Kind == FormatU {
-			return a.U < b.U
-		}
-		return a.Type < b.Type
-	})
-}
+// canonical order for reports (protocol.SortTokens on an IEC 104-only
+// set is exactly this order).
+func SortTokens(ts []Token) { protocol.SortTokens(ts) }

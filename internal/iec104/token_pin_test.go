@@ -1,0 +1,55 @@
+package iec104
+
+import (
+	"testing"
+
+	"uncharted/internal/protocol"
+)
+
+// The protocol package cannot import iec104, so its IEC 104 constants
+// and command table are written out by hand there. These tests pin the
+// two copies together: if either side drifts, serialized profiles and
+// the IDS severity ladder silently change meaning.
+
+func TestProtocolKindsMatchFormats(t *testing.T) {
+	if protocol.KindIEC104I != uint8(FormatI) ||
+		protocol.KindIEC104S != uint8(FormatS) ||
+		protocol.KindIEC104U != uint8(FormatU) {
+		t.Fatalf("protocol kinds (%d,%d,%d) diverged from iec104 formats (%d,%d,%d)",
+			protocol.KindIEC104I, protocol.KindIEC104S, protocol.KindIEC104U,
+			FormatI, FormatS, FormatU)
+	}
+	if protocol.IEC104 != 0 {
+		t.Fatal("protocol.IEC104 must be the zero ID so a zero Token is an IEC 104 token")
+	}
+}
+
+func TestProtocolIsCommandMatchesTypeID(t *testing.T) {
+	for n := 0; n < 256; n++ {
+		typ := TypeID(n)
+		tok := IToken(typ)
+		if got, want := tok.IsCommand(), typ.IsCommand(); got != want {
+			t.Errorf("TypeID %d: protocol IsCommand = %v, iec104 = %v", n, got, want)
+		}
+	}
+	// S and U tokens are never commands regardless of code.
+	if TokenS.IsCommand() || TokenTestFRAct.IsCommand() {
+		t.Error("S/U tokens must not be commands")
+	}
+}
+
+func TestProtocolParseTokenMatchesIEC104(t *testing.T) {
+	// Every valid IEC 104 token string must decode identically through
+	// the dialect-neutral parser (the drift codec uses it).
+	toks := []Token{TokenS, TokenStartDTAct, TokenStartDTCon, TokenStopDTAct,
+		TokenStopDTCon, TokenTestFRAct, TokenTestFRCon}
+	for n := 1; n <= 127; n++ {
+		toks = append(toks, IToken(TypeID(n)))
+	}
+	for _, tok := range toks {
+		got, err := protocol.ParseToken(tok.String())
+		if err != nil || got != tok {
+			t.Fatalf("protocol.ParseToken(%q) = %+v, %v; want %+v", tok, got, err, tok)
+		}
+	}
+}

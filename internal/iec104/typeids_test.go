@@ -135,11 +135,11 @@ func TestProfileValidateAndString(t *testing.T) {
 
 func TestSortTokens(t *testing.T) {
 	toks := []Token{
-		{Kind: FormatI, Type: MMeTf},
-		{Kind: FormatU, U: UTestFRCon},
-		{Kind: FormatS},
-		{Kind: FormatU, U: UStartDTAct},
-		{Kind: FormatI, Type: MMeNc},
+		IToken(MMeTf),
+		UToken(UTestFRCon),
+		TokenS,
+		UToken(UStartDTAct),
+		IToken(MMeNc),
 	}
 	SortTokens(toks)
 	want := []string{"S", "U1", "U32", "I13", "I36"}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"uncharted/internal/iec104"
+	"uncharted/internal/protocol"
 )
 
 // ConnSummary condenses one server↔outstation token stream for
@@ -22,16 +23,21 @@ type connFlags struct {
 func flagsOf(c *Chain) connFlags {
 	var f connFlags
 	for _, t := range c.Tokens() {
+		// The Table 6 rules are defined over the IEC 104 alphabet; other
+		// dialects' tokens in a mixed chain carry no classification signal.
+		if t.Proto != protocol.IEC104 {
+			continue
+		}
 		switch t.Kind {
-		case iec104.FormatI:
+		case protocol.KindIEC104I:
 			f.hasI = true
-			if t.Type == iec104.CIcNa {
+			if iec104.TypeID(t.Code) == iec104.CIcNa {
 				f.hasI100 = true
 			}
-		case iec104.FormatS:
+		case protocol.KindIEC104S:
 			f.hasS = true
-		case iec104.FormatU:
-			switch t.U {
+		case protocol.KindIEC104U:
+			switch iec104.UFunc(t.Code) {
 			case iec104.UTestFRAct:
 				f.hasU16 = true
 			case iec104.UTestFRCon:

@@ -4,8 +4,6 @@ import (
 	"math"
 	"sort"
 	"time"
-
-	"uncharted/internal/iec104"
 )
 
 // Digest is a mergeable moment sketch of one series: enough state to
@@ -13,16 +11,16 @@ import (
 // shipping raw samples. Mean/M2 follow Welford's accumulation, merged
 // with the parallel (Chan et al.) update.
 type Digest struct {
-	Key     SeriesKey     `json:"key"`
-	Type    iec104.TypeID `json:"type"`
-	Command bool          `json:"command"`
-	Count   int           `json:"count"`
-	Min     float64       `json:"min"`
-	Max     float64       `json:"max"`
-	Mean    float64       `json:"mean"`
-	M2      float64       `json:"-"` // sum of squared deviations from Mean
-	First   time.Time     `json:"first"`
-	Last    time.Time     `json:"last"`
+	Key     SeriesKey `json:"key"`
+	Type    PointType `json:"type"`
+	Command bool      `json:"command"`
+	Count   int       `json:"count"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Mean    float64   `json:"mean"`
+	M2      float64   `json:"-"` // sum of squared deviations from Mean
+	First   time.Time `json:"first"`
+	Last    time.Time `json:"last"`
 }
 
 // Variance returns the population variance, matching

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"uncharted/internal/iec104"
+	"uncharted/internal/protocol"
 	"uncharted/internal/stats"
 )
 
@@ -67,7 +68,7 @@ func viewAt(v View, t time.Time) (float64, bool) {
 // Series is the extracted history of one point.
 type Series struct {
 	Key  SeriesKey
-	Type iec104.TypeID
+	Type PointType
 	// Direction is true for control-direction objects (commands).
 	Command bool
 	Samples []Sample
@@ -183,7 +184,7 @@ func (st *Store) Feed(station string, a *iec104.ASDU, at time.Time, command bool
 		key := SeriesKey{Station: station, IOA: ioa}
 		s, ok := st.m[key]
 		if !ok {
-			s = &Series{Key: key, Type: a.Type, Command: command}
+			s = &Series{Key: key, Type: IEC104Type(a.Type), Command: command}
 			st.m[key] = s
 			st.order = append(st.order, key)
 		}
@@ -265,10 +266,10 @@ func (st *Store) Ranked(minSamples int) []*Series {
 	return out
 }
 
-// TypeStations returns, per ASDU type, the number of distinct stations
-// transmitting it (Table 8's "Transmitting Station Count").
-func (st *Store) TypeStations() map[iec104.TypeID]int {
-	byType := map[iec104.TypeID]map[string]bool{}
+// TypeStations returns, per point type, the number of distinct
+// stations transmitting it (Table 8's "Transmitting Station Count").
+func (st *Store) TypeStations() map[PointType]int {
+	byType := map[PointType]map[string]bool{}
 	for _, k := range st.order {
 		s := st.m[k]
 		m, ok := byType[s.Type]
@@ -278,9 +279,42 @@ func (st *Store) TypeStations() map[iec104.TypeID]int {
 		}
 		m[k.Station] = true
 	}
-	out := make(map[iec104.TypeID]int, len(byType))
+	out := make(map[PointType]int, len(byType))
 	for t, m := range byType {
 		out[t] = len(m)
 	}
 	return out
+}
+
+// FeedPoints stores dialect-extracted measurements — the
+// multi-protocol analogue of Feed. station names the measurement
+// owner; at is the capture timestamp, used when a point carries no
+// embedded time. Each point's series is typed TypeOf(proto, Code), so
+// dialects never collide in the type namespace even when register and
+// IOA numbers overlap.
+func (st *Store) FeedPoints(station string, proto protocol.ID, pts []protocol.Point, at time.Time) {
+	for _, p := range pts {
+		key := SeriesKey{Station: station, IOA: p.IOA}
+		s, ok := st.m[key]
+		if !ok {
+			s = &Series{Key: key, Type: TypeOf(proto, p.Code), Command: p.Command}
+			st.m[key] = s
+			st.order = append(st.order, key)
+		}
+		ts := p.T
+		if ts.IsZero() {
+			ts = at
+		}
+		if n := len(s.Samples); n > 0 && ts.Before(s.Samples[n-1].T) {
+			idx := sort.Search(n, func(i int) bool { return s.Samples[i].T.After(ts) })
+			s.Samples = append(s.Samples, Sample{})
+			copy(s.Samples[idx+1:], s.Samples[idx:])
+			s.Samples[idx] = Sample{T: ts, V: p.V}
+		} else {
+			s.Samples = append(s.Samples, Sample{T: ts, V: p.V})
+		}
+		if st.maxSamples > 0 && len(s.Samples) > st.maxSamples {
+			s.evictOldest(len(s.Samples) - st.maxSamples/2)
+		}
+	}
 }

@@ -102,11 +102,11 @@ func TestTypeStations(t *testing.T) {
 	mk("O2", 1, iec104.MMeNc)
 	mk("O3", 1, iec104.MMeTf)
 	counts := st.TypeStations()
-	if counts[iec104.MMeNc] != 2 {
-		t.Fatalf("I13 stations = %d, want 2", counts[iec104.MMeNc])
+	if counts[IEC104Type(iec104.MMeNc)] != 2 {
+		t.Fatalf("I13 stations = %d, want 2", counts[IEC104Type(iec104.MMeNc)])
 	}
-	if counts[iec104.MMeTf] != 1 {
-		t.Fatalf("I36 stations = %d", counts[iec104.MMeTf])
+	if counts[IEC104Type(iec104.MMeTf)] != 1 {
+		t.Fatalf("I36 stations = %d", counts[IEC104Type(iec104.MMeTf)])
 	}
 }
 

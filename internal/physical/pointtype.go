@@ -1,0 +1,71 @@
+package physical
+
+import (
+	"fmt"
+
+	"uncharted/internal/iec104"
+	"uncharted/internal/protocol"
+)
+
+// PointType identifies the value type of a series across dialects: the
+// high byte is the protocol.ID, the low byte the dialect-local code
+// (an IEC 104 TypeID, a C37.118 channel kind, a Modbus function code).
+// IEC 104 is protocol zero, so an IEC 104 PointType is numerically
+// identical to its raw TypeID — which keeps serialized digests and
+// point ranges byte-identical for IEC 104-only captures.
+type PointType uint16
+
+// TypeOf composes a PointType from a dialect and its local code.
+func TypeOf(proto protocol.ID, code uint8) PointType {
+	return PointType(proto)<<8 | PointType(code)
+}
+
+// IEC104Type converts an IEC 104 TypeID to its PointType (numerically
+// the identity).
+func IEC104Type(t iec104.TypeID) PointType { return PointType(t) }
+
+// Proto returns the dialect the type belongs to.
+func (t PointType) Proto() protocol.ID { return protocol.ID(t >> 8) }
+
+// Code returns the dialect-local type code.
+func (t PointType) Code() uint8 { return uint8(t) }
+
+// Acronym renders the short human label used in rankings and reports:
+// the standard acronym for IEC 104 types, channel names for C37.118,
+// table names for Modbus.
+func (t PointType) Acronym() string {
+	code := t.Code()
+	switch t.Proto() {
+	case protocol.IEC104:
+		return iec104.TypeID(code).Acronym()
+	case protocol.C37118:
+		switch code {
+		case protocol.C37PointFreq:
+			return "FREQ"
+		case protocol.C37PointROCOF:
+			return "ROCOF"
+		case protocol.C37PointPhasor:
+			return "PHASOR"
+		}
+		return fmt.Sprintf("C37_%d", code)
+	case protocol.Modbus:
+		switch code {
+		case 1:
+			return "COIL"
+		case 2:
+			return "DISCRETE"
+		case 3:
+			return "HOLDING"
+		case 4:
+			return "INPUT"
+		case 5, 15:
+			return "W_COIL"
+		case 6, 16:
+			return "W_REG"
+		}
+		return fmt.Sprintf("FC_%d", code)
+	}
+	return fmt.Sprintf("PT_%d", uint16(t))
+}
+
+func (t PointType) String() string { return t.Acronym() }

@@ -38,6 +38,7 @@ func init() {
 			{Name: "idle_timeout", Type: ParamDuration, Default: time.Duration(0), Doc: "evict flows idle this long (0 = never)"},
 			{Name: "point_cap", Type: ParamInt, Default: 0, Doc: "cap in-memory samples per series (0 = unbounded)"},
 			{Name: "names", Type: ParamBool, Default: true, Doc: "label addresses with the simulated topology's names (C1, O30, ...)"},
+			{Name: "protocol", Type: ParamString, Default: "", Doc: "extra dialects to decode, comma-separated (c37118, modbus), or \"auto\" to content-detect every registered dialect"},
 			{Name: "historian", Type: ParamString, Default: "", Doc: "record measurements into the durable historian at this directory (adds /{id}/query)"},
 			{Name: "baseline", Type: ParamString, Default: "", Doc: "stored drift profile: arms live drift detection (adds /{id}/drift)"},
 			{Name: "ids_baseline", Type: ParamString, Default: "", Doc: "stored IDS baseline: arms one online monitor per shard"},
@@ -179,6 +180,10 @@ func buildAnalyzer(bc BuildCtx) (Segment, error) {
 	if bc.Params.Bool("names") {
 		names = core.NamesFromTopology(topology.Build())
 	}
+	protos, err := stream.ParseProtocols(bc.Params.Str("protocol"))
+	if err != nil {
+		return nil, err
+	}
 	s.eng = stream.New(stream.Config{
 		Workers:         bc.Params.Int("workers"),
 		BatchSize:       bc.Params.Int("batch"),
@@ -188,6 +193,7 @@ func buildAnalyzer(bc BuildCtx) (Segment, error) {
 		ClusterK:        bc.Params.Int("cluster_k"),
 		ClusterSeed:     int64(bc.Params.Int("cluster_seed")),
 		Names:           names,
+		Protocols:       protos,
 		Registry:        bc.Env.Registry.With("segment", bc.ID),
 		Journal:         bc.Env.Journal,
 		Trace:           hooks.Trace,

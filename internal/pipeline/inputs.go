@@ -62,6 +62,9 @@ func init() {
 			{Name: "duration", Type: ParamDuration, Default: 2 * time.Minute, Doc: "simulated feed length"},
 			{Name: "speed", Type: ParamFloat, Default: 0.0, Doc: "replay pacing (60 = one simulated minute per wall second; 0 = as fast as possible)"},
 			{Name: "attack", Type: ParamString, Default: "", Doc: "inject an attack mid-feed: recon, breaker or setpoint"},
+			{Name: "modbus", Type: ParamBool, Default: false, Doc: "add a Modbus/TCP polling association to the simulated tap"},
+			{Name: "fault_timeout", Type: ParamFloat, Default: 0.0, Doc: "probability a device response is dropped (lossy field link)"},
+			{Name: "fault_shortread", Type: ParamFloat, Default: 0.0, Doc: "probability a frame is torn across two TCP segments"},
 			{Name: "batch", Type: ParamInt, Default: 64, Doc: "packets per emitted message"},
 			{Name: "poll", Type: ParamDuration, Default: 25 * time.Millisecond, Doc: "sleep while paced replay has nothing due"},
 		},
@@ -306,6 +309,9 @@ func buildSimInput(bc BuildCtx) (Segment, error) {
 	}
 	cfg := scadasim.DefaultConfig(year, int64(bc.Params.Int("seed")))
 	cfg.Duration = bc.Params.Dur("duration")
+	cfg.EnableModbus = bc.Params.Bool("modbus")
+	cfg.Faults.TimeoutProb = bc.Params.Float("fault_timeout")
+	cfg.Faults.ShortReadProb = bc.Params.Float("fault_shortread")
 	attack := bc.Params.Str("attack")
 	if attack != "" {
 		// Long cycle period: general interrogations would otherwise

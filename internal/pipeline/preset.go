@@ -52,6 +52,9 @@ type ProfilerPreset struct {
 	HistorianDir    string
 	BaselinePath    string
 	IDSBaselinePath string
+	// Protocols is the analyzer's protocol param: comma-separated extra
+	// dialects, or "auto" (empty = IEC 104 only).
+	Protocols string
 	// Trace / Observer / DriftAlerts are the programmatic attachments
 	// (flight recorder, per-shard monitors, drift alert sink).
 	Trace       *trace.Recorder
@@ -86,6 +89,7 @@ func ProfilerGraph(p ProfilerPreset) (*Config, map[string]any) {
 				"historian":    p.HistorianDir,
 				"baseline":     p.BaselinePath,
 				"ids_baseline": p.IDSBaselinePath,
+				"protocol":     p.Protocols,
 			}),
 		},
 	}}}

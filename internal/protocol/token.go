@@ -1,0 +1,264 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Token is the dialect-neutral unit of the Markov/N-gram alphabet
+// (paper §6.3.1). Proto namespaces the grammar; Kind and Code are
+// dialect-local. The zero value is the IEC 104 "I0" token, and every
+// IEC 104 token renders and parses exactly as it did when the alphabet
+// was IEC 104-only ("S", "U<n>", "I<typeid>"), which keeps serialized
+// profiles byte-identical for IEC 104-only captures.
+//
+// Grammars:
+//
+//	IEC 104:  "S", "U<func>", "I<typeid>"
+//	C37.118:  "D" (data), "H" (header), "C1"/"C2" (config), "CMD"
+//	Modbus:   "F<fc>" (request), "R<fc>" (response), "X<fc>" (exception)
+//
+// No prefix collides across dialects, so ParseToken needs no namespace
+// marker in the textual form.
+type Token struct {
+	Proto ID
+	Kind  uint8
+	Code  uint16
+}
+
+// IEC 104 token kinds. These mirror iec104.FormatI/S/U byte for byte
+// (pinned by a test in the iec104 package); protocol cannot import
+// iec104, which sits above it.
+const (
+	KindIEC104I uint8 = 0
+	KindIEC104S uint8 = 1
+	KindIEC104U uint8 = 2
+)
+
+// C37.118 token kinds, mirroring c37118.FrameType.
+const (
+	KindC37Data    uint8 = 0
+	KindC37Header  uint8 = 1
+	KindC37Config1 uint8 = 2
+	KindC37Config2 uint8 = 3
+	KindC37Command uint8 = 4
+)
+
+// Modbus token kinds.
+const (
+	KindModbusRequest   uint8 = 0
+	KindModbusResponse  uint8 = 1
+	KindModbusException uint8 = 2
+)
+
+// String renders the token in its dialect's textual grammar.
+func (t Token) String() string {
+	switch t.Proto {
+	case IEC104:
+		switch t.Kind {
+		case KindIEC104S:
+			return "S"
+		case KindIEC104U:
+			return "U" + strconv.Itoa(int(t.Code))
+		default:
+			return "I" + strconv.Itoa(int(t.Code))
+		}
+	case C37118:
+		switch t.Kind {
+		case KindC37Data:
+			return "D"
+		case KindC37Header:
+			return "H"
+		case KindC37Config1:
+			return "C1"
+		case KindC37Config2:
+			return "C2"
+		case KindC37Command:
+			return "CMD"
+		}
+		return "C?"
+	case Modbus:
+		switch t.Kind {
+		case KindModbusRequest:
+			return "F" + strconv.Itoa(int(t.Code))
+		case KindModbusResponse:
+			return "R" + strconv.Itoa(int(t.Code))
+		default:
+			return "X" + strconv.Itoa(int(t.Code))
+		}
+	}
+	return "?"
+}
+
+// iec104UFuncs is the valid U-function set (1<<n control bits).
+func validIEC104U(n int) bool {
+	switch n {
+	case 1, 2, 4, 8, 16, 32:
+		return true
+	}
+	return false
+}
+
+// ParseToken parses any dialect's textual token form. IEC 104 strings
+// accept and reject exactly what the pre-multi-protocol parser did, so
+// serialized profiles round-trip unchanged.
+func ParseToken(s string) (Token, error) {
+	switch s {
+	case "S":
+		return Token{Proto: IEC104, Kind: KindIEC104S}, nil
+	case "D":
+		return Token{Proto: C37118, Kind: KindC37Data}, nil
+	case "H":
+		return Token{Proto: C37118, Kind: KindC37Header}, nil
+	case "C1":
+		return Token{Proto: C37118, Kind: KindC37Config1}, nil
+	case "C2":
+		return Token{Proto: C37118, Kind: KindC37Config2}, nil
+	case "CMD":
+		return Token{Proto: C37118, Kind: KindC37Command}, nil
+	}
+	num := func(tail string, lo, hi int) (int, bool) {
+		n, err := strconv.Atoi(tail)
+		return n, err == nil && n >= lo && n <= hi
+	}
+	switch {
+	case strings.HasPrefix(s, "U"):
+		n, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return Token{}, fmt.Errorf("protocol: bad U token %q", s)
+		}
+		if !validIEC104U(n) {
+			return Token{}, fmt.Errorf("protocol: unknown U function in token %q", s)
+		}
+		return Token{Proto: IEC104, Kind: KindIEC104U, Code: uint16(n)}, nil
+	case strings.HasPrefix(s, "I"):
+		n, ok := num(s[1:], 1, 127)
+		if !ok {
+			return Token{}, fmt.Errorf("protocol: bad I token %q", s)
+		}
+		return Token{Proto: IEC104, Kind: KindIEC104I, Code: uint16(n)}, nil
+	case strings.HasPrefix(s, "F"):
+		n, ok := num(s[1:], 0, 255)
+		if !ok {
+			return Token{}, fmt.Errorf("protocol: bad Modbus request token %q", s)
+		}
+		return Token{Proto: Modbus, Kind: KindModbusRequest, Code: uint16(n)}, nil
+	case strings.HasPrefix(s, "R"):
+		n, ok := num(s[1:], 0, 255)
+		if !ok {
+			return Token{}, fmt.Errorf("protocol: bad Modbus response token %q", s)
+		}
+		return Token{Proto: Modbus, Kind: KindModbusResponse, Code: uint16(n)}, nil
+	case strings.HasPrefix(s, "X"):
+		n, ok := num(s[1:], 0, 255)
+		if !ok {
+			return Token{}, fmt.Errorf("protocol: bad Modbus exception token %q", s)
+		}
+		return Token{Proto: Modbus, Kind: KindModbusException, Code: uint16(n)}, nil
+	}
+	return Token{}, fmt.Errorf("protocol: unrecognised token %q", s)
+}
+
+// IsCommand reports whether the token is a control-direction command —
+// the property the IDS severity ladder keys on. For IEC 104 it mirrors
+// iec104.TypeID.IsCommand over the command TypeID ranges (pinned
+// equivalent by a test in the iec104 package); for C37.118 it is the
+// command frame; for Modbus it is a write request.
+func (t Token) IsCommand() bool {
+	switch t.Proto {
+	case IEC104:
+		if t.Kind != KindIEC104I {
+			return false
+		}
+		c := t.Code
+		return c >= 45 && c <= 51 || c >= 58 && c <= 64 ||
+			c == 100 || c == 101 || c == 102 || c == 103 || c == 105 || c == 107
+	case C37118:
+		return t.Kind == KindC37Command
+	case Modbus:
+		if t.Kind != KindModbusRequest {
+			return false
+		}
+		switch t.Code {
+		case 5, 6, 15, 16: // write coil / register / multiple coils / multiple registers
+			return true
+		}
+	}
+	return false
+}
+
+// Class buckets tokens into the three direction-count roles the flow
+// features use: data transfer, acknowledgement, control.
+type Class uint8
+
+// Token classes (the IEC 104 I/S/U triple, generalised).
+const (
+	ClassData Class = iota
+	ClassAck
+	ClassControl
+)
+
+// Class maps the token onto the I/S/U-style role triple: IEC 104 maps
+// identically; C37.118 data frames and Modbus responses carry data,
+// everything else in those dialects is control.
+func (t Token) Class() Class {
+	switch t.Proto {
+	case IEC104:
+		switch t.Kind {
+		case KindIEC104S:
+			return ClassAck
+		case KindIEC104U:
+			return ClassControl
+		}
+		return ClassData
+	case C37118:
+		if t.Kind == KindC37Data {
+			return ClassData
+		}
+		return ClassControl
+	case Modbus:
+		if t.Kind == KindModbusResponse {
+			return ClassData
+		}
+		return ClassControl
+	}
+	return ClassData
+}
+
+// rank orders token kinds within one dialect for SortTokens: the
+// IEC 104 order is the historical S < U < I; other dialects order by
+// kind.
+func (t Token) rank() int {
+	if t.Proto == IEC104 {
+		switch t.Kind {
+		case KindIEC104S:
+			return 0
+		case KindIEC104U:
+			return 1
+		}
+		return 2
+	}
+	return int(t.Kind)
+}
+
+// SortTokens orders tokens canonically for reports: by dialect, then by
+// the dialect's kind order, then by code. For IEC 104-only token sets
+// this is exactly the historical S < U (by function) < I (by type)
+// order.
+func SortTokens(ts []Token) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.Proto != b.Proto {
+			return a.Proto < b.Proto
+		}
+		if ra, rb := a.rank(), b.rank(); ra != rb {
+			return ra < rb
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Code < b.Code
+	})
+}

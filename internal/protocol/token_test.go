@@ -1,0 +1,142 @@
+package protocol
+
+import (
+	"testing"
+)
+
+func TestTokenStringRoundTrip(t *testing.T) {
+	toks := []Token{
+		{Proto: IEC104, Kind: KindIEC104S},
+		{Proto: IEC104, Kind: KindIEC104U, Code: 1},
+		{Proto: IEC104, Kind: KindIEC104U, Code: 32},
+		{Proto: IEC104, Kind: KindIEC104I, Code: 13},
+		{Proto: IEC104, Kind: KindIEC104I, Code: 100},
+		{Proto: C37118, Kind: KindC37Data},
+		{Proto: C37118, Kind: KindC37Header},
+		{Proto: C37118, Kind: KindC37Config1},
+		{Proto: C37118, Kind: KindC37Config2},
+		{Proto: C37118, Kind: KindC37Command},
+		{Proto: Modbus, Kind: KindModbusRequest, Code: 3},
+		{Proto: Modbus, Kind: KindModbusResponse, Code: 4},
+		{Proto: Modbus, Kind: KindModbusException, Code: 131},
+	}
+	seen := map[string]bool{}
+	for _, tok := range toks {
+		s := tok.String()
+		if seen[s] {
+			t.Errorf("token string %q not unique", s)
+		}
+		seen[s] = true
+		back, err := ParseToken(s)
+		if err != nil {
+			t.Fatalf("ParseToken(%q): %v", s, err)
+		}
+		if back != tok {
+			t.Errorf("round trip %q: got %+v, want %+v", s, back, tok)
+		}
+	}
+}
+
+func TestTokenStringsIEC104Grammar(t *testing.T) {
+	// The IEC 104 renderings must be exactly the historical ones.
+	cases := map[string]Token{
+		"S":    {Proto: IEC104, Kind: KindIEC104S},
+		"U16":  {Proto: IEC104, Kind: KindIEC104U, Code: 16},
+		"I100": {Proto: IEC104, Kind: KindIEC104I, Code: 100},
+		"I0":   {Proto: IEC104, Kind: KindIEC104I, Code: 0},
+	}
+	for want, tok := range cases {
+		if got := tok.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestParseTokenRejects(t *testing.T) {
+	for _, s := range []string{
+		"", "Z", "I0", "I128", "Ix", "U3", "U33", "Ux",
+		"F256", "R-1", "Xx", "C3", "CM", "s", "d",
+	} {
+		if tok, err := ParseToken(s); err == nil {
+			t.Errorf("ParseToken(%q) = %+v, want error", s, tok)
+		}
+	}
+}
+
+func TestIsCommand(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want bool
+	}{
+		{Token{Proto: IEC104, Kind: KindIEC104I, Code: 45}, true},  // C_SC_NA_1
+		{Token{Proto: IEC104, Kind: KindIEC104I, Code: 50}, true},  // C_SE_NC_1
+		{Token{Proto: IEC104, Kind: KindIEC104I, Code: 100}, true}, // C_IC_NA_1
+		{Token{Proto: IEC104, Kind: KindIEC104I, Code: 104}, false},
+		{Token{Proto: IEC104, Kind: KindIEC104I, Code: 13}, false}, // M_ME_NC_1
+		{Token{Proto: IEC104, Kind: KindIEC104U, Code: 1}, false},
+		{Token{Proto: IEC104, Kind: KindIEC104S}, false},
+		{Token{Proto: C37118, Kind: KindC37Command}, true},
+		{Token{Proto: C37118, Kind: KindC37Data}, false},
+		{Token{Proto: Modbus, Kind: KindModbusRequest, Code: 6}, true},
+		{Token{Proto: Modbus, Kind: KindModbusRequest, Code: 16}, true},
+		{Token{Proto: Modbus, Kind: KindModbusRequest, Code: 3}, false},
+		{Token{Proto: Modbus, Kind: KindModbusResponse, Code: 6}, false},
+	}
+	for _, c := range cases {
+		if got := c.tok.IsCommand(); got != c.want {
+			t.Errorf("%s IsCommand = %v, want %v", c.tok, got, c.want)
+		}
+	}
+}
+
+func TestClass(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want Class
+	}{
+		{Token{Proto: IEC104, Kind: KindIEC104I, Code: 13}, ClassData},
+		{Token{Proto: IEC104, Kind: KindIEC104S}, ClassAck},
+		{Token{Proto: IEC104, Kind: KindIEC104U, Code: 16}, ClassControl},
+		{Token{Proto: C37118, Kind: KindC37Data}, ClassData},
+		{Token{Proto: C37118, Kind: KindC37Config2}, ClassControl},
+		{Token{Proto: Modbus, Kind: KindModbusResponse, Code: 3}, ClassData},
+		{Token{Proto: Modbus, Kind: KindModbusRequest, Code: 3}, ClassControl},
+	}
+	for _, c := range cases {
+		if got := c.tok.Class(); got != c.want {
+			t.Errorf("%s Class = %v, want %v", c.tok, got, c.want)
+		}
+	}
+}
+
+func TestSortTokensCanonical(t *testing.T) {
+	toks := []Token{
+		{Proto: Modbus, Kind: KindModbusResponse, Code: 3},
+		{Proto: IEC104, Kind: KindIEC104I, Code: 36},
+		{Proto: C37118, Kind: KindC37Data},
+		{Proto: IEC104, Kind: KindIEC104U, Code: 32},
+		{Proto: IEC104, Kind: KindIEC104S},
+		{Proto: Modbus, Kind: KindModbusRequest, Code: 3},
+		{Proto: IEC104, Kind: KindIEC104U, Code: 1},
+		{Proto: IEC104, Kind: KindIEC104I, Code: 13},
+	}
+	SortTokens(toks)
+	want := []string{"S", "U1", "U32", "I13", "I36", "D", "F3", "R3"}
+	for i, w := range want {
+		if got := toks[i].String(); got != w {
+			t.Fatalf("sorted[%d] = %q, want %q (full: %v)", i, got, w, toks)
+		}
+	}
+}
+
+func TestParseID(t *testing.T) {
+	for _, id := range []ID{IEC104, C37118, Modbus} {
+		got, ok := ParseID(id.String())
+		if !ok || got != id {
+			t.Errorf("ParseID(%q) = %v, %v", id.String(), got, ok)
+		}
+	}
+	if _, ok := ParseID("dnp3"); ok {
+		t.Error("ParseID accepted unknown dialect")
+	}
+}

@@ -39,7 +39,10 @@ func (s *Simulator) generatePMUs() {
 			{StationName: "PMU-SOUTH", IDCode: 902, PhasorNames: []string{"VA", "IA"},
 				NominalFreq: 60, ConversionFactor: 0.01},
 		},
-		DataRate: 30,
+		// 1 fps keeps the background stream from drowning the IEC 104
+		// signal; the CFG-2 declares the same rate so the healthy
+		// capture is rate-compliant (fault knobs create the violations).
+		DataRate: 1,
 	}
 	pmuAddr := netip.AddrFrom4([4]byte{10, 0, 5, 1})
 	server := netip.AddrPortFrom(s.net.ServerAddr("C3"), PortC37118)
@@ -53,9 +56,7 @@ func (s *Simulator) generatePMUs() {
 		open:      true,
 	}
 	// Configuration frame first (as after a CFG-2 request), then a
-	// steady data stream. Full 30 fps would swamp the trace; the tap
-	// model samples it at 1 frame/s which preserves the protocol mix
-	// without drowning the IEC 104 signal.
+	// steady data stream at the declared rate.
 	cfgFrame, err := cfg.Marshal()
 	if err != nil {
 		panic("scadasim: " + err.Error())

@@ -50,7 +50,37 @@ func (c *conn) jitter(max time.Duration) time.Duration {
 	return time.Duration(c.rng.Int63n(int64(max)))
 }
 
+// emit books one segment, first routing it through the configured
+// fault model. Faults only touch payload-carrying segments: TCP
+// control packets (SYN/FIN/RST) keep their exact timing so flow
+// classification is unaffected. The zero-value Faults makes no rng
+// draws at all, which keeps fault-free traces byte-identical.
 func (c *conn) emit(t time.Time, fromClient bool, flags uint8, payload []byte) {
+	f := c.sim.cfg.Faults
+	if len(payload) > 0 && f.active() {
+		// Timeouts model the device side going quiet: only responses
+		// (server->client segments) vanish; the poll that provoked them
+		// stays in the capture.
+		if !fromClient && f.TimeoutProb > 0 && c.rng.Float64() < f.TimeoutProb {
+			return
+		}
+		if f.Delay > 0 {
+			t = t.Add(f.Delay)
+		}
+		if f.Jitter > 0 {
+			t = t.Add(c.jitter(f.Jitter))
+		}
+		if f.ShortReadProb > 0 && len(payload) >= 2 && c.rng.Float64() < f.ShortReadProb {
+			cut := 1 + c.rng.Intn(len(payload)-1)
+			c.emitSegment(t, fromClient, flags, payload[:cut])
+			c.emitSegment(t.Add(10*time.Millisecond), fromClient, flags, payload[cut:])
+			return
+		}
+	}
+	c.emitSegment(t, fromClient, flags, payload)
+}
+
+func (c *conn) emitSegment(t time.Time, fromClient bool, flags uint8, payload []byte) {
 	r := Record{Time: t, Flags: flags, Payload: payload}
 	if fromClient {
 		r.Src, r.Dst = c.client, c.server

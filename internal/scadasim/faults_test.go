@@ -1,0 +1,162 @@
+package scadasim
+
+import (
+	"testing"
+	"time"
+
+	"uncharted/internal/modbus"
+	"uncharted/internal/topology"
+)
+
+// TestModbusTrafficGenerated drives the Modbus outstation and decodes
+// every poll off the wire: requests from the master side, responses
+// (and the planted exception) from the outstation.
+func TestModbusTrafficGenerated(t *testing.T) {
+	cfg := smallConfig(topology.Y1)
+	cfg.EnableModbus = true
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs, resps, exceptions int
+	for _, r := range tr.Records {
+		if r.Dst.Port() != PortModbus && r.Src.Port() != PortModbus {
+			continue
+		}
+		if len(r.Payload) == 0 {
+			continue
+		}
+		a, err := modbus.DecodeADU(r.Payload)
+		if err != nil {
+			t.Fatalf("undecodable modbus segment: %v", err)
+		}
+		switch {
+		case a.Exception():
+			exceptions++
+		case r.Dst.Port() == PortModbus:
+			reqs++
+		default:
+			resps++
+		}
+	}
+	if reqs == 0 || resps == 0 {
+		t.Fatalf("modbus traffic missing: %d requests, %d responses", reqs, resps)
+	}
+	if exceptions == 0 {
+		t.Error("no exception responses in trace")
+	}
+	// Healthy link: every request is answered.
+	if resps+exceptions != reqs {
+		t.Errorf("%d requests but %d replies", reqs, resps+exceptions)
+	}
+
+	// Off by default: the baseline trace carries no port-502 traffic.
+	base := runSmall(t, topology.Y1)
+	for _, r := range base.Records {
+		if r.Src.Port() == PortModbus || r.Dst.Port() == PortModbus {
+			t.Fatal("modbus traffic present without EnableModbus")
+		}
+	}
+}
+
+// countModbus tallies request and reply payload segments on port 502.
+func countModbus(tr *Trace) (reqs, repls int) {
+	for _, r := range tr.Records {
+		if len(r.Payload) == 0 {
+			continue
+		}
+		switch {
+		case r.Dst.Port() == PortModbus:
+			reqs++
+		case r.Src.Port() == PortModbus:
+			repls++
+		}
+	}
+	return
+}
+
+// TestFaultsShapeTraffic checks each fault knob against the healthy
+// baseline: timeouts swallow replies while the polls stand, short
+// reads split frames into extra segments, and delay pushes replies
+// later without changing their count.
+func TestFaultsShapeTraffic(t *testing.T) {
+	run := func(f Faults) *Trace {
+		cfg := smallConfig(topology.Y1)
+		cfg.EnableModbus = true
+		cfg.DisableBackground = true
+		// Retransmit duplicates would blur the segment-count
+		// comparisons below.
+		cfg.RetransmitProb = 0
+		cfg.Faults = f
+		sim, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+
+	healthy := run(Faults{})
+	hReqs, hRepls := countModbus(healthy)
+
+	lossy := run(Faults{TimeoutProb: 0.3})
+	lReqs, lRepls := countModbus(lossy)
+	if lReqs != hReqs {
+		t.Errorf("timeouts changed request count: %d vs %d", lReqs, hReqs)
+	}
+	if lRepls >= hRepls {
+		t.Errorf("timeouts dropped no replies: %d vs %d", lRepls, hRepls)
+	}
+
+	torn := run(Faults{ShortReadProb: 0.5})
+	tReqs, tRepls := countModbus(torn)
+	if tReqs+tRepls <= hReqs+hRepls {
+		t.Errorf("short reads produced no extra segments: %d vs %d",
+			tReqs+tRepls, hReqs+hRepls)
+	}
+	// Torn segments must reassemble into the same byte stream.
+	var healthyBytes, tornBytes int
+	for _, r := range healthy.Records {
+		if r.Src.Port() == PortModbus {
+			healthyBytes += len(r.Payload)
+		}
+	}
+	for _, r := range torn.Records {
+		if r.Src.Port() == PortModbus {
+			tornBytes += len(r.Payload)
+		}
+	}
+	if healthyBytes != tornBytes {
+		t.Errorf("short reads changed reply byte count: %d vs %d", tornBytes, healthyBytes)
+	}
+
+	slow := run(Faults{Delay: 150 * time.Millisecond})
+	sReqs, sRepls := countModbus(slow)
+	if sReqs != hReqs || sRepls != hRepls {
+		t.Errorf("pure delay changed segment counts: %d/%d vs %d/%d",
+			sReqs, sRepls, hReqs, hRepls)
+	}
+
+	// Faults degrade the IEC 104 outstations too, not just Modbus.
+	iecHealthy, iecLossy := 0, 0
+	for _, r := range healthy.Records {
+		if r.Src.Port() == 2404 && len(r.Payload) > 0 {
+			iecHealthy++
+		}
+	}
+	for _, r := range lossy.Records {
+		if r.Src.Port() == 2404 && len(r.Payload) > 0 {
+			iecLossy++
+		}
+	}
+	if iecLossy >= iecHealthy {
+		t.Errorf("timeouts left IEC 104 replies untouched: %d vs %d", iecLossy, iecHealthy)
+	}
+}

@@ -1,0 +1,74 @@
+package scadasim
+
+import (
+	"net/netip"
+	"time"
+
+	"uncharted/internal/modbus"
+	"uncharted/internal/pcap"
+)
+
+// PortModbus is the registered Modbus/TCP server port.
+const PortModbus = 502
+
+// generateModbus emits a Modbus/TCP polling association: control
+// server C2 cycles holding-register and coil reads against a
+// distribution-feeder outstation, with occasional setpoint writes and
+// an intermittent illegal-address exception. Enabled by
+// Config.EnableModbus (off by default so the baseline captures stay
+// byte-identical).
+func (s *Simulator) generateModbus() {
+	outAddr := netip.AddrFrom4([4]byte{10, 0, 5, 9})
+	c := &conn{
+		sim:       s,
+		rng:       newBackgroundRand(s.cfg.Seed, PortModbus),
+		client:    netip.AddrPortFrom(s.net.ServerAddr("C2"), s.port()),
+		server:    netip.AddrPortFrom(outAddr, PortModbus),
+		clientSeq: 7000,
+		serverSeq: 8000,
+		open:      true,
+	}
+	const unit = 1
+	txid := uint16(1)
+	poll := func(t time.Time, req, resp []byte) {
+		c.emit(t, true, pcap.FlagPSH|pcap.FlagACK, req)
+		c.emit(t.Add(20*time.Millisecond+c.jitter(15*time.Millisecond)), false,
+			pcap.FlagPSH|pcap.FlagACK, resp)
+		txid++
+	}
+
+	i := 0
+	for t := s.cfg.Start.Add(1500 * time.Millisecond); t.Before(s.end()); t = t.Add(2 * time.Second) {
+		// Register scan: six feeder measurements that wander slowly.
+		vals := make([]uint16, 6)
+		for j := range vals {
+			base := 3000 + 40*j
+			vals[j] = uint16(base + int(30*mathSin(float64(i)/25+float64(j))))
+		}
+		poll(t, modbus.ReadRequest(txid, unit, modbus.FuncReadHolding, 100, 6),
+			modbus.ReadRegistersResponse(txid, unit, modbus.FuncReadHolding, vals))
+
+		switch {
+		case i%5 == 2:
+			// Breaker/switch status coils.
+			bits := make([]bool, 8)
+			for j := range bits {
+				bits[j] = (i/5+j)%3 != 0
+			}
+			tc := t.Add(300 * time.Millisecond)
+			poll(tc, modbus.ReadRequest(txid, unit, modbus.FuncReadCoils, 10, 8),
+				modbus.ReadBitsResponse(txid, unit, modbus.FuncReadCoils, bits))
+		case i%40 == 17:
+			// Operator setpoint write; the response echoes the request.
+			req := modbus.WriteSingle(txid, unit, modbus.FuncWriteSingleReg, 200, uint16(500+i))
+			poll(t.Add(300*time.Millisecond), req, req)
+		case i%64 == 33:
+			// Scan of an unmapped block: illegal data address.
+			tc := t.Add(300 * time.Millisecond)
+			poll(tc, modbus.ReadRequest(txid, unit, modbus.FuncReadInput, 9000, 4),
+				modbus.Exception(txid, unit, modbus.FuncReadInput, 2))
+		}
+		i++
+	}
+	s.records = append(s.records, c.recs...)
+}

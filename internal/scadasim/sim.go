@@ -41,6 +41,36 @@ type Config struct {
 	// DisableBackground suppresses the non-IEC-104 industrial traffic
 	// (C37.118 synchrophasors, ICCP) the paper's tap also carried.
 	DisableBackground bool
+	// EnableModbus adds a Modbus/TCP polling association to the trace
+	// (off by default so existing captures stay byte-identical).
+	EnableModbus bool
+	// Faults degrades every protocol server in the simulation; the zero
+	// value leaves the trace untouched.
+	Faults Faults
+}
+
+// Faults models a degraded field device or access link, applied
+// uniformly to every protocol server the simulator runs (IEC 104
+// outstations, C37.118 PMUs, ICCP peers, Modbus outstations). The
+// zero value is a healthy network: no fault draws are made, so
+// enabling any single knob never perturbs the others' streams.
+type Faults struct {
+	// Delay shifts every payload-carrying segment later by a fixed
+	// amount (serialisation/processing latency).
+	Delay time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) on top.
+	Jitter time.Duration
+	// TimeoutProb drops a device response entirely: the request stands,
+	// the reply never arrives.
+	TimeoutProb float64
+	// ShortReadProb splits an application frame across two TCP
+	// segments, forcing the analyzer's codecs to buffer partial frames.
+	ShortReadProb float64
+}
+
+// active reports whether any fault knob is set.
+func (f Faults) active() bool {
+	return f.Delay != 0 || f.Jitter != 0 || f.TimeoutProb != 0 || f.ShortReadProb != 0
 }
 
 // DefaultConfig returns the calibrated settings for a capture year.
@@ -158,6 +188,9 @@ func (s *Simulator) Run() (*Trace, error) {
 	}
 	if !s.cfg.DisableBackground {
 		s.generateBackground()
+	}
+	if s.cfg.EnableModbus {
+		s.generateModbus()
 	}
 	sortRecords(s.records)
 	return &Trace{Records: s.records, Truth: s.truth}, nil

@@ -75,6 +75,11 @@ type Config struct {
 	ClusterSeed int64
 	// Names resolves endpoint addresses for reports.
 	Names map[netip.Addr]string
+	// Protocols lists additional dialects each shard decodes beyond
+	// IEC 104 ("c37118", "modbus"), or "auto" for content detection of
+	// every registered dialect. Empty keeps the single-protocol
+	// pipeline, byte-identical with earlier releases.
+	Protocols []string
 	// Registry / Journal instrument the engine and its analyzers; both
 	// optional.
 	Registry *obs.Registry
@@ -275,6 +280,12 @@ func New(cfg Config) *Engine {
 	for i := 0; i < cfg.Workers; i++ {
 		lane := cfg.Trace.Lane(strconv.Itoa(i))
 		an := core.NewAnalyzer(cfg.Names)
+		if err := an.EnableProtocolNames(cfg.Protocols...); err != nil {
+			// Config.Protocols is validated by the surfaces that accept
+			// user input (pipeline configs, -proto flags); an unknown
+			// name reaching this far is a programming error.
+			panic("stream: " + err.Error())
+		}
 		if cfg.Registry != nil || cfg.Journal != nil {
 			an.Instrument(cfg.Registry, cfg.Journal)
 		}

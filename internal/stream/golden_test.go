@@ -1,0 +1,181 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"uncharted/internal/core"
+	"uncharted/internal/drift"
+	"uncharted/internal/scadasim"
+	"uncharted/internal/topology"
+)
+
+// goldenSavedAt is the fixed Meta.SavedAt stamp: profile bytes must not
+// depend on the wall clock.
+var goldenSavedAt = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+
+// TestIEC104GoldenEquivalence pins the IEC 104-only analysis output,
+// byte for byte, across refactors: the drift-codec encoding of a
+// deterministic simulated capture's final Partial must match the
+// committed fixture at 1 and at 4 shards. The fixtures were generated
+// before the multi-protocol core refactor, so a pass here proves the
+// refactored analyzer produces byte-identical output for IEC 104-only
+// analysis. Regenerate (only for a deliberate format change) with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/stream -run GoldenEquivalence
+//
+// Shard counts are pinned separately because the dialect-detection
+// pinning moment (and with it StrictInvalid tallies) legitimately
+// differs when an endpoint's traffic spans shards.
+func TestIEC104GoldenEquivalence(t *testing.T) {
+	sim, tr := simulate(t, 7, 3*time.Minute)
+	capture := tracePCAP(t, tr)
+
+	encode := func(p core.Partial) []byte {
+		return drift.NewProfile("golden", "scadasim:y1/seed7/3m", p, goldenSavedAt).Encode()
+	}
+
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("%dshard", workers), func(t *testing.T) {
+			path := filepath.Join("testdata", fmt.Sprintf("golden_iec104_%dshard.drift", workers))
+			_, part := runEngine(t, sim, capture, workers)
+			got := encode(part)
+
+			if workers == 1 {
+				// The offline single-analyzer path must agree with the
+				// 1-shard engine exactly. MergePartials normalizes the
+				// report ordering the same way the engine's merge does.
+				norm := core.MergePartials([]core.Partial{offlinePartial(t, sim, capture)})
+				if off := encode(norm); !bytes.Equal(off, got) {
+					op, _ := drift.DecodeProfile(off)
+					ep, _ := drift.DecodeProfile(got)
+					diffPartials(t, op.Partial, ep.Partial)
+					t.Errorf("offline analyzer encoding differs from 1-shard engine (%d vs %d bytes)", len(off), len(got))
+				}
+			}
+
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if bytes.Equal(got, want) {
+				return
+			}
+			// Decode both sides for a debuggable diff before failing on
+			// the byte mismatch.
+			wp, werr := drift.DecodeProfile(want)
+			gp, gerr := drift.DecodeProfile(got)
+			if werr != nil || gerr != nil {
+				t.Fatalf("profile bytes changed (%d -> %d bytes); decode: golden %v, fresh %v",
+					len(want), len(got), werr, gerr)
+			}
+			diffPartials(t, wp.Partial, gp.Partial)
+			t.Errorf("profile bytes changed (%d -> %d bytes): IEC 104-only output is no longer byte-identical", len(want), len(got))
+		})
+	}
+}
+
+// TestMixedGoldenProfile pins the multi-protocol analysis output the
+// same way: a deterministic mixed capture (IEC 104 + C37.118 + Modbus)
+// analyzed in auto-detect mode must encode byte-identically to the
+// committed fixture, at 1 and at 4 shards. This is the multi-protocol
+// analogue of the IEC 104 golden: it freezes the dialect stats, token
+// alphabets, proto-tagged chains, stream verdicts and cross-dialect
+// physical series. Regenerate deliberately with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/stream -run MixedGoldenProfile
+func TestMixedGoldenProfile(t *testing.T) {
+	cfg := scadasim.DefaultConfig(topology.Y1, 7)
+	cfg.Duration = 3 * time.Minute
+	cfg.EnableModbus = true
+	sim, err := scadasim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture := tracePCAP(t, tr)
+
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("%dshard", workers), func(t *testing.T) {
+			path := filepath.Join("testdata", fmt.Sprintf("golden_mixed_%dshard.drift", workers))
+			src, err := NewPCAPSource(bytes.NewReader(capture))
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := New(Config{
+				Workers:   workers,
+				Names:     core.NamesFromTopology(sim.Network()),
+				Protocols: []string{"auto"},
+			})
+			if err := e.Run(context.Background(), src); err != nil {
+				t.Fatal(err)
+			}
+			part := e.Final()
+			if len(part.Dialects) < 2 {
+				t.Fatalf("mixed capture decoded too few dialects: %+v", part.Dialects)
+			}
+			got := drift.NewProfile("golden", "scadasim:y1/seed7/3m/mixed", part, goldenSavedAt).Encode()
+
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden fixture (run with UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if bytes.Equal(got, want) {
+				return
+			}
+			wp, werr := drift.DecodeProfile(want)
+			gp, gerr := drift.DecodeProfile(got)
+			if werr != nil || gerr != nil {
+				t.Fatalf("profile bytes changed (%d -> %d bytes); decode: golden %v, fresh %v",
+					len(want), len(got), werr, gerr)
+			}
+			diffPartials(t, wp.Partial, gp.Partial)
+			t.Errorf("profile bytes changed (%d -> %d bytes): mixed-protocol output drifted", len(want), len(got))
+		})
+	}
+}
+
+// diffPartials reports which Partial sections differ, field by field,
+// so a golden failure names the drifted aggregate instead of just
+// "bytes changed".
+func diffPartials(t *testing.T, want, got core.Partial) {
+	t.Helper()
+	wv := reflect.ValueOf(want)
+	gv := reflect.ValueOf(got)
+	for i := 0; i < wv.NumField(); i++ {
+		name := wv.Type().Field(i).Name
+		if !reflect.DeepEqual(wv.Field(i).Interface(), gv.Field(i).Interface()) {
+			t.Errorf("Partial.%s differs:\n golden: %+v\n  fresh: %+v", name, wv.Field(i).Interface(), gv.Field(i).Interface())
+		}
+	}
+}

@@ -50,6 +50,35 @@ type Profile struct {
 	Clusters *ClusterProfile `json:"clusters,omitempty"`
 	// Physical ranks measurement series by normalized variance.
 	Physical []PhysicalPoint `json:"physical,omitempty"`
+	// Dialects tallies the generic decode path per protocol; present
+	// only on multi-protocol runs, so single-protocol documents are
+	// unchanged.
+	Dialects []DialectProfile `json:"dialects,omitempty"`
+	// Streams is the per-stream rate compliance (C37.118 PMU data
+	// streams against their configured frame rate).
+	Streams []StreamProfile `json:"streams,omitempty"`
+}
+
+// DialectProfile is one protocol's decode summary.
+type DialectProfile struct {
+	Proto       string         `json:"proto"`
+	Frames      int            `json:"frames"`
+	ParseErrors int            `json:"parse_errors,omitempty"`
+	Bytes       int            `json:"bytes"`
+	Tokens      map[string]int `json:"tokens,omitempty"`
+}
+
+// StreamProfile is one measurement stream's rate-compliance verdict.
+type StreamProfile struct {
+	Proto          string  `json:"proto"`
+	Conn           string  `json:"conn"`
+	Unit           string  `json:"unit"`
+	ConfiguredRate float64 `json:"configured_rate,omitempty"`
+	ObservedRate   float64 `json:"observed_rate,omitempty"`
+	Frames         int     `json:"frames"`
+	Errors         int     `json:"errors,omitempty"`
+	Compliant      bool    `json:"compliant"`
+	Detail         string  `json:"detail,omitempty"`
 }
 
 // FlowProfile is the JSON rendering of the flow taxonomy.
@@ -172,6 +201,29 @@ func BuildProfile(p core.Partial, seq, k int, seed int64) *Profile {
 		}
 	}
 
+	for _, ds := range p.Dialects {
+		prof.Dialects = append(prof.Dialects, DialectProfile{
+			Proto:       ds.Proto.String(),
+			Frames:      ds.Frames,
+			ParseErrors: ds.ParseErrors,
+			Bytes:       ds.Bytes,
+			Tokens:      ds.TokenCounts,
+		})
+	}
+	for _, sc := range p.Streams {
+		prof.Streams = append(prof.Streams, StreamProfile{
+			Proto:          sc.Proto.String(),
+			Conn:           sc.Conn,
+			Unit:           sc.Unit,
+			ConfiguredRate: sc.ConfiguredRate,
+			ObservedRate:   sc.ObservedRate,
+			Frames:         sc.Frames,
+			Errors:         sc.Errors,
+			Compliant:      sc.Compliant,
+			Detail:         sc.Detail,
+		})
+	}
+
 	for _, d := range physical.RankDigests(p.Physical, 2) {
 		prof.Physical = append(prof.Physical, PhysicalPoint{
 			Station:            d.Key.Station,
@@ -223,6 +275,20 @@ func (p *Profile) WriteText(w io.Writer) error {
 	if p.Clusters != nil {
 		fmt.Fprintf(w, "clusters k=%d sizes %v silhouette %.3f\n",
 			p.Clusters.K, p.Clusters.Sizes, p.Clusters.Silhouette)
+	}
+	if len(p.Dialects) > 0 {
+		fmt.Fprint(w, "dialects")
+		for _, d := range p.Dialects {
+			fmt.Fprintf(w, " %s %d frames (%d errors)", d.Proto, d.Frames, d.ParseErrors)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, sc := range p.Streams {
+		verdict := "ok"
+		if !sc.Compliant {
+			verdict = "VIOLATION"
+		}
+		fmt.Fprintf(w, "stream   %s %s/%s %s: %s\n", sc.Proto, sc.Conn, sc.Unit, verdict, sc.Detail)
 	}
 	if len(p.Physical) > 0 {
 		d := p.Physical[0]

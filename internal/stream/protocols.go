@@ -1,0 +1,33 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+
+	"uncharted/internal/protocol"
+
+	// Link every built-in dialect so Config.Protocols names always
+	// resolve at this surface, whatever else the binary imports.
+	_ "uncharted/internal/c37118"
+	_ "uncharted/internal/modbus"
+)
+
+// ParseProtocols parses a -proto style comma-separated dialect list
+// ("c37118,modbus", or "auto" for full content detection) into a
+// validated Config.Protocols value. Empty input means IEC 104 only.
+func ParseProtocols(s string) ([]string, error) {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if name != "auto" {
+			if _, ok := protocol.ParseID(name); !ok {
+				return nil, fmt.Errorf("unknown protocol %q (want iec104, c37118, modbus or auto)", name)
+			}
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
