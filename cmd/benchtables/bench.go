@@ -150,7 +150,25 @@ func runBench(dir, baselineDir string, scale float64, seed int64) error {
 			}
 		}))
 	}
-	stream104 := []BenchResult{engineBench(1), engineBench(2), engineBench(4)}
+	// The segmented row adds the parallel-ingest path: the capture is
+	// planned into record-aligned segments and N readers feed the shard
+	// fan-in concurrently (Config.Readers), the way cmd/profiler
+	// -readers runs a finished capture.
+	engineSegBench := func(workers, readers int) BenchResult {
+		name := fmt.Sprintf("engine_%dshard_%dreader", workers, readers)
+		return toBenchResult(name, testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(int64(capture.Len()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				src := stream.NewReaderAtSource(bytes.NewReader(capture.Bytes()), int64(capture.Len()))
+				e := stream.New(stream.Config{Workers: workers, Readers: readers, Names: names})
+				if err := e.Run(context.Background(), src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	stream104 := []BenchResult{engineBench(1), engineBench(2), engineBench(4), engineSegBench(4, 4)}
 
 	hist104, err := historianBench(names, capture.Bytes())
 	if err != nil {

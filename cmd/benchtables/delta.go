@@ -72,16 +72,21 @@ func deltaCell(old, new float64) string {
 }
 
 // scalingWarnBelow is the 4-shard/1-shard throughput ratio under
-// which printScaling flags the run: sharding that fails to at least
-// break even means the fan-out overhead (routing, queue handoff,
-// merge) ate the parallelism — exactly what the flight recorder's
-// stage spans and backpressure attribution exist to localise.
-const scalingWarnBelow = 1.0
+// which printScaling flags the run. With the segmented N-reader ingest
+// the parallel configuration is expected to actually pull ahead on a
+// multi-core box, so the bar is 1.5x rather than break-even; a miss
+// means the fan-out overhead (routing, queue handoff, merge) ate the
+// parallelism — exactly what the flight recorder's stage spans and
+// backpressure attribution exist to localise. (On a single-CPU runner
+// the warning is informational: no ratio above 1.0 is reachable.)
+const scalingWarnBelow = 1.5
 
 // printScaling reports how engine throughput scales from 1 to 4
 // shards using the MB/s columns of the BENCH_stream.json rows, and
-// warns when the ratio is below scalingWarnBelow. Missing rows (or
-// rows without throughput) print nothing.
+// warns when the ratio is below scalingWarnBelow. The segmented
+// engine_4shard_4reader row is reported against the same 1-shard base
+// when present. Missing rows (or rows without throughput) print
+// nothing.
 func printScaling(w io.Writer, rows []BenchResult) {
 	byName := make(map[string]BenchResult, len(rows))
 	for _, r := range rows {
@@ -94,9 +99,13 @@ func printScaling(w io.Writer, rows []BenchResult) {
 	ratio := four.MBPerSec / one.MBPerSec
 	fmt.Fprintf(w, "\nshard scaling: engine_4shard %.2f MB/s / engine_1shard %.2f MB/s = %.2fx\n",
 		four.MBPerSec, one.MBPerSec, ratio)
+	if seg := byName["engine_4shard_4reader"]; seg.MBPerSec > 0 {
+		fmt.Fprintf(w, "segmented ingest: engine_4shard_4reader %.2f MB/s / engine_1shard %.2f MB/s = %.2fx\n",
+			seg.MBPerSec, one.MBPerSec, seg.MBPerSec/one.MBPerSec)
+	}
 	if ratio < scalingWarnBelow {
-		fmt.Fprintf(w, "WARNING: 4 shards are not faster than 1 (%.2fx < %.2fx); profile the pipeline with -trace / /statusz to attribute the stall\n",
-			ratio, scalingWarnBelow)
+		fmt.Fprintf(w, "WARNING: 4-shard scaling below %.1fx (%.2fx); profile the pipeline with -trace / /statusz to attribute the stall\n",
+			scalingWarnBelow, ratio)
 	}
 }
 

@@ -24,6 +24,21 @@ func TestPrintScalingWarns(t *testing.T) {
 	}
 }
 
+// TestPrintScalingBelowBar: a ratio above break-even but under the
+// 1.5x bar still warns — with parallel ingest, merely not losing is a
+// regression.
+func TestPrintScalingBelowBar(t *testing.T) {
+	var b strings.Builder
+	printScaling(&b, []BenchResult{
+		{Name: "engine_1shard", MBPerSec: 50},
+		{Name: "engine_4shard", MBPerSec: 60},
+	})
+	out := b.String()
+	if !strings.Contains(out, "= 1.20x") || !strings.Contains(out, "WARNING") {
+		t.Errorf("1.2x scaling did not warn against the 1.5x bar:\n%s", out)
+	}
+}
+
 // TestPrintScalingQuietWhenScaling: a healthy ratio reports without
 // warning, and missing rows print nothing at all.
 func TestPrintScalingQuietWhenScaling(t *testing.T) {
@@ -31,10 +46,14 @@ func TestPrintScalingQuietWhenScaling(t *testing.T) {
 	printScaling(&b, []BenchResult{
 		{Name: "engine_1shard", MBPerSec: 50},
 		{Name: "engine_4shard", MBPerSec: 150},
+		{Name: "engine_4shard_4reader", MBPerSec: 175},
 	})
 	out := b.String()
 	if !strings.Contains(out, "= 3.00x") {
 		t.Errorf("scaling report missing ratio:\n%s", out)
+	}
+	if !strings.Contains(out, "engine_4shard_4reader") || !strings.Contains(out, "= 3.50x") {
+		t.Errorf("segmented row missing from scaling report:\n%s", out)
 	}
 	if strings.Contains(out, "WARNING") {
 		t.Errorf("healthy scaling warned:\n%s", out)

@@ -64,6 +64,7 @@ func run() int {
 	duration := flag.Duration("duration", 2*time.Minute, "simulated feed length")
 	speed := flag.Float64("speed", 0, "replay speed multiple (60 = one simulated minute per wall second; 0 = as fast as possible)")
 	workers := flag.Int("workers", 2, "analysis shards")
+	readers := flag.Int("readers", 0, "parallel capture readers configured on the engine (0 = match -workers; engages when a seekable capture is handed off, inert on the live sim feed)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /profile on this address (e.g. :9104)")
 	snapshotEvery := flag.Duration("snapshot", time.Second, "rolling-profile period")
 	attack := flag.String("attack", "", "inject an attack mid-feed and detect it online: recon, breaker or setpoint")
@@ -145,6 +146,7 @@ func run() int {
 		Speed:         *speed,
 		Attack:        *attack,
 		Workers:       *workers,
+		Readers:       *readers,
 		SnapshotEvery: *snapshotEvery,
 		HistorianDir:  *historianDir,
 		PointCap:      *pointCap,

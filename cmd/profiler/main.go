@@ -77,6 +77,7 @@ func run() int {
 	journalPath := flag.String("journal", "", "append structured pipeline events to this JSONL file")
 	follow := flag.Bool("follow", false, "tail a growing capture with the streaming engine until interrupted")
 	workers := flag.Int("workers", 1, "analysis shards for the streaming engine (with -follow, or >1 to shard a finished capture)")
+	readers := flag.Int("readers", 0, "parallel segment readers for a finished capture: the file is split at record boundaries and ingested concurrently (0 = match -workers; ignored with -follow)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /profile on this address (e.g. :9104)")
 	snapshotEvery := flag.Duration("snapshot", 2*time.Second, "rolling-profile period in streaming mode")
 	idleTimeout := flag.Duration("idle-timeout", 0, "evict flows idle this long in streaming mode (0 = keep all)")
@@ -132,7 +133,12 @@ func run() int {
 		return 2
 	}
 
-	if *follow || *workers > 1 {
+	// -readers defaults to the shard count: parallel ingest engages
+	// exactly when the analysis side fans out too.
+	if *readers <= 0 {
+		*readers = *workers
+	}
+	if *follow || *workers > 1 || *readers > 1 {
 		if *saveBaseline != "" {
 			log.Print("-save-baseline needs the offline single-analyzer mode (raw samples are not retained across shards)")
 			return 2
@@ -144,6 +150,7 @@ func run() int {
 			path:          flag.Arg(0),
 			follow:        *follow,
 			workers:       *workers,
+			readers:       *readers,
 			metricsAddr:   *metricsAddr,
 			snapshotEvery: *snapshotEvery,
 			idleTimeout:   *idleTimeout,
@@ -570,6 +577,7 @@ type streamOpts struct {
 	historianDir  string
 	pointCap      int
 	names         bool
+	readers       int
 	journal       *obs.Journal
 	want          map[string]bool
 	saveProfile   string
@@ -632,6 +640,7 @@ func runStreaming(o streamOpts) int {
 		Path:          o.path,
 		Follow:        o.follow,
 		Workers:       o.workers,
+		Readers:       o.readers,
 		SnapshotEvery: o.snapshotEvery,
 		IdleTimeout:   o.idleTimeout,
 		PointCap:      o.pointCap,

@@ -22,8 +22,18 @@ type statusDoc struct {
 	Snapshots      int64      `json:"snapshots"`
 	DroppedBatches int64      `json:"dropped_batches"`
 	DroppedPackets int64      `json:"dropped_packets"`
-	Stages         []stageRow `json:"stages"`
-	Shards         []shardRow `json:"shards"`
+	Stages         []stageRow  `json:"stages"`
+	Shards         []shardRow  `json:"shards"`
+	Readers        []readerRow `json:"readers"`
+}
+
+type readerRow struct {
+	ID          int     `json:"id"`
+	SegmentOff  int64   `json:"segment_off"`
+	SegmentSize int64   `json:"segment_size"`
+	BytesRead   int64   `json:"bytes_read"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	Done        bool    `json:"done"`
 }
 
 type stageRow struct {
@@ -107,6 +117,21 @@ func render(w io.Writer, prev, cur *sample) {
 			sh.ID, queueBar(sh.QueueLen, sh.QueueCap), sh.Current,
 			sh.DroppedBatches, sh.DroppedPackets,
 			causeString(sh.Stalls), causeString(sh.DropCauses))
+	}
+
+	if len(st.Readers) > 0 {
+		fmt.Fprintf(w, "\n%-7s %-22s %14s %14s %10s\n",
+			"READER", "SEGMENT", "BYTES", "RATE", "STATE")
+		for _, r := range st.Readers {
+			state := "reading"
+			if r.Done {
+				state = "done"
+			}
+			fmt.Fprintf(w, "%-7d %-22s %14s %14s %10s\n",
+				r.ID, queueBar(int(r.BytesRead>>10), int(r.SegmentSize>>10)),
+				fmt.Sprintf("%d/%d KiB", r.BytesRead>>10, r.SegmentSize>>10),
+				fmt.Sprintf("%.1f MB/s", r.MBPerSec), state)
+		}
 	}
 
 	if len(st.Stages) > 0 {

@@ -23,6 +23,10 @@ func mkSample(at time.Time, packets int64) *sample {
 			{Lane: "0", Stage: "decode", Count: 1200, P50: 12e-6, P99: 85e-6},
 			{Lane: "reader", Stage: "read", Count: 4800, P50: 2e-6, P99: 9e-6},
 		},
+		Readers: []readerRow{
+			{ID: 0, SegmentOff: 0, SegmentSize: 2 << 20, BytesRead: 2 << 20, MBPerSec: 120.5, Done: true},
+			{ID: 1, SegmentOff: 2 << 20, SegmentSize: 2 << 20, BytesRead: 1 << 20, MBPerSec: 98.2},
+		},
 	}
 	s.Vars.Journal = map[string]int64{"alert": 3, "drift": 1, "span": 900}
 	s.Vars.JournalDropped = 2
@@ -42,6 +46,8 @@ func TestRenderFirstFrame(t *testing.T) {
 		"SHARD", "[#####.....] 4/8", "feed",
 		"decode:1 feed:3", "idle:1",
 		"LANE", "decode", "12.0µs", "85.0µs",
+		"READER", "2048/2048 KiB", "120.5 MB/s", "done",
+		"1024/2048 KiB", "98.2 MB/s", "reading",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("frame missing %q:\n%s", want, out)

@@ -849,7 +849,7 @@ func (a *Analyzer) consumeFrame(sp tcpflow.StreamPayload, frame []byte, st *endp
 				sc.StrictInvalid++
 				strictInvalid = true
 			}
-		} else if !strictPlausible(frame) {
+		} else if !a.parser.StrictPlausible(frame) {
 			sc.StrictInvalid++
 			strictInvalid = true
 		}
@@ -995,20 +995,13 @@ func (a *Analyzer) fillDirCache(c *dirCache, sp tcpflow.StreamPayload) {
 }
 
 // strictPlausible checks whether a standard-profile parse of the frame
-// both succeeds and looks sane — the §6.1 Wireshark test.
+// both succeeds and looks sane — the §6.1 Wireshark test. The analyzer
+// hot path calls the method on its own parser so the check reuses that
+// parser's detection scratch; this wrapper exists for callers without
+// one.
 func strictPlausible(frame []byte) bool {
-	apdu, _, err := iec104.ParseAPDU(frame, iec104.Standard)
-	if err != nil {
-		return false
-	}
-	if apdu.Format != iec104.FormatI {
-		return true
-	}
-	detected, _, err := iec104.DetectProfile(frame)
-	if err != nil {
-		return false
-	}
-	return detected.IsStandard()
+	var tp iec104.TolerantParser
+	return tp.StrictPlausible(frame)
 }
 
 func (a *Analyzer) complianceFor(addr netip.Addr) *StationCompliance {

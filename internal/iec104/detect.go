@@ -197,6 +197,63 @@ type TolerantParser struct {
 	// Detections counts how many frames were profile-detected (as
 	// opposed to served from the per-endpoint cache).
 	Detections int
+
+	// detAPDU/detASDU are the detection scratch pair: candidate sweeps
+	// decode into them instead of allocating a fresh APDU per profile,
+	// so re-detection (every unpinned frame; multiplied per shard under
+	// a sharded engine) stays allocation-free.
+	detAPDU APDU
+	detASDU ASDU
+}
+
+// detect is DetectProfile over the parser's scratch pair, without
+// materializing the per-candidate result list. Decision-for-decision
+// identical: candidates are tried in the same order, scored by the
+// same plausibility function, and ties break the same way (strict >
+// keeps the earliest best, so Standard wins).
+func (tp *TolerantParser) detect(frame []byte) (Profile, error) {
+	var best Profile
+	bestScore := math.Inf(-1)
+	found := false
+	for _, p := range CandidateProfiles {
+		if _, err := ParseAPDUInto(&tp.detAPDU, &tp.detASDU, frame, p, true); err != nil {
+			continue
+		}
+		if tp.detAPDU.Format != FormatI {
+			// Control frames carry no ASDU: every profile decodes them
+			// identically, so report Standard.
+			return Standard, nil
+		}
+		if score := plausibility(tp.detAPDU.ASDU, p); score > bestScore {
+			bestScore = score
+			best = p
+			found = true
+		}
+	}
+	if !found || math.IsInf(bestScore, -1) {
+		return Profile{}, ErrNoProfile
+	}
+	return best, nil
+}
+
+// StrictPlausible reports whether the frame passes the §6.1 Wireshark
+// test: it parses under the Standard profile and, for I-frames,
+// detection also picks Standard. Equivalent to a strict ParseAPDU
+// followed by DetectProfile, but runs over the parser's scratch pair so
+// the per-frame check (every frame of an undetected station, repeated
+// per analysis shard) allocates nothing.
+func (tp *TolerantParser) StrictPlausible(frame []byte) bool {
+	if _, err := ParseAPDUInto(&tp.detAPDU, &tp.detASDU, frame, Standard, true); err != nil {
+		return false
+	}
+	if tp.detAPDU.Format != FormatI {
+		return true
+	}
+	p, err := tp.detect(frame)
+	if err != nil {
+		return false
+	}
+	return p.IsStandard()
 }
 
 // NewTolerantParser returns a parser with an empty endpoint cache.
@@ -269,7 +326,17 @@ func (tp *TolerantParser) ParseFrameInto(endpoint string, frame []byte, dst *APD
 			return n, nil
 		}
 	}
-	detected, _, err := DetectProfile(frame)
+	// Control frames (S/U) carry no ASDU and decode identically under
+	// every dialect, so DetectProfile would report Standard without
+	// pinning; take that answer allocation-free. This matters for
+	// endpoints that only acknowledge for long stretches — every frame
+	// of theirs is a cache miss, and under a sharded engine each shard
+	// re-learns every endpoint, multiplying the candidate sweeps.
+	if n, err := ParseAPDUInto(dst, scratch, frame, Standard, true); err == nil && dst.Format != FormatI {
+		tp.Detections++
+		return n, nil
+	}
+	detected, err := tp.detect(frame)
 	if err != nil {
 		return 0, err
 	}

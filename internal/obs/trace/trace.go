@@ -38,8 +38,11 @@ type Stage uint8
 
 // The stage vocabulary, in pipeline order.
 const (
+	// StagePlan: segment planning over a seekable capture before
+	// parallel readers start (one span per plan).
+	StagePlan Stage = iota
 	// StageRead: one record pulled from the source (decoded or raw).
-	StageRead Stage = iota
+	StageRead
 	// StageRoute: header peek, shard choice, and slab append for one
 	// raw record.
 	StageRoute
@@ -60,7 +63,7 @@ const (
 )
 
 var stageNames = [numStages]string{
-	"read", "route", "enqueue", "decode", "feed", "historian", "merge", "publish",
+	"plan", "read", "route", "enqueue", "decode", "feed", "historian", "merge", "publish",
 }
 
 func (s Stage) String() string {

@@ -54,3 +54,8 @@ func (p *BufferPool) Get() *Buffer {
 // bytes. Intended for tests (it costs a memset per release); must be
 // set before the pool is shared across goroutines.
 func (p *BufferPool) SetPoison(on bool) { p.poison = on }
+
+// Poisoned reports whether overwrite-on-release is on, so callers that
+// recycle Buffers through their own free lists (bypassing Release) can
+// honor the same use-after-release tripwire.
+func (p *BufferPool) Poisoned() bool { return p.poison }

@@ -1,0 +1,424 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file is the segment planner behind the streaming engine's
+// parallel ingest: it splits a seekable capture into record-aligned
+// byte ranges so N readers can pull from the same file concurrently,
+// each through its own state-seeded PacketReader.
+//
+// Classic pcap has no framing magic per record, so boundaries are
+// found by probing: from a candidate offset, walk successive record
+// headers and accept the candidate only when a chain of them
+// validates (sane lengths, sane and near-monotonic timestamps) or the
+// walk lands exactly on EOF. pcapng is self-framing — every block
+// carries its type, a length and a trailing length copy — so the
+// planner hops block to block from the start of the file, tracking
+// the per-section byte order and interface table, and cuts at block
+// boundaries with a snapshot of that state. A section header (SHB)
+// in the middle of the file resets the interface table exactly as a
+// sequential read would.
+
+// Segment is one planned byte range of a capture. Off/End delimit the
+// range; records never straddle segments.
+type Segment struct {
+	Off int64
+	End int64
+}
+
+// Size returns the segment's byte length.
+func (s Segment) Size() int64 { return s.End - s.Off }
+
+// SegmentPlan is a record-aligned split of one seekable capture.
+// Open returns an independent PacketReader per segment; reading all
+// segments in order yields exactly the records a sequential read of
+// the whole file would.
+type SegmentPlan struct {
+	ra   io.ReaderAt
+	segs []Segment
+
+	// classic pcap state (nil ngStates means classic).
+	order   binary.ByteOrder
+	nanos   bool
+	link    LinkType
+	snapLen uint32
+
+	// pcapng per-segment state snapshots, parallel to segs.
+	ngStates []ngState
+}
+
+// ngState is the section state a pcapng segment starts in.
+type ngState struct {
+	order  binary.ByteOrder
+	ifaces []ngInterface
+}
+
+// Planner tuning constants.
+const (
+	// segChainHops is how many successive record headers must validate
+	// before a classic-pcap probe offset is accepted as a boundary
+	// (reaching exact EOF sooner also accepts). One plausible-looking
+	// 16-byte run inside a packet body is cheap to fake; four chained
+	// headers with consistent lengths and near-monotonic timestamps are
+	// not.
+	segChainHops = 4
+	// segMaxScan bounds the forward scan from a probe offset. If no
+	// boundary validates within it, the candidate boundary is dropped
+	// and the previous segment absorbs the range (correctness first:
+	// fewer readers, never a torn record).
+	segMaxScan = 1 << 20
+	// segSaneLen caps believable capture/wire lengths during probing.
+	segSaneLen = 1 << 22
+)
+
+// PlanSegments splits a capture of the given size into up to n
+// record-aligned segments. It sniffs the format itself (classic pcap
+// either endianness, µs or ns; pcapng) and may return fewer than n
+// segments — always at least one covering the whole record area —
+// when the file is too small or boundaries cannot be validated.
+func PlanSegments(ra io.ReaderAt, size int64, n int) (*SegmentPlan, error) {
+	if n < 1 {
+		n = 1
+	}
+	var magic [4]byte
+	if _, err := ra.ReadAt(magic[:], 0); err != nil {
+		return nil, fmt.Errorf("pcap: sniffing capture format: %w", err)
+	}
+	if binary.BigEndian.Uint32(magic[:]) == blockSHB {
+		return planNg(ra, size, n)
+	}
+	return planClassic(ra, size, n)
+}
+
+// Len returns the number of planned segments.
+func (p *SegmentPlan) Len() int { return len(p.segs) }
+
+// Segment returns the i-th planned byte range.
+func (p *SegmentPlan) Segment(i int) Segment { return p.segs[i] }
+
+// Open returns a fresh PacketReader over segment i, seeded with the
+// capture state (byte order, link type, interface table) a sequential
+// read would have at the segment's start. Readers from different
+// segments are fully independent and may be used concurrently.
+func (p *SegmentPlan) Open(i int) (PacketReader, error) {
+	if i < 0 || i >= len(p.segs) {
+		return nil, fmt.Errorf("pcap: segment %d out of range [0,%d)", i, len(p.segs))
+	}
+	seg := p.segs[i]
+	sec := io.NewSectionReader(p.ra, seg.Off, seg.Size())
+	if p.ngStates != nil {
+		st := p.ngStates[i]
+		return newNgReaderAt(sec, st.order, st.ifaces), nil
+	}
+	return newReaderAt(sec, p.order, p.nanos, p.link, p.snapLen), nil
+}
+
+// planClassic probes for record boundaries in a classic pcap file.
+func planClassic(ra io.ReaderAt, size int64, n int) (*SegmentPlan, error) {
+	var hdr [24]byte
+	if _, err := ra.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("pcap: reading global header: %w", err)
+	}
+	p := &SegmentPlan{ra: ra}
+	magic := binary.LittleEndian.Uint32(hdr[0:4])
+	switch magic {
+	case magicMicros:
+		p.order = binary.LittleEndian
+	case magicNanos:
+		p.order, p.nanos = binary.LittleEndian, true
+	case magicMicrosSwapped:
+		p.order = binary.BigEndian
+	case magicNanosSwapped:
+		p.order, p.nanos = binary.BigEndian, true
+	default:
+		return nil, fmt.Errorf("%w: %#08x", ErrBadMagic, magic)
+	}
+	p.snapLen = p.order.Uint32(hdr[16:20])
+	p.link = LinkType(p.order.Uint32(hdr[20:24]))
+
+	const dataOff = 24
+	if size <= dataOff || n == 1 {
+		p.segs = []Segment{{Off: dataOff, End: max64(size, dataOff)}}
+		return p, nil
+	}
+
+	// The first record's timestamp anchors the sanity window for every
+	// probe: captures span hours to months, not decades.
+	refSec, haveRef := int64(0), false
+	var rec [16]byte
+	if _, err := ra.ReadAt(rec[:], dataOff); err == nil {
+		refSec, haveRef = int64(p.order.Uint32(rec[0:4])), true
+	}
+
+	v := &segValidator{ra: ra, size: size, order: p.order, snapLen: p.snapLen, refSec: refSec, haveRef: haveRef}
+	bounds := []int64{dataOff}
+	span := size - dataOff
+	for k := 1; k < n; k++ {
+		target := dataOff + span*int64(k)/int64(n)
+		if target <= bounds[len(bounds)-1] {
+			continue
+		}
+		if off, ok := v.findBoundary(target); ok && off > bounds[len(bounds)-1] && off < size {
+			bounds = append(bounds, off)
+		}
+		// A failed probe drops this boundary: the previous segment
+		// simply extends further. Fewer readers, never a torn record.
+	}
+	for i, off := range bounds {
+		end := size
+		if i+1 < len(bounds) {
+			end = bounds[i+1]
+		}
+		p.segs = append(p.segs, Segment{Off: off, End: end})
+	}
+	return p, nil
+}
+
+// segValidator validates candidate record offsets in a classic pcap.
+type segValidator struct {
+	ra      io.ReaderAt
+	size    int64
+	order   binary.ByteOrder
+	snapLen uint32
+	refSec  int64
+	haveRef bool
+
+	win    []byte // scan window, so byte-wise probing does not ReadAt per byte
+	winOff int64
+}
+
+// findBoundary scans forward from target for the first offset where a
+// record-header chain validates.
+func (v *segValidator) findBoundary(target int64) (int64, bool) {
+	end := min64(target+segMaxScan, v.size)
+	n := int(end - target)
+	if n <= 0 {
+		return 0, false
+	}
+	if cap(v.win) < n {
+		v.win = make([]byte, n)
+	}
+	v.win = v.win[:n]
+	if rn, err := v.ra.ReadAt(v.win, target); rn < n {
+		if err != nil && err != io.EOF {
+			return 0, false
+		}
+		v.win = v.win[:rn]
+	}
+	v.winOff = target
+	for off := target; off < end; off++ {
+		if v.validChain(off) {
+			return off, true
+		}
+	}
+	return 0, false
+}
+
+// header reads a 16-byte record header at off, from the window when
+// possible.
+func (v *segValidator) header(off int64) (sec, capLen, origLen uint32, ok bool) {
+	if off+16 > v.size {
+		return 0, 0, 0, false
+	}
+	var hdr [16]byte
+	if w := off - v.winOff; w >= 0 && int(w)+16 <= len(v.win) {
+		copy(hdr[:], v.win[w:w+16])
+	} else if _, err := v.ra.ReadAt(hdr[:], off); err != nil {
+		return 0, 0, 0, false
+	}
+	return v.order.Uint32(hdr[0:4]), v.order.Uint32(hdr[8:12]), v.order.Uint32(hdr[12:16]), true
+}
+
+// validChain accepts off as a record boundary when segChainHops
+// successive headers pass the length and timestamp checks, or a
+// shorter chain lands exactly on EOF (the tail of the file).
+// Overrunning EOF mid-chain — a truncated record, or garbage — rejects
+// the candidate.
+func (v *segValidator) validChain(off int64) bool {
+	snapBound := uint32(segSaneLen)
+	if v.snapLen != 0 && v.snapLen < snapBound {
+		snapBound = v.snapLen
+	}
+	prevSec := int64(-1)
+	cur := off
+	for hop := 0; hop < segChainHops; hop++ {
+		sec32, capLen, origLen, ok := v.header(cur)
+		if !ok {
+			return false
+		}
+		if capLen > snapBound || origLen > segSaneLen || origLen < capLen {
+			return false
+		}
+		sec := int64(sec32)
+		if v.haveRef {
+			// Within two days before the capture start to ~20 years
+			// after: generous for multi-month captures, tight against
+			// payload bytes masquerading as timestamps.
+			if sec < v.refSec-2*86400 || sec > v.refSec+20*365*86400 {
+				return false
+			}
+		}
+		if prevSec >= 0 && (sec < prevSec-3600 || sec > prevSec+30*86400) {
+			// Records are near-monotonic; allow reordering slack and
+			// capture gaps, reject wild jumps.
+			return false
+		}
+		prevSec = sec
+		cur += 16 + int64(capLen)
+		if cur == v.size {
+			return true
+		}
+		if cur > v.size {
+			return false
+		}
+	}
+	return true
+}
+
+// planNg hops the self-framing pcapng block chain from the start of
+// the file, snapshotting section state at each cut.
+func planNg(ra io.ReaderAt, size int64, n int) (*SegmentPlan, error) {
+	p := &SegmentPlan{ra: ra}
+	st := &NgReader{}
+
+	var off int64
+	var hdr [8]byte
+	var body []byte
+	// first pass target spacing
+	cutEvery := size / int64(n)
+	if cutEvery < 1 {
+		cutEvery = size
+	}
+	nextCut := cutEvery
+
+	startSeg := func(at int64) {
+		p.segs = append(p.segs, Segment{Off: at})
+		snap := make([]ngInterface, len(st.ifaces))
+		copy(snap, st.ifaces)
+		p.ngStates = append(p.ngStates, ngState{order: st.order, ifaces: snap})
+	}
+	startSeg(0)
+
+	for off < size {
+		if _, err := ra.ReadAt(hdr[:], off); err != nil {
+			return nil, fmt.Errorf("pcap: reading pcapng block header at %d: %w", off, err)
+		}
+		var typ, total uint32
+		if st.order == nil {
+			if binary.BigEndian.Uint32(hdr[0:4]) != blockSHB {
+				return nil, ErrNotPcapNg
+			}
+			var magic [4]byte
+			if _, err := ra.ReadAt(magic[:], off+8); err != nil {
+				return nil, fmt.Errorf("pcap: reading byte-order magic: %w", err)
+			}
+			switch {
+			case binary.LittleEndian.Uint32(magic[:]) == byteOrderMagic:
+				st.order = binary.LittleEndian
+			case binary.BigEndian.Uint32(magic[:]) == byteOrderMagic:
+				st.order = binary.BigEndian
+			default:
+				return nil, fmt.Errorf("%w: byte-order magic % x", ErrNotPcapNg, magic)
+			}
+			typ = blockSHB
+			total = st.order.Uint32(hdr[4:8])
+			if total < 28 || total > 1<<24 {
+				return nil, fmt.Errorf("%w: SHB length %d", ErrNgCorrupt, total)
+			}
+		} else {
+			typ = st.order.Uint32(hdr[0:4])
+			total = st.order.Uint32(hdr[4:8])
+			if total < 12 || total%4 != 0 || total > 1<<24 {
+				return nil, fmt.Errorf("%w: block %#08x length %d", ErrNgCorrupt, typ, total)
+			}
+		}
+		if off+int64(total) > size {
+			// Truncated final block: the plan stops at the last whole
+			// block; the segment reader surfaces the same behavior a
+			// sequential read would (EOF after the last whole block for
+			// SectionReader semantics is close enough — the tail bytes
+			// are unreadable either way). Extend the last segment to
+			// cover the tail so the reader reports the truncation.
+			break
+		}
+		// Trailing length self-check, mirroring the sequential reader.
+		var trailer [4]byte
+		if _, err := ra.ReadAt(trailer[:], off+int64(total)-4); err != nil {
+			return nil, fmt.Errorf("pcap: reading pcapng block trailer at %d: %w", off, err)
+		}
+		if st.order.Uint32(trailer[:]) != total {
+			return nil, fmt.Errorf("%w: trailing length mismatch at %d", ErrNgCorrupt, off)
+		}
+		// State-bearing blocks get a full body parse.
+		switch typ {
+		case blockSHB:
+			if cap(body) < int(total) {
+				body = make([]byte, total)
+			}
+			body = body[:total]
+			if _, err := ra.ReadAt(body, off); err != nil {
+				return nil, fmt.Errorf("pcap: reading SHB at %d: %w", off, err)
+			}
+			if err := st.parseSHB(body[8 : total-4]); err != nil {
+				return nil, err
+			}
+		case blockIDB:
+			if cap(body) < int(total) {
+				body = make([]byte, total)
+			}
+			body = body[:total]
+			if _, err := ra.ReadAt(body, off); err != nil {
+				return nil, fmt.Errorf("pcap: reading IDB at %d: %w", off, err)
+			}
+			if err := st.parseIDB(body[8 : total-4]); err != nil {
+				return nil, err
+			}
+		}
+		off += int64(total)
+		if off >= nextCut && off < size && len(p.segs) < n {
+			p.segs[len(p.segs)-1].End = off
+			startSeg(off)
+			for nextCut <= off {
+				nextCut += cutEvery
+			}
+		}
+	}
+	p.segs[len(p.segs)-1].End = size
+	// Drop empty trailing segments (cut landed exactly at EOF).
+	for len(p.segs) > 1 && p.segs[len(p.segs)-1].Size() <= 0 {
+		p.segs = p.segs[:len(p.segs)-1]
+		p.ngStates = p.ngStates[:len(p.ngStates)-1]
+		p.segs[len(p.segs)-1].End = size
+	}
+	return p, nil
+}
+
+// newReaderAt builds a classic pcap Reader over a mid-file range,
+// seeded with the global-header state instead of parsing one.
+func newReaderAt(r io.Reader, order binary.ByteOrder, nanos bool, link LinkType, snapLen uint32) *Reader {
+	return &Reader{r: buffered(r), order: order, nanos: nanos, linkType: link, snapLen: snapLen}
+}
+
+// newNgReaderAt builds a pcapng reader over a mid-file range, seeded
+// with the section state a sequential read would have there.
+func newNgReaderAt(r io.Reader, order binary.ByteOrder, ifaces []ngInterface) *NgReader {
+	return &NgReader{r: buffered(r), order: order, ifaces: ifaces}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,324 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"time"
+)
+
+// buildClassic writes a classic pcap with the given payload sizes and
+// returns the file bytes plus the byte offset of every record.
+func buildClassic(t *testing.T, payloads [][]byte) ([]byte, []int64) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeEthernet)
+	if err := w.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2017, 11, 3, 12, 0, 0, 0, time.UTC)
+	var offs []int64
+	for i, pl := range payloads {
+		offs = append(offs, int64(buf.Len()))
+		ci := CaptureInfo{Timestamp: base.Add(time.Duration(i) * 250 * time.Millisecond)}
+		if err := w.WritePacket(ci, pl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes(), offs
+}
+
+// readAll drains a PacketReader into (data, ci) pairs.
+func readAll(t *testing.T, pr PacketReader) ([][]byte, []CaptureInfo) {
+	t.Helper()
+	var datas [][]byte
+	var cis []CaptureInfo
+	for {
+		data, ci, err := pr.ReadPacket()
+		if err == io.EOF {
+			return datas, cis
+		}
+		if err != nil {
+			t.Fatalf("ReadPacket: %v", err)
+		}
+		datas = append(datas, append([]byte(nil), data...))
+		cis = append(cis, ci)
+	}
+}
+
+// planAndReadAll plans n segments and concatenates every segment's
+// records in order.
+func planAndReadAll(t *testing.T, file []byte, n int) ([][]byte, []CaptureInfo, *SegmentPlan) {
+	t.Helper()
+	plan, err := PlanSegments(bytes.NewReader(file), int64(len(file)), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var datas [][]byte
+	var cis []CaptureInfo
+	for i := 0; i < plan.Len(); i++ {
+		pr, err := plan.Open(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, c := readAll(t, pr)
+		datas = append(datas, d...)
+		cis = append(cis, c...)
+	}
+	return datas, cis, plan
+}
+
+// assertSameRecords requires the segmented read to reproduce the
+// sequential read exactly.
+func assertSameRecords(t *testing.T, file []byte, n int) *SegmentPlan {
+	t.Helper()
+	pr, err := NewAutoReader(bytes.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantD, wantC := readAll(t, pr)
+	gotD, gotC, plan := planAndReadAll(t, file, n)
+	if len(gotD) != len(wantD) {
+		t.Fatalf("segmented read yielded %d records, sequential %d (plan %d segs)", len(gotD), len(wantD), plan.Len())
+	}
+	for i := range wantD {
+		if !bytes.Equal(gotD[i], wantD[i]) {
+			t.Fatalf("record %d bytes differ", i)
+		}
+		if !gotC[i].Timestamp.Equal(wantC[i].Timestamp) || gotC[i].CaptureLength != wantC[i].CaptureLength || gotC[i].Length != wantC[i].Length {
+			t.Fatalf("record %d capture info %+v != %+v", i, gotC[i], wantC[i])
+		}
+	}
+	return plan
+}
+
+// TestPlanClassicBoundariesAreRecordStarts: every planned boundary in
+// a classic pcap must be a true record offset, across segment counts.
+func TestPlanClassicBoundariesAreRecordStarts(t *testing.T) {
+	payloads := make([][]byte, 400)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{byte(i), 0xAB}, 20+(i%37))
+	}
+	file, offs := buildClassic(t, payloads)
+	isRecord := map[int64]bool{}
+	for _, o := range offs {
+		isRecord[o] = true
+	}
+	for _, n := range []int{2, 3, 4, 7, 16} {
+		plan := assertSameRecords(t, file, n)
+		for i := 0; i < plan.Len(); i++ {
+			if off := plan.Segment(i).Off; !isRecord[off] {
+				t.Errorf("n=%d: segment %d starts at %d, not a record boundary", n, i, off)
+			}
+		}
+		if plan.Len() < 2 {
+			t.Errorf("n=%d: plan collapsed to %d segments on a 400-record file", n, plan.Len())
+		}
+	}
+}
+
+// TestPlanClassicFakeValidatingPayload plants byte sequences inside
+// packet bodies that parse as plausible record headers (sane lengths,
+// a timestamp inside the capture's window) — a single-header check
+// would bite; the chain validation must step over them.
+func TestPlanClassicFakeValidatingPayload(t *testing.T) {
+	base := time.Date(2017, 11, 3, 12, 0, 0, 0, time.UTC)
+	fake := make([]byte, 16)
+	binary.LittleEndian.PutUint32(fake[0:4], uint32(base.Unix())+5) // in-window timestamp
+	binary.LittleEndian.PutUint32(fake[4:8], 123456)
+	binary.LittleEndian.PutUint32(fake[8:12], 52)  // capLen: plausible
+	binary.LittleEndian.PutUint32(fake[12:16], 52) // origLen == capLen
+	payloads := make([][]byte, 200)
+	for i := range payloads {
+		// Payload = back-to-back fake headers, so nearly every probe
+		// offset inside a body lands on one.
+		payloads[i] = bytes.Repeat(fake, 4)
+	}
+	file, offs := buildClassic(t, payloads)
+	isRecord := map[int64]bool{}
+	for _, o := range offs {
+		isRecord[o] = true
+	}
+	for _, n := range []int{2, 4, 8} {
+		plan := assertSameRecords(t, file, n)
+		for i := 0; i < plan.Len(); i++ {
+			if off := plan.Segment(i).Off; !isRecord[off] {
+				t.Errorf("n=%d: segment %d starts inside a packet body at %d", n, i, off)
+			}
+		}
+	}
+}
+
+// TestPlanClassicTruncatedFinalSegment: a capture cut mid-record still
+// yields every whole record, and the reader of the last segment
+// reports the same truncation error a sequential read does.
+func TestPlanClassicTruncatedFinalSegment(t *testing.T) {
+	payloads := make([][]byte, 120)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{byte(i)}, 60)
+	}
+	file, _ := buildClassic(t, payloads)
+	trunc := file[:len(file)-30] // tear the final record's body
+
+	plan, err := PlanSegments(bytes.NewReader(trunc), int64(len(trunc)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var whole int
+	var segErr error
+	for i := 0; i < plan.Len(); i++ {
+		pr, err := plan.Open(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, _, err := pr.ReadPacket()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				segErr = err
+				break
+			}
+			whole++
+		}
+	}
+	if whole != len(payloads)-1 {
+		t.Errorf("whole records = %d, want %d", whole, len(payloads)-1)
+	}
+	if segErr == nil {
+		t.Fatal("truncated final record surfaced no error")
+	}
+	// Sequential read errors the same way (modulo the record index).
+	seq, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantErr error
+	for {
+		_, _, err := seq.ReadPacket()
+		if err != nil {
+			wantErr = err
+			break
+		}
+	}
+	if wantErr == nil || !truncated(segErr) || !truncated(wantErr) {
+		t.Errorf("segment error %v vs sequential %v: both should be truncation", segErr, wantErr)
+	}
+}
+
+// TestPlanClassicSingleRecordAndOversplit: one record, many requested
+// segments — the plan must degrade to one segment, never tear.
+func TestPlanClassicSingleRecordAndOversplit(t *testing.T) {
+	file, _ := buildClassic(t, [][]byte{bytes.Repeat([]byte{0x42}, 80)})
+	plan := assertSameRecords(t, file, 8)
+	if plan.Len() != 1 {
+		t.Errorf("single-record plan has %d segments, want 1", plan.Len())
+	}
+
+	// More segments than records on a small multi-record file: every
+	// record still appears exactly once.
+	file2, _ := buildClassic(t, [][]byte{{1, 2, 3}, {4, 5}, {6}})
+	assertSameRecords(t, file2, 16)
+}
+
+// TestPlanClassicEmptyCapture: header, no records.
+func TestPlanClassicEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeEthernet)
+	if err := w.WriteHeader(); err != nil {
+		t.Fatal(err)
+	}
+	d, _, plan := planAndReadAll(t, buf.Bytes(), 4)
+	if len(d) != 0 || plan.Len() != 1 {
+		t.Errorf("empty capture: %d records, %d segments", len(d), plan.Len())
+	}
+}
+
+// TestPlanNgMidFileSHB: a second section header mid-file resets the
+// interface table; segments starting after it must decode with the
+// new section's interfaces (different link type and ts resolution),
+// exactly like a sequential read.
+func TestPlanNgMidFileSHB(t *testing.T) {
+	w := newNgWriter(binary.LittleEndian)
+	w.shb()
+	w.idb(LinkTypeEthernet, 0) // µs resolution
+	base := time.Date(2019, 3, 9, 8, 0, 0, 0, time.UTC)
+	for i := 0; i < 50; i++ {
+		w.epb(0, base.Add(time.Duration(i)*time.Second), 1_000_000, bytes.Repeat([]byte{byte(i)}, 40))
+	}
+	// New section: interface 0 is now raw-IP with ns resolution.
+	w.shb()
+	w.idb(LinkTypeRaw, 9) // 10^-9
+	for i := 0; i < 50; i++ {
+		w.epb(0, base.Add(time.Duration(100+i)*time.Second), 1_000_000_000, bytes.Repeat([]byte{0xFF, byte(i)}, 25))
+	}
+	file := w.buf.Bytes()
+
+	for _, n := range []int{2, 3, 4, 8} {
+		assertSameRecords(t, file, n)
+	}
+
+	// At least one plan cuts inside the second section and its seeded
+	// reader must answer the new link type.
+	plan, err := PlanSegments(bytes.NewReader(file), int64(len(file)), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() < 2 {
+		t.Fatalf("plan has %d segments, want >= 2", plan.Len())
+	}
+	last, err := plan.Open(plan.Len() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := last.ReadPacket(); err != nil {
+		t.Fatal(err)
+	}
+	if lt := last.LinkType(); lt != LinkTypeRaw {
+		t.Errorf("last segment link type = %d, want raw (%d)", lt, LinkTypeRaw)
+	}
+}
+
+// TestPlanNgOversplit: segment count far above the block count.
+func TestPlanNgOversplit(t *testing.T) {
+	w := newNgWriter(binary.LittleEndian)
+	w.shb()
+	w.idb(LinkTypeEthernet, 0)
+	base := time.Date(2019, 3, 9, 8, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		w.epb(0, base.Add(time.Duration(i)*time.Second), 1_000_000, []byte{byte(i), 1, 2})
+	}
+	assertSameRecords(t, w.buf.Bytes(), 32)
+}
+
+// TestPlanBigEndianNanos: the seeded classic reader carries byte
+// order and timestamp resolution across segments.
+func TestPlanBigEndianNanos(t *testing.T) {
+	// Hand-build a big-endian nanosecond capture (the Writer only
+	// emits little-endian µs).
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:4], magicNanos)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 262144)
+	binary.BigEndian.PutUint32(hdr[20:24], uint32(LinkTypeEthernet))
+	buf.Write(hdr[:])
+	base := time.Date(2017, 11, 3, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 64; i++ {
+		pl := bytes.Repeat([]byte{byte(i)}, 30+i%11)
+		var rec [16]byte
+		ts := base.Add(time.Duration(i) * 125 * time.Millisecond)
+		binary.BigEndian.PutUint32(rec[0:4], uint32(ts.Unix()))
+		binary.BigEndian.PutUint32(rec[4:8], uint32(ts.Nanosecond()))
+		binary.BigEndian.PutUint32(rec[8:12], uint32(len(pl)))
+		binary.BigEndian.PutUint32(rec[12:16], uint32(len(pl)))
+		buf.Write(rec[:])
+		buf.Write(pl)
+	}
+	for _, n := range []int{2, 4} {
+		assertSameRecords(t, buf.Bytes(), n)
+	}
+}

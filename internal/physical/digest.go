@@ -121,30 +121,33 @@ func (st *Store) Digests() []Digest {
 // the same series are folded together, and the result is sorted by
 // series key for deterministic output.
 func MergeDigests(lists ...[]Digest) []Digest {
-	byKey := make(map[SeriesKey]*Digest)
-	var order []SeriesKey
+	// One backing array holds every distinct digest; total is an upper
+	// bound and the slice never regrows, so the map's pointers into it
+	// stay valid. This keeps the merge to O(1) allocations rather than
+	// one boxed Digest per series per call.
+	total := 0
+	for _, list := range lists {
+		total += len(list)
+	}
+	merged := make([]Digest, 0, total)
+	byKey := make(map[SeriesKey]*Digest, total)
 	for _, list := range lists {
 		for _, d := range list {
 			if cur, ok := byKey[d.Key]; ok {
 				cur.merge(d)
 				continue
 			}
-			cp := d
-			byKey[d.Key] = &cp
-			order = append(order, d.Key)
+			merged = append(merged, d)
+			byKey[d.Key] = &merged[len(merged)-1]
 		}
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].Station != order[j].Station {
-			return order[i].Station < order[j].Station
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Key.Station != merged[j].Key.Station {
+			return merged[i].Key.Station < merged[j].Key.Station
 		}
-		return order[i].IOA < order[j].IOA
+		return merged[i].Key.IOA < merged[j].Key.IOA
 	})
-	out := make([]Digest, len(order))
-	for i, k := range order {
-		out[i] = *byKey[k]
-	}
-	return out
+	return merged
 }
 
 // RankDigests orders digests with at least minSamples by decreasing

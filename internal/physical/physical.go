@@ -184,7 +184,12 @@ func (st *Store) Feed(station string, a *iec104.ASDU, at time.Time, command bool
 		key := SeriesKey{Station: station, IOA: ioa}
 		s, ok := st.m[key]
 		if !ok {
-			s = &Series{Key: key, Type: IEC104Type(a.Type), Command: command}
+			// Pre-size the sample buffer: telemetry series accumulate
+			// hundreds of points, and starting append's doubling at 64
+			// skips the six smallest growth steps — which otherwise
+			// repeat per series per analysis shard.
+			s = &Series{Key: key, Type: IEC104Type(a.Type), Command: command,
+				Samples: make([]Sample, 0, 64)}
 			st.m[key] = s
 			st.order = append(st.order, key)
 		}

@@ -30,6 +30,7 @@ func init() {
 		Doc:  "the sharded core analyzer: consumes packets, publishes rolling profiles, serves /{id}/profile, /{id}/statusz, /{id}/readyz (+/drift, /query when armed)",
 		Params: []ParamSpec{
 			{Name: "workers", Type: ParamInt, Default: 1, Doc: "analysis shards"},
+			{Name: "readers", Type: ParamInt, Default: 0, Doc: "parallel capture readers for handed-off sources (0 = match workers; only effective when the input hands off a seekable capture)"},
 			{Name: "snapshot", Type: ParamDuration, Default: time.Duration(0), Doc: "rolling-profile period (0 = final profile only)"},
 			{Name: "batch", Type: ParamInt, Default: 64, Doc: "packets per shard-queue send"},
 			{Name: "queue", Type: ParamInt, Default: 64, Doc: "per-shard queue capacity in batches"},
@@ -184,8 +185,13 @@ func buildAnalyzer(bc BuildCtx) (Segment, error) {
 	if err != nil {
 		return nil, err
 	}
+	readers := bc.Params.Int("readers")
+	if readers <= 0 {
+		readers = bc.Params.Int("workers")
+	}
 	s.eng = stream.New(stream.Config{
 		Workers:         bc.Params.Int("workers"),
+		Readers:         readers,
 		BatchSize:       bc.Params.Int("batch"),
 		QueueDepth:      bc.Params.Int("queue"),
 		SnapshotEvery:   bc.Params.Dur("snapshot"),
@@ -250,9 +256,17 @@ func (s *AnalyzerSegment) Engine() *stream.Engine { return s.eng }
 // param is set (presets mount the legacy /query endpoint from it).
 func (s *AnalyzerSegment) Historian() *historian.Store { return s.hist }
 
+// AcceptsHandoff marks the segment as a valid receiver for a
+// whole-capture source handoff (Msg.Src); the runner checks this when
+// an input declares Handoff.
+func (s *AnalyzerSegment) AcceptsHandoff() {}
+
 // Run implements Segment: the engine consumes the packets edge via a
 // chanSource; snapshots forwarded by the OnSnapshot hook ride the
-// profiles edge, and the exact final state follows the drain.
+// profiles edge, and the exact final state follows the drain. When the
+// first message carries a source handoff instead of packets, the
+// engine runs straight over that source — seekable captures then get
+// the N-reader segmented ingest path.
 func (s *AnalyzerSegment) Run(_ context.Context, in <-chan Msg, emit Emit) error {
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -265,7 +279,24 @@ func (s *AnalyzerSegment) Run(_ context.Context, in <-chan Msg, emit Emit) error
 	// The engine runs under a background context: cancellation reaches
 	// it as the close cascade on in (chanSource io.EOF), which drains
 	// the shards and publishes the exact final profile.
-	err := s.eng.Run(context.Background(), &chanSource{in: in})
+	var src stream.Source
+	first, ok := <-in
+	if ok && first.Src != nil {
+		src = first.Src
+		// The edge still needs draining so the producer never blocks.
+		go func() {
+			for range in {
+			}
+		}()
+	} else {
+		src = &chanSource{in: in, cur: first.Pkts}
+	}
+	err := s.eng.Run(context.Background(), src)
+	if first.Src != nil {
+		if cerr := first.Src.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	close(s.fwd)
 	wg.Wait()
 	if prof := s.eng.Profile(); prof != nil {

@@ -36,6 +36,7 @@ func init() {
 			{Name: "path", Type: ParamString, Required: true, Doc: "capture file or directory"},
 			{Name: "batch", Type: ParamInt, Default: 64, Doc: "packets per emitted message"},
 			{Name: "speed", Type: ParamFloat, Default: 0.0, Doc: "replay pacing (60 = one captured minute per wall second; 0 = as fast as possible; single file only)"},
+			{Name: "readers", Type: ParamInt, Default: 0, Doc: "parallel segment readers: hand the capture to the consuming analyzer for N-reader ingest (0 = decode inline; needs a single unpaced file and exactly one analyzer consumer)"},
 		},
 		Build: buildPCAPInput,
 	})
@@ -109,11 +110,15 @@ func (b *batcher) flush() {
 	b.buf = nil
 }
 
-// PCAPInput streams one or more finished captures.
+// PCAPInput streams one or more finished captures. With readers > 0 it
+// does not decode at all: the single capture file is handed whole to
+// the consuming analyzer (Msg.Src), whose engine ingests it with N
+// parallel segment readers.
 type PCAPInput struct {
-	files []string
-	batch int
-	speed float64
+	files   []string
+	batch   int
+	speed   float64
+	readers int
 }
 
 func buildPCAPInput(bc BuildCtx) (Segment, error) {
@@ -122,13 +127,19 @@ func buildPCAPInput(bc BuildCtx) (Segment, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &PCAPInput{batch: bc.Params.Int("batch"), speed: bc.Params.Float("speed")}
+	s := &PCAPInput{batch: bc.Params.Int("batch"), speed: bc.Params.Float("speed"), readers: bc.Params.Int("readers")}
 	if s.batch < 1 {
 		s.batch = 64
+	}
+	if s.readers > 0 && s.speed > 0 {
+		return nil, fmt.Errorf("readers and speed are mutually exclusive: paced replay is inherently sequential")
 	}
 	if !fi.IsDir() {
 		s.files = []string{path}
 		return s, nil
+	}
+	if s.readers > 0 {
+		return nil, fmt.Errorf("readers needs a single capture file, %s is a directory", path)
 	}
 	entries, err := os.ReadDir(path)
 	if err != nil {
@@ -153,8 +164,21 @@ func buildPCAPInput(bc BuildCtx) (Segment, error) {
 	return s, nil
 }
 
+// Handoff reports whether this input hands its capture to the consumer
+// as a whole source instead of decoding inline; the runner checks the
+// receiving side can take it.
+func (s *PCAPInput) Handoff() bool { return s.readers > 0 }
+
 // Run implements Segment.
 func (s *PCAPInput) Run(ctx context.Context, _ <-chan Msg, emit Emit) error {
+	if s.readers > 0 {
+		src, err := stream.NewFileSource(s.files[0])
+		if err != nil {
+			return err
+		}
+		emit(Msg{Src: src})
+		return nil
+	}
 	b := &batcher{emit: emit, size: s.batch}
 	for _, path := range s.files {
 		f, err := os.Open(path)

@@ -80,6 +80,12 @@ type Msg struct {
 	Pkts  []pcap.Packet
 	Snap  *Snapshot
 	Alert *ids.Alert
+	// Src is a whole-capture source handoff riding a packets edge: an
+	// input that owns a seekable finished capture hands the source
+	// itself to its (single) consumer instead of decoding inline, so a
+	// segment-aware consumer can ingest it with N parallel readers.
+	// The receiver owns Src and must Close it.
+	Src stream.Source
 }
 
 // packets reports how many packets ride this message (for metrics).

@@ -47,6 +47,11 @@ type ProfilerPreset struct {
 	IdleTimeout   time.Duration
 	PointCap      int
 	Names         bool
+	// Readers > 1 on a finished capture routes through the source
+	// handoff: the input hands the file to the analyzer, whose engine
+	// ingests it with N parallel segment readers. Ignored when
+	// following (a growing file cannot be segment-planned).
+	Readers int
 	// HistorianDir / BaselinePath / IDSBaselinePath arm the analyzer's
 	// optional stages.
 	HistorianDir    string
@@ -74,12 +79,17 @@ func ProfilerGraph(p ProfilerPreset) (*Config, map[string]any) {
 	if p.Follow {
 		snapshot = p.SnapshotEvery
 	}
+	srcParams := map[string]any{"path": p.Path}
+	if !p.Follow && p.Readers > 1 {
+		srcParams["readers"] = p.Readers
+	}
 	cfg := &Config{Pipelines: []PipelineConfig{{
 		Name: "profiler",
 		Nodes: []NodeConfig{
-			presetNode("src", srcKind, nil, map[string]any{"path": p.Path}),
+			presetNode("src", srcKind, nil, srcParams),
 			presetNode("an", "analyzer", []string{"src"}, map[string]any{
 				"workers":      p.Workers,
+				"readers":      p.Readers,
 				"snapshot":     snapshot,
 				"idle_timeout": p.IdleTimeout,
 				"cluster_k":    5,
@@ -108,9 +118,12 @@ type LivePreset struct {
 	Duration time.Duration
 	Speed    float64
 	Attack   string
-	// Workers / SnapshotEvery / HistorianDir / PointCap map to the
-	// analyzer params.
+	// Workers / Readers / SnapshotEvery / HistorianDir / PointCap map
+	// to the analyzer params. Readers only engages when a capture is
+	// handed off whole, so it is inert on the live simulator feed but
+	// keeps the command-line surface uniform.
 	Workers       int
+	Readers       int
 	SnapshotEvery time.Duration
 	HistorianDir  string
 	PointCap      int
@@ -136,6 +149,7 @@ func LiveGraph(p LivePreset) (*Config, map[string]any) {
 			}),
 			presetNode("an", "analyzer", []string{"sim"}, map[string]any{
 				"workers":      p.Workers,
+				"readers":      p.Readers,
 				"snapshot":     p.SnapshotEvery,
 				"cluster_k":    5,
 				"cluster_seed": 1202,

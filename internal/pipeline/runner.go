@@ -177,6 +177,22 @@ func NewRunner(cfg *Config, opts Options) (*Runner, error) {
 				n.producers.Add(1)
 			}
 		}
+		// A source handoff moves ownership of one capture, so it cannot
+		// be broadcast, and the receiver must know how to run it.
+		for _, n := range p.nodes {
+			h, ok := n.seg.(interface{ Handoff() bool })
+			if !ok || !h.Handoff() {
+				continue
+			}
+			if len(n.consumers) != 1 {
+				return nil, fmt.Errorf("pipeline %s segment %s: a source handoff (readers > 0) needs exactly one consumer, has %d",
+					pc.Name, n.id, len(n.consumers))
+			}
+			if _, ok := n.consumers[0].seg.(interface{ AcceptsHandoff() }); !ok {
+				return nil, fmt.Errorf("pipeline %s segment %s: consumer %s (%s) cannot take a source handoff; wire readers > 0 into an analyzer",
+					pc.Name, n.id, n.consumers[0].id, n.consumers[0].kind)
+			}
+		}
 		r.pipes = append(r.pipes, p)
 	}
 	return r, nil

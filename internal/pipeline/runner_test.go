@@ -107,6 +107,82 @@ func TestProfilerPresetEquivalence(t *testing.T) {
 	}
 }
 
+// TestProfilerHandoffEquivalence pins the parallel-ingest plumbing:
+// a pcap input with readers > 1 hands the capture file to the analyzer
+// whole, and the N-reader segmented engine produces exactly the state
+// the inline-decoding graph produces.
+func TestProfilerHandoffEquivalence(t *testing.T) {
+	path := writeTestCapture(t, 20*time.Second, 13)
+
+	run := func(readers int) core.Partial {
+		cfg, hooks := ProfilerGraph(ProfilerPreset{Path: path, Workers: 2, Readers: readers, Names: true})
+		runner, err := NewRunner(cfg, Options{Hooks: hooks, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runner.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return runner.Segment("profiler", "an").(*AnalyzerSegment).Engine().Final()
+	}
+
+	want := run(0) // inline decode, no handoff
+	got := run(4)  // source handoff, 4 segment readers
+	if want.Packets == 0 {
+		t.Fatal("inline graph analyzed zero packets")
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("handoff path differs from inline path: packets %d vs %d, asdus %d vs %d",
+			want.Packets, got.Packets, want.TotalASDUs, got.TotalASDUs)
+	}
+}
+
+// TestHandoffValidation pins the runner's topology check: a source
+// handoff moves ownership of one file, so it must feed exactly one
+// analyzer.
+func TestHandoffValidation(t *testing.T) {
+	path := writeTestCapture(t, 2*time.Second, 5)
+	build := func(doc string) error {
+		cfg, err := Parse([]byte(doc), "handoff.jsonc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = NewRunner(cfg, Options{Logf: t.Logf})
+		return err
+	}
+
+	t.Run("fan-out rejected", func(t *testing.T) {
+		err := build(fmt.Sprintf(`{"pipelines": [{"name": "p", "segments": [
+		  { "id": "src", "segment": "pcap", "params": { "path": %q, "readers": 2 } },
+		  { "id": "a1", "segment": "analyzer", "from": ["src"] },
+		  { "id": "a2", "segment": "analyzer", "from": ["src"] }
+		]}]}`, path))
+		if err == nil {
+			t.Fatal("handoff into two consumers built, want error")
+		}
+	})
+
+	t.Run("non-analyzer consumer rejected", func(t *testing.T) {
+		err := build(fmt.Sprintf(`{"pipelines": [{"name": "p", "segments": [
+		  { "id": "src", "segment": "pcap", "params": { "path": %q, "readers": 2 } },
+		  { "id": "f", "segment": "sample", "from": ["src"], "params": { "every": 2 } }
+		]}]}`, path))
+		if err == nil {
+			t.Fatal("handoff into a filter built, want error")
+		}
+	})
+
+	t.Run("paced handoff rejected", func(t *testing.T) {
+		err := build(fmt.Sprintf(`{"pipelines": [{"name": "p", "segments": [
+		  { "id": "src", "segment": "pcap", "params": { "path": %q, "readers": 2, "speed": 60 } },
+		  { "id": "an", "segment": "analyzer", "from": ["src"] }
+		]}]}`, path))
+		if err == nil {
+			t.Fatal("paced handoff built, want error")
+		}
+	})
+}
+
 // TestRunnerTwoPipelines is the fleet guarantee: one Runner hosts two
 // declared pipelines side by side, both complete, and outputs land.
 func TestRunnerTwoPipelines(t *testing.T) {

@@ -31,10 +31,20 @@ func (b batch) firstTime() time.Time {
 	return b.dec.pkts[0].Info.Timestamp
 }
 
+// recycle returns a batch of either kind to the pools it came from.
+func (b batch) recycle() {
+	if b.raw != nil {
+		b.raw.pools.putRaw(b.raw)
+		return
+	}
+	b.dec.pools.putDec(b.dec)
+}
+
 // pktBatch is a pooled decoded-packet slice. Pooling the wrapper (not
-// the bare slice) keeps sync.Pool round-trips allocation-free.
+// the bare slice) keeps pool round-trips allocation-free.
 type pktBatch struct {
-	pkts []pcap.Packet
+	pkts  []pcap.Packet
+	pools *batchPools // owning pools, for the consumer-side return
 }
 
 // rawFrame locates one record inside a rawBatch slab. Offsets, not
@@ -46,49 +56,91 @@ type rawFrame struct {
 }
 
 // rawBatch carries undecoded records for one shard: the frame bytes
-// live back to back in slab (a pcap.Buffer drawn from the engine's
-// pool), located by the frames index. The consuming shard releases the
-// slab and returns the batch to the pool, so a steady-state run cycles
-// a fixed set of buffers with no per-batch allocation.
+// live back to back in slab (a pcap.Buffer drawn from the owning
+// pools), located by the frames index. The consuming shard releases
+// the slab and returns the batch to the pools it came from, so a
+// steady-state run cycles a fixed set of buffers with no per-batch
+// allocation.
 type rawBatch struct {
 	link   pcap.LinkType
 	frames []rawFrame
 	slab   *pcap.Buffer
+	pools  *batchPools
 }
 
-// batchPools hold the recycled batch carriers shared by the reader
-// (producer) and shards (consumers).
+// batchPools hold the recycled batch carriers shared by one reader
+// (producer) and the shards (consumers). Recycling goes through plain
+// mutex-guarded free lists rather than sync.Pool: the producer Gets on
+// its own goroutine while consumers Put from shard goroutines, and
+// sync.Pool's per-P caches turn that steady cross-goroutine flow into
+// misses — which is exactly the allocs/op-grows-with-shards regression
+// the committed BENCH_stream.json used to show. A single uncontended
+// lock per batch (amortized over BatchSize packets) is far cheaper
+// than re-allocating 64 KiB slabs.
 type batchPools struct {
-	slabs pcap.BufferPool
-	raw   sync.Pool // *rawBatch
-	dec   sync.Pool // *pktBatch
+	slabs pcap.BufferPool // slab allocator + poison mode for tests
+
+	mu   sync.Mutex
+	bufs []*pcap.Buffer
+	raw  []*rawBatch
+	dec  []*pktBatch
 }
 
 func (p *batchPools) getRaw(link pcap.LinkType) *rawBatch {
-	rb, ok := p.raw.Get().(*rawBatch)
-	if !ok {
+	p.mu.Lock()
+	var rb *rawBatch
+	if n := len(p.raw); n > 0 {
+		rb, p.raw = p.raw[n-1], p.raw[:n-1]
+	}
+	var slab *pcap.Buffer
+	if n := len(p.bufs); n > 0 {
+		slab, p.bufs = p.bufs[n-1], p.bufs[:n-1]
+	}
+	p.mu.Unlock()
+	if rb == nil {
 		rb = &rawBatch{}
 	}
+	if slab == nil {
+		slab = p.slabs.Get()
+	}
 	rb.link = link
-	rb.slab = p.slabs.Get()
+	rb.slab = slab
+	rb.pools = p
 	return rb
 }
 
-// putRaw releases the slab back to the buffer pool and recycles the
-// batch. The caller must be done with every frame: slab bytes are
-// invalid from here on (and poisoned in tests).
+// putRaw recycles the slab and the batch. The caller must be done with
+// every frame: slab bytes are invalid from here on (and poisoned in
+// tests, honoring the BufferPool's poison mode even though the slab
+// never passes through Release).
 func (p *batchPools) putRaw(rb *rawBatch) {
-	rb.slab.Release()
+	slab := rb.slab
+	if p.slabs.Poisoned() {
+		for i := range slab.Data {
+			slab.Data[i] = 0xDB
+		}
+	}
+	slab.Data = slab.Data[:0]
 	rb.slab = nil
 	rb.frames = rb.frames[:0]
-	p.raw.Put(rb)
+	p.mu.Lock()
+	p.bufs = append(p.bufs, slab)
+	p.raw = append(p.raw, rb)
+	p.mu.Unlock()
 }
 
 func (p *batchPools) getDec() *pktBatch {
-	if pb, ok := p.dec.Get().(*pktBatch); ok {
-		return pb
+	p.mu.Lock()
+	var pb *pktBatch
+	if n := len(p.dec); n > 0 {
+		pb, p.dec = p.dec[n-1], p.dec[:n-1]
 	}
-	return &pktBatch{}
+	p.mu.Unlock()
+	if pb == nil {
+		pb = &pktBatch{}
+	}
+	pb.pools = p
+	return pb
 }
 
 // putDec zeroes the packet entries (dropping their payload references)
@@ -96,14 +148,12 @@ func (p *batchPools) getDec() *pktBatch {
 func (p *batchPools) putDec(pb *pktBatch) {
 	clear(pb.pkts)
 	pb.pkts = pb.pkts[:0]
-	p.dec.Put(pb)
+	p.mu.Lock()
+	p.dec = append(p.dec, pb)
+	p.mu.Unlock()
 }
 
-// recycle returns a batch of either kind to its pool.
-func (p *batchPools) recycle(b batch) {
-	if b.raw != nil {
-		p.putRaw(b.raw)
-		return
-	}
-	p.putDec(b.dec)
-}
+// recycle returns a batch of either kind to this pool set. Kept for
+// call sites that hold the pools anyway; batches returned by a shard
+// use batch.recycle, which routes to the owning reader's pools.
+func (p *batchPools) recycle(b batch) { b.recycle() }

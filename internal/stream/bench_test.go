@@ -20,6 +20,7 @@ import (
 var benchCapture struct {
 	once    sync.Once
 	pkts    []pcap.Packet
+	raw     []byte // the capture file bytes, for segmented-reader runs
 	bytes   int64
 	apdus   int
 	network *topology.Network
@@ -43,6 +44,7 @@ func loadBenchCapture(tb testing.TB) {
 			tb.Fatal(err)
 		}
 		benchCapture.bytes = int64(buf.Len())
+		benchCapture.raw = buf.Bytes()
 		src, err := NewPCAPSource(bytes.NewReader(buf.Bytes()))
 		if err != nil {
 			tb.Fatal(err)
@@ -105,8 +107,33 @@ func benchmarkEngine(b *testing.B, workers int) {
 	b.ReportMetric(float64(benchCapture.apdus)*float64(b.N)/b.Elapsed().Seconds(), "apdus/s")
 }
 
-func BenchmarkEngine1Shard(b *testing.B) { benchmarkEngine(b, 1) }
-func BenchmarkEngine4Shard(b *testing.B) { benchmarkEngine(b, 4) }
+// runBenchEngineRaw streams the capture bytes through the raw
+// (undecoded) path with the given reader fan-out, exercising the
+// segment planner and the per-reader pools.
+func runBenchEngineRaw(tb testing.TB, workers, readers int) core.Partial {
+	src := NewReaderAtSource(bytes.NewReader(benchCapture.raw), benchCapture.bytes)
+	e := New(Config{Workers: workers, Readers: readers, Names: core.NamesFromTopology(benchCapture.network)})
+	if err := e.Run(context.Background(), src); err != nil {
+		tb.Fatal(err)
+	}
+	return e.Final()
+}
+
+func benchmarkEngineRaw(b *testing.B, workers, readers int) {
+	loadBenchCapture(b)
+	b.SetBytes(benchCapture.bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runBenchEngineRaw(b, workers, readers)
+	}
+	b.ReportMetric(float64(benchCapture.apdus)*float64(b.N)/b.Elapsed().Seconds(), "apdus/s")
+}
+
+func BenchmarkEngine1Shard(b *testing.B)        { benchmarkEngine(b, 1) }
+func BenchmarkEngine4Shard(b *testing.B)        { benchmarkEngine(b, 4) }
+func BenchmarkEngine1Shard4Reader(b *testing.B) { benchmarkEngineRaw(b, 1, 4) }
+func BenchmarkEngine4Shard4Reader(b *testing.B) { benchmarkEngineRaw(b, 4, 4) }
 
 // TestShardScalingNotSlower is the throughput guard: on a multi-core
 // machine the sharded engine must beat one shard; on a single-CPU

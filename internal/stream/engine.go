@@ -1,25 +1,35 @@
 // Package stream turns the offline measurement pipeline into a
-// long-running service: a single reader stage pulls decoded packets
-// from a Source (a finished capture, a growing capture being tailed,
-// a time-scaled replay, or an in-process simulator feed) and fans
-// batches out to N analysis shards over bounded channels.
+// long-running service: one or more reader stages pull records from a
+// Source (a finished capture, a growing capture being tailed, a
+// time-scaled replay, or an in-process simulator feed) and fan
+// batches out to N analysis shards over bounded channels. Seekable
+// captures can be ingested by N parallel readers over independent
+// record-aligned segments (Config.Readers, pcap.PlanSegments), with
+// per-reader→per-shard dedicated queues so no channel or lock is
+// shared across readers.
 //
 // Traffic is partitioned by unordered IP pair, so every TCP flow,
 // every logical server/outstation connection and every directional
 // session is owned by exactly one shard: each shard runs an ordinary
 // *core.Analyzer with no locks on the hot path, and the per-connection
-// token order the §6.3 Markov models depend on is preserved. Shard
-// snapshots are core.Partial values, merged into a rolling Profile
-// that is published over HTTP next to the /metrics endpoint and
-// journalled as JSONL. Bounded queues give backpressure: the reader
-// either blocks (lossless, default) or sheds whole batches with an
-// explicit drop counter when a shard falls behind.
+// token order the §6.3 Markov models depend on is preserved — under
+// parallel ingest each shard drains its per-reader queues strictly in
+// segment order, so it sees exactly the packet order a sequential
+// read would deliver. Shard snapshots are core.Partial values, merged
+// into a rolling Profile that is published over HTTP next to the
+// /metrics endpoint and journalled as JSONL; snapshots use a sealed-
+// epoch protocol (each shard publishes its own partial between
+// batches) so publishing never stops the world. Bounded queues give
+// backpressure: a reader either blocks (lossless, default) or sheds
+// whole batches with an explicit drop counter when a shard falls
+// behind.
 package stream
 
 import (
 	"context"
 	"errors"
 	"io"
+	"math"
 	"net/http"
 	"net/netip"
 	"strconv"
@@ -54,9 +64,20 @@ const (
 type Config struct {
 	// Workers is the shard count; minimum (and default) 1.
 	Workers int
+	// Readers is how many parallel segment readers ingest a seekable
+	// capture. It only engages when the source implements
+	// SegmentedSource (FileSource does) and the capture splits into
+	// more than one record-aligned segment; every other source keeps
+	// the single-reader stage. Minimum (and default) 1.
+	Readers int
 	// BatchSize is how many packets ride one channel send (default 64).
 	BatchSize int
-	// QueueDepth is the per-shard queue capacity in batches (default 64).
+	// QueueDepth is each reader's buffering budget in batches (default
+	// 64), split across its per-shard queues. Splitting — rather than
+	// giving every queue the full budget — keeps the in-flight slab
+	// working set, and with it the engine's allocation count, flat as
+	// shards are added: a reader that sprints ahead of the analysis can
+	// pin at most QueueDepth batches regardless of the shard count.
 	QueueDepth int
 	// Policy picks Block (default) or DropNewest.
 	Policy DropPolicy
@@ -84,11 +105,12 @@ type Config struct {
 	// optional.
 	Registry *obs.Registry
 	Journal  *obs.Journal
-	// Trace, when set, attaches the flight recorder: the reader, each
-	// shard and the snapshot path get their own lanes, sampled spans
-	// feed uncharted_stage_seconds{stage,shard}, and every published
-	// snapshot drains new spans into the Journal as obs.EventSpan
-	// lines. Export the rings with Trace.WriteChromeTrace after Run.
+	// Trace, when set, attaches the flight recorder: each reader, each
+	// shard, the segment planner and the snapshot path get their own
+	// lanes, sampled spans feed uncharted_stage_seconds{stage,shard},
+	// and every published snapshot drains new spans into the Journal
+	// as obs.EventSpan lines. Export the rings with
+	// Trace.WriteChromeTrace after Run.
 	Trace *trace.Recorder
 	// Observer, when set, attaches a core.FrameObserver to each shard
 	// (e.g. an ids.Monitor). Called once per shard at start; monitors
@@ -132,6 +154,9 @@ func (c *Config) fill() {
 	if c.Workers < 1 {
 		c.Workers = 1
 	}
+	if c.Readers < 1 {
+		c.Readers = 1
+	}
 	if c.BatchSize < 1 {
 		c.BatchSize = 64
 	}
@@ -143,9 +168,18 @@ func (c *Config) fill() {
 	}
 }
 
+// queueCap is one per-(reader,shard) queue's capacity: the reader's
+// QueueDepth budget split across the shard queues, minimum 1.
+func (c *Config) queueCap() int {
+	if d := c.QueueDepth / c.Workers; d > 1 {
+		return d
+	}
+	return 1
+}
+
 // curIdle is the shard's published stage while it waits on its queue;
 // any other value is the int32 of the trace.Stage it is executing.
-// The reader loads it when a queue backs up to attribute the stall or
+// A reader loads it when a queue backs up to attribute the stall or
 // loss to the stage actually holding the shard.
 const curIdle int32 = -1
 
@@ -157,47 +191,112 @@ func causeName(cur int32) string {
 	return trace.Stage(cur).String()
 }
 
-// shard owns one analyzer. The engine communicates with it only
-// through its channels, so analyzer state needs no locks.
+// sealedForever is the sealed-epoch sentinel a shard publishes on
+// exit: every pending and future snapshot request is satisfied by its
+// final partial.
+const sealedForever = math.MaxInt64
+
+// shard owns one analyzer. Readers communicate with it only through
+// its per-reader queues, so analyzer state needs no locks. Under
+// parallel ingest ins holds one dedicated bounded queue per reader;
+// the shard drains them strictly in segment order (queue r is read to
+// exhaustion — the reader closes it at its segment's end — before
+// queue r+1 is touched), which reproduces the sequential capture
+// order exactly. Readers ahead of the shard's current segment block
+// on their own queue, so segment prefetch is pipelined but never
+// reordered.
 type shard struct {
-	id    int
-	an    *core.Analyzer
-	pools *batchPools
-	in    chan batch
-	snap  chan chan core.Partial
-	done  chan struct{}
+	id int
+	an *core.Analyzer
+	// ins is the per-reader queue fan-in, held behind an atomic pointer
+	// because Run widens it to the planned reader count after the
+	// engine is already visible to Status() callers.
+	ins  atomic.Pointer[[]chan batch]
+	wake chan struct{} // capacity 1: pokes the shard to seal a snapshot
+	done chan struct{}
 
 	// lane is this shard's flight-recorder lane (nil when tracing is
 	// off); cur is the stage the worker is in right now, read by the
-	// reader for backpressure attribution.
-	lane *trace.Lane
-	cur  atomic.Int32
+	// readers for backpressure attribution; curSeg is the queue index
+	// being drained, so a blocked reader can tell "shard is slow" from
+	// "shard has not reached my segment yet".
+	lane   *trace.Lane
+	cur    atomic.Int32
+	curSeg atomic.Int32
 	// scratch holds one batch's decoded packets between the decode and
 	// feed passes; reused across batches.
 	scratch []pcap.Packet
+
+	// Sealed-epoch snapshot protocol: the engine bumps epoch and pokes
+	// wake; the shard, between batches (or while idle), stores a fresh
+	// Partial in sealed and advances sealedSeq. Snapshot never stops
+	// the shard — it waits for the seal and merges off the hot path.
+	epoch     *atomic.Int64 // the engine's snapshot epoch counter
+	sealedSeq atomic.Int64
+	sealed    atomic.Pointer[core.Partial]
 }
 
+// queues returns the current per-reader fan-in.
+func (s *shard) queues() []chan batch { return *s.ins.Load() }
+
 func (s *shard) run() {
-	defer close(s.done)
-	for {
-		select {
-		case b, ok := <-s.in:
-			if !ok {
-				return
+	defer func() {
+		// Final seal, lazily: publish the forever mark and exit.
+		// Building a Partial here would cost a full aggregate copy per
+		// shard per run whether or not anyone asked; a Snapshot that
+		// observes the mark waits for done and reads the quiescent
+		// analyzer directly instead.
+		s.sealedSeq.Store(sealedForever)
+		close(s.done)
+	}()
+	qs := s.queues()
+	for qi := range qs {
+		s.curSeg.Store(int32(qi))
+		for in := qs[qi]; in != nil; {
+			select {
+			case b, ok := <-in:
+				if !ok {
+					in = nil
+					break
+				}
+				s.consume(b)
+				s.maybeSeal()
+			case <-s.wake:
+				s.maybeSeal()
 			}
-			s.consume(b)
-		case reply := <-s.snap:
-			reply <- s.an.Partial()
 		}
 	}
 }
 
+// maybeSeal publishes a fresh partial when a snapshot epoch newer than
+// the last seal is pending. Called between batches and when poked, so
+// the analyzer is always quiescent here.
+func (s *shard) maybeSeal() {
+	want := s.epoch.Load()
+	if want <= s.sealedSeq.Load() {
+		return
+	}
+	p := s.an.Partial()
+	s.sealed.Store(&p)
+	s.sealedSeq.Store(want)
+}
+
+// poke nudges the shard's seal check without blocking; a pending poke
+// is as good as another.
+func (s *shard) poke() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
 // consume feeds one batch into the shard's analyzer and recycles the
-// batch. Raw batches are decoded here — on the shard worker, off the
-// reader goroutine — and records that fail link-layer decoding are
-// skipped, matching the offline ReadPCAP path exactly. Decode and
-// feed run as separate passes so each gets its own span and the
-// published stage tells the reader which one a backlog is stuck in.
+// batch to the pools it came from. Raw batches are decoded here — on
+// the shard worker, off the reader goroutine — and records that fail
+// link-layer decoding are skipped, matching the offline ReadPCAP path
+// exactly. Decode and feed run as separate passes so each gets its
+// own span and the published stage tells the reader which one a
+// backlog is stuck in.
 func (s *shard) consume(b batch) {
 	if rb := b.raw; rb != nil {
 		s.cur.Store(int32(trace.StageDecode))
@@ -220,7 +319,7 @@ func (s *shard) consume(b batch) {
 		// goes back to the pool.
 		clear(pkts)
 		s.scratch = pkts[:0]
-		s.pools.putRaw(rb)
+		rb.pools.putRaw(rb)
 		s.cur.Store(curIdle)
 		return
 	}
@@ -228,8 +327,20 @@ func (s *shard) consume(b batch) {
 	for i := range b.dec.pkts {
 		s.an.FeedPacket(b.dec.pkts[i])
 	}
-	s.pools.putDec(b.dec)
+	b.dec.pools.putDec(b.dec)
 	s.cur.Store(curIdle)
+}
+
+// readerState tracks one parallel segment reader: its own batch pools
+// (no pool is shared across readers), its trace lane, and progress
+// for statusz.
+type readerState struct {
+	lane  *trace.Lane
+	pools batchPools
+	info  SegmentInfo
+	start time.Time
+	bytes atomic.Int64 // record payload bytes consumed so far
+	endNs atomic.Int64 // unix nanos when the segment finished; 0 while running
 }
 
 // Engine is the streaming pipeline. Create with New, drive with Run;
@@ -238,13 +349,17 @@ func (s *shard) consume(b batch) {
 type Engine struct {
 	cfg     Config
 	shards  []*shard
-	pools   batchPools
+	pools   batchPools // the single-reader stage's pools
 	metrics *engineMetrics
 
 	trcReader *trace.Lane
 	trcSnap   *trace.Lane
+	trcPlan   *trace.Lane
 	state     atomic.Int32
 	started   atomic.Int64 // unix nanos at Run start; 0 before
+
+	snapEpoch atomic.Int64
+	readers   atomic.Pointer[[]*readerState] // nil until a segmented Run
 
 	profile  atomic.Pointer[Profile]
 	lastPart atomic.Pointer[core.Partial]
@@ -274,9 +389,11 @@ func New(cfg Config) *Engine {
 	}
 	e.trcReader = cfg.Trace.Lane("reader")
 	e.trcSnap = cfg.Trace.Lane("snapshot")
-	// Merges and publishes are rare and off the hot path; record every
-	// one of them regardless of the hot-path sampling rate.
+	e.trcPlan = cfg.Trace.Lane("plan")
+	// Merges, publishes and segment plans are rare and off the hot
+	// path; record every one of them regardless of the sampling rate.
 	e.trcSnap.SetSampleEvery(1)
+	e.trcPlan.SetSampleEvery(1)
 	for i := 0; i < cfg.Workers; i++ {
 		lane := cfg.Trace.Lane(strconv.Itoa(i))
 		an := core.NewAnalyzer(cfg.Names)
@@ -311,12 +428,12 @@ func New(cfg Config) *Engine {
 		sh := &shard{
 			id:    i,
 			an:    an,
-			pools: &e.pools,
-			in:    make(chan batch, cfg.QueueDepth),
-			snap:  make(chan chan core.Partial),
+			wake:  make(chan struct{}, 1),
 			done:  make(chan struct{}),
 			lane:  lane,
+			epoch: &e.snapEpoch,
 		}
+		sh.ins.Store(&[]chan batch{make(chan batch, cfg.queueCap())})
 		sh.cur.Store(curIdle)
 		e.shards = append(e.shards, sh)
 	}
@@ -350,7 +467,25 @@ func (e *Engine) shardForPair(a, b netip.Addr) int {
 // Run consumes the source until io.EOF or ctx cancellation, then
 // drains the shards and publishes the final profile. It returns nil on
 // clean exhaustion, ctx.Err() on cancellation, or the source's error.
+//
+// When Config.Readers > 1 and the source is segmented (FileSource
+// over a seekable capture), Run plans record-aligned segments and
+// ingests them with one reader goroutine per segment; on any planning
+// shortfall it downgrades silently to the sequential single-reader
+// stage.
 func (e *Engine) Run(ctx context.Context, src Source) error {
+	// Plan before the shards start so the queue fan-in width is known.
+	var segs []RawSource
+	if e.cfg.Readers > 1 {
+		psp := e.trcPlan.Start()
+		segs = segmentsOrNil(src, e.cfg.Readers)
+		e.trcPlan.End(psp, trace.StagePlan, len(segs), -1)
+	}
+	nReaders := 1
+	if len(segs) > 1 {
+		nReaders = len(segs)
+	}
+
 	e.mu.Lock()
 	e.running = true
 	e.mu.Unlock()
@@ -358,6 +493,13 @@ func (e *Engine) Run(ctx context.Context, src Source) error {
 	e.state.Store(stateRunning)
 
 	for _, sh := range e.shards {
+		if len(sh.queues()) != nReaders {
+			nq := make([]chan batch, nReaders)
+			for r := range nq {
+				nq[r] = make(chan batch, e.cfg.queueCap())
+			}
+			sh.ins.Store(&nq)
+		}
 		go sh.run()
 	}
 
@@ -380,18 +522,26 @@ func (e *Engine) Run(ctx context.Context, src Source) error {
 		}()
 	}
 
-	srcErr := e.readLoop(ctx, src)
+	var srcErr error
+	if nReaders > 1 {
+		srcErr = e.readSegments(ctx, segs)
+	} else {
+		srcErr = e.readLoop(ctx, src)
+	}
 
 	e.state.Store(stateDraining)
 	close(stopSnap)
 	snapWG.Wait()
 
 	// Shut down: from here Snapshot serves the final profile instead of
-	// fanning out, so no request can race the closing queues.
+	// waiting on seals, so no request can race the closing queues.
 	e.mu.Lock()
 	e.running = false
-	for _, sh := range e.shards {
-		close(sh.in)
+	if nReaders == 1 {
+		// Parallel readers close their own queues as each segment ends.
+		for _, sh := range e.shards {
+			close(sh.queues()[0])
+		}
 	}
 	for _, sh := range e.shards {
 		<-sh.done
@@ -428,11 +578,11 @@ func (e *Engine) Ready() (bool, string) {
 	return false, "engine not started"
 }
 
-// readLoop drives the reader stage: it pulls records from the source,
-// routes them to shards, and flushes pending batches at quiet points.
-// Sources that implement RawSource take the fast path where the reader
-// only copies raw frames into pooled per-shard slabs and the shard
-// workers do the L2-L4 decoding.
+// readLoop drives the single-reader stage: it pulls records from the
+// source, routes them to shards, and flushes pending batches at quiet
+// points. Sources that implement RawSource take the fast path where
+// the reader only copies raw frames into pooled per-shard slabs and
+// the shard workers do the L2-L4 decoding.
 func (e *Engine) readLoop(ctx context.Context, src Source) error {
 	if rs, ok := src.(RawSource); ok {
 		return e.readRaw(ctx, rs)
@@ -512,6 +662,66 @@ read:
 }
 
 func (e *Engine) readRaw(ctx context.Context, src RawSource) error {
+	return e.readRawInto(ctx, src, e.trcReader, &e.pools, 0, nil)
+}
+
+// readSegments runs one reader goroutine per planned segment. Each
+// reader owns its pools, its trace lane and its per-shard queues;
+// nothing is shared across readers but the shards themselves. The
+// first error in segment order is returned (every other segment still
+// drains, so an intact tail is analyzed even when a middle segment is
+// corrupt).
+func (e *Engine) readSegments(ctx context.Context, segs []RawSource) error {
+	states := make([]*readerState, len(segs))
+	poison := e.pools.slabs.Poisoned()
+	for r, src := range segs {
+		st := &readerState{start: time.Now()}
+		st.lane = e.cfg.Trace.Lane("reader" + strconv.Itoa(r))
+		st.pools.slabs.SetPoison(poison)
+		if ext, ok := src.(segmentExtent); ok {
+			st.info = ext.Extent()
+		}
+		states[r] = st
+	}
+	e.readers.Store(&states)
+	e.metrics.noteReaders(len(segs))
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(segs))
+	for r := range segs {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = e.readSegment(ctx, r, segs[r], states[r])
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readSegment is one parallel reader: the raw read loop over one
+// segment, dispatching into queue column r. Its deferred queue close
+// is the in-order fan-in's progress signal — shards move to queue r+1
+// the moment queue r is drained and closed.
+func (e *Engine) readSegment(ctx context.Context, r int, src RawSource, st *readerState) error {
+	defer func() {
+		for _, sh := range e.shards {
+			close(sh.queues()[r])
+		}
+		st.endNs.Store(time.Now().UnixNano())
+	}()
+	return e.readRawInto(ctx, src, st.lane, &st.pools, r, st)
+}
+
+// readRawInto is the raw read loop shared by the single-reader stage
+// (r=0, engine pools, reader lane) and every parallel segment reader
+// (their own pools and lanes). st is nil for the single-reader stage.
+func (e *Engine) readRawInto(ctx context.Context, src RawSource, lane *trace.Lane, pools *batchPools, r int, st *readerState) error {
 	pending := make([]*rawBatch, len(e.shards))
 	flush := func(i int) bool {
 		rb := pending[i]
@@ -519,7 +729,8 @@ func (e *Engine) readRaw(ctx context.Context, src RawSource) error {
 			return true
 		}
 		pending[i] = nil
-		return e.dispatch(ctx, i, batch{raw: rb})
+		e.metrics.noteReaderBytes(r, st, len(rb.slab.Data))
+		return e.dispatchTo(ctx, lane, r, i, batch{raw: rb})
 	}
 	flushAll := func() bool {
 		for i := range pending {
@@ -543,13 +754,13 @@ read:
 			break read
 		default:
 		}
-		sp := e.trcReader.Start()
+		sp := lane.Start()
 		data, ci, link, err := src.NextRaw(scratch)
 		switch {
 		case err == nil:
-			e.trcReader.End(sp, trace.StageRead, 1, -1)
+			lane.End(sp, trace.StageRead, 1, -1)
 			scratch = data
-			rsp := e.trcReader.Start()
+			rsp := lane.Start()
 			// Route by the cheap header peek; records the peek cannot
 			// classify go to shard 0, whose worker-side decode then skips
 			// them exactly like the offline path would.
@@ -561,13 +772,13 @@ read:
 			}
 			rb := pending[i]
 			if rb == nil {
-				rb = e.pools.getRaw(link)
+				rb = pools.getRaw(link)
 				pending[i] = rb
 			}
 			off := len(rb.slab.Data)
 			rb.slab.Data = append(rb.slab.Data, data...)
 			rb.frames = append(rb.frames, rawFrame{off: off, end: off + len(data), ci: ci})
-			e.trcReader.End(rsp, trace.StageRoute, 1, -1)
+			lane.End(rsp, trace.StageRoute, 1, -1)
 			if len(rb.frames) >= e.cfg.BatchSize {
 				if !flush(i) {
 					srcErr = ctx.Err()
@@ -599,60 +810,85 @@ read:
 	return srcErr
 }
 
-// dispatch hands a batch to a shard under the configured policy. The
-// false return means the context died while blocked. Every outcome is
-// attributed: a clean enqueue records the queue depth it saw; a full
-// queue reads the shard's published stage so the stall (Block) or the
-// loss (DropNewest) is counted against the stage that caused it.
+// dispatch hands a batch to a shard on the single-reader queue; kept
+// as the narrow entry point the decoded path and tests use.
 func (e *Engine) dispatch(ctx context.Context, i int, b batch) bool {
+	return e.dispatchTo(ctx, e.trcReader, 0, i, b)
+}
+
+// dispatchTo hands a batch from reader r to shard i under the
+// configured policy. The false return means the context died while
+// blocked. Every outcome is attributed: a clean enqueue records the
+// queue depth it saw; a full queue reads the shard's published stage
+// so the stall (Block) or the loss (DropNewest) is counted against
+// the stage that caused it — or against "order" when the shard simply
+// has not reached this reader's segment yet.
+func (e *Engine) dispatchTo(ctx context.Context, lane *trace.Lane, r, i int, b batch) bool {
 	n := b.size()
 	e.metrics.noteBatch(n)
 	sh := e.shards[i]
-	sp := e.trcReader.Start()
+	q := sh.queues()[r]
+	sp := lane.Start()
 	if e.cfg.Policy == DropNewest {
 		select {
-		case sh.in <- b:
-			depth := len(sh.in)
+		case q <- b:
+			depth := len(q)
 			e.metrics.noteDepth(i, depth)
-			e.trcReader.End(sp, trace.StageEnqueue, n, depth)
+			lane.End(sp, trace.StageEnqueue, n, depth)
 		default:
-			cause := causeName(sh.cur.Load())
+			cause := stallCause(sh, r)
 			e.metrics.noteDropped(i, n, cause)
-			e.metrics.noteDepth(i, cap(sh.in))
+			e.metrics.noteDepth(i, cap(q))
 			e.cfg.Journal.Log(b.firstTime(), obs.EventDrop, "", map[string]any{
 				"shard": i, "packets": n, "cause": cause,
 			})
-			e.pools.recycle(b)
-			e.trcReader.End(sp, trace.StageEnqueue, n, cap(sh.in))
+			b.recycle()
+			lane.End(sp, trace.StageEnqueue, n, cap(q))
 		}
 		return true
 	}
 	select {
-	case sh.in <- b:
-		depth := len(sh.in)
+	case q <- b:
+		depth := len(q)
 		e.metrics.noteDepth(i, depth)
-		e.trcReader.End(sp, trace.StageEnqueue, n, depth)
+		lane.End(sp, trace.StageEnqueue, n, depth)
 		return true
 	default:
 	}
 	// The queue is full: a real reader stall begins here.
-	cause := causeName(sh.cur.Load())
+	cause := stallCause(sh, r)
 	stallStart := time.Now()
 	select {
-	case sh.in <- b:
+	case q <- b:
 		e.metrics.noteStall(i, cause, time.Since(stallStart))
-		depth := len(sh.in)
+		depth := len(q)
 		e.metrics.noteDepth(i, depth)
-		e.trcReader.End(sp, trace.StageEnqueue, n, depth)
+		lane.End(sp, trace.StageEnqueue, n, depth)
 		return true
 	case <-ctx.Done():
 		return false
 	}
 }
 
+// stallCause attributes a full queue: "order" when the shard is still
+// draining an earlier segment's queue (the reader is ahead of the
+// in-order fan-in, not the shard slow), otherwise the stage the shard
+// published.
+func stallCause(sh *shard, r int) string {
+	if int32(r) > sh.curSeg.Load() {
+		return "order"
+	}
+	return causeName(sh.cur.Load())
+}
+
 // Snapshot merges a consistent-enough cut of all shards into a
 // Partial, publishes the derived rolling Profile, and returns the
 // Partial. After Run finishes it returns the exact final state.
+//
+// Publishing does not stop the world: each shard seals its own
+// partial at its next between-batches point (sealed-epoch protocol)
+// and keeps consuming; only the merge and profile build run here,
+// off the hot path.
 func (e *Engine) Snapshot() core.Partial {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -660,14 +896,33 @@ func (e *Engine) Snapshot() core.Partial {
 		return e.final
 	}
 	msp := e.trcSnap.Start()
-	replies := make([]chan core.Partial, len(e.shards))
-	for i, sh := range e.shards {
-		replies[i] = make(chan core.Partial, 1)
-		sh.snap <- replies[i]
-	}
+	epoch := e.snapEpoch.Add(1)
 	parts := make([]core.Partial, len(e.shards))
-	for i := range replies {
-		parts[i] = <-replies[i]
+	for _, sh := range e.shards {
+		sh.poke()
+	}
+	for i, sh := range e.shards {
+		wait := 10 * time.Microsecond
+		for {
+			seq := sh.sealedSeq.Load()
+			if seq == sealedForever {
+				// The shard exited without sealing for this epoch. Once
+				// done is closed its goroutine is gone, so the analyzer
+				// is quiescent and can be read directly.
+				<-sh.done
+				parts[i] = sh.an.Partial()
+				break
+			}
+			if seq >= epoch {
+				parts[i] = *sh.sealed.Load()
+				break
+			}
+			sh.poke()
+			time.Sleep(wait)
+			if wait < time.Millisecond {
+				wait *= 2
+			}
+		}
 	}
 	merged := core.MergePartials(parts)
 	e.trcSnap.End(msp, trace.StageMerge, len(parts), -1)

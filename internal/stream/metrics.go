@@ -26,11 +26,15 @@ const (
 	MetricDriftFindings  = "uncharted_stream_drift_findings"
 	MetricDriftSeverity  = "uncharted_stream_drift_max_severity"
 	MetricDriftCompares  = "uncharted_stream_drift_compares_total"
+	MetricReaders        = "uncharted_stream_readers"
+	MetricReaderBytes    = "uncharted_stream_reader_bytes_total"
 )
 
 // stallCauses is the attribution vocabulary: the stage a shard can be
-// observed in when its queue backs up onto the reader.
-var stallCauses = []string{"idle", "decode", "feed"}
+// observed in when its queue backs up onto the reader, plus "order" —
+// the shard is fine but still draining an earlier segment's queue, so
+// the blocked reader is simply ahead of the in-order fan-in.
+var stallCauses = []string{"idle", "decode", "feed", "order"}
 
 // shardMetrics pre-resolves one shard's labeled series.
 type shardMetrics struct {
@@ -45,6 +49,7 @@ type shardMetrics struct {
 // engineMetrics books the engine's counters; a nil receiver (no
 // registry configured) is a no-op, mirroring the other packages.
 type engineMetrics struct {
+	reg           *obs.Registry
 	packets       *obs.Counter
 	batches       *obs.Counter
 	snapshots     *obs.Counter
@@ -52,6 +57,8 @@ type engineMetrics struct {
 	driftCompares *obs.Counter
 	driftFindings *obs.Gauge
 	driftSeverity *obs.Gauge
+	readers       *obs.Gauge
+	readerBytes   []*obs.Counter // lazily widened by noteReaders
 }
 
 func newEngineMetrics(reg *obs.Registry, workers int) *engineMetrics {
@@ -71,7 +78,10 @@ func newEngineMetrics(reg *obs.Registry, workers int) *engineMetrics {
 	reg.SetHelp(MetricDriftFindings, "Findings in the latest baseline comparison.")
 	reg.SetHelp(MetricDriftSeverity, "Maximum severity in the latest baseline comparison.")
 	reg.SetHelp(MetricDriftCompares, "Baseline comparisons performed.")
+	reg.SetHelp(MetricReaders, "Parallel segment readers in the current run.")
+	reg.SetHelp(MetricReaderBytes, "Capture bytes consumed, by reader.")
 	m := &engineMetrics{
+		reg:           reg,
 		packets:       reg.Counter(MetricPackets),
 		batches:       reg.Counter(MetricBatches),
 		snapshots:     reg.Counter(MetricSnapshots),
@@ -96,7 +106,35 @@ func newEngineMetrics(reg *obs.Registry, workers int) *engineMetrics {
 		m.shards = append(m.shards, sm)
 	}
 	reg.Gauge(MetricWorkers).Set(float64(workers))
+	m.readers = reg.Gauge(MetricReaders)
+	m.readers.Set(1)
 	return m
+}
+
+// noteReaders records the parallel-reader count for a segmented run
+// and pre-resolves one byte counter per reader. Called once, before
+// the reader goroutines start.
+func (m *engineMetrics) noteReaders(n int) {
+	if m == nil {
+		return
+	}
+	m.readers.Set(float64(n))
+	for r := len(m.readerBytes); r < n; r++ {
+		m.readerBytes = append(m.readerBytes, m.reg.Counter(MetricReaderBytes, "reader", strconv.Itoa(r)))
+	}
+}
+
+// noteReaderBytes advances reader r's progress by n capture bytes:
+// the readerState's statusz counter always, the metric series when a
+// registry is attached. Called once per flushed batch, not per record.
+func (m *engineMetrics) noteReaderBytes(r int, st *readerState, n int) {
+	if st != nil {
+		st.bytes.Add(int64(n))
+	}
+	if m == nil || r >= len(m.readerBytes) {
+		return
+	}
+	m.readerBytes[r].Add(int64(n))
 }
 
 func (m *engineMetrics) noteBatch(packets int) {

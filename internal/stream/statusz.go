@@ -22,8 +22,20 @@ type StageStatus struct {
 	P99   float64 `json:"p99_seconds"`
 }
 
-// ShardStatus is one shard's live health: queue occupancy, the stage
-// it is in right now, and its drop/stall attribution.
+// ReaderStatus is one parallel segment reader's live progress: the
+// byte range it owns, how far it has read, and its observed rate.
+type ReaderStatus struct {
+	ID          int     `json:"id"`
+	SegmentOff  int64   `json:"segment_off"`
+	SegmentSize int64   `json:"segment_size"`
+	BytesRead   int64   `json:"bytes_read"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	Done        bool    `json:"done"`
+}
+
+// ShardStatus is one shard's live health: queue occupancy (summed over
+// its per-reader queues), the stage it is in right now, and its
+// drop/stall attribution.
 type ShardStatus struct {
 	ID             int              `json:"id"`
 	QueueLen       int              `json:"queue_len"`
@@ -46,10 +58,11 @@ type Status struct {
 	Packets        int64         `json:"packets"`
 	Batches        int64         `json:"batches"`
 	Snapshots      int64         `json:"snapshots"`
-	DroppedBatches int64         `json:"dropped_batches"`
-	DroppedPackets int64         `json:"dropped_packets"`
-	Stages         []StageStatus `json:"stages,omitempty"`
-	Shards         []ShardStatus `json:"shards"`
+	DroppedBatches int64          `json:"dropped_batches"`
+	DroppedPackets int64          `json:"dropped_packets"`
+	Readers        []ReaderStatus `json:"readers,omitempty"`
+	Stages         []StageStatus  `json:"stages,omitempty"`
+	Shards         []ShardStatus  `json:"shards"`
 }
 
 func (p DropPolicy) String() string {
@@ -92,11 +105,35 @@ func (e *Engine) Status() Status {
 		st.Snapshots = m.snapshots.Value()
 		st.DroppedBatches, st.DroppedPackets = m.dropped()
 	}
+	if rs := e.readers.Load(); rs != nil {
+		for i, rst := range *rs {
+			r := ReaderStatus{
+				ID:          i,
+				SegmentOff:  rst.info.Off,
+				SegmentSize: rst.info.Size,
+				BytesRead:   rst.bytes.Load(),
+			}
+			elapsed := time.Since(rst.start)
+			if end := rst.endNs.Load(); end != 0 {
+				r.Done = true
+				elapsed = time.Unix(0, end).Sub(rst.start)
+			}
+			if s := elapsed.Seconds(); s > 0 {
+				r.MBPerSec = float64(r.BytesRead) / (1 << 20) / s
+			}
+			st.Readers = append(st.Readers, r)
+		}
+	}
 	for _, sh := range e.shards {
+		qlen, qcap := 0, 0
+		for _, q := range sh.queues() {
+			qlen += len(q)
+			qcap += cap(q)
+		}
 		ss := ShardStatus{
 			ID:       sh.id,
-			QueueLen: len(sh.in),
-			QueueCap: cap(sh.in),
+			QueueLen: qlen,
+			QueueCap: qcap,
 			Current:  causeName(sh.cur.Load()),
 		}
 		if m := e.metrics; m != nil && sh.id < len(m.shards) {
@@ -166,6 +203,10 @@ func (st Status) WriteText(w io.Writer) error {
 		st.State, st.UptimeSeconds, st.Policy, st.Workers, st.BatchSize, st.QueueDepth)
 	fmt.Fprintf(w, "packets %d  batches %d  snapshots %d  dropped %d batches / %d packets\n",
 		st.Packets, st.Batches, st.Snapshots, st.DroppedBatches, st.DroppedPackets)
+	for _, r := range st.Readers {
+		fmt.Fprintf(w, "reader %d: segment @%d +%d  read %d  %.1f MB/s%s\n",
+			r.ID, r.SegmentOff, r.SegmentSize, r.BytesRead, r.MBPerSec, doneSuffix(r.Done))
+	}
 	for _, sh := range st.Shards {
 		fmt.Fprintf(w, "shard %d: queue %d/%d  stage %s  dropped %d/%d  stalls %s  drops %s\n",
 			sh.ID, sh.QueueLen, sh.QueueCap, sh.Current,
@@ -197,6 +238,23 @@ td:first-child,th:first-child{text-align:left}
 		html.EscapeString(st.State), st.UptimeSeconds, html.EscapeString(st.Policy),
 		st.Workers, st.BatchSize, st.QueueDepth,
 		st.Packets, st.Batches, st.Snapshots, st.DroppedBatches, st.DroppedPackets)
+
+	if len(st.Readers) > 0 {
+		fmt.Fprint(w, "<h3>readers</h3><table><tr><th>reader</th><th>segment</th><th>read</th><th>MB/s</th><th>state</th></tr>\n")
+		for _, r := range st.Readers {
+			pct := 0
+			if r.SegmentSize > 0 {
+				pct = int(100 * r.BytesRead / r.SegmentSize)
+			}
+			state := "reading"
+			if r.Done {
+				state = "done"
+			}
+			fmt.Fprintf(w, `<tr><td>%d</td><td>@%d +%d</td><td>%d (%d%%) <span class="bar" style="width:%dpx"></span></td><td>%.1f</td><td>%s</td></tr>`+"\n",
+				r.ID, r.SegmentOff, r.SegmentSize, r.BytesRead, pct, pct, r.MBPerSec, state)
+		}
+		fmt.Fprint(w, "</table>\n")
+	}
 
 	fmt.Fprint(w, "<h3>shards</h3><table><tr><th>shard</th><th>queue</th><th>stage</th><th>dropped batches</th><th>dropped packets</th><th>stalls (cause)</th><th>drops (cause)</th></tr>\n")
 	for _, sh := range st.Shards {
@@ -241,6 +299,13 @@ func causeMapString(m map[string]int64) string {
 		out += fmt.Sprintf("%s:%d", k, m[k])
 	}
 	return out
+}
+
+func doneSuffix(done bool) string {
+	if done {
+		return "  done"
+	}
+	return ""
 }
 
 func fmtSeconds(s float64) string {

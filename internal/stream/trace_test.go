@@ -254,7 +254,7 @@ func TestBlockPolicyAttributesStalls(t *testing.T) {
 	// Second dispatch blocks; free a slot shortly after so it lands.
 	go func() {
 		time.Sleep(20 * time.Millisecond)
-		b := <-sh.in
+		b := <-sh.queues()[0]
 		e.pools.recycle(b)
 	}()
 	if !e.dispatch(ctx, 0, mkBatch()) {
@@ -267,6 +267,6 @@ func TestBlockPolicyAttributesStalls(t *testing.T) {
 		t.Fatalf("stall duration observations = %d, want 1", h.Count())
 	}
 	// Drain the remaining batch so nothing leaks into other tests.
-	b := <-sh.in
+	b := <-sh.queues()[0]
 	e.pools.recycle(b)
 }
